@@ -1,0 +1,138 @@
+"""Ablation — Algorithm 1's binary search vs the naive per-block scan,
+and the exact change-point variant vs Algorithm 1's no-reuse assumption.
+
+Quantifies the design decision of §4.3: the RPC saving (the paper's 26
+calls vs millions of blocks) and the price of the no-reuse assumption
+(value-reuse histories silently lose versions)."""
+
+from __future__ import annotations
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.node import ArchiveNode
+from repro.core.logic_finder import (
+    algorithm1_values,
+    history_from_events,
+    slot_change_points,
+)
+from repro.lang import compile_contract, stdlib
+from repro.utils import encode_call
+from repro.utils.hexutil import address_to_word
+
+from conftest import emit
+
+ALICE = b"\xaa" * 20
+
+
+def _history_world(upgrades: int, reuse: bool = False):
+    chain = Blockchain()
+    chain.fund(ALICE, 10 ** 24)
+    logics = [chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet(f"L{i}", ALICE)).init_code
+    ).created_address for i in range(max(2, upgrades + 1))]
+    proxy = chain.deploy(
+        ALICE,
+        compile_contract(stdlib.storage_proxy("P", logics[0], ALICE)).init_code
+    ).created_address
+    sequence = [logics[0]]
+    for step in range(upgrades):
+        target = logics[0] if reuse and step % 2 else logics[
+            (step + 1) % len(logics)]
+        chain.advance_to_block(chain.latest_block_number + 40_000)
+        chain.transact(ALICE, proxy,
+                       encode_call("setImplementation(address)", [target]))
+        sequence.append(target)
+    chain.advance_to_block(chain.latest_block_number + 2_000_000)
+    return chain, proxy, sequence
+
+
+def test_rpc_savings_vs_naive(benchmark) -> None:
+    chain, proxy, _ = _history_world(upgrades=3)
+    node = ArchiveNode(chain)
+
+    def run_algorithm1():
+        node.api_calls.reset()
+        values = algorithm1_values(node, proxy, 1)
+        return values, node.api_calls.get("eth_getStorageAt")
+
+    (values, calls) = benchmark(run_algorithm1)
+    total_blocks = node.latest_block_number
+    savings = total_blocks / calls
+    emit("ablation_binary_search", "\n".join([
+        f"chain height:          {total_blocks} blocks",
+        f"distinct slot values:  {len(values)}",
+        f"Algorithm 1 RPC calls: {calls}",
+        f"naive scan RPC calls:  {total_blocks}",
+        f"saving factor:         {savings:,.0f}x",
+    ]))
+    assert calls < 300
+    assert savings > 1000
+
+
+def test_events_vs_storage_recovery(benchmark) -> None:
+    """Event-log recovery (one eth_getLogs) vs Algorithm 1 (storage reads):
+    events are cheaper but only exist for EIP-1967-style emitting proxies
+    and never cover the constructor-set implementation."""
+    chain = Blockchain()
+    chain.fund(ALICE, 10 ** 24)
+    logics = [chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet(f"L{i}", ALICE)).init_code
+    ).created_address for i in range(4)]
+    emitting = chain.deploy(ALICE, compile_contract(
+        stdlib.eip1967_proxy("P", logics[0], ALICE)).init_code).created_address
+    silent = chain.deploy(ALICE, compile_contract(
+        stdlib.storage_proxy("S", logics[0], ALICE)).init_code).created_address
+    for logic in logics[1:]:
+        chain.advance_to_block(chain.latest_block_number + 50_000)
+        chain.transact(ALICE, emitting,
+                       encode_call("upgradeTo(address)", [logic]))
+        chain.transact(ALICE, silent,
+                       encode_call("setImplementation(address)", [logic]))
+    node = ArchiveNode(chain)
+
+    events = benchmark(history_from_events, node, emitting)
+    from repro.lang.storage_layout import EIP1967_IMPLEMENTATION_SLOT
+    node.api_calls.reset()
+    storage_emitting = slot_change_points(node, emitting,
+                                          EIP1967_IMPLEMENTATION_SLOT)
+    storage_calls = node.api_calls.get("eth_getStorageAt")
+    events_silent = history_from_events(node, silent)
+    storage_silent = slot_change_points(node, silent, 1)
+
+    emit("ablation_events_vs_storage", "\n".join([
+        "EIP-1967 (emitting) proxy, 3 upgrades:",
+        f"  event recovery:    {len(events)} upgrades via 1 eth_getLogs "
+        f"(initial implementation invisible)",
+        f"  storage recovery:  {len(storage_emitting)} change points via "
+        f"{storage_calls} eth_getStorageAt calls (complete)",
+        "non-standard (silent) proxy, 3 upgrades:",
+        f"  event recovery:    {len(events_silent)} upgrades — blind",
+        f"  storage recovery:  {len(storage_silent)} change points",
+    ]))
+    assert len(events) == 3
+    assert len(storage_emitting) == 4        # constructor value + 3 upgrades
+    assert events_silent == []
+    assert len(storage_silent) == 4
+
+
+def test_no_reuse_assumption_failure_mode(benchmark) -> None:
+    """A→B→A histories: Algorithm 1 can under-report; change points never do."""
+    chain, proxy, sequence = _history_world(upgrades=4, reuse=True)
+    node = ArchiveNode(chain)
+
+    algorithm1 = benchmark(lambda: algorithm1_values(node, proxy, 1))
+    exact = slot_change_points(node, proxy, 1)
+
+    truth_values = {address_to_word(address) for address in sequence}
+    exact_values = {value for _, value in exact}
+    emit("ablation_no_reuse", "\n".join([
+        f"true distinct logic addresses: {len(truth_values)}",
+        f"Algorithm 1 recovered:         "
+        f"{len(algorithm1 - {0} & truth_values)} value(s)",
+        f"exact change points recovered: "
+        f"{len(exact_values & truth_values)} value(s) over "
+        f"{len(exact)} change events",
+    ]))
+    assert exact_values >= truth_values
+    assert len(exact) == len(sequence)
+    # Algorithm 1 never invents values...
+    assert algorithm1 - {0} <= truth_values

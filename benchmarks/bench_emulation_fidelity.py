@@ -1,0 +1,49 @@
+"""§8.1 extension — measuring the emulation-vs-reality discrepancy.
+
+The paper admits the extent of the §4.2 emulation's divergence from real
+execution "is not known".  Here it is measured: every recorded transaction
+on the landscape is replayed under the emulation conditions (latest-block
+environment, current state) and compared to its true receipt; then again
+with historical state to separate *state drift* from *environment drift*.
+"""
+
+from __future__ import annotations
+
+from repro.core.emulation_fidelity import EmulationFidelityAuditor
+
+from conftest import emit
+
+
+def test_emulation_fidelity(benchmark, landscape) -> None:
+    node = landscape.node
+    addresses = landscape.addresses()
+
+    auditor = EmulationFidelityAuditor(node)
+    report = benchmark.pedantic(
+        lambda: auditor.audit(addresses, max_transactions=300),
+        rounds=1, iterations=1)
+
+    historical = EmulationFidelityAuditor(
+        node, use_historical_state=True).audit(addresses,
+                                               max_transactions=300)
+
+    emit("emulation_fidelity", "\n".join([
+        f"transactions replayed:        {report.total}",
+        "",
+        "under §4.2 emulation conditions (latest block, current state):",
+        f"  verdict agreement:          {report.verdict_agreement:.1%}",
+        f"  delegate-target agreement:  {report.delegate_agreement:.1%}",
+        f"  full fidelity:              {report.full_fidelity:.1%}",
+        "",
+        "with historical state (drift isolated to the environment):",
+        f"  verdict agreement:          {historical.verdict_agreement:.1%}",
+        f"  delegate-target agreement:  {historical.delegate_agreement:.1%}",
+        f"  full fidelity:              {historical.full_fidelity:.1%}",
+        "",
+        "The §4.2 approximations keep the *proxy verdicts* (delegate-target",
+        "agreement) near-perfect even as outputs drift — exactly why the",
+        "detection criterion is the forwarding event, not the output.",
+    ]))
+    assert report.total > 50
+    assert report.delegate_agreement > 0.9
+    assert historical.full_fidelity >= report.full_fidelity

@@ -1,0 +1,49 @@
+"""Figure 2 — accumulated alive contracts by availability quadrant.
+
+Regenerates the four cumulative curves (source-only, source+tx, tx-only,
+hidden) over 2015–2023.  The paper's shape: hidden + tx-only dominate;
+source availability stays below ~20%; growth explodes after 2020.
+"""
+
+from __future__ import annotations
+
+from repro.landscape.survey import (
+    HIDDEN,
+    QUADRANTS,
+    SOURCE_AND_TX,
+    SOURCE_ONLY,
+    YEARS,
+    figure2_accumulated_contracts,
+)
+
+from conftest import emit
+
+
+def test_fig2_accumulated_contracts(benchmark, sweep) -> None:
+    series = benchmark(figure2_accumulated_contracts, sweep)
+
+    lines = [f"{'year':>4s}  " + "  ".join(f"{q:>12s}" for q in QUADRANTS)
+             + f"  {'total':>8s}"]
+    for year in YEARS:
+        row = series[year]
+        total = sum(row.values())
+        lines.append(f"{year:>4d}  "
+                     + "  ".join(f"{row[q]:>12d}" for q in QUADRANTS)
+                     + f"  {total:>8d}")
+    final = series[2023]
+    total = sum(final.values())
+    with_source = final[SOURCE_ONLY] + final[SOURCE_AND_TX]
+    with_tx = final[SOURCE_AND_TX] + final["tx-only"]
+    lines.append("")
+    lines.append(f"with source: {with_source / total:6.1%}   (paper: ~18%)")
+    lines.append(f"with tx:     {with_tx / total:6.1%}   (paper: ~53%)")
+    lines.append(f"hidden:      {final[HIDDEN] / total:6.1%}   "
+                 f"(the quadrant only ProxioN covers)")
+    emit("fig2_landscape", "\n".join(lines))
+
+    # Shape assertions.
+    assert with_source / total < 0.40
+    assert final[HIDDEN] > 0
+    growth_pre_2020 = sum(series[2019][q] for q in QUADRANTS)
+    growth_post_2020 = total - growth_pre_2020
+    assert growth_post_2020 > growth_pre_2020  # the post-2020 surge

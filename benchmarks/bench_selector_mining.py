@@ -1,0 +1,42 @@
+"""§2.3 experiment — how cheap is crafting a colliding selector?
+
+The paper: a colliding function name for ``free_ether_withdrawal()`` was
+found after ~600M attempts in 1.5 hours on a commodity laptop.  This bench
+mines a 12-bit prefix collision live, measures the hash rate, and
+extrapolates the full 32-bit expected cost on this machine.
+"""
+
+from __future__ import annotations
+
+from repro.core.selector_miner import (
+    estimate_full_collision_attempts,
+    estimate_full_collision_hours,
+    mine_selector,
+)
+from repro.utils.abi import function_selector
+
+from conftest import emit
+
+TARGET = function_selector("free_ether_withdrawal()")   # 0xdf4a3106
+
+
+def test_selector_mining(benchmark) -> None:
+    result = benchmark.pedantic(
+        lambda: mine_selector(TARGET, prefix_bits=12, max_attempts=200_000),
+        rounds=1, iterations=1)
+    assert result.found
+    rate = result.attempts_per_second
+    expected_attempts = estimate_full_collision_attempts()
+    hours = estimate_full_collision_hours(rate)
+    emit("selector_mining", "\n".join([
+        f"target selector:            0x{TARGET.hex()} "
+        f"(free_ether_withdrawal())",
+        f"12-bit prefix collision:    {result.prototype!r} after "
+        f"{result.attempts} attempts in {result.seconds:.2f}s",
+        f"local hash rate:            {rate:,.0f} attempts/s (pure Python)",
+        f"full 32-bit expected cost:  {expected_attempts:,} attempts "
+        f"≈ {hours:,.1f} h at this rate",
+        "paper (compiled hasher):    ~600M attempts in 1.5 h — the attack "
+        "is accessible to any motivated adversary",
+    ]))
+    assert function_selector(result.prototype)[:1] == TARGET[:1]

@@ -1,0 +1,50 @@
+"""Table 2 — collision-detection accuracy vs USCHunt and CRUSH.
+
+Scores every tool's own pipeline on the labelled corpus under both
+methodologies; the "union" methodology is the paper's §6.3 protocol (only
+tool-flagged pairs are manually inspected).  Reproduction target: the
+ordering — ProxioN above both baselines on storage, above USCHunt on
+function — with ProxioN's FPs at zero and its FNs explained by emulation
+errors and symbolic slots.
+"""
+
+from __future__ import annotations
+
+from repro.landscape.accuracy import table2
+
+from conftest import emit
+
+PAPER = {
+    ("storage", "USCHunt"): "TP=33 FP=83 TN=79 FN=11 accuracy=54.4%",
+    ("storage", "CRUSH"): "TP=26 FP=76 TN=86 FN=18 accuracy=54.4%",
+    ("storage", "Proxion"): "TP=27 FP=28 TN=134 FN=17 accuracy=78.2%",
+    ("function", "USCHunt"): "TP=299 FP=1 TN=0 FN=261 accuracy=53.3%",
+    ("function", "Proxion"): "TP=557 FP=0 TN=1 FN=3 accuracy=99.5%",
+}
+
+
+def test_table2_accuracy(benchmark, accuracy_corpus) -> None:
+    union = benchmark(table2, accuracy_corpus, "union")
+    full = table2(accuracy_corpus, methodology="all")
+
+    lines = [f"labelled pairs: {len(accuracy_corpus.pairs)}", ""]
+    for methodology, matrices in (("union (paper §6.3 protocol)", union),
+                                  ("all labelled pairs", full)):
+        lines.append(f"--- methodology: {methodology} ---")
+        for collision_type, tools in matrices.items():
+            for tool, matrix in tools.items():
+                paper_row = PAPER.get((collision_type, tool), "")
+                lines.append(f"{collision_type:8s} {tool:8s} {matrix.row()}"
+                             + (f"   [paper: {paper_row}]" if paper_row else ""))
+        lines.append("")
+    emit("table2_accuracy", "\n".join(lines))
+
+    for matrices in (union, full):
+        assert (matrices["storage"]["Proxion"].accuracy
+                > matrices["storage"]["USCHunt"].accuracy)
+        assert (matrices["storage"]["Proxion"].accuracy
+                > matrices["storage"]["CRUSH"].accuracy)
+        assert (matrices["function"]["Proxion"].accuracy
+                > matrices["function"]["USCHunt"].accuracy)
+        assert matrices["storage"]["Proxion"].fp == 0
+        assert matrices["function"]["Proxion"].fp == 0

@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures and the result emitter.
+
+Each benchmark regenerates one of the paper's tables or figures and prints
+the same rows/series the paper reports (also archived under
+``benchmarks/results/``).  Populations are scaled (hundreds to thousands of
+contracts instead of 36M); proportions, orderings and crossovers are the
+reproduction target, not absolute counts — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+sys.setrecursionlimit(20_000)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Scale factors (contracts generated per corpus).
+LANDSCAPE_TOTAL = 700
+ACCURACY_PAIRS_PER_CASE = 10
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and archive it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def landscape():
+    from repro.corpus.generator import generate_landscape
+    return generate_landscape(total=LANDSCAPE_TOTAL, seed=2024)
+
+
+@pytest.fixture(scope="session")
+def upgraded_landscape():
+    """A landscape with a boosted upgrade rate so Figure 6 has a tail."""
+    from repro.corpus.generator import generate_landscape
+    return generate_landscape(total=300, seed=77, upgrade_probability=0.5)
+
+
+@pytest.fixture(scope="session")
+def sweep(landscape):
+    """One full ProxioN sweep shared by the §7 benches."""
+    from repro.core.pipeline import Proxion
+    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset)
+    return proxion.analyze_all()
+
+
+@pytest.fixture(scope="session")
+def accuracy_corpus():
+    from repro.corpus.ground_truth import build_accuracy_corpus
+    return build_accuracy_corpus(pairs_per_case=ACCURACY_PAIRS_PER_CASE,
+                                 seed=2024)

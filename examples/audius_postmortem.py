@@ -1,0 +1,75 @@
+"""The Audius governance takeover (Listing 2), replayed and detected.
+
+The proxy keeps ``owner`` in storage slot 0.  The logic contract's
+``initialized``/``initializing`` flags *also* live in slot 0 — and its
+``owner = msg.sender`` write clobbers the flag bytes with address bytes, so
+``initializing`` reads true forever and ``initialize()`` can be replayed by
+anyone to seize governance.  This is the $1.1M Audius incident (§2.3).
+
+The script replays the attack, then runs ProxioN's CRUSH-style storage
+analysis — slicing the bytecode, inferring the slot layouts, spotting the
+byte-range mismatch, synthesizing the exploit transaction and verifying it
+on an overlay of the live state.
+
+Run:  python examples/audius_postmortem.py
+"""
+
+from repro.chain import Blockchain
+from repro.core import StorageCollisionDetector
+from repro.core.symexec import SymbolicExecutor
+from repro.lang import compile_contract, stdlib
+from repro.utils import encode_call
+
+GOVERNANCE = bytes.fromhex("000000000000000000000000000000000000901e")
+ATTACKER = bytes.fromhex("00000000000000000000000000000000000bad00")
+
+
+def main() -> None:
+    chain = Blockchain()
+    chain.fund(GOVERNANCE, 10 ** 20)
+    chain.fund(ATTACKER, 10 ** 20)
+
+    logic = chain.deploy(GOVERNANCE, compile_contract(
+        stdlib.audius_logic()).init_code).created_address
+    proxy = chain.deploy(GOVERNANCE, compile_contract(
+        stdlib.audius_proxy("AudiusGovernance", logic, GOVERNANCE)
+    ).init_code).created_address
+
+    print(f"proxy slot 0 (owner):  0x{chain.state.get_storage(proxy, 0):040x}")
+
+    # --- the attack ---------------------------------------------------------
+    receipt = chain.transact(ATTACKER, proxy, encode_call("initialize()"))
+    print(f"\nattacker calls initialize(): success={receipt.success}")
+    owner = chain.call(proxy, encode_call("governanceAddress()"))
+    print(f"governance address now:  0x{owner.output[-20:].hex()}")
+    print(f"(the attacker is         0x{ATTACKER.hex()})")
+    replay = chain.transact(ATTACKER, proxy, encode_call("initialize()"))
+    print(f"replaying initialize():  success={replay.success} — the flags "
+          f"can never latch because owner bytes overwrite them")
+
+    # --- what the analyzer sees ----------------------------------------------
+    print("\n--- ProxioN storage analysis (bytecode only) ---")
+    logic_summary = SymbolicExecutor().summarize(chain.state.get_code(logic))
+    for access in logic_summary.semantic_accesses():
+        print(f"  logic {access.kind:5s} {access.slot} "
+              f"bytes[{access.offset}:{access.offset + access.size}]")
+
+    detector = StorageCollisionDetector(None, chain.state,
+                                        chain.block_context())
+    report = detector.detect(chain.state.get_code(proxy),
+                             chain.state.get_code(logic), proxy, logic)
+    for collision in report.collisions:
+        print(f"  COLLISION {collision.slot}: proxy "
+              f"bytes[{collision.proxy_use.offset}:{collision.proxy_use.end}] "
+              f"vs logic "
+              f"bytes[{collision.logic_use.offset}:{collision.logic_use.end}] "
+              f"({collision.kind})")
+        if collision.verified:
+            print(f"  exploit VERIFIED: calling selector "
+                  f"0x{collision.exploit_selector.hex()} through the proxy "
+                  f"rewrites the owner slot")
+    assert report.has_verified_exploit
+
+
+if __name__ == "__main__":
+    main()

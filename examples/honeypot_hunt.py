@@ -1,0 +1,73 @@
+"""The Listing-1 honeypot, end to end.
+
+An attacker deploys a logic contract advertising ``free_ether_withdrawal()``
+(pays the caller 10 ETH) behind a proxy whose ``impl_LUsXCWD2AKCc()``
+shares the same 4-byte selector ``0xdf4a3106`` — so the proxy's *stealing*
+body runs instead of the logic's generous one.
+
+The script (1) shows a victim losing funds to the trap, then (2) shows
+ProxioN exposing the function collision from bytecode alone — the attacker
+published no source, so source-based tools are blind here.
+
+Run:  python examples/honeypot_hunt.py
+"""
+
+from repro.chain import Blockchain
+from repro.core import FunctionCollisionDetector, ProxyDetector
+from repro.lang import compile_contract, stdlib
+from repro.utils import encode_call
+
+ETHER = 10 ** 18
+ATTACKER = bytes.fromhex("00000000000000000000000000000000000aace7")
+VICTIM = bytes.fromhex("000000000000000000000000000000000000c1a0")
+
+
+def main() -> None:
+    chain = Blockchain()
+    chain.fund(ATTACKER, 100 * ETHER)
+    chain.fund(VICTIM, 10 * ETHER)
+
+    # --- the trap ---------------------------------------------------------
+    logic = chain.deploy(ATTACKER, compile_contract(
+        stdlib.honeypot_logic()).init_code).created_address
+    pot = chain.deploy(ATTACKER, compile_contract(
+        stdlib.honeypot_proxy("Honeypot", logic, ATTACKER)
+    ).init_code).created_address
+    chain.fund(pot, 50 * ETHER)  # the visible bait
+
+    print("The bait: free_ether_withdrawal() in the logic contract pays the")
+    print("caller 10 ETH... if it ever ran.\n")
+
+    # --- the victim bites --------------------------------------------------
+    victim_before = chain.state.get_balance(VICTIM)
+    attacker_before = chain.state.get_balance(ATTACKER)
+    receipt = chain.transact(VICTIM, pot,
+                             encode_call("free_ether_withdrawal()"),
+                             value=1 * ETHER)
+    print(f"victim calls free_ether_withdrawal() with 1 ETH attached: "
+          f"success={receipt.success}")
+    print(f"victim balance change:   "
+          f"{(chain.state.get_balance(VICTIM) - victim_before) / ETHER:+.2f} ETH")
+    print(f"attacker balance change: "
+          f"{(chain.state.get_balance(ATTACKER) - attacker_before) / ETHER:+.2f} ETH")
+    print("The selector collision routed the call into the proxy's own "
+          "stealing function.\n")
+
+    # --- ProxioN sees it without any source --------------------------------
+    detector = ProxyDetector(chain.state, chain.block_context())
+    check = detector.check(pot)
+    print(f"ProxioN proxy check: is_proxy={check.is_proxy}, "
+          f"logic=0x{check.logic_address.hex()}")
+
+    collisions = FunctionCollisionDetector().detect(
+        chain.state.get_code(pot), chain.state.get_code(logic))
+    print(f"function collisions (bytecode mode): "
+          f"{[c.selector.hex() for c in collisions.collisions]}")
+    assert collisions.collisions[0].selector == bytes.fromhex("df4a3106")
+    print("\n0xdf4a3106 = keccak('impl_LUsXCWD2AKCc()')[:4] "
+          "= keccak('free_ether_withdrawal()')[:4]")
+    print("ProxioN flags the honeypot before anyone else has to lose funds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""ProxioN as a live protective monitor.
+
+Simulates a chain where deployments arrive block by block — benign apps,
+clone factories, and eventually the Listing-1 honeypot and a Listing-2
+governance proxy — with a :class:`DeploymentMonitor` polling after each
+batch, exactly how a protection service would run against a real node.
+
+Run:  python examples/live_monitor.py
+"""
+
+from repro.chain import ArchiveNode, Blockchain, ContractDataset, SourceRegistry
+from repro.core import Proxion
+from repro.core.monitor import DeploymentMonitor
+from repro.lang import compile_contract, stdlib
+
+ETHER = 10 ** 18
+DEV = bytes.fromhex("00000000000000000000000000000000000d0dd5")
+SCAMMER = bytes.fromhex("0000000000000000000000000000000000baadf0")
+
+
+def main() -> None:
+    chain = Blockchain()
+    chain.fund(DEV, 10 ** 6 * ETHER)
+    chain.fund(SCAMMER, 10 ** 6 * ETHER)
+    proxion = Proxion(ArchiveNode(chain), SourceRegistry(), ContractDataset())
+    monitor = DeploymentMonitor(proxion)
+
+    def deploy(who: bytes, contract_or_init) -> bytes:
+        init = (contract_or_init if isinstance(contract_or_init, bytes)
+                else compile_contract(contract_or_init).init_code)
+        return chain.deploy(who, init).created_address
+
+    def drain(label: str) -> None:
+        alerts = monitor.poll()
+        print(f"--- poll after {label}: {len(alerts)} alert(s)")
+        for alert in alerts:
+            print(f"    {alert}")
+
+    print("epoch 1: a benign app and its minimal clones arrive")
+    app = deploy(DEV, stdlib.simple_wallet("App", DEV))
+    for _ in range(3):
+        deploy(DEV, stdlib.minimal_proxy_init(app))
+    drain("benign deployments")
+
+    print("\nepoch 2: an upgradeable proxy without published source")
+    deploy(DEV, stdlib.eip1967_proxy("UnverifiedApp", app, DEV))
+    drain("the unverified proxy")
+
+    print("\nepoch 3: the scammer deploys the Listing-1 honeypot")
+    bait = deploy(SCAMMER, stdlib.honeypot_logic())
+    pot = deploy(SCAMMER, stdlib.honeypot_proxy("FreeEth", bait, SCAMMER))
+    chain.fund(pot, 25 * ETHER)
+    drain("the honeypot pair")
+
+    print("\nepoch 4: a governance proxy with the Audius layout bug")
+    gov_logic = deploy(DEV, stdlib.audius_logic())
+    deploy(DEV, stdlib.audius_proxy("Governance", gov_logic, DEV))
+    drain("the governance deployment")
+
+    stats = monitor.stats
+    print(f"\nlifetime: {stats.contracts_seen} contracts watched, "
+          f"{stats.proxies_seen} proxies, {len(stats.alerts)} alerts")
+    kinds = sorted({alert.kind for alert in stats.alerts})
+    print(f"alert kinds raised: {', '.join(kinds)}")
+    assert "honeypot" in kinds and "verified-exploit" in kinds
+
+
+if __name__ == "__main__":
+    main()

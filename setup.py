@@ -1,0 +1,11 @@
+"""Thin setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs cannot build; this file lets ``pip install -e .``
+fall back to the legacy ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""ProxioN reproduction: uncovering hidden proxy contracts and their
+collision vulnerabilities in a (simulated) Ethereum.
+
+Quick start::
+
+    from repro import generate_landscape, Proxion
+
+    landscape = generate_landscape(total=500, seed=42)
+    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset)
+    report = proxion.analyze_all()
+    print(len(report.proxies()), "proxies,",
+          len(report.hidden_proxies()), "hidden")
+
+Package map:
+
+* :mod:`repro.utils` — Keccak-256, ABI codec, hex helpers
+* :mod:`repro.evm` — from-scratch EVM (disassembler + interpreter + tracing)
+* :mod:`repro.chain` — simulated blockchain, archive node, explorer, dataset
+* :mod:`repro.lang` — mini contract language and solc-idiomatic compiler
+* :mod:`repro.core` — the ProxioN analyzer (detection, logic recovery,
+  function/storage collisions, batch pipeline)
+* :mod:`repro.baselines` — USCHunt, CRUSH, Slither, Etherscan, Salehi
+* :mod:`repro.corpus` — paper-calibrated synthetic landscapes + ground truth
+* :mod:`repro.landscape` — §6/§7 analytics (figures, tables, accuracy)
+"""
+
+from repro.chain import ArchiveNode, Blockchain, ContractDataset, SourceRegistry
+from repro.core import (
+    LandscapeReport,
+    Proxion,
+    ProxionOptions,
+    ProxyCheck,
+    ProxyDetector,
+    ProxyStandard,
+)
+from repro.corpus import build_accuracy_corpus, generate_landscape
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchiveNode",
+    "Blockchain",
+    "ContractDataset",
+    "LandscapeReport",
+    "Proxion",
+    "ProxionOptions",
+    "ProxyCheck",
+    "ProxyDetector",
+    "ProxyStandard",
+    "SourceRegistry",
+    "build_accuracy_corpus",
+    "generate_landscape",
+    "__version__",
+]

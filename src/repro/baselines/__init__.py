@@ -1,0 +1,24 @@
+"""Reimplementations of the comparison tools from Table 1 / §6 / §9."""
+
+from repro.baselines.crush import Crush, CrushResult
+from repro.baselines.etherscan_like import EtherscanVerifier
+from repro.baselines.salehi import SalehiReplay
+from repro.baselines.slither_like import SlitherKeyword
+from repro.baselines.uschunt import (
+    SUPPORTED_COMPILERS,
+    USCHunt,
+    USCHuntResult,
+    USCHuntStorageFinding,
+)
+
+__all__ = [
+    "Crush",
+    "CrushResult",
+    "EtherscanVerifier",
+    "SUPPORTED_COMPILERS",
+    "SalehiReplay",
+    "SlitherKeyword",
+    "USCHunt",
+    "USCHuntResult",
+    "USCHuntStorageFinding",
+]

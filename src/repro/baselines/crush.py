@@ -1,0 +1,91 @@
+"""The CRUSH baseline (Ruaro et al., NDSS '24).
+
+CRUSH mines *historical transactions* for DELEGATECALL instructions: every
+contract observed issuing one is treated as a proxy and the (caller, target)
+pairs as proxy/logic pairs.  Consequences the paper measures (§6.2/§6.3):
+
+* contracts with **no past transactions** are invisible (the hidden class);
+* **library callers** are swept in as proxies — false positives ProxioN's
+  forwarded-calldata criterion excludes;
+* only **storage collisions** are detected (no function collisions), using
+  the same slicing/symbolic-execution engine ProxioN reuses (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.node import ArchiveNode
+from repro.core.storage_collision import (
+    StorageCollisionDetector,
+    StorageCollisionReport,
+)
+
+
+@dataclass(slots=True)
+class CrushResult:
+    """CRUSH's view of one landscape."""
+
+    proxies: set[bytes] = field(default_factory=set)
+    pairs: set[tuple[bytes, bytes]] = field(default_factory=set)
+    storage_reports: list[StorageCollisionReport] = field(default_factory=list)
+
+    @property
+    def collision_pairs(self) -> int:
+        return sum(1 for report in self.storage_reports if report.has_collision)
+
+    @property
+    def verified_exploits(self) -> int:
+        return sum(1 for report in self.storage_reports
+                   if report.has_verified_exploit)
+
+
+class Crush:
+    """Transaction-history proxy mining + storage-collision detection."""
+
+    name = "CRUSH"
+
+    def __init__(self, node: ArchiveNode) -> None:
+        self._node = node
+        self._storage_detector = StorageCollisionDetector(
+            registry=None,
+            state=node.chain.state,
+            block=node.chain.block_context(),
+        )
+
+    def mine_pairs(self, addresses: list[bytes]) -> CrushResult:
+        """Scan each address's transaction history for DELEGATECALLs."""
+        result = CrushResult()
+        for address in addresses:
+            for receipt in self._node.transactions_of(address):
+                for event in receipt.internal_calls:
+                    if event.kind != "DELEGATECALL":
+                        continue
+                    if event.caller_storage_address != address:
+                        continue
+                    # Any DELEGATECALL qualifies — including library calls
+                    # with re-encoded arguments (ProxioN's exclusion).
+                    result.proxies.add(address)
+                    result.pairs.add((address, event.target))
+        return result
+
+    def analyze(self, addresses: list[bytes],
+                verify_exploits: bool = True) -> CrushResult:
+        """Full CRUSH run: mine pairs, then storage-collision each pair."""
+        result = self.mine_pairs(addresses)
+        for proxy, logic in sorted(result.pairs):
+            proxy_code = self._node.get_code(proxy)
+            logic_code = self._node.get_code(logic)
+            if not proxy_code or not logic_code:
+                continue
+            result.storage_reports.append(self._storage_detector.detect(
+                proxy_code, logic_code, proxy, logic,
+                verify_exploits=verify_exploits))
+        return result
+
+    def storage_collisions(self, proxy: bytes,
+                           logic: bytes) -> StorageCollisionReport:
+        """Pairwise storage check (the engine ProxioN reuses)."""
+        return self._storage_detector.detect(
+            self._node.get_code(proxy), self._node.get_code(logic),
+            proxy, logic)

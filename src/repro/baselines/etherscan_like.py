@@ -1,0 +1,28 @@
+"""The Etherscan proxy-verification baseline (§9.1).
+
+Etherscan's integrated checker flags any contract whose bytecode contains
+the ``DELEGATECALL`` opcode as a proxy — a pure opcode-presence test that
+Etherscan itself acknowledges produces numerous false positives (library
+callers, one-off delegatecall users).  No collision detection of any kind.
+"""
+
+from __future__ import annotations
+
+from repro.chain.node import ArchiveNode
+from repro.evm.disassembler import contains_delegatecall
+
+
+class EtherscanVerifier:
+    """Opcode-presence proxy detection."""
+
+    name = "EtherScan"
+
+    def __init__(self, node: ArchiveNode) -> None:
+        self._node = node
+
+    def is_proxy(self, address: bytes) -> bool:
+        code = self._node.get_code(address)
+        return bool(code) and contains_delegatecall(code)
+
+    def find_proxies(self, addresses: list[bytes]) -> set[bytes]:
+        return {address for address in addresses if self.is_proxy(address)}

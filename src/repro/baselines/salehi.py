@@ -1,0 +1,76 @@
+"""The Salehi et al. baseline (WTSC '22): transaction replay.
+
+Salehi et al. study upgradeability ownership by *replaying past
+transactions* against the contract under an instrumented EVM and watching
+for delegate calls.  Like CRUSH it is bytecode-compatible (no source
+needed), but its reach is bounded by the transaction history: contracts
+without transactions — or whose recorded transactions never exercised the
+fallback path — are missed.
+"""
+
+from __future__ import annotations
+
+from repro.chain.node import ArchiveNode
+from repro.evm.environment import ExecutionConfig, TransactionContext
+from repro.evm.interpreter import EVM, Message
+from repro.evm.state import OverlayState
+from repro.evm.tracer import CallTracer
+
+
+class SalehiReplay:
+    """Replay-based proxy detection."""
+
+    name = "Salehi et al."
+
+    def __init__(self, node: ArchiveNode, max_replays: int = 16,
+                 use_historical_state: bool = False) -> None:
+        self._node = node
+        self._max_replays = max_replays
+        # Replaying against the state *at the transaction's block* is more
+        # faithful (an upgraded-away logic still resolves); the default
+        # replays against current state, as a tool without archive access
+        # would.
+        self._use_historical_state = use_historical_state
+
+    def is_proxy(self, address: bytes) -> bool:
+        """Replay up to ``max_replays`` historical transactions."""
+        code = self._node.get_code(address)
+        if not code:
+            return False
+        replayed = 0
+        for receipt in self._node.transactions_of(address):
+            transaction = receipt.transaction
+            if transaction.to != address:
+                continue
+            if replayed >= self._max_replays:
+                break
+            replayed += 1
+            tracer = CallTracer()
+            if self._use_historical_state:
+                base = self._node.chain.state.view_at(receipt.block_number)
+            else:
+                base = self._node.chain.state
+            overlay = OverlayState(base)
+            evm = EVM(
+                overlay,
+                block=self._node.chain.block_context(),
+                tx=TransactionContext(origin=transaction.sender),
+                config=ExecutionConfig(instruction_budget=300_000),
+                tracer=tracer,
+            )
+            evm.execute(Message(
+                sender=transaction.sender,
+                to=address,
+                value=0,
+                data=transaction.data,
+                gas=5_000_000,
+            ))
+            for event in tracer.calls:
+                if (event.kind == "DELEGATECALL"
+                        and event.caller_storage_address == address
+                        and event.input_data == transaction.data):
+                    return True
+        return False
+
+    def find_proxies(self, addresses: list[bytes]) -> set[bytes]:
+        return {address for address in addresses if self.is_proxy(address)}

@@ -1,0 +1,47 @@
+"""Simulated Ethereum: world state, blocks, archive node, explorer, dataset."""
+
+from repro.chain.blockchain import (
+    Block,
+    Blockchain,
+    Receipt,
+    Transaction,
+)
+from repro.chain.dataset import ContractDataset, ContractRecord
+from repro.chain.explorer import ContractSource, SourceRegistry, StorageVariableDecl
+from repro.chain.node import ApiCallCounter, ArchiveNode
+from repro.chain.profiles import (
+    ARBITRUM,
+    BSC,
+    ETHEREUM,
+    POLYGON,
+    PRESETS,
+    ChainProfile,
+    get_profile,
+)
+from repro.chain.source_parser import parse_source_text, verify_from_text
+from repro.chain.state import HistoricalStateView, WorldState
+
+__all__ = [
+    "ARBITRUM",
+    "BSC",
+    "ETHEREUM",
+    "POLYGON",
+    "PRESETS",
+    "ApiCallCounter",
+    "ArchiveNode",
+    "Block",
+    "Blockchain",
+    "ChainProfile",
+    "get_profile",
+    "ContractDataset",
+    "ContractRecord",
+    "ContractSource",
+    "HistoricalStateView",
+    "parse_source_text",
+    "verify_from_text",
+    "Receipt",
+    "SourceRegistry",
+    "StorageVariableDecl",
+    "Transaction",
+    "WorldState",
+]

@@ -1,0 +1,243 @@
+"""A simulated Ethereum blockchain: blocks, transactions, receipts.
+
+Each transaction executes through the from-scratch EVM against the
+:class:`~repro.chain.state.WorldState`.  Receipts capture the *internal*
+call/create events of the execution (via a :class:`CallTracer`), which is
+the transaction-history signal that the CRUSH and Salehi baselines mine.
+
+Block numbering maps to calendar time through a mainnet-like clock
+(genesis 2015-07-30, 13-second blocks by default) so the landscape surveys
+can bucket deployments by year just as the paper's Figures 2/4 do.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+from repro.chain.profiles import ChainProfile
+from repro.chain.state import WorldState
+from repro.evm.environment import BlockContext, ExecutionConfig, TransactionContext
+from repro.evm.interpreter import EVM, CallResult, Message
+from repro.evm.tracer import (
+    CallEvent,
+    CallTracer,
+    CombinedTracer,
+    CreateEvent,
+    LogEvent,
+    Tracer,
+)
+
+GENESIS_TIMESTAMP = int(_dt.datetime(2015, 7, 30, tzinfo=_dt.timezone.utc).timestamp())
+DEFAULT_BLOCK_TIME = 13
+DEFAULT_GAS = 30_000_000
+
+
+@dataclass(slots=True)
+class Transaction:
+    """An external transaction submitted to the chain."""
+
+    sender: bytes
+    to: bytes | None
+    value: int = 0
+    data: bytes = b""
+    gas: int = DEFAULT_GAS
+
+
+@dataclass(slots=True)
+class Receipt:
+    """Execution record of one transaction."""
+
+    transaction: Transaction
+    block_number: int
+    success: bool
+    output: bytes
+    gas_used: int
+    error: str | None
+    created_address: bytes | None
+    internal_calls: list[CallEvent] = field(default_factory=list)
+    internal_creates: list[CreateEvent] = field(default_factory=list)
+    logs: list[LogEvent] = field(default_factory=list)
+
+    @property
+    def touched_addresses(self) -> set[bytes]:
+        """Every contract address this transaction interacted with."""
+        touched: set[bytes] = set()
+        if self.transaction.to is not None:
+            touched.add(self.transaction.to)
+        if self.created_address is not None:
+            touched.add(self.created_address)
+        for event in self.internal_calls:
+            touched.add(event.target)
+        for event in self.internal_creates:
+            touched.add(event.new_address)
+        return touched
+
+
+@dataclass(slots=True)
+class Block:
+    """A sealed block."""
+
+    number: int
+    timestamp: int
+    receipts: list[Receipt] = field(default_factory=list)
+
+
+class Blockchain:
+    """The simulated chain driving WorldState through block history."""
+
+    def __init__(
+        self,
+        block_time: int | None = None,
+        genesis_timestamp: int | None = None,
+        config: ExecutionConfig | None = None,
+        profile: ChainProfile | None = None,
+    ) -> None:
+        from repro.chain.profiles import ETHEREUM
+
+        self.profile = profile or ETHEREUM
+        self.block_time = (block_time if block_time is not None
+                           else self.profile.block_time)
+        self.genesis_timestamp = (genesis_timestamp
+                                  if genesis_timestamp is not None
+                                  else self.profile.genesis_timestamp)
+        self.state = WorldState()
+        self.blocks: list[Block] = [
+            Block(number=0, timestamp=self.genesis_timestamp)]
+        self.config = config or ExecutionConfig()
+        self.receipts_by_address: dict[bytes, list[Receipt]] = {}
+        self.state.current_block = 0
+
+    # ------------------------------------------------------------ block clock
+    @property
+    def latest_block_number(self) -> int:
+        return self.blocks[-1].number
+
+    def timestamp_of(self, block_number: int) -> int:
+        return self.genesis_timestamp + block_number * self.block_time
+
+    def year_of(self, block_number: int) -> int:
+        moment = _dt.datetime.fromtimestamp(self.timestamp_of(block_number),
+                                            tz=_dt.timezone.utc)
+        return moment.year
+
+    def first_block_of_year(self, year: int) -> int:
+        """Lowest block number whose timestamp falls in ``year``."""
+        start = int(_dt.datetime(year, 1, 1, tzinfo=_dt.timezone.utc).timestamp())
+        if start <= self.genesis_timestamp:
+            return 0
+        return (start - self.genesis_timestamp + self.block_time - 1) // self.block_time
+
+    def advance_to_block(self, block_number: int) -> None:
+        """Seal empty blocks up to ``block_number`` (fast-forward the clock).
+
+        Empty spans are represented implicitly: only the latest block record
+        is created, since intermediate empty blocks carry no state changes.
+        """
+        if block_number <= self.latest_block_number:
+            return
+        self.blocks.append(Block(number=block_number,
+                                 timestamp=self.timestamp_of(block_number)))
+        self.state.current_block = block_number
+
+    def block_context(self, block_number: int | None = None) -> BlockContext:
+        number = self.latest_block_number if block_number is None else block_number
+        return BlockContext(number=number, timestamp=self.timestamp_of(number),
+                            chain_id=self.profile.chain_id)
+
+    # ---------------------------------------------------------- transactions
+    def send_transaction(self, transaction: Transaction,
+                         extra_tracer: Tracer | None = None) -> Receipt:
+        """Execute ``transaction`` in a fresh block and seal it."""
+        block_number = self.latest_block_number + 1
+        self.advance_to_block(block_number)
+        block = self.blocks[-1]
+
+        call_tracer = CallTracer()
+        tracer: Tracer = call_tracer
+        if extra_tracer is not None:
+            tracer = CombinedTracer(tracers=[call_tracer, extra_tracer])
+
+        evm = EVM(
+            self.state,
+            block=self.block_context(block_number),
+            tx=TransactionContext(origin=transaction.sender),
+            config=self.config,
+            tracer=tracer,
+        )
+        result: CallResult = evm.execute(Message(
+            sender=transaction.sender,
+            to=transaction.to,
+            value=transaction.value,
+            data=transaction.data,
+            gas=transaction.gas,
+        ))
+        receipt = Receipt(
+            transaction=transaction,
+            block_number=block_number,
+            success=result.success,
+            output=result.output,
+            gas_used=result.gas_used,
+            error=result.error,
+            created_address=result.created_address,
+            internal_calls=list(call_tracer.calls),
+            internal_creates=list(call_tracer.creates),
+            logs=list(call_tracer.logs) if result.success else [],
+        )
+        block.receipts.append(receipt)
+        for address in receipt.touched_addresses:
+            self.receipts_by_address.setdefault(address, []).append(receipt)
+        return receipt
+
+    # ----------------------------------------------------------- conveniences
+    def fund(self, address: bytes, wei: int) -> None:
+        """Credit an externally-owned account (faucet)."""
+        self.state.set_balance(address, self.state.get_balance(address) + wei)
+
+    def deploy(self, sender: bytes, init_code: bytes, value: int = 0) -> Receipt:
+        """Deploy a contract from init code; receipt carries the address."""
+        return self.send_transaction(Transaction(
+            sender=sender, to=None, value=value, data=init_code))
+
+    def transact(self, sender: bytes, to: bytes, data: bytes = b"",
+                 value: int = 0) -> Receipt:
+        """Send a function-call transaction."""
+        return self.send_transaction(Transaction(
+            sender=sender, to=to, value=value, data=data))
+
+    def call(self, to: bytes, data: bytes = b"",
+             sender: bytes = b"\x00" * 20,
+             block_number: int | None = None) -> CallResult:
+        """Read-only eth_call against current state (no block mined)."""
+        evm = EVM(
+            self.state,
+            block=self.block_context(block_number),
+            tx=TransactionContext(origin=sender),
+            config=self.config,
+        )
+        snapshot = self.state.snapshot()
+        try:
+            return evm.execute(Message(sender=sender, to=to, data=data))
+        finally:
+            self.state.revert(snapshot)
+
+    def transactions_of(self, address: bytes) -> list[Receipt]:
+        """Every receipt that touched ``address`` (tx-history baselines)."""
+        return list(self.receipts_by_address.get(address, []))
+
+    def has_transactions(self, address: bytes) -> bool:
+        """True when the address has any post-deployment interaction.
+
+        Deployment itself does not count as a "past transaction" for the
+        purposes of Figure 2's hidden-contract quadrant: a freshly deployed,
+        never-called contract is exactly what the paper means by "without
+        transactions".
+        """
+        for receipt in self.receipts_by_address.get(address, []):
+            if receipt.created_address == address:
+                continue
+            if any(event.new_address == address
+                   for event in receipt.internal_creates):
+                continue
+            return True
+        return False

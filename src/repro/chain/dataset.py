@@ -1,0 +1,68 @@
+"""Contract deployment catalogue (the Google BigQuery substitute).
+
+The paper begins by "querying the addresses and deployment blocks of all
+contracts from Google BigQuery" (§7.1).  This dataset plays that role for
+the simulated chain: a flat catalogue of (address, deploy block, deployer),
+buildable either incrementally (as the corpus generator deploys) or by
+scanning chain receipts after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.blockchain import Blockchain
+
+
+@dataclass(frozen=True, slots=True)
+class ContractRecord:
+    """One deployed contract's catalogue entry."""
+
+    address: bytes
+    deploy_block: int
+    deployer: bytes
+
+
+class ContractDataset:
+    """Enumerates analysis targets, like the paper's BigQuery table."""
+
+    def __init__(self) -> None:
+        self._records: dict[bytes, ContractRecord] = {}
+
+    def add(self, address: bytes, deploy_block: int, deployer: bytes) -> None:
+        self._records[address] = ContractRecord(address, deploy_block, deployer)
+
+    def get(self, address: bytes) -> ContractRecord | None:
+        return self._records.get(address)
+
+    def addresses(self) -> list[bytes]:
+        return list(self._records)
+
+    def records(self) -> list[ContractRecord]:
+        return list(self._records.values())
+
+    def deploy_block_of(self, address: bytes) -> int:
+        record = self._records.get(address)
+        if record is None:
+            raise KeyError(f"unknown contract 0x{address.hex()}")
+        return record.deploy_block
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, address: bytes) -> bool:
+        return address in self._records
+
+    @classmethod
+    def scan_chain(cls, chain: Blockchain) -> "ContractDataset":
+        """Rebuild the catalogue from chain receipts (external + internal)."""
+        dataset = cls()
+        for block in chain.blocks:
+            for receipt in block.receipts:
+                if receipt.created_address is not None:
+                    dataset.add(receipt.created_address, receipt.block_number,
+                                receipt.transaction.sender)
+                for event in receipt.internal_creates:
+                    dataset.add(event.new_address, receipt.block_number,
+                                event.creator)
+        return dataset

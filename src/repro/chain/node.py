@@ -1,0 +1,140 @@
+"""Archive-node RPC facade.
+
+ProxioN consumes the chain exclusively through this JSON-RPC-shaped surface
+(``eth_getCode``, ``eth_getStorageAt`` at a block height, ``eth_call``), the
+same way the paper runs against a locally established Ethereum archive node
+(§7.1).  The facade also counts API calls, which is how the §6.1 result
+("26 getStorageAt calls per proxy on average, versus millions of blocks")
+is measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.blockchain import Blockchain, Receipt
+from repro.evm.interpreter import CallResult
+from repro.evm.tracer import LogEvent
+
+
+@dataclass(slots=True)
+class ApiCallCounter:
+    """Tallies RPC usage per method."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, method: str) -> None:
+        self.counts[method] = self.counts.get(method, 0) + 1
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def reset(self) -> None:
+        self.counts.clear()
+
+    def get(self, method: str) -> int:
+        return self.counts.get(method, 0)
+
+
+class ArchiveNode:
+    """Read-only archive view over a :class:`Blockchain`."""
+
+    def __init__(self, chain: Blockchain) -> None:
+        self._chain = chain
+        self.api_calls = ApiCallCounter()
+
+    @property
+    def chain(self) -> Blockchain:
+        """The underlying simulated chain (for emulator state access)."""
+        return self._chain
+
+    # ------------------------------------------------------------- chain info
+    @property
+    def latest_block_number(self) -> int:
+        return self._chain.latest_block_number
+
+    @property
+    def genesis_block_number(self) -> int:
+        return 0
+
+    def year_of(self, block_number: int) -> int:
+        return self._chain.year_of(block_number)
+
+    # ----------------------------------------------------------------- reads
+    def get_code(self, address: bytes, block_number: int | None = None) -> bytes:
+        self.api_calls.bump("eth_getCode")
+        if block_number is None:
+            return self._chain.state.get_code(address)
+        return self._chain.state.get_code_at(address, block_number)
+
+    def get_storage_at(self, address: bytes, slot: int,
+                       block_number: int | None = None) -> int:
+        self.api_calls.bump("eth_getStorageAt")
+        if block_number is None:
+            return self._chain.state.get_storage(address, slot)
+        return self._chain.state.get_storage_at(address, slot, block_number)
+
+    def get_balance(self, address: bytes) -> int:
+        self.api_calls.bump("eth_getBalance")
+        return self._chain.state.get_balance(address)
+
+    def call(self, to: bytes, data: bytes = b"",
+             sender: bytes = b"\x00" * 20,
+             block_number: int | None = None) -> CallResult:
+        """eth_call — against current state, or a *historical* block.
+
+        Historical calls run on an overlay over the archive's frozen view
+        of that block (code and storage at height; balances are not
+        archived and read as zero).
+        """
+        self.api_calls.bump("eth_call")
+        if block_number is None:
+            return self._chain.call(to, data, sender=sender)
+        from repro.evm.environment import TransactionContext
+        from repro.evm.interpreter import EVM, Message
+        from repro.evm.state import OverlayState
+
+        view = self._chain.state.view_at(block_number)
+        evm = EVM(
+            OverlayState(view),
+            block=self._chain.block_context(block_number),
+            tx=TransactionContext(origin=sender),
+            config=self._chain.config,
+        )
+        return evm.execute(Message(sender=sender, to=to, data=data))
+
+    def is_alive(self, address: bytes) -> bool:
+        """Alive = deployed and not self-destructed (the paper's §3.1 filter)."""
+        return bool(self._chain.state.get_code(address))
+
+    # ------------------------------------------------------------------ logs
+    def get_logs(self, address: bytes | None = None,
+                 topic: int | None = None,
+                 from_block: int | None = None,
+                 to_block: int | None = None) -> list[tuple[int, "LogEvent"]]:
+        """eth_getLogs: ``(block_number, event)`` pairs matching the filter."""
+        self.api_calls.bump("eth_getLogs")
+        matches: list[tuple[int, LogEvent]] = []
+        for block in self._chain.blocks:
+            if from_block is not None and block.number < from_block:
+                continue
+            if to_block is not None and block.number > to_block:
+                continue
+            for receipt in block.receipts:
+                for event in receipt.logs:
+                    if address is not None and event.emitter != address:
+                        continue
+                    if topic is not None and (not event.topics
+                                              or event.topics[0] != topic):
+                        continue
+                    matches.append((block.number, event))
+        return matches
+
+    # ----------------------------------------------- transaction-history view
+    def transactions_of(self, address: bytes) -> list[Receipt]:
+        self.api_calls.bump("eth_getTransactionsByAddress")
+        return self._chain.transactions_of(address)
+
+    def has_transactions(self, address: bytes) -> bool:
+        self.api_calls.bump("eth_getTransactionCountByAddress")
+        return self._chain.has_transactions(address)

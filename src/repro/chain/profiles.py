@@ -1,0 +1,62 @@
+"""Chain profiles: the §8.2 "beyond Ethereum" extension.
+
+The paper notes ProxioN can apply to other EVM chains (Arbitrum, Avalanche,
+BSC, Celo, Fantom, Optimism, Polygon) the way USCHunt did.  Nothing in the
+analyzer is Ethereum-specific — the proxy semantics are EVM semantics — so
+supporting another chain only means simulating its parameters: chain id
+(visible to contracts through ``CHAINID``), block cadence (which changes
+how block heights map to calendar time) and genesis date.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+
+def _timestamp(year: int, month: int, day: int) -> int:
+    return int(_dt.datetime(year, month, day,
+                            tzinfo=_dt.timezone.utc).timestamp())
+
+
+@dataclass(frozen=True, slots=True)
+class ChainProfile:
+    """Parameters of one EVM chain."""
+
+    name: str
+    chain_id: int
+    block_time: int              # seconds per block
+    genesis_timestamp: int
+
+    def blocks_per_year(self) -> int:
+        return (365 * 24 * 3600) // self.block_time
+
+
+ETHEREUM = ChainProfile(
+    name="ethereum", chain_id=1, block_time=13,
+    genesis_timestamp=_timestamp(2015, 7, 30))
+
+POLYGON = ChainProfile(
+    name="polygon", chain_id=137, block_time=2,
+    genesis_timestamp=_timestamp(2020, 5, 30))
+
+BSC = ChainProfile(
+    name="bsc", chain_id=56, block_time=3,
+    genesis_timestamp=_timestamp(2020, 8, 29))
+
+ARBITRUM = ChainProfile(
+    name="arbitrum", chain_id=42161, block_time=1,
+    genesis_timestamp=_timestamp(2021, 5, 28))
+
+PRESETS: dict[str, ChainProfile] = {
+    profile.name: profile
+    for profile in (ETHEREUM, POLYGON, BSC, ARBITRUM)
+}
+
+
+def get_profile(name: str) -> ChainProfile:
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ValueError(f"unknown chain profile: {name!r}; "
+                         f"known: {sorted(PRESETS)}") from None

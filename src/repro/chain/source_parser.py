@@ -1,0 +1,110 @@
+"""Parsing verified source text into the uniform ContractSource form.
+
+The paper: "To maintain a uniform format for the contract source code, we
+have developed a parser that processes the source code provided by the
+Etherscan APIs" (§5.1).  This is that parser for the Solidity subset the
+repository's contracts are written in: it extracts the contract name, the
+storage variable declarations (in order, with constancy), and canonical
+function prototypes — everything the source-based detectors consume.
+
+It is intentionally tolerant: unknown statements are skipped, comments are
+stripped, and anything that fails produces a partial record rather than an
+exception (verified mainnet source is wildly heterogeneous).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.chain.explorer import ContractSource, StorageVariableDecl
+
+_COMMENT_LINE_RE = re.compile(r"//[^\n]*")
+_COMMENT_BLOCK_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+_CONTRACT_RE = re.compile(r"\bcontract\s+(\w+)")
+_TYPE = r"(?:mapping\s*\([^)]*\)|[A-Za-z_][A-Za-z0-9_]*)"
+_VARIABLE_RE = re.compile(
+    rf"^\s*({_TYPE})\s+((?:public|private|internal|constant|immutable)\s+)*"
+    rf"(\w+)\s*(?:=[^;]+)?;",
+    re.MULTILINE)
+_FUNCTION_RE = re.compile(
+    r"\bfunction\s+(\w+)\s*\(([^)]*)\)")
+_KEYWORDS_NOT_TYPES = {
+    "function", "constructor", "fallback", "receive", "emit", "return",
+    "require", "revert", "assembly", "if", "else", "event", "modifier",
+    "using", "pragma", "import", "contract", "interface", "library",
+}
+
+
+def _strip_comments(text: str) -> str:
+    return _COMMENT_LINE_RE.sub("", _COMMENT_BLOCK_RE.sub("", text))
+
+
+def _canonical_type(type_name: str) -> str:
+    collapsed = re.sub(r"\s+", "", type_name)
+    # Solidity aliases that affect selectors.
+    if collapsed == "uint":
+        return "uint256"
+    if collapsed == "int":
+        return "int256"
+    return collapsed
+
+
+def _parse_parameters(parameter_text: str) -> list[str]:
+    types: list[str] = []
+    for chunk in parameter_text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        # "type [location] [name]" — the first token is the type.
+        tokens = chunk.split()
+        types.append(_canonical_type(tokens[0]))
+    return types
+
+
+def parse_source_text(text: str,
+                      compiler_version: str = "v0.8.21") -> ContractSource:
+    """Parse Solidity-style text into a :class:`ContractSource`."""
+    stripped = _strip_comments(text)
+
+    contract_match = _CONTRACT_RE.search(stripped)
+    contract_name = contract_match.group(1) if contract_match else "Unknown"
+
+    prototypes: list[str] = []
+    for name, parameters in _FUNCTION_RE.findall(stripped):
+        prototypes.append(f"{name}({','.join(_parse_parameters(parameters))})")
+
+    variables: list[StorageVariableDecl] = []
+    # Only declarations before the first function/constructor body are
+    # storage variables in our rendering; scan the contract header region.
+    body_start = len(stripped)
+    for marker in ("function ", "constructor", "fallback"):
+        index = stripped.find(marker)
+        if index != -1:
+            body_start = min(body_start, index)
+    header = stripped[:body_start]
+    for type_name, qualifiers, variable_name in _VARIABLE_RE.findall(header):
+        canonical = _canonical_type(type_name)
+        if canonical in _KEYWORDS_NOT_TYPES:
+            continue
+        variables.append(StorageVariableDecl(
+            name=variable_name,
+            type_name=canonical,
+            is_constant="constant" in (qualifiers or ""),
+        ))
+
+    return ContractSource(
+        contract_name=contract_name,
+        function_prototypes=tuple(prototypes),
+        storage_variables=tuple(variables),
+        text=text,
+        compiler_version=compiler_version,
+    )
+
+
+def verify_from_text(registry, address: bytes, text: str,
+                     runtime_code: bytes | None = None,
+                     compiler_version: str = "v0.8.21") -> ContractSource:
+    """Parse ``text`` and register it with a SourceRegistry in one step."""
+    source = parse_source_text(text, compiler_version)
+    registry.verify(address, source, runtime_code)
+    return source

@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``survey``         — generate a calibrated landscape, run the full sweep,
+                       print the §7 findings
+* ``accuracy``       — build the labelled corpus, print Table 2 for every tool
+* ``demo <name>``    — run a packaged attack scenario (honeypot / audius)
+* ``mine-selector``  — §2.3: mine a selector collision against a prototype
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    from repro.chain.profiles import get_profile
+    from repro.core import Proxion, ProxionOptions
+    from repro.corpus import generate_landscape
+    from repro.landscape import (
+        figure5_duplicates,
+        figure6_upgrades,
+        report_to_json,
+        table3_collisions_by_year,
+        table4_standards,
+    )
+
+    profile = get_profile(args.chain)
+    if not args.json:
+        print(f"generating {args.total} contracts on {profile.name} "
+              f"(seed={args.seed})...")
+    landscape = generate_landscape(total=args.total, seed=args.seed,
+                                   chain_profile=profile)
+    options = ProxionOptions(detect_diamonds=args.diamonds)
+    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset,
+                      options)
+    report = proxion.analyze_all()
+
+    if args.db:
+        from repro.landscape.store import ResultStore
+        with ResultStore(args.db) as store:
+            store.save_report(report)
+        if not args.json:
+            print(f"sweep persisted to {args.db}")
+
+    if args.json:
+        print(report_to_json(report))
+        return 0
+
+    proxies = report.proxies()
+    print(f"\nanalyzed {len(report)} alive contracts "
+          f"({report.emulation_failure_rate():.1%} emulation failures)")
+    print(f"proxies: {len(proxies)} ({len(proxies) / len(report):.1%}); "
+          f"hidden: {len(report.hidden_proxies())}")
+    print(f"collisions: {report.function_collision_pairs()} function / "
+          f"{report.storage_collision_pairs()} storage pairs")
+
+    print("\nstandards (Table 4):")
+    for standard, (count, share) in table4_standards(report).items():
+        print(f"  {standard:10s} {count:>6d}  {share:6.2%}")
+
+    duplicates = figure5_duplicates(report, landscape.node)
+    print(f"\nduplicates (Fig. 5): {duplicates.unique_proxies} unique proxy "
+          f"bytecodes / {duplicates.total_proxies} proxies "
+          f"(top-3: {duplicates.top_proxy_share(3):.1%})")
+
+    collisions = table3_collisions_by_year(report)
+    print(f"collision duplicate share (Table 3): "
+          f"{collisions.duplicate_share:.1%}")
+    upgrades = figure6_upgrades(report)
+    print(f"never-upgraded proxies (Fig. 6): "
+          f"{upgrades.never_upgraded_share:.1%}")
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from repro.corpus import build_accuracy_corpus
+    from repro.landscape import table2
+
+    print(f"building labelled corpus ({args.pairs} pairs per case)...")
+    corpus = build_accuracy_corpus(pairs_per_case=args.pairs, seed=args.seed)
+    print(f"{len(corpus.pairs)} labelled pairs\n")
+    for methodology in ("union", "all"):
+        print(f"--- methodology: {methodology} ---")
+        for collision_type, tools in table2(corpus,
+                                            methodology=methodology).items():
+            for tool, matrix in tools.items():
+                print(f"{collision_type:8s} {tool:8s} {matrix.row()}")
+        print()
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import importlib
+
+    module_names = {
+        "quickstart": "examples.quickstart",
+        "honeypot": "examples.honeypot_hunt",
+        "audius": "examples.audius_postmortem",
+        "monitor": "examples.live_monitor",
+        "forensics": "examples.archive_forensics",
+        "multichain": "examples.multichain_survey",
+    }
+    # The examples live next to the repository root; import by path when the
+    # package is installed elsewhere.
+    import pathlib
+    examples_dir = pathlib.Path(__file__).resolve().parents[2] / "examples"
+    if examples_dir.is_dir() and str(examples_dir.parent) not in sys.path:
+        sys.path.insert(0, str(examples_dir.parent))
+    module = importlib.import_module(module_names[args.name])
+    module.main()
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.evm.pretty import annotate
+
+    if args.hex == "-":
+        blob = sys.stdin.read().strip()
+    else:
+        blob = args.hex
+    code = bytes.fromhex(blob.removeprefix("0x"))
+    print(annotate(code))
+    return 0
+
+
+def _cmd_mine_selector(args: argparse.Namespace) -> int:
+    from repro.core.selector_miner import mine_selector
+    from repro.utils.abi import function_selector
+
+    target = function_selector(args.prototype)
+    print(f"target: 0x{target.hex()} ({args.prototype})")
+    print(f"mining a {args.bits}-bit prefix collision "
+          f"(max {args.max_attempts:,} attempts)...")
+    result = mine_selector(target, prefix_bits=args.bits,
+                           max_attempts=args.max_attempts)
+    if result.found:
+        mined = function_selector(result.prototype)
+        print(f"found {result.prototype!r} → 0x{mined.hex()} after "
+              f"{result.attempts:,} attempts in {result.seconds:.2f}s "
+              f"({result.attempts_per_second:,.0f}/s)")
+        return 0
+    print(f"not found within {result.attempts:,} attempts "
+          f"({result.attempts_per_second:,.0f}/s)")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ProxioN reproduction — hidden-proxy and collision "
+                    "analysis on a simulated Ethereum")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    survey = commands.add_parser("survey", help="landscape sweep (§7)")
+    survey.add_argument("--total", type=int, default=400)
+    survey.add_argument("--seed", type=int, default=42)
+    survey.add_argument("--diamonds", action="store_true",
+                        help="enable the §8.2 diamond extension")
+    survey.add_argument("--chain", default="ethereum",
+                        help="chain profile (ethereum/polygon/bsc/arbitrum)")
+    survey.add_argument("--json", action="store_true",
+                        help="emit the full sweep as JSON")
+    survey.add_argument("--db", default=None,
+                        help="persist the sweep to an SQLite file")
+    survey.set_defaults(func=_cmd_survey)
+
+    accuracy = commands.add_parser("accuracy", help="Table 2 scoring (§6.3)")
+    accuracy.add_argument("--pairs", type=int, default=8)
+    accuracy.add_argument("--seed", type=int, default=7)
+    accuracy.set_defaults(func=_cmd_accuracy)
+
+    demo = commands.add_parser("demo", help="run a packaged scenario")
+    demo.add_argument("name", choices=("quickstart", "honeypot", "audius",
+                                       "monitor", "forensics", "multichain"))
+    demo.set_defaults(func=_cmd_demo)
+
+    disasm = commands.add_parser("disasm",
+                                 help="annotated disassembly (Listing 3)")
+    disasm.add_argument("hex", help="runtime bytecode as hex, or '-' for stdin")
+    disasm.set_defaults(func=_cmd_disasm)
+
+    miner = commands.add_parser("mine-selector",
+                                help="selector-collision mining (§2.3)")
+    miner.add_argument("prototype",
+                       help='target prototype, e.g. "free_ether_withdrawal()"')
+    miner.add_argument("--bits", type=int, default=12)
+    miner.add_argument("--max-attempts", type=int, default=1_000_000)
+    miner.set_defaults(func=_cmd_mine_selector)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""ProxioN core: proxy detection, logic recovery, collision analysis."""
+
+from repro.core.calldata import craft_probe_calldata, craft_probe_selector
+from repro.core.function_collision import (
+    FunctionCollision,
+    FunctionCollisionDetector,
+    FunctionCollisionReport,
+)
+from repro.core.logic_finder import (
+    LogicFinder,
+    LogicHistory,
+    algorithm1_values,
+    slot_change_points,
+)
+from repro.core.emulation_fidelity import (
+    EmulationFidelityAuditor,
+    FidelityReport,
+    ReplayComparison,
+)
+from repro.core.honeypot import HoneypotClassifier, HoneypotVerdict
+from repro.core.monitor import Alert, DeploymentMonitor, MonitorStats
+from repro.core.ownership import OwnerKind, OwnershipAnalyzer, OwnershipReport
+from repro.core.pipeline import Proxion, ProxionOptions
+from repro.core.selector_miner import (
+    MiningResult,
+    estimate_full_collision_attempts,
+    mine_selector,
+    mining_rate,
+)
+from repro.core.proxy_detector import (
+    LogicLocation,
+    NotProxyReason,
+    ProxyCheck,
+    ProxyDetector,
+)
+from repro.core.report import ContractAnalysis, LandscapeReport
+from repro.core.signature_extractor import (
+    candidate_selectors,
+    dispatcher_selectors,
+)
+from repro.core.standards import ProxyStandard, classify_standard
+from repro.core.storage_collision import (
+    StorageCollision,
+    StorageCollisionDetector,
+    StorageCollisionReport,
+    StorageProfile,
+    profile_from_bytecode,
+    profile_from_source,
+)
+from repro.core.symexec import SlotKey, StorageAccess, SymbolicExecutor
+
+__all__ = [
+    "Alert",
+    "ContractAnalysis",
+    "DeploymentMonitor",
+    "EmulationFidelityAuditor",
+    "FidelityReport",
+    "MonitorStats",
+    "ReplayComparison",
+    "FunctionCollision",
+    "FunctionCollisionDetector",
+    "FunctionCollisionReport",
+    "HoneypotClassifier",
+    "HoneypotVerdict",
+    "LandscapeReport",
+    "LogicFinder",
+    "LogicHistory",
+    "LogicLocation",
+    "MiningResult",
+    "NotProxyReason",
+    "OwnerKind",
+    "OwnershipAnalyzer",
+    "OwnershipReport",
+    "ProxionOptions",
+    "Proxion",
+    "ProxyCheck",
+    "ProxyDetector",
+    "ProxyStandard",
+    "SlotKey",
+    "StorageAccess",
+    "StorageCollision",
+    "StorageCollisionDetector",
+    "StorageCollisionReport",
+    "StorageProfile",
+    "SymbolicExecutor",
+    "algorithm1_values",
+    "candidate_selectors",
+    "classify_standard",
+    "craft_probe_calldata",
+    "craft_probe_selector",
+    "dispatcher_selectors",
+    "estimate_full_collision_attempts",
+    "mine_selector",
+    "mining_rate",
+    "profile_from_bytecode",
+    "profile_from_source",
+    "slot_change_points",
+]

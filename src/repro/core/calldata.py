@@ -1,0 +1,54 @@
+"""Crafted-calldata generation for the EVM emulation step (§4.2).
+
+The proxy check must drive execution into the *fallback* function, which
+requires a 4-byte selector different from every function the contract might
+define.  Since bytecode does not say which PUSH4 operands are real
+selectors, ProxioN avoids **all** of them — the safe over-approximation.
+
+Selector choice is deterministic (seeded by the contract's code) so that
+repeated analyses of the same contract are reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.core.signature_extractor import candidate_selectors
+from repro.evm.disassembler import Disassembly
+from repro.utils.keccak import keccak256
+
+PROBE_CALLDATA_ARG_WORDS = 2
+
+
+def craft_probe_selector(code: bytes | Disassembly,
+                         avoid: set[bytes] | None = None) -> bytes:
+    """Pick a 4-byte selector avoiding every PUSH4 operand in ``code``.
+
+    Derives candidates from the code hash and walks a deterministic
+    sequence until one misses the avoid-set; with at most a few thousand
+    PUSH4 operands in 24 KiB of code, the loop terminates almost
+    immediately (the avoid-set covers < 0.0002% of the 2**32 space).
+    """
+    if avoid is None:
+        raw = code.code if isinstance(code, Disassembly) else code
+        avoid = candidate_selectors(code)
+        seed = raw
+    else:
+        seed = code.code if isinstance(code, Disassembly) else code
+    digest = keccak256(b"proxion-probe:" + seed)
+    counter = 0
+    while True:
+        candidate = keccak256(digest + counter.to_bytes(8, "big"))[:4]
+        if candidate not in avoid:
+            return candidate
+        counter += 1
+
+
+def craft_probe_calldata(code: bytes | Disassembly,
+                         avoid: set[bytes] | None = None) -> bytes:
+    """Full probe calldata: safe selector + a couple of argument words.
+
+    The argument padding keeps contracts that blindly ``CALLDATALOAD``
+    argument positions from reading past the data, reducing spurious
+    emulation failures.
+    """
+    selector = craft_probe_selector(code, avoid)
+    return selector + b"\x00" * (32 * PROBE_CALLDATA_ARG_WORDS)

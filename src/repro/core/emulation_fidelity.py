@@ -1,0 +1,145 @@
+"""Quantifying §8.1's open question: how far is emulation from reality?
+
+The paper acknowledges that "EVM emulation may inevitably yield results
+that differ from actual contract execution, although the extent of these
+discrepancies is not known."  In the simulated world we *can* measure it:
+every historical transaction's true outcome is recorded in its receipt, and
+the same calldata can be re-run under ProxioN's §4.2 emulation conditions —
+latest-block environment values, overlay state, zero value.
+
+:class:`EmulationFidelityAuditor` replays histories and scores agreement on
+three axes: success/failure verdict, output bytes, and the set of
+delegatecall targets observed.  Divergences are expected and informative:
+contracts that branch on ``NUMBER``/``TIMESTAMP`` (executed now vs then) or
+read since-changed storage genuinely behave differently under emulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.blockchain import Receipt
+from repro.chain.node import ArchiveNode
+from repro.evm.environment import ExecutionConfig, TransactionContext
+from repro.evm.interpreter import EVM, Message
+from repro.evm.state import OverlayState
+from repro.evm.tracer import CallTracer
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayComparison:
+    """One historical transaction vs its emulated replay."""
+
+    to: bytes
+    original_success: bool
+    replay_success: bool
+    output_matches: bool
+    delegate_targets_match: bool
+
+    @property
+    def verdict_matches(self) -> bool:
+        return self.original_success == self.replay_success
+
+    @property
+    def fully_faithful(self) -> bool:
+        return (self.verdict_matches and self.output_matches
+                and self.delegate_targets_match)
+
+
+@dataclass(slots=True)
+class FidelityReport:
+    """Aggregate agreement statistics."""
+
+    comparisons: list[ReplayComparison] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.comparisons)
+
+    @property
+    def verdict_agreement(self) -> float:
+        if not self.comparisons:
+            return 1.0
+        return sum(c.verdict_matches for c in self.comparisons) / self.total
+
+    @property
+    def full_fidelity(self) -> float:
+        if not self.comparisons:
+            return 1.0
+        return sum(c.fully_faithful for c in self.comparisons) / self.total
+
+    @property
+    def delegate_agreement(self) -> float:
+        if not self.comparisons:
+            return 1.0
+        return (sum(c.delegate_targets_match for c in self.comparisons)
+                / self.total)
+
+
+class EmulationFidelityAuditor:
+    """Replays recorded transactions under §4.2 emulation conditions."""
+
+    def __init__(self, node: ArchiveNode,
+                 use_historical_state: bool = False) -> None:
+        self._node = node
+        self._use_historical_state = use_historical_state
+
+    def replay(self, receipt: Receipt) -> ReplayComparison | None:
+        """Re-run one historical transaction; ``None`` for deployments."""
+        transaction = receipt.transaction
+        if transaction.to is None:
+            return None
+        chain = self._node.chain
+        if self._use_historical_state:
+            base = chain.state.view_at(receipt.block_number - 1)
+        else:
+            base = chain.state  # the §4.2 condition: current state
+        overlay = OverlayState(base)
+        tracer = CallTracer()
+        evm = EVM(
+            overlay,
+            block=chain.block_context(),   # §4.2: latest-block environment
+            tx=TransactionContext(origin=transaction.sender),
+            config=ExecutionConfig(instruction_budget=500_000),
+            tracer=tracer,
+        )
+        if transaction.value:
+            overlay.set_balance(
+                transaction.sender,
+                overlay.get_balance(transaction.sender) + transaction.value)
+        result = evm.execute(Message(
+            sender=transaction.sender,
+            to=transaction.to,
+            value=transaction.value,
+            data=transaction.data,
+            gas=transaction.gas,
+        ))
+        original_targets = {event.target for event in receipt.internal_calls
+                            if event.kind == "DELEGATECALL"}
+        replay_targets = {event.target for event in tracer.calls
+                          if event.kind == "DELEGATECALL"}
+        return ReplayComparison(
+            to=transaction.to,
+            original_success=receipt.success,
+            replay_success=result.success,
+            output_matches=(result.output == receipt.output),
+            delegate_targets_match=(original_targets == replay_targets),
+        )
+
+    def audit(self, addresses: list[bytes],
+              max_transactions: int = 500) -> FidelityReport:
+        """Replay every recorded transaction touching ``addresses``."""
+        report = FidelityReport()
+        seen = 0
+        for address in addresses:
+            for receipt in self._node.transactions_of(address):
+                if receipt.transaction.to != address:
+                    continue
+                comparison = self.replay(receipt)
+                if comparison is None:
+                    continue
+                report.comparisons.append(comparison)
+                seen += 1
+                if seen >= max_transactions:
+                    return report
+        return report

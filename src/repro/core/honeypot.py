@@ -1,0 +1,114 @@
+"""Honeypot risk classification for function collisions (§2.3).
+
+A function collision is *honeypot-shaped* when calling the colliding
+selector through the proxy routes value **away from the caller** — the
+Listing-1 trap: the logic contract advertises a payout, the proxy's
+shadowing function pockets the caller's deposit instead.
+
+Classification is behavioural, in the spirit of the rest of ProxioN: the
+colliding selector is executed through the proxy on a state overlay with a
+test deposit attached, and the balance flows are observed.  Nothing is
+published to a real chain; the overlay is discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.function_collision import FunctionCollisionReport
+from repro.evm.environment import BlockContext, ExecutionConfig, TransactionContext
+from repro.evm.interpreter import EVM, Message
+from repro.evm.state import OverlayState, StateBackend
+
+PROBE_VICTIM = bytes.fromhex("00000000000000000000000000000000000c1a00")
+PROBE_DEPOSIT = 10 ** 18  # 1 test ether
+
+
+@dataclass(frozen=True, slots=True)
+class HoneypotVerdict:
+    """Behavioural classification of one colliding selector."""
+
+    selector: bytes
+    call_succeeded: bool
+    victim_loss: int             # wei the caller lost beyond gas (>0 = trap)
+    beneficiary: bytes | None    # where the funds went, when identifiable
+
+    @property
+    def is_honeypot_shaped(self) -> bool:
+        return self.call_succeeded and self.victim_loss > 0
+
+
+class HoneypotClassifier:
+    """Executes colliding selectors through the proxy and watches the money."""
+
+    def __init__(self, state: StateBackend,
+                 block: BlockContext | None = None) -> None:
+        self._state = state
+        self._block = block or BlockContext(number=1,
+                                            timestamp=1_600_000_000)
+
+    def classify(self, proxy: bytes,
+                 report: FunctionCollisionReport) -> list[HoneypotVerdict]:
+        """One verdict per colliding selector of the pair."""
+        return [self._probe(proxy, collision.selector)
+                for collision in report.collisions]
+
+    def _probe(self, proxy: bytes, selector: bytes) -> HoneypotVerdict:
+        overlay = OverlayState(self._state)
+        overlay.set_balance(PROBE_VICTIM, 10 * PROBE_DEPOSIT)
+        balances_before = self._snapshot_balances(overlay, proxy)
+
+        evm = EVM(
+            overlay,
+            block=self._block,
+            tx=TransactionContext(origin=PROBE_VICTIM),
+            config=ExecutionConfig(instruction_budget=500_000),
+        )
+        result = evm.execute(Message(
+            sender=PROBE_VICTIM, to=proxy, data=selector + b"\x00" * 64,
+            value=PROBE_DEPOSIT, gas=5_000_000))
+
+        victim_after = overlay.get_balance(PROBE_VICTIM)
+        victim_loss = balances_before[PROBE_VICTIM] - victim_after
+        if not result.success:
+            return HoneypotVerdict(selector, False, 0, None)
+
+        beneficiary = None
+        if victim_loss > 0:
+            # Whoever gained what the victim lost (excluding the proxy
+            # itself merely holding the deposit).
+            for address in self._candidate_beneficiaries(overlay, proxy):
+                gained = (overlay.get_balance(address)
+                          - balances_before.get(address, 0))
+                if address != proxy and gained >= victim_loss:
+                    beneficiary = address
+                    break
+            if beneficiary is None and (
+                    overlay.get_balance(proxy)
+                    - balances_before.get(proxy, 0)) >= victim_loss:
+                # The proxy kept it: a deposit, not necessarily a trap.
+                return HoneypotVerdict(selector, True, 0, proxy)
+        return HoneypotVerdict(selector, True, victim_loss, beneficiary)
+
+    def _candidate_beneficiaries(self, overlay: OverlayState,
+                                 proxy: bytes) -> list[bytes]:
+        """Addresses stored in the proxy's first few slots (owner et al.)."""
+        candidates = []
+        for slot in range(4):
+            word = overlay.get_storage(proxy, slot)
+            address = (word & ((1 << 160) - 1)).to_bytes(20, "big")
+            if any(address):
+                candidates.append(address)
+        return candidates
+
+    @staticmethod
+    def _snapshot_balances(overlay: OverlayState,
+                           proxy: bytes) -> dict[bytes, int]:
+        balances = {PROBE_VICTIM: overlay.get_balance(PROBE_VICTIM),
+                    proxy: overlay.get_balance(proxy)}
+        for slot in range(4):
+            word = overlay.get_storage(proxy, slot)
+            address = (word & ((1 << 160) - 1)).to_bytes(20, "big")
+            if any(address):
+                balances[address] = overlay.get_balance(address)
+        return balances

@@ -1,0 +1,179 @@
+"""Recovering every logic contract a proxy ever delegated to (§4.3).
+
+For hard-coded (EIP-1167) proxies the single logic address is embedded in
+the bytecode.  For storage-slot proxies the history of the implementation
+slot must be recovered from the archive node.  Querying every block is
+infeasible (15M+ blocks on mainnet); the paper's Algorithm 1 binary-searches
+the slot's value between the genesis and latest blocks under the assumption
+that logic addresses are never reused — reducing the cost to ~26
+``getStorageAt`` calls per proxy (§6.1).
+
+Two variants are provided:
+
+* :func:`algorithm1_values` — the paper's Algorithm 1, returning the *set*
+  of values (blind to A→B→A reuse, a documented failure mode exercised by
+  the ablation bench);
+* :func:`slot_change_points` — an exact variant that pins down every block
+  at which the value changed, used for the upgrade census (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.node import ArchiveNode
+from repro.core.proxy_detector import LogicLocation, ProxyCheck
+from repro.utils.hexutil import ADDRESS_MASK, word_to_address
+from repro.utils.keccak import keccak256
+
+
+def algorithm1_values(node: ArchiveNode, proxy: bytes, slot: int,
+                      lower: int | None = None,
+                      upper: int | None = None) -> set[int]:
+    """Paper Algorithm 1: all values ever stored in ``slot`` of ``proxy``.
+
+    Recursive binary partition: equal endpoint values ⇒ assume the slot
+    never changed inside the range (the no-reuse assumption); otherwise
+    split and recurse.  Endpoint reads are memoized so shared boundaries
+    between sibling ranges cost one RPC, matching the efficiency the paper
+    reports.
+    """
+    lower = node.genesis_block_number if lower is None else lower
+    upper = node.latest_block_number if upper is None else upper
+    cache: dict[int, int] = {}
+
+    def read(height: int) -> int:
+        if height not in cache:
+            cache[height] = node.get_storage_at(proxy, slot, height)
+        return cache[height]
+
+    def partition(low: int, high: int) -> set[int]:
+        value_low = read(low)
+        value_high = read(high)
+        if value_low == value_high:
+            return {value_low}
+        mid = (low + high) // 2
+        return partition(low, mid) | partition(mid + 1, high)
+
+    return partition(lower, upper)
+
+
+def slot_change_points(node: ArchiveNode, proxy: bytes, slot: int,
+                       lower: int | None = None,
+                       upper: int | None = None) -> list[tuple[int, int]]:
+    """Exact change history: ``[(block, new_value), ...]`` in block order.
+
+    Same divide-and-conquer skeleton as Algorithm 1, but ranges are split
+    until each change is isolated at a single block boundary, so A→B→A
+    reuse cannot hide.
+    """
+    lower = node.genesis_block_number if lower is None else lower
+    upper = node.latest_block_number if upper is None else upper
+    cache: dict[int, int] = {}
+
+    def read(height: int) -> int:
+        if height not in cache:
+            cache[height] = node.get_storage_at(proxy, slot, height)
+        return cache[height]
+
+    changes: list[tuple[int, int]] = []
+
+    def partition(low: int, high: int) -> None:
+        if read(low) == read(high):
+            return
+        if high == low + 1:
+            changes.append((high, read(high)))
+            return
+        mid = (low + high) // 2
+        partition(low, mid)
+        partition(mid, high)
+
+    initial = read(lower)
+    if initial:
+        changes.append((lower, initial))
+    partition(lower, upper)
+    changes.sort(key=lambda change: change[0])
+    return changes
+
+
+#: keccak256("Upgraded(address)") — the EIP-1967 upgrade event topic.
+UPGRADED_EVENT_TOPIC = int.from_bytes(keccak256(b"Upgraded(address)"), "big")
+
+
+def history_from_events(node: ArchiveNode,
+                        proxy: bytes) -> list[tuple[int, bytes]]:
+    """Event-log alternative to Algorithm 1: ``(block, new_logic)`` pairs.
+
+    EIP-1967-conformant proxies emit ``Upgraded(address)`` on every
+    implementation change, so one ``eth_getLogs`` query recovers the whole
+    history — *when the proxy emits*.  Non-standard proxies (the 9.83%
+    "Others", every minimal clone, and any contract that upgrades without
+    the event) are invisible to this method, which is why ProxioN uses the
+    storage-based Algorithm 1 as its primary mechanism; see the
+    binary-search ablation bench for the comparison.
+    """
+    changes: list[tuple[int, bytes]] = []
+    for block_number, event in node.get_logs(address=proxy,
+                                             topic=UPGRADED_EVENT_TOPIC):
+        if len(event.data) >= 32:
+            word = int.from_bytes(event.data[:32], "big")
+            changes.append(
+                (block_number, word_to_address(word & ADDRESS_MASK)))
+    return changes
+
+
+@dataclass(slots=True)
+class LogicHistory:
+    """Everything recovered about a proxy's logic contracts."""
+
+    proxy: bytes
+    slot: int | None
+    logic_addresses: list[bytes] = field(default_factory=list)  # chronological
+    change_points: list[tuple[int, int]] = field(default_factory=list)
+    api_calls_used: int = 0
+
+    @property
+    def upgrade_count(self) -> int:
+        """Number of times the implementation was *changed* after first set."""
+        return max(0, len(self.change_points) - 1)
+
+    @property
+    def current_logic(self) -> bytes | None:
+        return self.logic_addresses[-1] if self.logic_addresses else None
+
+
+class LogicFinder:
+    """Resolves the full logic history for an identified proxy."""
+
+    def __init__(self, node: ArchiveNode) -> None:
+        self._node = node
+
+    def find(self, check: ProxyCheck) -> LogicHistory:
+        """Recover all logic contracts for a positive :class:`ProxyCheck`."""
+        if not check.is_proxy:
+            raise ValueError("logic recovery requires a positive proxy check")
+
+        if check.logic_location is not LogicLocation.STORAGE or check.logic_slot is None:
+            # Minimal pattern (§4.3): one hard-coded logic address forever.
+            addresses = [check.logic_address] if check.logic_address else []
+            return LogicHistory(proxy=check.address, slot=None,
+                                logic_addresses=addresses)
+
+        before = self._node.api_calls.get("eth_getStorageAt")
+        changes = slot_change_points(self._node, check.address, check.logic_slot)
+        used = self._node.api_calls.get("eth_getStorageAt") - before
+
+        addresses: list[bytes] = []
+        for _, value in changes:
+            address = word_to_address(value & ADDRESS_MASK)
+            if any(address == existing for existing in addresses):
+                continue
+            if value:
+                addresses.append(address)
+        return LogicHistory(
+            proxy=check.address,
+            slot=check.logic_slot,
+            logic_addresses=addresses,
+            change_points=changes,
+            api_calls_used=used,
+        )

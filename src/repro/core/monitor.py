@@ -1,0 +1,142 @@
+"""Continuous deployment monitoring — ProxioN as a protective service.
+
+The paper analyzes a chain snapshot; the natural production deployment is a
+*monitor* that analyzes every new contract as it lands and raises alerts
+before users interact with it (the honeypot in Listing 1 is only dangerous
+until someone flags it).  :class:`DeploymentMonitor` keeps a cursor over
+the chain, discovers contracts deployed since the last poll (external and
+factory-internal creations alike), runs the full per-contract analysis, and
+emits typed alerts:
+
+* ``hidden-proxy`` — a proxy with no source and no transactions appeared;
+* ``function-collision`` / ``honeypot`` — colliding selectors, the latter
+  when the behavioural probe sees value routed away from the caller;
+* ``storage-collision`` / ``verified-exploit`` — layout conflicts, the
+  latter with a synthesized exploit that actually fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.honeypot import HoneypotClassifier
+from repro.core.pipeline import Proxion
+from repro.core.report import ContractAnalysis
+
+
+@dataclass(frozen=True, slots=True)
+class Alert:
+    """One monitor finding."""
+
+    kind: str              # hidden-proxy | function-collision | honeypot |
+    #                        storage-collision | verified-exploit
+    address: bytes
+    block_number: int
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"[block {self.block_number}] {self.kind}: "
+                f"0x{self.address.hex()} — {self.detail}")
+
+
+@dataclass(slots=True)
+class MonitorStats:
+    """Counters across the monitor's lifetime."""
+
+    contracts_seen: int = 0
+    proxies_seen: int = 0
+    alerts: list[Alert] = field(default_factory=list)
+
+
+class DeploymentMonitor:
+    """Analyzes new deployments as blocks arrive."""
+
+    def __init__(self, proxion: Proxion,
+                 classify_honeypots: bool = True) -> None:
+        self._proxion = proxion
+        self._classify_honeypots = classify_honeypots
+        self._cursor = 0          # last processed block
+        self._seen: set[bytes] = set()
+        self.stats = MonitorStats()
+
+    # ----------------------------------------------------------------- poll
+    def poll(self) -> list[Alert]:
+        """Process blocks since the last poll; return the new alerts."""
+        chain = self._proxion.node.chain
+        latest = chain.latest_block_number
+        new_alerts: list[Alert] = []
+        for block in chain.blocks:
+            if block.number <= self._cursor or block.number > latest:
+                continue
+            for receipt in block.receipts:
+                for address in self._deployments_of(receipt):
+                    if address in self._seen:
+                        continue
+                    self._seen.add(address)
+                    new_alerts.extend(
+                        self._analyze(address, block.number))
+        self._cursor = latest
+        self.stats.alerts.extend(new_alerts)
+        return new_alerts
+
+    @staticmethod
+    def _deployments_of(receipt) -> list[bytes]:
+        deployed = []
+        if receipt.created_address is not None:
+            deployed.append(receipt.created_address)
+        deployed.extend(event.new_address
+                        for event in receipt.internal_creates)
+        return deployed
+
+    # -------------------------------------------------------------- analysis
+    def _analyze(self, address: bytes, block_number: int) -> list[Alert]:
+        self.stats.contracts_seen += 1
+        analysis = self._proxion.analyze_contract(address)
+        if not analysis.is_proxy:
+            return []
+        self.stats.proxies_seen += 1
+        alerts: list[Alert] = []
+        if analysis.is_hidden:
+            alerts.append(Alert(
+                "hidden-proxy", address, block_number,
+                f"standard={analysis.standard.value}, "
+                f"logic=0x{(analysis.check.logic_address or b'').hex()}"))
+        alerts.extend(self._collision_alerts(analysis, block_number))
+        return alerts
+
+    def _collision_alerts(self, analysis: ContractAnalysis,
+                          block_number: int) -> list[Alert]:
+        alerts: list[Alert] = []
+        for report in analysis.function_reports:
+            if not report.has_collision:
+                continue
+            selectors = ",".join("0x" + c.selector.hex()
+                                 for c in report.collisions)
+            kind = "function-collision"
+            detail = f"selectors {selectors}"
+            if self._classify_honeypots:
+                classifier = HoneypotClassifier(
+                    self._proxion.node.chain.state,
+                    self._proxion.node.chain.block_context())
+                verdicts = classifier.classify(analysis.address, report)
+                trapped = [v for v in verdicts if v.is_honeypot_shaped]
+                if trapped:
+                    kind = "honeypot"
+                    detail = (f"selector 0x{trapped[0].selector.hex()} "
+                              f"routes {trapped[0].victim_loss} wei away "
+                              f"from the caller")
+            alerts.append(Alert(kind, analysis.address, block_number, detail))
+        for report in analysis.storage_reports:
+            if not report.has_collision:
+                continue
+            if report.has_verified_exploit:
+                verified = [c for c in report.collisions if c.verified][0]
+                alerts.append(Alert(
+                    "verified-exploit", analysis.address, block_number,
+                    f"{verified.slot} clobbered via selector "
+                    f"0x{verified.exploit_selector.hex()}"))
+            else:
+                alerts.append(Alert(
+                    "storage-collision", analysis.address, block_number,
+                    f"{len(report.collisions)} conflicting slot range(s)"))
+        return alerts

@@ -1,0 +1,116 @@
+"""Upgradeability ownership analysis (the Salehi et al. study, §9.1).
+
+Two questions about each identified proxy:
+
+* **Who can upgrade it?**  The admin/owner address is read from the
+  standard slots (EIP-1967 admin slot, or the conventional owner at slot 0
+  for non-standard proxies) and classified as an EOA, a contract (e.g. a
+  multisig or governor), or absent.
+* **Is it a transparent proxy?**  OpenZeppelin's collision mitigation
+  (§3.1): the admin never reaches the fallback delegation.  Detected
+  behaviourally — re-run the §4.2 probe with the admin as sender; a proxy
+  that forwards for strangers but refuses the admin is transparent, which
+  means its function collisions are not triggerable by the admin and its
+  user-facing selectors always delegate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.chain.node import ArchiveNode
+from repro.core.calldata import craft_probe_calldata
+from repro.core.proxy_detector import LogicLocation, ProxyCheck
+from repro.evm.environment import BlockContext, ExecutionConfig, TransactionContext
+from repro.evm.interpreter import EVM, Message
+from repro.evm.state import OverlayState
+from repro.evm.tracer import CallTracer
+from repro.lang.storage_layout import EIP1967_ADMIN_SLOT
+from repro.utils.hexutil import ADDRESS_MASK, word_to_address
+
+
+class OwnerKind(enum.Enum):
+    """Who holds the upgrade authority."""
+
+    EOA = "eoa"                  # an externally owned account
+    CONTRACT = "contract"        # a contract (multisig, timelock, governor)
+    NONE = "none"                # no recognizable owner slot / zero address
+
+
+@dataclass(frozen=True, slots=True)
+class OwnershipReport:
+    """Upgrade-authority facts for one proxy."""
+
+    proxy: bytes
+    owner: bytes | None
+    owner_kind: OwnerKind
+    owner_slot: int | None
+    is_transparent: bool
+
+    @property
+    def upgradeable(self) -> bool:
+        return self.owner_kind is not OwnerKind.NONE
+
+
+class OwnershipAnalyzer:
+    """Reads admin slots and probes transparent-proxy behaviour."""
+
+    def __init__(self, node: ArchiveNode,
+                 block: BlockContext | None = None) -> None:
+        self._node = node
+        self._state = node.chain.state
+        self._block = block or node.chain.block_context()
+
+    def analyze(self, check: ProxyCheck) -> OwnershipReport:
+        if not check.is_proxy:
+            raise ValueError("ownership analysis requires a positive check")
+        owner, slot = self._find_owner(check)
+        transparent = (owner is not None
+                       and self._refuses_admin_fallback(check, owner))
+        return OwnershipReport(
+            proxy=check.address,
+            owner=owner,
+            owner_kind=self._classify(owner),
+            owner_slot=slot,
+            is_transparent=transparent,
+        )
+
+    # ------------------------------------------------------------- internals
+    def _find_owner(self, check: ProxyCheck) -> tuple[bytes | None, int | None]:
+        if check.logic_location is LogicLocation.HARDCODED:
+            # Minimal proxies are immutable: nobody can upgrade them.
+            return None, None
+        for slot in (EIP1967_ADMIN_SLOT, 0):
+            word = self._node.get_storage_at(check.address, slot)
+            address = word_to_address(word & ADDRESS_MASK)
+            if any(address) and address != check.logic_address:
+                return address, slot
+        return None, None
+
+    def _classify(self, owner: bytes | None) -> OwnerKind:
+        if owner is None or not any(owner):
+            return OwnerKind.NONE
+        if self._state.get_code(owner):
+            return OwnerKind.CONTRACT
+        return OwnerKind.EOA
+
+    def _refuses_admin_fallback(self, check: ProxyCheck,
+                                admin: bytes) -> bool:
+        """Probe the fallback as the admin: transparent proxies refuse."""
+        code = self._state.get_code(check.address)
+        probe = craft_probe_calldata(code)
+        tracer = CallTracer()
+        evm = EVM(
+            OverlayState(self._state),
+            block=self._block,
+            tx=TransactionContext(origin=admin),
+            config=ExecutionConfig(instruction_budget=500_000),
+            tracer=tracer,
+        )
+        evm.execute(Message(sender=admin, to=check.address, data=probe,
+                            gas=5_000_000))
+        forwarded = any(
+            event.kind == "DELEGATECALL" and event.input_data == probe
+            for event in tracer.calls)
+        return not forwarded

@@ -1,0 +1,226 @@
+"""The ProxioN batch pipeline: analyze every contract on a chain.
+
+Orchestrates the full §4–§5 flow per contract — two-step proxy detection,
+logic-history recovery, standard classification, function and storage
+collision checks against every historical logic contract — with the two
+scaling optimizations the paper leans on:
+
+* **proxy-check dedup by bytecode hash** (§5.1/§6.1): identical bytecode
+  yields an identical code-level verdict (is-proxy, logic location, slot),
+  so only one emulation runs per unique blob; per-instance state (the
+  current implementation address) is then recovered with a single
+  ``getStorageAt``;
+* **collision-report dedup by (proxy-code, logic-code) hash pair**: the
+  48-days-instead-of-years optimization of §6.1.
+
+The §8.2 *diamond extension* is available behind ``detect_diamonds=True``:
+selectors mined from an address's past transactions are replayed as extra
+probes, catching EIP-2535 proxies the random probe misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.chain.dataset import ContractDataset
+from repro.chain.explorer import SourceRegistry
+from repro.chain.node import ArchiveNode
+from repro.core.function_collision import FunctionCollisionDetector
+from repro.core.logic_finder import LogicFinder
+from repro.core.proxy_detector import (
+    LogicLocation,
+    ProxyCheck,
+    ProxyDetector,
+)
+from repro.core.report import ContractAnalysis, LandscapeReport
+from repro.core.standards import classify_standard
+from repro.core.storage_collision import StorageCollisionDetector
+from repro.evm.environment import BlockContext
+from repro.utils.hexutil import ADDRESS_MASK, word_to_address
+from repro.utils.keccak import keccak256
+
+
+@dataclass(slots=True)
+class ProxionOptions:
+    """Pipeline feature switches."""
+
+    detect_function_collisions: bool = True
+    detect_storage_collisions: bool = True
+    verify_storage_exploits: bool = True
+    detect_diamonds: bool = False          # the §8.2 future-work extension
+    max_diamond_probes: int = 16
+    dedup_by_code_hash: bool = True
+
+
+class Proxion:
+    """The complete analyzer, bound to an archive node."""
+
+    def __init__(self, node: ArchiveNode,
+                 registry: SourceRegistry | None = None,
+                 dataset: ContractDataset | None = None,
+                 options: ProxionOptions | None = None,
+                 chain_state=None,
+                 block: BlockContext | None = None) -> None:
+        self.node = node
+        self.registry = registry if registry is not None else SourceRegistry()
+        self.dataset = dataset
+        self.options = options or ProxionOptions()
+        # The emulator runs directly against the node's world state; an
+        # explicit state object lets tests inject alternatives.
+        self._state = chain_state if chain_state is not None else node.chain.state
+        self._block = block or node.chain.block_context()
+        self.detector = ProxyDetector(self._state, self._block)
+        self.logic_finder = LogicFinder(node)
+        self.function_detector = FunctionCollisionDetector(self.registry)
+        self.storage_detector = StorageCollisionDetector(
+            self.registry, self._state, self._block)
+        # Dedup caches (§6.1).
+        self._check_cache: dict[bytes, ProxyCheck] = {}
+        self._function_cache: dict[tuple[bytes, bytes], object] = {}
+        self._storage_cache: dict[tuple[bytes, bytes], object] = {}
+
+    # -------------------------------------------------------------- analysis
+    def check_proxy(self, address: bytes) -> ProxyCheck:
+        """Proxy-check one address, reusing verdicts for identical bytecode."""
+        code = self.node.get_code(address)
+        if not code:
+            return self.detector.check(address)
+        code_hash = keccak256(code)
+
+        if self.options.dedup_by_code_hash and code_hash in self._check_cache:
+            cached = self._check_cache[code_hash]
+            return self._instantiate_cached_check(cached, address)
+
+        extra_probes: tuple[bytes, ...] = ()
+        if self.options.detect_diamonds:
+            extra_probes = self._mine_transaction_probes(address)
+        check = self.detector.check(address, extra_probes=extra_probes)
+        if self.options.dedup_by_code_hash:
+            self._check_cache[code_hash] = check
+        return check
+
+    def _instantiate_cached_check(self, cached: ProxyCheck,
+                                  address: bytes) -> ProxyCheck:
+        """Re-point a code-level verdict at another deployment.
+
+        The code-determined parts (is-proxy, location, slot) transfer as-is;
+        the *current* logic address of a storage proxy is re-read from this
+        instance's own slot (one RPC instead of a full emulation).
+        """
+        if cached.address == address:
+            return cached
+        check = replace(cached, address=address)
+        if (cached.is_proxy
+                and cached.logic_location is LogicLocation.STORAGE
+                and cached.logic_slot is not None):
+            word = self.node.get_storage_at(address, cached.logic_slot)
+            check = replace(check,
+                            logic_address=word_to_address(word & ADDRESS_MASK))
+        return check
+
+    def _mine_transaction_probes(self, address: bytes) -> tuple[bytes, ...]:
+        """§8.2: selectors from past transactions, replayed as probes.
+
+        Two sources, mirroring the paper's proposal of "extracting all
+        registered functions from past transactions":
+
+        * the selectors of the transactions themselves, and
+        * selector-shaped *argument words* — a diamondCut/registerFacet call
+          carries the selectors being registered in its calldata, and those
+          are exactly the ones that route through the fallback.
+        """
+        candidates: list[bytes] = []
+        seen: set[bytes] = set()
+
+        def add(selector: bytes) -> None:
+            if selector not in seen and selector != b"\x00\x00\x00\x00":
+                seen.add(selector)
+                candidates.append(selector)
+
+        for receipt in self.node.transactions_of(address):
+            data = receipt.transaction.data
+            if receipt.transaction.to != address or len(data) < 4:
+                continue
+            add(data[:4])
+            arguments = data[4:]
+            for start in range(0, len(arguments) - 31, 32):
+                word = int.from_bytes(arguments[start:start + 32], "big")
+                if 0 < word < (1 << 32):
+                    add(word.to_bytes(4, "big"))
+            if len(candidates) >= self.options.max_diamond_probes:
+                break
+        return tuple(selector + b"\x00" * 64
+                     for selector in candidates[:self.options.max_diamond_probes])
+
+    def analyze_contract(self, address: bytes) -> ContractAnalysis:
+        """Full single-contract analysis (§4 + §5)."""
+        code = self.node.get_code(address)
+        analysis = ContractAnalysis(
+            address=address,
+            code_hash=keccak256(code),
+            has_source=self.registry.resolve(address, code) is not None,
+            has_transactions=self.node.has_transactions(address),
+        )
+        if self.dataset is not None and address in self.dataset:
+            record = self.dataset.get(address)
+            analysis.deploy_block = record.deploy_block
+            analysis.deploy_year = self.node.year_of(record.deploy_block)
+
+        check = self.check_proxy(address)
+        analysis.check = check
+        if not check.is_proxy:
+            return analysis
+
+        analysis.standard = classify_standard(check)
+        analysis.logic_history = self.logic_finder.find(check)
+        self._check_collisions(analysis, code)
+        return analysis
+
+    def _check_collisions(self, analysis: ContractAnalysis,
+                          proxy_code: bytes) -> None:
+        assert analysis.logic_history is not None
+        proxy_hash = analysis.code_hash
+        for logic_address in analysis.logic_history.logic_addresses:
+            logic_code = self.node.get_code(logic_address)
+            if not logic_code:
+                continue
+            logic_hash = keccak256(logic_code)
+            pair = (proxy_hash, logic_hash)
+
+            if self.options.detect_function_collisions:
+                if pair in self._function_cache:
+                    report = self._function_cache[pair]
+                else:
+                    report = self.function_detector.detect(
+                        proxy_code, logic_code,
+                        analysis.address, logic_address)
+                    self._function_cache[pair] = report
+                analysis.function_reports.append(report)  # type: ignore[arg-type]
+
+            if self.options.detect_storage_collisions:
+                if pair in self._storage_cache:
+                    report = self._storage_cache[pair]
+                else:
+                    report = self.storage_detector.detect(
+                        proxy_code, logic_code,
+                        analysis.address, logic_address,
+                        verify_exploits=self.options.verify_storage_exploits)
+                    self._storage_cache[pair] = report
+                analysis.storage_reports.append(report)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------ full sweep
+    def analyze_all(self, addresses: list[bytes] | None = None) -> LandscapeReport:
+        """Analyze every (alive) contract, like the paper's §7 sweep."""
+        if addresses is None:
+            if self.dataset is None:
+                raise ValueError("no dataset bound and no addresses given")
+            addresses = self.dataset.addresses()
+        report = LandscapeReport()
+        checks_before = len(self._check_cache)
+        for address in addresses:
+            if not self.node.is_alive(address):
+                continue  # §3.1: destroyed contracts are excluded
+            report.add(self.analyze_contract(address))
+        report.proxy_check_cache_hits = (
+            len(report.analyses) - (len(self._check_cache) - checks_before))
+        return report

@@ -1,0 +1,175 @@
+"""Two-step proxy detection (§4.1–§4.2): disassembly prefilter + emulation.
+
+Step 1 discards bytecode with no ``DELEGATECALL`` at an instruction
+boundary.  Step 2 executes the contract in an emulated EVM with crafted
+calldata whose selector avoids every PUSH4 operand, guaranteeing the
+fallback path runs.  The contract is a proxy iff a DELEGATECALL is observed
+forwarding the *received calldata unmodified* to another contract — the
+criterion that excludes library calls (§2.2) and plain-CALL forwarders.
+
+The emulation never touches real chain state: it runs on an
+:class:`~repro.evm.state.OverlayState` over the archive view.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.calldata import craft_probe_calldata
+from repro.core.signature_extractor import address_hardcoded_in
+from repro.evm.disassembler import contains_delegatecall
+from repro.evm.environment import BlockContext, ExecutionConfig, TransactionContext
+from repro.evm.interpreter import EVM, Message
+from repro.evm.state import OverlayState, StateBackend
+from repro.evm.tracer import CallTracer, CombinedTracer, StorageTracer
+from repro.utils.hexutil import address_to_word
+
+# §4.2: created contracts are parked at a fixed sentinel address during
+# emulation; collision probability with a real account is negligible.
+EMULATION_CREATE_ADDRESS = bytes.fromhex("0c0ffee00000000000000000000000000c0ffee0")
+
+# A plausible externally-owned probe sender (never the zero address, which
+# some contracts special-case).
+PROBE_SENDER = bytes.fromhex("00000000000000000000000000000000000f00d5")
+
+
+class LogicLocation(enum.Enum):
+    """Where the proxy keeps the logic contract's address."""
+
+    HARDCODED = "hardcoded"    # embedded in the bytecode (EIP-1167 style)
+    STORAGE = "storage"        # read from a storage slot
+    UNKNOWN = "unknown"
+
+
+class NotProxyReason(enum.Enum):
+    """Why a contract was rejected (or None when it is a proxy)."""
+
+    NO_CODE = "no-code"
+    NO_DELEGATECALL = "no-delegatecall"            # failed the §4.1 prefilter
+    NO_FORWARD = "no-forward"                      # ran fine, never forwarded
+    EMULATION_ERROR = "emulation-error"            # §6.2's ~1.2% failure class
+
+
+@dataclass(slots=True)
+class ProxyCheck:
+    """Outcome of one proxy detection."""
+
+    address: bytes
+    is_proxy: bool
+    reason: NotProxyReason | None = None
+    logic_address: bytes | None = None
+    logic_location: LogicLocation = LogicLocation.UNKNOWN
+    logic_slot: int | None = None
+    emulation_error: str | None = None
+    probe_calldata: bytes = b""
+
+
+class ProxyDetector:
+    """Runs the two-step check against any read-only state view."""
+
+    def __init__(self, state: StateBackend,
+                 block: BlockContext | None = None,
+                 instruction_budget: int = 500_000) -> None:
+        self._state = state
+        self._block = block or BlockContext(number=1, timestamp=1_600_000_000)
+        self._config = ExecutionConfig(
+            instruction_budget=instruction_budget,
+            fixed_create_address=EMULATION_CREATE_ADDRESS,
+        )
+
+    def check(self, address: bytes,
+              extra_probes: tuple[bytes, ...] = ()) -> ProxyCheck:
+        """Full two-step proxy check of one contract.
+
+        ``extra_probes`` implements the §8.2 diamond extension: additional
+        calldata blobs (e.g. selectors mined from past transactions) tried
+        when the random-selector probe does not reach a delegatecall —
+        diamonds only delegate for *registered* selectors.
+        """
+        code = self._state.get_code(address)
+        if not code:
+            return ProxyCheck(address, False, NotProxyReason.NO_CODE)
+
+        # Step 1 (§4.1): cheap disassembly prefilter.
+        if not contains_delegatecall(code):
+            return ProxyCheck(address, False, NotProxyReason.NO_DELEGATECALL)
+
+        result = self._emulate(address, code, craft_probe_calldata(code))
+        if result.is_proxy:
+            return result
+        for probe in extra_probes:
+            retry = self._emulate(address, code, probe)
+            if retry.is_proxy:
+                return retry
+        return result
+
+    def _emulate(self, address: bytes, code: bytes, probe: bytes) -> ProxyCheck:
+        """Step 2 (§4.2): emulate one probe and classify the outcome."""
+        call_tracer = CallTracer()
+        storage_tracer = StorageTracer()
+        overlay = OverlayState(self._state)
+        evm = EVM(
+            overlay,
+            block=self._block,
+            tx=TransactionContext(origin=PROBE_SENDER),
+            config=self._config,
+            tracer=CombinedTracer(tracers=[call_tracer, storage_tracer]),
+        )
+        result = evm.execute(Message(
+            sender=PROBE_SENDER, to=address, data=probe, gas=10_000_000))
+
+        forwarding_event = self._find_forwarding_delegatecall(
+            call_tracer, address, probe)
+        if forwarding_event is None:
+            # No qualifying forward: distinguish clean negatives from
+            # emulation failures (reverts are *clean*: the contract chose
+            # to reject the probe, e.g. a diamond with no matching facet).
+            if result.success or result.error == "revert":
+                return ProxyCheck(address, False, NotProxyReason.NO_FORWARD,
+                                  probe_calldata=probe)
+            return ProxyCheck(address, False, NotProxyReason.EMULATION_ERROR,
+                              emulation_error=result.error, probe_calldata=probe)
+
+        logic_address = forwarding_event.target
+        location, slot = self._locate_logic_address(
+            code, address, logic_address, storage_tracer, forwarding_event.pc)
+        return ProxyCheck(
+            address=address,
+            is_proxy=True,
+            logic_address=logic_address,
+            logic_location=location,
+            logic_slot=slot,
+            probe_calldata=probe,
+        )
+
+    @staticmethod
+    def _find_forwarding_delegatecall(call_tracer: CallTracer, address: bytes,
+                                      probe: bytes):
+        """The first DELEGATECALL by ``address`` forwarding the probe."""
+        for event in call_tracer.calls:
+            if (event.kind == "DELEGATECALL"
+                    and event.caller_storage_address == address
+                    and event.input_data == probe):
+                return event
+        return None
+
+    @staticmethod
+    def _locate_logic_address(code: bytes, address: bytes, logic: bytes,
+                              storage_tracer: StorageTracer,
+                              call_pc: int) -> tuple[LogicLocation, int | None]:
+        """Classify where the logic address came from (§4.3).
+
+        A storage slot whose loaded value equals the delegatecall target
+        identifies the implementation slot; otherwise a 20-byte bytecode
+        match marks the minimal (hard-coded) pattern.
+        """
+        logic_word = address_to_word(logic)
+        for event in storage_tracer.events:
+            if (event.kind == "SLOAD"
+                    and event.storage_address == address
+                    and event.value & ((1 << 160) - 1) == logic_word):
+                return LogicLocation.STORAGE, event.slot
+        if address_hardcoded_in(code, logic):
+            return LogicLocation.HARDCODED, None
+        return LogicLocation.UNKNOWN, None

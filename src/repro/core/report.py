@@ -1,0 +1,102 @@
+"""Result records for single contracts and whole-landscape sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.function_collision import FunctionCollisionReport
+from repro.core.logic_finder import LogicHistory
+from repro.core.proxy_detector import NotProxyReason, ProxyCheck
+from repro.core.standards import ProxyStandard
+from repro.core.storage_collision import StorageCollisionReport
+
+
+@dataclass(slots=True)
+class ContractAnalysis:
+    """Everything ProxioN learned about one contract."""
+
+    address: bytes
+    code_hash: bytes
+    has_source: bool = False
+    has_transactions: bool = False
+    deploy_block: int | None = None
+    deploy_year: int | None = None
+    check: ProxyCheck | None = None
+    standard: ProxyStandard | None = None
+    logic_history: LogicHistory | None = None
+    function_reports: list[FunctionCollisionReport] = field(default_factory=list)
+    storage_reports: list[StorageCollisionReport] = field(default_factory=list)
+
+    @property
+    def is_proxy(self) -> bool:
+        return bool(self.check and self.check.is_proxy)
+
+    @property
+    def is_hidden(self) -> bool:
+        """No source *and* no past transactions — the paper's novel class."""
+        return not self.has_source and not self.has_transactions
+
+    @property
+    def has_function_collision(self) -> bool:
+        return any(report.has_collision for report in self.function_reports)
+
+    @property
+    def has_storage_collision(self) -> bool:
+        return any(report.has_collision for report in self.storage_reports)
+
+    @property
+    def has_verified_storage_exploit(self) -> bool:
+        return any(report.has_verified_exploit for report in self.storage_reports)
+
+    @property
+    def emulation_failed(self) -> bool:
+        return bool(self.check
+                    and self.check.reason is NotProxyReason.EMULATION_ERROR)
+
+
+@dataclass(slots=True)
+class LandscapeReport:
+    """Aggregate of a full analysis sweep (§7)."""
+
+    analyses: dict[bytes, ContractAnalysis] = field(default_factory=dict)
+    proxy_check_cache_hits: int = 0
+    collision_cache_hits: int = 0
+
+    def add(self, analysis: ContractAnalysis) -> None:
+        self.analyses[analysis.address] = analysis
+
+    # ------------------------------------------------------------- counters
+    def __len__(self) -> int:
+        return len(self.analyses)
+
+    def proxies(self) -> list[ContractAnalysis]:
+        return [a for a in self.analyses.values() if a.is_proxy]
+
+    def hidden_proxies(self) -> list[ContractAnalysis]:
+        return [a for a in self.proxies() if a.is_hidden]
+
+    def function_collision_pairs(self) -> int:
+        return sum(
+            sum(1 for report in a.function_reports if report.has_collision)
+            for a in self.analyses.values()
+        )
+
+    def storage_collision_pairs(self) -> int:
+        return sum(
+            sum(1 for report in a.storage_reports if report.has_collision)
+            for a in self.analyses.values()
+        )
+
+    def emulation_failure_rate(self) -> float:
+        total = len(self.analyses)
+        if not total:
+            return 0.0
+        failures = sum(1 for a in self.analyses.values() if a.emulation_failed)
+        return failures / total
+
+    def standards_census(self) -> dict[ProxyStandard, int]:
+        census: dict[ProxyStandard, int] = {}
+        for analysis in self.proxies():
+            if analysis.standard is not None:
+                census[analysis.standard] = census.get(analysis.standard, 0) + 1
+        return census

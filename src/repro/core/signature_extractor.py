@@ -1,0 +1,79 @@
+"""Function-signature extraction from bytecode (§5.1).
+
+Two different over-/under-approximations are needed, and the distinction is
+load-bearing for the paper's accuracy claims:
+
+* :func:`candidate_selectors` — *every* 4-byte word following a PUSH4.  An
+  over-approximation (PUSH4 immediates can be arbitrary data) that is only
+  safe to use negatively: the crafted emulation calldata must avoid all of
+  them so the fallback is guaranteed to run (§4.2).
+* :func:`dispatcher_selectors` — only PUSH4 operands that sit inside a
+  dispatcher comparison (``DUP1 PUSH4 sig EQ <dest> JUMPI`` or the
+  Vyper-style ``PUSH4 sig EQ``/``SUB``-chain shapes).  This is the precise
+  set used for *function collision* detection, the capability no prior
+  bytecode tool had (Table 1).
+"""
+
+from __future__ import annotations
+
+from repro.evm import opcodes as op
+from repro.evm.disassembler import Disassembly, disassemble
+
+
+def candidate_selectors(code: bytes | Disassembly) -> set[bytes]:
+    """All 4-byte PUSH4 operands: the avoid-set for crafted calldata."""
+    disassembly = code if isinstance(code, Disassembly) else disassemble(code)
+    return set(disassembly.push4_operands())
+
+
+def dispatcher_selectors(code: bytes | Disassembly) -> set[bytes]:
+    """Selectors that are actually compared-and-jumped on by a dispatcher.
+
+    Implements the paper's pattern search: a PUSH4 whose value feeds an
+    ``EQ`` (or ``SUB``+``ISZERO``) that guards a ``JUMPI`` is a function
+    selector; any other PUSH4 operand is treated as data.  A small window
+    of stack-neutral opcodes (DUPs, SWAPs, PUSH2 jump targets) is allowed
+    between the pattern elements to cover compiler variations.
+    """
+    disassembly = code if isinstance(code, Disassembly) else disassemble(code)
+    instructions = disassembly.instructions
+    selectors: set[bytes] = set()
+
+    for index, instruction in enumerate(instructions):
+        if instruction.opcode.immediate_size != 4 or len(instruction.operand) != 4:
+            continue
+        # Scan a short forward window for the comparison + conditional jump.
+        saw_comparison = False
+        for lookahead in instructions[index + 1:index + 6]:
+            value = lookahead.opcode.value
+            if value in (op.EQ, op.SUB, op.XOR):
+                saw_comparison = True
+            elif value == op.JUMPI and saw_comparison:
+                selectors.add(instruction.operand)
+                break
+            elif value == op.JUMP or lookahead.opcode.is_terminator:
+                break
+            elif not (lookahead.opcode.is_dup or lookahead.opcode.is_swap
+                      or lookahead.opcode.is_push or value == op.ISZERO):
+                break
+    return selectors
+
+
+def extract_push20_addresses(code: bytes | Disassembly) -> set[bytes]:
+    """All 20-byte PUSH20 operands — candidate hard-coded addresses."""
+    disassembly = code if isinstance(code, Disassembly) else disassemble(code)
+    return {
+        instruction.operand
+        for instruction in disassembly.instructions
+        if instruction.opcode.immediate_size == 20 and len(instruction.operand) == 20
+    }
+
+
+def address_hardcoded_in(code: bytes, address: bytes) -> bool:
+    """Is ``address`` embedded in the bytecode (minimal-proxy style, §4.3)?
+
+    A raw substring check suffices: EIP-1167 embeds the address behind a
+    PUSH20, and any 20-byte match is overwhelmingly unlikely to be
+    coincidental.
+    """
+    return address in code

@@ -1,0 +1,42 @@
+"""Proxy design-standard classification (Table 4).
+
+Standards are distinguished by where the logic contract's address lives:
+
+* **EIP-1167** (minimal): hard-coded in the bytecode, no storage slot;
+* **EIP-1822** (UUPS): the slot ``keccak256("PROXIABLE")``;
+* **EIP-1967**: the slot ``keccak256("eip1967.proxy.implementation") - 1``;
+* **OTHER**: any other storage slot (non-standard proxies, 9.83% on
+  mainnet per the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.proxy_detector import LogicLocation, ProxyCheck
+from repro.lang.storage_layout import (
+    EIP1822_PROXIABLE_SLOT,
+    EIP1967_IMPLEMENTATION_SLOT,
+)
+
+
+class ProxyStandard(enum.Enum):
+    """The design standards the paper's Table 4 partitions proxies into."""
+
+    EIP1167 = "EIP-1167"
+    EIP1822 = "EIP-1822"
+    EIP1967 = "EIP-1967"
+    OTHER = "Others"
+
+
+def classify_standard(check: ProxyCheck) -> ProxyStandard:
+    """Assign a positive proxy check to its design standard."""
+    if not check.is_proxy:
+        raise ValueError("cannot classify a non-proxy")
+    if check.logic_location is LogicLocation.HARDCODED:
+        return ProxyStandard.EIP1167
+    if check.logic_slot == EIP1822_PROXIABLE_SLOT:
+        return ProxyStandard.EIP1822
+    if check.logic_slot == EIP1967_IMPLEMENTATION_SLOT:
+        return ProxyStandard.EIP1967
+    return ProxyStandard.OTHER

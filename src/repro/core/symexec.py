@@ -1,0 +1,524 @@
+"""Bounded symbolic execution of runtime bytecode (the CRUSH engine, §5.2).
+
+The storage-collision detector needs, for each contract, the set of storage
+accesses with
+
+* the **slot** being touched (a constant, or ``keccak256(key ++ base)`` for
+  mappings — the *program slice* that computes the slot is interpreted
+  symbolically),
+* the **byte range** inside the slot (recovered from the shift/mask
+  read-modify-write idiom the compiler emits for packed variables — this is
+  how variable *sizes*, and hence types, are deduced from bytecode),
+* which **function** (dispatcher selector) performs the access, and
+* whether the access sits behind a **caller guard** (``msg.sender == slot``
+  comparison), CRUSH's signal for sensitive, access-controlled slots.
+
+The executor forks on symbolic branches with path/step budgets; compiled
+dispatcher code is loop-free, so modest budgets give full coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.evm import opcodes as op
+from repro.evm.disassembler import Disassembly, disassemble
+from repro.utils.hexutil import WORD_MASK
+
+# ------------------------------------------------------------- slot keys
+CONCRETE = "concrete"
+MAPPING = "mapping"
+SYMBOLIC = "symbolic"
+
+
+@dataclass(frozen=True, slots=True)
+class SlotKey:
+    """Identifies a storage slot family."""
+
+    kind: str              # CONCRETE | MAPPING | SYMBOLIC
+    base: int = 0          # slot number (concrete) or mapping marker slot
+
+    @classmethod
+    def concrete(cls, slot: int) -> "SlotKey":
+        return cls(CONCRETE, slot)
+
+    @classmethod
+    def mapping(cls, marker_slot: int) -> "SlotKey":
+        return cls(MAPPING, marker_slot)
+
+    @classmethod
+    def symbolic(cls) -> "SlotKey":
+        return cls(SYMBOLIC)
+
+    def __str__(self) -> str:
+        if self.kind == CONCRETE:
+            return f"slot[{self.base}]"
+        if self.kind == MAPPING:
+            return f"mapping@{self.base}"
+        return "slot[?]"
+
+
+# ---------------------------------------------------------- symbolic values
+@dataclass(frozen=True, slots=True)
+class Value:
+    """A (possibly symbolic) 256-bit value.
+
+    ``concrete`` is the integer when known.  ``origin`` tags interesting
+    provenance ("caller", "selector", "sload", "hash", ...).  SLOAD-derived
+    values carry their access record index so shift/mask refinements can be
+    attributed back to the originating read.
+    """
+
+    concrete: int | None = None
+    origin: str = "unknown"
+    access_index: int = -1      # index into the trace's access list
+    shift: int = 0              # accumulated right-shift (sload-derived)
+    slot: SlotKey | None = None  # for hash values used as slots
+    selector_value: int = -1    # for selector==const comparison booleans
+    mask: int | None = None     # raw AND mask applied to an sload value
+
+    @property
+    def is_concrete(self) -> bool:
+        return self.concrete is not None
+
+
+def _const(value: int) -> Value:
+    return Value(concrete=value & WORD_MASK, origin="const")
+
+
+_ZERO = _const(0)
+_UNKNOWN = Value()
+
+
+def _contiguous_mask_range(mask: int) -> tuple[int, int] | None:
+    """Decompose a contiguous bit mask into (byte_offset, byte_size)."""
+    if mask <= 0:
+        return None
+    low_zeros = (mask & -mask).bit_length() - 1
+    shifted = mask >> low_zeros
+    if shifted & (shifted + 1):
+        return None  # not contiguous
+    if low_zeros % 8:
+        return None
+    width = shifted.bit_length()
+    if width % 8:
+        return None
+    return low_zeros // 8, width // 8
+
+
+# ------------------------------------------------------------ access record
+@dataclass(slots=True)
+class StorageAccess:
+    """One SLOAD/SSTORE discovered by symbolic execution."""
+
+    kind: str                  # "read" | "write"
+    slot: SlotKey
+    offset: int = 0            # byte offset within the slot
+    size: int = 32             # byte width accessed
+    selector: bytes | None = None   # dispatcher branch (None = fallback path)
+    guarded: bool = False      # behind a msg.sender == <slot> comparison
+    compared_to_caller: bool = False  # the loaded value itself guards access
+    pc: int = 0
+    # Read-modify-write bookkeeping: a read that only preserves the bytes
+    # around a packed write records the byte range being cleared and is
+    # excluded from semantic profiles.
+    rmw_helper: bool = False
+    cleared_offset: int | None = None
+    cleared_size: int | None = None
+
+    @property
+    def byte_range(self) -> tuple[int, int]:
+        return self.offset, self.offset + self.size
+
+    def overlaps(self, other: "StorageAccess") -> bool:
+        if self.slot != other.slot:
+            return False
+        return (self.offset < other.offset + other.size
+                and other.offset < self.offset + self.size)
+
+
+@dataclass(slots=True)
+class _PathState:
+    pc: int
+    stack: list[Value]
+    memory: dict[int, Value]
+    selector: bytes | None
+    guarded: bool
+    steps: int
+
+
+@dataclass(slots=True)
+class SymbolicSummary:
+    """All storage accesses reachable in a contract's runtime code."""
+
+    accesses: list[StorageAccess] = field(default_factory=list)
+    paths_explored: int = 0
+    paths_truncated: int = 0
+
+    def reads(self) -> list[StorageAccess]:
+        return [a for a in self.accesses if a.kind == "read"]
+
+    def semantic_accesses(self) -> list[StorageAccess]:
+        """Accesses minus RMW preserve-reads (mechanical, not type-bearing)."""
+        return [a for a in self.accesses if not a.rmw_helper]
+
+    def writes(self) -> list[StorageAccess]:
+        return [a for a in self.accesses if a.kind == "write"]
+
+    def slots(self) -> set[SlotKey]:
+        return {a.slot for a in self.accesses}
+
+    def sensitive_slots(self) -> set[SlotKey]:
+        """Slots whose value is compared against msg.sender (access control)."""
+        return {a.slot for a in self.accesses if a.compared_to_caller}
+
+    def accesses_for_slot(self, slot: SlotKey) -> list[StorageAccess]:
+        return [a for a in self.accesses if a.slot == slot]
+
+
+class SymbolicExecutor:
+    """Explores a contract's runtime code and summarizes storage behaviour."""
+
+    def __init__(self, max_paths: int = 256, max_steps_per_path: int = 6000) -> None:
+        self._max_paths = max_paths
+        self._max_steps = max_steps_per_path
+
+    def summarize(self, code: bytes | Disassembly) -> SymbolicSummary:
+        disassembly = code if isinstance(code, Disassembly) else disassemble(code)
+        raw = disassembly.code
+        jumpdests = disassembly.jumpdests
+        instructions = {inst.offset: inst for inst in disassembly.instructions}
+
+        summary = SymbolicSummary()
+        worklist: list[_PathState] = [
+            _PathState(pc=0, stack=[], memory={}, selector=None,
+                       guarded=False, steps=0)
+        ]
+        while worklist and summary.paths_explored < self._max_paths:
+            state = worklist.pop()
+            summary.paths_explored += 1
+            self._run_path(state, raw, instructions, jumpdests, summary, worklist)
+        if worklist:
+            summary.paths_truncated += len(worklist)
+        return summary
+
+    # ------------------------------------------------------------ execution
+    def _run_path(self, state: _PathState, code: bytes, instructions: dict,
+                  jumpdests: frozenset[int], summary: SymbolicSummary,
+                  worklist: list[_PathState]) -> None:
+        stack = state.stack
+
+        def pop() -> Value:
+            return stack.pop() if stack else _UNKNOWN
+
+        def popn(count: int) -> list[Value]:
+            return [pop() for _ in range(count)]
+
+        def push(value: Value) -> None:
+            if len(stack) < 1024:
+                stack.append(value)
+
+        while state.pc < len(code) and state.steps < self._max_steps:
+            state.steps += 1
+            instruction = instructions.get(state.pc)
+            if instruction is None:
+                return  # fell into a data region
+            opcode = instruction.opcode
+            value = opcode.value
+            next_pc = instruction.next_offset
+
+            if opcode.is_push:
+                pushed = _const(instruction.operand_int)
+                if value == op.PUSH0:
+                    pushed = _ZERO
+                push(pushed)
+            elif opcode.is_dup:
+                depth = value - 0x7F
+                if len(stack) < depth:
+                    return
+                push(stack[-depth])
+            elif opcode.is_swap:
+                depth = value - 0x8F
+                if len(stack) < depth + 1:
+                    return
+                stack[-1], stack[-depth - 1] = stack[-depth - 1], stack[-1]
+            elif value == op.JUMP:
+                target = pop()
+                if not target.is_concrete or target.concrete not in jumpdests:
+                    return
+                state.pc = target.concrete
+                continue
+            elif value == op.JUMPI:
+                target, condition = pop(), pop()
+                if not target.is_concrete or target.concrete not in jumpdests:
+                    if condition.is_concrete and not condition.concrete:
+                        state.pc = next_pc
+                        continue
+                    return
+                if condition.is_concrete:
+                    state.pc = target.concrete if condition.concrete else next_pc
+                    continue
+                # Symbolic branch: fork.  Selector comparisons bind the
+                # taken branch to that function; caller-guard comparisons
+                # mark the authorized (taken) branch as guarded.
+                taken = _PathState(
+                    pc=target.concrete,
+                    stack=list(stack),
+                    memory=dict(state.memory),
+                    selector=state.selector,
+                    guarded=state.guarded,
+                    steps=state.steps,
+                )
+                if condition.origin == "selector_eq":
+                    taken.selector = condition.selector_value.to_bytes(4, "big")
+                if condition.origin == "caller_eq_slot":
+                    taken.guarded = True
+                worklist.append(taken)
+                state.pc = next_pc
+                continue
+            elif value in (op.STOP, op.RETURN, op.REVERT, op.SELFDESTRUCT,
+                           op.INVALID):
+                return
+            elif value == op.SLOAD:
+                slot_value = pop()
+                slot_key = self._slot_key(slot_value)
+                access = StorageAccess(
+                    kind="read", slot=slot_key, selector=state.selector,
+                    guarded=state.guarded, pc=state.pc)
+                summary.accesses.append(access)
+                push(Value(origin="sload",
+                           access_index=len(summary.accesses) - 1))
+            elif value == op.SSTORE:
+                slot_value, stored = pop(), pop()
+                slot_key = self._slot_key(slot_value)
+                offset, size = self._infer_write_range(stored, slot_key, summary)
+                summary.accesses.append(StorageAccess(
+                    kind="write", slot=slot_key, offset=offset, size=size,
+                    selector=state.selector, guarded=state.guarded,
+                    pc=state.pc))
+            else:
+                self._step_data(value, instruction, state, pop, popn, push,
+                                summary)
+            state.pc = next_pc
+
+    # ------------------------------------------------------- data operations
+    def _step_data(self, value: int, instruction, state: _PathState,
+                   pop, popn, push, summary: SymbolicSummary) -> None:
+        if value == op.CALLDATALOAD:
+            offset = pop()
+            if offset.is_concrete and offset.concrete == 0:
+                push(Value(origin="calldata0"))
+            else:
+                push(_UNKNOWN)
+        elif value == op.SHR:
+            shift, operand = pop(), pop()
+            push(self._shift_right(shift, operand, summary))
+        elif value == op.AND:
+            a, b = pop(), pop()
+            push(self._bitwise_and(a, b, summary))
+        elif value == op.EQ:
+            a, b = pop(), pop()
+            push(self._compare_eq(a, b, summary))
+        elif value == op.ISZERO:
+            operand = pop()
+            if operand.is_concrete:
+                push(_const(int(operand.concrete == 0)))
+            elif operand.origin == "selector_xor":
+                # The Vyper-style dispatcher: ISZERO(selector XOR sig).
+                push(Value(origin="selector_eq",
+                           selector_value=operand.selector_value))
+            elif operand.origin in ("selector_eq", "caller_eq_slot"):
+                # Propagate the comparison through negation (require(!..)).
+                push(operand)
+            else:
+                push(_UNKNOWN)
+        elif value == op.CALLER:
+            push(Value(origin="caller"))
+        elif value == op.MSTORE:
+            offset, word = pop(), pop()
+            if offset.is_concrete:
+                state.memory[offset.concrete] = word
+        elif value == op.MLOAD:
+            offset = pop()
+            if offset.is_concrete and offset.concrete in state.memory:
+                push(state.memory[offset.concrete])
+            else:
+                push(_UNKNOWN)
+        elif value == op.KECCAK256:
+            offset, size = pop(), pop()
+            push(self._keccak_value(offset, size, state))
+        elif value == op.XOR:
+            a, b = pop(), pop()
+            selector, const = (a, b) if a.origin == "selector" else (b, a)
+            if selector.origin == "selector" and const.is_concrete:
+                push(Value(origin="selector_xor",
+                           selector_value=const.concrete))
+            elif a.is_concrete and b.is_concrete:
+                push(_const(a.concrete ^ b.concrete))
+            else:
+                push(_UNKNOWN)
+        elif value == op.OR:
+            a, b = pop(), pop()
+            self._mark_rmw(a, summary)
+            self._mark_rmw(b, summary)
+            if a.is_concrete and b.is_concrete:
+                push(_const(a.concrete | b.concrete))
+            else:
+                push(_UNKNOWN)
+        elif value in (op.CALL, op.CALLCODE):
+            popn(7)
+            push(_UNKNOWN)
+        elif value in (op.DELEGATECALL, op.STATICCALL):
+            popn(6)
+            push(_UNKNOWN)
+        elif value == op.CREATE:
+            popn(3)
+            push(_UNKNOWN)
+        elif value == op.CREATE2:
+            popn(4)
+            push(_UNKNOWN)
+        else:
+            opcode = op.OPCODES[value]
+            inputs = [pop() for _ in range(opcode.stack_inputs)]
+            for _ in range(opcode.stack_outputs):
+                push(self._fold_arith(value, inputs))
+
+    # ----------------------------------------------------------- refinements
+    @staticmethod
+    def _slot_key(slot_value: Value) -> SlotKey:
+        if slot_value.is_concrete:
+            return SlotKey.concrete(slot_value.concrete)
+        if slot_value.origin == "hash" and slot_value.slot is not None:
+            return slot_value.slot
+        return SlotKey.symbolic()
+
+    @staticmethod
+    def _shift_right(shift: Value, operand: Value,
+                     summary: SymbolicSummary) -> Value:
+        if shift.is_concrete and operand.is_concrete:
+            result = operand.concrete >> shift.concrete if shift.concrete < 256 else 0
+            return _const(result)
+        if shift.is_concrete and operand.origin == "calldata0" and shift.concrete == 0xE0:
+            return Value(origin="selector")
+        if shift.is_concrete and operand.origin == "sload":
+            # Track the packed-variable extraction shift on the read record.
+            if 0 <= operand.access_index < len(summary.accesses):
+                return replace(operand, shift=operand.shift + shift.concrete)
+        return _UNKNOWN
+
+    @staticmethod
+    def _bitwise_and(a: Value, b: Value, summary: SymbolicSummary) -> Value:
+        if a.is_concrete and b.is_concrete:
+            return _const(a.concrete & b.concrete)
+        sload, mask = (a, b) if a.origin == "sload" else (b, a)
+        if sload.origin == "sload" and mask.is_concrete:
+            if not 0 <= sload.access_index < len(summary.accesses):
+                return sload
+            access = summary.accesses[sload.access_index]
+            decomposed = _contiguous_mask_range(mask.concrete)
+            if decomposed is not None:
+                # Provisionally a plain packed read.  If this value later
+                # feeds an OR (the RMW combine), _mark_rmw reinterprets the
+                # mask as a clear mask instead — both readings are
+                # contiguous when the variable touches a slot edge, and
+                # only the dataflow disambiguates them.
+                access.offset = sload.shift // 8 + decomposed[0]
+                access.size = decomposed[1]
+            else:
+                cleared = _contiguous_mask_range(mask.concrete ^ WORD_MASK)
+                if cleared is not None:
+                    access.rmw_helper = True
+                    access.cleared_offset, access.cleared_size = cleared
+            return replace(sload, mask=mask.concrete)
+        return _UNKNOWN
+
+    @staticmethod
+    def _mark_rmw(operand: Value, summary: SymbolicSummary) -> None:
+        """An sload value feeding an OR is the preserve side of an RMW
+        combine: reinterpret its AND mask as a *clear* mask."""
+        if (operand.origin != "sload" or operand.mask is None
+                or not 0 <= operand.access_index < len(summary.accesses)):
+            return
+        cleared = _contiguous_mask_range(operand.mask ^ WORD_MASK)
+        if cleared is None:
+            return
+        access = summary.accesses[operand.access_index]
+        access.rmw_helper = True
+        access.cleared_offset, access.cleared_size = cleared
+        access.offset, access.size = 0, 32  # undo the provisional read range
+
+    @staticmethod
+    def _compare_eq(a: Value, b: Value, summary: SymbolicSummary) -> Value:
+        if a.is_concrete and b.is_concrete:
+            return _const(int(a.concrete == b.concrete))
+        selector, const = (a, b) if a.origin == "selector" else (b, a)
+        if selector.origin == "selector" and const.is_concrete:
+            return Value(origin="selector_eq", selector_value=const.concrete)
+        caller, loaded = (a, b) if a.origin == "caller" else (b, a)
+        if caller.origin == "caller" and loaded.origin == "sload":
+            if 0 <= loaded.access_index < len(summary.accesses):
+                summary.accesses[loaded.access_index].compared_to_caller = True
+            return Value(origin="caller_eq_slot")
+        return _UNKNOWN
+
+    @staticmethod
+    def _keccak_value(offset: Value, size: Value, state: _PathState) -> Value:
+        """Recognize the Solidity mapping idiom keccak(mem[0:64])."""
+        if (offset.is_concrete and size.is_concrete and size.concrete == 64):
+            marker = state.memory.get(offset.concrete + 32)
+            if marker is not None and marker.is_concrete:
+                return Value(origin="hash",
+                             slot=SlotKey.mapping(marker.concrete))
+        return Value(origin="hash", slot=SlotKey.symbolic())
+
+    @staticmethod
+    def _fold_arith(opcode_value: int, inputs: list[Value]) -> Value:
+        """Constant-fold the plain arithmetic/comparison opcodes."""
+        if not inputs or not all(item.is_concrete for item in inputs):
+            return _UNKNOWN
+        values = [item.concrete for item in inputs]
+        try:
+            if opcode_value == op.ADD:
+                return _const(values[0] + values[1])
+            if opcode_value == op.SUB:
+                return _const(values[0] - values[1])
+            if opcode_value == op.MUL:
+                return _const(values[0] * values[1])
+            if opcode_value == op.DIV:
+                return _const(values[0] // values[1] if values[1] else 0)
+            if opcode_value == op.OR:
+                return _const(values[0] | values[1])
+            if opcode_value == op.XOR:
+                return _const(values[0] ^ values[1])
+            if opcode_value == op.NOT:
+                return _const(values[0] ^ WORD_MASK)
+            if opcode_value == op.LT:
+                return _const(int(values[0] < values[1]))
+            if opcode_value == op.GT:
+                return _const(int(values[0] > values[1]))
+            if opcode_value == op.SHL:
+                return _const(values[1] << values[0] if values[0] < 256 else 0)
+        except (IndexError, OverflowError):
+            return _UNKNOWN
+        return _UNKNOWN
+
+    def _infer_write_range(self, stored: Value, slot_key: SlotKey,
+                           summary: SymbolicSummary) -> tuple[int, int]:
+        """Infer the byte range of an SSTORE from the RMW idiom.
+
+        A packed write stores ``(old & clear_mask) | (new << shift)``; the
+        preceding read of the same slot with a recorded clear mask tells us
+        which bytes the compiler preserved.  The most recent read of the
+        same slot whose mask decomposition *failed* (clear masks are
+        non-contiguous complements) is matched by slot identity instead:
+        we look for the latest read of this slot and use the complement of
+        its preserved range when available.
+        """
+        del stored  # range inference keys off the paired read, below
+        for access in reversed(summary.accesses):
+            if access.kind != "read" or access.slot != slot_key:
+                continue
+            if access.rmw_helper and access.cleared_offset is not None:
+                return access.cleared_offset, access.cleared_size or 32
+            break
+        return 0, 32

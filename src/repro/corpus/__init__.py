@@ -1,0 +1,27 @@
+"""Synthetic landscape + ground-truth corpora with paper-calibrated shapes."""
+
+from repro.corpus.generator import (
+    ContractTruth,
+    Landscape,
+    LandscapeGenerator,
+    generate_landscape,
+)
+from repro.corpus.ground_truth import (
+    AccuracyCorpus,
+    AccuracyCorpusBuilder,
+    LabelledPair,
+    build_accuracy_corpus,
+)
+from repro.corpus import profiles
+
+__all__ = [
+    "AccuracyCorpus",
+    "AccuracyCorpusBuilder",
+    "ContractTruth",
+    "LabelledPair",
+    "Landscape",
+    "LandscapeGenerator",
+    "build_accuracy_corpus",
+    "generate_landscape",
+    "profiles",
+]

@@ -1,0 +1,447 @@
+"""Curated, labelled collision corpus for the Table 2 accuracy study.
+
+§6.3 evaluates detectors on the (all-source) Smart Contract Sanctuary
+dataset, with manually established ground truth.  This module builds the
+equivalent: proxy/logic pairs covering every case class the paper's
+accuracy discussion names —
+
+* **storage-positive**: Audius-style mismatched layouts (Listing 2);
+* **storage-padding traps**: renamed variables with identical slots/types —
+  the false-positive class USCHunt trips over;
+* **storage-negative**: layout-compatible pairs;
+* **function-positive**: honeypots (Listing 1) and Wyvern-style
+  inheritance collisions;
+* **function-negative**: disjoint selector sets.
+
+Every contract gets verified source (the §6.3 setting), with a controlled
+fraction carrying an unsupported compiler version to reproduce USCHunt's
+compile halts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.dataset import ContractDataset
+from repro.chain.explorer import (
+    ContractSource,
+    SourceRegistry,
+    StorageVariableDecl,
+)
+from repro.chain.node import ArchiveNode
+from repro.corpus import profiles
+from repro.lang import stdlib
+from repro.lang.ast import (
+    Const,
+    Contract,
+    DelegateCallEncoded,
+    DelegateForwardCalldata,
+    Fallback,
+    Function,
+    Load,
+    Param,
+    Return,
+    Store,
+    StoreAt,
+    VarDecl,
+)
+from repro.lang.compiler import compile_contract
+from repro.lang.source import contract_source_of
+from repro.utils.abi import encode_call
+from repro.utils.hexutil import address_to_word
+from repro.utils.keccak import keccak256
+
+ETHER = 10 ** 18
+
+
+@dataclass(frozen=True, slots=True)
+class LabelledPair:
+    """One proxy/logic pair with its manually assigned labels."""
+
+    proxy: bytes
+    logic: bytes
+    case: str                       # e.g. "storage-positive"
+    storage_collision: bool
+    function_collision: bool
+
+
+@dataclass(slots=True)
+class AccuracyCorpus:
+    """The labelled pair set plus the world it lives in."""
+
+    chain: Blockchain
+    node: ArchiveNode
+    registry: SourceRegistry
+    dataset: ContractDataset
+    pairs: list[LabelledPair] = field(default_factory=list)
+
+    def storage_positive_pairs(self) -> list[LabelledPair]:
+        return [p for p in self.pairs if p.storage_collision]
+
+    def function_positive_pairs(self) -> list[LabelledPair]:
+        return [p for p in self.pairs if p.function_collision]
+
+
+def _renamed_logic(name: str, variable_names: tuple[str, str]) -> Contract:
+    """A logic contract layout-compatible with storage_proxy but with
+    different variable *names* (the padding/rename FP trap)."""
+    first, second = variable_names
+    return Contract(
+        name=name,
+        variables=(
+            VarDecl(first, "address"),
+            VarDecl(second, "address"),
+            VarDecl("counter", "uint256"),
+        ),
+        functions=(
+            Function(name="currentManager", body=(Return(Load(first)),)),
+            Function(name="bump",
+                     body=(Store("counter", Const(1)),)),
+        ),
+    )
+
+
+def _shifted_logic(name: str) -> Contract:
+    """A logic contract whose layout genuinely mismatches storage_proxy:
+    a uint256 lands on the proxy's owner-address slot."""
+    return Contract(
+        name=name,
+        variables=(
+            VarDecl("totalDeposits", "uint256"),   # slot 0 vs owner:address
+            VarDecl("manager", "address"),         # slot 1 vs logic:address
+        ),
+        functions=(
+            Function(name="recordDeposit",
+                     body=(Store("totalDeposits", Const(12345)),)),
+            Function(name="managerOf", body=(Return(Load("manager")),)),
+        ),
+    )
+
+
+def _disjoint_logic(name: str) -> Contract:
+    """Function-negative logic: selectors disjoint from every proxy."""
+    return Contract(
+        name=name,
+        functions=(
+            Function(name="ping", body=(Return(Const(1)),)),
+            Function(name="echoValue",
+                     params=(("v", "uint256"),),
+                     body=(Return(Const(7)),)),
+        ),
+    )
+
+
+def _colliding_proxy(name: str, logic: bytes, owner: bytes) -> Contract:
+    """Function-positive proxy: shares ``ping()`` with _colliding_logic.
+
+    The implementation address hides under the non-standard name
+    ``router_box`` — syntactic (Slither/USCHunt-style) proxy recognition
+    misses it, while ProxioN's emulation does not care about names.
+    """
+    return Contract(
+        name=name,
+        variables=(
+            VarDecl("box_owner", "address"),
+            VarDecl("router_box", "address"),
+        ),
+        functions=(
+            Function(name="ping", body=(Return(Const(0)),)),
+        ),
+        fallback=Fallback(body=(DelegateForwardCalldata(Load("router_box")),)),
+        constructor=(
+            Store("box_owner", Const(address_to_word(owner))),
+            Store("router_box", Const(address_to_word(logic))),
+        ),
+    )
+
+
+def _raw_writer_logic(name: str) -> Contract:
+    """Storage-positive-hard logic: an unstructured-storage write whose
+    slot comes from calldata.  It can clobber any proxy slot (a genuine
+    collision), but the slot is symbolic to every bytecode analyzer — the
+    honest false-negative class for ProxioN and CRUSH alike."""
+    return Contract(
+        name=name,
+        functions=(
+            Function(
+                name="writeRaw",
+                params=(("slot", "uint256"), ("value", "uint256")),
+                body=(StoreAt(Param(0, "uint256"), Param(1, "uint256")),),
+            ),
+        ),
+    )
+
+
+def _mismatched_library(name: str) -> Contract:
+    """A delegatecall *library* whose accumulator occupies slot 0 — where
+    its callers keep an address.  Real overlap, but not a proxy pair."""
+    return Contract(
+        name=name,
+        variables=(VarDecl("sum", "uint256"),),
+        functions=(
+            Function(
+                name="libraryAdd",
+                params=(("amount", "uint256"),),
+                body=(Store("sum", Param(0, "uint256")),),
+            ),
+        ),
+    )
+
+
+def _library_client(name: str, library: bytes) -> Contract:
+    """Library caller: delegatecalls with re-encoded args, not in fallback."""
+    return Contract(
+        name=name,
+        variables=(
+            VarDecl("manager", "address"),
+            VarDecl("total", "uint256"),
+        ),
+        functions=(
+            Function(
+                name="accumulate",
+                params=(("amount", "uint256"),),
+                body=(
+                    DelegateCallEncoded(
+                        Const(address_to_word(library)),
+                        "libraryAdd(uint256)",
+                        (Param(0, "uint256"),),
+                    ),
+                ),
+            ),
+            Function(name="managerOf", body=(Return(Load("manager")),)),
+        ),
+    )
+
+
+def _colliding_logic(name: str) -> Contract:
+    return Contract(
+        name=name,
+        functions=(
+            Function(name="ping", body=(Return(Const(1)),)),
+            Function(name="withdrawAll", body=(Return(Const(2)),)),
+        ),
+    )
+
+
+def _emuerr_logic(name: str) -> Contract:
+    """Logic of the emulation-error pair: collides on both axes with the
+    claimed proxy source (``ping()`` selector; uint256 over the owner)."""
+    return Contract(
+        name=name,
+        variables=(VarDecl("totalDeposits", "uint256"),),
+        functions=(
+            Function(name="ping", body=(Return(Const(1)),)),
+            Function(name="recordDeposit",
+                     body=(Store("totalDeposits", Const(99)),)),
+        ),
+    )
+
+
+#: Runtime that defeats emulation: an unassigned opcode (0x2f) executes
+#: before the DELEGATECALL byte is ever reached.  The §4.1 prefilter passes
+#: (the 0xf4 byte is at an instruction boundary), the §4.2 emulation halts —
+#: the paper's "runtime errors when emulating" miss class (§6.3).
+EMUERR_PROXY_RUNTIME = bytes([0x2F, 0xF4, 0x00])
+
+
+class AccuracyCorpusBuilder:
+    """Deploys the labelled pair families."""
+
+    def __init__(self, pairs_per_case: int = 6, seed: int = 7,
+                 unsupported_compiler_share: float | None = None) -> None:
+        self.pairs_per_case = pairs_per_case
+        self.rng = random.Random(seed)
+        self.unsupported_compiler_share = (
+            profiles.UNSUPPORTED_COMPILER_SHARE
+            if unsupported_compiler_share is None
+            else unsupported_compiler_share)
+        self._counter = 0
+
+    def _eoa(self, tag: str) -> bytes:
+        self._counter += 1
+        return keccak256(f"gt:{tag}:{self._counter}".encode())[12:]
+
+    def build(self) -> AccuracyCorpus:
+        chain = Blockchain()
+        corpus = AccuracyCorpus(
+            chain=chain,
+            node=ArchiveNode(chain),
+            registry=SourceRegistry(),
+            dataset=ContractDataset(),
+        )
+        self._deployer = self._eoa("deployer")
+        chain.fund(self._deployer, 10 ** 6 * ETHER)
+        chain.advance_to_block(chain.first_block_of_year(2021))
+
+        for index in range(self.pairs_per_case):
+            self._storage_positive(corpus, index)
+            self._storage_padding_trap(corpus, index)
+            self._storage_negative(corpus, index)
+            self._function_positive(corpus, index)
+            self._function_negative(corpus, index)
+            self._storage_positive_hard(corpus, index)
+            self._library_trap(corpus, index)
+            if index % 5 == 4 or (self.pairs_per_case < 5 and index == 0):
+                self._emulation_error_pair(corpus, index)
+        return corpus
+
+    def _emulation_error_pair(self, corpus: AccuracyCorpus, index: int) -> None:
+        """A genuine double collision ProxioN loses to an emulation error.
+
+        The deployed runtime executes an unassigned opcode before its
+        delegatecall, so the §4.2 emulation halts and the pipeline never
+        reaches the collision detectors.  Source-based USCHunt still sees
+        the declared layout/prototypes and scores the pair — the mechanism
+        behind ProxioN's (small) Table 2 false-negative counts.
+        """
+        receipt = corpus.chain.deploy(
+            self._deployer, stdlib.raw_deploy_init(EMUERR_PROXY_RUNTIME))
+        proxy = receipt.created_address
+        corpus.dataset.add(proxy, receipt.block_number, self._deployer)
+        logic = self._deploy(corpus, _emuerr_logic(f"EmuErrLogic{index}"))
+        # The verified source claims an ordinary storage proxy with ping();
+        # the (obfuscated) deployed bytecode does not emulate cleanly.
+        claimed = ContractSource(
+            contract_name=f"ObfuscatedProxy{index}",
+            function_prototypes=("ping()",),
+            storage_variables=(
+                StorageVariableDecl("owner", "address"),
+                StorageVariableDecl("logic", "address"),
+            ),
+            text=("contract ObfuscatedProxy { address private owner; "
+                  "address private logic; function ping() public {} "
+                  "fallback() external { logic.delegatecall(msg.data); } }"),
+        )
+        corpus.registry.verify(proxy, claimed, EMUERR_PROXY_RUNTIME)
+        corpus.pairs.append(LabelledPair(
+            proxy, logic, "emulation-error-pair",
+            storage_collision=True, function_collision=True))
+
+    def _poke_fallback(self, corpus: AccuracyCorpus, proxy: bytes) -> None:
+        """Exercise the fallback so tx-history tools (CRUSH) see the pair."""
+        user = self._eoa("user")
+        corpus.chain.fund(user, ETHER)
+        corpus.chain.transact(user, proxy, bytes.fromhex("0badf00d") + b"\x00" * 32)
+
+    # ------------------------------------------------------------- plumbing
+    def _deploy(self, corpus: AccuracyCorpus, contract: Contract) -> bytes:
+        compiled = compile_contract(contract)
+        receipt = corpus.chain.deploy(self._deployer, compiled.init_code)
+        if not receipt.success:
+            raise RuntimeError(f"ground-truth deploy failed: {receipt.error}")
+        address = receipt.created_address
+        corpus.dataset.add(address, receipt.block_number, self._deployer)
+        source = contract_source_of(contract)
+        if self.rng.random() < self.unsupported_compiler_share:
+            source = ContractSource(
+                contract_name=source.contract_name,
+                function_prototypes=source.function_prototypes,
+                storage_variables=source.storage_variables,
+                text=source.text,
+                compiler_version=profiles.UNSUPPORTED_COMPILER,
+            )
+        corpus.registry.verify(address, source, compiled.runtime_code)
+        return address
+
+    # ---------------------------------------------------------- case classes
+    def _storage_positive(self, corpus: AccuracyCorpus, index: int) -> None:
+        owner = self._eoa("owner")
+        if index % 2 == 0:
+            logic = self._deploy(corpus, stdlib.audius_logic(
+                f"InitLogic{index}"))
+            proxy = self._deploy(corpus, stdlib.audius_proxy(
+                f"GovProxy{index}", logic, owner))
+        else:
+            logic = self._deploy(corpus, _shifted_logic(f"ShiftLogic{index}"))
+            proxy = self._deploy(corpus, stdlib.storage_proxy(
+                f"ShiftProxy{index}", logic, owner))
+        corpus.pairs.append(LabelledPair(
+            proxy, logic, "storage-positive",
+            storage_collision=True, function_collision=False))
+        self._poke_fallback(corpus, proxy)
+
+    def _storage_positive_hard(self, corpus: AccuracyCorpus, index: int) -> None:
+        """Collision via a computed (symbolic) slot — misses expected."""
+        owner = self._eoa("owner")
+        logic = self._deploy(corpus, _raw_writer_logic(f"RawWriter{index}"))
+        proxy = self._deploy(corpus, stdlib.storage_proxy(
+            f"RawProxy{index}", logic, owner))
+        corpus.pairs.append(LabelledPair(
+            proxy, logic, "storage-positive-hard",
+            storage_collision=True, function_collision=False))
+        self._poke_fallback(corpus, proxy)
+
+    def _library_trap(self, corpus: AccuracyCorpus, index: int) -> None:
+        """Library pair: real slot overlap, but not a proxy/logic pair.
+
+        CRUSH mines the delegatecall from history and charges it as a
+        storage collision (Table 2's FP mechanism); ProxioN excludes the
+        contract at the proxy-identification stage.
+        """
+        library = self._deploy(corpus, _mismatched_library(f"AccLib{index}"))
+        client = self._deploy(corpus, _library_client(
+            f"LibClient{index}", library))
+        corpus.pairs.append(LabelledPair(
+            client, library, "library-trap",
+            storage_collision=False, function_collision=False))
+        user = self._eoa("user")
+        corpus.chain.fund(user, ETHER)
+        corpus.chain.transact(user, client,
+                              encode_call("accumulate(uint256)", [5]))
+
+    def _storage_padding_trap(self, corpus: AccuracyCorpus, index: int) -> None:
+        owner = self._eoa("owner")
+        logic = self._deploy(corpus, _renamed_logic(
+            f"RenamedLogic{index}", ("padding_a", "implAddress")))
+        proxy = self._deploy(corpus, stdlib.storage_proxy(
+            f"PadProxy{index}", logic, owner))
+        corpus.pairs.append(LabelledPair(
+            proxy, logic, "storage-padding-trap",
+            storage_collision=False, function_collision=False))
+        self._poke_fallback(corpus, proxy)
+
+    def _storage_negative(self, corpus: AccuracyCorpus, index: int) -> None:
+        owner = self._eoa("owner")
+        logic = self._deploy(corpus, _renamed_logic(
+            f"CompatLogic{index}", ("owner", "logic")))
+        proxy = self._deploy(corpus, stdlib.storage_proxy(
+            f"PlainProxy{index}", logic, owner))
+        corpus.pairs.append(LabelledPair(
+            proxy, logic, "storage-negative",
+            storage_collision=False, function_collision=False))
+        self._poke_fallback(corpus, proxy)
+
+    def _function_positive(self, corpus: AccuracyCorpus, index: int) -> None:
+        owner = self._eoa("owner")
+        if index % 2 == 0:
+            logic = self._deploy(corpus, stdlib.honeypot_logic(
+                f"Generous{index}"))
+            proxy = self._deploy(corpus, stdlib.honeypot_proxy(
+                f"Pot{index}", logic, owner))
+        else:
+            logic = self._deploy(corpus, _colliding_logic(f"PingLogic{index}"))
+            proxy = self._deploy(corpus, _colliding_proxy(
+                f"PingProxy{index}", logic, owner))
+        corpus.pairs.append(LabelledPair(
+            proxy, logic, "function-positive",
+            storage_collision=False, function_collision=True))
+        self._poke_fallback(corpus, proxy)
+
+    def _function_negative(self, corpus: AccuracyCorpus, index: int) -> None:
+        owner = self._eoa("owner")
+        logic = self._deploy(corpus, _disjoint_logic(f"Disjoint{index}"))
+        proxy = self._deploy(corpus, stdlib.storage_proxy(
+            f"CleanProxy{index}", logic, owner))
+        corpus.pairs.append(LabelledPair(
+            proxy, logic, "function-negative",
+            storage_collision=False, function_collision=False))
+        self._poke_fallback(corpus, proxy)
+
+
+def build_accuracy_corpus(pairs_per_case: int = 6,
+                          seed: int = 7) -> AccuracyCorpus:
+    """Convenience wrapper around :class:`AccuracyCorpusBuilder`."""
+    return AccuracyCorpusBuilder(pairs_per_case=pairs_per_case,
+                                 seed=seed).build()

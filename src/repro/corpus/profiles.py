@@ -1,0 +1,118 @@
+"""Paper-calibrated landscape distributions.
+
+The constants here encode the *measured* mainnet shapes the paper reports,
+so that scaled-down synthetic populations reproduce the same proportions:
+
+* Figure 2 — yearly growth and source/transaction availability quadrants
+  (≈18% with source, ≈53% with transactions, 36M alive by Oct 2023);
+* Table 4 — proxy standards mix (EIP-1167 89.05%, EIP-1967 1.00%,
+  EIP-1822 0.12%, Others 9.83%);
+* Figure 5 — duplicate skew (19.6M proxies collapse to 96,420 unique
+  bytecodes; the top clone families exceed a million copies);
+* Figure 6 — upgrade rarity (99.7% of proxies never upgrade; upgraded ones
+  average 1.32 logic contracts);
+* Table 3 — collision incidence concentrated in 2021–2022 clone families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Mainnet totals the synthetic landscape is scaled from.
+MAINNET_ALIVE_CONTRACTS = 36_000_000
+MAINNET_PROXY_SHARE = 0.542
+MAINNET_SOURCE_SHARE = 0.18
+MAINNET_TX_SHARE = 0.53
+
+#: Share of all 2015–2023 deployments falling in each year (Figure 2's
+#: cumulative curve, differenced).  Post-2020 dominates, with 2022–2023
+#: deployments >93% proxies.
+YEARLY_DEPLOY_SHARE: dict[int, float] = {
+    2015: 0.002,
+    2016: 0.008,
+    2017: 0.025,
+    2018: 0.040,
+    2019: 0.045,
+    2020: 0.080,
+    2021: 0.230,
+    2022: 0.320,
+    2023: 0.250,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class YearProfile:
+    """Population mix for one deployment year.
+
+    Fractions are of that year's deployments; the remainder after all the
+    proxy classes is plain non-proxy contracts.
+    """
+
+    minimal_clone: float        # EIP-1167 clones of popular targets
+    minimal_unique: float       # EIP-1167 pointing at bespoke logic
+    eip1967: float
+    eip1822: float
+    custom_storage: float       # non-standard storage proxies ("Others")
+    transparent: float
+    diamond: float
+    library_user: float         # DELEGATECALL but not a proxy
+    honeypot_pair: float        # Listing-1 function-collision pairs
+    audius_pair: float          # Listing-2 storage-collision pairs
+    source_share: float         # fraction of deployments with verified source
+    tx_share: float             # fraction receiving post-deploy transactions
+    wyvern_clone: float = 0.0   # OwnableDelegateProxy-style colliding clones
+
+    @property
+    def proxy_share(self) -> float:
+        return (self.minimal_clone + self.minimal_unique + self.eip1967
+                + self.eip1822 + self.custom_storage + self.transparent
+                + self.honeypot_pair + self.audius_pair + self.wyvern_clone)
+
+
+#: Per-year mixes.  Pre-2018 ("demand era"): delegatecall experiments and
+#: library use.  2018–2020 ("standardization era"): EIPs land, stable
+#: growth.  2021+ ("mainstream era"): clone factories dominate.
+YEAR_PROFILES: dict[int, YearProfile] = {
+    2015: YearProfile(0.00, 0.02, 0.00, 0.00, 0.08, 0.00, 0.00, 0.30,
+                      0.000, 0.000, source_share=0.30, tx_share=0.70),
+    2016: YearProfile(0.00, 0.04, 0.00, 0.00, 0.10, 0.00, 0.00, 0.25,
+                      0.000, 0.000, source_share=0.30, tx_share=0.70),
+    2017: YearProfile(0.05, 0.08, 0.00, 0.00, 0.12, 0.00, 0.00, 0.20,
+                      0.005, 0.000, source_share=0.28, tx_share=0.68),
+    2018: YearProfile(0.15, 0.08, 0.02, 0.01, 0.12, 0.02, 0.00, 0.15,
+                      0.010, 0.003, source_share=0.25, tx_share=0.65),
+    2019: YearProfile(0.22, 0.08, 0.03, 0.01, 0.10, 0.03, 0.01, 0.12,
+                      0.012, 0.004, source_share=0.25, tx_share=0.62),
+    2020: YearProfile(0.35, 0.07, 0.04, 0.01, 0.09, 0.04, 0.01, 0.08,
+                      0.015, 0.004, source_share=0.22, tx_share=0.60),
+    2021: YearProfile(0.60, 0.05, 0.04, 0.01, 0.04, 0.02, 0.01, 0.04,
+                      0.020, 0.006, source_share=0.18, tx_share=0.55,
+                      wyvern_clone=0.08),
+    2022: YearProfile(0.72, 0.04, 0.03, 0.00, 0.03, 0.01, 0.01, 0.02,
+                      0.018, 0.008, source_share=0.14, tx_share=0.48,
+                      wyvern_clone=0.08),
+    2023: YearProfile(0.82, 0.03, 0.02, 0.00, 0.03, 0.01, 0.01, 0.02,
+                      0.008, 0.004, source_share=0.12, tx_share=0.42,
+                      wyvern_clone=0.01),
+}
+
+#: Figure 5 duplicate skew: number of distinct popular clone targets and
+#: the Zipf-like exponent splitting clone mass among them.  Three families
+#: take the overwhelming share (CoinTool_App, XENTorrent,
+#: OwnableDelegateProxy on mainnet).
+POPULAR_CLONE_FAMILIES = 6
+CLONE_ZIPF_EXPONENT = 1.6
+
+#: Figure 6 upgrade process: P(an upgradeable proxy ever upgrades) and the
+#: geometric tail for how many times (mean ≈ 1.32 logics including the
+#: first).
+UPGRADE_PROBABILITY = 0.003
+UPGRADE_GEOMETRIC_P = 0.75   # mean 1/(1-0.25) = 1.33 upgrades per upgrader
+MAX_UPGRADES = 80
+
+#: §6.3: the ground-truth accuracy corpus is all-source (Sanctuary-like).
+SUPPORTED_COMPILER = "v0.8.21"
+UNSUPPORTED_COMPILER = "v0.4.11"   # triggers USCHunt's compile halt
+#: Fraction of verified sources carrying an unsupported compiler version
+#: (USCHunt halts on ~30% of the Sanctuary dataset, §6.2).
+UNSUPPORTED_COMPILER_SHARE = 0.30

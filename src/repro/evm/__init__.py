@@ -1,0 +1,55 @@
+"""A from-scratch EVM: opcode table, disassembler, interpreter, tracing."""
+
+from repro.evm.disassembler import (
+    Disassembly,
+    Instruction,
+    contains_delegatecall,
+    disassemble,
+)
+from repro.evm.environment import (
+    BlockContext,
+    ExecutionConfig,
+    TransactionContext,
+)
+from repro.evm.exceptions import EVMError, OutOfGas, Revert, StackUnderflow
+from repro.evm.interpreter import EVM, CallResult, Frame, Message
+from repro.evm.state import MemoryState, OverlayState, StateBackend
+from repro.evm.tracer import (
+    CallEvent,
+    CallTracer,
+    CombinedTracer,
+    CreateEvent,
+    NullTracer,
+    StorageEvent,
+    StorageTracer,
+    Tracer,
+)
+
+__all__ = [
+    "EVM",
+    "BlockContext",
+    "CallEvent",
+    "CallResult",
+    "CallTracer",
+    "CombinedTracer",
+    "CreateEvent",
+    "Disassembly",
+    "EVMError",
+    "ExecutionConfig",
+    "Frame",
+    "Instruction",
+    "MemoryState",
+    "Message",
+    "NullTracer",
+    "OutOfGas",
+    "OverlayState",
+    "Revert",
+    "StackUnderflow",
+    "StateBackend",
+    "StorageEvent",
+    "StorageTracer",
+    "Tracer",
+    "TransactionContext",
+    "contains_delegatecall",
+    "disassemble",
+]

@@ -1,0 +1,175 @@
+"""Control-flow recovery: basic blocks and dispatcher structure.
+
+§5.1 of the paper identifies function signatures by finding "the jump
+instructions corresponding to code blocks of functions" (implemented there
+over Panoramix).  This module is that substrate built from scratch:
+
+* :func:`build_cfg` — split the linear disassembly into *basic blocks*
+  (leaders at offset 0, at every JUMPDEST, and after every jump/terminator)
+  and connect them with static edges (fallthrough, direct ``PUSH→JUMP(I)``
+  targets);
+* :class:`ControlFlowGraph` — reachability, block lookup;
+* :func:`dispatcher_functions` — walk the dispatcher chain from the entry
+  block and map each compared selector to the basic block implementing the
+  function body, giving the selector → body-offset table the paper's
+  function-collision detector needs (and a second, CFG-based implementation
+  to cross-check :func:`repro.core.signature_extractor.dispatcher_selectors`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evm import opcodes as op
+from repro.evm.disassembler import Disassembly, Instruction, disassemble
+
+
+@dataclass(slots=True)
+class BasicBlock:
+    """A maximal straight-line instruction sequence."""
+
+    start: int
+    instructions: list[Instruction] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)   # block start offsets
+
+    @property
+    def end(self) -> int:
+        if not self.instructions:
+            return self.start
+        return self.instructions[-1].next_offset
+
+    @property
+    def terminator(self) -> Instruction | None:
+        return self.instructions[-1] if self.instructions else None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class ControlFlowGraph:
+    """Blocks indexed by start offset, with static edges."""
+
+    def __init__(self, disassembly: Disassembly,
+                 blocks: dict[int, BasicBlock]) -> None:
+        self.disassembly = disassembly
+        self.blocks = blocks
+
+    def block_at(self, offset: int) -> BasicBlock | None:
+        return self.blocks.get(offset)
+
+    def entry(self) -> BasicBlock | None:
+        return self.blocks.get(0)
+
+    def reachable_from(self, start: int = 0) -> set[int]:
+        """Offsets of blocks reachable from ``start`` along static edges."""
+        seen: set[int] = set()
+        frontier = [start]
+        while frontier:
+            offset = frontier.pop()
+            if offset in seen or offset not in self.blocks:
+                continue
+            seen.add(offset)
+            frontier.extend(self.blocks[offset].successors)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(sorted(self.blocks.values(), key=lambda b: b.start))
+
+
+def build_cfg(code: bytes | Disassembly) -> ControlFlowGraph:
+    """Construct the static CFG of runtime bytecode."""
+    disassembly = code if isinstance(code, Disassembly) else disassemble(code)
+    instructions = disassembly.instructions
+
+    # Pass 1: leaders.
+    leaders: set[int] = {0} if instructions else set()
+    for index, instruction in enumerate(instructions):
+        value = instruction.opcode.value
+        if value == op.JUMPDEST:
+            leaders.add(instruction.offset)
+        if (instruction.opcode.is_jump or instruction.opcode.is_terminator):
+            if index + 1 < len(instructions):
+                leaders.add(instructions[index + 1].offset)
+
+    # Pass 2: block bodies.
+    blocks: dict[int, BasicBlock] = {}
+    current: BasicBlock | None = None
+    for instruction in instructions:
+        if instruction.offset in leaders:
+            current = BasicBlock(start=instruction.offset)
+            blocks[instruction.offset] = current
+        if current is None:  # pragma: no cover - offset 0 is always a leader
+            current = BasicBlock(start=instruction.offset)
+            blocks[instruction.offset] = current
+        current.instructions.append(instruction)
+        if instruction.opcode.is_jump or instruction.opcode.is_terminator:
+            current = None
+
+    # Pass 3: static edges.
+    for block in blocks.values():
+        terminator = block.terminator
+        if terminator is None:
+            continue
+        value = terminator.opcode.value
+        # Direct PUSH→JUMP(I) targets.
+        if terminator.opcode.is_jump and len(block.instructions) >= 2:
+            pushed = block.instructions[-2]
+            if pushed.opcode.is_push and pushed.operand:
+                target = pushed.operand_int
+                if target in disassembly.jumpdests:
+                    block.successors.append(target)
+        # Fallthrough for everything that can fall through.
+        if not terminator.opcode.is_terminator:
+            fall = terminator.next_offset
+            if fall in blocks:
+                block.successors.append(fall)
+    return ControlFlowGraph(disassembly, blocks)
+
+
+@dataclass(frozen=True, slots=True)
+class DispatcherEntry:
+    """One function the dispatcher routes to."""
+
+    selector: bytes
+    body_offset: int
+
+
+def dispatcher_functions(code: bytes | Disassembly) -> list[DispatcherEntry]:
+    """Recover the selector → function-body table from the dispatcher chain.
+
+    Walks blocks from the entry along fallthrough edges; a block whose
+    instructions contain ``PUSH4 sig`` … ``EQ`` … ``PUSH target JUMPI``
+    contributes one entry.  Stops when the chain leaves dispatcher-shaped
+    code (the fallback).
+    """
+    cfg = build_cfg(code)
+    entries: list[DispatcherEntry] = []
+    block = cfg.entry()
+    visited: set[int] = set()
+    while block is not None and block.start not in visited:
+        visited.add(block.start)
+        selector: bytes | None = None
+        target: int | None = None
+        saw_compare = False
+        for index, instruction in enumerate(block.instructions):
+            value = instruction.opcode.value
+            if (instruction.opcode.immediate_size == 4
+                    and len(instruction.operand) == 4):
+                selector = instruction.operand
+                saw_compare = False
+            elif value in (op.EQ, op.SUB, op.XOR):
+                saw_compare = True
+            elif value == op.JUMPI and saw_compare and selector is not None:
+                pushed = block.instructions[index - 1]
+                if pushed.opcode.is_push:
+                    target = pushed.operand_int
+                    entries.append(DispatcherEntry(selector, target))
+                selector = None
+        # Continue down the not-taken (fallthrough) chain.
+        fallthrough = [successor for successor in block.successors
+                       if successor == block.end]
+        block = cfg.block_at(fallthrough[0]) if fallthrough else None
+    return entries

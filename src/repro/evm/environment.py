@@ -1,0 +1,65 @@
+"""Block- and transaction-level execution environment.
+
+The interpreter answers environment opcodes (``NUMBER``, ``TIMESTAMP``,
+``CHAINID``, ``BASEFEE``, ...) from these records.  Per §4.2 of the paper,
+the ProxioN emulator populates them from the latest block of the (simulated)
+chain — or with the most probable fixed values (chain id 1, etc.) — so that
+contracts branching on chain state still execute with high fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.hexutil import ZERO_ADDRESS
+from repro.utils.keccak import keccak256
+
+MAINNET_CHAIN_ID = 1
+
+
+@dataclass(frozen=True, slots=True)
+class BlockContext:
+    """Values of the block the execution is (notionally) included in."""
+
+    number: int = 0
+    timestamp: int = 0
+    coinbase: bytes = ZERO_ADDRESS
+    prev_randao: int = 0
+    gas_limit: int = 30_000_000
+    base_fee: int = 1_000_000_000
+    chain_id: int = MAINNET_CHAIN_ID
+
+    def block_hash(self, number: int) -> int:
+        """Deterministic pseudo-hash for BLOCKHASH.
+
+        Only the most recent 256 blocks are addressable, as on mainnet.
+        """
+        if number >= self.number or number < max(0, self.number - 256):
+            return 0
+        return int.from_bytes(keccak256(b"block:%d" % number), "big")
+
+
+@dataclass(frozen=True, slots=True)
+class TransactionContext:
+    """Per-transaction environment shared by every frame of one execution."""
+
+    origin: bytes = ZERO_ADDRESS
+    gas_price: int = 1_000_000_000
+
+
+@dataclass(slots=True)
+class ExecutionConfig:
+    """Interpreter knobs that are not part of EVM semantics.
+
+    ``instruction_budget`` bounds total instructions per top-level execution
+    so adversarial bytecode cannot hang an analysis batch.
+    ``fixed_create_address`` implements the §4.2 trick of deploying
+    CREATE/CREATE2 children at a well-known sentinel address during
+    emulation (``None`` selects real address derivation).
+    """
+
+    instruction_budget: int = 2_000_000
+    call_depth_limit: int = 1024
+    fixed_create_address: bytes | None = None
+    trace_memory_words: bool = False
+    extra: dict[str, object] = field(default_factory=dict)

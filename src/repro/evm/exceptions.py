@@ -1,0 +1,63 @@
+"""Exceptional halting conditions of the EVM.
+
+All of these abort the current call frame and consume its remaining gas
+(except :class:`Revert`, which refunds remaining gas and carries return
+data).  They deliberately subclass a common base so the interpreter can
+convert any of them into a failed :class:`~repro.evm.interpreter.CallResult`
+instead of unwinding the host Python stack.
+"""
+
+from __future__ import annotations
+
+
+class EVMError(Exception):
+    """Base class for all exceptional halts."""
+
+
+class StackUnderflow(EVMError):
+    """An instruction required more stack items than were present.
+
+    This is the dominant emulation failure mode the paper reports
+    ("insufficient values on the EVM stack", §6.2).
+    """
+
+
+class StackOverflow(EVMError):
+    """The 1024-item stack limit was exceeded."""
+
+
+class InvalidJump(EVMError):
+    """JUMP/JUMPI targeted an offset that is not a JUMPDEST."""
+
+
+class InvalidOpcode(EVMError):
+    """An unassigned byte (or the designated INVALID opcode) was executed."""
+
+
+class OutOfGas(EVMError):
+    """The frame's gas allowance was exhausted."""
+
+
+class WriteProtection(EVMError):
+    """A state-modifying instruction ran inside a STATICCALL context."""
+
+
+class CallDepthExceeded(EVMError):
+    """The 1024-frame call depth limit was reached."""
+
+
+class Revert(EVMError):
+    """REVERT was executed; carries the revert payload."""
+
+    def __init__(self, output: bytes) -> None:
+        super().__init__("execution reverted")
+        self.output = output
+
+
+class ExecutionTimeout(EVMError):
+    """The interpreter's instruction budget was exhausted.
+
+    Not a real EVM condition — a harness guard so that emulating adversarial
+    or looping bytecode (which the proxy detector feeds in by design) always
+    terminates.
+    """

@@ -1,0 +1,739 @@
+"""A from-scratch EVM interpreter.
+
+Implements the full instruction set in :mod:`repro.evm.opcodes` with real
+call-frame semantics: value transfer, ``DELEGATECALL`` context inheritance
+(caller, value and *storage* come from the calling frame — the property the
+whole proxy pattern rests on), ``STATICCALL`` write protection, the
+return-data buffer, CREATE/CREATE2 address derivation, sub-call state
+rollback, a simplified but monotone gas model, and tracer hooks.
+
+Two consumers drive it:
+
+* :mod:`repro.chain` executes real transactions against persistent world
+  state to build block history, and
+* :mod:`repro.core.proxy_detector` replays crafted calldata against
+  read-only snapshots to observe DELEGATECALL forwarding (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evm import opcodes as op
+from repro.evm.environment import BlockContext, ExecutionConfig, TransactionContext
+from repro.evm.exceptions import (
+    CallDepthExceeded,
+    EVMError,
+    ExecutionTimeout,
+    InvalidJump,
+    InvalidOpcode,
+    OutOfGas,
+    Revert,
+    StackOverflow,
+    StackUnderflow,
+    WriteProtection,
+)
+from repro.evm.precompiles import is_precompile, run_precompile
+from repro.evm.state import StateBackend, transfer_value
+from repro.evm.tracer import (
+    CallEvent,
+    CreateEvent,
+    LogEvent,
+    NullTracer,
+    StorageEvent,
+    Tracer,
+)
+from repro.utils import rlp
+from repro.utils.hexutil import (
+    ADDRESS_MASK,
+    WORD_MASK,
+    ceil32,
+    from_signed,
+    to_signed,
+    word_to_address,
+)
+from repro.utils.keccak import keccak256
+
+STACK_LIMIT = 1024
+MAX_CODE_SIZE = 24_576  # EIP-170
+CALL_STIPEND = 2_300
+
+
+@dataclass(slots=True)
+class Message:
+    """One call or create request entering the interpreter."""
+
+    sender: bytes
+    to: bytes | None          # None requests contract creation
+    value: int = 0
+    data: bytes = b""
+    gas: int = 10_000_000
+    is_static: bool = False
+    # For DELEGATECALL/CALLCODE the executing code and the storage context
+    # differ; when unset both default to ``to``.
+    code_address: bytes | None = None
+    storage_address: bytes | None = None
+    create_salt: int | None = None  # set for CREATE2
+    depth: int = 0
+
+
+@dataclass(slots=True)
+class CallResult:
+    """Outcome of a call or create."""
+
+    success: bool
+    output: bytes = b""
+    gas_used: int = 0
+    error: str | None = None
+    created_address: bytes | None = None
+
+    def __bool__(self) -> bool:
+        return self.success
+
+
+@dataclass(slots=True)
+class Frame:
+    """Mutable execution state of one call frame."""
+
+    code: bytes
+    calldata: bytes
+    storage_address: bytes
+    code_address: bytes
+    caller: bytes
+    value: int
+    gas: int
+    is_static: bool
+    depth: int
+    stack: list[int] = field(default_factory=list)
+    memory: bytearray = field(default_factory=bytearray)
+    pc: int = 0
+    return_data: bytes = b""
+    jumpdests: frozenset[int] = frozenset()
+
+    # --- stack -----------------------------------------------------------
+    def push(self, word: int) -> None:
+        if len(self.stack) >= STACK_LIMIT:
+            raise StackOverflow(f"stack overflow at pc={self.pc}")
+        self.stack.append(word & WORD_MASK)
+
+    def pop(self) -> int:
+        if not self.stack:
+            raise StackUnderflow(f"stack underflow at pc={self.pc}")
+        return self.stack.pop()
+
+    def popn(self, count: int) -> list[int]:
+        if len(self.stack) < count:
+            raise StackUnderflow(
+                f"stack underflow at pc={self.pc}: need {count}, have {len(self.stack)}"
+            )
+        taken = self.stack[-count:]
+        del self.stack[-count:]
+        taken.reverse()  # first popped element first
+        return taken
+
+    # --- gas ---------------------------------------------------------------
+    def charge(self, amount: int) -> None:
+        if self.gas < amount:
+            raise OutOfGas(f"out of gas at pc={self.pc}")
+        self.gas -= amount
+
+    # --- memory ------------------------------------------------------------
+    def expand_memory(self, offset: int, size: int) -> None:
+        if size == 0:
+            return
+        end = offset + size
+        if end > len(self.memory):
+            new_len = ceil32(end)
+            # Quadratic memory cost (Yellow Paper C_mem), charged on deltas.
+            old_words = len(self.memory) // 32
+            new_words = new_len // 32
+            cost = (3 * (new_words - old_words)
+                    + (new_words * new_words - old_words * old_words) // 512)
+            self.charge(cost)
+            self.memory.extend(b"\x00" * (new_len - len(self.memory)))
+
+    def read_memory(self, offset: int, size: int) -> bytes:
+        if size == 0:
+            return b""
+        self.expand_memory(offset, size)
+        return bytes(self.memory[offset:offset + size])
+
+    def write_memory(self, offset: int, data: bytes) -> None:
+        if not data:
+            return
+        self.expand_memory(offset, len(data))
+        self.memory[offset:offset + len(data)] = data
+
+
+class EVM:
+    """Executes messages against a :class:`StateBackend`."""
+
+    def __init__(
+        self,
+        state: StateBackend,
+        block: BlockContext | None = None,
+        tx: TransactionContext | None = None,
+        config: ExecutionConfig | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.state = state
+        self.block = block or BlockContext()
+        self.tx = tx or TransactionContext()
+        self.config = config or ExecutionConfig()
+        self.tracer = tracer or NullTracer()
+        self._instructions_left = 0
+
+    # ------------------------------------------------------------------ API
+    def execute(self, message: Message) -> CallResult:
+        """Run a top-level message (external transaction entry point)."""
+        # Each EVM frame costs several Python frames; the 1024-frame EVM
+        # depth limit therefore needs more headroom than CPython's default
+        # recursion limit provides.
+        import sys
+        if sys.getrecursionlimit() < 20_000:
+            sys.setrecursionlimit(20_000)
+        self._instructions_left = self.config.instruction_budget
+        if message.to is None:
+            return self._create(message)
+        return self._call(message)
+
+    # ------------------------------------------------------------- internals
+    def _call(self, message: Message) -> CallResult:
+        if message.depth > self.config.call_depth_limit:
+            return CallResult(False, error=str(CallDepthExceeded()))
+        assert message.to is not None
+        storage_address = message.storage_address or message.to
+        code_address = message.code_address or message.to
+
+        snapshot = self.state.snapshot()
+        if not message.is_static and message.storage_address is None:
+            # Plain CALL transfers value; DELEGATECALL/CALLCODE set an
+            # explicit storage_address and move no funds here.
+            if not transfer_value(self.state, message.sender, message.to,
+                                  message.value):
+                return CallResult(False, error="insufficient balance for transfer")
+
+        if is_precompile(code_address):
+            output = run_precompile(code_address, message.data)
+            return CallResult(True, output=output, gas_used=0)
+
+        code = self.state.get_code(code_address)
+        if not code:
+            # Calling an account with no code trivially succeeds.
+            return CallResult(True, output=b"", gas_used=0)
+
+        frame = Frame(
+            code=code,
+            calldata=message.data,
+            storage_address=storage_address,
+            code_address=code_address,
+            caller=message.sender,
+            value=message.value,
+            gas=message.gas,
+            is_static=message.is_static,
+            depth=message.depth,
+            jumpdests=_scan_jumpdests(code),
+        )
+        try:
+            output = self._run(frame)
+            return CallResult(True, output=output, gas_used=message.gas - frame.gas)
+        except Revert as revert:
+            self.state.revert(snapshot)
+            return CallResult(False, output=revert.output,
+                              gas_used=message.gas - frame.gas, error="revert")
+        except EVMError as error:
+            self.state.revert(snapshot)
+            return CallResult(False, gas_used=message.gas,
+                              error=f"{type(error).__name__}: {error}")
+
+    def _create(self, message: Message, init_code: bytes | None = None) -> CallResult:
+        if message.depth > self.config.call_depth_limit:
+            return CallResult(False, error=str(CallDepthExceeded()))
+        init_code = message.data if init_code is None else init_code
+        sender_nonce = self.state.get_nonce(message.sender)
+        new_address = self._derive_create_address(
+            message.sender, sender_nonce, message.create_salt, init_code
+        )
+        snapshot = self.state.snapshot()
+        self.state.set_nonce(message.sender, sender_nonce + 1)
+        if self.state.get_code(new_address):
+            return CallResult(False, error="address collision on create")
+        if not transfer_value(self.state, message.sender, new_address, message.value):
+            self.state.revert(snapshot)
+            return CallResult(False, error="insufficient balance for create")
+        self.state.set_nonce(new_address, 1)
+
+        frame = Frame(
+            code=init_code,
+            calldata=b"",
+            storage_address=new_address,
+            code_address=new_address,
+            caller=message.sender,
+            value=message.value,
+            gas=message.gas,
+            is_static=False,
+            depth=message.depth,
+            jumpdests=_scan_jumpdests(init_code),
+        )
+        try:
+            runtime_code = self._run(frame)
+        except Revert as revert:
+            self.state.revert(snapshot)
+            return CallResult(False, output=revert.output,
+                              gas_used=message.gas - frame.gas, error="revert")
+        except EVMError as error:
+            self.state.revert(snapshot)
+            return CallResult(False, gas_used=message.gas,
+                              error=f"{type(error).__name__}: {error}")
+        if len(runtime_code) > MAX_CODE_SIZE:
+            self.state.revert(snapshot)
+            return CallResult(False, error="created code exceeds EIP-170 limit")
+        self.state.set_code(new_address, runtime_code)
+        self.tracer.on_create(CreateEvent(
+            kind="CREATE2" if message.create_salt is not None else "CREATE",
+            depth=message.depth,
+            creator=message.sender,
+            new_address=new_address,
+            init_code=init_code,
+            value=message.value,
+        ))
+        return CallResult(True, output=runtime_code,
+                          gas_used=message.gas - frame.gas,
+                          created_address=new_address)
+
+    def _derive_create_address(self, sender: bytes, nonce: int,
+                               salt: int | None, init_code: bytes) -> bytes:
+        if self.config.fixed_create_address is not None:
+            # §4.2: during emulation, place created contracts at a sentinel
+            # address so the emulator can recognize and re-enter them.
+            return self.config.fixed_create_address
+        if salt is not None:
+            preimage = (b"\xff" + sender + salt.to_bytes(32, "big")
+                        + keccak256(init_code))
+            return keccak256(preimage)[12:]
+        preimage = rlp.encode_list([rlp.encode_bytes(sender), rlp.encode_int(nonce)])
+        return keccak256(preimage)[12:]
+
+    # ----------------------------------------------------------- dispatcher
+    def _run(self, frame: Frame) -> bytes:
+        """Interpret ``frame`` until it halts; returns its output bytes."""
+        code = frame.code
+        code_len = len(code)
+        while frame.pc < code_len:
+            if self._instructions_left <= 0:
+                raise ExecutionTimeout("instruction budget exhausted")
+            self._instructions_left -= 1
+
+            opcode_value = code[frame.pc]
+            opcode = op.OPCODES.get(opcode_value)
+            if opcode is None or opcode_value == op.INVALID:
+                raise InvalidOpcode(f"invalid opcode 0x{opcode_value:02x} "
+                                    f"at pc={frame.pc}")
+            self.tracer.on_instruction(frame, frame.pc, opcode_value)
+            frame.charge(opcode.base_gas)
+
+            next_pc = frame.pc + 1
+            if opcode.immediate_size:
+                immediate = code[next_pc:next_pc + opcode.immediate_size]
+                frame.push(int.from_bytes(immediate, "big"))
+                frame.pc = next_pc + opcode.immediate_size
+                continue
+
+            handler_result = self._step(frame, opcode_value)
+            if handler_result is not None:
+                return handler_result
+            if frame.pc == next_pc - 1:
+                # Handler did not jump; advance sequentially.
+                frame.pc = next_pc
+        return b""
+
+    def _step(self, frame: Frame, opcode_value: int) -> bytes | None:
+        """Execute one non-push instruction; non-None return halts the frame."""
+        stack = frame.stack
+
+        # Arithmetic / logic -------------------------------------------------
+        if opcode_value == op.STOP:
+            return b""
+        if opcode_value == op.ADD:
+            a, b = frame.popn(2)
+            frame.push(a + b)
+        elif opcode_value == op.MUL:
+            a, b = frame.popn(2)
+            frame.push(a * b)
+        elif opcode_value == op.SUB:
+            a, b = frame.popn(2)
+            frame.push(a - b)
+        elif opcode_value == op.DIV:
+            a, b = frame.popn(2)
+            frame.push(a // b if b else 0)
+        elif opcode_value == op.SDIV:
+            a, b = frame.popn(2)
+            if b == 0:
+                frame.push(0)
+            else:
+                sa, sb = to_signed(a), to_signed(b)
+                quotient = abs(sa) // abs(sb)
+                frame.push(from_signed(-quotient if (sa < 0) != (sb < 0) else quotient))
+        elif opcode_value == op.MOD:
+            a, b = frame.popn(2)
+            frame.push(a % b if b else 0)
+        elif opcode_value == op.SMOD:
+            a, b = frame.popn(2)
+            if b == 0:
+                frame.push(0)
+            else:
+                sa, sb = to_signed(a), to_signed(b)
+                remainder = abs(sa) % abs(sb)
+                frame.push(from_signed(-remainder if sa < 0 else remainder))
+        elif opcode_value == op.ADDMOD:
+            a, b, n = frame.popn(3)
+            frame.push((a + b) % n if n else 0)
+        elif opcode_value == op.MULMOD:
+            a, b, n = frame.popn(3)
+            frame.push((a * b) % n if n else 0)
+        elif opcode_value == op.EXP:
+            base, exponent = frame.popn(2)
+            exponent_bytes = (exponent.bit_length() + 7) // 8
+            frame.charge(50 * exponent_bytes)
+            frame.push(pow(base, exponent, 1 << 256))
+        elif opcode_value == op.SIGNEXTEND:
+            width, value = frame.popn(2)
+            if width < 31:
+                sign_bit = 1 << (8 * (width + 1) - 1)
+                mask = (1 << (8 * (width + 1))) - 1
+                truncated = value & mask
+                frame.push(truncated | (WORD_MASK ^ mask) if truncated & sign_bit
+                           else truncated)
+            else:
+                frame.push(value)
+        elif opcode_value == op.LT:
+            a, b = frame.popn(2)
+            frame.push(int(a < b))
+        elif opcode_value == op.GT:
+            a, b = frame.popn(2)
+            frame.push(int(a > b))
+        elif opcode_value == op.SLT:
+            a, b = frame.popn(2)
+            frame.push(int(to_signed(a) < to_signed(b)))
+        elif opcode_value == op.SGT:
+            a, b = frame.popn(2)
+            frame.push(int(to_signed(a) > to_signed(b)))
+        elif opcode_value == op.EQ:
+            a, b = frame.popn(2)
+            frame.push(int(a == b))
+        elif opcode_value == op.ISZERO:
+            frame.push(int(frame.pop() == 0))
+        elif opcode_value == op.AND:
+            a, b = frame.popn(2)
+            frame.push(a & b)
+        elif opcode_value == op.OR:
+            a, b = frame.popn(2)
+            frame.push(a | b)
+        elif opcode_value == op.XOR:
+            a, b = frame.popn(2)
+            frame.push(a ^ b)
+        elif opcode_value == op.NOT:
+            frame.push(frame.pop() ^ WORD_MASK)
+        elif opcode_value == op.BYTE:
+            index, value = frame.popn(2)
+            frame.push((value >> (8 * (31 - index))) & 0xFF if index < 32 else 0)
+        elif opcode_value == op.SHL:
+            shift, value = frame.popn(2)
+            frame.push(value << shift if shift < 256 else 0)
+        elif opcode_value == op.SHR:
+            shift, value = frame.popn(2)
+            frame.push(value >> shift if shift < 256 else 0)
+        elif opcode_value == op.SAR:
+            shift, value = frame.popn(2)
+            signed = to_signed(value)
+            if shift >= 256:
+                frame.push(from_signed(-1 if signed < 0 else 0))
+            else:
+                frame.push(from_signed(signed >> shift))
+        elif opcode_value == op.KECCAK256:
+            offset, size = frame.popn(2)
+            frame.charge(6 * (ceil32(size) // 32))
+            frame.push(int.from_bytes(keccak256(frame.read_memory(offset, size)),
+                                      "big"))
+
+        # Environment --------------------------------------------------------
+        elif opcode_value == op.ADDRESS:
+            frame.push(int.from_bytes(frame.storage_address, "big"))
+        elif opcode_value == op.BALANCE:
+            frame.push(self.state.get_balance(word_to_address(frame.pop())))
+        elif opcode_value == op.ORIGIN:
+            frame.push(int.from_bytes(self.tx.origin, "big"))
+        elif opcode_value == op.CALLER:
+            frame.push(int.from_bytes(frame.caller, "big"))
+        elif opcode_value == op.CALLVALUE:
+            frame.push(frame.value)
+        elif opcode_value == op.CALLDATALOAD:
+            offset = frame.pop()
+            chunk = frame.calldata[offset:offset + 32]
+            frame.push(int.from_bytes(chunk.ljust(32, b"\x00"), "big"))
+        elif opcode_value == op.CALLDATASIZE:
+            frame.push(len(frame.calldata))
+        elif opcode_value == op.CALLDATACOPY:
+            dest, src, size = frame.popn(3)
+            frame.charge(3 * (ceil32(size) // 32))
+            chunk = frame.calldata[src:src + size]
+            frame.write_memory(dest, chunk.ljust(size, b"\x00"))
+        elif opcode_value == op.CODESIZE:
+            frame.push(len(frame.code))
+        elif opcode_value == op.CODECOPY:
+            dest, src, size = frame.popn(3)
+            frame.charge(3 * (ceil32(size) // 32))
+            chunk = frame.code[src:src + size]
+            frame.write_memory(dest, chunk.ljust(size, b"\x00"))
+        elif opcode_value == op.GASPRICE:
+            frame.push(self.tx.gas_price)
+        elif opcode_value == op.EXTCODESIZE:
+            frame.push(len(self.state.get_code(word_to_address(frame.pop()))))
+        elif opcode_value == op.EXTCODECOPY:
+            address_word, dest, src, size = frame.popn(4)
+            frame.charge(3 * (ceil32(size) // 32))
+            external = self.state.get_code(word_to_address(address_word))
+            chunk = external[src:src + size]
+            frame.write_memory(dest, chunk.ljust(size, b"\x00"))
+        elif opcode_value == op.RETURNDATASIZE:
+            frame.push(len(frame.return_data))
+        elif opcode_value == op.RETURNDATACOPY:
+            dest, src, size = frame.popn(3)
+            if src + size > len(frame.return_data):
+                raise InvalidOpcode("RETURNDATACOPY out of bounds")
+            frame.charge(3 * (ceil32(size) // 32))
+            frame.write_memory(dest, frame.return_data[src:src + size])
+        elif opcode_value == op.EXTCODEHASH:
+            external = self.state.get_code(word_to_address(frame.pop()))
+            frame.push(int.from_bytes(keccak256(external), "big") if external else 0)
+
+        # Block context --------------------------------------------------------
+        elif opcode_value == op.BLOCKHASH:
+            frame.push(self.block.block_hash(frame.pop()))
+        elif opcode_value == op.COINBASE:
+            frame.push(int.from_bytes(self.block.coinbase, "big"))
+        elif opcode_value == op.TIMESTAMP:
+            frame.push(self.block.timestamp)
+        elif opcode_value == op.NUMBER:
+            frame.push(self.block.number)
+        elif opcode_value == op.DIFFICULTY:
+            frame.push(self.block.prev_randao)
+        elif opcode_value == op.GASLIMIT:
+            frame.push(self.block.gas_limit)
+        elif opcode_value == op.CHAINID:
+            frame.push(self.block.chain_id)
+        elif opcode_value == op.SELFBALANCE:
+            frame.push(self.state.get_balance(frame.storage_address))
+        elif opcode_value == op.BASEFEE:
+            frame.push(self.block.base_fee)
+
+        # Stack / memory / storage --------------------------------------------
+        elif opcode_value == op.POP:
+            frame.pop()
+        elif opcode_value == op.MLOAD:
+            offset = frame.pop()
+            frame.push(int.from_bytes(frame.read_memory(offset, 32), "big"))
+        elif opcode_value == op.MSTORE:
+            offset, value = frame.popn(2)
+            frame.write_memory(offset, value.to_bytes(32, "big"))
+        elif opcode_value == op.MSTORE8:
+            offset, value = frame.popn(2)
+            frame.write_memory(offset, bytes([value & 0xFF]))
+        elif opcode_value == op.SLOAD:
+            slot = frame.pop()
+            value = self.state.get_storage(frame.storage_address, slot)
+            self.tracer.on_storage(StorageEvent(
+                "SLOAD", frame.depth, frame.storage_address,
+                frame.code_address, slot, value, frame.pc))
+            frame.push(value)
+        elif opcode_value == op.SSTORE:
+            if frame.is_static:
+                raise WriteProtection("SSTORE inside STATICCALL")
+            slot, value = frame.popn(2)
+            self.tracer.on_storage(StorageEvent(
+                "SSTORE", frame.depth, frame.storage_address,
+                frame.code_address, slot, value, frame.pc))
+            self.state.set_storage(frame.storage_address, slot, value)
+        elif opcode_value == op.JUMP:
+            target = frame.pop()
+            if target not in frame.jumpdests:
+                raise InvalidJump(f"jump to non-JUMPDEST offset {target}")
+            frame.pc = target
+            return None
+        elif opcode_value == op.JUMPI:
+            target, condition = frame.popn(2)
+            if condition:
+                if target not in frame.jumpdests:
+                    raise InvalidJump(f"jumpi to non-JUMPDEST offset {target}")
+                frame.pc = target
+                return None
+        elif opcode_value == op.PC:
+            frame.push(frame.pc)
+        elif opcode_value == op.MSIZE:
+            frame.push(len(frame.memory))
+        elif opcode_value == op.GAS:
+            frame.push(frame.gas)
+        elif opcode_value == op.JUMPDEST:
+            pass
+
+        # DUP / SWAP / LOG -----------------------------------------------------
+        elif 0x80 <= opcode_value <= 0x8F:
+            depth = opcode_value - 0x7F
+            if len(stack) < depth:
+                raise StackUnderflow(f"DUP{depth} underflow at pc={frame.pc}")
+            frame.push(stack[-depth])
+        elif 0x90 <= opcode_value <= 0x9F:
+            depth = opcode_value - 0x8F
+            if len(stack) < depth + 1:
+                raise StackUnderflow(f"SWAP{depth} underflow at pc={frame.pc}")
+            stack[-1], stack[-depth - 1] = stack[-depth - 1], stack[-1]
+        elif op.LOG0 <= opcode_value <= op.LOG4:
+            if frame.is_static:
+                raise WriteProtection("LOG inside STATICCALL")
+            topic_count = opcode_value - op.LOG0
+            offset, size = frame.popn(2)
+            topics = tuple(frame.popn(topic_count))
+            payload = frame.read_memory(offset, size)
+            self.tracer.on_log(LogEvent(
+                emitter=frame.storage_address,
+                topics=topics,
+                data=payload,
+                depth=frame.depth,
+            ))
+
+        # Calls and creates ------------------------------------------------------
+        elif opcode_value in (op.CALL, op.CALLCODE, op.DELEGATECALL, op.STATICCALL):
+            self._do_call(frame, opcode_value)
+        elif opcode_value in (op.CREATE, op.CREATE2):
+            self._do_create(frame, opcode_value)
+
+        # Halting -----------------------------------------------------------------
+        elif opcode_value == op.RETURN:
+            offset, size = frame.popn(2)
+            return frame.read_memory(offset, size)
+        elif opcode_value == op.REVERT:
+            offset, size = frame.popn(2)
+            raise Revert(frame.read_memory(offset, size))
+        elif opcode_value == op.SELFDESTRUCT:
+            if frame.is_static:
+                raise WriteProtection("SELFDESTRUCT inside STATICCALL")
+            beneficiary = word_to_address(frame.pop())
+            balance = self.state.get_balance(frame.storage_address)
+            self.state.set_balance(frame.storage_address, 0)
+            self.state.set_balance(
+                beneficiary, self.state.get_balance(beneficiary) + balance)
+            self.state.mark_destroyed(frame.storage_address)
+            return b""
+        else:  # pragma: no cover - table and dispatcher disagree
+            raise InvalidOpcode(f"unhandled opcode 0x{opcode_value:02x}")
+        return None
+
+    # --------------------------------------------------------------- sub-calls
+    def _do_call(self, frame: Frame, opcode_value: int) -> None:
+        if opcode_value in (op.CALL, op.CALLCODE):
+            (gas_requested, target_word, value,
+             in_offset, in_size, out_offset, out_size) = frame.popn(7)
+        else:
+            (gas_requested, target_word,
+             in_offset, in_size, out_offset, out_size) = frame.popn(6)
+            value = 0
+
+        kind = {op.CALL: "CALL", op.CALLCODE: "CALLCODE",
+                op.DELEGATECALL: "DELEGATECALL", op.STATICCALL: "STATICCALL"}[opcode_value]
+        if kind == "CALL" and frame.is_static and value:
+            raise WriteProtection("value-bearing CALL inside STATICCALL")
+
+        target = word_to_address(target_word & ADDRESS_MASK)
+        input_data = frame.read_memory(in_offset, in_size)
+        frame.expand_memory(out_offset, out_size)
+
+        # EIP-150 63/64 rule with the value stipend.
+        gas_available = frame.gas - frame.gas // 64
+        gas_forwarded = min(gas_requested, gas_available)
+        frame.charge(gas_forwarded)
+        if value:
+            gas_forwarded += CALL_STIPEND
+
+        self.tracer.on_call(CallEvent(
+            kind=kind,
+            depth=frame.depth,
+            caller_code_address=frame.code_address,
+            caller_storage_address=frame.storage_address,
+            caller_calldata=frame.calldata,
+            target=target,
+            input_data=input_data,
+            value=value if kind in ("CALL", "CALLCODE") else frame.value,
+            pc=frame.pc,
+        ))
+
+        if kind == "CALL":
+            message = Message(
+                sender=frame.storage_address, to=target, value=value,
+                data=input_data, gas=gas_forwarded,
+                is_static=frame.is_static, depth=frame.depth + 1)
+        elif kind == "CALLCODE":
+            message = Message(
+                sender=frame.storage_address, to=frame.storage_address,
+                value=value, data=input_data, gas=gas_forwarded,
+                is_static=frame.is_static, code_address=target,
+                storage_address=frame.storage_address, depth=frame.depth + 1)
+        elif kind == "DELEGATECALL":
+            # The defining semantics of the proxy pattern: the callee's code
+            # runs with the *caller's* storage, caller identity and value.
+            message = Message(
+                sender=frame.caller, to=frame.storage_address,
+                value=frame.value, data=input_data, gas=gas_forwarded,
+                is_static=frame.is_static, code_address=target,
+                storage_address=frame.storage_address, depth=frame.depth + 1)
+        else:  # STATICCALL
+            message = Message(
+                sender=frame.storage_address, to=target, value=0,
+                data=input_data, gas=gas_forwarded,
+                is_static=True, depth=frame.depth + 1)
+
+        result = self._call(message)
+        frame.gas += gas_forwarded - result.gas_used
+        frame.return_data = result.output
+        if out_size:
+            frame.write_memory(out_offset, result.output[:out_size].ljust(
+                min(out_size, len(result.output)), b"\x00"))
+        frame.push(int(result.success))
+
+    def _do_create(self, frame: Frame, opcode_value: int) -> None:
+        if frame.is_static:
+            raise WriteProtection("CREATE inside STATICCALL")
+        if opcode_value == op.CREATE2:
+            value, offset, size, salt = frame.popn(4)
+        else:
+            value, offset, size = frame.popn(3)
+            salt = None
+        init_code = frame.read_memory(offset, size)
+        gas_forwarded = frame.gas - frame.gas // 64
+        frame.charge(gas_forwarded)
+
+        message = Message(
+            sender=frame.storage_address, to=None, value=value,
+            data=init_code, gas=gas_forwarded, create_salt=salt,
+            depth=frame.depth + 1)
+        result = self._create(message)
+        frame.gas += gas_forwarded - result.gas_used
+        frame.return_data = b"" if result.success else result.output
+        frame.push(int.from_bytes(result.created_address, "big")
+                   if result.success and result.created_address else 0)
+
+
+def _scan_jumpdests(code: bytes) -> frozenset[int]:
+    """Valid JUMPDEST offsets (skipping PUSH immediates), per EVM rules."""
+    dests: set[int] = set()
+    pc = 0
+    code_len = len(code)
+    while pc < code_len:
+        byte = code[pc]
+        if byte == op.JUMPDEST:
+            dests.add(pc)
+            pc += 1
+        elif op.PUSH1 <= byte <= op.PUSH32:
+            pc += 1 + (byte - op.PUSH0)
+        else:
+            pc += 1
+    return frozenset(dests)

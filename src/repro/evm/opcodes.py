@@ -1,0 +1,252 @@
+"""The EVM instruction set (through the Shanghai fork).
+
+Each opcode carries its mnemonic, the number of immediate operand bytes
+(non-zero only for the ``PUSH1``..``PUSH32`` family), its stack consumption
+and production, and a base gas cost.  Dynamic gas components (memory
+expansion, cold/warm account access, copy costs) are handled by the
+interpreter; the static table mirrors the Yellow Paper's ``W`` sets closely
+enough for the paper's workloads.
+
+The table intentionally covers the opcodes the paper's §4.2 calls out as
+extensions over Octopus: ``CALL``, ``DELEGATECALL``, ``CREATE``, ``CREATE2``,
+plus the block-environment opcodes (``NUMBER``, ``BLOCKHASH``, ``CHAINID``,
+``BASEFEE``, ``COINBASE``, ...) that the emulator must answer with plausible
+chain values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Opcode:
+    """Static description of one EVM instruction."""
+
+    value: int
+    mnemonic: str
+    immediate_size: int
+    stack_inputs: int
+    stack_outputs: int
+    base_gas: int
+
+    @property
+    def is_push(self) -> bool:
+        return PUSH0 <= self.value <= PUSH32
+
+    @property
+    def is_dup(self) -> bool:
+        return 0x80 <= self.value <= 0x8F
+
+    @property
+    def is_swap(self) -> bool:
+        return 0x90 <= self.value <= 0x9F
+
+    @property
+    def is_terminator(self) -> bool:
+        """True when control flow cannot fall through this instruction."""
+        return self.value in (STOP, JUMP, RETURN, REVERT, SELFDESTRUCT, INVALID)
+
+    @property
+    def is_jump(self) -> bool:
+        return self.value in (JUMP, JUMPI)
+
+    @property
+    def is_call(self) -> bool:
+        return self.value in (CALL, CALLCODE, DELEGATECALL, STATICCALL)
+
+
+# Named opcode values used throughout the analyzers.
+STOP = 0x00
+ADD = 0x01
+MUL = 0x02
+SUB = 0x03
+DIV = 0x04
+SDIV = 0x05
+MOD = 0x06
+SMOD = 0x07
+ADDMOD = 0x08
+MULMOD = 0x09
+EXP = 0x0A
+SIGNEXTEND = 0x0B
+LT = 0x10
+GT = 0x11
+SLT = 0x12
+SGT = 0x13
+EQ = 0x14
+ISZERO = 0x15
+AND = 0x16
+OR = 0x17
+XOR = 0x18
+NOT = 0x19
+BYTE = 0x1A
+SHL = 0x1B
+SHR = 0x1C
+SAR = 0x1D
+KECCAK256 = 0x20
+ADDRESS = 0x30
+BALANCE = 0x31
+ORIGIN = 0x32
+CALLER = 0x33
+CALLVALUE = 0x34
+CALLDATALOAD = 0x35
+CALLDATASIZE = 0x36
+CALLDATACOPY = 0x37
+CODESIZE = 0x38
+CODECOPY = 0x39
+GASPRICE = 0x3A
+EXTCODESIZE = 0x3B
+EXTCODECOPY = 0x3C
+RETURNDATASIZE = 0x3D
+RETURNDATACOPY = 0x3E
+EXTCODEHASH = 0x3F
+BLOCKHASH = 0x40
+COINBASE = 0x41
+TIMESTAMP = 0x42
+NUMBER = 0x43
+DIFFICULTY = 0x44  # PREVRANDAO post-merge; same byte.
+GASLIMIT = 0x45
+CHAINID = 0x46
+SELFBALANCE = 0x47
+BASEFEE = 0x48
+POP = 0x50
+MLOAD = 0x51
+MSTORE = 0x52
+MSTORE8 = 0x53
+SLOAD = 0x54
+SSTORE = 0x55
+JUMP = 0x56
+JUMPI = 0x57
+PC = 0x58
+MSIZE = 0x59
+GAS = 0x5A
+JUMPDEST = 0x5B
+PUSH0 = 0x5F
+PUSH1 = 0x60
+PUSH4 = 0x63
+PUSH20 = 0x73
+PUSH32 = 0x7F
+DUP1 = 0x80
+SWAP1 = 0x90
+LOG0 = 0xA0
+LOG4 = 0xA4
+CREATE = 0xF0
+CALL = 0xF1
+CALLCODE = 0xF2
+RETURN = 0xF3
+DELEGATECALL = 0xF4
+CREATE2 = 0xF5
+STATICCALL = 0xFA
+REVERT = 0xFD
+INVALID = 0xFE
+SELFDESTRUCT = 0xFF
+
+
+def _build_table() -> dict[int, Opcode]:
+    table: dict[int, Opcode] = {}
+
+    def define(value: int, mnemonic: str, inputs: int, outputs: int,
+               gas: int, immediate: int = 0) -> None:
+        table[value] = Opcode(value, mnemonic, immediate, inputs, outputs, gas)
+
+    define(STOP, "STOP", 0, 0, 0)
+    define(ADD, "ADD", 2, 1, 3)
+    define(MUL, "MUL", 2, 1, 5)
+    define(SUB, "SUB", 2, 1, 3)
+    define(DIV, "DIV", 2, 1, 5)
+    define(SDIV, "SDIV", 2, 1, 5)
+    define(MOD, "MOD", 2, 1, 5)
+    define(SMOD, "SMOD", 2, 1, 5)
+    define(ADDMOD, "ADDMOD", 3, 1, 8)
+    define(MULMOD, "MULMOD", 3, 1, 8)
+    define(EXP, "EXP", 2, 1, 10)
+    define(SIGNEXTEND, "SIGNEXTEND", 2, 1, 5)
+    define(LT, "LT", 2, 1, 3)
+    define(GT, "GT", 2, 1, 3)
+    define(SLT, "SLT", 2, 1, 3)
+    define(SGT, "SGT", 2, 1, 3)
+    define(EQ, "EQ", 2, 1, 3)
+    define(ISZERO, "ISZERO", 1, 1, 3)
+    define(AND, "AND", 2, 1, 3)
+    define(OR, "OR", 2, 1, 3)
+    define(XOR, "XOR", 2, 1, 3)
+    define(NOT, "NOT", 1, 1, 3)
+    define(BYTE, "BYTE", 2, 1, 3)
+    define(SHL, "SHL", 2, 1, 3)
+    define(SHR, "SHR", 2, 1, 3)
+    define(SAR, "SAR", 2, 1, 3)
+    define(KECCAK256, "KECCAK256", 2, 1, 30)
+    define(ADDRESS, "ADDRESS", 0, 1, 2)
+    define(BALANCE, "BALANCE", 1, 1, 100)
+    define(ORIGIN, "ORIGIN", 0, 1, 2)
+    define(CALLER, "CALLER", 0, 1, 2)
+    define(CALLVALUE, "CALLVALUE", 0, 1, 2)
+    define(CALLDATALOAD, "CALLDATALOAD", 1, 1, 3)
+    define(CALLDATASIZE, "CALLDATASIZE", 0, 1, 2)
+    define(CALLDATACOPY, "CALLDATACOPY", 3, 0, 3)
+    define(CODESIZE, "CODESIZE", 0, 1, 2)
+    define(CODECOPY, "CODECOPY", 3, 0, 3)
+    define(GASPRICE, "GASPRICE", 0, 1, 2)
+    define(EXTCODESIZE, "EXTCODESIZE", 1, 1, 100)
+    define(EXTCODECOPY, "EXTCODECOPY", 4, 0, 100)
+    define(RETURNDATASIZE, "RETURNDATASIZE", 0, 1, 2)
+    define(RETURNDATACOPY, "RETURNDATACOPY", 3, 0, 3)
+    define(EXTCODEHASH, "EXTCODEHASH", 1, 1, 100)
+    define(BLOCKHASH, "BLOCKHASH", 1, 1, 20)
+    define(COINBASE, "COINBASE", 0, 1, 2)
+    define(TIMESTAMP, "TIMESTAMP", 0, 1, 2)
+    define(NUMBER, "NUMBER", 0, 1, 2)
+    define(DIFFICULTY, "DIFFICULTY", 0, 1, 2)
+    define(GASLIMIT, "GASLIMIT", 0, 1, 2)
+    define(CHAINID, "CHAINID", 0, 1, 2)
+    define(SELFBALANCE, "SELFBALANCE", 0, 1, 5)
+    define(BASEFEE, "BASEFEE", 0, 1, 2)
+    define(POP, "POP", 1, 0, 2)
+    define(MLOAD, "MLOAD", 1, 1, 3)
+    define(MSTORE, "MSTORE", 2, 0, 3)
+    define(MSTORE8, "MSTORE8", 2, 0, 3)
+    define(SLOAD, "SLOAD", 1, 1, 100)
+    define(SSTORE, "SSTORE", 2, 0, 100)
+    define(JUMP, "JUMP", 1, 0, 8)
+    define(JUMPI, "JUMPI", 2, 0, 10)
+    define(PC, "PC", 0, 1, 2)
+    define(MSIZE, "MSIZE", 0, 1, 2)
+    define(GAS, "GAS", 0, 1, 2)
+    define(JUMPDEST, "JUMPDEST", 0, 0, 1)
+    define(PUSH0, "PUSH0", 0, 1, 2)
+    for width in range(1, 33):
+        define(PUSH0 + width, f"PUSH{width}", 0, 1, 3, immediate=width)
+    for depth in range(1, 17):
+        define(0x80 + depth - 1, f"DUP{depth}", depth, depth + 1, 3)
+    for depth in range(1, 17):
+        define(0x90 + depth - 1, f"SWAP{depth}", depth + 1, depth + 1, 3)
+    for topics in range(5):
+        define(LOG0 + topics, f"LOG{topics}", 2 + topics, 0, 375 * (topics + 1))
+    define(CREATE, "CREATE", 3, 1, 32000)
+    define(CALL, "CALL", 7, 1, 100)
+    define(CALLCODE, "CALLCODE", 7, 1, 100)
+    define(RETURN, "RETURN", 2, 0, 0)
+    define(DELEGATECALL, "DELEGATECALL", 6, 1, 100)
+    define(CREATE2, "CREATE2", 4, 1, 32000)
+    define(STATICCALL, "STATICCALL", 6, 1, 100)
+    define(REVERT, "REVERT", 2, 0, 0)
+    define(INVALID, "INVALID", 0, 0, 0)
+    define(SELFDESTRUCT, "SELFDESTRUCT", 1, 0, 5000)
+    return table
+
+
+OPCODES: dict[int, Opcode] = _build_table()
+
+BY_MNEMONIC: dict[str, Opcode] = {op.mnemonic: op for op in OPCODES.values()}
+
+
+def opcode_for(value: int) -> Opcode | None:
+    """Look up an opcode by byte value; ``None`` for unassigned bytes."""
+    return OPCODES.get(value)
+
+
+def push_opcode(width: int) -> Opcode:
+    """Return the ``PUSH{width}`` opcode (width 0..32)."""
+    if not 0 <= width <= 32:
+        raise ValueError(f"PUSH width out of range: {width}")
+    return OPCODES[PUSH0 + width]

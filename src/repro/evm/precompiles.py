@@ -1,0 +1,54 @@
+"""The precompiled contracts at addresses 0x01..0x04.
+
+Real mainnet contracts routinely call ``sha256``, ``ripemd160`` and the
+``identity`` copy precompile; ``ecrecover`` appears in signature-checking
+paths.  We implement the hash/copy precompiles exactly and give ``ecrecover``
+a deterministic stub (no secp256k1 available offline): it returns a pseudo
+address derived from the input hash, which keeps signature-branching
+contracts executable under emulation without claiming real recovery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+from repro.utils.hexutil import ADDRESS_BYTES, WORD_BYTES
+from repro.utils.keccak import keccak256
+
+PrecompileFn = Callable[[bytes], bytes]
+
+
+def _ecrecover(data: bytes) -> bytes:
+    padded = data.ljust(4 * WORD_BYTES, b"\x00")[: 4 * WORD_BYTES]
+    pseudo = keccak256(b"ecrecover:" + padded)[-ADDRESS_BYTES:]
+    return pseudo.rjust(WORD_BYTES, b"\x00")
+
+
+def _sha256(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
+def _ripemd160(data: bytes) -> bytes:
+    digest = hashlib.new("ripemd160", data).digest()
+    return digest.rjust(WORD_BYTES, b"\x00")
+
+
+def _identity(data: bytes) -> bytes:
+    return data
+
+
+PRECOMPILES: dict[bytes, PrecompileFn] = {
+    (1).to_bytes(ADDRESS_BYTES, "big"): _ecrecover,
+    (2).to_bytes(ADDRESS_BYTES, "big"): _sha256,
+    (3).to_bytes(ADDRESS_BYTES, "big"): _ripemd160,
+    (4).to_bytes(ADDRESS_BYTES, "big"): _identity,
+}
+
+
+def is_precompile(address: bytes) -> bool:
+    return address in PRECOMPILES
+
+
+def run_precompile(address: bytes, data: bytes) -> bytes:
+    return PRECOMPILES[address](data)

@@ -1,0 +1,61 @@
+"""Annotated disassembly, in the style of the paper's Listing 3.
+
+Renders runtime bytecode with the structural annotations a human reviewer
+needs: the function-selection chain marked with resolved selectors (and
+names, when a selector table is supplied), block labels at JUMPDESTs that
+dispatcher entries target, and the fallback region — e.g.::
+
+    001f 63 PUSH4 0xdf4a3106   // selector of impl_LUsXCWD2AKCc()
+    0024 14 EQ
+    0025 61 PUSH2 0x00ce
+    0028 57 JUMPI
+    ...
+    00ce 5b JUMPDEST           // impl_LUsXCWD2AKCc():
+"""
+
+from __future__ import annotations
+
+from repro.evm.cfg import dispatcher_functions
+from repro.evm.disassembler import disassemble
+
+
+def annotate(code: bytes,
+             selector_names: dict[bytes, str] | None = None) -> str:
+    """Render bytecode as an annotated listing."""
+    selector_names = selector_names or {}
+    listing = disassemble(code)
+    entries = dispatcher_functions(code)
+    selector_of_body = {entry.body_offset: entry.selector
+                        for entry in entries}
+    known_selectors = {entry.selector for entry in entries}
+
+    lines: list[str] = []
+    for instruction in listing.instructions:
+        raw = code[instruction.offset:instruction.offset + instruction.size]
+        text = (f"{instruction.offset:04x} {raw[:1].hex()} "
+                f"{instruction.opcode.mnemonic}")
+        if instruction.operand:
+            text += f" 0x{instruction.operand.hex()}"
+
+        comment = None
+        if (instruction.opcode.immediate_size == 4
+                and instruction.operand in known_selectors):
+            name = selector_names.get(instruction.operand)
+            comment = (f"selector of {name}" if name
+                       else f"dispatcher selector 0x{instruction.operand.hex()}")
+        elif instruction.offset in selector_of_body:
+            selector = selector_of_body[instruction.offset]
+            name = selector_names.get(selector,
+                                      f"0x{selector.hex()}")
+            comment = f"{name}:"
+        elif instruction.opcode.value == 0xF4:
+            comment = "DELEGATECALL — the proxy forwarding site"
+
+        if comment:
+            text = f"{text:<34s} // {comment}"
+        lines.append(text)
+    for invalid in listing.invalid_bytes:
+        lines.append(f"{invalid.offset:04x} {code[invalid.offset]:02x} "
+                     f"<data/metadata>")
+    lines.sort(key=lambda line: int(line[:4], 16))
+    return "\n".join(lines)

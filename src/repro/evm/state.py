@@ -1,0 +1,212 @@
+"""State backends the interpreter executes against.
+
+The interpreter only touches accounts through the small
+:class:`StateBackend` protocol, so the same EVM core serves two masters:
+
+* the full simulated blockchain (``repro.chain.state.WorldState``), where
+  writes are persistent and become part of block history; and
+* the ProxioN emulator, which wraps any read-only snapshot in an
+  :class:`OverlayState` so crafted-calldata executions never disturb the
+  underlying chain.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.utils.keccak import keccak256
+
+EMPTY_CODE_HASH = keccak256(b"")
+
+
+@runtime_checkable
+class StateBackend(Protocol):
+    """Minimal account-state surface required by the EVM interpreter."""
+
+    def get_code(self, address: bytes) -> bytes: ...
+
+    def get_storage(self, address: bytes, slot: int) -> int: ...
+
+    def set_storage(self, address: bytes, slot: int, value: int) -> None: ...
+
+    def get_balance(self, address: bytes) -> int: ...
+
+    def set_balance(self, address: bytes, value: int) -> None: ...
+
+    def get_nonce(self, address: bytes) -> int: ...
+
+    def set_nonce(self, address: bytes, value: int) -> None: ...
+
+    def set_code(self, address: bytes, code: bytes) -> None: ...
+
+    def account_exists(self, address: bytes) -> bool: ...
+
+    def mark_destroyed(self, address: bytes) -> None: ...
+
+    def snapshot(self) -> object: ...
+
+    def revert(self, snapshot: object) -> None: ...
+
+
+class MemoryState:
+    """A plain in-memory :class:`StateBackend` (tests and ad-hoc runs)."""
+
+    def __init__(self) -> None:
+        self._code: dict[bytes, bytes] = {}
+        self._storage: dict[tuple[bytes, int], int] = {}
+        self._balance: dict[bytes, int] = {}
+        self._nonce: dict[bytes, int] = {}
+        self._destroyed: set[bytes] = set()
+
+    def snapshot(self) -> tuple:
+        return (
+            dict(self._code),
+            dict(self._storage),
+            dict(self._balance),
+            dict(self._nonce),
+            set(self._destroyed),
+        )
+
+    def revert(self, snapshot: tuple) -> None:
+        self._code, self._storage, self._balance, self._nonce, self._destroyed = (
+            dict(snapshot[0]),
+            dict(snapshot[1]),
+            dict(snapshot[2]),
+            dict(snapshot[3]),
+            set(snapshot[4]),
+        )
+
+    def get_code(self, address: bytes) -> bytes:
+        return self._code.get(address, b"")
+
+    def set_code(self, address: bytes, code: bytes) -> None:
+        self._code[address] = code
+
+    def get_storage(self, address: bytes, slot: int) -> int:
+        return self._storage.get((address, slot), 0)
+
+    def set_storage(self, address: bytes, slot: int, value: int) -> None:
+        if value:
+            self._storage[(address, slot)] = value
+        else:
+            self._storage.pop((address, slot), None)
+
+    def get_balance(self, address: bytes) -> int:
+        return self._balance.get(address, 0)
+
+    def set_balance(self, address: bytes, value: int) -> None:
+        self._balance[address] = value
+
+    def get_nonce(self, address: bytes) -> int:
+        return self._nonce.get(address, 0)
+
+    def set_nonce(self, address: bytes, value: int) -> None:
+        self._nonce[address] = value
+
+    def account_exists(self, address: bytes) -> bool:
+        return (
+            address in self._code
+            or address in self._balance
+            or address in self._nonce
+        )
+
+    def mark_destroyed(self, address: bytes) -> None:
+        self._destroyed.add(address)
+        self._code.pop(address, None)
+
+
+class OverlayState:
+    """Copy-on-write view over a read-only base state.
+
+    All writes land in the overlay; reads fall through to the base unless
+    shadowed.  ``revert()``/``snapshot()`` give the interpreter cheap frame
+    rollback for failed sub-calls.
+    """
+
+    def __init__(self, base: StateBackend) -> None:
+        self._base = base
+        self._code: dict[bytes, bytes] = {}
+        self._storage: dict[tuple[bytes, int], int] = {}
+        self._balance: dict[bytes, int] = {}
+        self._nonce: dict[bytes, int] = {}
+        self._destroyed: set[bytes] = set()
+
+    def snapshot(self) -> tuple:
+        return (
+            dict(self._code),
+            dict(self._storage),
+            dict(self._balance),
+            dict(self._nonce),
+            set(self._destroyed),
+        )
+
+    def revert(self, snapshot: tuple) -> None:
+        self._code, self._storage, self._balance, self._nonce, self._destroyed = (
+            dict(snapshot[0]),
+            dict(snapshot[1]),
+            dict(snapshot[2]),
+            dict(snapshot[3]),
+            set(snapshot[4]),
+        )
+
+    def get_code(self, address: bytes) -> bytes:
+        if address in self._destroyed:
+            return b""
+        if address in self._code:
+            return self._code[address]
+        return self._base.get_code(address)
+
+    def set_code(self, address: bytes, code: bytes) -> None:
+        self._code[address] = code
+        self._destroyed.discard(address)
+
+    def get_storage(self, address: bytes, slot: int) -> int:
+        key = (address, slot)
+        if key in self._storage:
+            return self._storage[key]
+        if address in self._destroyed:
+            return 0
+        return self._base.get_storage(address, slot)
+
+    def set_storage(self, address: bytes, slot: int, value: int) -> None:
+        self._storage[(address, slot)] = value
+
+    def get_balance(self, address: bytes) -> int:
+        if address in self._balance:
+            return self._balance[address]
+        return self._base.get_balance(address)
+
+    def set_balance(self, address: bytes, value: int) -> None:
+        self._balance[address] = value
+
+    def get_nonce(self, address: bytes) -> int:
+        if address in self._nonce:
+            return self._nonce[address]
+        return self._base.get_nonce(address)
+
+    def set_nonce(self, address: bytes, value: int) -> None:
+        self._nonce[address] = value
+
+    def account_exists(self, address: bytes) -> bool:
+        if address in self._destroyed:
+            return False
+        if address in self._code or address in self._balance or address in self._nonce:
+            return True
+        return self._base.account_exists(address)
+
+    def mark_destroyed(self, address: bytes) -> None:
+        self._destroyed.add(address)
+        self._code[address] = b""
+
+
+def transfer_value(state: StateBackend, sender: bytes, recipient: bytes,
+                   value: int) -> bool:
+    """Move ``value`` wei; returns ``False`` when the sender lacks funds."""
+    if value == 0:
+        return True
+    balance = state.get_balance(sender)
+    if balance < value:
+        return False
+    state.set_balance(sender, balance - value)
+    state.set_balance(recipient, state.get_balance(recipient) + value)
+    return True

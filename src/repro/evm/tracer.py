@@ -1,0 +1,173 @@
+"""Execution tracing hooks.
+
+ProxioN's dynamic analysis (§4.2) is *observation*: run crafted calldata and
+watch whether a DELEGATECALL forwards it to another contract.  The
+interpreter emits structured events through a :class:`Tracer`, and
+:class:`CallTracer` / :class:`StorageTracer` collect the streams the
+detectors consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.evm.interpreter import Frame
+
+
+@dataclass(frozen=True, slots=True)
+class CallEvent:
+    """A CALL-family instruction about to execute a sub-frame."""
+
+    kind: str                 # CALL | CALLCODE | DELEGATECALL | STATICCALL
+    depth: int
+    caller_code_address: bytes
+    caller_storage_address: bytes
+    caller_calldata: bytes
+    target: bytes
+    input_data: bytes
+    value: int
+    pc: int
+
+    @property
+    def forwards_full_calldata(self) -> bool:
+        """True when the sub-call input is exactly the frame's calldata.
+
+        This is the paper's proxy criterion: the fallback path must forward
+        the *received* call data unmodified.  Library calls re-encode
+        arguments, so their input never equals the incoming calldata.
+        """
+        return self.input_data == self.caller_calldata
+
+
+@dataclass(frozen=True, slots=True)
+class CreateEvent:
+    """A CREATE/CREATE2 executed by a frame."""
+
+    kind: str                 # CREATE | CREATE2
+    depth: int
+    creator: bytes
+    new_address: bytes
+    init_code: bytes
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class LogEvent:
+    """A LOG0..LOG4 emission (an Ethereum event)."""
+
+    emitter: bytes            # the storage-context address (proxy for proxies!)
+    topics: tuple[int, ...]
+    data: bytes
+    depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class StorageEvent:
+    """One SLOAD or SSTORE, observed with its resolved slot and value."""
+
+    kind: str                 # SLOAD | SSTORE
+    depth: int
+    storage_address: bytes
+    code_address: bytes
+    slot: int
+    value: int
+    pc: int
+
+
+class Tracer(Protocol):
+    """Hook surface the interpreter reports into."""
+
+    def on_instruction(self, frame: "Frame", pc: int, opcode_value: int) -> None: ...
+
+    def on_call(self, event: CallEvent) -> None: ...
+
+    def on_create(self, event: CreateEvent) -> None: ...
+
+    def on_storage(self, event: StorageEvent) -> None: ...
+
+    def on_log(self, event: LogEvent) -> None: ...
+
+
+class NullTracer:
+    """A tracer that ignores everything (the default)."""
+
+    def on_instruction(self, frame: "Frame", pc: int, opcode_value: int) -> None:
+        pass
+
+    def on_call(self, event: CallEvent) -> None:
+        pass
+
+    def on_create(self, event: CreateEvent) -> None:
+        pass
+
+    def on_storage(self, event: StorageEvent) -> None:
+        pass
+
+    def on_log(self, event: LogEvent) -> None:
+        pass
+
+
+@dataclass
+class CallTracer(NullTracer):
+    """Collects the CALL-family, CREATE and LOG event streams."""
+
+    calls: list[CallEvent] = field(default_factory=list)
+    creates: list[CreateEvent] = field(default_factory=list)
+    logs: list[LogEvent] = field(default_factory=list)
+
+    def on_call(self, event: CallEvent) -> None:
+        self.calls.append(event)
+
+    def on_create(self, event: CreateEvent) -> None:
+        self.creates.append(event)
+
+    def on_log(self, event: LogEvent) -> None:
+        self.logs.append(event)
+
+    def delegatecalls(self) -> list[CallEvent]:
+        return [event for event in self.calls if event.kind == "DELEGATECALL"]
+
+
+@dataclass
+class StorageTracer(NullTracer):
+    """Collects SLOAD/SSTORE events (exploit verification, §5.2)."""
+
+    events: list[StorageEvent] = field(default_factory=list)
+
+    def on_storage(self, event: StorageEvent) -> None:
+        self.events.append(event)
+
+    def writes_to(self, address: bytes) -> list[StorageEvent]:
+        return [
+            event for event in self.events
+            if event.kind == "SSTORE" and event.storage_address == address
+        ]
+
+
+@dataclass
+class CombinedTracer(NullTracer):
+    """Fans every event out to several tracers."""
+
+    tracers: list[Tracer] = field(default_factory=list)
+
+    def on_instruction(self, frame: "Frame", pc: int, opcode_value: int) -> None:
+        for tracer in self.tracers:
+            tracer.on_instruction(frame, pc, opcode_value)
+
+    def on_call(self, event: CallEvent) -> None:
+        for tracer in self.tracers:
+            tracer.on_call(event)
+
+    def on_create(self, event: CreateEvent) -> None:
+        for tracer in self.tracers:
+            tracer.on_create(event)
+
+    def on_storage(self, event: StorageEvent) -> None:
+        for tracer in self.tracers:
+            tracer.on_storage(event)
+
+    def on_log(self, event: LogEvent) -> None:
+        for tracer in self.tracers:
+            tracer.on_log(event)

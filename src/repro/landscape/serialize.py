@@ -1,0 +1,107 @@
+"""JSON serialization of analysis results.
+
+Turns :class:`~repro.core.report.LandscapeReport` (and single
+:class:`~repro.core.report.ContractAnalysis` records) into plain
+JSON-compatible dictionaries, for the CLI's ``--json`` output and for
+downstream tooling that wants to consume sweeps without importing the
+library.  Addresses render as ``0x``-hex; enums as their values.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.report import ContractAnalysis, LandscapeReport
+from repro.core.symexec import SlotKey
+
+
+def _hex(data: bytes | None) -> str | None:
+    return None if data is None else "0x" + data.hex()
+
+
+def _slot(slot: SlotKey) -> dict[str, Any]:
+    return {"kind": slot.kind, "base": slot.base}
+
+
+def analysis_to_dict(analysis: ContractAnalysis) -> dict[str, Any]:
+    """One contract's full analysis as a JSON-compatible dict."""
+    record: dict[str, Any] = {
+        "address": _hex(analysis.address),
+        "code_hash": _hex(analysis.code_hash),
+        "has_source": analysis.has_source,
+        "has_transactions": analysis.has_transactions,
+        "hidden": analysis.is_hidden,
+        "deploy_block": analysis.deploy_block,
+        "deploy_year": analysis.deploy_year,
+        "is_proxy": analysis.is_proxy,
+        "standard": analysis.standard.value if analysis.standard else None,
+        "emulation_failed": analysis.emulation_failed,
+    }
+    if analysis.check is not None:
+        record["check"] = {
+            "reason": analysis.check.reason.value if analysis.check.reason else None,
+            "logic_address": _hex(analysis.check.logic_address),
+            "logic_location": analysis.check.logic_location.value,
+            "logic_slot": (hex(analysis.check.logic_slot)
+                           if analysis.check.logic_slot is not None else None),
+        }
+    if analysis.logic_history is not None:
+        record["logic_history"] = {
+            "addresses": [_hex(a) for a in
+                          analysis.logic_history.logic_addresses],
+            "upgrade_count": analysis.logic_history.upgrade_count,
+            "api_calls_used": analysis.logic_history.api_calls_used,
+        }
+    record["function_collisions"] = [
+        {
+            "logic": _hex(report.logic),
+            "proxy_mode": report.proxy_mode,
+            "logic_mode": report.logic_mode,
+            "selectors": [_hex(c.selector) for c in report.collisions],
+        }
+        for report in analysis.function_reports if report.has_collision
+    ]
+    record["storage_collisions"] = [
+        {
+            "logic": _hex(report.logic),
+            "collisions": [
+                {
+                    "slot": _slot(c.slot),
+                    "proxy_range": [c.proxy_use.offset, c.proxy_use.end],
+                    "logic_range": [c.logic_use.offset, c.logic_use.end],
+                    "kind": c.kind,
+                    "sensitive": c.sensitive,
+                    "exploitable": c.exploitable,
+                    "verified": c.verified,
+                    "exploit_selector": _hex(c.exploit_selector),
+                }
+                for c in report.collisions
+            ],
+        }
+        for report in analysis.storage_reports if report.has_collision
+    ]
+    return record
+
+
+def report_to_dict(report: LandscapeReport) -> dict[str, Any]:
+    """A whole sweep as a JSON-compatible dict with summary counters."""
+    return {
+        "summary": {
+            "contracts": len(report),
+            "proxies": len(report.proxies()),
+            "hidden_proxies": len(report.hidden_proxies()),
+            "function_collision_pairs": report.function_collision_pairs(),
+            "storage_collision_pairs": report.storage_collision_pairs(),
+            "emulation_failure_rate": report.emulation_failure_rate(),
+            "standards": {standard.value: count for standard, count
+                          in report.standards_census().items()},
+        },
+        "contracts": [analysis_to_dict(analysis)
+                      for analysis in report.analyses.values()],
+    }
+
+
+def report_to_json(report: LandscapeReport, indent: int | None = 2) -> str:
+    """Serialize a sweep to a JSON string."""
+    return json.dumps(report_to_dict(report), indent=indent)

@@ -1,0 +1,40 @@
+"""Mini contract language: types, storage layout, compiler, patterns."""
+
+from repro.lang import ast, stdlib
+from repro.lang.asm import Assembler
+from repro.lang.compiler import CompileError, compile_contract, compile_runtime
+from repro.lang.source import contract_source_of, render_source
+from repro.lang.storage_layout import (
+    DIAMOND_STORAGE_SLOT,
+    EIP1822_PROXIABLE_SLOT,
+    EIP1967_ADMIN_SLOT,
+    EIP1967_IMPLEMENTATION_SLOT,
+    SlotAssignment,
+    StorageLayout,
+    compute_layout,
+    mapping_element_slot,
+)
+from repro.lang.types import MappingType, ValueType, parse_type, types_compatible
+
+__all__ = [
+    "Assembler",
+    "CompileError",
+    "DIAMOND_STORAGE_SLOT",
+    "EIP1822_PROXIABLE_SLOT",
+    "EIP1967_ADMIN_SLOT",
+    "EIP1967_IMPLEMENTATION_SLOT",
+    "MappingType",
+    "SlotAssignment",
+    "StorageLayout",
+    "ValueType",
+    "ast",
+    "compile_contract",
+    "compile_runtime",
+    "compute_layout",
+    "contract_source_of",
+    "mapping_element_slot",
+    "parse_type",
+    "render_source",
+    "stdlib",
+    "types_compatible",
+]

@@ -1,0 +1,96 @@
+"""A tiny EVM assembler with labels.
+
+The compiler drives this builder: emit opcodes and pushes, mark label
+positions, reference labels before they are defined, and let ``assemble()``
+resolve every reference in a second pass.  Label references always occupy a
+``PUSH2`` (two-byte immediate), matching what solc emits for jump targets in
+contracts under 64 KiB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evm import opcodes as op
+
+
+@dataclass(slots=True)
+class _LabelRef:
+    label: str
+    patch_offset: int  # position of the 2 immediate bytes within the program
+
+
+class Assembler:
+    """Accumulates bytecode; resolves label references on assemble()."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._labels: dict[str, int] = {}
+        self._refs: list[_LabelRef] = []
+
+    # ------------------------------------------------------------- emission
+    def emit(self, opcode_value: int) -> "Assembler":
+        self._bytes.append(opcode_value)
+        return self
+
+    def push(self, value: int) -> "Assembler":
+        """PUSH the minimal-width encoding of ``value`` (PUSH1..PUSH32)."""
+        if value < 0:
+            raise ValueError("cannot push a negative literal")
+        width = max(1, (value.bit_length() + 7) // 8)
+        if width > 32:
+            raise ValueError(f"literal too wide: {value:#x}")
+        self._bytes.append(op.PUSH0 + width)
+        self._bytes.extend(value.to_bytes(width, "big"))
+        return self
+
+    def push_bytes(self, data: bytes) -> "Assembler":
+        """PUSH raw bytes at their exact width (e.g. a PUSH4 selector or a
+        PUSH20 hard-coded address, preserving leading zeros)."""
+        if not 1 <= len(data) <= 32:
+            raise ValueError(f"push width out of range: {len(data)}")
+        self._bytes.append(op.PUSH0 + len(data))
+        self._bytes.extend(data)
+        return self
+
+    def label(self, name: str) -> "Assembler":
+        """Define ``name`` here and emit the JUMPDEST."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label: {name}")
+        self._labels[name] = len(self._bytes)
+        self._bytes.append(op.JUMPDEST)
+        return self
+
+    def push_label(self, name: str) -> "Assembler":
+        """PUSH2 <label offset> (patched at assemble time)."""
+        self._bytes.append(op.PUSH0 + 2)
+        self._refs.append(_LabelRef(name, len(self._bytes)))
+        self._bytes.extend(b"\x00\x00")
+        return self
+
+    def jump(self, name: str) -> "Assembler":
+        return self.push_label(name).emit(op.JUMP)
+
+    def jumpi(self, name: str) -> "Assembler":
+        return self.push_label(name).emit(op.JUMPI)
+
+    def raw(self, data: bytes) -> "Assembler":
+        """Splice pre-assembled bytes (no label adjustment — append only)."""
+        self._bytes.extend(data)
+        return self
+
+    @property
+    def size(self) -> int:
+        return len(self._bytes)
+
+    # ------------------------------------------------------------- assembly
+    def assemble(self) -> bytes:
+        program = bytearray(self._bytes)
+        for ref in self._refs:
+            if ref.label not in self._labels:
+                raise ValueError(f"undefined label: {ref.label}")
+            target = self._labels[ref.label]
+            if target > 0xFFFF:
+                raise ValueError(f"label {ref.label} beyond PUSH2 range")
+            program[ref.patch_offset:ref.patch_offset + 2] = target.to_bytes(2, "big")
+        return bytes(program)

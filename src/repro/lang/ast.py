@@ -1,0 +1,332 @@
+"""AST of the mini contract language.
+
+The language is deliberately small — storage reads/writes (with Solidity
+packing), mappings, require/if/return control flow, ether sends, and the
+three delegatecall shapes that matter to the paper:
+
+* ``DelegateForwardCalldata`` — the proxy fallback idiom: forward the raw
+  received calldata and bubble the return data (§2.2),
+* ``DelegateCallEncoded`` — the library-call idiom: delegatecall with
+  re-ABI-encoded arguments at a non-fallback site (the pattern ProxioN
+  must *exclude*, §2.2/§6.2), and
+* ``CallEncoded`` — a plain external call.
+
+Contracts compile to solc-idiomatic runtime bytecode via
+:mod:`repro.lang.compiler` and print to Solidity-looking source via
+:mod:`repro.lang.source`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.abi import function_selector
+
+
+# --------------------------------------------------------------- expressions
+class Expr:
+    """Marker base class for expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Param(Expr):
+    """The ``index``-th ABI-encoded static argument of the running function."""
+
+    index: int
+    type_name: str = "uint256"
+
+
+@dataclass(frozen=True, slots=True)
+class Load(Expr):
+    """Read a storage variable (packed access compiled automatically)."""
+
+    var: str
+
+
+@dataclass(frozen=True, slots=True)
+class MapLoad(Expr):
+    """Read ``var[key]`` from a mapping variable."""
+
+    var: str
+    key: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class Caller(Expr):
+    """``msg.sender``."""
+
+
+@dataclass(frozen=True, slots=True)
+class CallValue(Expr):
+    """``msg.value``."""
+
+
+@dataclass(frozen=True, slots=True)
+class SelfBalance(Expr):
+    """``address(this).balance``."""
+
+
+@dataclass(frozen=True, slots=True)
+class SelfAddress(Expr):
+    """``address(this)``."""
+
+
+@dataclass(frozen=True, slots=True)
+class BlockNumber(Expr):
+    """``block.number``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Timestamp(Expr):
+    """``block.timestamp``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Selector(Expr):
+    """The 4-byte selector of the incoming calldata, as a low-aligned int."""
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    """Binary operation; ``op`` one of ``+ - * / % == != < > <= >= & | ^ and or``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Expr):
+    expr: "Expr"
+
+
+# ---------------------------------------------------------------- statements
+class Stmt:
+    """Marker base class for statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Store(Stmt):
+    """Assign to a storage variable (read-modify-write when packed)."""
+
+    var: str
+    value: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class StoreAt(Stmt):
+    """Raw SSTORE at a *computed* slot (assembly-style storage pointer).
+
+    Real contracts use this for unstructured storage and array tricks; the
+    slot is opaque to static analyzers when the expression is symbolic —
+    the honest false-negative class for bytecode storage analysis.
+    """
+
+    slot: Expr
+    value: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class MapStore(Stmt):
+    """Assign ``var[key] = value`` in a mapping."""
+
+    var: str
+    key: Expr
+    value: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Require(Stmt):
+    """Revert unless the condition is non-zero."""
+
+    condition: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Return(Stmt):
+    """Return a single 32-byte value, or nothing."""
+
+    value: Expr | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class RevertStmt(Stmt):
+    """Unconditional revert with empty payload."""
+
+
+@dataclass(frozen=True, slots=True)
+class If(Stmt):
+    condition: Expr
+    then_body: tuple[Stmt, ...]
+    else_body: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Repeat(Stmt):
+    """``for (i = 0; i < count; i++) body`` — a real EVM loop.
+
+    The loop counter lives in scratch memory (word 0x60) and is readable in
+    the body via :class:`LoopIndex`.  Nested loops are not supported (one
+    counter word).
+    """
+
+    count: Expr
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class LoopIndex(Expr):
+    """The current :class:`Repeat` iteration counter."""
+
+
+@dataclass(frozen=True, slots=True)
+class Emit(Stmt):
+    """Emit an Ethereum event: LOG1 with ``keccak256(signature)`` as the
+    topic and the given expressions ABI-packed as data words."""
+
+    signature: str                    # e.g. "Transfer(address,address,uint256)"
+    data: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class SendEther(Stmt):
+    """``payable(to).transfer(amount)`` (empty-calldata CALL)."""
+
+    to: Expr
+    amount: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class DelegateForwardCalldata(Stmt):
+    """The proxy-fallback idiom: delegatecall ``target`` with the raw
+    incoming calldata, then return (or revert with) its output."""
+
+    target: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class CallForwardCalldata(Stmt):
+    """Forward the raw incoming calldata with a plain CALL (not a proxy:
+    the callee runs in its *own* storage context)."""
+
+    target: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class DelegateCallEncoded(Stmt):
+    """Library-call idiom: delegatecall with freshly ABI-encoded arguments.
+
+    The forwarded input is *not* the incoming calldata, which is exactly why
+    ProxioN refuses to classify such contracts as proxies.
+    """
+
+    target: Expr
+    prototype: str
+    args: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class CallEncoded(Stmt):
+    """Plain external call with ABI-encoded arguments."""
+
+    target: Expr
+    prototype: str
+    args: tuple[Expr, ...] = ()
+    value: Expr = Const(0)
+
+
+# ----------------------------------------------------------------- contracts
+@dataclass(frozen=True, slots=True)
+class VarDecl:
+    """A storage (or constant) variable declaration."""
+
+    name: str
+    type_name: str
+    constant: bool = False
+    constant_value: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class FixedSlotVar:
+    """A hash-derived fixed-slot variable (EIP-1967/1822 style)."""
+
+    name: str
+    type_name: str
+    slot: int
+
+
+@dataclass(frozen=True, slots=True)
+class Function:
+    """One externally callable function."""
+
+    name: str
+    params: tuple[tuple[str, str], ...] = ()  # (name, type_name)
+    body: tuple[Stmt, ...] = ()
+    returns: str | None = None
+
+    @property
+    def prototype(self) -> str:
+        arg_types = ",".join(type_name for _, type_name in self.params)
+        return f"{self.name}({arg_types})"
+
+    @property
+    def selector(self) -> bytes:
+        return function_selector(self.prototype)
+
+
+@dataclass(frozen=True, slots=True)
+class Fallback:
+    """The fallback function (runs when no selector matches)."""
+
+    body: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Contract:
+    """A full contract definition."""
+
+    name: str
+    variables: tuple[VarDecl, ...] = ()
+    fixed_slot_vars: tuple[FixedSlotVar, ...] = ()
+    functions: tuple[Function, ...] = ()
+    fallback: Fallback | None = None
+    constructor: tuple[Stmt, ...] = ()
+    metadata_salt: bytes = b""
+
+    def storage_declarations(self) -> list[tuple[str, str]]:
+        """Ordered (name, type) pairs of slot-consuming variables."""
+        return [(v.name, v.type_name) for v in self.variables if not v.constant]
+
+    def function_by_name(self, name: str) -> Function:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(f"{self.name} has no function {name!r}")
+
+    @property
+    def prototypes(self) -> list[str]:
+        return [function.prototype for function in self.functions]
+
+    @property
+    def selectors(self) -> list[bytes]:
+        return [function.selector for function in self.functions]
+
+
+@dataclass(slots=True)
+class CompiledContract:
+    """Compiler output: runtime + init code plus layout metadata."""
+
+    contract: Contract
+    runtime_code: bytes
+    init_code: bytes
+    layout: "object" = None  # StorageLayout; untyped to avoid import cycle
+    selector_table: dict[bytes, str] = field(default_factory=dict)

@@ -1,0 +1,441 @@
+"""Compiler from the mini language to solc-idiomatic EVM bytecode.
+
+The emitted runtime follows the canonical Solidity shape the paper's
+bytecode analyses key on:
+
+* the free-memory-pointer prologue (``PUSH1 0x80 PUSH1 0x40 MSTORE``),
+* the selector dispatcher — ``CALLDATALOAD``/``SHR`` then a chain of
+  ``DUP1 PUSH4 <selector> EQ PUSH2 <dest> JUMPI`` comparisons (Listing 3),
+* a fallback label reached when no selector matches,
+* packed storage access (shift + mask read-modify-write for sub-word
+  variables), and Solidity mapping addressing via ``KECCAK256``,
+* init code that writes constructor state and ``CODECOPY``-returns the
+  runtime, and a metadata trailer behind an ``INVALID`` byte, providing the
+  arbitrary-data-after-PUSH4 noise that §3.1 warns naive selector scanners
+  about.
+"""
+
+from __future__ import annotations
+
+from repro.evm import opcodes as op
+from repro.lang import ast
+from repro.lang.asm import Assembler
+from repro.lang.storage_layout import (
+    SlotAssignment,
+    StorageLayout,
+    compute_layout,
+)
+from repro.lang.types import SLOT_BYTES, parse_type
+from repro.utils.hexutil import WORD_MASK
+from repro.utils.keccak import keccak256
+
+_COMMUTATIVE = {"+": op.ADD, "*": op.MUL, "&": op.AND, "|": op.OR,
+                "^": op.XOR, "==": op.EQ}
+_NONCOMMUTATIVE = {"-": op.SUB, "/": op.DIV, "%": op.MOD,
+                   "<": op.LT, ">": op.GT}
+
+
+class CompileError(Exception):
+    """Raised for malformed contract definitions."""
+
+
+class _FunctionCompiler:
+    """Compiles statements/expressions of one function body."""
+
+    def __init__(self, assembler: Assembler, layout: StorageLayout,
+                 label_prefix: str) -> None:
+        self.asm = assembler
+        self.layout = layout
+        self._label_prefix = label_prefix
+        self._label_counter = 0
+
+    def _fresh_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"{self._label_prefix}_{hint}_{self._label_counter}"
+
+    # ------------------------------------------------------------ statements
+    def compile_body(self, body: tuple[ast.Stmt, ...]) -> None:
+        for statement in body:
+            self.compile_statement(statement)
+
+    def compile_statement(self, statement: ast.Stmt) -> None:
+        if isinstance(statement, ast.Store):
+            self._compile_store(statement)
+        elif isinstance(statement, ast.StoreAt):
+            self.compile_expression(statement.value)
+            self.compile_expression(statement.slot)
+            self.asm.emit(op.SSTORE)
+        elif isinstance(statement, ast.MapStore):
+            self._compile_map_store(statement)
+        elif isinstance(statement, ast.Require):
+            self._compile_require(statement)
+        elif isinstance(statement, ast.Return):
+            self._compile_return(statement)
+        elif isinstance(statement, ast.RevertStmt):
+            self.asm.push(0).push(0).emit(op.REVERT)
+        elif isinstance(statement, ast.If):
+            self._compile_if(statement)
+        elif isinstance(statement, ast.Repeat):
+            self._compile_repeat(statement)
+        elif isinstance(statement, ast.Emit):
+            self._compile_emit(statement)
+        elif isinstance(statement, ast.SendEther):
+            self._compile_send_ether(statement)
+        elif isinstance(statement, ast.DelegateForwardCalldata):
+            self._compile_forward(statement.target, delegate=True)
+        elif isinstance(statement, ast.CallForwardCalldata):
+            self._compile_forward(statement.target, delegate=False)
+        elif isinstance(statement, ast.DelegateCallEncoded):
+            self._compile_encoded_call(statement.target, statement.prototype,
+                                       statement.args, delegate=True)
+        elif isinstance(statement, ast.CallEncoded):
+            self._compile_encoded_call(statement.target, statement.prototype,
+                                       statement.args, delegate=False,
+                                       value=statement.value)
+        else:
+            raise CompileError(f"unknown statement: {statement!r}")
+
+    def _compile_store(self, statement: ast.Store) -> None:
+        assignment = self._assignment(statement.var)
+        self.compile_expression(statement.value)
+        if assignment.size == SLOT_BYTES:
+            self.asm.push(assignment.slot).emit(op.SSTORE)
+            return
+        # Packed sub-word write: mask the value, clear the target byte
+        # range in the current slot word, OR the shifted value in.
+        self.asm.push(assignment.mask).emit(op.AND)
+        if assignment.bit_shift:
+            self.asm.push(assignment.bit_shift).emit(op.SHL)
+        self.asm.push(assignment.slot).emit(op.SLOAD)
+        self.asm.push((assignment.mask << assignment.bit_shift) ^ WORD_MASK)
+        self.asm.emit(op.AND)
+        self.asm.emit(op.OR)
+        self.asm.push(assignment.slot).emit(op.SSTORE)
+
+    def _compile_map_store(self, statement: ast.MapStore) -> None:
+        assignment = self._assignment(statement.var)
+        if not assignment.is_mapping:
+            raise CompileError(f"{statement.var} is not a mapping")
+        self._compile_mapping_slot(statement.key, assignment)
+        self.compile_expression(statement.value)
+        self.asm.emit(op.SWAP1).emit(op.SSTORE)
+
+    def _compile_require(self, statement: ast.Require) -> None:
+        ok_label = self._fresh_label("require_ok")
+        self.compile_expression(statement.condition)
+        self.asm.jumpi(ok_label)
+        self.asm.push(0).push(0).emit(op.REVERT)
+        self.asm.label(ok_label)
+
+    def _compile_return(self, statement: ast.Return) -> None:
+        if statement.value is None:
+            self.asm.emit(op.STOP)
+            return
+        self.compile_expression(statement.value)
+        self.asm.push(0).emit(op.MSTORE)
+        self.asm.push(32).push(0).emit(op.RETURN)
+
+    def _compile_if(self, statement: ast.If) -> None:
+        then_label = self._fresh_label("then")
+        end_label = self._fresh_label("endif")
+        self.compile_expression(statement.condition)
+        self.asm.jumpi(then_label)
+        self.compile_body(statement.else_body)
+        self.asm.jump(end_label)
+        self.asm.label(then_label)
+        self.compile_body(statement.then_body)
+        self.asm.label(end_label)
+
+    # Scratch memory word for the Repeat loop counter: clear of the
+    # mapping-hash scratch (0x00–0x3f) and the free-memory pointer (0x40).
+    _LOOP_COUNTER_SLOT = 0x60
+
+    def _compile_repeat(self, statement: ast.Repeat) -> None:
+        start_label = self._fresh_label("loop")
+        end_label = self._fresh_label("loop_end")
+        # i = 0
+        self.asm.push(0).push(self._LOOP_COUNTER_SLOT).emit(op.MSTORE)
+        self.asm.label(start_label)
+        # while i < count
+        self.compile_expression(statement.count)
+        self.asm.push(self._LOOP_COUNTER_SLOT).emit(op.MLOAD)
+        self.asm.emit(op.LT)          # i < count (i on top)
+        self.asm.emit(op.ISZERO)
+        self.asm.jumpi(end_label)
+        for inner in statement.body:
+            self.compile_statement(inner)
+        # i += 1
+        self.asm.push(self._LOOP_COUNTER_SLOT).emit(op.MLOAD)
+        self.asm.push(1).emit(op.ADD)
+        self.asm.push(self._LOOP_COUNTER_SLOT).emit(op.MSTORE)
+        self.asm.jump(start_label)
+        self.asm.label(end_label)
+
+    def _compile_emit(self, statement: ast.Emit) -> None:
+        # Stage the data words in scratch memory, then LOG1(topic).
+        for index, expression in enumerate(statement.data):
+            self.compile_expression(expression)
+            self.asm.push(32 * index).emit(op.MSTORE)
+        topic = int.from_bytes(keccak256(statement.signature.encode()), "big")
+        self.asm.push(topic)                       # topic1
+        self.asm.push(32 * len(statement.data))    # size
+        self.asm.push(0)                           # offset
+        # LOG1 pops (offset, size, topic1) with offset on top.
+        self.asm.emit(op.LOG0 + 1)
+
+    def _compile_send_ether(self, statement: ast.SendEther) -> None:
+        # CALL(gas, to, amount, 0, 0, 0, 0); stack built bottom-up.
+        self.asm.push(0).push(0).push(0).push(0)
+        self.compile_expression(statement.amount)
+        self.compile_expression(statement.to)
+        self.asm.emit(op.GAS).emit(op.CALL).emit(op.POP)
+
+    def _compile_forward(self, target: ast.Expr, delegate: bool) -> None:
+        ok_label = self._fresh_label("dcall_ok")
+        # The target expression may use scratch memory (mapping hashing), so
+        # it must be evaluated *before* the calldata is staged at offset 0.
+        self.compile_expression(target)
+        # calldatacopy(0, 0, calldatasize)
+        self.asm.emit(op.CALLDATASIZE).push(0).push(0).emit(op.CALLDATACOPY)
+        # {delegate,}call(gas, target, [value,] 0, calldatasize, 0, 0)
+        self.asm.push(0).push(0).emit(op.CALLDATASIZE).push(0)
+        if not delegate:
+            self.asm.emit(op.CALLVALUE)
+            self.asm.emit(op.DUP1 + 5)  # DUP6: the buried target
+        else:
+            self.asm.emit(op.DUP1 + 4)  # DUP5: the buried target
+        self.asm.emit(op.GAS).emit(op.DELEGATECALL if delegate else op.CALL)
+        self.asm.emit(op.SWAP1).emit(op.POP)  # drop the stale target copy
+        # returndatacopy(0, 0, returndatasize) then bubble success/revert.
+        self.asm.emit(op.RETURNDATASIZE).push(0).push(0).emit(op.RETURNDATACOPY)
+        self.asm.jumpi(ok_label)
+        self.asm.emit(op.RETURNDATASIZE).push(0).emit(op.REVERT)
+        self.asm.label(ok_label)
+        self.asm.emit(op.RETURNDATASIZE).push(0).emit(op.RETURN)
+
+    def _compile_encoded_call(self, target: ast.Expr, prototype: str,
+                              args: tuple[ast.Expr, ...], delegate: bool,
+                              value: ast.Expr = ast.Const(0)) -> None:
+        from repro.utils.abi import function_selector
+
+        selector_word = int.from_bytes(function_selector(prototype), "big") << 224
+        input_size = 4 + 32 * len(args)
+        # Lay the fresh call frame out in scratch memory from offset 0.
+        self.asm.push(selector_word).push(0).emit(op.MSTORE)
+        for index, argument in enumerate(args):
+            self.compile_expression(argument)
+            self.asm.push(4 + 32 * index).emit(op.MSTORE)
+        self.asm.push(0).push(0)                       # out_size, out_offset
+        self.asm.push(input_size).push(0)              # in_size, in_offset
+        if delegate:
+            self.compile_expression(target)
+            self.asm.emit(op.GAS).emit(op.DELEGATECALL)
+        else:
+            self.compile_expression(value)
+            self.compile_expression(target)
+            self.asm.emit(op.GAS).emit(op.CALL)
+        self.asm.emit(op.POP)
+
+    # ----------------------------------------------------------- expressions
+    def compile_expression(self, expression: ast.Expr) -> None:
+        if isinstance(expression, ast.Const):
+            self.asm.push(expression.value & WORD_MASK)
+        elif isinstance(expression, ast.Param):
+            self._compile_param(expression)
+        elif isinstance(expression, ast.Load):
+            self._compile_load(expression)
+        elif isinstance(expression, ast.MapLoad):
+            self._compile_map_load(expression)
+        elif isinstance(expression, ast.Caller):
+            self.asm.emit(op.CALLER)
+        elif isinstance(expression, ast.CallValue):
+            self.asm.emit(op.CALLVALUE)
+        elif isinstance(expression, ast.SelfBalance):
+            self.asm.emit(op.SELFBALANCE)
+        elif isinstance(expression, ast.SelfAddress):
+            self.asm.emit(op.ADDRESS)
+        elif isinstance(expression, ast.LoopIndex):
+            self.asm.push(self._LOOP_COUNTER_SLOT).emit(op.MLOAD)
+        elif isinstance(expression, ast.BlockNumber):
+            self.asm.emit(op.NUMBER)
+        elif isinstance(expression, ast.Timestamp):
+            self.asm.emit(op.TIMESTAMP)
+        elif isinstance(expression, ast.Selector):
+            self.asm.push(0).emit(op.CALLDATALOAD).push(0xE0).emit(op.SHR)
+        elif isinstance(expression, ast.BinOp):
+            self._compile_binop(expression)
+        elif isinstance(expression, ast.Not):
+            self.compile_expression(expression.expr)
+            self.asm.emit(op.ISZERO)
+        else:
+            raise CompileError(f"unknown expression: {expression!r}")
+
+    def _compile_param(self, expression: ast.Param) -> None:
+        self.asm.push(4 + 32 * expression.index).emit(op.CALLDATALOAD)
+        parsed = parse_type(expression.type_name)
+        if getattr(parsed, "size", SLOT_BYTES) < SLOT_BYTES:
+            # solc-style argument cleanup for sub-word types.
+            self.asm.push(parsed.mask).emit(op.AND)
+
+    def _compile_load(self, expression: ast.Load) -> None:
+        assignment = self._assignment(expression.var)
+        self.asm.push(assignment.slot).emit(op.SLOAD)
+        if assignment.size == SLOT_BYTES:
+            return
+        if assignment.bit_shift:
+            self.asm.push(assignment.bit_shift).emit(op.SHR)
+        self.asm.push(assignment.mask).emit(op.AND)
+
+    def _compile_map_load(self, expression: ast.MapLoad) -> None:
+        assignment = self._assignment(expression.var)
+        if not assignment.is_mapping:
+            raise CompileError(f"{expression.var} is not a mapping")
+        self._compile_mapping_slot(expression.key, assignment)
+        self.asm.emit(op.SLOAD)
+
+    def _compile_mapping_slot(self, key: ast.Expr,
+                              assignment: SlotAssignment) -> None:
+        """Leave keccak256(pad32(key) ++ pad32(marker_slot)) on the stack."""
+        self.compile_expression(key)
+        self.asm.push(0).emit(op.MSTORE)
+        self.asm.push(assignment.slot).push(32).emit(op.MSTORE)
+        self.asm.push(64).push(0).emit(op.KECCAK256)
+
+    def _compile_binop(self, expression: ast.BinOp) -> None:
+        operator = expression.op
+        if operator in ("and", "or"):
+            self.compile_expression(expression.left)
+            self.asm.emit(op.ISZERO).emit(op.ISZERO)
+            self.compile_expression(expression.right)
+            self.asm.emit(op.ISZERO).emit(op.ISZERO)
+            self.asm.emit(op.AND if operator == "and" else op.OR)
+            return
+        if operator == "!=":
+            self._compile_binop(ast.BinOp("==", expression.left, expression.right))
+            self.asm.emit(op.ISZERO)
+            return
+        if operator == "<=":
+            self._compile_binop(ast.BinOp(">", expression.left, expression.right))
+            self.asm.emit(op.ISZERO)
+            return
+        if operator == ">=":
+            self._compile_binop(ast.BinOp("<", expression.left, expression.right))
+            self.asm.emit(op.ISZERO)
+            return
+        self.compile_expression(expression.left)
+        self.compile_expression(expression.right)
+        if operator in _COMMUTATIVE:
+            self.asm.emit(_COMMUTATIVE[operator])
+        elif operator in _NONCOMMUTATIVE:
+            # EVM binops consume (top, next) as (a, b) computing a·b, so the
+            # left operand must be on top for non-commutative operators.
+            self.asm.emit(op.SWAP1).emit(_NONCOMMUTATIVE[operator])
+        else:
+            raise CompileError(f"unknown operator: {operator}")
+
+    def _assignment(self, var_name: str) -> SlotAssignment:
+        if var_name not in self.layout:
+            raise CompileError(f"unknown storage variable: {var_name}")
+        return self.layout.get(var_name)
+
+
+def compile_runtime(contract: ast.Contract,
+                    dispatcher_style: str = "solc") -> tuple[bytes, StorageLayout]:
+    """Compile the runtime bytecode of ``contract``.
+
+    ``dispatcher_style`` selects the selector-comparison idiom: ``"solc"``
+    emits the Listing-3 chain (``DUP1 PUSH4 sig EQ PUSH2 dest JUMPI``);
+    ``"vyper"`` emits the XOR/ISZERO shape some compilers use — both are
+    recognized by the §5.1 extractors, and the corpus mixes them so the
+    analyzers never overfit to one compiler.
+    """
+    if dispatcher_style not in ("solc", "vyper"):
+        raise CompileError(f"unknown dispatcher style: {dispatcher_style!r}")
+    layout = compute_layout(
+        contract.storage_declarations(),
+        [(v.name, v.type_name, v.slot) for v in contract.fixed_slot_vars],
+    )
+    assembler = Assembler()
+
+    # Prologue: free-memory pointer, as every solc contract starts.
+    assembler.push(0x80).push(0x40).emit(op.MSTORE)
+
+    if contract.functions:
+        # Calldata shorter than a selector goes straight to the fallback.
+        # LT consumes (top, next) as (a, b) computing a < b, so push the
+        # size last: CALLDATASIZE < 4.
+        assembler.push(4).emit(op.CALLDATASIZE).emit(op.LT)
+        assembler.jumpi("fallback")
+        # Selector extraction: CALLDATALOAD(0) >> 0xe0.
+        assembler.push(0).emit(op.CALLDATALOAD).push(0xE0).emit(op.SHR)
+        for function in contract.functions:
+            assembler.emit(op.DUP1)
+            assembler.push_bytes(function.selector)
+            if dispatcher_style == "solc":
+                # Listing-3: DUP1 PUSH4 sig EQ PUSH2 dest JUMPI.
+                assembler.emit(op.EQ)
+            else:
+                # Vyper-ish: DUP1 PUSH4 sig XOR ISZERO PUSH2 dest JUMPI.
+                assembler.emit(op.XOR).emit(op.ISZERO)
+            assembler.jumpi(f"fn_{function.name}")
+        assembler.emit(op.POP)
+
+    assembler.label("fallback")
+    fallback_compiler = _FunctionCompiler(assembler, layout, "fb")
+    if contract.fallback is not None:
+        fallback_compiler.compile_body(contract.fallback.body)
+        assembler.emit(op.STOP)
+    else:
+        assembler.push(0).push(0).emit(op.REVERT)
+
+    for function in contract.functions:
+        assembler.label(f"fn_{function.name}")
+        assembler.emit(op.POP)  # drop the dispatcher's selector copy
+        body_compiler = _FunctionCompiler(assembler, layout, f"f_{function.name}")
+        body_compiler.compile_body(function.body)
+        assembler.emit(op.STOP)
+
+    code = assembler.assemble()
+
+    # Metadata trailer behind INVALID: never executed, but present in real
+    # bytecode and a source of PUSH4 lookalikes for naive scanners.
+    metadata = keccak256(contract.name.encode() + contract.metadata_salt)[:8]
+    return code + bytes([op.INVALID]) + metadata, layout
+
+
+def compile_init_code(contract: ast.Contract, runtime_code: bytes,
+                      layout: StorageLayout) -> bytes:
+    """Build init code: run the constructor, then return the runtime."""
+    assembler = Assembler()
+    constructor_compiler = _FunctionCompiler(assembler, layout, "ctor")
+    constructor_compiler.compile_body(contract.constructor)
+    constructor_body = assembler.assemble()
+
+    # Fixed-width copy stub so the runtime offset is deterministic:
+    # PUSH2 len, PUSH2 offset, PUSH1 0, CODECOPY, PUSH2 len, PUSH1 0, RETURN.
+    stub_size = 3 + 3 + 2 + 1 + 3 + 2 + 1
+    runtime_offset = len(constructor_body) + stub_size
+    stub = bytes([
+        op.PUSH0 + 2, *len(runtime_code).to_bytes(2, "big"),
+        op.PUSH0 + 2, *runtime_offset.to_bytes(2, "big"),
+        op.PUSH0 + 1, 0,
+        op.CODECOPY,
+        op.PUSH0 + 2, *len(runtime_code).to_bytes(2, "big"),
+        op.PUSH0 + 1, 0,
+        op.RETURN,
+    ])
+    return constructor_body + stub + runtime_code
+
+
+def compile_contract(contract: ast.Contract,
+                     dispatcher_style: str = "solc") -> ast.CompiledContract:
+    """Compile a contract to runtime + init code."""
+    runtime_code, layout = compile_runtime(contract, dispatcher_style)
+    init_code = compile_init_code(contract, runtime_code, layout)
+    return ast.CompiledContract(
+        contract=contract,
+        runtime_code=runtime_code,
+        init_code=init_code,
+        layout=layout,
+        selector_table={f.selector: f.prototype for f in contract.functions},
+    )

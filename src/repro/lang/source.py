@@ -1,0 +1,160 @@
+"""Render contract ASTs as Solidity-looking source text.
+
+The rendered text is what the :class:`~repro.chain.explorer.SourceRegistry`
+stores for "verified" contracts.  Source-based analyses (the USCHunt and
+Slither-like baselines, ProxioN's source path) consume the *parsed*
+:class:`~repro.chain.explorer.ContractSource`; the text form exists so that
+keyword-heuristic baselines (Slither's "delegatecall"/"proxy" search, §9.1)
+have something realistic to grep.
+"""
+
+from __future__ import annotations
+
+from repro.chain.explorer import ContractSource, StorageVariableDecl
+from repro.lang import ast
+
+
+def _render_expression(expression: ast.Expr) -> str:
+    if isinstance(expression, ast.Const):
+        return str(expression.value)
+    if isinstance(expression, ast.Param):
+        return f"arg{expression.index}"
+    if isinstance(expression, ast.Load):
+        return expression.var
+    if isinstance(expression, ast.MapLoad):
+        return f"{expression.var}[{_render_expression(expression.key)}]"
+    if isinstance(expression, ast.Caller):
+        return "msg.sender"
+    if isinstance(expression, ast.CallValue):
+        return "msg.value"
+    if isinstance(expression, ast.SelfBalance):
+        return "address(this).balance"
+    if isinstance(expression, ast.SelfAddress):
+        return "address(this)"
+    if isinstance(expression, ast.LoopIndex):
+        return "i"
+    if isinstance(expression, ast.BlockNumber):
+        return "block.number"
+    if isinstance(expression, ast.Timestamp):
+        return "block.timestamp"
+    if isinstance(expression, ast.Selector):
+        return "msg.sig"
+    if isinstance(expression, ast.BinOp):
+        operator = {"and": "&&", "or": "||"}.get(expression.op, expression.op)
+        return (f"({_render_expression(expression.left)} {operator} "
+                f"{_render_expression(expression.right)})")
+    if isinstance(expression, ast.Not):
+        return f"!{_render_expression(expression.expr)}"
+    return "/*?*/"
+
+
+def _render_statement(statement: ast.Stmt, indent: str) -> list[str]:
+    if isinstance(statement, ast.Store):
+        return [f"{indent}{statement.var} = {_render_expression(statement.value)};"]
+    if isinstance(statement, ast.StoreAt):
+        return [f"{indent}assembly {{ sstore({_render_expression(statement.slot)}, "
+                f"{_render_expression(statement.value)}) }}"]
+    if isinstance(statement, ast.MapStore):
+        return [f"{indent}{statement.var}[{_render_expression(statement.key)}] = "
+                f"{_render_expression(statement.value)};"]
+    if isinstance(statement, ast.Require):
+        return [f"{indent}require({_render_expression(statement.condition)});"]
+    if isinstance(statement, ast.Return):
+        if statement.value is None:
+            return [f"{indent}return;"]
+        return [f"{indent}return {_render_expression(statement.value)};"]
+    if isinstance(statement, ast.RevertStmt):
+        return [f"{indent}revert();"]
+    if isinstance(statement, ast.If):
+        lines = [f"{indent}if ({_render_expression(statement.condition)}) {{"]
+        for inner in statement.then_body:
+            lines.extend(_render_statement(inner, indent + "    "))
+        if statement.else_body:
+            lines.append(f"{indent}}} else {{")
+            for inner in statement.else_body:
+                lines.extend(_render_statement(inner, indent + "    "))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(statement, ast.Repeat):
+        lines = [f"{indent}for (uint256 i = 0; i < "
+                 f"{_render_expression(statement.count)}; i++) {{"]
+        for inner in statement.body:
+            lines.extend(_render_statement(inner, indent + "    "))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(statement, ast.Emit):
+        args = ", ".join(_render_expression(a) for a in statement.data)
+        event_name = statement.signature.split("(")[0]
+        return [f"{indent}emit {event_name}({args});"]
+    if isinstance(statement, ast.SendEther):
+        return [f"{indent}payable({_render_expression(statement.to)})"
+                f".transfer({_render_expression(statement.amount)});"]
+    if isinstance(statement, ast.DelegateForwardCalldata):
+        return [
+            f"{indent}(bool success, bytes memory output) = "
+            f"{_render_expression(statement.target)}.delegatecall(msg.data);",
+            f"{indent}require(success);",
+            f"{indent}return output;",
+        ]
+    if isinstance(statement, ast.DelegateCallEncoded):
+        args = ", ".join(_render_expression(a) for a in statement.args)
+        return [f"{indent}{_render_expression(statement.target)}.delegatecall("
+                f"abi.encodeWithSignature(\"{statement.prototype}\"{', ' if args else ''}{args}));"]
+    if isinstance(statement, ast.CallEncoded):
+        args = ", ".join(_render_expression(a) for a in statement.args)
+        return [f"{indent}{_render_expression(statement.target)}.call("
+                f"abi.encodeWithSignature(\"{statement.prototype}\"{', ' if args else ''}{args}));"]
+    return [f"{indent}// <unrenderable>"]
+
+
+def render_source(contract: ast.Contract) -> str:
+    """Pretty-print a contract as Solidity-looking text."""
+    lines = ["// SPDX-License-Identifier: MIT",
+             "pragma solidity ^0.8.21;",
+             "",
+             f"contract {contract.name} {{"]
+    for variable in contract.variables:
+        qualifier = "constant " if variable.constant else "private "
+        suffix = f" = {variable.constant_value}" if variable.constant else ""
+        lines.append(f"    {variable.type_name} {qualifier}{variable.name}{suffix};")
+    for fixed in contract.fixed_slot_vars:
+        lines.append(f"    // {fixed.name}: {fixed.type_name} at fixed slot "
+                     f"0x{fixed.slot:064x}")
+    if contract.constructor:
+        lines.append("")
+        lines.append("    constructor() {")
+        for statement in contract.constructor:
+            lines.extend(_render_statement(statement, "        "))
+        lines.append("    }")
+    for function in contract.functions:
+        lines.append("")
+        params = ", ".join(f"{type_name} arg{index}"
+                           for index, (_, type_name) in enumerate(function.params))
+        returns = f" returns ({function.returns})" if function.returns else ""
+        lines.append(f"    function {function.name}({params}) public payable{returns} {{")
+        for statement in function.body:
+            lines.extend(_render_statement(statement, "        "))
+        lines.append("    }")
+    if contract.fallback is not None:
+        lines.append("")
+        lines.append("    fallback(bytes calldata input) external payable "
+                     "returns (bytes memory) {")
+        for statement in contract.fallback.body:
+            lines.extend(_render_statement(statement, "        "))
+        lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def contract_source_of(contract: ast.Contract) -> ContractSource:
+    """Build the parsed-source record the explorer registry stores."""
+    storage_variables = tuple(
+        StorageVariableDecl(v.name, v.type_name, is_constant=v.constant)
+        for v in contract.variables
+    )
+    return ContractSource(
+        contract_name=contract.name,
+        function_prototypes=tuple(contract.prototypes),
+        storage_variables=storage_variables,
+        text=render_source(contract),
+    )

@@ -1,0 +1,603 @@
+"""Standard contract patterns (the building blocks of the landscape).
+
+Each factory returns a :class:`~repro.lang.ast.Contract` AST — or, for the
+EIP-1167 minimal proxy, the exact standardized bytecode — covering every
+population the paper analyzes:
+
+* the proxy standards of Table 4 (EIP-1167 minimal, EIP-1967, EIP-1822,
+  non-standard storage proxies),
+* transparent proxies (OpenZeppelin's collision mitigation, §3.1),
+* diamond proxies (EIP-2535 — the pattern §8.1 admits ProxioN misses),
+* library-call contracts (the CRUSH/Etherscan false-positive class),
+* the Listing-1 honeypot pair (function collision) and the Listing-2
+  Audius-style pair (storage collision),
+* plain non-proxy contracts (wallets, tokens, call-forwarders).
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    BinOp,
+    BlockNumber,
+    LoopIndex,
+    Repeat,
+    CallForwardCalldata,
+    CallValue,
+    Caller,
+    Const,
+    Contract,
+    DelegateCallEncoded,
+    DelegateForwardCalldata,
+    Emit,
+    Fallback,
+    FixedSlotVar,
+    Function,
+    If,
+    Load,
+    MapLoad,
+    MapStore,
+    Not,
+    Param,
+    Require,
+    Return,
+    RevertStmt,
+    Selector,
+    SendEther,
+    SelfBalance,
+    Store,
+    VarDecl,
+)
+from repro.lang.storage_layout import (
+    EIP1822_PROXIABLE_SLOT,
+    EIP1967_ADMIN_SLOT,
+    EIP1967_IMPLEMENTATION_SLOT,
+)
+from repro.utils.hexutil import address_to_word
+
+ETHER = 10 ** 18
+
+# ----------------------------------------------------------- EIP-1167 bytes
+_MINIMAL_PROXY_PREFIX = bytes.fromhex("363d3d373d3d3d363d73")
+_MINIMAL_PROXY_SUFFIX = bytes.fromhex("5af43d82803e903d91602b57fd5bf3")
+_MINIMAL_INIT_PREFIX = bytes.fromhex("3d602d80600a3d3981f3")
+
+
+def minimal_proxy_runtime(logic: bytes) -> bytes:
+    """The exact EIP-1167 runtime bytecode for ``logic`` (45 bytes)."""
+    if len(logic) != 20:
+        raise ValueError("logic must be a 20-byte address")
+    return _MINIMAL_PROXY_PREFIX + logic + _MINIMAL_PROXY_SUFFIX
+
+
+def minimal_proxy_init(logic: bytes) -> bytes:
+    """The exact EIP-1167 init bytecode deploying the minimal proxy."""
+    return _MINIMAL_INIT_PREFIX + minimal_proxy_runtime(logic)
+
+
+def raw_deploy_init(runtime: bytes) -> bytes:
+    """Generic init code returning an arbitrary runtime blob (PUSH2 widths)."""
+    if len(runtime) > 0xFFFF:
+        raise ValueError("runtime too large")
+    stub = bytes([
+        0x61, *len(runtime).to_bytes(2, "big"),   # PUSH2 len
+        0x61, 0x00, 0x0F,                         # PUSH2 offset (15)
+        0x60, 0x00,                               # PUSH1 0
+        0x39,                                     # CODECOPY
+        0x61, *len(runtime).to_bytes(2, "big"),   # PUSH2 len
+        0x60, 0x00,                               # PUSH1 0
+        0xF3,                                     # RETURN
+    ])
+    assert len(stub) == 15
+    return stub + runtime
+
+
+#: Pathological runtime: passes the DELEGATECALL prefilter but underflows
+#: the stack immediately — the §6.2 "emulation failure" class (~1.2%).
+WEIRD_DELEGATECALL_RUNTIME = bytes([0xF4, 0x00])
+
+
+def extract_minimal_proxy_target(runtime: bytes) -> bytes | None:
+    """If ``runtime`` is an EIP-1167 clone, return its hard-coded logic."""
+    if (len(runtime) == 45
+            and runtime.startswith(_MINIMAL_PROXY_PREFIX)
+            and runtime.endswith(_MINIMAL_PROXY_SUFFIX)):
+        return runtime[len(_MINIMAL_PROXY_PREFIX):len(_MINIMAL_PROXY_PREFIX) + 20]
+    return None
+
+
+# ------------------------------------------------------------ proxy patterns
+def eip1967_proxy(name: str, logic: bytes, admin: bytes,
+                  extra_functions: tuple[Function, ...] = ()) -> Contract:
+    """An EIP-1967 proxy: implementation + admin in hash-derived slots."""
+    return Contract(
+        name=name,
+        fixed_slot_vars=(
+            FixedSlotVar("implementation", "address", EIP1967_IMPLEMENTATION_SLOT),
+            FixedSlotVar("admin", "address", EIP1967_ADMIN_SLOT),
+        ),
+        functions=(
+            Function(
+                name="upgradeTo",
+                params=(("newImplementation", "address"),),
+                body=(
+                    Require(BinOp("==", Caller(), Load("admin"))),
+                    Store("implementation", Param(0, "address")),
+                    # The EIP-1967 Upgraded(address) event.
+                    Emit("Upgraded(address)", (Param(0, "address"),)),
+                ),
+            ),
+        ) + extra_functions,
+        fallback=Fallback(body=(DelegateForwardCalldata(Load("implementation")),)),
+        constructor=(
+            Store("implementation", Const(address_to_word(logic))),
+            Store("admin", Const(address_to_word(admin))),
+        ),
+    )
+
+
+def eip1822_proxy(name: str, logic: bytes) -> Contract:
+    """An EIP-1822 (UUPS) proxy: logic address in keccak256("PROXIABLE")."""
+    return Contract(
+        name=name,
+        fixed_slot_vars=(
+            FixedSlotVar("proxiable", "address", EIP1822_PROXIABLE_SLOT),
+        ),
+        fallback=Fallback(body=(DelegateForwardCalldata(Load("proxiable")),)),
+        constructor=(Store("proxiable", Const(address_to_word(logic))),),
+    )
+
+
+def uups_logic(name: str, extra_functions: tuple[Function, ...] = ()) -> Contract:
+    """A logic contract for EIP-1822: carries updateCodeAddress()."""
+    return Contract(
+        name=name,
+        fixed_slot_vars=(
+            FixedSlotVar("proxiable", "address", EIP1822_PROXIABLE_SLOT),
+        ),
+        functions=(
+            Function(
+                name="updateCodeAddress",
+                params=(("newAddress", "address"),),
+                body=(Store("proxiable", Param(0, "address")),),
+            ),
+        ) + extra_functions,
+    )
+
+
+def storage_proxy(name: str, logic: bytes, owner: bytes,
+                  extra_functions: tuple[Function, ...] = (),
+                  extra_variables: tuple[VarDecl, ...] = ()) -> Contract:
+    """A non-standard ("Others" in Table 4) proxy with the logic address in a
+    plain storage variable, guarded by an owner — the Listing-2 proxy shape."""
+    return Contract(
+        name=name,
+        variables=(
+            VarDecl("owner", "address"),
+            VarDecl("logic", "address"),
+        ) + extra_variables,
+        functions=(
+            Function(
+                name="setImplementation",
+                params=(("impl", "address"),),
+                body=(
+                    Require(BinOp("==", Caller(), Load("owner"))),
+                    Store("logic", Param(0, "address")),
+                ),
+            ),
+        ) + extra_functions,
+        fallback=Fallback(body=(DelegateForwardCalldata(Load("logic")),)),
+        constructor=(
+            Store("owner", Const(address_to_word(owner))),
+            Store("logic", Const(address_to_word(logic))),
+        ),
+    )
+
+
+def transparent_proxy(name: str, logic: bytes, admin: bytes) -> Contract:
+    """OpenZeppelin's transparent pattern: the admin never reaches the
+    fallback delegation, so function collisions cannot trigger for them."""
+    return Contract(
+        name=name,
+        fixed_slot_vars=(
+            FixedSlotVar("implementation", "address", EIP1967_IMPLEMENTATION_SLOT),
+            FixedSlotVar("admin", "address", EIP1967_ADMIN_SLOT),
+        ),
+        functions=(
+            Function(
+                name="upgradeTo",
+                params=(("newImplementation", "address"),),
+                body=(
+                    Require(BinOp("==", Caller(), Load("admin"))),
+                    Store("implementation", Param(0, "address")),
+                ),
+            ),
+            Function(
+                name="admin",
+                body=(
+                    Require(BinOp("==", Caller(), Load("admin"))),
+                    Return(Load("admin")),
+                ),
+            ),
+        ),
+        fallback=Fallback(body=(
+            If(
+                BinOp("==", Caller(), Load("admin")),
+                then_body=(RevertStmt(),),
+                else_body=(DelegateForwardCalldata(Load("implementation")),),
+            ),
+        )),
+        constructor=(
+            Store("implementation", Const(address_to_word(logic))),
+            Store("admin", Const(address_to_word(admin))),
+        ),
+    )
+
+
+def diamond_proxy(name: str, owner: bytes) -> Contract:
+    """An EIP-2535 diamond: fallback delegates to the facet registered for
+    the incoming selector; unregistered selectors revert.
+
+    Random-selector emulation therefore never observes the delegatecall —
+    the §8.1 limitation reproduced faithfully.
+    """
+    return Contract(
+        name=name,
+        variables=(
+            VarDecl("owner", "address"),
+            VarDecl("facets", "mapping(uint32=>address)"),
+        ),
+        functions=(
+            Function(
+                name="registerFacet",
+                params=(("selector", "uint32"), ("facet", "address")),
+                body=(
+                    Require(BinOp("==", Caller(), Load("owner"))),
+                    MapStore("facets", Param(0, "uint32"), Param(1, "address")),
+                ),
+            ),
+        ),
+        fallback=Fallback(body=(
+            If(
+                BinOp("==", MapLoad("facets", Selector()), Const(0)),
+                then_body=(RevertStmt(),),
+                else_body=(
+                    DelegateForwardCalldata(MapLoad("facets", Selector())),
+                ),
+            ),
+        )),
+        constructor=(Store("owner", Const(address_to_word(owner))),),
+    )
+
+
+def ownable_delegate_proxy(name: str, logic: bytes, owner: bytes) -> Contract:
+    """The Wyvern-protocol ``OwnableDelegateProxy`` shape (§7.2).
+
+    Proxy and logic both expose ``proxyType()``, ``implementation()`` and
+    ``upgradeabilityOwner()`` (a contract-inheritance artifact), producing
+    the function-collision family that accounts for 98.7% of all function
+    collisions on mainnet — cloned verbatim across millions of addresses.
+    """
+    return Contract(
+        name=name,
+        variables=(
+            VarDecl("owner", "address"),
+            VarDecl("logic", "address"),
+        ),
+        functions=(
+            Function(name="proxyType", body=(Return(Const(2)),)),
+            Function(name="implementation", body=(Return(Load("logic")),)),
+            Function(name="upgradeabilityOwner", body=(Return(Load("owner")),)),
+        ),
+        fallback=Fallback(body=(DelegateForwardCalldata(Load("logic")),)),
+        constructor=(
+            Store("owner", Const(address_to_word(owner))),
+            Store("logic", Const(address_to_word(logic))),
+        ),
+    )
+
+
+def wyvern_logic(name: str = "AuthenticatedProxyLogic") -> Contract:
+    """The logic side of the Wyvern pair: inherits the same upgradeability
+    interface (hence the collisions) plus its own user functionality."""
+    return Contract(
+        name=name,
+        variables=(
+            VarDecl("owner", "address"),
+            VarDecl("logic", "address"),
+            VarDecl("revoked", "bool"),
+        ),
+        functions=(
+            Function(name="proxyType", body=(Return(Const(2)),)),
+            Function(name="implementation", body=(Return(Load("logic")),)),
+            Function(name="upgradeabilityOwner", body=(Return(Load("owner")),)),
+            Function(
+                name="setRevoked",
+                params=(("revoke", "bool"),),
+                body=(
+                    Require(BinOp("==", Caller(), Load("owner"))),
+                    Store("revoked", Param(0, "bool")),
+                ),
+            ),
+        ),
+    )
+
+
+# ------------------------------------------------- non-proxy / trap patterns
+def library_user(name: str, library: bytes) -> Contract:
+    """Uses DELEGATECALL as an external *library call* — not in the fallback
+    and with re-encoded arguments.  ProxioN must not call this a proxy;
+    opcode-presence and tx-history tools (Etherscan, CRUSH) will (§6.2)."""
+    return Contract(
+        name=name,
+        variables=(VarDecl("total", "uint256"),),
+        functions=(
+            Function(
+                name="addViaLibrary",
+                params=(("amount", "uint256"),),
+                body=(
+                    DelegateCallEncoded(
+                        Const(address_to_word(library)),
+                        "libraryAdd(uint256)",
+                        (Param(0, "uint256"),),
+                    ),
+                ),
+            ),
+            Function(
+                name="totalStored",
+                body=(Return(Load("total")),),
+            ),
+        ),
+    )
+
+
+def math_library(name: str = "SafeMathLib") -> Contract:
+    """The library contract the library_user delegatecalls into."""
+    return Contract(
+        name=name,
+        variables=(VarDecl("total", "uint256"),),
+        functions=(
+            Function(
+                name="libraryAdd",
+                params=(("amount", "uint256"),),
+                body=(Store("total", BinOp("+", Load("total"), Param(0, "uint256"))),),
+            ),
+        ),
+    )
+
+
+def call_forwarder(name: str, target: bytes) -> Contract:
+    """Forwards calldata with CALL (not DELEGATECALL) — never a proxy."""
+    return Contract(
+        name=name,
+        variables=(VarDecl("target", "address"),),
+        fallback=Fallback(body=(CallForwardCalldata(Load("target")),)),
+        constructor=(Store("target", Const(address_to_word(target))),),
+    )
+
+
+def simple_wallet(name: str, owner: bytes) -> Contract:
+    """A plain value-holding wallet; no delegatecall anywhere."""
+    return Contract(
+        name=name,
+        variables=(VarDecl("owner", "address"),),
+        functions=(
+            Function(
+                name="withdraw",
+                params=(("amount", "uint256"),),
+                body=(
+                    Require(BinOp("==", Caller(), Load("owner"))),
+                    SendEther(Caller(), Param(0, "uint256")),
+                ),
+            ),
+            Function(name="deposit", body=(Return(CallValue()),)),
+            Function(name="ownerOf", body=(Return(Load("owner")),)),
+        ),
+        constructor=(Store("owner", Const(address_to_word(owner))),),
+    )
+
+
+def batch_airdrop(name: str, owner: bytes) -> Contract:
+    """A loop-heavy distributor: credits ``n`` sequential beneficiary slots
+    per call.  Loops are everyday EVM reality; the analyzers must neither
+    hang on them (instruction/step budgets) nor lose the storage accesses
+    inside them."""
+    return Contract(
+        name=name,
+        variables=(
+            VarDecl("owner", "address"),
+            VarDecl("credits", "mapping(uint256=>uint256)"),
+            VarDecl("rounds", "uint256"),
+        ),
+        functions=(
+            Function(
+                name="distribute",
+                params=(("n", "uint256"), ("amount", "uint256")),
+                body=(
+                    Require(BinOp("==", Caller(), Load("owner"))),
+                    Repeat(Param(0, "uint256"), (
+                        MapStore("credits", LoopIndex(),
+                                 BinOp("+", MapLoad("credits", LoopIndex()),
+                                       Param(1, "uint256"))),
+                    )),
+                    Store("rounds", BinOp("+", Load("rounds"), Const(1))),
+                ),
+            ),
+            Function(
+                name="creditOf",
+                params=(("slot", "uint256"),),
+                body=(Return(MapLoad("credits", Param(0, "uint256"))),),
+            ),
+        ),
+        constructor=(Store("owner", Const(address_to_word(owner))),),
+    )
+
+
+def timelock_vault(name: str, owner: bytes, unlock_delay: int = 10 ** 6) -> Contract:
+    """A block-height-gated vault — the class of contracts whose behaviour
+    genuinely depends on *when* they execute (§8.1's divergence source)."""
+    return Contract(
+        name=name,
+        variables=(
+            VarDecl("owner", "address"),
+            VarDecl("unlockBlock", "uint256"),
+        ),
+        functions=(
+            Function(
+                name="lockUntilDelay",
+                body=(
+                    Require(BinOp("==", Caller(), Load("owner"))),
+                    Store("unlockBlock",
+                          BinOp("+", BlockNumber(), Const(unlock_delay))),
+                ),
+            ),
+            Function(
+                name="withdrawAll",
+                body=(
+                    Require(BinOp("==", Caller(), Load("owner"))),
+                    Require(BinOp(">=", BlockNumber(), Load("unlockBlock"))),
+                    SendEther(Caller(), SelfBalance()),
+                ),
+            ),
+            Function(name="currentBlock", body=(Return(BlockNumber()),)),
+            Function(name="unlocksAt", body=(Return(Load("unlockBlock")),)),
+        ),
+        constructor=(Store("owner", Const(address_to_word(owner))),),
+    )
+
+
+def simple_token(name: str, initial_holder: bytes, supply: int = 10 ** 24) -> Contract:
+    """A miniature ERC-20-ish token (mapping-based balances)."""
+    return Contract(
+        name=name,
+        variables=(
+            VarDecl("totalSupply", "uint256"),
+            VarDecl("balances", "mapping(address=>uint256)"),
+        ),
+        functions=(
+            Function(
+                name="transfer",
+                params=(("to", "address"), ("amount", "uint256")),
+                body=(
+                    Require(BinOp(
+                        "<=", Param(1, "uint256"),
+                        MapLoad("balances", Caller()))),
+                    MapStore("balances", Caller(),
+                             BinOp("-", MapLoad("balances", Caller()),
+                                   Param(1, "uint256"))),
+                    MapStore("balances", Param(0, "address"),
+                             BinOp("+", MapLoad("balances", Param(0, "address")),
+                                   Param(1, "uint256"))),
+                    Emit("Transfer(address,address,uint256)",
+                         (Caller(), Param(0, "address"), Param(1, "uint256"))),
+                    Return(Const(1)),
+                ),
+            ),
+            Function(
+                name="balanceOf",
+                params=(("account", "address"),),
+                body=(Return(MapLoad("balances", Param(0, "address"))),),
+            ),
+        ),
+        constructor=(
+            Store("totalSupply", Const(supply)),
+            MapStore("balances", Const(address_to_word(initial_holder)),
+                     Const(supply)),
+        ),
+    )
+
+
+# --------------------------------------------------- Listing 1: the honeypot
+def honeypot_proxy(name: str, logic: bytes, owner: bytes) -> Contract:
+    """Listing 1's proxy: ``impl_LUsXCWD2AKCc()`` collides with the logic's
+    ``free_ether_withdrawal()`` (both hash to 0xdf4a3106) and steals the
+    caller's funds instead of paying out."""
+    return Contract(
+        name=name,
+        variables=(
+            VarDecl("owner", "address"),
+            VarDecl("logic", "address"),
+        ),
+        functions=(
+            Function(
+                name="impl_LUsXCWD2AKCc",
+                body=(
+                    # The scam body: siphon the caller's deposit to the owner.
+                    SendEther(Load("owner"), CallValue()),
+                ),
+            ),
+        ),
+        fallback=Fallback(body=(DelegateForwardCalldata(Load("logic")),)),
+        constructor=(
+            Store("owner", Const(address_to_word(owner))),
+            Store("logic", Const(address_to_word(logic))),
+        ),
+    )
+
+
+def honeypot_logic(name: str = "GenerousLogic") -> Contract:
+    """Listing 1's logic: the attractive function nobody can ever reach."""
+    return Contract(
+        name=name,
+        functions=(
+            Function(
+                name="free_ether_withdrawal",
+                body=(SendEther(Caller(), Const(10 * ETHER)),),
+            ),
+        ),
+    )
+
+
+# ------------------------------------------- Listing 2: the Audius collision
+def audius_proxy(name: str, logic: bytes, owner: bytes) -> Contract:
+    """Listing 2's proxy: ``owner`` (20 bytes) occupies slot 0."""
+    return Contract(
+        name=name,
+        variables=(
+            VarDecl("owner", "address"),   # slot 0, offset 0
+            VarDecl("logic", "address"),   # slot 1 (20 + 20 > 32)
+        ),
+        fallback=Fallback(body=(DelegateForwardCalldata(Load("logic")),)),
+        constructor=(
+            Store("owner", Const(address_to_word(owner))),
+            Store("logic", Const(address_to_word(logic))),
+        ),
+    )
+
+
+def audius_logic(name: str = "AudiusLogic") -> Contract:
+    """Listing 2's logic: ``initialized``/``initializing`` bools pack into
+    slot 0 — colliding with the proxy's ``owner`` address.
+
+    ``owner`` models the inherited governance layout of the real Audius
+    contracts: it also resolves to slot 0 (a fixed-slot variable here), so
+    the ``owner = msg.sender`` write at the end of ``initialize()``
+    immediately clobbers both freshly-written flag bytes with address bytes.
+    Any realistic address has non-zero low bytes, so ``initializing`` reads
+    true forever and ``initialize()`` can be replayed to take over
+    ownership — the Audius exploit (§2.3)."""
+    return Contract(
+        name=name,
+        variables=(
+            VarDecl("initialized", "bool"),    # slot 0, offset 0
+            VarDecl("initializing", "bool"),   # slot 0, offset 1
+        ),
+        fixed_slot_vars=(
+            FixedSlotVar("owner", "address", 0),  # inherited: also slot 0
+        ),
+        functions=(
+            Function(
+                name="initialize",
+                body=(
+                    Require(BinOp("or", Load("initializing"),
+                                  Not(Load("initialized")))),
+                    Store("initialized", Const(1)),
+                    Store("initializing", Const(0)),
+                    Store("owner", Caller()),
+                ),
+            ),
+            Function(
+                name="governanceAddress",
+                body=(Return(Load("owner")),),
+            ),
+        ),
+    )

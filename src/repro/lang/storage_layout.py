@@ -1,0 +1,128 @@
+"""Solidity storage-slot assignment (the packing rules of §2.3).
+
+Variables are assigned to consecutive 32-byte slots in declaration order;
+consecutive variables whose sizes sum to at most 32 bytes share a slot
+(packed from the least-significant byte upward).  Mappings take a whole
+marker slot.  Constants take no slot at all.  Proxy standards additionally
+use *fixed* slots derived from Keccak-256 hashes (EIP-1967/1822), which are
+modelled as out-of-band layout entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.types import SLOT_BYTES, MappingType, ValueType, parse_type
+from repro.utils.keccak import keccak256
+
+# The well-known fixed slots of the proxy EIPs.
+EIP1967_IMPLEMENTATION_SLOT = (
+    int.from_bytes(keccak256(b"eip1967.proxy.implementation"), "big") - 1
+)
+EIP1967_ADMIN_SLOT = int.from_bytes(keccak256(b"eip1967.proxy.admin"), "big") - 1
+EIP1822_PROXIABLE_SLOT = int.from_bytes(keccak256(b"PROXIABLE"), "big")
+DIAMOND_STORAGE_SLOT = int.from_bytes(
+    keccak256(b"diamond.standard.diamond.storage"), "big"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SlotAssignment:
+    """Where one variable lives: slot number, byte offset, byte width."""
+
+    name: str
+    type_name: str
+    slot: int
+    offset: int      # byte offset from the least-significant end of the slot
+    size: int        # bytes occupied
+    is_mapping: bool = False
+    is_fixed_slot: bool = False  # EIP-1967/1822 style hash-derived slot
+
+    @property
+    def bit_shift(self) -> int:
+        return self.offset * 8
+
+    @property
+    def mask(self) -> int:
+        return (1 << (self.size * 8)) - 1
+
+    def overlaps(self, other: "SlotAssignment") -> bool:
+        """Byte-range overlap test within a shared slot."""
+        if self.slot != other.slot:
+            return False
+        return (self.offset < other.offset + other.size
+                and other.offset < self.offset + self.size)
+
+
+class StorageLayout:
+    """The computed layout of one contract."""
+
+    def __init__(self, assignments: list[SlotAssignment]) -> None:
+        self.assignments = assignments
+        self._by_name = {a.name: a for a in assignments}
+        self.next_free_slot = 1 + max(
+            (a.slot for a in assignments if not a.is_fixed_slot), default=-1)
+
+    def get(self, name: str) -> SlotAssignment:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self.assignments)
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+    def slots_used(self) -> set[int]:
+        return {a.slot for a in self.assignments}
+
+
+def compute_layout(
+    declarations: list[tuple[str, str]],
+    fixed_slots: list[tuple[str, str, int]] | None = None,
+) -> StorageLayout:
+    """Assign slots to ``(name, type_name)`` declarations in order.
+
+    ``fixed_slots`` entries are ``(name, type_name, slot_number)`` for the
+    hash-derived EIP slots; they never pack.
+    """
+    assignments: list[SlotAssignment] = []
+    slot = 0
+    offset = 0
+
+    for name, type_name in declarations:
+        parsed = parse_type(type_name)
+        if isinstance(parsed, MappingType):
+            if offset:
+                slot += 1
+                offset = 0
+            assignments.append(SlotAssignment(
+                name, parsed.name, slot, 0, SLOT_BYTES, is_mapping=True))
+            slot += 1
+            continue
+        assert isinstance(parsed, ValueType)
+        if offset + parsed.size > SLOT_BYTES:
+            slot += 1
+            offset = 0
+        assignments.append(SlotAssignment(name, parsed.name, slot,
+                                          offset, parsed.size))
+        offset += parsed.size
+        if offset == SLOT_BYTES:
+            slot += 1
+            offset = 0
+
+    for name, type_name, fixed_slot in (fixed_slots or []):
+        parsed = parse_type(type_name)
+        size = parsed.size if isinstance(parsed, ValueType) else SLOT_BYTES
+        assignments.append(SlotAssignment(
+            name, type_name, fixed_slot, 0, size, is_fixed_slot=True))
+
+    return StorageLayout(assignments)
+
+
+def mapping_element_slot(key: int, marker_slot: int) -> int:
+    """Solidity mapping addressing: keccak256(pad32(key) ++ pad32(slot))."""
+    preimage = key.to_bytes(32, "big") + marker_slot.to_bytes(32, "big")
+    return int.from_bytes(keccak256(preimage), "big")

@@ -1,0 +1,111 @@
+"""Elementary type system for the mini contract language.
+
+Mirrors Solidity's value types and their storage footprints, which is what
+the paper's storage-collision analysis reasons about: a ``bool`` is 1 byte,
+an ``address`` 20 bytes, and contiguous declarations pack into 32-byte slots
+(§2.3, Listing 2).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+SLOT_BYTES = 32
+
+
+@dataclass(frozen=True, slots=True)
+class ValueType:
+    """An elementary (single-slot-or-less) type."""
+
+    name: str
+    size: int          # bytes occupied in storage
+    is_signed: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.size <= SLOT_BYTES:
+            raise ValueError(f"invalid storage size {self.size} for {self.name}")
+
+    @property
+    def mask(self) -> int:
+        return (1 << (self.size * 8)) - 1
+
+
+@dataclass(frozen=True, slots=True)
+class MappingType:
+    """``mapping(key => value)``; occupies one marker slot, data lives at
+    ``keccak256(pad32(key) ++ pad32(slot))`` exactly as in Solidity."""
+
+    key_type: ValueType
+    value_type: ValueType
+
+    @property
+    def name(self) -> str:
+        return f"mapping({self.key_type.name}=>{self.value_type.name})"
+
+    @property
+    def size(self) -> int:
+        return SLOT_BYTES  # the marker slot is never packed with neighbours
+
+
+BOOL = ValueType("bool", 1)
+ADDRESS = ValueType("address", 20)
+UINT8 = ValueType("uint8", 1)
+UINT16 = ValueType("uint16", 2)
+UINT32 = ValueType("uint32", 4)
+UINT64 = ValueType("uint64", 8)
+UINT128 = ValueType("uint128", 16)
+UINT256 = ValueType("uint256", 32)
+INT256 = ValueType("int256", 32, is_signed=True)
+BYTES4 = ValueType("bytes4", 4)
+BYTES32 = ValueType("bytes32", 32)
+
+_NAMED = {t.name: t for t in (
+    BOOL, ADDRESS, UINT8, UINT16, UINT32, UINT64, UINT128, UINT256,
+    INT256, BYTES4, BYTES32,
+)}
+
+_UINT_RE = re.compile(r"^uint(\d+)$")
+_INT_RE = re.compile(r"^int(\d+)$")
+_BYTES_RE = re.compile(r"^bytes(\d+)$")
+_MAPPING_RE = re.compile(r"^mapping\((.+?)=>(.+)\)$")
+
+
+def parse_type(name: str) -> ValueType | MappingType:
+    """Parse a Solidity-style type name."""
+    name = name.replace(" ", "")
+    if name in _NAMED:
+        return _NAMED[name]
+    mapping_match = _MAPPING_RE.match(name)
+    if mapping_match:
+        key = parse_type(mapping_match.group(1))
+        value = parse_type(mapping_match.group(2))
+        if isinstance(key, MappingType) or isinstance(value, MappingType):
+            raise ValueError("nested mappings are not supported")
+        return MappingType(key, value)
+    for pattern, signed in ((_UINT_RE, False), (_INT_RE, True)):
+        match = pattern.match(name)
+        if match:
+            bits = int(match.group(1))
+            if bits % 8 or not 8 <= bits <= 256:
+                raise ValueError(f"invalid integer width: {name}")
+            return ValueType(name, bits // 8, is_signed=signed)
+    bytes_match = _BYTES_RE.match(name)
+    if bytes_match:
+        width = int(bytes_match.group(1))
+        if not 1 <= width <= 32:
+            raise ValueError(f"invalid bytes width: {name}")
+        return ValueType(name, width)
+    raise ValueError(f"unknown type: {name}")
+
+
+def types_compatible(left: str, right: str) -> bool:
+    """Loose same-interpretation check used by collision analyses.
+
+    Two slot occupants "agree" when they have the same byte width and
+    signedness class; ``address`` vs ``bytes20`` or ``uint160`` is the
+    classic same-width-different-interpretation boundary the paper treats
+    as a mismatch, so equality of the type *name* is required except for
+    integer aliases.
+    """
+    return parse_type(left) == parse_type(right) and left == right

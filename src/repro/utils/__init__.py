@@ -1,0 +1,54 @@
+"""Shared low-level utilities: Keccak-256, ABI codec and hex helpers."""
+
+from repro.utils.abi import (
+    decode_arguments,
+    encode_arguments,
+    encode_call,
+    function_selector,
+    parse_prototype,
+)
+from repro.utils.hexutil import (
+    ADDRESS_BYTES,
+    WORD_BYTES,
+    WORD_MASK,
+    ZERO_ADDRESS,
+    address_to_word,
+    bytes_to_word,
+    ceil32,
+    format_address,
+    format_hex,
+    from_signed,
+    parse_address,
+    parse_hex,
+    to_signed,
+    to_word,
+    word_to_address,
+    word_to_bytes,
+)
+from repro.utils.keccak import keccak256, keccak256_hex
+
+__all__ = [
+    "ADDRESS_BYTES",
+    "WORD_BYTES",
+    "WORD_MASK",
+    "ZERO_ADDRESS",
+    "address_to_word",
+    "bytes_to_word",
+    "ceil32",
+    "decode_arguments",
+    "encode_arguments",
+    "encode_call",
+    "format_address",
+    "format_hex",
+    "from_signed",
+    "function_selector",
+    "keccak256",
+    "keccak256_hex",
+    "parse_address",
+    "parse_hex",
+    "parse_prototype",
+    "to_signed",
+    "to_word",
+    "word_to_address",
+    "word_to_bytes",
+]

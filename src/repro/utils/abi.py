@@ -1,0 +1,138 @@
+"""Minimal Solidity ABI support: selectors plus elementary-type codec.
+
+The ProxioN pipeline needs function selectors (the first four bytes of the
+Keccak-256 hash of a canonical prototype string, §2.1 of the paper) and just
+enough argument encoding to craft transaction calldata for the EVM emulation
+and exploit-synthesis stages.  Only the elementary static types the paper's
+contracts use are supported: ``uintN``/``intN``, ``address``, ``bool``,
+``bytesN`` and (head-encoded) ``bytes``/``string``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.utils.hexutil import (
+    WORD_BYTES,
+    address_to_word,
+    ceil32,
+    from_signed,
+    to_signed,
+    word_to_address,
+    word_to_bytes,
+)
+from repro.utils.keccak import keccak256
+
+SELECTOR_BYTES = 4
+
+_PROTOTYPE_RE = re.compile(r"^(\w+)\((.*)\)$")
+_UINT_RE = re.compile(r"^uint(\d+)?$")
+_INT_RE = re.compile(r"^int(\d+)?$")
+_BYTES_N_RE = re.compile(r"^bytes(\d+)$")
+
+
+def function_selector(prototype: str) -> bytes:
+    """Return the 4-byte selector for a canonical prototype string.
+
+    >>> function_selector("free_ether_withdrawal()").hex()
+    'df4a3106'
+    """
+    return keccak256(prototype.encode("ascii"))[:SELECTOR_BYTES]
+
+
+def parse_prototype(prototype: str) -> tuple[str, list[str]]:
+    """Split ``name(type1,type2)`` into its name and argument type list."""
+    match = _PROTOTYPE_RE.match(prototype)
+    if not match:
+        raise ValueError(f"malformed function prototype: {prototype!r}")
+    name, arg_text = match.groups()
+    arg_types = [t.strip() for t in arg_text.split(",") if t.strip()]
+    return name, arg_types
+
+
+def _encode_static(abi_type: str, value: object) -> int:
+    """Encode one static value as an unsigned 256-bit word."""
+    if abi_type == "address":
+        if isinstance(value, bytes):
+            return address_to_word(value)
+        if isinstance(value, int):
+            return value
+        raise TypeError(f"address value must be bytes or int, got {type(value)}")
+    if abi_type == "bool":
+        return 1 if value else 0
+    uint_match = _UINT_RE.match(abi_type)
+    if uint_match:
+        bits = int(uint_match.group(1) or 256)
+        word = int(value)  # type: ignore[arg-type]
+        if word < 0 or word >= (1 << bits):
+            raise ValueError(f"{value} out of range for {abi_type}")
+        return word
+    int_match = _INT_RE.match(abi_type)
+    if int_match:
+        bits = int(int_match.group(1) or 256)
+        signed = int(value)  # type: ignore[arg-type]
+        if signed < -(1 << (bits - 1)) or signed >= (1 << (bits - 1)):
+            raise ValueError(f"{value} out of range for {abi_type}")
+        return from_signed(signed)
+    bytes_match = _BYTES_N_RE.match(abi_type)
+    if bytes_match:
+        width = int(bytes_match.group(1))
+        if not isinstance(value, bytes) or len(value) != width:
+            raise ValueError(f"{abi_type} value must be exactly {width} bytes")
+        # Fixed-size byte arrays are left-aligned in their word.
+        return int.from_bytes(value.ljust(WORD_BYTES, b"\x00"), "big")
+    raise ValueError(f"unsupported static ABI type: {abi_type}")
+
+
+def _is_dynamic(abi_type: str) -> bool:
+    return abi_type in ("bytes", "string")
+
+
+def encode_arguments(arg_types: list[str], values: list[object]) -> bytes:
+    """ABI-encode ``values`` per ``arg_types`` (head/tail layout)."""
+    if len(arg_types) != len(values):
+        raise ValueError(
+            f"expected {len(arg_types)} values, got {len(values)}"
+        )
+    head_size = WORD_BYTES * len(arg_types)
+    heads: list[bytes] = []
+    tail = bytearray()
+    for abi_type, value in zip(arg_types, values):
+        if _is_dynamic(abi_type):
+            raw = value.encode("utf-8") if isinstance(value, str) else bytes(value)  # type: ignore[arg-type]
+            heads.append(word_to_bytes(head_size + len(tail)))
+            tail.extend(word_to_bytes(len(raw)))
+            tail.extend(raw.ljust(ceil32(len(raw)), b"\x00"))
+        else:
+            heads.append(word_to_bytes(_encode_static(abi_type, value)))
+    return b"".join(heads) + bytes(tail)
+
+
+def encode_call(prototype: str, values: list[object] | None = None) -> bytes:
+    """Build full calldata (selector + encoded arguments) for a prototype."""
+    _, arg_types = parse_prototype(prototype)
+    return function_selector(prototype) + encode_arguments(arg_types, values or [])
+
+
+def decode_arguments(arg_types: list[str], data: bytes) -> list[object]:
+    """Decode ABI-encoded return data into Python values."""
+    values: list[object] = []
+    for index, abi_type in enumerate(arg_types):
+        head = data[index * WORD_BYTES:(index + 1) * WORD_BYTES]
+        word = int.from_bytes(head, "big")
+        if _is_dynamic(abi_type):
+            length = int.from_bytes(data[word:word + WORD_BYTES], "big")
+            raw = data[word + WORD_BYTES:word + WORD_BYTES + length]
+            values.append(raw.decode("utf-8") if abi_type == "string" else raw)
+        elif abi_type == "address":
+            values.append(word_to_address(word))
+        elif abi_type == "bool":
+            values.append(bool(word))
+        elif _INT_RE.match(abi_type) and not _UINT_RE.match(abi_type):
+            values.append(to_signed(word))
+        elif _BYTES_N_RE.match(abi_type):
+            width = int(_BYTES_N_RE.match(abi_type).group(1))  # type: ignore[union-attr]
+            values.append(word.to_bytes(WORD_BYTES, "big")[:width])
+        else:
+            values.append(word)
+    return values

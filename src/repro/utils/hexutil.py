@@ -1,0 +1,97 @@
+"""Hex, word and address helpers shared across the EVM and chain layers.
+
+Throughout the codebase:
+
+* an *address* is a 20-byte ``bytes`` value,
+* a *word* is an unsigned integer in ``[0, 2**256)``,
+* bytecode and calldata are plain ``bytes``.
+
+These helpers centralize the conversions so that byte-width bugs cannot hide
+in call sites.
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 256
+WORD_BYTES = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+SIGN_BIT = 1 << (WORD_BITS - 1)
+
+ADDRESS_BYTES = 20
+ADDRESS_MASK = (1 << (ADDRESS_BYTES * 8)) - 1
+
+ZERO_ADDRESS = b"\x00" * ADDRESS_BYTES
+
+
+def to_word(value: int) -> int:
+    """Truncate an integer into an unsigned 256-bit EVM word."""
+    return value & WORD_MASK
+
+
+def to_signed(word: int) -> int:
+    """Interpret an unsigned 256-bit word as a two's-complement integer."""
+    if word & SIGN_BIT:
+        return word - (1 << WORD_BITS)
+    return word
+
+
+def from_signed(value: int) -> int:
+    """Encode a (possibly negative) integer as an unsigned 256-bit word."""
+    return value & WORD_MASK
+
+
+def word_to_bytes(word: int) -> bytes:
+    """Encode an unsigned 256-bit word as 32 big-endian bytes."""
+    return word.to_bytes(WORD_BYTES, "big")
+
+
+def bytes_to_word(data: bytes) -> int:
+    """Decode up to 32 big-endian bytes into an unsigned word."""
+    if len(data) > WORD_BYTES:
+        raise ValueError(f"word too long: {len(data)} bytes")
+    return int.from_bytes(data, "big")
+
+
+def word_to_address(word: int) -> bytes:
+    """Extract the low-order 20 bytes of a word as an address."""
+    return (word & ADDRESS_MASK).to_bytes(ADDRESS_BYTES, "big")
+
+
+def address_to_word(address: bytes) -> int:
+    """Zero-extend a 20-byte address into an unsigned word."""
+    if len(address) != ADDRESS_BYTES:
+        raise ValueError(f"address must be {ADDRESS_BYTES} bytes, got {len(address)}")
+    return int.from_bytes(address, "big")
+
+
+def parse_address(text: str | bytes) -> bytes:
+    """Parse a ``0x``-prefixed hex string (or pass through bytes) as an address."""
+    if isinstance(text, bytes):
+        if len(text) != ADDRESS_BYTES:
+            raise ValueError(f"address must be {ADDRESS_BYTES} bytes, got {len(text)}")
+        return text
+    stripped = text.removeprefix("0x").removeprefix("0X")
+    raw = bytes.fromhex(stripped)
+    if len(raw) != ADDRESS_BYTES:
+        raise ValueError(f"address must be {ADDRESS_BYTES} bytes, got {len(raw)}")
+    return raw
+
+
+def format_address(address: bytes) -> str:
+    """Render an address as a ``0x``-prefixed lowercase hex string."""
+    return "0x" + address.hex()
+
+
+def parse_hex(text: str) -> bytes:
+    """Parse an optionally ``0x``-prefixed hex string into bytes."""
+    return bytes.fromhex(text.removeprefix("0x").removeprefix("0X"))
+
+
+def format_hex(data: bytes) -> str:
+    """Render bytes as a ``0x``-prefixed lowercase hex string."""
+    return "0x" + data.hex()
+
+
+def ceil32(length: int) -> int:
+    """Round ``length`` up to the next multiple of 32 (EVM memory word size)."""
+    return (length + 31) & ~31

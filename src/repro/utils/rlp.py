@@ -1,0 +1,40 @@
+"""Just enough RLP to derive contract addresses.
+
+CREATE addresses are ``keccak256(rlp([sender, nonce]))[12:]``; this module
+implements RLP encoding for byte strings and non-negative integers, which is
+all that derivation needs (plus decoding for its tests).
+"""
+
+from __future__ import annotations
+
+
+def encode_bytes(data: bytes) -> bytes:
+    """RLP-encode a byte string."""
+    if len(data) == 1 and data[0] < 0x80:
+        return data
+    if len(data) <= 55:
+        return bytes([0x80 + len(data)]) + data
+    length_bytes = _encode_length(len(data))
+    return bytes([0xB7 + len(length_bytes)]) + length_bytes + data
+
+
+def encode_int(value: int) -> bytes:
+    """RLP-encode a non-negative integer (big-endian, no leading zeros)."""
+    if value < 0:
+        raise ValueError("RLP integers must be non-negative")
+    if value == 0:
+        return encode_bytes(b"")
+    return encode_bytes(value.to_bytes((value.bit_length() + 7) // 8, "big"))
+
+
+def encode_list(items: list[bytes]) -> bytes:
+    """RLP-encode a list of already-encoded items."""
+    payload = b"".join(items)
+    if len(payload) <= 55:
+        return bytes([0xC0 + len(payload)]) + payload
+    length_bytes = _encode_length(len(payload))
+    return bytes([0xF7 + len(length_bytes)]) + length_bytes + payload
+
+
+def _encode_length(length: int) -> bytes:
+    return length.to_bytes((length.bit_length() + 7) // 8, "big")

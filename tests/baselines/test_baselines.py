@@ -1,0 +1,233 @@
+"""Baseline tools: each reproduces its documented strengths and blind spots."""
+
+from __future__ import annotations
+
+from repro.baselines.crush import Crush
+from repro.baselines.etherscan_like import EtherscanVerifier
+from repro.baselines.salehi import SalehiReplay
+from repro.baselines.slither_like import SlitherKeyword
+from repro.baselines.uschunt import USCHunt
+from repro.chain.blockchain import Blockchain
+from repro.chain.explorer import ContractSource, SourceRegistry
+from repro.chain.node import ArchiveNode
+from repro.lang import compile_contract, contract_source_of, stdlib
+from repro.utils import encode_call
+
+from tests.conftest import ALICE, BOB
+
+
+def _deploy(chain: Blockchain, contract_or_init) -> bytes:
+    init = (contract_or_init if isinstance(contract_or_init, bytes)
+            else compile_contract(contract_or_init).init_code)
+    receipt = chain.deploy(ALICE, init)
+    assert receipt.success
+    return receipt.created_address
+
+
+def _register(chain: Blockchain, registry: SourceRegistry, address: bytes,
+              contract_ast, compiler_version: str | None = None) -> None:
+    source = contract_source_of(contract_ast)
+    if compiler_version:
+        source = ContractSource(
+            contract_name=source.contract_name,
+            function_prototypes=source.function_prototypes,
+            storage_variables=source.storage_variables,
+            text=source.text,
+            compiler_version=compiler_version)
+    registry.verify(address, source, chain.state.get_code(address))
+
+
+# ------------------------------------------------------------- EtherScan
+def test_etherscan_flags_any_delegatecall(chain: Blockchain) -> None:
+    node = ArchiveNode(chain)
+    tool = EtherscanVerifier(node)
+    library = _deploy(chain, stdlib.math_library())
+    user = _deploy(chain, stdlib.library_user("U", library))
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    proxy = _deploy(chain, stdlib.minimal_proxy_init(wallet))
+    assert tool.is_proxy(proxy)          # true positive
+    assert tool.is_proxy(user)           # FALSE positive: library caller
+    assert not tool.is_proxy(wallet)
+    assert tool.find_proxies([proxy, user, wallet]) == {proxy, user}
+
+
+# --------------------------------------------------------------- Slither
+def test_slither_needs_source(chain: Blockchain) -> None:
+    node = ArchiveNode(chain)
+    registry = SourceRegistry()
+    tool = SlitherKeyword(node, registry)
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    proxy_ast = stdlib.storage_proxy("P", wallet, ALICE)
+    proxy = _deploy(chain, proxy_ast)
+    assert tool.is_proxy(proxy) is None  # hidden: no verdict at all
+    _register(chain, registry, proxy, proxy_ast)
+    assert tool.is_proxy(proxy) is True
+
+
+def test_slither_keyword_false_positive(chain: Blockchain) -> None:
+    """A non-proxy whose *name* mentions 'proxy' trips the keyword search."""
+    node = ArchiveNode(chain)
+    registry = SourceRegistry()
+    tool = SlitherKeyword(node, registry)
+    decoy_ast = stdlib.simple_wallet("ProxyWalletHolder", ALICE)
+    decoy = _deploy(chain, decoy_ast)
+    _register(chain, registry, decoy, decoy_ast)
+    assert tool.is_proxy(decoy) is True  # keyword FP
+
+
+def test_slither_function_collisions_source_only(chain: Blockchain) -> None:
+    node = ArchiveNode(chain)
+    registry = SourceRegistry()
+    tool = SlitherKeyword(node, registry)
+    logic_ast = stdlib.honeypot_logic()
+    logic = _deploy(chain, logic_ast)
+    proxy_ast = stdlib.honeypot_proxy("HP", logic, ALICE)
+    proxy = _deploy(chain, proxy_ast)
+    assert tool.function_collisions(proxy, logic) is None  # no source yet
+    _register(chain, registry, proxy, proxy_ast)
+    _register(chain, registry, logic, logic_ast)
+    collisions = tool.function_collisions(proxy, logic)
+    assert collisions == {bytes.fromhex("df4a3106")}
+
+
+# ---------------------------------------------------------------- USCHunt
+def test_uschunt_halts_on_unsupported_compiler(chain: Blockchain) -> None:
+    node = ArchiveNode(chain)
+    registry = SourceRegistry()
+    tool = USCHunt(node, registry)
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    proxy_ast = stdlib.storage_proxy("P", wallet, ALICE)
+    proxy = _deploy(chain, proxy_ast)
+    _register(chain, registry, proxy, proxy_ast, compiler_version="v0.4.11")
+    result = tool.check(proxy)
+    assert result.halted
+    assert not result.is_proxy
+    assert tool.halt_count == 1
+
+
+def test_uschunt_detects_recognizable_proxy(chain: Blockchain) -> None:
+    node = ArchiveNode(chain)
+    registry = SourceRegistry()
+    tool = USCHunt(node, registry)
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    proxy_ast = stdlib.storage_proxy("P", wallet, ALICE)
+    proxy = _deploy(chain, proxy_ast)
+    _register(chain, registry, proxy, proxy_ast)
+    assert tool.check(proxy).is_proxy
+
+
+def test_uschunt_misses_nonstandard_variable_names(chain: Blockchain) -> None:
+    from repro.corpus.ground_truth import _colliding_proxy
+    node = ArchiveNode(chain)
+    registry = SourceRegistry()
+    tool = USCHunt(node, registry)
+    proxy_ast = _colliding_proxy("Odd", b"\x01" * 20, ALICE)
+    proxy = _deploy(chain, proxy_ast)
+    _register(chain, registry, proxy, proxy_ast)
+    assert not tool.check(proxy).is_proxy  # Slither-style FN
+
+
+def test_uschunt_storage_padding_false_positive(chain: Blockchain) -> None:
+    node = ArchiveNode(chain)
+    registry = SourceRegistry()
+    tool = USCHunt(node, registry)
+    from repro.corpus.ground_truth import _renamed_logic
+    logic_ast = _renamed_logic("R", ("gap", "implAddr"))
+    logic = _deploy(chain, logic_ast)
+    proxy_ast = stdlib.storage_proxy("P", logic, ALICE)
+    proxy = _deploy(chain, proxy_ast)
+    _register(chain, registry, proxy, proxy_ast)
+    _register(chain, registry, logic, logic_ast)
+    findings = tool.storage_collisions(proxy, logic)
+    assert findings  # renamed-but-compatible variables flagged anyway
+    assert all(finding.is_name_only_mismatch for finding in findings)
+
+
+def test_uschunt_function_collisions_gated_on_detection(chain: Blockchain) -> None:
+    node = ArchiveNode(chain)
+    registry = SourceRegistry()
+    tool = USCHunt(node, registry)
+    logic_ast = stdlib.honeypot_logic()
+    logic = _deploy(chain, logic_ast)
+    proxy_ast = stdlib.honeypot_proxy("HP", logic, ALICE)
+    proxy = _deploy(chain, proxy_ast)
+    _register(chain, registry, logic, logic_ast)
+    _register(chain, registry, proxy, proxy_ast, compiler_version="v0.4.11")
+    assert tool.function_collisions(proxy, logic) == set()  # halted → nothing
+
+
+# ------------------------------------------------------------------ CRUSH
+def test_crush_mines_pairs_from_history(chain: Blockchain) -> None:
+    node = ArchiveNode(chain)
+    tool = Crush(node)
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    proxy = _deploy(chain, stdlib.storage_proxy("P", wallet, ALICE))
+    hidden = _deploy(chain, stdlib.storage_proxy("H", wallet, ALICE))
+    chain.transact(BOB, proxy, b"\xaa\xbb\xcc\xdd")  # exercises the fallback
+    result = tool.mine_pairs([proxy, hidden, wallet])
+    assert proxy in result.proxies
+    assert (proxy, wallet) in result.pairs
+    assert hidden not in result.proxies  # no transactions → invisible
+
+
+def test_crush_counts_library_users_as_proxies(chain: Blockchain) -> None:
+    node = ArchiveNode(chain)
+    tool = Crush(node)
+    library = _deploy(chain, stdlib.math_library())
+    user = _deploy(chain, stdlib.library_user("U", library))
+    chain.transact(BOB, user, encode_call("addViaLibrary(uint256)", [1]))
+    result = tool.mine_pairs([user])
+    assert user in result.proxies  # the documented FP class
+    assert (user, library) in result.pairs
+
+
+def test_crush_analyze_detects_storage_collisions(chain: Blockchain) -> None:
+    node = ArchiveNode(chain)
+    tool = Crush(node)
+    logic = _deploy(chain, stdlib.audius_logic())
+    proxy = _deploy(chain, stdlib.audius_proxy("AP", logic, ALICE))
+    chain.transact(BOB, proxy, b"\xaa\xbb\xcc\xdd")
+    result = tool.analyze([proxy], verify_exploits=True)
+    assert result.collision_pairs == 1
+    assert result.verified_exploits == 1
+
+
+# ----------------------------------------------------------------- Salehi
+def test_salehi_detects_proxy_with_history(chain: Blockchain) -> None:
+    node = ArchiveNode(chain)
+    tool = SalehiReplay(node)
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    proxy = _deploy(chain, stdlib.storage_proxy("P", wallet, ALICE))
+    chain.transact(BOB, proxy, b"\xaa\xbb\xcc\xdd")
+    assert tool.is_proxy(proxy)
+
+
+def test_salehi_misses_hidden_proxy(chain: Blockchain) -> None:
+    node = ArchiveNode(chain)
+    tool = SalehiReplay(node)
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    hidden = _deploy(chain, stdlib.storage_proxy("H", wallet, ALICE))
+    assert not tool.is_proxy(hidden)  # no transactions to replay
+
+
+def test_salehi_misses_proxy_with_only_function_txs(chain: Blockchain) -> None:
+    """Replay only covers what history exercised: transactions that hit a
+    real function never reach the fallback, so the proxy stays invisible."""
+    node = ArchiveNode(chain)
+    tool = SalehiReplay(node)
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    proxy = _deploy(chain, stdlib.storage_proxy("P", wallet, ALICE))
+    chain.transact(ALICE, proxy,
+                   encode_call("setImplementation(address)", [wallet]))
+    assert not tool.is_proxy(proxy)
+
+
+def test_salehi_excludes_library_calls(chain: Blockchain) -> None:
+    """Replay checks the *forwarded calldata* criterion, so unlike CRUSH it
+    does not misclassify library users."""
+    node = ArchiveNode(chain)
+    tool = SalehiReplay(node)
+    library = _deploy(chain, stdlib.math_library())
+    user = _deploy(chain, stdlib.library_user("U", library))
+    chain.transact(BOB, user, encode_call("addViaLibrary(uint256)", [1]))
+    assert not tool.is_proxy(user)

@@ -1,0 +1,98 @@
+"""WorldState archive history: storage/code reads at arbitrary heights."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain.state import WorldState
+
+ADDR = b"\x0a" * 20
+
+
+def test_storage_history_at_heights() -> None:
+    state = WorldState()
+    state.current_block = 10
+    state.set_storage(ADDR, 0, 100)
+    state.current_block = 20
+    state.set_storage(ADDR, 0, 200)
+    state.current_block = 30
+    state.set_storage(ADDR, 0, 0)
+
+    assert state.get_storage_at(ADDR, 0, 5) == 0
+    assert state.get_storage_at(ADDR, 0, 10) == 100
+    assert state.get_storage_at(ADDR, 0, 15) == 100
+    assert state.get_storage_at(ADDR, 0, 20) == 200
+    assert state.get_storage_at(ADDR, 0, 29) == 200
+    assert state.get_storage_at(ADDR, 0, 30) == 0
+    assert state.get_storage_at(ADDR, 0, 1000) == 0
+
+
+def test_same_block_overwrite_keeps_last() -> None:
+    state = WorldState()
+    state.current_block = 7
+    state.set_storage(ADDR, 1, 1)
+    state.set_storage(ADDR, 1, 2)
+    assert state.get_storage_at(ADDR, 1, 7) == 2
+    assert state.storage_change_blocks(ADDR, 1) == [7]
+
+
+def test_code_history() -> None:
+    state = WorldState()
+    state.current_block = 3
+    state.set_code(ADDR, b"\x01")
+    state.current_block = 9
+    state.set_code(ADDR, b"\x02")
+    assert state.get_code_at(ADDR, 2) == b""
+    assert state.get_code_at(ADDR, 3) == b"\x01"
+    assert state.get_code_at(ADDR, 8) == b"\x01"
+    assert state.get_code_at(ADDR, 9) == b"\x02"
+
+
+def test_destroyed_code_history() -> None:
+    state = WorldState()
+    state.current_block = 1
+    state.set_code(ADDR, b"\x01")
+    state.current_block = 5
+    state.mark_destroyed(ADDR)
+    assert state.get_code_at(ADDR, 4) == b"\x01"
+    assert state.get_code_at(ADDR, 5) == b""
+    assert state.is_destroyed(ADDR)
+
+
+def test_revert_truncates_history() -> None:
+    state = WorldState()
+    state.current_block = 1
+    state.set_storage(ADDR, 0, 1)
+    snapshot = state.snapshot()
+    state.current_block = 2
+    state.set_storage(ADDR, 0, 2)
+    state.set_storage(ADDR, 3, 9)
+    state.revert(snapshot)
+    assert state.get_storage(ADDR, 0) == 1
+    assert state.get_storage_at(ADDR, 0, 2) == 1
+    assert state.storage_change_blocks(ADDR, 0) == [1]
+    assert state.storage_change_blocks(ADDR, 3) == []
+
+
+@given(st.lists(st.tuples(st.integers(1, 200), st.integers(0, 1 << 64)),
+                min_size=1, max_size=30))
+def test_history_matches_naive_replay(writes: list[tuple[int, int]]) -> None:
+    """Archive reads agree with a naive block-by-block replay."""
+    writes = sorted(writes, key=lambda pair: pair[0])
+    state = WorldState()
+    naive: dict[int, int] = {}
+    value_now = 0
+    for block, value in writes:
+        state.current_block = block
+        state.set_storage(ADDR, 0, value)
+    # Build the naive timeline.
+    timeline: dict[int, int] = {}
+    for block, value in writes:
+        timeline[block] = value
+    for height in range(0, 205):
+        if height in timeline:
+            value_now = timeline[height]
+        naive[height] = value_now
+    for height in range(0, 205):
+        assert state.get_storage_at(ADDR, 0, height) == naive[height]

@@ -1,0 +1,114 @@
+"""Blockchain: transactions, receipts, block clock, faucet, eth_call."""
+
+from __future__ import annotations
+
+from repro.chain.blockchain import Blockchain, Transaction
+from repro.lang import compile_contract, stdlib
+from repro.utils import encode_call
+
+from tests.conftest import ALICE, BOB, ETHER
+
+
+def test_genesis_block() -> None:
+    chain = Blockchain()
+    assert chain.latest_block_number == 0
+    assert chain.blocks[0].timestamp == chain.genesis_timestamp
+
+
+def test_year_mapping_matches_mainnet_era() -> None:
+    chain = Blockchain()
+    assert chain.year_of(0) == 2015
+    block_2020 = chain.first_block_of_year(2020)
+    assert chain.year_of(block_2020) == 2020
+    assert chain.year_of(block_2020 - 1) == 2019
+
+
+def test_advance_to_block() -> None:
+    chain = Blockchain()
+    chain.advance_to_block(500)
+    assert chain.latest_block_number == 500
+    chain.advance_to_block(100)  # never goes backwards
+    assert chain.latest_block_number == 500
+
+
+def test_fund_and_transfer(chain: Blockchain) -> None:
+    receipt = chain.send_transaction(Transaction(
+        sender=ALICE, to=BOB, value=5 * ETHER))
+    assert receipt.success
+    assert chain.state.get_balance(BOB) >= 5 * ETHER
+
+
+def test_each_transaction_seals_a_block(chain: Blockchain) -> None:
+    start = chain.latest_block_number
+    chain.transact(ALICE, BOB, b"")
+    chain.transact(ALICE, BOB, b"")
+    assert chain.latest_block_number == start + 2
+
+
+def test_deploy_returns_address_and_code(chain: Blockchain) -> None:
+    compiled = compile_contract(stdlib.simple_wallet("W", ALICE))
+    receipt = chain.deploy(ALICE, compiled.init_code)
+    assert receipt.success
+    assert receipt.created_address is not None
+    assert chain.state.get_code(receipt.created_address) == compiled.runtime_code
+
+
+def test_call_is_read_only(chain: Blockchain) -> None:
+    compiled = compile_contract(stdlib.simple_token("T", ALICE))
+    address = chain.deploy(ALICE, compiled.init_code).created_address
+    blocks_before = chain.latest_block_number
+    result = chain.call(address, encode_call("balanceOf(address)", [ALICE]))
+    assert result.success
+    assert int.from_bytes(result.output, "big") > 0
+    assert chain.latest_block_number == blocks_before
+
+
+def test_receipt_internal_calls(chain: Blockchain) -> None:
+    logic = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet("W", ALICE)).init_code
+    ).created_address
+    proxy = chain.deploy(
+        ALICE,
+        compile_contract(stdlib.storage_proxy("P", logic, ALICE)).init_code,
+    ).created_address
+    receipt = chain.transact(BOB, proxy, encode_call("deposit()"))
+    assert receipt.success
+    kinds = [event.kind for event in receipt.internal_calls]
+    assert "DELEGATECALL" in kinds
+
+
+def test_transactions_of_indexes_internal_targets(chain: Blockchain) -> None:
+    logic = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet("W", ALICE)).init_code
+    ).created_address
+    proxy = chain.deploy(
+        ALICE,
+        compile_contract(stdlib.storage_proxy("P", logic, ALICE)).init_code,
+    ).created_address
+    chain.transact(BOB, proxy, encode_call("deposit()"))
+    touching_logic = chain.transactions_of(logic)
+    assert any(receipt.transaction.to == proxy for receipt in touching_logic)
+
+
+def test_has_transactions_excludes_deployment(chain: Blockchain) -> None:
+    compiled = compile_contract(stdlib.simple_wallet("W", ALICE))
+    address = chain.deploy(ALICE, compiled.init_code).created_address
+    assert not chain.has_transactions(address)  # deployment doesn't count
+    chain.transact(BOB, address, encode_call("deposit()"))
+    assert chain.has_transactions(address)
+
+
+def test_failed_transaction_rolls_back_state(chain: Blockchain) -> None:
+    compiled = compile_contract(stdlib.simple_wallet("W", ALICE))
+    address = chain.deploy(ALICE, compiled.init_code).created_address
+    receipt = chain.transact(
+        BOB, address, encode_call("withdraw(uint256)", [1]))  # BOB not owner
+    assert not receipt.success
+    assert receipt.error == "revert"
+
+
+def test_block_context_carries_block_values(chain: Blockchain) -> None:
+    chain.advance_to_block(1_000_000)
+    context = chain.block_context()
+    assert context.number == 1_000_000
+    assert context.timestamp == chain.timestamp_of(1_000_000)

@@ -1,0 +1,148 @@
+"""eth_getLogs, Upgraded-event recovery, and historical eth_call."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.node import ArchiveNode
+from repro.core.logic_finder import (
+    UPGRADED_EVENT_TOPIC,
+    history_from_events,
+    slot_change_points,
+)
+from repro.lang import compile_contract, stdlib
+from repro.utils import encode_call
+
+from tests.conftest import ALICE, BOB
+
+
+def _upgradeable_1967(chain: Blockchain, upgrades: int):
+    logics = [chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet(f"L{i}", ALICE)).init_code
+    ).created_address for i in range(upgrades + 1)]
+    proxy = chain.deploy(
+        ALICE,
+        compile_contract(stdlib.eip1967_proxy("P", logics[0], ALICE)).init_code
+    ).created_address
+    for logic in logics[1:]:
+        receipt = chain.transact(
+            ALICE, proxy, encode_call("upgradeTo(address)", [logic]))
+        assert receipt.success
+    return proxy, logics
+
+
+def test_get_logs_filters(chain: Blockchain) -> None:
+    token = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_token("T", ALICE)).init_code
+    ).created_address
+    chain.transact(ALICE, token,
+                   encode_call("transfer(address,uint256)", [BOB, 5]))
+    node = ArchiveNode(chain)
+    all_logs = node.get_logs()
+    assert all_logs
+    by_address = node.get_logs(address=token)
+    assert len(by_address) == 1
+    assert node.get_logs(address=b"\x77" * 20) == []
+    from repro.utils.keccak import keccak256
+    topic = int.from_bytes(keccak256(b"Transfer(address,address,uint256)"),
+                           "big")
+    assert len(node.get_logs(topic=topic)) == 1
+    assert node.get_logs(topic=1234) == []
+
+
+def test_get_logs_block_range(chain: Blockchain) -> None:
+    token = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_token("T", ALICE)).init_code
+    ).created_address
+    first = chain.transact(ALICE, token,
+                           encode_call("transfer(address,uint256)", [BOB, 1]))
+    second = chain.transact(ALICE, token,
+                            encode_call("transfer(address,uint256)", [BOB, 1]))
+    node = ArchiveNode(chain)
+    early = node.get_logs(address=token, to_block=first.block_number)
+    late = node.get_logs(address=token, from_block=second.block_number)
+    assert len(early) == 1 and len(late) == 1
+    assert early[0][0] == first.block_number
+    assert late[0][0] == second.block_number
+
+
+def test_upgraded_events_recover_history(chain: Blockchain) -> None:
+    proxy, logics = _upgradeable_1967(chain, upgrades=3)
+    node = ArchiveNode(chain)
+    events = history_from_events(node, proxy)
+    assert [logic for _, logic in events] == logics[1:]  # upgrades only
+    blocks = [block for block, _ in events]
+    assert blocks == sorted(blocks)
+
+
+def test_event_history_misses_initial_and_nonstandard(chain: Blockchain) -> None:
+    """The method's blind spots: the constructor-set implementation emits
+    nothing, and non-emitting proxies are invisible — Algorithm 1 is not."""
+    node = ArchiveNode(chain)
+    # Initial implementation of a 1967 proxy: no event.
+    proxy, logics = _upgradeable_1967(chain, upgrades=0)
+    assert history_from_events(node, proxy) == []
+    # Non-standard storage proxy: upgrades without any event.
+    wallet = logics[0]
+    other = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet("X", ALICE)).init_code
+    ).created_address
+    silent = chain.deploy(
+        ALICE,
+        compile_contract(stdlib.storage_proxy("S", wallet, ALICE)).init_code
+    ).created_address
+    chain.transact(ALICE, silent,
+                   encode_call("setImplementation(address)", [other]))
+    assert history_from_events(node, silent) == []
+    # ...while the storage-based recovery sees both values.
+    changes = slot_change_points(node, silent, 1)
+    assert len(changes) == 2
+
+
+def test_upgraded_topic_constant() -> None:
+    from repro.utils.keccak import keccak256
+    assert UPGRADED_EVENT_TOPIC == int.from_bytes(
+        keccak256(b"Upgraded(address)"), "big")
+
+
+def test_historical_call(chain: Blockchain) -> None:
+    """eth_call at a past height executes against the archived storage."""
+    wallet_v1 = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet("W", ALICE)).init_code
+    ).created_address
+    proxy, logics = _upgradeable_1967(chain, upgrades=1)
+    del wallet_v1
+    node = ArchiveNode(chain)
+    # implementation slot before vs after the upgrade, via historical call
+    # into the proxy is awkward (wallet logic); read the slot instead and
+    # drive a direct historical call against the logic's ownerOf.
+    from repro.lang.storage_layout import EIP1967_IMPLEMENTATION_SLOT
+    deploy_block = node.get_logs(address=proxy)[0][0] - 1
+    before = node.get_storage_at(proxy, EIP1967_IMPLEMENTATION_SLOT,
+                                 deploy_block)
+    after = node.get_storage_at(proxy, EIP1967_IMPLEMENTATION_SLOT)
+    assert before != after
+
+    result = node.call(logics[0], encode_call("ownerOf()"),
+                       block_number=deploy_block)
+    assert result.success
+    assert result.output[-20:] == ALICE
+
+
+def test_historical_call_before_deployment_is_empty(chain: Blockchain) -> None:
+    wallet = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet("W", ALICE)).init_code
+    ).created_address
+    node = ArchiveNode(chain)
+    result = node.call(wallet, encode_call("ownerOf()"), block_number=0)
+    assert result.success
+    assert result.output == b""  # no code at height 0 → trivial success
+
+
+def test_historical_view_is_read_only(chain: Blockchain) -> None:
+    view = chain.state.view_at(0)
+    with pytest.raises(TypeError):
+        view.set_storage(b"\x01" * 20, 0, 1)
+    with pytest.raises(TypeError):
+        view.set_code(b"\x01" * 20, b"\x00")

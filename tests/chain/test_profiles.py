@@ -1,0 +1,76 @@
+"""Chain profiles (the §8.2 multi-chain extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.profiles import (
+    ARBITRUM,
+    BSC,
+    ETHEREUM,
+    POLYGON,
+    PRESETS,
+    get_profile,
+)
+from repro.corpus.generator import generate_landscape
+from repro.core import Proxion
+from repro.evm import opcodes as op
+
+from tests.conftest import ALICE
+from tests.evm.helpers import asm, return_top
+
+
+def test_presets_are_distinct() -> None:
+    ids = {profile.chain_id for profile in PRESETS.values()}
+    assert len(ids) == len(PRESETS) == 4
+
+
+def test_get_profile() -> None:
+    assert get_profile("polygon") is POLYGON
+    with pytest.raises(ValueError):
+        get_profile("dogechain")
+
+
+def test_default_chain_is_ethereum() -> None:
+    chain = Blockchain()
+    assert chain.profile is ETHEREUM
+    assert chain.block_context().chain_id == 1
+
+
+def test_chainid_opcode_sees_profile() -> None:
+    chain = Blockchain(profile=BSC)
+    chain.fund(ALICE, 10 ** 20)
+    from repro.lang import stdlib
+    address = chain.deploy(ALICE, stdlib.raw_deploy_init(
+        asm(op.CHAINID) + return_top())).created_address
+    result = chain.call(address, b"")
+    assert int.from_bytes(result.output, "big") == 56
+
+
+def test_block_cadence_differs() -> None:
+    ethereum = Blockchain(profile=ETHEREUM)
+    arbitrum = Blockchain(profile=ARBITRUM)
+    assert arbitrum.block_time < ethereum.block_time
+    # A year spans many more blocks on a fast chain.
+    assert (arbitrum.first_block_of_year(2023)
+            > ethereum.first_block_of_year(2023) / 13)
+
+
+def test_young_chain_has_no_early_years() -> None:
+    landscape = generate_landscape(total=60, seed=1, chain_profile=ARBITRUM)
+    years = {truth.deploy_year for truth in landscape.truths.values()}
+    assert min(years) >= 2021  # Arbitrum genesis
+    for address, truth in landscape.truths.items():
+        block = landscape.dataset.deploy_block_of(address)
+        assert landscape.chain.year_of(block) == truth.deploy_year
+
+
+def test_pipeline_is_chain_agnostic() -> None:
+    landscape = generate_landscape(total=80, seed=9, chain_profile=POLYGON)
+    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset)
+    report = proxion.analyze_all()
+    detected = {a for a, r in report.analyses.items() if r.is_proxy}
+    expected = {a for a, t in landscape.truths.items()
+                if t.is_proxy and t.kind != "diamond"}
+    assert expected <= detected

@@ -1,0 +1,115 @@
+"""The Etherscan source parser: render → parse roundtrips and raw text."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.explorer import SourceRegistry
+from repro.chain.source_parser import parse_source_text, verify_from_text
+from repro.lang import contract_source_of, render_source, stdlib
+
+from tests.conftest import ALICE
+
+ALL_PATTERNS = [
+    stdlib.simple_wallet("Wallet", ALICE),
+    stdlib.simple_token("Token", ALICE),
+    stdlib.storage_proxy("StorageProxy", b"\x01" * 20, ALICE),
+    stdlib.transparent_proxy("Transparent", b"\x01" * 20, ALICE),
+    stdlib.honeypot_proxy("Honeypot", b"\x01" * 20, ALICE),
+    stdlib.honeypot_logic("Generous"),
+    stdlib.audius_proxy("AudiusProxy", b"\x01" * 20, ALICE),
+    stdlib.audius_logic("AudiusLogic"),
+    stdlib.ownable_delegate_proxy("ODP", b"\x01" * 20, ALICE),
+    stdlib.wyvern_logic("Wyvern"),
+    stdlib.library_user("LibUser", b"\x02" * 20),
+    stdlib.diamond_proxy("Diamond", ALICE),
+]
+
+
+@pytest.mark.parametrize("contract", ALL_PATTERNS,
+                         ids=lambda contract: contract.name)
+def test_roundtrip_render_then_parse(contract) -> None:
+    """Parsing the rendered source recovers the structured record exactly."""
+    expected = contract_source_of(contract)
+    parsed = parse_source_text(render_source(contract))
+    assert parsed.contract_name == expected.contract_name
+    assert parsed.function_prototypes == expected.function_prototypes
+    assert [(v.name, v.type_name) for v in parsed.storage_variables] == [
+        (v.name, v.type_name) for v in expected.storage_variables]
+
+
+def test_parse_handwritten_solidity() -> None:
+    text = """
+    // SPDX-License-Identifier: MIT
+    pragma solidity ^0.8.0;
+
+    /* A proxy with an
+       explicit implementation slot. */
+    contract MyProxy {
+        address public owner;
+        uint private counter = 0;
+        uint256 constant FEE = 100;
+        mapping(address => uint256) internal shares;
+
+        function upgradeTo(address newImpl) external { }
+        function setShare(address who, uint amount) public { }
+        function ping() public pure returns (uint256) { return 1; }
+
+        fallback() external payable {
+            // forwards via delegatecall
+        }
+    }
+    """
+    parsed = parse_source_text(text)
+    assert parsed.contract_name == "MyProxy"
+    assert parsed.function_prototypes == (
+        "upgradeTo(address)", "setShare(address,uint256)", "ping()")
+    names_types = [(v.name, v.type_name, v.is_constant)
+                   for v in parsed.storage_variables]
+    assert ("owner", "address", False) in names_types
+    assert ("counter", "uint256", False) in names_types  # uint → uint256
+    assert ("FEE", "uint256", True) in names_types
+    assert ("shares", "mapping(address=>uint256)", False) in names_types
+
+
+def test_comments_do_not_leak_declarations() -> None:
+    text = """
+    contract Clean {
+        // address private ghost;
+        /* uint256 private phantom; */
+        address private real;
+        function f() public {}
+    }
+    """
+    parsed = parse_source_text(text)
+    assert [v.name for v in parsed.storage_variables] == ["real"]
+
+
+def test_garbage_text_degrades_gracefully() -> None:
+    parsed = parse_source_text("this is not solidity at all {{{")
+    assert parsed.contract_name == "Unknown"
+    assert parsed.function_prototypes == ()
+    assert parsed.storage_variables == ()
+
+
+def test_verify_from_text_registers(chain=None) -> None:
+    registry = SourceRegistry()
+    contract = stdlib.simple_wallet("W", ALICE)
+    address = b"\x42" * 20
+    source = verify_from_text(registry, address, render_source(contract))
+    assert registry.get_source(address) is source
+    assert "withdraw(uint256)" in source.function_prototypes
+
+
+def test_parsed_selectors_match_compiled_dispatcher() -> None:
+    """Text → parse → selectors equals bytecode → dispatcher extraction."""
+    from repro.core.signature_extractor import dispatcher_selectors
+    from repro.lang import compile_contract
+    from repro.utils.abi import function_selector
+
+    contract = stdlib.simple_token("Tok", ALICE)
+    parsed = parse_source_text(render_source(contract))
+    from_source = {function_selector(p) for p in parsed.function_prototypes}
+    from_bytecode = dispatcher_selectors(
+        compile_contract(contract).runtime_code)
+    assert from_source == from_bytecode

@@ -1,0 +1,50 @@
+"""Probe-calldata crafting (§4.2)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.calldata import craft_probe_calldata, craft_probe_selector
+from repro.core.signature_extractor import candidate_selectors
+from repro.lang import compile_contract, stdlib
+
+from tests.conftest import ALICE
+
+
+def test_probe_selector_avoids_all_push4_operands() -> None:
+    compiled = compile_contract(stdlib.simple_wallet("W", ALICE))
+    selector = craft_probe_selector(compiled.runtime_code)
+    assert selector not in candidate_selectors(compiled.runtime_code)
+
+
+def test_probe_selector_deterministic() -> None:
+    compiled = compile_contract(stdlib.simple_token("T", ALICE))
+    assert (craft_probe_selector(compiled.runtime_code)
+            == craft_probe_selector(compiled.runtime_code))
+
+
+def test_probe_calldata_shape() -> None:
+    compiled = compile_contract(stdlib.simple_wallet("W", ALICE))
+    calldata = craft_probe_calldata(compiled.runtime_code)
+    assert len(calldata) == 4 + 64
+    assert calldata[4:] == b"\x00" * 64
+
+
+def test_probe_walks_past_dense_avoid_set() -> None:
+    """Even a contrived avoid-set containing the first candidates is escaped."""
+    code = b"\x01\x02\x03"
+    first = craft_probe_selector(code, avoid=set())
+    avoid = {first}
+    second = craft_probe_selector(code, avoid=avoid)
+    assert second != first
+    avoid.add(second)
+    third = craft_probe_selector(code, avoid=avoid)
+    assert third not in avoid
+
+
+@given(st.binary(min_size=1, max_size=400))
+def test_probe_avoids_push4_in_arbitrary_bytecode(code: bytes) -> None:
+    selector = craft_probe_selector(code)
+    assert len(selector) == 4
+    assert selector not in candidate_selectors(code)

@@ -1,0 +1,236 @@
+"""Function- and storage-collision detectors (§5)."""
+
+from __future__ import annotations
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.explorer import SourceRegistry
+from repro.core.function_collision import FunctionCollisionDetector
+from repro.core.standards import ProxyStandard, classify_standard
+from repro.core.proxy_detector import ProxyDetector
+from repro.core.storage_collision import StorageCollisionDetector
+from repro.lang import ast, compile_contract, contract_source_of, stdlib
+from repro.utils import function_selector
+
+from tests.conftest import ALICE
+
+
+def _deploy(chain: Blockchain, contract) -> bytes:
+    receipt = chain.deploy(ALICE, compile_contract(contract).init_code)
+    assert receipt.success
+    return receipt.created_address
+
+
+# ---------------------------------------------------------- function (§5.1)
+def test_honeypot_collision_from_bytecode(chain: Blockchain) -> None:
+    proxy_ast = stdlib.honeypot_proxy("HP", b"\x01" * 20, ALICE)
+    logic_ast = stdlib.honeypot_logic()
+    detector = FunctionCollisionDetector()
+    report = detector.detect(compile_contract(proxy_ast).runtime_code,
+                             compile_contract(logic_ast).runtime_code)
+    assert report.has_collision
+    assert report.proxy_mode == "bytecode"
+    assert [c.selector.hex() for c in report.collisions] == ["df4a3106"]
+    assert report.collisions[0].proxy_prototype is None  # names unknown
+
+
+def test_honeypot_collision_with_source_names(chain: Blockchain) -> None:
+    registry = SourceRegistry()
+    proxy_ast = stdlib.honeypot_proxy("HP", b"\x01" * 20, ALICE)
+    logic_ast = stdlib.honeypot_logic()
+    proxy = compile_contract(proxy_ast)
+    logic = compile_contract(logic_ast)
+    registry.verify(b"\x0a" * 20, contract_source_of(proxy_ast),
+                    proxy.runtime_code)
+    registry.verify(b"\x0b" * 20, contract_source_of(logic_ast),
+                    logic.runtime_code)
+    detector = FunctionCollisionDetector(registry)
+    report = detector.detect(proxy.runtime_code, logic.runtime_code,
+                             b"\x0a" * 20, b"\x0b" * 20)
+    assert report.proxy_mode == "source"
+    assert report.collisions[0].proxy_prototype == "impl_LUsXCWD2AKCc()"
+    assert report.collisions[0].logic_prototype == "free_ether_withdrawal()"
+
+
+def test_mixed_mode_source_and_bytecode() -> None:
+    """One side verified, the other hidden — still detected (Table 1)."""
+    registry = SourceRegistry()
+    proxy_ast = stdlib.honeypot_proxy("HP", b"\x01" * 20, ALICE)
+    proxy = compile_contract(proxy_ast)
+    logic = compile_contract(stdlib.honeypot_logic())
+    registry.verify(b"\x0a" * 20, contract_source_of(proxy_ast),
+                    proxy.runtime_code)
+    detector = FunctionCollisionDetector(registry)
+    report = detector.detect(proxy.runtime_code, logic.runtime_code,
+                             b"\x0a" * 20, b"\x0b" * 20)
+    assert report.proxy_mode == "source"
+    assert report.logic_mode == "bytecode"
+    assert report.has_collision
+
+
+def test_wyvern_three_way_collision() -> None:
+    proxy = compile_contract(
+        stdlib.ownable_delegate_proxy("ODP", b"\x01" * 20, ALICE))
+    logic = compile_contract(stdlib.wyvern_logic())
+    report = FunctionCollisionDetector().detect(proxy.runtime_code,
+                                                logic.runtime_code)
+    selectors = {c.selector for c in report.collisions}
+    assert selectors == {function_selector("proxyType()"),
+                         function_selector("implementation()"),
+                         function_selector("upgradeabilityOwner()")}
+
+
+def test_disjoint_functions_no_collision() -> None:
+    proxy = compile_contract(stdlib.storage_proxy("P", b"\x01" * 20, ALICE))
+    logic = compile_contract(stdlib.simple_wallet("W", ALICE))
+    report = FunctionCollisionDetector().detect(proxy.runtime_code,
+                                                logic.runtime_code)
+    assert not report.has_collision
+
+
+# ----------------------------------------------------------- storage (§5.2)
+def test_audius_collision_bytecode_mode(chain: Blockchain) -> None:
+    """Hidden-contract storage collision with a *verified* exploit."""
+    logic = _deploy(chain, stdlib.audius_logic())
+    proxy = _deploy(chain, stdlib.audius_proxy("AP", logic, ALICE))
+    detector = StorageCollisionDetector(None, chain.state,
+                                        chain.block_context())
+    report = detector.detect(chain.state.get_code(proxy),
+                             chain.state.get_code(logic), proxy, logic)
+    assert report.has_collision
+    assert report.proxy_mode == "bytecode"
+    assert report.has_verified_exploit
+    exploited = [c for c in report.collisions if c.verified]
+    assert exploited[0].exploit_selector == function_selector("initialize()")
+    assert exploited[0].sensitive
+
+
+def test_exploit_verification_does_not_mutate_chain(chain: Blockchain) -> None:
+    logic = _deploy(chain, stdlib.audius_logic())
+    proxy = _deploy(chain, stdlib.audius_proxy("AP", logic, ALICE))
+    slot0 = chain.state.get_storage(proxy, 0)
+    detector = StorageCollisionDetector(None, chain.state,
+                                        chain.block_context())
+    detector.detect(chain.state.get_code(proxy), chain.state.get_code(logic),
+                    proxy, logic)
+    assert chain.state.get_storage(proxy, 0) == slot0
+
+
+def test_compatible_layouts_no_collision(chain: Blockchain) -> None:
+    logic_ast = ast.Contract(
+        name="Compat",
+        variables=(ast.VarDecl("owner", "address"),
+                   ast.VarDecl("logic", "address"),
+                   ast.VarDecl("extra", "uint256")),
+        functions=(ast.Function(name="ownerOf",
+                                body=(ast.Return(ast.Load("owner")),)),),
+    )
+    logic = _deploy(chain, logic_ast)
+    proxy = _deploy(chain, stdlib.storage_proxy("P", logic, ALICE))
+    detector = StorageCollisionDetector(None, chain.state,
+                                        chain.block_context())
+    report = detector.detect(chain.state.get_code(proxy),
+                             chain.state.get_code(logic), proxy, logic)
+    assert not report.has_collision
+
+
+def test_renamed_padding_not_flagged(chain: Blockchain,
+                                     ) -> None:
+    """Same slots, same types, different names: padding, not a collision —
+    the FP class Table 2 charges USCHunt with."""
+    registry = SourceRegistry()
+    logic_ast = ast.Contract(
+        name="Renamed",
+        variables=(ast.VarDecl("gapA", "address"),
+                   ast.VarDecl("gapB", "address")),
+        functions=(ast.Function(name="peek",
+                                body=(ast.Return(ast.Load("gapA")),)),),
+    )
+    proxy_ast = stdlib.storage_proxy("P", b"\x01" * 20, ALICE)
+    logic_compiled = compile_contract(logic_ast)
+    proxy_compiled = compile_contract(proxy_ast)
+    logic = _deploy(chain, logic_ast)
+    proxy = _deploy(chain, stdlib.storage_proxy("P2", logic, ALICE))
+    registry.verify(proxy, contract_source_of(proxy_ast),
+                    proxy_compiled.runtime_code)
+    registry.verify(logic, contract_source_of(logic_ast),
+                    logic_compiled.runtime_code)
+    detector = StorageCollisionDetector(registry, chain.state,
+                                        chain.block_context())
+    report = detector.detect(chain.state.get_code(proxy),
+                             chain.state.get_code(logic), proxy, logic)
+    # address vs address at identical ranges: compatible.
+    assert not report.has_collision
+
+
+def test_uint_over_address_is_collision(chain: Blockchain) -> None:
+    logic_ast = ast.Contract(
+        name="Shifted",
+        variables=(ast.VarDecl("count", "uint256"),),
+        functions=(ast.Function(name="bump",
+                                body=(ast.Store("count", ast.Const(5)),)),),
+    )
+    logic = _deploy(chain, logic_ast)
+    proxy = _deploy(chain, stdlib.storage_proxy("P", logic, ALICE))
+    detector = StorageCollisionDetector(None, chain.state,
+                                        chain.block_context())
+    report = detector.detect(chain.state.get_code(proxy),
+                             chain.state.get_code(logic), proxy, logic)
+    assert report.has_collision
+    assert report.has_verified_exploit  # bump() through the proxy hits owner
+
+
+def test_symbolic_slot_write_is_honest_miss(chain: Blockchain) -> None:
+    logic_ast = ast.Contract(
+        name="Raw",
+        functions=(ast.Function(
+            name="writeRaw", params=(("s", "uint256"), ("v", "uint256")),
+            body=(ast.StoreAt(ast.Param(0, "uint256"),
+                              ast.Param(1, "uint256")),)),),
+    )
+    logic = _deploy(chain, logic_ast)
+    proxy = _deploy(chain, stdlib.storage_proxy("P", logic, ALICE))
+    detector = StorageCollisionDetector(None, chain.state,
+                                        chain.block_context())
+    report = detector.detect(chain.state.get_code(proxy),
+                             chain.state.get_code(logic), proxy, logic)
+    assert not report.has_collision  # symbolic slot: undecidable statically
+
+
+def test_mapping_slots_do_not_collide_with_scalars(chain: Blockchain) -> None:
+    token = _deploy(chain, stdlib.simple_token("T", ALICE))
+    proxy = _deploy(chain, stdlib.storage_proxy("P", token, ALICE))
+    detector = StorageCollisionDetector(None, chain.state,
+                                        chain.block_context())
+    report = detector.detect(chain.state.get_code(proxy),
+                             chain.state.get_code(token), proxy, token)
+    # token: totalSupply slot0 (uint256 full) vs proxy owner (address) → the
+    # slot-0 overlap IS a collision; mapping slots must not add more.
+    mapping_collisions = [c for c in report.collisions
+                          if c.slot.kind == "mapping"]
+    assert mapping_collisions == []
+
+
+# ----------------------------------------------------------- standards
+def test_standard_classification(chain: Blockchain) -> None:
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    detector = ProxyDetector(chain.state, chain.block_context())
+
+    minimal = chain.deploy(ALICE, stdlib.minimal_proxy_init(wallet)).created_address
+    assert classify_standard(detector.check(minimal)) is ProxyStandard.EIP1167
+
+    p1967 = _deploy(chain, stdlib.eip1967_proxy("A", wallet, ALICE))
+    assert classify_standard(detector.check(p1967)) is ProxyStandard.EIP1967
+
+    p1822 = _deploy(chain, stdlib.eip1822_proxy("B", wallet))
+    assert classify_standard(detector.check(p1822)) is ProxyStandard.EIP1822
+
+    custom = _deploy(chain, stdlib.storage_proxy("C", wallet, ALICE))
+    assert classify_standard(detector.check(custom)) is ProxyStandard.OTHER
+
+
+def test_classify_rejects_non_proxy(chain: Blockchain) -> None:
+    import pytest
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    detector = ProxyDetector(chain.state, chain.block_context())
+    with pytest.raises(ValueError):
+        classify_standard(detector.check(wallet))

@@ -1,0 +1,83 @@
+"""Behavioural honeypot classification of function collisions."""
+
+from __future__ import annotations
+
+from repro.chain.blockchain import Blockchain
+from repro.core.function_collision import FunctionCollisionDetector
+from repro.core.honeypot import PROBE_VICTIM, HoneypotClassifier
+from repro.lang import ast, compile_contract, stdlib
+
+from tests.conftest import ALICE
+
+
+def _deploy(chain: Blockchain, contract) -> bytes:
+    receipt = chain.deploy(ALICE, compile_contract(contract).init_code)
+    assert receipt.success
+    return receipt.created_address
+
+
+def _collide_and_classify(chain: Blockchain, proxy: bytes, logic: bytes):
+    report = FunctionCollisionDetector().detect(
+        chain.state.get_code(proxy), chain.state.get_code(logic),
+        proxy, logic)
+    assert report.has_collision
+    classifier = HoneypotClassifier(chain.state, chain.block_context())
+    return classifier.classify(proxy, report)
+
+
+def test_listing1_honeypot_flagged(chain: Blockchain) -> None:
+    logic = _deploy(chain, stdlib.honeypot_logic())
+    pot = _deploy(chain, stdlib.honeypot_proxy("HP", logic, ALICE))
+    verdicts = _collide_and_classify(chain, pot, logic)
+    assert len(verdicts) == 1
+    verdict = verdicts[0]
+    assert verdict.selector.hex() == "df4a3106"
+    assert verdict.is_honeypot_shaped
+    assert verdict.victim_loss > 0
+    assert verdict.beneficiary == ALICE  # the stored owner pocketed it
+
+
+def test_benign_collision_not_flagged(chain: Blockchain) -> None:
+    """A collision where the shadowing proxy function is a harmless view."""
+    proxy_contract = ast.Contract(
+        name="BenignShadow",
+        variables=(ast.VarDecl("owner", "address"),
+                   ast.VarDecl("logic", "address")),
+        functions=(ast.Function(name="proxyType",
+                                body=(ast.Return(ast.Const(2)),)),),
+        fallback=ast.Fallback(body=(
+            ast.DelegateForwardCalldata(ast.Load("logic")),)),
+        constructor=(
+            ast.Store("owner", ast.Const(int.from_bytes(ALICE, "big"))),
+        ),
+    )
+    logic_contract = ast.Contract(
+        name="ShadowedLogic",
+        functions=(ast.Function(name="proxyType",
+                                body=(ast.Return(ast.Const(1)),)),),
+    )
+    logic = _deploy(chain, logic_contract)
+    proxy = _deploy(chain, proxy_contract)
+    verdicts = _collide_and_classify(chain, proxy, logic)
+    assert len(verdicts) == 1
+    assert not verdicts[0].is_honeypot_shaped
+    assert verdicts[0].call_succeeded
+
+
+def test_wyvern_interface_collisions_are_benign(chain: Blockchain) -> None:
+    """The mass-cloned OwnableDelegateProxy collisions (98.7% of Table 3)
+    are inheritance artifacts, not traps."""
+    logic = _deploy(chain, stdlib.wyvern_logic())
+    proxy = _deploy(chain, stdlib.ownable_delegate_proxy("ODP", logic, ALICE))
+    verdicts = _collide_and_classify(chain, proxy, logic)
+    assert len(verdicts) == 3
+    assert all(not verdict.is_honeypot_shaped for verdict in verdicts)
+
+
+def test_probe_never_touches_real_state(chain: Blockchain) -> None:
+    logic = _deploy(chain, stdlib.honeypot_logic())
+    pot = _deploy(chain, stdlib.honeypot_proxy("HP", logic, ALICE))
+    alice_before = chain.state.get_balance(ALICE)
+    _collide_and_classify(chain, pot, logic)
+    assert chain.state.get_balance(ALICE) == alice_before
+    assert chain.state.get_balance(PROBE_VICTIM) == 0

@@ -1,0 +1,166 @@
+"""Algorithm 1, exact change points, API-call efficiency (§4.3/§6.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.node import ArchiveNode
+from repro.core.logic_finder import (
+    LogicFinder,
+    algorithm1_values,
+    slot_change_points,
+)
+from repro.core.proxy_detector import ProxyDetector
+from repro.lang import compile_contract, stdlib
+from repro.utils import encode_call
+from repro.utils.hexutil import address_to_word
+
+from tests.conftest import ALICE
+
+
+def _upgradeable_proxy(chain: Blockchain, upgrades: int
+                       ) -> tuple[bytes, list[bytes]]:
+    """Deploy a storage proxy and upgrade it ``upgrades`` times."""
+    logics = [chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet(f"L{i}", ALICE)).init_code
+    ).created_address for i in range(upgrades + 1)]
+    proxy = chain.deploy(
+        ALICE,
+        compile_contract(stdlib.storage_proxy("P", logics[0], ALICE)).init_code
+    ).created_address
+    for logic in logics[1:]:
+        chain.advance_to_block(chain.latest_block_number + 5000)
+        receipt = chain.transact(
+            ALICE, proxy, encode_call("setImplementation(address)", [logic]))
+        assert receipt.success
+    chain.advance_to_block(chain.latest_block_number + 50_000)
+    return proxy, logics
+
+
+def test_algorithm1_recovers_all_values(chain: Blockchain) -> None:
+    proxy, logics = _upgradeable_proxy(chain, upgrades=3)
+    node = ArchiveNode(chain)
+    values = algorithm1_values(node, proxy, 1)
+    expected = {address_to_word(logic) for logic in logics}
+    assert expected <= values  # 0 (pre-deployment) may also appear
+    assert values - expected <= {0}
+
+
+def test_algorithm1_static_slot_costs_two_reads(chain: Blockchain) -> None:
+    proxy, _ = _upgradeable_proxy(chain, upgrades=0)
+    node = ArchiveNode(chain)
+    values = algorithm1_values(
+        node, proxy, 1,
+        lower=chain.latest_block_number - 10,
+        upper=chain.latest_block_number)
+    assert len(values) == 1
+    assert node.api_calls.get("eth_getStorageAt") == 2
+
+
+def test_algorithm1_is_logarithmic_not_linear(chain: Blockchain) -> None:
+    """The §6.1 efficiency claim: ~26 calls instead of millions of blocks."""
+    proxy, _ = _upgradeable_proxy(chain, upgrades=2)
+    chain.advance_to_block(chain.latest_block_number + 1_000_000)
+    node = ArchiveNode(chain)
+    algorithm1_values(node, proxy, 1)
+    calls = node.api_calls.get("eth_getStorageAt")
+    total_blocks = chain.latest_block_number
+    assert total_blocks > 1_000_000
+    assert calls < 200  # versus ~total_blocks for the naive scan
+
+
+def test_algorithm1_misses_reused_values(chain: Blockchain) -> None:
+    """The documented no-reuse assumption: A→B→A can hide B entirely when
+    the probe heights land symmetrically — Algorithm 1 may return only {A}."""
+    logic_a = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet("A", ALICE)).init_code
+    ).created_address
+    logic_b = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet("B", ALICE)).init_code
+    ).created_address
+    proxy = chain.deploy(
+        ALICE,
+        compile_contract(stdlib.storage_proxy("P", logic_a, ALICE)).init_code
+    ).created_address
+    deploy_block = chain.latest_block_number
+    # Flip to B and back to A inside a narrow window.
+    chain.transact(ALICE, proxy, encode_call("setImplementation(address)",
+                                             [logic_b]))
+    chain.transact(ALICE, proxy, encode_call("setImplementation(address)",
+                                             [logic_a]))
+    chain.advance_to_block(deploy_block + (1 << 14))
+    node = ArchiveNode(chain)
+    values = algorithm1_values(node, proxy, 1, lower=deploy_block,
+                               upper=chain.latest_block_number)
+    # The endpoints agree (both A) — the whole range is assumed constant.
+    assert values == {address_to_word(logic_a)}
+
+
+def test_change_points_exact(chain: Blockchain) -> None:
+    proxy, logics = _upgradeable_proxy(chain, upgrades=3)
+    node = ArchiveNode(chain)
+    changes = slot_change_points(node, proxy, 1)
+    assert [value for _, value in changes] == [
+        address_to_word(logic) for logic in logics]
+    blocks = [block for block, _ in changes]
+    assert blocks == sorted(blocks)
+
+
+def test_change_points_catch_reuse(chain: Blockchain) -> None:
+    """The exact variant does not suffer the A→B→A blindness."""
+    logic_a = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet("A", ALICE)).init_code
+    ).created_address
+    logic_b = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet("B", ALICE)).init_code
+    ).created_address
+    proxy = chain.deploy(
+        ALICE,
+        compile_contract(stdlib.storage_proxy("P", logic_a, ALICE)).init_code
+    ).created_address
+    chain.transact(ALICE, proxy, encode_call("setImplementation(address)",
+                                             [logic_b]))
+    chain.transact(ALICE, proxy, encode_call("setImplementation(address)",
+                                             [logic_a]))
+    chain.advance_to_block(chain.latest_block_number + 10_000)
+    node = ArchiveNode(chain)
+    changes = slot_change_points(node, proxy, 1)
+    values = [value for _, value in changes]
+    assert values == [address_to_word(logic_a), address_to_word(logic_b),
+                      address_to_word(logic_a)]
+
+
+def test_logic_finder_full_history(chain: Blockchain) -> None:
+    proxy, logics = _upgradeable_proxy(chain, upgrades=2)
+    node = ArchiveNode(chain)
+    detector = ProxyDetector(chain.state, chain.block_context())
+    history = LogicFinder(node).find(detector.check(proxy))
+    assert history.logic_addresses == logics
+    assert history.upgrade_count == 2
+    assert history.current_logic == logics[-1]
+    assert history.api_calls_used > 0
+
+
+def test_logic_finder_minimal_proxy_no_api_calls(chain: Blockchain) -> None:
+    wallet = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet("W", ALICE)).init_code
+    ).created_address
+    proxy = chain.deploy(ALICE, stdlib.minimal_proxy_init(wallet)).created_address
+    node = ArchiveNode(chain)
+    detector = ProxyDetector(chain.state, chain.block_context())
+    history = LogicFinder(node).find(detector.check(proxy))
+    assert history.logic_addresses == [wallet]
+    assert history.slot is None
+    assert history.upgrade_count == 0
+    assert history.api_calls_used == 0
+
+
+def test_logic_finder_rejects_non_proxy(chain: Blockchain) -> None:
+    wallet = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet("W", ALICE)).init_code
+    ).created_address
+    node = ArchiveNode(chain)
+    detector = ProxyDetector(chain.state, chain.block_context())
+    with pytest.raises(ValueError):
+        LogicFinder(node).find(detector.check(wallet))

@@ -1,0 +1,125 @@
+"""The continuous deployment monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.dataset import ContractDataset
+from repro.chain.explorer import SourceRegistry
+from repro.chain.node import ArchiveNode
+from repro.core.monitor import DeploymentMonitor
+from repro.core.pipeline import Proxion
+from repro.lang import compile_contract, stdlib
+
+from tests.conftest import ALICE, BOB, ETHER
+
+
+@pytest.fixture()
+def monitored(chain: Blockchain):
+    proxion = Proxion(ArchiveNode(chain), SourceRegistry(), ContractDataset())
+    return chain, DeploymentMonitor(proxion)
+
+
+def _deploy(chain: Blockchain, contract_or_init) -> bytes:
+    init = (contract_or_init if isinstance(contract_or_init, bytes)
+            else compile_contract(contract_or_init).init_code)
+    receipt = chain.deploy(ALICE, init)
+    assert receipt.success
+    return receipt.created_address
+
+
+def test_no_deployments_no_alerts(monitored) -> None:
+    chain, monitor = monitored
+    chain.transact(ALICE, BOB, b"")
+    assert monitor.poll() == []
+    assert monitor.stats.contracts_seen == 0
+
+
+def test_plain_contract_no_alert(monitored) -> None:
+    chain, monitor = monitored
+    _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    assert monitor.poll() == []
+    assert monitor.stats.contracts_seen == 1
+    assert monitor.stats.proxies_seen == 0
+
+
+def test_hidden_proxy_alert(monitored) -> None:
+    chain, monitor = monitored
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    proxy = _deploy(chain, stdlib.storage_proxy("P", wallet, ALICE))
+    alerts = monitor.poll()
+    kinds = {alert.kind for alert in alerts}
+    assert "hidden-proxy" in kinds
+    assert any(alert.address == proxy for alert in alerts)
+
+
+def test_honeypot_alert(monitored) -> None:
+    chain, monitor = monitored
+    logic = _deploy(chain, stdlib.honeypot_logic())
+    pot = _deploy(chain, stdlib.honeypot_proxy("HP", logic, ALICE))
+    chain.fund(pot, 10 * ETHER)
+    alerts = monitor.poll()
+    honeypots = [alert for alert in alerts if alert.kind == "honeypot"]
+    assert honeypots
+    assert honeypots[0].address == pot
+    assert "0xdf4a3106" in honeypots[0].detail
+
+
+def test_verified_exploit_alert(monitored) -> None:
+    chain, monitor = monitored
+    logic = _deploy(chain, stdlib.audius_logic())
+    proxy = _deploy(chain, stdlib.audius_proxy("AP", logic, ALICE))
+    alerts = monitor.poll()
+    exploits = [alert for alert in alerts if alert.kind == "verified-exploit"]
+    assert exploits
+    assert exploits[0].address == proxy
+    assert "0x8129fc1c" in exploits[0].detail  # initialize()
+
+
+def test_cursor_advances_no_duplicate_alerts(monitored) -> None:
+    chain, monitor = monitored
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    _deploy(chain, stdlib.storage_proxy("P", wallet, ALICE))
+    first = monitor.poll()
+    assert first
+    assert monitor.poll() == []   # nothing new
+    _deploy(chain, stdlib.storage_proxy("P2", wallet, ALICE))
+    second = monitor.poll()
+    assert second
+    assert {alert.address for alert in second}.isdisjoint(
+        {alert.address for alert in first})
+
+
+def test_factory_created_contracts_are_seen(monitored) -> None:
+    chain, monitor = monitored
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    monitor.poll()
+    # A factory that CREATEs an EIP-1167 clone of the wallet when poked.
+    from repro.evm import opcodes as op
+    from tests.evm.helpers import asm, push
+    clone_init = stdlib.minimal_proxy_init(wallet)
+    body = asm(
+        push(len(clone_init)), push(0, 2), push(0), op.CODECOPY,
+        push(len(clone_init)), push(0), push(0), op.CREATE, op.POP, op.STOP)
+    factory_runtime = asm(
+        push(len(clone_init)), push(len(body), 2), push(0), op.CODECOPY,
+        push(len(clone_init)), push(0), push(0), op.CREATE, op.POP,
+        op.STOP) + clone_init
+    factory = _deploy(chain, stdlib.raw_deploy_init(factory_runtime))
+    monitor.poll()
+    receipt = chain.transact(BOB, factory, b"")
+    assert receipt.success and receipt.internal_creates
+    alerts = monitor.poll()
+    clone = receipt.internal_creates[0].new_address
+    assert any(alert.address == clone and alert.kind == "hidden-proxy"
+               for alert in alerts)
+
+
+def test_alert_rendering(monitored) -> None:
+    chain, monitor = monitored
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    _deploy(chain, stdlib.storage_proxy("P", wallet, ALICE))
+    alerts = monitor.poll()
+    text = str(alerts[0])
+    assert "hidden-proxy" in text and "0x" in text and "block" in text

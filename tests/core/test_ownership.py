@@ -1,0 +1,97 @@
+"""Upgrade-authority analysis (Salehi-style) and transparency probing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.node import ArchiveNode
+from repro.core.ownership import OwnerKind, OwnershipAnalyzer
+from repro.core.proxy_detector import ProxyDetector
+from repro.lang import compile_contract, stdlib
+from repro.lang.storage_layout import EIP1967_ADMIN_SLOT
+
+from tests.conftest import ALICE
+
+
+def _world(chain: Blockchain):
+    node = ArchiveNode(chain)
+    detector = ProxyDetector(chain.state, chain.block_context())
+    analyzer = OwnershipAnalyzer(node)
+    return node, detector, analyzer
+
+
+def _deploy(chain: Blockchain, contract_or_init) -> bytes:
+    init = (contract_or_init if isinstance(contract_or_init, bytes)
+            else compile_contract(contract_or_init).init_code)
+    receipt = chain.deploy(ALICE, init)
+    assert receipt.success
+    return receipt.created_address
+
+
+def test_eip1967_proxy_owned_by_eoa(chain: Blockchain) -> None:
+    _, detector, analyzer = _world(chain)
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    proxy = _deploy(chain, stdlib.eip1967_proxy("P", wallet, ALICE))
+    report = analyzer.analyze(detector.check(proxy))
+    assert report.owner == ALICE
+    assert report.owner_kind is OwnerKind.EOA
+    assert report.owner_slot == EIP1967_ADMIN_SLOT
+    assert report.upgradeable
+    assert not report.is_transparent  # plain 1967 delegates for everyone
+
+
+def test_contract_owned_proxy(chain: Blockchain) -> None:
+    """A proxy administered by another contract (multisig-style)."""
+    _, detector, analyzer = _world(chain)
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    multisig = _deploy(chain, stdlib.simple_wallet("Multisig", ALICE))
+    proxy = _deploy(chain, stdlib.eip1967_proxy("P", wallet, multisig))
+    report = analyzer.analyze(detector.check(proxy))
+    assert report.owner == multisig
+    assert report.owner_kind is OwnerKind.CONTRACT
+
+
+def test_minimal_proxy_is_unowned(chain: Blockchain) -> None:
+    _, detector, analyzer = _world(chain)
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    proxy = _deploy(chain, stdlib.minimal_proxy_init(wallet))
+    report = analyzer.analyze(detector.check(proxy))
+    assert report.owner is None
+    assert report.owner_kind is OwnerKind.NONE
+    assert not report.upgradeable
+    assert not report.is_transparent
+
+
+def test_storage_proxy_owner_at_slot0(chain: Blockchain) -> None:
+    _, detector, analyzer = _world(chain)
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    proxy = _deploy(chain, stdlib.storage_proxy("P", wallet, ALICE))
+    report = analyzer.analyze(detector.check(proxy))
+    assert report.owner == ALICE
+    assert report.owner_slot == 0
+
+
+def test_transparent_proxy_detected(chain: Blockchain) -> None:
+    _, detector, analyzer = _world(chain)
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    proxy = _deploy(chain, stdlib.transparent_proxy("P", wallet, ALICE))
+    report = analyzer.analyze(detector.check(proxy))
+    assert report.owner == ALICE
+    assert report.is_transparent  # admin probes never reach the delegation
+
+
+def test_rejects_non_proxy(chain: Blockchain) -> None:
+    _, detector, analyzer = _world(chain)
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    with pytest.raises(ValueError):
+        analyzer.analyze(detector.check(wallet))
+
+
+def test_probe_leaves_state_untouched(chain: Blockchain) -> None:
+    _, detector, analyzer = _world(chain)
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    proxy = _deploy(chain, stdlib.transparent_proxy("P", wallet, ALICE))
+    admin_slot_before = chain.state.get_storage(proxy, EIP1967_ADMIN_SLOT)
+    analyzer.analyze(detector.check(proxy))
+    assert chain.state.get_storage(proxy, EIP1967_ADMIN_SLOT) == admin_slot_before

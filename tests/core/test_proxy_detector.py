@@ -1,0 +1,193 @@
+"""Two-step proxy detection (§4.1–4.2) across every contract class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.core.proxy_detector import (
+    LogicLocation,
+    NotProxyReason,
+    ProxyDetector,
+)
+from repro.lang import compile_contract, stdlib
+from repro.lang.storage_layout import (
+    EIP1822_PROXIABLE_SLOT,
+    EIP1967_IMPLEMENTATION_SLOT,
+)
+from repro.utils import encode_call
+
+from tests.conftest import ALICE, BOB
+
+
+@pytest.fixture()
+def detector(chain: Blockchain) -> ProxyDetector:
+    return ProxyDetector(chain.state, chain.block_context())
+
+
+def _deploy(chain: Blockchain, contract_or_init) -> bytes:
+    init = (contract_or_init if isinstance(contract_or_init, bytes)
+            else compile_contract(contract_or_init).init_code)
+    receipt = chain.deploy(ALICE, init)
+    assert receipt.success, receipt.error
+    return receipt.created_address
+
+
+def _wallet(chain: Blockchain) -> bytes:
+    return _deploy(chain, stdlib.simple_wallet("W", ALICE))
+
+
+def test_empty_account_is_no_code(detector: ProxyDetector) -> None:
+    check = detector.check(b"\x00" * 19 + b"\x01")
+    assert not check.is_proxy
+    assert check.reason is NotProxyReason.NO_CODE
+
+
+def test_wallet_fails_prefilter(chain: Blockchain,
+                                detector: ProxyDetector) -> None:
+    check = detector.check(_wallet(chain))
+    assert not check.is_proxy
+    assert check.reason is NotProxyReason.NO_DELEGATECALL
+
+
+def test_minimal_proxy_detected_hardcoded(chain: Blockchain,
+                                          detector: ProxyDetector) -> None:
+    wallet = _wallet(chain)
+    proxy = _deploy(chain, stdlib.minimal_proxy_init(wallet))
+    check = detector.check(proxy)
+    assert check.is_proxy
+    assert check.logic_address == wallet
+    assert check.logic_location is LogicLocation.HARDCODED
+    assert check.logic_slot is None
+
+
+def test_storage_proxy_detected_with_slot(chain: Blockchain,
+                                          detector: ProxyDetector) -> None:
+    wallet = _wallet(chain)
+    proxy = _deploy(chain, stdlib.storage_proxy("P", wallet, ALICE))
+    check = detector.check(proxy)
+    assert check.is_proxy
+    assert check.logic_address == wallet
+    assert check.logic_location is LogicLocation.STORAGE
+    assert check.logic_slot == 1
+
+
+def test_eip1967_slot_identified(chain: Blockchain,
+                                 detector: ProxyDetector) -> None:
+    wallet = _wallet(chain)
+    proxy = _deploy(chain, stdlib.eip1967_proxy("P", wallet, ALICE))
+    check = detector.check(proxy)
+    assert check.is_proxy
+    assert check.logic_slot == EIP1967_IMPLEMENTATION_SLOT
+
+
+def test_eip1822_slot_identified(chain: Blockchain,
+                                 detector: ProxyDetector) -> None:
+    wallet = _wallet(chain)
+    proxy = _deploy(chain, stdlib.eip1822_proxy("P", wallet))
+    check = detector.check(proxy)
+    assert check.is_proxy
+    assert check.logic_slot == EIP1822_PROXIABLE_SLOT
+
+
+def test_transparent_proxy_detected_for_users(chain: Blockchain,
+                                              detector: ProxyDetector) -> None:
+    wallet = _wallet(chain)
+    proxy = _deploy(chain, stdlib.transparent_proxy("P", wallet, ALICE))
+    check = detector.check(proxy)
+    assert check.is_proxy  # the probe sender is not the admin
+
+
+def test_library_user_excluded(chain: Blockchain,
+                               detector: ProxyDetector) -> None:
+    """The precision edge over CRUSH/Etherscan (§2.2, §6.2): DELEGATECALL
+    exists, but the forwarded input is re-encoded, not the raw calldata."""
+    library = _deploy(chain, stdlib.math_library())
+    user = _deploy(chain, stdlib.library_user("U", library))
+    check = detector.check(user)
+    assert not check.is_proxy
+    assert check.reason is NotProxyReason.NO_FORWARD
+
+
+def test_call_forwarder_excluded(chain: Blockchain,
+                                 detector: ProxyDetector) -> None:
+    wallet = _wallet(chain)
+    forwarder = _deploy(chain, stdlib.call_forwarder("F", wallet))
+    check = detector.check(forwarder)
+    assert not check.is_proxy
+    assert check.reason is NotProxyReason.NO_DELEGATECALL
+
+
+def test_diamond_missed_by_default(chain: Blockchain,
+                                   detector: ProxyDetector) -> None:
+    """§8.1: random-selector probing cannot reach a diamond's delegation."""
+    diamond = _deploy(chain, stdlib.diamond_proxy("D", ALICE))
+    wallet = _wallet(chain)
+    selector = int.from_bytes(encode_call("ownerOf()")[:4], "big")
+    chain.transact(ALICE, diamond,
+                   encode_call("registerFacet(uint32,address)",
+                               [selector, wallet]))
+    check = detector.check(diamond)
+    assert not check.is_proxy
+    assert check.reason is NotProxyReason.NO_FORWARD
+
+
+def test_diamond_found_with_extra_probes(chain: Blockchain,
+                                         detector: ProxyDetector) -> None:
+    """§8.2: replaying a registered selector as an extra probe finds it."""
+    diamond = _deploy(chain, stdlib.diamond_proxy("D", ALICE))
+    wallet = _wallet(chain)
+    selector_bytes = encode_call("ownerOf()")[:4]
+    chain.transact(ALICE, diamond,
+                   encode_call("registerFacet(uint32,address)",
+                               [int.from_bytes(selector_bytes, "big"), wallet]))
+    check = detector.check(diamond,
+                           extra_probes=(selector_bytes + b"\x00" * 64,))
+    assert check.is_proxy
+    assert check.logic_address == wallet
+
+
+def test_weird_bytecode_is_emulation_error(chain: Blockchain,
+                                           detector: ProxyDetector) -> None:
+    address = _deploy(chain, stdlib.raw_deploy_init(
+        stdlib.WEIRD_DELEGATECALL_RUNTIME))
+    check = detector.check(address)
+    assert not check.is_proxy
+    assert check.reason is NotProxyReason.EMULATION_ERROR
+    assert check.emulation_error
+
+
+def test_logic_contract_itself_is_not_a_proxy(chain: Blockchain,
+                                              detector: ProxyDetector) -> None:
+    logic = _deploy(chain, stdlib.audius_logic())
+    check = detector.check(logic)
+    assert not check.is_proxy
+
+
+def test_probe_does_not_mutate_chain_state(chain: Blockchain,
+                                           detector: ProxyDetector) -> None:
+    wallet = _wallet(chain)
+    proxy = _deploy(chain, stdlib.storage_proxy("P", wallet, ALICE))
+    slot1_before = chain.state.get_storage(proxy, 1)
+    blocks_before = chain.latest_block_number
+    detector.check(proxy)
+    assert chain.state.get_storage(proxy, 1) == slot1_before
+    assert chain.latest_block_number == blocks_before
+
+
+def test_detection_works_without_transactions(chain: Blockchain,
+                                              detector: ProxyDetector) -> None:
+    """The headline capability: zero-transaction (hidden) proxies."""
+    wallet = _wallet(chain)
+    proxy = _deploy(chain, stdlib.storage_proxy("Hidden", wallet, ALICE))
+    assert not chain.has_transactions(proxy)
+    assert detector.check(proxy).is_proxy
+
+
+def test_proxy_whose_logic_reverts_is_still_a_proxy(chain: Blockchain,
+                                                    detector: ProxyDetector) -> None:
+    """Forwarding is judged by the delegatecall event, not the outcome."""
+    logic = _deploy(chain, stdlib.simple_wallet("L", ALICE))  # probe reverts
+    proxy = _deploy(chain, stdlib.storage_proxy("P", logic, ALICE))
+    check = detector.check(proxy)
+    assert check.is_proxy

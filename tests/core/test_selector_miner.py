@@ -1,0 +1,72 @@
+"""Selector-collision mining (the §2.3 attacker experiment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.selector_miner import (
+    MiningResult,
+    _matches,
+    estimate_full_collision_attempts,
+    estimate_full_collision_hours,
+    mine_selector,
+    mining_rate,
+)
+from repro.utils.abi import function_selector
+
+
+def test_matches_full_and_prefix() -> None:
+    assert _matches(b"\xde\xad\xbe\xef", b"\xde\xad\xbe\xef", 32)
+    assert not _matches(b"\xde\xad\xbe\xee", b"\xde\xad\xbe\xef", 32)
+    assert _matches(b"\xde\xad\x00\x00", b"\xde\xad\xff\xff", 16)
+    assert _matches(b"\xde\xa0\x00\x00", b"\xde\xaf\xff\xff", 12)
+    assert not _matches(b"\xde\xb0\x00\x00", b"\xde\xaf\xff\xff", 12)
+
+
+def test_mine_12bit_collision_found() -> None:
+    target = function_selector("free_ether_withdrawal()")
+    result = mine_selector(target, prefix_bits=12, max_attempts=200_000)
+    assert result.found
+    mined = function_selector(result.prototype)
+    assert _matches(mined, target, 12)
+    # Expected ~2^11 = 2048 attempts; generous bound.
+    assert result.attempts < 100_000
+
+
+def test_mined_prototype_is_valid_and_distinct() -> None:
+    target = function_selector("transfer(address,uint256)")
+    result = mine_selector(target, prefix_bits=10, max_attempts=100_000)
+    assert result.found
+    assert result.prototype != "transfer(address,uint256)"
+    assert result.prototype.endswith("()")
+
+
+def test_not_found_within_budget() -> None:
+    result = mine_selector(b"\x00\x00\x00\x01", prefix_bits=32,
+                           max_attempts=50)
+    assert not result.found
+    assert result.attempts == 50
+
+
+def test_rejects_bad_inputs() -> None:
+    with pytest.raises(ValueError):
+        mine_selector(b"\x00" * 3)
+    with pytest.raises(ValueError):
+        mine_selector(b"\x00" * 4, prefix_bits=0)
+    with pytest.raises(ValueError):
+        mine_selector(b"\x00" * 4, prefix_bits=33)
+
+
+def test_rate_and_extrapolation() -> None:
+    rate = mining_rate(sample_attempts=500)
+    assert rate > 100  # even pure Python manages hundreds of H/s
+    assert estimate_full_collision_attempts() == 2 ** 31
+    hours = estimate_full_collision_hours(rate)
+    assert hours > 0
+
+
+def test_result_properties() -> None:
+    result = MiningResult(prototype="x()", attempts=10, seconds=2.0,
+                          target=b"\x00" * 4, matched_bits=8)
+    assert result.found
+    assert result.attempts_per_second == 5.0

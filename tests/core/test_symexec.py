@@ -1,0 +1,155 @@
+"""The symbolic executor: slot recovery, packed ranges, guards, mappings."""
+
+from __future__ import annotations
+
+from repro.core.symexec import CONCRETE, MAPPING, SlotKey, SymbolicExecutor
+from repro.lang import ast, compile_contract, stdlib
+
+from tests.conftest import ALICE
+
+
+def _summary(contract: ast.Contract):
+    return SymbolicExecutor().summarize(compile_contract(contract).runtime_code)
+
+
+def test_full_word_read_and_write() -> None:
+    contract = ast.Contract(
+        name="Plain",
+        variables=(ast.VarDecl("x", "uint256"),),
+        functions=(
+            ast.Function(name="get", body=(ast.Return(ast.Load("x")),)),
+            ast.Function(name="set", params=(("v", "uint256"),),
+                         body=(ast.Store("x", ast.Param(0, "uint256")),)),
+        ),
+    )
+    summary = _summary(contract)
+    accesses = summary.semantic_accesses()
+    slots = {access.slot for access in accesses}
+    assert slots == {SlotKey.concrete(0)}
+    assert all(access.offset == 0 and access.size == 32 for access in accesses)
+    assert {access.kind for access in accesses} == {"read", "write"}
+
+
+def test_packed_ranges_recovered() -> None:
+    """Shift/mask access patterns reveal variable offsets and sizes —
+    how CRUSH deduces types from bytecode (§5.2)."""
+    contract = ast.Contract(
+        name="Packed",
+        variables=(ast.VarDecl("flag", "bool"),
+                   ast.VarDecl("count", "uint16"),
+                   ast.VarDecl("who", "address")),
+        functions=(
+            ast.Function(name="getFlag", body=(ast.Return(ast.Load("flag")),)),
+            ast.Function(name="getCount", body=(ast.Return(ast.Load("count")),)),
+            ast.Function(name="getWho", body=(ast.Return(ast.Load("who")),)),
+        ),
+    )
+    summary = _summary(contract)
+    ranges = {(access.offset, access.size)
+              for access in summary.semantic_accesses()}
+    assert (0, 1) in ranges      # flag
+    assert (1, 2) in ranges      # count (packed after the bool)
+    assert (3, 20) in ranges     # address at offset 3
+
+
+def test_packed_write_range_via_rmw() -> None:
+    contract = ast.Contract(
+        name="PackedW",
+        variables=(ast.VarDecl("a", "uint8"), ast.VarDecl("b", "uint8")),
+        functions=(ast.Function(
+            name="setB", params=(("v", "uint8"),),
+            body=(ast.Store("b", ast.Param(0, "uint8")),)),),
+    )
+    summary = _summary(contract)
+    writes = [access for access in summary.semantic_accesses()
+              if access.kind == "write"]
+    assert [(w.offset, w.size) for w in writes] == [(1, 1)]
+
+
+def test_selector_attribution() -> None:
+    contract = stdlib.simple_wallet("W", ALICE)
+    compiled = compile_contract(contract)
+    summary = SymbolicExecutor().summarize(compiled.runtime_code)
+    by_selector = {access.selector for access in summary.semantic_accesses()}
+    # ownerOf() and withdraw(uint256) both read slot 0.
+    assert contract.function_by_name("ownerOf").selector in by_selector
+    assert contract.function_by_name("withdraw").selector in by_selector
+
+
+def test_caller_guard_sensitivity() -> None:
+    compiled = compile_contract(stdlib.storage_proxy("P", b"\x01" * 20, ALICE))
+    summary = SymbolicExecutor().summarize(compiled.runtime_code)
+    assert SlotKey.concrete(0) in summary.sensitive_slots()  # owner
+    assert SlotKey.concrete(1) not in summary.sensitive_slots()  # logic ptr
+
+
+def test_guarded_write_flagged() -> None:
+    compiled = compile_contract(stdlib.storage_proxy("P", b"\x01" * 20, ALICE))
+    summary = SymbolicExecutor().summarize(compiled.runtime_code)
+    writes = [access for access in summary.semantic_accesses()
+              if access.kind == "write" and access.slot == SlotKey.concrete(1)]
+    assert writes and all(write.guarded for write in writes)
+
+
+def test_unguarded_write_not_flagged() -> None:
+    summary = _summary(stdlib.audius_logic())
+    writes = [access for access in summary.semantic_accesses()
+              if access.kind == "write"]
+    assert writes and all(not write.guarded for write in writes)
+
+
+def test_mapping_slot_family() -> None:
+    summary = _summary(stdlib.simple_token("T", ALICE))
+    mapping_accesses = [access for access in summary.semantic_accesses()
+                        if access.slot.kind == MAPPING]
+    assert mapping_accesses
+    assert {access.slot.base for access in mapping_accesses} == {1}
+
+
+def test_symbolic_slot_skipped() -> None:
+    contract = ast.Contract(
+        name="Raw",
+        functions=(ast.Function(
+            name="writeRaw", params=(("s", "uint256"), ("v", "uint256")),
+            body=(ast.StoreAt(ast.Param(0, "uint256"),
+                              ast.Param(1, "uint256")),)),),
+    )
+    summary = _summary(contract)
+    concrete_writes = [access for access in summary.semantic_accesses()
+                       if access.kind == "write"
+                       and access.slot.kind == CONCRETE]
+    assert concrete_writes == []
+
+
+def test_path_exploration_covers_all_functions() -> None:
+    contract = stdlib.simple_wallet("W", ALICE)
+    summary = _summary(contract)
+    selectors = {access.selector for access in summary.semantic_accesses()
+                 if access.selector}
+    assert len(selectors) >= 2
+    assert summary.paths_explored >= 3
+
+
+def test_budget_truncation_is_reported() -> None:
+    executor = SymbolicExecutor(max_paths=1)
+    compiled = compile_contract(stdlib.simple_wallet("W", ALICE))
+    summary = executor.summarize(compiled.runtime_code)
+    assert summary.paths_explored == 1
+    assert summary.paths_truncated >= 1
+
+
+def test_fallback_accesses_have_no_selector() -> None:
+    compiled = compile_contract(stdlib.audius_proxy("P", b"\x01" * 20, ALICE))
+    summary = SymbolicExecutor().summarize(compiled.runtime_code)
+    fallback_reads = [access for access in summary.semantic_accesses()
+                      if access.selector is None and access.kind == "read"]
+    assert any(access.slot == SlotKey.concrete(1)
+               for access in fallback_reads)  # the logic pointer
+
+
+def test_audius_logic_full_profile() -> None:
+    """The Listing-2 signature: flags at (0,1)/(1,1), owner write at (0,20)."""
+    summary = _summary(stdlib.audius_logic())
+    writes = {(w.offset, w.size) for w in summary.semantic_accesses()
+              if w.kind == "write"}
+    assert writes == {(0, 1), (1, 1), (0, 20)}

@@ -1,0 +1,121 @@
+"""Ground-truth accuracy corpus: labels are actually true on-chain."""
+
+from __future__ import annotations
+
+from repro.corpus.ground_truth import AccuracyCorpus, build_accuracy_corpus
+from repro.utils import encode_call
+
+
+def test_deterministic() -> None:
+    first = build_accuracy_corpus(pairs_per_case=2, seed=1)
+    second = build_accuracy_corpus(pairs_per_case=2, seed=1)
+    assert [p.proxy for p in first.pairs] == [p.proxy for p in second.pairs]
+
+
+def test_every_pair_deployed_and_sourced(accuracy_corpus: AccuracyCorpus) -> None:
+    for pair in accuracy_corpus.pairs:
+        assert accuracy_corpus.chain.state.get_code(pair.proxy)
+        assert accuracy_corpus.chain.state.get_code(pair.logic)
+        assert accuracy_corpus.registry.has_source(pair.proxy)
+
+
+def test_case_classes_present(accuracy_corpus: AccuracyCorpus) -> None:
+    cases = {pair.case for pair in accuracy_corpus.pairs}
+    assert {"storage-positive", "storage-padding-trap", "storage-negative",
+            "function-positive", "function-negative",
+            "storage-positive-hard", "library-trap"} <= cases
+
+
+def test_function_positive_pairs_actually_collide(
+        accuracy_corpus: AccuracyCorpus) -> None:
+    from repro.core.signature_extractor import dispatcher_selectors
+    for pair in accuracy_corpus.pairs:
+        if pair.case != "function-positive":
+            continue
+        proxy_selectors = dispatcher_selectors(
+            accuracy_corpus.chain.state.get_code(pair.proxy))
+        logic_selectors = dispatcher_selectors(
+            accuracy_corpus.chain.state.get_code(pair.logic))
+        assert proxy_selectors & logic_selectors
+
+
+def test_storage_positive_exploitable_on_chain(
+        accuracy_corpus: AccuracyCorpus) -> None:
+    """The labelled storage positives are *really* exploitable: running the
+    colliding logic function through the proxy clobbers proxy slot 0."""
+    chain = accuracy_corpus.chain
+    attacker = b"\x66" * 20
+    exercised = 0
+    for pair in accuracy_corpus.pairs:
+        if pair.case != "storage-positive":
+            continue
+        before = chain.state.get_storage(pair.proxy, 0)
+        for prototype in ("initialize()", "recordDeposit()"):
+            snapshot = chain.state.snapshot()
+            receipt = chain.transact(attacker, pair.proxy,
+                                     encode_call(prototype))
+            after = chain.state.get_storage(pair.proxy, 0)
+            chain.state.revert(snapshot)
+            if receipt.success and after != before:
+                exercised += 1
+                break
+    positives = [p for p in accuracy_corpus.pairs
+                 if p.case == "storage-positive"]
+    assert exercised == len(positives)
+
+
+def test_padding_traps_are_layout_compatible(
+        accuracy_corpus: AccuracyCorpus) -> None:
+    from repro.lang.storage_layout import compute_layout
+    for pair in accuracy_corpus.pairs:
+        if pair.case != "storage-padding-trap":
+            continue
+        proxy_source = accuracy_corpus.registry.get_source(pair.proxy)
+        logic_source = accuracy_corpus.registry.get_source(pair.logic)
+        proxy_layout = compute_layout(
+            [(v.name, v.type_name) for v in proxy_source.storage_variables])
+        logic_layout = compute_layout(
+            [(v.name, v.type_name) for v in logic_source.storage_variables])
+        for proxy_assignment in proxy_layout:
+            for logic_assignment in logic_layout:
+                if proxy_assignment.slot != logic_assignment.slot:
+                    continue
+                if proxy_assignment.overlaps(logic_assignment):
+                    assert (proxy_assignment.offset, proxy_assignment.size) == (
+                        logic_assignment.offset, logic_assignment.size)
+                    assert (proxy_assignment.type_name
+                            == logic_assignment.type_name)
+
+
+def test_library_trap_pairs_have_delegatecall_history(
+        accuracy_corpus: AccuracyCorpus) -> None:
+    for pair in accuracy_corpus.pairs:
+        if pair.case != "library-trap":
+            continue
+        receipts = accuracy_corpus.chain.transactions_of(pair.proxy)
+        delegate_targets = {
+            event.target
+            for receipt in receipts
+            for event in receipt.internal_calls
+            if event.kind == "DELEGATECALL"}
+        assert pair.logic in delegate_targets
+
+
+def test_emuerr_proxy_fails_emulation(accuracy_corpus: AccuracyCorpus) -> None:
+    from repro.core.proxy_detector import NotProxyReason, ProxyDetector
+    detector = ProxyDetector(accuracy_corpus.chain.state,
+                             accuracy_corpus.chain.block_context())
+    emuerr = [p for p in accuracy_corpus.pairs
+              if p.case == "emulation-error-pair"]
+    assert emuerr
+    for pair in emuerr:
+        check = detector.check(pair.proxy)
+        assert check.reason is NotProxyReason.EMULATION_ERROR
+
+
+def test_pair_accessors(accuracy_corpus: AccuracyCorpus) -> None:
+    storage_positives = accuracy_corpus.storage_positive_pairs()
+    function_positives = accuracy_corpus.function_positive_pairs()
+    assert all(p.storage_collision for p in storage_positives)
+    assert all(p.function_collision for p in function_positives)
+    assert storage_positives and function_positives

@@ -1,0 +1,65 @@
+"""Helpers for executing hand-assembled bytecode in tests."""
+
+from __future__ import annotations
+
+from repro.evm import opcodes as op
+from repro.evm.environment import BlockContext, ExecutionConfig, TransactionContext
+from repro.evm.interpreter import EVM, CallResult, Message
+from repro.evm.state import MemoryState
+from repro.evm.tracer import Tracer
+
+CONTRACT = b"\xc0" * 20
+SENDER = b"\x5e" * 20
+
+
+def asm(*parts: int | bytes) -> bytes:
+    """Join opcode ints and immediate byte strings into bytecode."""
+    blob = bytearray()
+    for part in parts:
+        if isinstance(part, int):
+            blob.append(part)
+        else:
+            blob.extend(part)
+    return bytes(blob)
+
+
+def push(value: int, width: int | None = None) -> bytes:
+    """A PUSH instruction for ``value`` (minimal or explicit width)."""
+    if width is None:
+        width = max(1, (value.bit_length() + 7) // 8)
+    return bytes([op.PUSH0 + width]) + value.to_bytes(width, "big")
+
+
+def return_top() -> bytes:
+    """Store the stack top at memory 0 and return it (32 bytes)."""
+    return asm(push(0), op.MSTORE, push(32), push(0), op.RETURN)
+
+
+def run_code(code: bytes, calldata: bytes = b"",
+             state: MemoryState | None = None,
+             tracer: Tracer | None = None,
+             value: int = 0,
+             gas: int = 10_000_000,
+             block: BlockContext | None = None) -> CallResult:
+    """Deploy ``code`` at a fixed address and execute one message."""
+    state = state or MemoryState()
+    state.set_code(CONTRACT, code)
+    if value:
+        state.set_balance(SENDER, value)
+    evm = EVM(state, block=block or BlockContext(number=100, timestamp=1_700_000_000),
+              tx=TransactionContext(origin=SENDER),
+              config=ExecutionConfig(), tracer=tracer)
+    return evm.execute(Message(sender=SENDER, to=CONTRACT, value=value,
+                               data=calldata, gas=gas))
+
+
+def run_and_get_int(code: bytes, calldata: bytes = b"", **kwargs) -> int:
+    """Run code expected to RETURN a 32-byte word; decode it."""
+    result = run_code(code, calldata, **kwargs)
+    assert result.success, result.error
+    return int.from_bytes(result.output, "big")
+
+
+def binop_code(opcode: int, a: int, b: int) -> bytes:
+    """Compute ``a <op> b`` with EVM operand order (a on top) and return it."""
+    return asm(push(b, 32), push(a, 32), opcode) + return_top()

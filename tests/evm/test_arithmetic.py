@@ -1,0 +1,163 @@
+"""Arithmetic/logic opcode semantics, differentially tested against Python.
+
+EVM operand order: the *first* operand of a binary op is the stack top.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evm import opcodes as op
+from repro.utils.hexutil import WORD_MASK, from_signed, to_signed
+
+from tests.evm.helpers import asm, binop_code, push, return_top, run_and_get_int
+
+WORDS = st.integers(min_value=0, max_value=WORD_MASK)
+SMALL = st.integers(min_value=0, max_value=2 ** 64)
+
+
+@given(WORDS, WORDS)
+def test_add(a: int, b: int) -> None:
+    assert run_and_get_int(binop_code(op.ADD, a, b)) == (a + b) & WORD_MASK
+
+
+@given(WORDS, WORDS)
+def test_mul(a: int, b: int) -> None:
+    assert run_and_get_int(binop_code(op.MUL, a, b)) == (a * b) & WORD_MASK
+
+
+@given(WORDS, WORDS)
+def test_sub(a: int, b: int) -> None:
+    assert run_and_get_int(binop_code(op.SUB, a, b)) == (a - b) & WORD_MASK
+
+
+@given(WORDS, WORDS)
+def test_div(a: int, b: int) -> None:
+    expected = a // b if b else 0
+    assert run_and_get_int(binop_code(op.DIV, a, b)) == expected
+
+
+@given(WORDS, WORDS)
+def test_mod(a: int, b: int) -> None:
+    expected = a % b if b else 0
+    assert run_and_get_int(binop_code(op.MOD, a, b)) == expected
+
+
+@given(WORDS, WORDS)
+def test_sdiv(a: int, b: int) -> None:
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        expected = 0
+    else:
+        quotient = abs(sa) // abs(sb)
+        expected = from_signed(-quotient if (sa < 0) != (sb < 0) else quotient)
+    assert run_and_get_int(binop_code(op.SDIV, a, b)) == expected
+
+
+@given(WORDS, WORDS)
+def test_smod(a: int, b: int) -> None:
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        expected = 0
+    else:
+        remainder = abs(sa) % abs(sb)
+        expected = from_signed(-remainder if sa < 0 else remainder)
+    assert run_and_get_int(binop_code(op.SMOD, a, b)) == expected
+
+
+@given(WORDS, WORDS)
+def test_comparisons(a: int, b: int) -> None:
+    assert run_and_get_int(binop_code(op.LT, a, b)) == int(a < b)
+    assert run_and_get_int(binop_code(op.GT, a, b)) == int(a > b)
+    assert run_and_get_int(binop_code(op.EQ, a, b)) == int(a == b)
+
+
+@given(WORDS, WORDS)
+def test_signed_comparisons(a: int, b: int) -> None:
+    assert run_and_get_int(binop_code(op.SLT, a, b)) == int(to_signed(a) < to_signed(b))
+    assert run_and_get_int(binop_code(op.SGT, a, b)) == int(to_signed(a) > to_signed(b))
+
+
+@given(WORDS, WORDS)
+def test_bitwise(a: int, b: int) -> None:
+    assert run_and_get_int(binop_code(op.AND, a, b)) == a & b
+    assert run_and_get_int(binop_code(op.OR, a, b)) == a | b
+    assert run_and_get_int(binop_code(op.XOR, a, b)) == a ^ b
+
+
+@given(WORDS)
+def test_not_iszero(a: int) -> None:
+    assert run_and_get_int(asm(push(a, 32), op.NOT) + return_top()) == a ^ WORD_MASK
+    assert run_and_get_int(asm(push(a, 32), op.ISZERO) + return_top()) == int(a == 0)
+
+
+@given(st.integers(min_value=0, max_value=300), WORDS)
+def test_shifts(shift: int, value: int) -> None:
+    shl = run_and_get_int(binop_code(op.SHL, shift, value))
+    shr = run_and_get_int(binop_code(op.SHR, shift, value))
+    assert shl == ((value << shift) & WORD_MASK if shift < 256 else 0)
+    assert shr == (value >> shift if shift < 256 else 0)
+
+
+@given(st.integers(min_value=0, max_value=300), WORDS)
+def test_sar(shift: int, value: int) -> None:
+    signed = to_signed(value)
+    if shift >= 256:
+        expected = from_signed(-1 if signed < 0 else 0)
+    else:
+        expected = from_signed(signed >> shift)
+    assert run_and_get_int(binop_code(op.SAR, shift, value)) == expected
+
+
+@given(st.integers(min_value=0, max_value=40), WORDS)
+def test_byte(index: int, value: int) -> None:
+    expected = (value >> (8 * (31 - index))) & 0xFF if index < 32 else 0
+    assert run_and_get_int(binop_code(op.BYTE, index, value)) == expected
+
+
+@given(SMALL, st.integers(min_value=0, max_value=64))
+def test_exp(base: int, exponent: int) -> None:
+    assert run_and_get_int(binop_code(op.EXP, base, exponent)) == pow(
+        base, exponent, 1 << 256)
+
+
+@given(WORDS, WORDS, WORDS)
+def test_addmod_mulmod(a: int, b: int, n: int) -> None:
+    code_add = asm(push(n, 32), push(b, 32), push(a, 32), op.ADDMOD) + return_top()
+    code_mul = asm(push(n, 32), push(b, 32), push(a, 32), op.MULMOD) + return_top()
+    assert run_and_get_int(code_add) == ((a + b) % n if n else 0)
+    assert run_and_get_int(code_mul) == ((a * b) % n if n else 0)
+
+
+@given(st.integers(min_value=0, max_value=32), WORDS)
+def test_signextend(width: int, value: int) -> None:
+    if width < 31:
+        bits = 8 * (width + 1)
+        truncated = value & ((1 << bits) - 1)
+        if truncated & (1 << (bits - 1)):
+            expected = truncated | (WORD_MASK ^ ((1 << bits) - 1))
+        else:
+            expected = truncated
+    else:
+        expected = value
+    assert run_and_get_int(binop_code(op.SIGNEXTEND, width, value)) == expected
+
+
+@pytest.mark.parametrize("a,b,expected", [
+    (10, 3, 3),   # 10 / 3
+    (3, 10, 0),   # 3 / 10
+])
+def test_div_operand_order(a: int, b: int, expected: int) -> None:
+    """DIV computes top/next — the order bugs love to hide in."""
+    assert run_and_get_int(binop_code(op.DIV, a, b)) == expected
+
+
+def test_keccak256_opcode() -> None:
+    from repro.utils.keccak import keccak256
+    # store "abc" padded in memory, hash 3 bytes
+    word = int.from_bytes(b"abc".ljust(32, b"\x00"), "big")
+    code = asm(push(word, 32), push(0), op.MSTORE,
+               push(3), push(0), op.KECCAK256) + return_top()
+    assert run_and_get_int(code) == int.from_bytes(keccak256(b"abc"), "big")

@@ -1,0 +1,213 @@
+"""CALL-family semantics: context inheritance, value, static protection,
+return-data plumbing, depth limits."""
+
+from __future__ import annotations
+
+from repro.evm import opcodes as op
+from repro.evm.environment import BlockContext
+from repro.evm.interpreter import EVM, Message
+from repro.evm.state import MemoryState
+from repro.evm.tracer import CallTracer, StorageTracer
+
+from tests.evm.helpers import CONTRACT, SENDER, asm, push, return_top, run_code
+
+CALLEE = b"\xca" * 20
+
+
+def _install(state: MemoryState, address: bytes, code: bytes) -> None:
+    state.set_code(address, code)
+
+
+def _call_code(kind: int, target: bytes, out_size: int = 32,
+               value: int = 0, in_size: int = 0) -> bytes:
+    """Assemble a <kind> call to ``target`` then return mem[0:32]."""
+    parts = [push(out_size), push(0), push(in_size), push(0)]
+    if kind in (op.CALL, op.CALLCODE):
+        parts.append(push(value, 32) if value else push(0))
+    parts += [bytes([op.PUSH0 + 20]) + target, op.GAS, kind, op.POP,
+              push(32), push(0), op.RETURN]
+    return asm(*parts)
+
+
+# Callee that returns its storage slot 0.
+RETURN_SLOT0 = asm(push(0), op.SLOAD) + return_top()
+# Callee that returns CALLER.
+RETURN_CALLER = asm(op.CALLER) + return_top()
+# Callee that writes 7 into its storage slot 5.
+WRITE_SLOT5 = asm(push(7), push(5), op.SSTORE, op.STOP)
+# Callee that returns CALLVALUE.
+RETURN_CALLVALUE = asm(op.CALLVALUE) + return_top()
+
+
+def test_call_reads_callee_storage() -> None:
+    state = MemoryState()
+    _install(state, CALLEE, RETURN_SLOT0)
+    state.set_storage(CALLEE, 0, 42)
+    state.set_storage(CONTRACT, 0, 99)
+    result = run_code(_call_code(op.CALL, CALLEE), state=state)
+    assert result.success
+    assert int.from_bytes(result.output, "big") == 42
+
+
+def test_delegatecall_reads_caller_storage() -> None:
+    """The property the entire proxy pattern rests on (§2.2)."""
+    state = MemoryState()
+    _install(state, CALLEE, RETURN_SLOT0)
+    state.set_storage(CALLEE, 0, 42)
+    state.set_storage(CONTRACT, 0, 99)
+    result = run_code(_call_code(op.DELEGATECALL, CALLEE), state=state)
+    assert result.success
+    assert int.from_bytes(result.output, "big") == 99
+
+
+def test_delegatecall_preserves_msg_sender() -> None:
+    state = MemoryState()
+    _install(state, CALLEE, RETURN_CALLER)
+    result = run_code(_call_code(op.DELEGATECALL, CALLEE), state=state)
+    assert result.output[-20:] == SENDER
+
+
+def test_call_sender_is_calling_contract() -> None:
+    state = MemoryState()
+    _install(state, CALLEE, RETURN_CALLER)
+    result = run_code(_call_code(op.CALL, CALLEE), state=state)
+    assert result.output[-20:] == CONTRACT
+
+
+def test_delegatecall_writes_go_to_caller() -> None:
+    state = MemoryState()
+    _install(state, CALLEE, WRITE_SLOT5)
+    result = run_code(_call_code(op.DELEGATECALL, CALLEE, out_size=0),
+                      state=state)
+    assert result.success
+    assert state.get_storage(CONTRACT, 5) == 7
+    assert state.get_storage(CALLEE, 5) == 0
+
+
+def test_callcode_writes_to_caller_but_sender_is_caller_contract() -> None:
+    state = MemoryState()
+    _install(state, CALLEE, WRITE_SLOT5)
+    result = run_code(_call_code(op.CALLCODE, CALLEE, out_size=0), state=state)
+    assert result.success
+    assert state.get_storage(CONTRACT, 5) == 7
+    state2 = MemoryState()
+    _install(state2, CALLEE, RETURN_CALLER)
+    result = run_code(_call_code(op.CALLCODE, CALLEE), state=state2)
+    assert result.output[-20:] == CONTRACT
+
+
+def test_staticcall_blocks_writes() -> None:
+    state = MemoryState()
+    _install(state, CALLEE, WRITE_SLOT5)
+    result = run_code(_call_code(op.STATICCALL, CALLEE, out_size=0),
+                      state=state)
+    # outer succeeds (push 0 success flag popped), inner failed:
+    assert state.get_storage(CONTRACT, 5) == 0
+    assert state.get_storage(CALLEE, 5) == 0
+    assert result.success
+
+
+def test_call_transfers_value() -> None:
+    state = MemoryState()
+    _install(state, CALLEE, RETURN_CALLVALUE)
+    state.set_balance(CONTRACT, 1000)
+    result = run_code(_call_code(op.CALL, CALLEE, value=300), state=state)
+    assert int.from_bytes(result.output, "big") == 300
+    assert state.get_balance(CALLEE) == 300
+    assert state.get_balance(CONTRACT) == 700
+
+
+def test_call_insufficient_balance_fails_sub_call_only() -> None:
+    state = MemoryState()
+    _install(state, CALLEE, RETURN_CALLVALUE)
+    tracer = CallTracer()
+    result = run_code(_call_code(op.CALL, CALLEE, value=300), state=state,
+                      tracer=tracer)
+    assert result.success  # outer frame survives; success flag was 0
+    assert state.get_balance(CALLEE) == 0
+
+
+def test_delegatecall_inherits_callvalue() -> None:
+    state = MemoryState()
+    _install(state, CALLEE, RETURN_CALLVALUE)
+    result = run_code(_call_code(op.DELEGATECALL, CALLEE), state=state,
+                      value=55)
+    assert int.from_bytes(result.output, "big") == 55
+
+
+def test_returndatasize_and_copy() -> None:
+    state = MemoryState()
+    _install(state, CALLEE, asm(push(0x1234, 2)) + return_top())
+    code = asm(push(0), push(0), push(0), push(0), push(0),
+               bytes([op.PUSH0 + 20]) + CALLEE, op.GAS, op.CALL, op.POP,
+               op.RETURNDATASIZE) + return_top()
+    result = run_code(code, state=state)
+    assert int.from_bytes(result.output, "big") == 32
+
+
+def test_returndatacopy_out_of_bounds_fails() -> None:
+    state = MemoryState()
+    _install(state, CALLEE, asm(op.STOP))
+    code = asm(push(0), push(0), push(0), push(0), push(0),
+               bytes([op.PUSH0 + 20]) + CALLEE, op.GAS, op.CALL, op.POP,
+               push(32), push(0), push(0), op.RETURNDATACOPY, op.STOP)
+    result = run_code(code, state=state)
+    assert not result.success
+
+
+def test_failed_subcall_reverts_its_writes_only() -> None:
+    state = MemoryState()
+    # Callee writes then reverts.
+    _install(state, CALLEE, asm(push(7), push(5), op.SSTORE,
+                                push(0), push(0), op.REVERT))
+    code = asm(push(9), push(1), op.SSTORE) + _call_code(op.CALL, CALLEE,
+                                                         out_size=0)
+    result = run_code(code, state=state)
+    assert result.success
+    assert state.get_storage(CONTRACT, 1) == 9   # outer write survives
+    assert state.get_storage(CALLEE, 5) == 0     # inner write rolled back
+
+
+def test_call_to_empty_account_succeeds() -> None:
+    result = run_code(_call_code(op.CALL, b"\x77" * 20))
+    assert result.success
+
+
+def test_call_depth_limit() -> None:
+    # Self-recursive contract: CALL(self) forever.
+    code = asm(push(0), push(0), push(0), push(0), push(0),
+               bytes([op.PUSH0 + 20]) + CONTRACT, op.GAS, op.CALL, op.POP,
+               op.STOP)
+    state = MemoryState()
+    result = run_code(code, state=state, gas=10 ** 9)
+    # Gas 63/64 rule or depth limit terminates it; the top frame succeeds.
+    assert result.success
+
+
+def test_call_events_traced() -> None:
+    state = MemoryState()
+    _install(state, CALLEE, asm(op.STOP))
+    tracer = CallTracer()
+    calldata = b"\xde\xad\xbe\xef"
+    # Forward the incoming calldata verbatim (proxy idiom).
+    code = asm(op.CALLDATASIZE, push(0), push(0), op.CALLDATACOPY,
+               push(0), push(0), op.CALLDATASIZE, push(0),
+               bytes([op.PUSH0 + 20]) + CALLEE, op.GAS, op.DELEGATECALL,
+               op.STOP)
+    result = run_code(code, calldata=calldata, state=state, tracer=tracer)
+    assert result.success
+    events = tracer.delegatecalls()
+    assert len(events) == 1
+    assert events[0].target == CALLEE
+    assert events[0].input_data == calldata
+    assert events[0].forwards_full_calldata
+
+
+def test_storage_events_traced() -> None:
+    state = MemoryState()
+    tracer = StorageTracer()
+    code = asm(push(3), push(1), op.SSTORE, push(1), op.SLOAD, op.POP, op.STOP)
+    run_code(code, state=state, tracer=tracer)
+    kinds = [(event.kind, event.slot, event.value) for event in tracer.events]
+    assert ("SSTORE", 1, 3) in kinds
+    assert ("SLOAD", 1, 3) in kinds

@@ -1,0 +1,114 @@
+"""CFG construction and dispatcher recovery."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.signature_extractor import dispatcher_selectors
+from repro.evm import opcodes as op
+from repro.evm.cfg import build_cfg, dispatcher_functions
+from repro.evm.disassembler import disassemble
+from repro.lang import ast, compile_contract, stdlib
+
+from tests.conftest import ALICE
+from tests.evm.helpers import asm, push
+
+
+def test_single_block() -> None:
+    cfg = build_cfg(asm(push(1), push(2), op.ADD, op.STOP))
+    assert len(cfg) == 1
+    block = cfg.entry()
+    assert block.start == 0
+    assert block.successors == []
+    assert block.terminator.opcode.value == op.STOP
+
+
+def test_blocks_split_at_jumpdest_and_jumps() -> None:
+    # PUSH1@0, JUMP@2, STOP@3 (dead), JUMPDEST@4, STOP@5.
+    code = asm(push(4), op.JUMP, op.STOP, op.JUMPDEST, op.STOP)
+    cfg = build_cfg(code)
+    assert set(cfg.blocks) == {0, 3, 4}
+    assert cfg.block_at(0).successors == [4]
+    assert cfg.block_at(3).successors == []  # unreachable STOP island
+    assert cfg.block_at(4).successors == []
+
+
+def test_jumpi_has_two_successors() -> None:
+    # PUSH1@0, PUSH2@2, JUMPI@5, STOP@6 (fallthrough), JUMPDEST@7 (target).
+    code = asm(push(1), push(7, 2), op.JUMPI, op.STOP, op.JUMPDEST, op.STOP)
+    cfg = build_cfg(code)
+    entry = cfg.entry()
+    assert sorted(entry.successors) == [6, 7]
+
+
+def test_reachability() -> None:
+    code = asm(push(4), op.JUMP, op.STOP, op.JUMPDEST, op.STOP)
+    cfg = build_cfg(code)
+    assert cfg.reachable_from(0) == {0, 4}  # the STOP island at 3 is dead
+
+
+def test_dynamic_jump_has_no_static_edge() -> None:
+    # Target comes from calldata: statically unknown.
+    code = asm(push(0), op.CALLDATALOAD, op.JUMP, op.JUMPDEST, op.STOP)
+    cfg = build_cfg(code)
+    assert cfg.entry().successors == []
+
+
+def test_compiled_wallet_dispatcher_blocks() -> None:
+    compiled = compile_contract(stdlib.simple_wallet("W", ALICE))
+    cfg = build_cfg(compiled.runtime_code)
+    assert len(cfg) > 5
+    reachable = cfg.reachable_from(0)
+    # Every dispatcher target is reachable.
+    for entry in dispatcher_functions(compiled.runtime_code):
+        assert entry.body_offset in reachable
+
+
+def test_dispatcher_functions_match_declared() -> None:
+    contract = stdlib.simple_token("T", ALICE)
+    compiled = compile_contract(contract)
+    entries = dispatcher_functions(compiled.runtime_code)
+    assert {entry.selector for entry in entries} == set(
+        compiled.selector_table)
+    # Bodies are distinct JUMPDESTs.
+    offsets = [entry.body_offset for entry in entries]
+    assert len(set(offsets)) == len(offsets)
+    listing = disassemble(compiled.runtime_code)
+    for entry in entries:
+        assert entry.body_offset in listing.jumpdests
+
+
+def test_cfg_extraction_agrees_with_pattern_extractor() -> None:
+    """Two independent implementations of §5.1 must agree on compiler
+    output — the CFG walk and the sliding-window pattern scan."""
+    for contract in (stdlib.simple_wallet("W", ALICE),
+                     stdlib.simple_token("T", ALICE),
+                     stdlib.honeypot_proxy("H", b"\x01" * 20, ALICE),
+                     stdlib.diamond_proxy("D", ALICE)):
+        compiled = compile_contract(contract)
+        from_cfg = {entry.selector
+                    for entry in dispatcher_functions(compiled.runtime_code)}
+        from_pattern = dispatcher_selectors(compiled.runtime_code)
+        assert from_cfg == from_pattern
+
+
+def test_no_functions_no_dispatcher_entries() -> None:
+    compiled = compile_contract(stdlib.audius_proxy("P", b"\x01" * 20, ALICE))
+    assert dispatcher_functions(compiled.runtime_code) == []
+
+
+@given(st.binary(max_size=300))
+def test_cfg_total_and_consistent(code: bytes) -> None:
+    """On arbitrary bytes: blocks partition the instructions; every edge
+    points at an existing block."""
+    cfg = build_cfg(code)
+    listing = disassemble(code)
+    covered = sorted(
+        instruction.offset
+        for block in cfg
+        for instruction in block.instructions)
+    assert covered == [instruction.offset for instruction in listing]
+    for block in cfg:
+        for successor in block.successors:
+            assert successor in cfg.blocks

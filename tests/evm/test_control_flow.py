@@ -1,0 +1,212 @@
+"""Jumps, halting, reverts, calldata/memory/environment opcodes."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evm import opcodes as op
+from repro.evm.environment import BlockContext
+
+from tests.evm.helpers import (
+    CONTRACT,
+    SENDER,
+    asm,
+    push,
+    return_top,
+    run_and_get_int,
+    run_code,
+)
+
+
+def test_stop_returns_empty() -> None:
+    result = run_code(asm(op.STOP))
+    assert result.success and result.output == b""
+
+
+def test_implicit_stop_at_code_end() -> None:
+    result = run_code(asm(push(1), op.POP))
+    assert result.success and result.output == b""
+
+
+def test_jump_to_jumpdest() -> None:
+    # 0: PUSH1 4; 2: JUMP; 3: INVALID; 4: JUMPDEST; then return 7
+    code = asm(push(4), op.JUMP, op.INVALID, op.JUMPDEST,
+               push(7)) + return_top()
+    assert run_and_get_int(code) == 7
+
+
+def test_jump_to_non_jumpdest_fails() -> None:
+    code = asm(push(3), op.JUMP, op.STOP)
+    result = run_code(code)
+    assert not result.success
+    assert "InvalidJump" in (result.error or "")
+
+
+def test_jumpdest_inside_push_immediate_is_invalid() -> None:
+    # PUSH2 0x5b00 embeds a JUMPDEST byte at offset 1; jumping there must fail.
+    code = asm(bytes([op.PUSH0 + 2, 0x5B, 0x00]), push(1), op.JUMP)
+    result = run_code(code)
+    assert not result.success
+
+
+def _conditional_return(condition: int) -> bytes:
+    """``condition ? return 1 : return 2`` with a fixed-width jump target."""
+    prefix = asm(push(condition), push(0, 2), op.JUMPI, push(2)) + return_top()
+    dest = len(prefix)
+    return (asm(push(condition), push(dest, 2), op.JUMPI, push(2))
+            + return_top() + asm(op.JUMPDEST, push(1)) + return_top())
+
+
+def test_jumpi_taken() -> None:
+    assert run_and_get_int(_conditional_return(1)) == 1
+
+
+def test_jumpi_not_taken() -> None:
+    assert run_and_get_int(_conditional_return(0)) == 2
+
+
+def test_jumpi_truthiness_is_any_nonzero() -> None:
+    assert run_and_get_int(_conditional_return(0xFFFF)) == 1
+
+
+def test_revert_carries_output_and_rolls_back() -> None:
+    # SSTORE(0, 7) then REVERT with "xy"
+    payload = int.from_bytes(b"xy".ljust(32, b"\x00"), "big")
+    code = asm(push(7), push(0), op.SSTORE,
+               push(payload, 32), push(0), op.MSTORE,
+               push(2), push(0), op.REVERT)
+    from repro.evm.state import MemoryState
+    state = MemoryState()
+    result = run_code(code, state=state)
+    assert not result.success
+    assert result.error == "revert"
+    assert result.output == b"xy"
+    assert state.get_storage(CONTRACT, 0) == 0  # rolled back
+
+
+def test_invalid_opcode_consumes_and_fails() -> None:
+    result = run_code(asm(op.INVALID))
+    assert not result.success
+
+
+def test_unassigned_byte_fails() -> None:
+    result = run_code(bytes([0x2F]))
+    assert not result.success
+    assert "InvalidOpcode" in (result.error or "")
+
+
+def test_stack_underflow_reported() -> None:
+    result = run_code(asm(op.ADD))
+    assert not result.success
+    assert "StackUnderflow" in (result.error or "")
+
+
+def test_pc_msize_gas() -> None:
+    assert run_and_get_int(asm(op.PC) + return_top()) == 0
+    assert run_and_get_int(asm(push(0), op.PC) + return_top()) == 2
+    # MSIZE after writing one word at 0 is 32
+    assert run_and_get_int(asm(push(1), push(0), op.MSTORE, op.MSIZE)
+                           + return_top()) == 32
+
+
+def test_calldata_opcodes() -> None:
+    calldata = bytes(range(1, 41))
+    assert run_and_get_int(asm(op.CALLDATASIZE) + return_top(),
+                           calldata) == 40
+    loaded = run_and_get_int(asm(push(4), op.CALLDATALOAD) + return_top(),
+                             calldata)
+    assert loaded == int.from_bytes(calldata[4:36], "big")
+    # Out-of-range load zero-pads.
+    padded = run_and_get_int(asm(push(32), op.CALLDATALOAD) + return_top(),
+                             calldata)
+    assert padded == int.from_bytes(calldata[32:].ljust(32, b"\x00"), "big")
+
+
+def test_calldatacopy_pads_with_zeros() -> None:
+    code = asm(push(32), push(100), push(0), op.CALLDATACOPY,
+               push(0), op.MLOAD) + return_top()
+    assert run_and_get_int(code, b"\x01\x02") == 0
+
+
+def test_codesize_codecopy() -> None:
+    code = asm(op.CODESIZE) + return_top()
+    assert run_and_get_int(code) == len(code)
+
+
+def test_mstore8() -> None:
+    code = asm(push(0xAB), push(31), op.MSTORE8, push(0), op.MLOAD) + return_top()
+    assert run_and_get_int(code) == 0xAB
+
+
+@given(st.integers(min_value=0, max_value=(1 << 256) - 1),
+       st.integers(min_value=0, max_value=4))
+def test_mstore_mload_roundtrip(value: int, word_index: int) -> None:
+    offset = word_index * 32
+    code = asm(push(value, 32), push(offset), op.MSTORE,
+               push(offset), op.MLOAD) + return_top()
+    assert run_and_get_int(code) == value
+
+
+def test_environment_opcodes() -> None:
+    block = BlockContext(number=1234, timestamp=1_699_999_999, chain_id=1,
+                         gas_limit=30_000_000, base_fee=55)
+    assert run_and_get_int(asm(op.NUMBER) + return_top(), block=block) == 1234
+    assert run_and_get_int(asm(op.TIMESTAMP) + return_top(),
+                           block=block) == 1_699_999_999
+    assert run_and_get_int(asm(op.CHAINID) + return_top(), block=block) == 1
+    assert run_and_get_int(asm(op.GASLIMIT) + return_top(),
+                           block=block) == 30_000_000
+    assert run_and_get_int(asm(op.BASEFEE) + return_top(), block=block) == 55
+    assert run_and_get_int(asm(op.CALLER) + return_top()) == int.from_bytes(
+        SENDER, "big")
+    assert run_and_get_int(asm(op.ORIGIN) + return_top()) == int.from_bytes(
+        SENDER, "big")
+    assert run_and_get_int(asm(op.ADDRESS) + return_top()) == int.from_bytes(
+        CONTRACT, "big")
+
+
+def test_blockhash_window() -> None:
+    block = BlockContext(number=1000)
+    recent = run_and_get_int(asm(push(999, 2), op.BLOCKHASH) + return_top(),
+                             block=block)
+    assert recent != 0
+    too_old = run_and_get_int(asm(push(1), op.BLOCKHASH) + return_top(),
+                              block=block)
+    assert too_old == 0
+    future = run_and_get_int(asm(push(1000, 2), op.BLOCKHASH) + return_top(),
+                             block=block)
+    assert future == 0
+
+
+def test_callvalue_and_selfbalance() -> None:
+    result = run_code(asm(op.CALLVALUE) + return_top(), value=123)
+    assert int.from_bytes(result.output, "big") == 123
+    result = run_code(asm(op.SELFBALANCE) + return_top(), value=123)
+    assert int.from_bytes(result.output, "big") == 123  # value transferred in
+
+
+def test_dup2_duplicates_second_item() -> None:
+    assert run_and_get_int(asm(push(5), push(9), op.DUP1 + 1, op.ADD, op.ADD)
+                           + return_top()) == 19
+
+
+def test_swap_sub_order() -> None:
+    from repro.utils.hexutil import WORD_MASK
+    value = run_and_get_int(asm(push(5), push(9), op.SWAP1, op.SUB) + return_top())
+    assert value == (5 - 9) & WORD_MASK
+
+
+def test_instruction_budget_guards_infinite_loops() -> None:
+    # JUMPDEST; PUSH1 0; JUMP → infinite loop
+    code = asm(op.JUMPDEST, push(0), op.JUMP)
+    result = run_code(code)
+    assert not result.success
+    assert "ExecutionTimeout" in (result.error or "")
+
+
+def test_out_of_gas() -> None:
+    code = asm(op.JUMPDEST, push(0), op.JUMP)
+    result = run_code(code, gas=100)
+    assert not result.success
+    assert "OutOfGas" in (result.error or "")

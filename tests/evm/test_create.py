@@ -1,0 +1,148 @@
+"""CREATE/CREATE2: address derivation, init-code semantics, failure modes."""
+
+from __future__ import annotations
+
+from repro.evm import opcodes as op
+from repro.evm.environment import ExecutionConfig
+from repro.evm.interpreter import EVM, Message
+from repro.evm.state import MemoryState
+from repro.evm.tracer import CallTracer
+from repro.utils import rlp
+from repro.utils.keccak import keccak256
+
+from tests.evm.helpers import CONTRACT, SENDER, asm, push, run_code
+
+# Init code that returns the 2-byte runtime [STOP, STOP]:
+# PUSH2 0x0000 PUSH1 0 MSTORE ... simpler: CODECOPY trailing runtime.
+INIT_RETURNS_STOP = asm(
+    push(2), push(12), push(0), op.CODECOPY,   # mem[0:2] = code[12:14]
+    push(2), push(0), op.RETURN,
+    op.STOP,  # padding so runtime starts at offset 12
+) + b"\x00\x00"
+
+
+def _normalize_init() -> bytes:
+    # Recompute offsets robustly: copy the last 2 bytes of the init code.
+    body = asm(push(2), push(0, 2), push(0), op.CODECOPY,
+               push(2), push(0), op.RETURN)
+    runtime_offset = len(body)
+    body = asm(push(2), push(runtime_offset, 2), push(0), op.CODECOPY,
+               push(2), push(0), op.RETURN)
+    return body + bytes([op.JUMPDEST, op.STOP])
+
+
+INIT = _normalize_init()
+
+
+def test_top_level_create_address_derivation() -> None:
+    state = MemoryState()
+    state.set_nonce(SENDER, 3)
+    evm = EVM(state)
+    result = evm.execute(Message(sender=SENDER, to=None, data=INIT))
+    assert result.success
+    expected = keccak256(rlp.encode_list([
+        rlp.encode_bytes(SENDER), rlp.encode_int(3)]))[12:]
+    assert result.created_address == expected
+    assert state.get_code(expected) == bytes([op.JUMPDEST, op.STOP])
+    assert state.get_nonce(SENDER) == 4
+
+
+def test_create_opcode_from_contract() -> None:
+    state = MemoryState()
+    tracer = CallTracer()
+    # Store INIT in memory via CODECOPY of our own trailing bytes, then CREATE.
+    creator_body = asm(
+        push(len(INIT)), push(0, 2), push(0), op.CODECOPY,
+        push(len(INIT)), push(0), push(0), op.CREATE,
+        push(0), op.MSTORE, push(32), push(0), op.RETURN)
+    offset = len(creator_body)
+    creator = asm(
+        push(len(INIT)), push(offset, 2), push(0), op.CODECOPY,
+        push(len(INIT)), push(0), push(0), op.CREATE,
+        push(0), op.MSTORE, push(32), push(0), op.RETURN) + INIT
+    result = run_code(creator, state=state, tracer=tracer)
+    assert result.success
+    created = result.output[-20:]
+    assert state.get_code(created) == bytes([op.JUMPDEST, op.STOP])
+    assert len(tracer.creates) == 1
+    assert tracer.creates[0].kind == "CREATE"
+    assert tracer.creates[0].new_address == created
+
+
+def test_create2_address_derivation() -> None:
+    state = MemoryState()
+    salt = 0xDEAD
+    creator_body = asm(
+        push(len(INIT)), push(0, 2), push(0), op.CODECOPY,
+        push(salt, 2), push(len(INIT)), push(0), push(0), op.CREATE2,
+        push(0), op.MSTORE, push(32), push(0), op.RETURN)
+    offset = len(creator_body)
+    creator = asm(
+        push(len(INIT)), push(offset, 2), push(0), op.CODECOPY,
+        push(salt, 2), push(len(INIT)), push(0), push(0), op.CREATE2,
+        push(0), op.MSTORE, push(32), push(0), op.RETURN) + INIT
+    result = run_code(creator, state=state)
+    assert result.success
+    created = result.output[-20:]
+    expected = keccak256(
+        b"\xff" + CONTRACT + salt.to_bytes(32, "big") + keccak256(INIT))[12:]
+    assert created == expected
+
+
+def test_create_with_fixed_address_config() -> None:
+    """§4.2: emulation parks created contracts at a sentinel address."""
+    sentinel = b"\x0c" * 20
+    state = MemoryState()
+    evm = EVM(state, config=ExecutionConfig(fixed_create_address=sentinel))
+    result = evm.execute(Message(sender=SENDER, to=None, data=INIT))
+    assert result.success
+    assert result.created_address == sentinel
+    assert state.get_code(sentinel) == bytes([op.JUMPDEST, op.STOP])
+
+
+def test_reverting_init_code_fails_create() -> None:
+    state = MemoryState()
+    evm = EVM(state)
+    result = evm.execute(Message(
+        sender=SENDER, to=None, data=asm(push(0), push(0), op.REVERT)))
+    assert not result.success
+    assert result.error == "revert"
+
+
+def test_create_code_size_limit() -> None:
+    # Init code returning 25,000 zero bytes exceeds EIP-170.
+    oversize = asm(push(25_000, 2), push(0), op.RETURN)
+    state = MemoryState()
+    evm = EVM(state)
+    result = evm.execute(Message(sender=SENDER, to=None, data=oversize))
+    assert not result.success
+    assert "EIP-170" in (result.error or "")
+
+
+def test_create_value_transfer() -> None:
+    state = MemoryState()
+    state.set_balance(SENDER, 1000)
+    evm = EVM(state)
+    result = evm.execute(Message(sender=SENDER, to=None, data=INIT, value=400))
+    assert result.success
+    assert state.get_balance(result.created_address) == 400
+    assert state.get_balance(SENDER) == 600
+
+
+def test_create_insufficient_balance() -> None:
+    state = MemoryState()
+    evm = EVM(state)
+    result = evm.execute(Message(sender=SENDER, to=None, data=INIT, value=1))
+    assert not result.success
+
+
+def test_address_collision_rejected() -> None:
+    state = MemoryState()
+    state.set_nonce(SENDER, 0)
+    expected = keccak256(rlp.encode_list([
+        rlp.encode_bytes(SENDER), rlp.encode_int(0)]))[12:]
+    state.set_code(expected, b"\x00")
+    evm = EVM(state)
+    result = evm.execute(Message(sender=SENDER, to=None, data=INIT))
+    assert not result.success
+    assert "collision" in (result.error or "")

@@ -1,0 +1,74 @@
+"""Official EIP-1014 CREATE2 address-derivation test vectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.keccak import keccak256
+
+# (deployer, salt, init_code, expected address) from the EIP-1014 spec.
+EIP1014_VECTORS = [
+    ("0x0000000000000000000000000000000000000000",
+     "0x0000000000000000000000000000000000000000000000000000000000000000",
+     "0x00",
+     "0x4D1A2e2bB4F88F0250f26Ffff098B0b30B26BF38"),
+    ("0xdeadbeef00000000000000000000000000000000",
+     "0x0000000000000000000000000000000000000000000000000000000000000000",
+     "0x00",
+     "0xB928f69Bb1D91Cd65274e3c79d8986362984fDA3"),
+    ("0xdeadbeef00000000000000000000000000000000",
+     "0x000000000000000000000000feed000000000000000000000000000000000000",
+     "0x00",
+     "0xD04116cDd17beBE565EB2422F2497E06cC1C9833"),
+    ("0x0000000000000000000000000000000000000000",
+     "0x0000000000000000000000000000000000000000000000000000000000000000",
+     "0xdeadbeef",
+     "0x70f2b2914A2a4b783FaEFb75f459A580616Fcb5e"),
+    ("0x00000000000000000000000000000000deadbeef",
+     "0x00000000000000000000000000000000000000000000000000000000cafebabe",
+     "0xdeadbeef",
+     "0x60f3f640a8508fC6a86d45DF051962668E1e8AC7"),
+    ("0x00000000000000000000000000000000deadbeef",
+     "0x00000000000000000000000000000000000000000000000000000000cafebabe",
+     "0x" + "deadbeef" * 11,
+     "0x1d8bfDC5D46DC4f61D6b6115972536eBE6A8854C"),
+    ("0x0000000000000000000000000000000000000000",
+     "0x0000000000000000000000000000000000000000000000000000000000000000",
+     "0x",
+     "0xE33C0C7F7df4809055C3ebA6c09CFe4BaF1BD9e0"),
+]
+
+
+def _derive(deployer: str, salt: str, init_code: str) -> str:
+    sender = bytes.fromhex(deployer[2:])
+    salt_bytes = bytes.fromhex(salt[2:])
+    code = bytes.fromhex(init_code[2:])
+    digest = keccak256(b"\xff" + sender + salt_bytes + keccak256(code))
+    return "0x" + digest[12:].hex()
+
+
+@pytest.mark.parametrize("deployer,salt,init_code,expected", EIP1014_VECTORS)
+def test_eip1014_vector(deployer: str, salt: str, init_code: str,
+                        expected: str) -> None:
+    assert _derive(deployer, salt, init_code) == expected.lower()
+
+
+def test_interpreter_matches_spec_derivation() -> None:
+    """The interpreter's CREATE2 path reproduces the spec formula."""
+    from repro.evm.interpreter import EVM, Message
+    from repro.evm.state import MemoryState
+
+    sender = bytes.fromhex("00000000000000000000000000000000deadbeef")
+    salt = 0xCAFEBABE
+    init_code = bytes.fromhex("deadbeef")  # invalid code: create fails, but
+    # the address derivation happens first; use valid empty-return init:
+    init_code = bytes.fromhex("60006000f3")  # PUSH1 0 PUSH1 0 RETURN
+    state = MemoryState()
+    evm = EVM(state)
+    result = evm.execute(Message(sender=sender, to=None, data=init_code,
+                                 create_salt=salt))
+    assert result.success
+    expected = keccak256(
+        b"\xff" + sender + salt.to_bytes(32, "big")
+        + keccak256(init_code))[12:]
+    assert result.created_address == expected

@@ -1,0 +1,127 @@
+"""Disassembler: linear sweep, immediates, jumpdests, the §4.1 prefilter."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evm import opcodes as op
+from repro.evm.disassembler import contains_delegatecall, disassemble
+from repro.lang import stdlib
+
+
+def test_simple_sequence() -> None:
+    code = bytes([op.PUSH1, 0x80, op.PUSH1, 0x40, op.MSTORE, op.STOP])
+    listing = disassemble(code)
+    mnemonics = [inst.opcode.mnemonic for inst in listing]
+    assert mnemonics == ["PUSH1", "PUSH1", "MSTORE", "STOP"]
+    assert listing.instructions[0].operand == b"\x80"
+    assert listing.instructions[0].offset == 0
+    assert listing.instructions[1].offset == 2
+
+
+def test_push32_immediate() -> None:
+    operand = bytes(range(32))
+    listing = disassemble(bytes([op.PUSH32]) + operand)
+    assert listing.instructions[0].operand == operand
+    assert listing.instructions[0].size == 33
+
+
+def test_truncated_push_immediate() -> None:
+    listing = disassemble(bytes([op.PUSH4, 0xAA]))
+    assert listing.instructions[0].operand == b"\xaa"
+
+
+def test_invalid_bytes_recorded() -> None:
+    listing = disassemble(bytes([0x2F, op.STOP, 0x2E]))
+    assert [invalid.value for invalid in listing.invalid_bytes] == [0x2F, 0x2E]
+    assert len(listing.instructions) == 1
+
+
+def test_jumpdests_exclude_push_immediates() -> None:
+    # JUMPDEST at 0; PUSH1 0x5b (immediate 0x5b at offset 2 is NOT a dest).
+    code = bytes([op.JUMPDEST, op.PUSH1, 0x5B, op.JUMPDEST])
+    listing = disassemble(code)
+    assert listing.jumpdests == {0, 3}
+
+
+def test_delegatecall_at_boundary_detected() -> None:
+    assert contains_delegatecall(bytes([op.DELEGATECALL]))
+
+
+def test_delegatecall_inside_immediate_not_detected() -> None:
+    """The 0xf4 byte hidden in a PUSH immediate must not count (§4.1)."""
+    code = bytes([op.PUSH0 + 2, 0xF4, 0x00, op.STOP])
+    assert not contains_delegatecall(code)
+
+
+def test_no_delegatecall_byte_short_circuits() -> None:
+    assert not contains_delegatecall(bytes([op.PUSH1, 0x01, op.STOP]))
+
+
+def test_minimal_proxy_contains_delegatecall() -> None:
+    runtime = stdlib.minimal_proxy_runtime(b"\x11" * 20)
+    assert contains_delegatecall(runtime)
+
+
+def test_push4_operand_harvest() -> None:
+    code = bytes([op.PUSH4, 0xDE, 0xAD, 0xBE, 0xEF,
+                  op.PUSH1, 0x00,
+                  op.PUSH4, 0x11, 0x22, 0x33, 0x44])
+    assert set(disassemble(code).push4_operands()) == {
+        b"\xde\xad\xbe\xef", b"\x11\x22\x33\x44"}
+
+
+def test_opcode_histogram() -> None:
+    code = bytes([op.PUSH1, 1, op.PUSH1, 2, op.ADD, op.STOP])
+    histogram = disassemble(code).opcode_histogram
+    assert histogram["PUSH1"] == 2
+    assert histogram["ADD"] == 1
+
+
+def test_at_lookup() -> None:
+    code = bytes([op.PUSH1, 1, op.STOP])
+    listing = disassemble(code)
+    assert listing.at(0).opcode.mnemonic == "PUSH1"
+    assert listing.at(1) is None  # inside the immediate
+    assert listing.at(2).opcode.mnemonic == "STOP"
+
+
+def test_text_listing() -> None:
+    code = bytes([op.PUSH4, 0xDF, 0x4A, 0x31, 0x06, op.STOP])
+    text = disassemble(code).text()
+    assert "PUSH4 0xdf4a3106" in text
+    assert "STOP" in text
+
+
+@given(st.binary(max_size=300))
+def test_sweep_covers_every_byte_exactly_once(code: bytes) -> None:
+    """Instructions + invalid bytes partition the bytecode."""
+    listing = disassemble(code)
+    covered: list[tuple[int, int]] = []
+    for instruction in listing.instructions:
+        covered.append((instruction.offset, instruction.offset + instruction.size))
+    for invalid in listing.invalid_bytes:
+        covered.append((invalid.offset, invalid.offset + 1))
+    covered.sort()
+    position = 0
+    for start, end in covered:
+        assert start == position
+        position = end
+    # The final instruction may extend past the code end only via a
+    # truncated PUSH immediate.
+    assert position >= len(code)
+
+
+@given(st.binary(max_size=300))
+def test_jumpdests_agree_with_interpreter_scan(code: bytes) -> None:
+    from repro.evm.interpreter import _scan_jumpdests
+    assert disassemble(code).jumpdests == _scan_jumpdests(code)
+
+
+@given(st.binary(max_size=200))
+def test_prefilter_never_false_negative(code: bytes) -> None:
+    """If the sweep finds a DELEGATECALL instruction, the prefilter must."""
+    listing = disassemble(code)
+    has = any(inst.opcode.value == op.DELEGATECALL for inst in listing)
+    assert contains_delegatecall(code) == has

@@ -1,0 +1,49 @@
+"""BlockContext / TransactionContext / ExecutionConfig semantics."""
+
+from __future__ import annotations
+
+from repro.evm.environment import (
+    MAINNET_CHAIN_ID,
+    BlockContext,
+    ExecutionConfig,
+    TransactionContext,
+)
+
+
+def test_defaults_are_mainnet_plausible() -> None:
+    block = BlockContext()
+    assert block.chain_id == MAINNET_CHAIN_ID == 1
+    assert block.gas_limit == 30_000_000
+    assert block.base_fee > 0
+    tx = TransactionContext()
+    assert tx.gas_price > 0
+
+
+def test_block_hash_window_semantics() -> None:
+    block = BlockContext(number=500)
+    assert block.block_hash(499) != 0
+    assert block.block_hash(500 - 256) != 0
+    assert block.block_hash(500 - 257) == 0
+    assert block.block_hash(500) == 0      # current block: unavailable
+    assert block.block_hash(501) == 0      # future: unavailable
+
+
+def test_block_hash_deterministic_and_distinct() -> None:
+    block = BlockContext(number=1000)
+    assert block.block_hash(900) == block.block_hash(900)
+    assert block.block_hash(900) != block.block_hash(901)
+
+
+def test_execution_config_defaults() -> None:
+    config = ExecutionConfig()
+    assert config.instruction_budget == 2_000_000
+    assert config.call_depth_limit == 1024
+    assert config.fixed_create_address is None
+    assert config.extra == {}
+
+
+def test_execution_config_extras_independent() -> None:
+    first = ExecutionConfig()
+    second = ExecutionConfig()
+    first.extra["x"] = 1
+    assert second.extra == {}  # default_factory, not shared state

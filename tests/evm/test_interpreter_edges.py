@@ -1,0 +1,125 @@
+"""Interpreter edge cases: selfdestruct, extcode*, origin propagation."""
+
+from __future__ import annotations
+
+from repro.evm import opcodes as op
+from repro.evm.environment import TransactionContext
+from repro.evm.interpreter import EVM, Message
+from repro.evm.state import MemoryState
+from repro.utils.keccak import keccak256
+
+from tests.evm.helpers import CONTRACT, SENDER, asm, push, return_top, run_code
+
+OTHER = b"\x0e" * 20
+
+
+def test_selfdestruct_moves_balance_and_clears_code() -> None:
+    state = MemoryState()
+    state.set_balance(CONTRACT, 777)
+    beneficiary = b"\xbe" * 20
+    code = asm(bytes([op.PUSH0 + 20]) + beneficiary, op.SELFDESTRUCT)
+    result = run_code(code, state=state)
+    assert result.success
+    assert state.get_balance(beneficiary) == 777
+    assert state.get_balance(CONTRACT) == 0
+    assert state.get_code(CONTRACT) == b""
+
+
+def test_selfdestruct_to_self_burns_nothing_weird() -> None:
+    state = MemoryState()
+    state.set_balance(CONTRACT, 500)
+    code = asm(bytes([op.PUSH0 + 20]) + CONTRACT, op.SELFDESTRUCT)
+    assert run_code(code, state=state).success
+    assert state.get_balance(CONTRACT) == 500  # sent to itself
+    assert state.get_code(CONTRACT) == b""
+
+
+def test_extcodesize_and_extcodecopy() -> None:
+    state = MemoryState()
+    state.set_code(OTHER, b"\x60\x01\x60\x02")
+    size_code = asm(bytes([op.PUSH0 + 20]) + OTHER, op.EXTCODESIZE) + return_top()
+    result = run_code(size_code, state=state)
+    assert int.from_bytes(result.output, "big") == 4
+
+    copy_code = asm(push(4), push(0), push(0),
+                    bytes([op.PUSH0 + 20]) + OTHER, op.EXTCODECOPY,
+                    push(0), op.MLOAD) + return_top()
+    result = run_code(copy_code, state=state)
+    assert result.output[:4] == b"\x60\x01\x60\x02"
+
+
+def test_extcodehash_of_empty_is_zero() -> None:
+    code = asm(bytes([op.PUSH0 + 20]) + OTHER, op.EXTCODEHASH) + return_top()
+    assert int.from_bytes(run_code(code).output, "big") == 0
+
+
+def test_extcodehash_of_contract() -> None:
+    state = MemoryState()
+    state.set_code(OTHER, b"\x00")
+    code = asm(bytes([op.PUSH0 + 20]) + OTHER, op.EXTCODEHASH) + return_top()
+    result = run_code(code, state=state)
+    assert result.output == keccak256(b"\x00")
+
+
+def test_origin_constant_across_nesting() -> None:
+    """ORIGIN stays the EOA through a CALL chain; CALLER changes."""
+    state = MemoryState()
+    inner = b"\x11" * 20
+    state.set_code(inner, asm(op.ORIGIN) + return_top())
+    code = asm(push(32), push(0), push(0), push(0), push(0),
+               bytes([op.PUSH0 + 20]) + inner, op.GAS, op.CALL, op.POP,
+               push(0), op.MLOAD) + return_top()
+    result = run_code(code, state=state)
+    assert result.output[-20:] == SENDER
+
+
+def test_balance_opcode() -> None:
+    state = MemoryState()
+    state.set_balance(OTHER, 424_242)
+    code = asm(bytes([op.PUSH0 + 20]) + OTHER, op.BALANCE) + return_top()
+    result = run_code(code, state=state)
+    assert int.from_bytes(result.output, "big") == 424_242
+
+
+def test_call_to_precompile_address_with_code_check() -> None:
+    """Precompile dispatch wins even though the account has no code."""
+    sha256_address = (2).to_bytes(20, "big")
+    code = asm(
+        push(7), push(0), op.MSTORE8,           # mem[0] = 7
+        push(32), push(32), push(1), push(0), push(0),
+        bytes([op.PUSH0 + 20]) + sha256_address, op.GAS, op.CALL, op.POP,
+        push(32), op.MLOAD) + return_top()
+    import hashlib
+    result = run_code(code)
+    assert result.output == hashlib.sha256(b"\x07").digest()
+
+
+def test_message_with_explicit_code_address() -> None:
+    """Direct delegate-style message: code from A, storage of B."""
+    state = MemoryState()
+    code_holder = b"\x21" * 20
+    storage_holder = b"\x22" * 20
+    state.set_code(code_holder, asm(push(0), op.SLOAD) + return_top())
+    state.set_storage(storage_holder, 0, 99)
+    evm = EVM(state, tx=TransactionContext(origin=SENDER))
+    result = evm.execute(Message(
+        sender=SENDER, to=storage_holder,
+        code_address=code_holder, storage_address=storage_holder,
+        data=b""))
+    assert int.from_bytes(result.output, "big") == 99
+
+
+def test_zero_size_return() -> None:
+    result = run_code(asm(push(0), push(0), op.RETURN))
+    assert result.success and result.output == b""
+
+
+def test_push0_pushes_zero() -> None:
+    code = asm(bytes([op.PUSH0])) + return_top()
+    assert int.from_bytes(run_code(code).output, "big") == 0
+
+
+def test_truncated_push_at_code_end_zero_pads() -> None:
+    # PUSH4 with only 1 immediate byte available.
+    result = run_code(bytes([op.PUSH4, 0xAA]))
+    assert result.success  # pushes 0xAA (zero-extended) and falls off the end

@@ -1,0 +1,104 @@
+"""LOG opcodes, event tracing, receipt logs."""
+
+from __future__ import annotations
+
+from repro.chain.blockchain import Blockchain
+from repro.evm import opcodes as op
+from repro.evm.state import MemoryState
+from repro.evm.tracer import CallTracer
+from repro.lang import compile_contract, stdlib
+from repro.utils import encode_call
+from repro.utils.keccak import keccak256
+
+from tests.conftest import ALICE, BOB
+from tests.evm.helpers import CONTRACT, asm, push, run_code
+
+
+def test_log1_event_traced() -> None:
+    tracer = CallTracer()
+    # mem[0:32] = 7; LOG1(0, 32, topic=0xabc)
+    code = asm(push(7), push(0), op.MSTORE,
+               push(0xABC, 2), push(32), push(0), op.LOG0 + 1, op.STOP)
+    result = run_code(code, tracer=tracer)
+    assert result.success
+    assert len(tracer.logs) == 1
+    event = tracer.logs[0]
+    assert event.emitter == CONTRACT
+    assert event.topics == (0xABC,)
+    assert int.from_bytes(event.data, "big") == 7
+
+
+def test_log0_and_log4_topic_counts() -> None:
+    tracer = CallTracer()
+    code = asm(push(0), push(0), op.LOG0,
+               push(4), push(3), push(2), push(1),
+               push(0), push(0), op.LOG0 + 4, op.STOP)
+    assert run_code(code, tracer=tracer).success
+    assert tracer.logs[0].topics == ()
+    assert tracer.logs[1].topics == (1, 2, 3, 4)
+
+
+def test_log_inside_staticcall_fails() -> None:
+    state = MemoryState()
+    logger = b"\x10" * 20
+    state.set_code(logger, asm(push(0), push(0), op.LOG0, op.STOP))
+    code = asm(push(0), push(0), push(0), push(0),
+               bytes([op.PUSH0 + 20]) + logger, op.GAS, op.STATICCALL)
+    code += asm(push(0), op.MSTORE, push(32), push(0), op.RETURN)
+    result = run_code(code, state=state)
+    assert result.success
+    assert int.from_bytes(result.output, "big") == 0  # inner call failed
+
+
+def test_token_transfer_emits_event(chain: Blockchain) -> None:
+    token = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_token("T", ALICE)).init_code
+    ).created_address
+    receipt = chain.transact(
+        ALICE, token, encode_call("transfer(address,uint256)", [BOB, 123]))
+    assert receipt.success
+    assert len(receipt.logs) == 1
+    event = receipt.logs[0]
+    assert event.emitter == token
+    expected_topic = int.from_bytes(
+        keccak256(b"Transfer(address,address,uint256)"), "big")
+    assert event.topics == (expected_topic,)
+    sender_word = int.from_bytes(event.data[0:32], "big")
+    recipient_word = int.from_bytes(event.data[32:64], "big")
+    amount = int.from_bytes(event.data[64:96], "big")
+    assert sender_word == int.from_bytes(ALICE, "big")
+    assert recipient_word == int.from_bytes(BOB, "big")
+    assert amount == 123
+
+
+def test_failed_transaction_drops_logs(chain: Blockchain) -> None:
+    token = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_token("T", ALICE)).init_code
+    ).created_address
+    receipt = chain.transact(
+        BOB, token, encode_call("transfer(address,uint256)", [ALICE, 10 ** 30]))
+    assert not receipt.success
+    assert receipt.logs == []
+
+
+def test_delegatecall_logs_attribute_to_proxy(chain: Blockchain) -> None:
+    """Events emitted by logic code run under a proxy carry the proxy's
+    address — the behaviour indexers rely on."""
+    token_ast = stdlib.simple_token("T", ALICE)
+    token = chain.deploy(
+        ALICE, compile_contract(token_ast).init_code).created_address
+    proxy = chain.deploy(
+        ALICE,
+        compile_contract(stdlib.audius_proxy("P", token, ALICE)).init_code
+    ).created_address
+    # Give the proxy's storage a balance for ALICE (slot layout matches the
+    # token's mapping addressing because delegatecall uses proxy storage).
+    from repro.lang.storage_layout import mapping_element_slot
+    from repro.utils.hexutil import address_to_word
+    chain.state.set_storage(
+        proxy, mapping_element_slot(address_to_word(ALICE), 1), 1000)
+    receipt = chain.transact(
+        ALICE, proxy, encode_call("transfer(address,uint256)", [BOB, 5]))
+    assert receipt.success
+    assert receipt.logs
+    assert receipt.logs[0].emitter == proxy

@@ -1,0 +1,75 @@
+"""Static opcode-table invariants."""
+
+from __future__ import annotations
+
+from repro.evm import opcodes as op
+
+
+def test_push_family_immediates() -> None:
+    assert op.OPCODES[op.PUSH0].immediate_size == 0
+    for width in range(1, 33):
+        opcode = op.OPCODES[op.PUSH0 + width]
+        assert opcode.mnemonic == f"PUSH{width}"
+        assert opcode.immediate_size == width
+        assert opcode.is_push
+
+
+def test_dup_swap_families() -> None:
+    for depth in range(1, 17):
+        dup = op.OPCODES[0x80 + depth - 1]
+        swap = op.OPCODES[0x90 + depth - 1]
+        assert dup.mnemonic == f"DUP{depth}" and dup.is_dup
+        assert swap.mnemonic == f"SWAP{depth}" and swap.is_swap
+        assert dup.stack_inputs == depth and dup.stack_outputs == depth + 1
+        assert swap.stack_inputs == depth + 1
+
+
+def test_call_family_arities() -> None:
+    assert op.OPCODES[op.CALL].stack_inputs == 7
+    assert op.OPCODES[op.CALLCODE].stack_inputs == 7
+    assert op.OPCODES[op.DELEGATECALL].stack_inputs == 6
+    assert op.OPCODES[op.STATICCALL].stack_inputs == 6
+    for value in (op.CALL, op.CALLCODE, op.DELEGATECALL, op.STATICCALL):
+        assert op.OPCODES[value].is_call
+        assert op.OPCODES[value].stack_outputs == 1
+
+
+def test_terminators() -> None:
+    for value in (op.STOP, op.RETURN, op.REVERT, op.SELFDESTRUCT, op.INVALID,
+                  op.JUMP):
+        assert op.OPCODES[value].is_terminator
+    assert not op.OPCODES[op.JUMPI].is_terminator
+
+
+def test_values_match_yellow_paper() -> None:
+    expected = {
+        "STOP": 0x00, "ADD": 0x01, "KECCAK256": 0x20, "CALLER": 0x33,
+        "CALLDATALOAD": 0x35, "SLOAD": 0x54, "SSTORE": 0x55,
+        "JUMP": 0x56, "JUMPI": 0x57, "JUMPDEST": 0x5B, "PUSH1": 0x60,
+        "PUSH4": 0x63, "PUSH20": 0x73, "PUSH32": 0x7F,
+        "CREATE": 0xF0, "CALL": 0xF1, "RETURN": 0xF3,
+        "DELEGATECALL": 0xF4, "CREATE2": 0xF5, "STATICCALL": 0xFA,
+        "REVERT": 0xFD, "SELFDESTRUCT": 0xFF,
+    }
+    for mnemonic, value in expected.items():
+        assert op.BY_MNEMONIC[mnemonic].value == value
+
+
+def test_lookup_helpers() -> None:
+    assert op.opcode_for(0x01).mnemonic == "ADD"
+    assert op.opcode_for(0x2F) is None
+    assert op.push_opcode(4).value == op.PUSH4
+
+
+def test_push_opcode_rejects_bad_width() -> None:
+    import pytest
+    with pytest.raises(ValueError):
+        op.push_opcode(33)
+
+
+def test_table_is_consistent() -> None:
+    for value, opcode in op.OPCODES.items():
+        assert opcode.value == value
+        assert 0 <= opcode.immediate_size <= 32
+        assert opcode.stack_inputs >= 0 and opcode.stack_outputs >= 0
+        assert op.BY_MNEMONIC[opcode.mnemonic] is opcode

@@ -1,0 +1,63 @@
+"""Precompiled contracts 0x01..0x04."""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.evm import opcodes as op
+from repro.evm.precompiles import is_precompile, run_precompile
+from repro.evm.state import MemoryState
+
+from tests.evm.helpers import asm, push, run_code
+
+SHA256_ADDR = (2).to_bytes(20, "big")
+IDENTITY_ADDR = (4).to_bytes(20, "big")
+
+
+def test_precompile_addresses() -> None:
+    assert is_precompile((1).to_bytes(20, "big"))
+    assert is_precompile((4).to_bytes(20, "big"))
+    assert not is_precompile((5).to_bytes(20, "big"))
+    assert not is_precompile(b"\x00" * 20)
+
+
+def test_sha256() -> None:
+    assert run_precompile(SHA256_ADDR, b"abc") == hashlib.sha256(b"abc").digest()
+
+
+def test_identity() -> None:
+    assert run_precompile(IDENTITY_ADDR, b"hello") == b"hello"
+
+
+def test_ripemd160_padded() -> None:
+    output = run_precompile((3).to_bytes(20, "big"), b"abc")
+    assert len(output) == 32
+    assert output[:12] == b"\x00" * 12
+    assert output[12:] == hashlib.new("ripemd160", b"abc").digest()
+
+
+def test_ecrecover_stub_deterministic() -> None:
+    ecrecover = (1).to_bytes(20, "big")
+    first = run_precompile(ecrecover, b"\x01" * 128)
+    second = run_precompile(ecrecover, b"\x01" * 128)
+    other = run_precompile(ecrecover, b"\x02" * 128)
+    assert first == second
+    assert first != other
+    assert len(first) == 32
+    assert first[:12] == b"\x00" * 12  # address-shaped
+
+
+def test_precompile_via_call_opcode() -> None:
+    """A contract calling SHA-256 through CALL gets the digest."""
+    word = int.from_bytes(b"abc".ljust(32, b"\x00"), "big")
+    code = asm(
+        push(word, 32), push(0), op.MSTORE,        # mem[0:3] = "abc"
+        push(32), push(32),                        # out_size, out_offset
+        push(3), push(0),                          # in_size, in_offset
+        push(0),                                   # value
+        bytes([op.PUSH0 + 20]) + SHA256_ADDR, op.GAS, op.CALL, op.POP,
+        push(32), op.MLOAD,
+        push(0), op.MSTORE, push(32), push(0), op.RETURN)
+    result = run_code(code, state=MemoryState())
+    assert result.success
+    assert result.output == hashlib.sha256(b"abc").digest()

@@ -1,0 +1,140 @@
+"""MemoryState / OverlayState semantics, snapshot-revert properties."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evm.state import MemoryState, OverlayState, transfer_value
+
+ADDR_A = b"\x01" * 20
+ADDR_B = b"\x02" * 20
+
+
+def test_memory_state_defaults() -> None:
+    state = MemoryState()
+    assert state.get_code(ADDR_A) == b""
+    assert state.get_storage(ADDR_A, 0) == 0
+    assert state.get_balance(ADDR_A) == 0
+    assert state.get_nonce(ADDR_A) == 0
+    assert not state.account_exists(ADDR_A)
+
+
+def test_memory_state_zero_storage_is_pruned() -> None:
+    state = MemoryState()
+    state.set_storage(ADDR_A, 1, 7)
+    state.set_storage(ADDR_A, 1, 0)
+    assert state.get_storage(ADDR_A, 1) == 0
+
+
+def test_memory_state_snapshot_revert() -> None:
+    state = MemoryState()
+    state.set_storage(ADDR_A, 0, 1)
+    snapshot = state.snapshot()
+    state.set_storage(ADDR_A, 0, 2)
+    state.set_code(ADDR_B, b"\x60")
+    state.revert(snapshot)
+    assert state.get_storage(ADDR_A, 0) == 1
+    assert state.get_code(ADDR_B) == b""
+
+
+def test_mark_destroyed_clears_code() -> None:
+    state = MemoryState()
+    state.set_code(ADDR_A, b"\x60\x00")
+    state.mark_destroyed(ADDR_A)
+    assert state.get_code(ADDR_A) == b""
+
+
+def test_overlay_reads_fall_through() -> None:
+    base = MemoryState()
+    base.set_code(ADDR_A, b"\x01")
+    base.set_storage(ADDR_A, 5, 55)
+    base.set_balance(ADDR_A, 10)
+    overlay = OverlayState(base)
+    assert overlay.get_code(ADDR_A) == b"\x01"
+    assert overlay.get_storage(ADDR_A, 5) == 55
+    assert overlay.get_balance(ADDR_A) == 10
+
+
+def test_overlay_writes_do_not_touch_base() -> None:
+    base = MemoryState()
+    base.set_storage(ADDR_A, 5, 55)
+    overlay = OverlayState(base)
+    overlay.set_storage(ADDR_A, 5, 99)
+    overlay.set_code(ADDR_B, b"\x02")
+    overlay.set_balance(ADDR_A, 1)
+    assert base.get_storage(ADDR_A, 5) == 55
+    assert base.get_code(ADDR_B) == b""
+    assert base.get_balance(ADDR_A) == 0
+    assert overlay.get_storage(ADDR_A, 5) == 99
+
+
+def test_overlay_snapshot_revert() -> None:
+    base = MemoryState()
+    overlay = OverlayState(base)
+    overlay.set_storage(ADDR_A, 1, 1)
+    snapshot = overlay.snapshot()
+    overlay.set_storage(ADDR_A, 1, 2)
+    overlay.revert(snapshot)
+    assert overlay.get_storage(ADDR_A, 1) == 1
+
+
+def test_overlay_destroy_shadows_base_code() -> None:
+    base = MemoryState()
+    base.set_code(ADDR_A, b"\x01")
+    base.set_storage(ADDR_A, 0, 9)
+    overlay = OverlayState(base)
+    overlay.mark_destroyed(ADDR_A)
+    assert overlay.get_code(ADDR_A) == b""
+    assert base.get_code(ADDR_A) == b"\x01"
+
+
+def test_transfer_value() -> None:
+    state = MemoryState()
+    state.set_balance(ADDR_A, 100)
+    assert transfer_value(state, ADDR_A, ADDR_B, 40)
+    assert state.get_balance(ADDR_A) == 60
+    assert state.get_balance(ADDR_B) == 40
+
+
+def test_transfer_insufficient() -> None:
+    state = MemoryState()
+    assert not transfer_value(state, ADDR_A, ADDR_B, 1)
+    assert state.get_balance(ADDR_B) == 0
+
+
+def test_transfer_zero_always_succeeds() -> None:
+    state = MemoryState()
+    assert transfer_value(state, ADDR_A, ADDR_B, 0)
+
+
+@given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 2 ** 64)),
+                max_size=20))
+def test_overlay_matches_direct_writes(writes: list[tuple[int, int]]) -> None:
+    """An overlay applied over empty base behaves like a plain state."""
+    direct = MemoryState()
+    overlay = OverlayState(MemoryState())
+    for slot, value in writes:
+        direct.set_storage(ADDR_A, slot, value)
+        overlay.set_storage(ADDR_A, slot, value)
+    for slot in range(8):
+        assert direct.get_storage(ADDR_A, slot) == overlay.get_storage(ADDR_A, slot)
+
+
+@given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 2 ** 64)),
+                min_size=1, max_size=20),
+       st.integers(min_value=0, max_value=19))
+def test_snapshot_revert_is_exact(writes: list[tuple[int, int]],
+                                  cut: int) -> None:
+    """Reverting to a snapshot erases exactly the writes after it."""
+    cut = min(cut, len(writes))
+    state = MemoryState()
+    for slot, value in writes[:cut]:
+        state.set_storage(ADDR_A, slot, value)
+    snapshot = state.snapshot()
+    expected = {slot: state.get_storage(ADDR_A, slot) for slot in range(8)}
+    for slot, value in writes[cut:]:
+        state.set_storage(ADDR_A, slot, value)
+    state.revert(snapshot)
+    for slot in range(8):
+        assert state.get_storage(ADDR_A, slot) == expected[slot]

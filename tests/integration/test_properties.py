@@ -1,0 +1,125 @@
+"""Cross-cutting property tests: random contracts through the full stack."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.blockchain import Blockchain
+from repro.core.calldata import craft_probe_calldata
+from repro.core.proxy_detector import ProxyDetector
+from repro.core.signature_extractor import dispatcher_selectors
+from repro.core.symexec import SymbolicExecutor
+from repro.lang import ast, compile_contract, stdlib
+from repro.utils.abi import function_selector
+
+from tests.conftest import ALICE
+
+_FUNCTION_NAMES = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3, max_size=10),
+    min_size=1, max_size=5, unique=True)
+
+_TYPE_NAMES = st.lists(
+    st.sampled_from(["bool", "address", "uint8", "uint64", "uint128",
+                     "uint256", "bytes4"]),
+    min_size=0, max_size=6)
+
+
+def _build_contract(names: list[str], var_types: list[str]) -> ast.Contract:
+    variables = tuple(ast.VarDecl(f"v{i}", t) for i, t in enumerate(var_types))
+    functions = []
+    for index, name in enumerate(names):
+        if variables:
+            var = variables[index % len(variables)]
+            body: tuple[ast.Stmt, ...] = (ast.Return(ast.Load(var.name)),)
+        else:
+            body = (ast.Return(ast.Const(index)),)
+        functions.append(ast.Function(name=name, body=body))
+    return ast.Contract(name="Fuzzed", variables=variables,
+                        functions=tuple(functions))
+
+
+@given(_FUNCTION_NAMES, _TYPE_NAMES)
+@settings(max_examples=25)
+def test_compiled_contracts_execute_and_extract(names: list[str],
+                                                var_types: list[str]) -> None:
+    """Compile → deploy → every function callable; selectors extract exactly;
+    no fuzzed non-proxy is ever classified as a proxy."""
+    contract = _build_contract(names, var_types)
+    compiled = compile_contract(contract)
+
+    chain = Blockchain()
+    chain.fund(ALICE, 10 ** 20)
+    receipt = chain.deploy(ALICE, compiled.init_code)
+    assert receipt.success
+
+    address = receipt.created_address
+    for function in contract.functions:
+        result = chain.call(address, function.selector)
+        assert result.success
+
+    extracted = dispatcher_selectors(compiled.runtime_code)
+    assert extracted == {function_selector(f"{name}()") for name in names}
+
+    detector = ProxyDetector(chain.state, chain.block_context())
+    check = detector.check(address)
+    assert not check.is_proxy
+
+    probe = craft_probe_calldata(compiled.runtime_code)
+    assert probe[:4] not in extracted
+
+
+@given(_FUNCTION_NAMES, _TYPE_NAMES)
+@settings(max_examples=25)
+def test_symexec_slots_subset_of_layout(names: list[str],
+                                        var_types: list[str]) -> None:
+    """Symbolic execution never invents slots outside the declared layout."""
+    contract = _build_contract(names, var_types)
+    compiled = compile_contract(contract)
+    summary = SymbolicExecutor().summarize(compiled.runtime_code)
+    declared_slots = {assignment.slot for assignment in compiled.layout}
+    for access in summary.semantic_accesses():
+        if access.slot.kind == "concrete":
+            assert access.slot.base in declared_slots
+
+
+@given(st.binary(min_size=20, max_size=20))
+@settings(max_examples=25)
+def test_any_minimal_proxy_detected(logic: bytes) -> None:
+    """Every EIP-1167 instance is detected with its exact target, provided
+    the probe forwards (the target account is empty → call succeeds)."""
+    chain = Blockchain()
+    chain.fund(ALICE, 10 ** 20)
+    receipt = chain.deploy(ALICE, stdlib.minimal_proxy_init(logic))
+    assert receipt.success
+    detector = ProxyDetector(chain.state, chain.block_context())
+    check = detector.check(receipt.created_address)
+    assert check.is_proxy
+    assert check.logic_address == logic
+
+
+@given(st.lists(
+    st.binary(min_size=20, max_size=20).filter(lambda a: any(a)),
+    min_size=1, max_size=4, unique=True))
+@settings(max_examples=20)
+def test_upgrade_history_roundtrip(logics: list[bytes]) -> None:
+    """Whatever sequence of (distinct) logic addresses a proxy walks
+    through, the exact change-point recovery returns it in order."""
+    from repro.chain.node import ArchiveNode
+    from repro.core.logic_finder import slot_change_points
+    from repro.utils import encode_call
+    from repro.utils.hexutil import address_to_word
+
+    chain = Blockchain()
+    chain.fund(ALICE, 10 ** 20)
+    proxy = chain.deploy(ALICE, compile_contract(
+        stdlib.storage_proxy("P", logics[0], ALICE)).init_code).created_address
+    for logic in logics[1:]:
+        chain.advance_to_block(chain.latest_block_number + 1000)
+        receipt = chain.transact(
+            ALICE, proxy, encode_call("setImplementation(address)", [logic]))
+        assert receipt.success
+    chain.advance_to_block(chain.latest_block_number + 1000)
+    changes = slot_change_points(ArchiveNode(chain), proxy, 1)
+    assert [value for _, value in changes] == [
+        address_to_word(logic) for logic in logics]

@@ -1,0 +1,94 @@
+"""Robustness: the analyzers must never crash, whatever the bytecode.
+
+The whole point of ProxioN is analyzing *adversarial* contracts — attackers
+control the bytecode.  Every analyzer entry point is fuzzed with arbitrary
+byte blobs (seeded with DELEGATECALL bytes so the interesting paths run)
+and must always return a well-formed result.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.blockchain import Blockchain
+from repro.core.function_collision import FunctionCollisionDetector
+from repro.core.proxy_detector import ProxyCheck, ProxyDetector
+from repro.core.storage_collision import StorageCollisionDetector
+from repro.core.symexec import SymbolicExecutor
+from repro.evm.cfg import build_cfg, dispatcher_functions
+from repro.evm.state import MemoryState
+
+from tests.conftest import ALICE
+
+TARGET = b"\xcc" * 20
+
+# Arbitrary bytes with a sprinkle of structure so delegatecall paths fire.
+_ADVERSARIAL = st.binary(min_size=1, max_size=300).map(
+    lambda blob: blob + bytes([0xF4, 0x5B, 0x00]))
+
+
+def _install(code: bytes) -> tuple[MemoryState, ProxyDetector]:
+    state = MemoryState()
+    state.set_code(TARGET, code)
+    return state, ProxyDetector(state)
+
+
+@given(_ADVERSARIAL)
+@settings(max_examples=80)
+def test_proxy_detector_total(code: bytes) -> None:
+    state, detector = _install(code)
+    check = detector.check(TARGET)
+    assert isinstance(check, ProxyCheck)
+    assert check.address == TARGET
+    if not check.is_proxy:
+        assert check.reason is not None
+    else:
+        assert check.logic_address is not None
+
+
+@given(_ADVERSARIAL, _ADVERSARIAL)
+@settings(max_examples=40)
+def test_collision_detectors_total(proxy_code: bytes,
+                                   logic_code: bytes) -> None:
+    function_report = FunctionCollisionDetector().detect(proxy_code,
+                                                         logic_code)
+    assert function_report.proxy_mode == "bytecode"
+    state = MemoryState()
+    state.set_code(TARGET, proxy_code)
+    storage_report = StorageCollisionDetector(None, state).detect(
+        proxy_code, logic_code, TARGET, verify_exploits=False)
+    for collision in storage_report.collisions:
+        assert collision.proxy_use.overlaps(collision.logic_use)
+
+
+@given(_ADVERSARIAL)
+@settings(max_examples=60)
+def test_symexec_total(code: bytes) -> None:
+    summary = SymbolicExecutor(max_paths=32,
+                               max_steps_per_path=800).summarize(code)
+    assert summary.paths_explored >= 1
+    for access in summary.accesses:
+        assert access.kind in ("read", "write")
+        assert 0 <= access.offset and access.offset + access.size <= 32
+
+
+@given(_ADVERSARIAL)
+@settings(max_examples=60)
+def test_cfg_total(code: bytes) -> None:
+    cfg = build_cfg(code)
+    entries = dispatcher_functions(code)
+    for entry in entries:
+        assert len(entry.selector) == 4
+    # Reachability never escapes the block set.
+    assert cfg.reachable_from(0) <= set(cfg.blocks)
+
+
+@given(st.binary(min_size=1, max_size=64))
+@settings(max_examples=30)
+def test_deploying_garbage_init_code_never_crashes_chain(blob: bytes) -> None:
+    chain = Blockchain()
+    chain.fund(ALICE, 10 ** 20)
+    receipt = chain.deploy(ALICE, blob)
+    # Either it deployed something or failed cleanly with an error string.
+    assert receipt.success or receipt.error

@@ -1,0 +1,114 @@
+"""Table 2 scoring machinery and the paper-shape assertions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.ground_truth import AccuracyCorpus
+from repro.landscape.accuracy import (
+    ConfusionMatrix,
+    crush_storage_verdicts,
+    proxion_function_verdicts,
+    proxion_storage_verdicts,
+    table2,
+    uschunt_storage_verdicts,
+)
+
+
+def test_confusion_matrix_arithmetic() -> None:
+    matrix = ConfusionMatrix()
+    matrix.record(True, True)
+    matrix.record(True, False)
+    matrix.record(False, False)
+    matrix.record(False, True)
+    assert (matrix.tp, matrix.fp, matrix.tn, matrix.fn) == (1, 1, 1, 1)
+    assert matrix.accuracy == 0.5
+    assert "accuracy=50.0%" in matrix.row()
+
+
+def test_empty_matrix_accuracy_zero() -> None:
+    assert ConfusionMatrix().accuracy == 0.0
+
+
+def test_table2_rejects_unknown_methodology(
+        accuracy_corpus: AccuracyCorpus) -> None:
+    with pytest.raises(ValueError):
+        table2(accuracy_corpus, methodology="median")
+
+
+@pytest.fixture(scope="module")
+def scored(accuracy_corpus: AccuracyCorpus):
+    return table2(accuracy_corpus, methodology="all")
+
+
+def test_proxion_no_storage_false_positives(scored) -> None:
+    assert scored["storage"]["Proxion"].fp == 0
+
+
+def test_proxion_beats_baselines_on_storage(scored) -> None:
+    proxion = scored["storage"]["Proxion"].accuracy
+    assert proxion > scored["storage"]["USCHunt"].accuracy
+    assert proxion > scored["storage"]["CRUSH"].accuracy
+
+
+def test_proxion_beats_uschunt_on_function(scored) -> None:
+    assert (scored["function"]["Proxion"].accuracy
+            > scored["function"]["USCHunt"].accuracy)
+
+
+def test_uschunt_has_padding_false_positives(
+        accuracy_corpus: AccuracyCorpus) -> None:
+    verdicts = uschunt_storage_verdicts(accuracy_corpus)
+    padding = [p for p in accuracy_corpus.pairs
+               if p.case == "storage-padding-trap"]
+    assert any(verdicts[(p.proxy, p.logic)] for p in padding)
+
+
+def test_crush_has_library_false_positives(
+        accuracy_corpus: AccuracyCorpus) -> None:
+    verdicts = crush_storage_verdicts(accuracy_corpus)
+    traps = [p for p in accuracy_corpus.pairs if p.case == "library-trap"]
+    assert traps
+    assert all(verdicts[(p.proxy, p.logic)] for p in traps)
+
+
+def test_proxion_excludes_library_traps(
+        accuracy_corpus: AccuracyCorpus) -> None:
+    verdicts = proxion_storage_verdicts(accuracy_corpus)
+    traps = [p for p in accuracy_corpus.pairs if p.case == "library-trap"]
+    assert all(not verdicts[(p.proxy, p.logic)] for p in traps)
+
+
+def test_everyone_misses_symbolic_slot_positives(
+        accuracy_corpus: AccuracyCorpus) -> None:
+    """The honest FN class: no bytecode tool resolves calldata-driven slots."""
+    hard = [p for p in accuracy_corpus.pairs
+            if p.case == "storage-positive-hard"]
+    assert hard
+    for verdicts in (proxion_storage_verdicts(accuracy_corpus),
+                     crush_storage_verdicts(accuracy_corpus),
+                     uschunt_storage_verdicts(accuracy_corpus)):
+        assert all(not verdicts[(p.proxy, p.logic)] for p in hard)
+
+
+def test_emulation_error_pairs_are_proxion_misses(
+        accuracy_corpus: AccuracyCorpus) -> None:
+    emuerr = [p for p in accuracy_corpus.pairs
+              if p.case == "emulation-error-pair"]
+    assert emuerr
+    storage = proxion_storage_verdicts(accuracy_corpus)
+    function = proxion_function_verdicts(accuracy_corpus)
+    for pair in emuerr:
+        assert not storage[(pair.proxy, pair.logic)]
+        assert not function[(pair.proxy, pair.logic)]
+
+
+def test_union_methodology_shrinks_universe(
+        accuracy_corpus: AccuracyCorpus) -> None:
+    full = table2(accuracy_corpus, methodology="all")
+    union = table2(accuracy_corpus, methodology="union")
+    assert (union["storage"]["Proxion"].total
+            <= full["storage"]["Proxion"].total)
+    # Within the union, tools share one universe per collision type.
+    totals = {matrix.total for matrix in union["storage"].values()}
+    assert len(totals) == 1

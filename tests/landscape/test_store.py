@@ -1,0 +1,98 @@
+"""SQLite result store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import Proxion
+from repro.landscape.store import ResultStore
+
+
+@pytest.fixture(scope="module")
+def stored(landscape):
+    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset)
+    report = proxion.analyze_all()
+    store = ResultStore(":memory:")
+    store.save_report(report)
+    return store, report, landscape
+
+
+def test_counts_match(stored) -> None:
+    store, report, _ = stored
+    assert store.contract_count() == len(report)
+    assert len(store.proxies()) == len(report.proxies())
+
+
+def test_standards_census_matches(stored) -> None:
+    store, report, _ = stored
+    census = store.standards_census()
+    expected = {standard.value: count
+                for standard, count in report.standards_census().items()}
+    assert census == expected
+
+
+def test_query_by_standard_and_year(stored) -> None:
+    store, report, _ = stored
+    minimal = store.proxies(standard="EIP-1167")
+    assert minimal
+    assert all(record.standard == "EIP-1167" for record in minimal)
+    recent = store.proxies(year=2023)
+    assert all(record.deploy_year == 2023 for record in recent)
+
+
+def test_hidden_filter(stored) -> None:
+    store, report, _ = stored
+    hidden = store.proxies(hidden_only=True)
+    assert len(hidden) == len(report.hidden_proxies())
+    assert all(record.is_hidden for record in hidden)
+
+
+def test_logic_chain_roundtrip(stored) -> None:
+    store, report, _ = stored
+    for analysis in report.proxies():
+        if analysis.logic_history is None:
+            continue
+        chain = store.logic_chain("0x" + analysis.address.hex())
+        assert chain == ["0x" + logic.hex()
+                         for logic in analysis.logic_history.logic_addresses]
+        break
+    else:
+        pytest.skip("no proxies with logic history")
+
+
+def test_collision_queries(stored) -> None:
+    store, report, _ = stored
+    function_rows = store.collisions(kind="function")
+    assert len(function_rows) >= report.function_collision_pairs()
+    for _, _, detail in function_rows:
+        assert detail.startswith("0x") and len(detail) == 10
+    verified = store.collisions(kind="storage", verified_only=True)
+    expected_verified = sum(
+        1 for analysis in report.analyses.values()
+        if analysis.has_verified_storage_exploit)
+    assert (len({proxy for proxy, _, _ in verified})
+            == expected_verified)
+
+
+def test_save_is_idempotent(stored) -> None:
+    store, report, _ = stored
+    before = store.contract_count()
+    store.save_report(report)
+    assert store.contract_count() == before
+    assert len(store.collisions()) == len(store.collisions())
+
+
+def test_yearly_counts(stored) -> None:
+    store, report, _ = stored
+    yearly = store.yearly_counts()
+    assert sum(yearly.values()) == len(report)
+    assert min(yearly) >= 2015 and max(yearly) <= 2023
+
+
+def test_file_backed_store(tmp_path, stored) -> None:
+    _, report, _ = stored
+    path = tmp_path / "sweep.db"
+    with ResultStore(str(path)) as store:
+        store.save_report(report)
+    with ResultStore(str(path)) as reopened:
+        assert reopened.contract_count() == len(report)

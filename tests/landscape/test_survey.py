@@ -1,0 +1,123 @@
+"""§7 survey analytics over a shared landscape sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import Proxion
+from repro.core.report import LandscapeReport
+from repro.corpus.generator import Landscape
+from repro.landscape.survey import (
+    HIDDEN,
+    PAIR_NO_SOURCE,
+    QUADRANTS,
+    YEARS,
+    figure2_accumulated_contracts,
+    figure4_pair_availability,
+    figure5_duplicates,
+    figure6_upgrades,
+    quadrant_of,
+    table3_collisions_by_year,
+    table4_standards,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep(landscape: Landscape) -> LandscapeReport:
+    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset)
+    return proxion.analyze_all()
+
+
+def test_figure2_is_cumulative_and_complete(sweep: LandscapeReport) -> None:
+    series = figure2_accumulated_contracts(sweep)
+    previous_totals = 0
+    for year in YEARS:
+        totals = sum(series[year].values())
+        assert totals >= previous_totals
+        previous_totals = totals
+    assert sum(series[2023].values()) == len(sweep)
+    assert set(series[2023]) == set(QUADRANTS)
+
+
+def test_figure2_hidden_quadrant_dominates(sweep: LandscapeReport) -> None:
+    final = figure2_accumulated_contracts(sweep)[2023]
+    assert final[HIDDEN] > 0
+    # Source availability is the minority, as on mainnet (Fig. 2).
+    with_source = final["source-only"] + final["source+tx"]
+    assert with_source < sum(final.values()) / 2
+
+
+def test_quadrant_of_matches_flags(sweep: LandscapeReport) -> None:
+    for analysis in sweep.analyses.values():
+        quadrant = quadrant_of(analysis)
+        if analysis.is_hidden:
+            assert quadrant == HIDDEN
+        if analysis.has_source and analysis.has_transactions:
+            assert quadrant == "source+tx"
+
+
+def test_figure4_pairs(sweep: LandscapeReport, landscape: Landscape) -> None:
+    series = figure4_pair_availability(sweep, landscape.node,
+                                       landscape.registry)
+    final = series[2023]
+    total_pairs = sum(final.values())
+    expected_pairs = sum(
+        len(a.logic_history.logic_addresses)
+        for a in sweep.analyses.values()
+        if a.is_proxy and a.logic_history is not None
+        and a.deploy_year in YEARS)
+    assert total_pairs == expected_pairs
+    # Most proxies lack source (paper: ~90%).
+    assert final[PAIR_NO_SOURCE] + final["only-logic-source"] > total_pairs / 2
+
+
+def test_table3_counts_collisions(sweep: LandscapeReport) -> None:
+    table = table3_collisions_by_year(sweep)
+    assert sum(table.function_by_year.values()) == (
+        table.total_function_collisions)
+    assert table.total_function_collisions > 0
+    # Wyvern clone families make most function collisions duplicates (98.7%
+    # on mainnet).
+    assert table.duplicate_share > 0.5
+    # Collisions concentrate post-2020 (Table 3's shape).
+    early = sum(table.function_by_year[year] for year in range(2015, 2020))
+    late = sum(table.function_by_year[year] for year in range(2020, 2024))
+    assert late > early
+
+
+def test_figure5_duplicates(sweep: LandscapeReport,
+                            landscape: Landscape) -> None:
+    census = figure5_duplicates(sweep, landscape.node)
+    assert census.total_proxies == len(sweep.proxies())
+    assert census.unique_proxies < census.total_proxies  # clones collapse
+    counts = census.proxy_duplicate_counts
+    assert counts == sorted(counts, reverse=True)
+    assert census.top_proxy_share(3) > 0.3  # heavily skewed head
+
+
+def test_table4_standards(sweep: LandscapeReport) -> None:
+    rows = table4_standards(sweep)
+    assert set(rows) == {"EIP-1167", "EIP-1822", "EIP-1967", "Others"}
+    shares = [share for _, share in rows.values()]
+    assert abs(sum(shares) - 1.0) < 1e-9
+    # EIP-1167 dominates (89% on mainnet).
+    assert rows["EIP-1167"][1] == max(shares)
+
+
+def test_figure6_upgrades(sweep: LandscapeReport) -> None:
+    census = figure6_upgrades(sweep)
+    assert census.total_proxies == len(sweep.proxies())
+    assert census.never_upgraded_share > 0.9  # 99.7% on mainnet
+    assert sum(census.histogram.values()) == census.total_proxies
+
+
+def test_figure6_mean_logic_contracts_when_upgraded() -> None:
+    from repro.corpus.generator import generate_landscape
+    from repro.core.pipeline import Proxion
+    boosted = generate_landscape(total=120, seed=3, upgrade_probability=1.0)
+    report = Proxion(boosted.node, boosted.registry,
+                     boosted.dataset).analyze_all()
+    census = figure6_upgrades(report)
+    assert census.upgraded_proxies > 0
+    assert census.total_upgrade_events >= census.upgraded_proxies
+    assert 1.0 < census.mean_logic_contracts < 4.0  # paper: 1.32

@@ -1,0 +1,88 @@
+"""Assembler: pushes, labels, fixups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evm import opcodes as op
+from repro.evm.disassembler import disassemble
+from repro.lang.asm import Assembler
+
+
+def test_push_minimal_width() -> None:
+    assert Assembler().push(0).assemble() == bytes([op.PUSH1, 0])
+    assert Assembler().push(0xFF).assemble() == bytes([op.PUSH1, 0xFF])
+    assert Assembler().push(0x100).assemble() == bytes([op.PUSH0 + 2, 1, 0])
+
+
+def test_push_bytes_preserves_leading_zeros() -> None:
+    code = Assembler().push_bytes(b"\x00\x00\x00\x01").assemble()
+    assert code == bytes([op.PUSH4, 0, 0, 0, 1])
+
+
+def test_push_rejects_invalid() -> None:
+    with pytest.raises(ValueError):
+        Assembler().push(-1)
+    with pytest.raises(ValueError):
+        Assembler().push(1 << 256)
+    with pytest.raises(ValueError):
+        Assembler().push_bytes(b"")
+    with pytest.raises(ValueError):
+        Assembler().push_bytes(b"\x00" * 33)
+
+
+def test_forward_label_reference() -> None:
+    assembler = Assembler()
+    assembler.jump("end")
+    assembler.emit(op.INVALID)
+    assembler.label("end")
+    assembler.emit(op.STOP)
+    code = assembler.assemble()
+    listing = disassemble(code)
+    jump_target = listing.instructions[0].operand_int
+    assert code[jump_target] == op.JUMPDEST
+
+
+def test_backward_label_reference() -> None:
+    assembler = Assembler()
+    assembler.label("start")
+    assembler.emit(op.POP)
+    assembler.jump("start")
+    code = assembler.assemble()
+    assert disassemble(code).instructions[2].operand_int == 0
+
+
+def test_duplicate_label_rejected() -> None:
+    assembler = Assembler().label("x")
+    with pytest.raises(ValueError):
+        assembler.label("x")
+
+
+def test_undefined_label_rejected() -> None:
+    assembler = Assembler().jump("nowhere")
+    with pytest.raises(ValueError):
+        assembler.assemble()
+
+
+def test_jumpi_emits_push2_jumpi() -> None:
+    assembler = Assembler()
+    assembler.jumpi("t")
+    assembler.label("t")
+    code = assembler.assemble()
+    assert code[0] == op.PUSH0 + 2
+    assert code[3] == op.JUMPI
+    assert code[4] == op.JUMPDEST
+
+
+def test_label_executes_correctly() -> None:
+    """A forward jump over an INVALID actually lands and returns 9."""
+    from tests.evm.helpers import run_and_get_int
+
+    assembler = Assembler()
+    assembler.jump("ok")
+    assembler.emit(op.INVALID)
+    assembler.label("ok")
+    assembler.push(9)
+    assembler.push(0).emit(op.MSTORE)
+    assembler.push(32).push(0).emit(op.RETURN)
+    assert run_and_get_int(assembler.assemble()) == 9

@@ -1,0 +1,279 @@
+"""Compiler correctness: every statement/expression, executed on the EVM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.evm.disassembler import disassemble
+from repro.lang import ast, compile_contract
+from repro.lang.compiler import CompileError
+from repro.utils import encode_call, function_selector
+
+from tests.conftest import ALICE, BOB
+
+
+def _deploy(chain: Blockchain, contract: ast.Contract) -> bytes:
+    receipt = chain.deploy(ALICE, compile_contract(contract).init_code)
+    assert receipt.success, receipt.error
+    return receipt.created_address
+
+
+def _call_int(chain: Blockchain, address: bytes, prototype: str,
+              args: list | None = None, sender: bytes = BOB) -> int:
+    result = chain.call(address, encode_call(prototype, args or []),
+                        sender=sender)
+    assert result.success, result.error
+    return int.from_bytes(result.output, "big")
+
+
+def _expr_contract(expression: ast.Expr,
+                   variables: tuple[ast.VarDecl, ...] = (),
+                   constructor: tuple[ast.Stmt, ...] = ()) -> ast.Contract:
+    return ast.Contract(
+        name="ExprProbe",
+        variables=variables,
+        functions=(ast.Function(
+            name="probe",
+            params=(("a", "uint256"), ("b", "uint256")),
+            body=(ast.Return(expression),)),),
+        constructor=constructor,
+    )
+
+
+@pytest.mark.parametrize("operator,a,b,expected", [
+    ("+", 3, 4, 7),
+    ("-", 10, 4, 6),
+    ("*", 6, 7, 42),
+    ("/", 20, 6, 3),
+    ("%", 20, 6, 2),
+    ("==", 5, 5, 1),
+    ("==", 5, 6, 0),
+    ("!=", 5, 6, 1),
+    ("<", 3, 4, 1),
+    ("<", 4, 3, 0),
+    (">", 4, 3, 1),
+    ("<=", 4, 4, 1),
+    ("<=", 5, 4, 0),
+    (">=", 4, 5, 0),
+    ("&", 0b1100, 0b1010, 0b1000),
+    ("|", 0b1100, 0b1010, 0b1110),
+    ("^", 0b1100, 0b1010, 0b0110),
+    ("and", 1, 2, 1),
+    ("and", 1, 0, 0),
+    ("or", 0, 2, 1),
+    ("or", 0, 0, 0),
+])
+def test_binary_operators(chain: Blockchain, operator: str, a: int, b: int,
+                          expected: int) -> None:
+    contract = _expr_contract(ast.BinOp(
+        operator, ast.Param(0, "uint256"), ast.Param(1, "uint256")))
+    address = _deploy(chain, contract)
+    assert _call_int(chain, address, "probe(uint256,uint256)", [a, b]) == expected
+
+
+def test_not_expression(chain: Blockchain) -> None:
+    contract = _expr_contract(ast.Not(ast.Param(0, "uint256")))
+    address = _deploy(chain, contract)
+    assert _call_int(chain, address, "probe(uint256,uint256)", [0, 0]) == 1
+    assert _call_int(chain, address, "probe(uint256,uint256)", [9, 0]) == 0
+
+
+def test_caller_and_callvalue(chain: Blockchain) -> None:
+    contract = ast.Contract(
+        name="Env",
+        functions=(
+            ast.Function(name="who", body=(ast.Return(ast.Caller()),)),
+            ast.Function(name="paid", body=(ast.Return(ast.CallValue()),)),
+            ast.Function(name="me", body=(ast.Return(ast.SelfAddress()),)),
+        ),
+    )
+    address = _deploy(chain, contract)
+    assert _call_int(chain, address, "who()", sender=BOB) == int.from_bytes(
+        BOB, "big")
+    assert _call_int(chain, address, "me()") == int.from_bytes(address, "big")
+    receipt = chain.transact(ALICE, address, encode_call("paid()"), value=77)
+    assert receipt.success
+    assert int.from_bytes(receipt.output, "big") == 77
+
+
+def test_packed_storage_roundtrip(chain: Blockchain) -> None:
+    """Sub-word writes only touch their own bytes."""
+    contract = ast.Contract(
+        name="Packed",
+        variables=(
+            ast.VarDecl("small", "uint8"),
+            ast.VarDecl("mid", "uint16"),
+            ast.VarDecl("addr", "address"),
+        ),
+        functions=(
+            ast.Function(name="setSmall", params=(("v", "uint8"),),
+                         body=(ast.Store("small", ast.Param(0, "uint8")),)),
+            ast.Function(name="setMid", params=(("v", "uint16"),),
+                         body=(ast.Store("mid", ast.Param(0, "uint16")),)),
+            ast.Function(name="getSmall", body=(ast.Return(ast.Load("small")),)),
+            ast.Function(name="getMid", body=(ast.Return(ast.Load("mid")),)),
+            ast.Function(name="getAddr", body=(ast.Return(ast.Load("addr")),)),
+        ),
+        constructor=(
+            ast.Store("addr", ast.Const(int.from_bytes(ALICE, "big"))),
+        ),
+    )
+    address = _deploy(chain, contract)
+    chain.transact(BOB, address, encode_call("setSmall(uint8)", [0xAB]))
+    chain.transact(BOB, address, encode_call("setMid(uint16)", [0x1234]))
+    assert _call_int(chain, address, "getSmall()") == 0xAB
+    assert _call_int(chain, address, "getMid()") == 0x1234
+    assert _call_int(chain, address, "getAddr()") == int.from_bytes(ALICE, "big")
+    # All three live in slot 0, byte-packed.
+    slot0 = chain.state.get_storage(address, 0)
+    assert slot0 & 0xFF == 0xAB
+    assert (slot0 >> 8) & 0xFFFF == 0x1234
+
+
+def test_if_else(chain: Blockchain) -> None:
+    contract = ast.Contract(
+        name="Branchy",
+        functions=(ast.Function(
+            name="pick", params=(("c", "uint256"),),
+            body=(ast.If(
+                ast.Param(0, "uint256"),
+                then_body=(ast.Return(ast.Const(111)),),
+                else_body=(ast.Return(ast.Const(222)),),
+            ),)),),
+    )
+    address = _deploy(chain, contract)
+    assert _call_int(chain, address, "pick(uint256)", [1]) == 111
+    assert _call_int(chain, address, "pick(uint256)", [0]) == 222
+
+
+def test_require_reverts(chain: Blockchain) -> None:
+    contract = ast.Contract(
+        name="Guarded",
+        functions=(ast.Function(
+            name="must", params=(("c", "uint256"),),
+            body=(ast.Require(ast.Param(0, "uint256")),
+                  ast.Return(ast.Const(1)))),),
+    )
+    address = _deploy(chain, contract)
+    assert _call_int(chain, address, "must(uint256)", [5]) == 1
+    result = chain.call(address, encode_call("must(uint256)", [0]))
+    assert not result.success
+
+
+def test_revert_statement(chain: Blockchain) -> None:
+    contract = ast.Contract(
+        name="Naysayer",
+        functions=(ast.Function(name="no", body=(ast.RevertStmt(),)),),
+    )
+    address = _deploy(chain, contract)
+    assert not chain.call(address, encode_call("no()")).success
+
+
+def test_store_at_dynamic_slot(chain: Blockchain) -> None:
+    contract = ast.Contract(
+        name="RawStore",
+        functions=(ast.Function(
+            name="writeRaw", params=(("slot", "uint256"), ("v", "uint256")),
+            body=(ast.StoreAt(ast.Param(0, "uint256"),
+                              ast.Param(1, "uint256")),)),),
+    )
+    address = _deploy(chain, contract)
+    chain.transact(BOB, address,
+                   encode_call("writeRaw(uint256,uint256)", [1234, 77]))
+    assert chain.state.get_storage(address, 1234) == 77
+
+
+def test_dispatcher_shape_matches_listing3(chain: Blockchain) -> None:
+    """The emitted dispatcher contains the PUSH4 sig EQ PUSH2 JUMPI chain."""
+    contract = ast.Contract(
+        name="Shape",
+        functions=(ast.Function(name="alpha", body=(ast.Return(ast.Const(1)),)),
+                   ast.Function(name="beta", body=(ast.Return(ast.Const(2)),))),
+    )
+    compiled = compile_contract(contract)
+    mnemonics = [inst.opcode.mnemonic
+                 for inst in disassemble(compiled.runtime_code)]
+    text = " ".join(mnemonics)
+    assert "DUP1 PUSH4 EQ PUSH2 JUMPI" in text
+    # The free-memory-pointer prologue.
+    assert mnemonics[:3] == ["PUSH1", "PUSH1", "MSTORE"]
+
+
+def test_unknown_selector_hits_fallback_revert(chain: Blockchain) -> None:
+    contract = ast.Contract(
+        name="NoFallback",
+        functions=(ast.Function(name="hi", body=(ast.Return(ast.Const(1)),)),),
+    )
+    address = _deploy(chain, contract)
+    result = chain.call(address, b"\xff\xff\xff\xff")
+    assert not result.success  # default fallback reverts
+
+
+def test_short_calldata_goes_to_fallback(chain: Blockchain) -> None:
+    contract = ast.Contract(
+        name="ShortData",
+        variables=(ast.VarDecl("poked", "uint256"),),
+        functions=(ast.Function(name="hi", body=(ast.Return(ast.Const(1)),)),),
+        fallback=ast.Fallback(body=(ast.Store("poked", ast.Const(7)),)),
+    )
+    address = _deploy(chain, contract)
+    receipt = chain.transact(BOB, address, b"\x01\x02")  # < 4 bytes
+    assert receipt.success
+    assert chain.state.get_storage(address, 0) == 7
+
+
+def test_metadata_trailer_is_behind_invalid(chain: Blockchain) -> None:
+    compiled = compile_contract(ast.Contract(name="Meta"))
+    assert 0xFE in compiled.runtime_code
+    # Executing the contract never reaches the trailer.
+    address = _deploy(chain, ast.Contract(name="Meta"))
+    assert not chain.call(address, b"").success  # fallback-less → revert
+
+
+def test_identical_asts_compile_identically() -> None:
+    first = compile_contract(stdlib_wallet())
+    second = compile_contract(stdlib_wallet())
+    assert first.runtime_code == second.runtime_code
+
+
+def test_metadata_salt_differentiates_bytecode() -> None:
+    base = stdlib_wallet()
+    salted = ast.Contract(
+        name=base.name, variables=base.variables, functions=base.functions,
+        fallback=base.fallback, constructor=base.constructor,
+        metadata_salt=b"\x01")
+    assert (compile_contract(base).runtime_code
+            != compile_contract(salted).runtime_code)
+
+
+def stdlib_wallet() -> ast.Contract:
+    from repro.lang import stdlib
+    return stdlib.simple_wallet("W", ALICE)
+
+
+def test_selector_table(chain: Blockchain) -> None:
+    compiled = compile_contract(stdlib_wallet())
+    assert function_selector("withdraw(uint256)") in compiled.selector_table
+    assert compiled.selector_table[function_selector("deposit()")] == "deposit()"
+
+
+def test_compile_error_on_unknown_variable() -> None:
+    contract = ast.Contract(
+        name="Broken",
+        functions=(ast.Function(name="f",
+                                body=(ast.Return(ast.Load("ghost")),)),),
+    )
+    with pytest.raises(CompileError):
+        compile_contract(contract)
+
+
+def test_compile_error_on_mapstore_to_scalar() -> None:
+    contract = ast.Contract(
+        name="Broken",
+        variables=(ast.VarDecl("x", "uint256"),),
+        functions=(ast.Function(
+            name="f", body=(ast.MapStore("x", ast.Const(1), ast.Const(2)),)),),
+    )
+    with pytest.raises(CompileError):
+        compile_contract(contract)

@@ -1,0 +1,114 @@
+"""The Repeat loop construct and its analyzer interactions."""
+
+from __future__ import annotations
+
+from repro.chain.blockchain import Blockchain
+from repro.core.symexec import SymbolicExecutor
+from repro.lang import ast, compile_contract, render_source
+from repro.utils import encode_call
+
+from tests.conftest import ALICE, BOB
+
+
+def _looper(count_expr: ast.Expr) -> ast.Contract:
+    """``accumulate(n)``: total += i for i in range(n); returns total."""
+    return ast.Contract(
+        name="Looper",
+        variables=(ast.VarDecl("total", "uint256"),),
+        functions=(
+            ast.Function(
+                name="accumulate",
+                params=(("n", "uint256"),),
+                body=(
+                    ast.Repeat(count_expr, (
+                        ast.Store("total", ast.BinOp(
+                            "+", ast.Load("total"), ast.LoopIndex())),
+                    )),
+                    ast.Return(ast.Load("total")),
+                ),
+            ),
+        ),
+    )
+
+
+def test_loop_computes_triangular_numbers(chain: Blockchain) -> None:
+    contract = _looper(ast.Param(0, "uint256"))
+    # A fresh deployment per n: `total` is persistent storage.
+    for n, expected in ((0, 0), (1, 0), (5, 10), (17, 136)):
+        fresh = chain.deploy(ALICE, compile_contract(contract).init_code
+                             ).created_address
+        result = chain.call(fresh, encode_call("accumulate(uint256)", [n]))
+        assert result.success
+        assert int.from_bytes(result.output, "big") == expected
+
+
+def test_loop_gas_scales_with_iterations(chain: Blockchain) -> None:
+    contract = _looper(ast.Param(0, "uint256"))
+    address = chain.deploy(ALICE, compile_contract(contract).init_code
+                           ).created_address
+    small = chain.transact(BOB, address,
+                           encode_call("accumulate(uint256)", [2]))
+    large = chain.transact(BOB, address,
+                           encode_call("accumulate(uint256)", [200]))
+    assert large.gas_used > small.gas_used * 10
+
+
+def test_unbounded_loop_hits_instruction_budget(chain: Blockchain) -> None:
+    """An attacker-sized count exhausts the emulator's budget cleanly."""
+    contract = _looper(ast.Param(0, "uint256"))
+    address = chain.deploy(ALICE, compile_contract(contract).init_code
+                           ).created_address
+    receipt = chain.transact(
+        BOB, address, encode_call("accumulate(uint256)", [10 ** 12]),
+        )
+    assert not receipt.success  # out of gas / budget, not a hang
+
+
+def test_symexec_terminates_on_loops() -> None:
+    """Symbolic execution of looping code ends via the step budget."""
+    compiled = compile_contract(_looper(ast.Param(0, "uint256")))
+    summary = SymbolicExecutor(max_paths=16,
+                               max_steps_per_path=2000).summarize(
+        compiled.runtime_code)
+    assert summary.paths_explored >= 1
+    # The storage accesses inside the loop are still discovered.
+    slots = {access.slot.base for access in summary.semantic_accesses()
+             if access.slot.kind == "concrete"}
+    assert 0 in slots
+
+
+def test_loop_renders_as_for(chain: Blockchain) -> None:
+    text = render_source(_looper(ast.Param(0, "uint256")))
+    assert "for (uint256 i = 0; i < arg0; i++) {" in text
+    assert "total = (total + i);" in text
+
+
+def test_proxy_detection_unbothered_by_loops(chain: Blockchain) -> None:
+    """A proxy whose fallback loops before delegating still detects."""
+    from repro.core.proxy_detector import ProxyDetector
+
+    wallet_address = chain.deploy(
+        ALICE, compile_contract(_looper(ast.Const(1))).init_code
+    ).created_address
+    proxy = ast.Contract(
+        name="LoopingProxy",
+        variables=(ast.VarDecl("counter", "uint256"),
+                   ast.VarDecl("logic", "address")),
+        fallback=ast.Fallback(body=(
+            ast.Repeat(ast.Const(3), (
+                ast.Store("counter", ast.BinOp(
+                    "+", ast.Load("counter"), ast.Const(1))),
+            )),
+            ast.DelegateForwardCalldata(ast.Load("logic")),
+        )),
+        constructor=(
+            ast.Store("logic",
+                      ast.Const(int.from_bytes(wallet_address, "big"))),
+        ),
+    )
+    address = chain.deploy(ALICE, compile_contract(proxy).init_code
+                           ).created_address
+    check = ProxyDetector(chain.state, chain.block_context()).check(address)
+    assert check.is_proxy
+    assert check.logic_address == wallet_address
+    assert check.logic_slot == 1

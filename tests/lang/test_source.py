@@ -1,0 +1,84 @@
+"""Solidity-style source rendering and the parsed-source records."""
+
+from __future__ import annotations
+
+from repro.chain.explorer import ContractSource
+from repro.lang import ast, contract_source_of, render_source, stdlib
+
+from tests.conftest import ALICE
+
+
+def test_wallet_source_structure() -> None:
+    text = render_source(stdlib.simple_wallet("Wallet", ALICE))
+    assert "contract Wallet {" in text
+    assert "address private owner;" in text
+    assert "function withdraw(uint256 arg0) public payable {" in text
+    assert "require((msg.sender == owner));" in text
+    assert "payable(msg.sender).transfer(arg0);" in text
+    assert "constructor()" in text
+
+
+def test_proxy_source_has_fallback_delegatecall() -> None:
+    text = render_source(stdlib.storage_proxy("P", b"\x01" * 20, ALICE))
+    assert "fallback(bytes calldata input) external payable" in text
+    assert "logic.delegatecall(msg.data);" in text
+
+
+def test_fixed_slot_vars_rendered_as_comments() -> None:
+    text = render_source(stdlib.eip1967_proxy("P", b"\x01" * 20, ALICE))
+    assert "// implementation: address at fixed slot" in text
+    assert "// admin: address at fixed slot" in text
+
+
+def test_library_call_renders_encode_with_signature() -> None:
+    text = render_source(stdlib.library_user("U", b"\x02" * 20))
+    assert 'abi.encodeWithSignature("libraryAdd(uint256)"' in text
+
+
+def test_if_else_and_revert_render() -> None:
+    text = render_source(stdlib.transparent_proxy("T", b"\x01" * 20, ALICE))
+    assert "if ((msg.sender == admin)) {" in text
+    assert "revert();" in text
+    assert "} else {" in text
+
+
+def test_mapping_and_emit_render() -> None:
+    text = render_source(stdlib.simple_token("T", ALICE))
+    assert "mapping(address=>uint256) private balances;" in text
+    assert "balances[msg.sender] =" in text
+    assert "emit Transfer(msg.sender, arg0, arg1);" in text
+
+
+def test_storeat_renders_assembly() -> None:
+    contract = ast.Contract(
+        name="Raw",
+        functions=(ast.Function(
+            name="w", params=(("s", "uint256"), ("v", "uint256")),
+            body=(ast.StoreAt(ast.Param(0, "uint256"),
+                              ast.Param(1, "uint256")),)),),
+    )
+    assert "assembly { sstore(arg0, arg1) }" in render_source(contract)
+
+
+def test_constant_variable_rendered_with_value() -> None:
+    contract = ast.Contract(
+        name="HasConst",
+        variables=(ast.VarDecl("LIMIT", "uint256", constant=True,
+                               constant_value=100),),
+    )
+    assert "uint256 constant LIMIT = 100;" in render_source(contract)
+
+
+def test_contract_source_of_fields() -> None:
+    source = contract_source_of(stdlib.honeypot_proxy("H", b"\x01" * 20, ALICE))
+    assert isinstance(source, ContractSource)
+    assert source.contract_name == "H"
+    assert "impl_LUsXCWD2AKCc()" in source.function_prototypes
+    assert [v.type_name for v in source.storage_variables] == [
+        "address", "address"]
+    assert source.compiler_version == "v0.8.21"
+
+
+def test_render_is_deterministic() -> None:
+    contract = stdlib.simple_token("T", ALICE)
+    assert render_source(contract) == render_source(contract)

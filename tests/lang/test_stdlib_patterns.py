@@ -1,0 +1,208 @@
+"""Every stdlib pattern deploys and behaves as specified."""
+
+from __future__ import annotations
+
+from repro.chain.blockchain import Blockchain
+from repro.lang import compile_contract, stdlib
+from repro.lang.storage_layout import (
+    EIP1822_PROXIABLE_SLOT,
+    EIP1967_ADMIN_SLOT,
+    EIP1967_IMPLEMENTATION_SLOT,
+)
+from repro.utils import encode_call
+from repro.utils.hexutil import address_to_word
+
+from tests.conftest import ALICE, BOB, CAROL, ETHER
+
+
+def _deploy(chain: Blockchain, contract_or_init) -> bytes:
+    init = (contract_or_init if isinstance(contract_or_init, bytes)
+            else compile_contract(contract_or_init).init_code)
+    receipt = chain.deploy(ALICE, init)
+    assert receipt.success, receipt.error
+    return receipt.created_address
+
+
+def _wallet(chain: Blockchain) -> bytes:
+    return _deploy(chain, stdlib.simple_wallet("W", ALICE))
+
+
+def test_minimal_proxy_roundtrip(chain: Blockchain) -> None:
+    wallet = _wallet(chain)
+    proxy = _deploy(chain, stdlib.minimal_proxy_init(wallet))
+    code = chain.state.get_code(proxy)
+    assert len(code) == 45
+    assert stdlib.extract_minimal_proxy_target(code) == wallet
+    result = chain.call(proxy, encode_call("ownerOf()"))
+    assert result.success  # delegated; reads proxy's (empty) slot 0
+    assert int.from_bytes(result.output, "big") == 0
+
+
+def test_extract_minimal_proxy_target_rejects_other_code() -> None:
+    assert stdlib.extract_minimal_proxy_target(b"\x60\x00") is None
+    runtime = stdlib.minimal_proxy_runtime(b"\x11" * 20)
+    assert stdlib.extract_minimal_proxy_target(runtime + b"\x00") is None
+
+
+def test_eip1967_proxy_slots_and_upgrade(chain: Blockchain) -> None:
+    wallet = _wallet(chain)
+    proxy = _deploy(chain, stdlib.eip1967_proxy("P", wallet, ALICE))
+    assert chain.state.get_storage(
+        proxy, EIP1967_IMPLEMENTATION_SLOT) == address_to_word(wallet)
+    assert chain.state.get_storage(
+        proxy, EIP1967_ADMIN_SLOT) == address_to_word(ALICE)
+    other = _wallet(chain)
+    assert chain.transact(ALICE, proxy,
+                          encode_call("upgradeTo(address)", [other])).success
+    assert chain.state.get_storage(
+        proxy, EIP1967_IMPLEMENTATION_SLOT) == address_to_word(other)
+    assert not chain.transact(BOB, proxy,
+                              encode_call("upgradeTo(address)", [wallet])).success
+
+
+def test_eip1822_proxy_and_uups_logic(chain: Blockchain) -> None:
+    logic = _deploy(chain, stdlib.uups_logic("L"))
+    proxy = _deploy(chain, stdlib.eip1822_proxy("P", logic))
+    assert chain.state.get_storage(
+        proxy, EIP1822_PROXIABLE_SLOT) == address_to_word(logic)
+    # The upgrade function lives in the *logic* and runs via delegatecall,
+    # so the proxy's PROXIABLE slot is what changes.
+    other = _deploy(chain, stdlib.uups_logic("L2"))
+    receipt = chain.transact(BOB, proxy,
+                             encode_call("updateCodeAddress(address)", [other]))
+    assert receipt.success
+    assert chain.state.get_storage(
+        proxy, EIP1822_PROXIABLE_SLOT) == address_to_word(other)
+
+
+def test_storage_proxy_guard(chain: Blockchain) -> None:
+    wallet = _wallet(chain)
+    proxy = _deploy(chain, stdlib.storage_proxy("P", wallet, ALICE))
+    assert chain.state.get_storage(proxy, 0) == address_to_word(ALICE)
+    assert chain.state.get_storage(proxy, 1) == address_to_word(wallet)
+    assert not chain.transact(
+        BOB, proxy, encode_call("setImplementation(address)", [BOB + b""])
+    ).success
+
+
+def test_transparent_proxy_separates_admin(chain: Blockchain) -> None:
+    wallet = _wallet(chain)
+    proxy = _deploy(chain, stdlib.transparent_proxy("P", wallet, CAROL))
+    # Users delegate...
+    assert chain.call(proxy, encode_call("deposit()"), sender=BOB).success
+    # ...the admin's unknown selectors revert instead of delegating.
+    assert not chain.call(proxy, encode_call("deposit()"), sender=CAROL).success
+    # Admin-only views work for the admin.
+    assert chain.call(proxy, encode_call("admin()"), sender=CAROL).success
+    assert not chain.call(proxy, encode_call("admin()"), sender=BOB).success
+
+
+def test_diamond_registration_and_routing(chain: Blockchain) -> None:
+    wallet = _wallet(chain)
+    diamond = _deploy(chain, stdlib.diamond_proxy("D", ALICE))
+    selector = int.from_bytes(encode_call("ownerOf()")[:4], "big")
+    assert chain.transact(
+        ALICE, diamond,
+        encode_call("registerFacet(uint32,address)", [selector, wallet])
+    ).success
+    routed = chain.call(diamond, encode_call("ownerOf()"))
+    assert routed.success
+    assert routed.output[-20:] == ALICE  # diamond's own slot-0 owner
+    assert not chain.call(diamond, b"\x12\x34\x56\x78").success
+    # Only the owner registers facets.
+    assert not chain.transact(
+        BOB, diamond,
+        encode_call("registerFacet(uint32,address)", [1, wallet])).success
+
+
+def test_library_user_keeps_state_local(chain: Blockchain) -> None:
+    library = _deploy(chain, stdlib.math_library())
+    user = _deploy(chain, stdlib.library_user("U", library))
+    assert chain.transact(BOB, user,
+                          encode_call("addViaLibrary(uint256)", [5])).success
+    assert chain.transact(BOB, user,
+                          encode_call("addViaLibrary(uint256)", [6])).success
+    result = chain.call(user, encode_call("totalStored()"))
+    assert int.from_bytes(result.output, "big") == 11
+    assert chain.state.get_storage(library, 0) == 0  # library untouched
+
+
+def test_call_forwarder_is_not_delegation(chain: Blockchain) -> None:
+    wallet = _wallet(chain)
+    forwarder = _deploy(chain, stdlib.call_forwarder("F", wallet))
+    receipt = chain.transact(BOB, forwarder, encode_call("ownerOf()"))
+    assert receipt.success
+    assert [event.kind for event in receipt.internal_calls] == ["CALL"]
+    # ownerOf through plain CALL reads the WALLET's storage, not the
+    # forwarder's.
+    assert receipt.output[-20:] == ALICE
+
+
+def test_honeypot_steals_instead_of_paying(chain: Blockchain) -> None:
+    logic = _deploy(chain, stdlib.honeypot_logic())
+    pot = _deploy(chain, stdlib.honeypot_proxy("HP", logic, ALICE))
+    chain.fund(pot, 100 * ETHER)  # the bait
+    alice_before = chain.state.get_balance(ALICE)
+    bob_before = chain.state.get_balance(BOB)
+    receipt = chain.transact(BOB, pot, encode_call("free_ether_withdrawal()"),
+                             value=1 * ETHER)
+    assert receipt.success
+    # Bob paid 1 ETH; the owner pocketed it; Bob got nothing back.
+    assert chain.state.get_balance(ALICE) == alice_before + 1 * ETHER
+    assert chain.state.get_balance(BOB) == bob_before - 1 * ETHER
+
+
+def test_honeypot_selector_collision_is_real() -> None:
+    proxy = stdlib.honeypot_proxy("HP", b"\x01" * 20, ALICE)
+    logic = stdlib.honeypot_logic()
+    assert (proxy.function_by_name("impl_LUsXCWD2AKCc").selector
+            == logic.function_by_name("free_ether_withdrawal").selector
+            == bytes.fromhex("df4a3106"))
+
+
+def test_audius_replay_takeover(chain: Blockchain) -> None:
+    logic = _deploy(chain, stdlib.audius_logic())
+    proxy = _deploy(chain, stdlib.audius_proxy("AP", logic, ALICE))
+    assert chain.transact(BOB, proxy, encode_call("initialize()")).success
+    # The collision keeps `initializing` truthy: replay succeeds and the
+    # ownership moves again — the Audius takeover.
+    assert chain.transact(CAROL, proxy, encode_call("initialize()")).success
+    governance = chain.call(proxy, encode_call("governanceAddress()"))
+    assert governance.output[-20:] == CAROL
+
+
+def test_wyvern_pair_collides_on_interface() -> None:
+    proxy = stdlib.ownable_delegate_proxy("ODP", b"\x01" * 20, ALICE)
+    logic = stdlib.wyvern_logic()
+    shared = set(proxy.selectors) & set(logic.selectors)
+    assert len(shared) == 3  # proxyType, implementation, upgradeabilityOwner
+
+
+def test_token_transfer_and_overdraw(chain: Blockchain) -> None:
+    token = _deploy(chain, stdlib.simple_token("T", ALICE))
+    assert chain.transact(
+        ALICE, token, encode_call("transfer(address,uint256)", [BOB, 400])
+    ).success
+    balance = chain.call(token, encode_call("balanceOf(address)", [BOB]))
+    assert int.from_bytes(balance.output, "big") == 400
+    assert not chain.transact(
+        BOB, token, encode_call("transfer(address,uint256)", [CAROL, 401])
+    ).success
+
+
+def test_wallet_withdraw_guard(chain: Blockchain) -> None:
+    wallet = _wallet(chain)
+    chain.fund(wallet, 10 * ETHER)
+    assert not chain.transact(BOB, wallet,
+                              encode_call("withdraw(uint256)", [1])).success
+    bob_before = chain.state.get_balance(ALICE)
+    assert chain.transact(ALICE, wallet,
+                          encode_call("withdraw(uint256)", [ETHER])).success
+    assert chain.state.get_balance(ALICE) == bob_before + ETHER
+
+
+def test_weird_runtime_deploys(chain: Blockchain) -> None:
+    address = _deploy(chain, stdlib.raw_deploy_init(
+        stdlib.WEIRD_DELEGATECALL_RUNTIME))
+    assert chain.state.get_code(address) == stdlib.WEIRD_DELEGATECALL_RUNTIME
+    assert not chain.call(address, b"\x00").success

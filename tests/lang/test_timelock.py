@@ -1,0 +1,54 @@
+"""The block-dependent timelock vault pattern."""
+
+from __future__ import annotations
+
+from repro.chain.blockchain import Blockchain
+from repro.lang import compile_contract, stdlib
+from repro.utils import encode_call
+
+from tests.conftest import ALICE, BOB, ETHER
+
+
+def _deploy(chain: Blockchain, delay: int = 1000) -> bytes:
+    receipt = chain.deploy(ALICE, compile_contract(
+        stdlib.timelock_vault("Vault", ALICE, unlock_delay=delay)).init_code)
+    assert receipt.success
+    chain.fund(receipt.created_address, 10 * ETHER)
+    return receipt.created_address
+
+
+def test_current_block_tracks_chain(chain: Blockchain) -> None:
+    vault = _deploy(chain)
+    result = chain.call(vault, encode_call("currentBlock()"))
+    assert int.from_bytes(result.output, "big") == chain.latest_block_number
+
+
+def test_withdraw_blocked_until_unlock(chain: Blockchain) -> None:
+    vault = _deploy(chain, delay=5000)
+    assert chain.transact(ALICE, vault, encode_call("lockUntilDelay()")).success
+    # Too early: the height gate rejects.
+    assert not chain.transact(ALICE, vault, encode_call("withdrawAll()")).success
+    chain.advance_to_block(chain.latest_block_number + 5001)
+    balance_before = chain.state.get_balance(ALICE)
+    assert chain.transact(ALICE, vault, encode_call("withdrawAll()")).success
+    assert chain.state.get_balance(ALICE) == balance_before + 10 * ETHER
+
+
+def test_only_owner_operates(chain: Blockchain) -> None:
+    vault = _deploy(chain)
+    assert not chain.transact(BOB, vault, encode_call("lockUntilDelay()")).success
+    assert not chain.transact(BOB, vault, encode_call("withdrawAll()")).success
+
+
+def test_unlock_height_stored(chain: Blockchain) -> None:
+    vault = _deploy(chain, delay=777)
+    receipt = chain.transact(ALICE, vault, encode_call("lockUntilDelay()"))
+    result = chain.call(vault, encode_call("unlocksAt()"))
+    assert int.from_bytes(result.output, "big") == receipt.block_number + 777
+
+
+def test_source_renders_block_number(chain: Blockchain) -> None:
+    from repro.lang import render_source
+    text = render_source(stdlib.timelock_vault("V", ALICE))
+    assert "block.number" in text
+    assert "require((block.number >= unlockBlock));" in text

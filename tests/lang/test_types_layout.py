@@ -1,0 +1,160 @@
+"""Type parsing and Solidity storage-packing rules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.storage_layout import (
+    EIP1822_PROXIABLE_SLOT,
+    EIP1967_ADMIN_SLOT,
+    EIP1967_IMPLEMENTATION_SLOT,
+    compute_layout,
+    mapping_element_slot,
+)
+from repro.lang.types import MappingType, ValueType, parse_type, types_compatible
+
+
+def test_parse_elementary_types() -> None:
+    assert parse_type("bool").size == 1
+    assert parse_type("address").size == 20
+    assert parse_type("uint256").size == 32
+    assert parse_type("uint8").size == 1
+    assert parse_type("uint48").size == 6
+    assert parse_type("int128").size == 16
+    assert parse_type("int128").is_signed
+    assert parse_type("bytes4").size == 4
+    assert parse_type("bytes32").size == 32
+
+
+def test_parse_mapping() -> None:
+    mapping = parse_type("mapping(address=>uint256)")
+    assert isinstance(mapping, MappingType)
+    assert mapping.key_type.name == "address"
+    assert mapping.value_type.name == "uint256"
+    assert parse_type("mapping(address => uint256)") == mapping  # spaces ok
+
+
+def test_parse_rejects_bad_types() -> None:
+    for bad in ("uint7", "uint264", "bytes0", "bytes33", "int0", "float",
+                "mapping(address=>mapping(address=>uint256))"):
+        with pytest.raises(ValueError):
+            parse_type(bad)
+
+
+def test_types_compatible_requires_same_name() -> None:
+    assert types_compatible("address", "address")
+    assert not types_compatible("address", "bytes20")
+    assert not types_compatible("bool", "uint8")
+
+
+def test_packing_listing2_layout() -> None:
+    """The paper's Listing 2: two bools pack into slot 0."""
+    layout = compute_layout([("initialized", "bool"), ("initializing", "bool")])
+    first, second = layout.assignments
+    assert (first.slot, first.offset, first.size) == (0, 0, 1)
+    assert (second.slot, second.offset, second.size) == (0, 1, 1)
+
+
+def test_two_addresses_do_not_pack() -> None:
+    layout = compute_layout([("owner", "address"), ("logic", "address")])
+    assert layout.get("owner").slot == 0
+    assert layout.get("logic").slot == 1
+
+
+def test_partial_packing() -> None:
+    # bool(1) + address(20) = 21 bytes → pack; + uint256 → new slot.
+    layout = compute_layout([
+        ("flag", "bool"), ("owner", "address"), ("total", "uint256")])
+    assert layout.get("flag").slot == 0
+    assert (layout.get("owner").slot, layout.get("owner").offset) == (0, 1)
+    assert layout.get("total").slot == 1
+
+
+def test_exact_fill_advances_slot() -> None:
+    layout = compute_layout([
+        ("a", "uint128"), ("b", "uint128"), ("c", "bool")])
+    assert layout.get("a").slot == 0 and layout.get("a").offset == 0
+    assert layout.get("b").slot == 0 and layout.get("b").offset == 16
+    assert layout.get("c").slot == 1
+
+
+def test_mapping_takes_whole_slot() -> None:
+    layout = compute_layout([
+        ("flag", "bool"), ("balances", "mapping(address=>uint256)"),
+        ("after_map", "bool")])
+    assert layout.get("flag").slot == 0
+    assert layout.get("balances").slot == 1
+    assert layout.get("balances").is_mapping
+    assert layout.get("after_map").slot == 2
+
+
+def test_fixed_slots() -> None:
+    layout = compute_layout(
+        [("x", "uint256")],
+        fixed_slots=[("impl", "address", EIP1967_IMPLEMENTATION_SLOT)])
+    impl = layout.get("impl")
+    assert impl.slot == EIP1967_IMPLEMENTATION_SLOT
+    assert impl.is_fixed_slot
+    assert layout.next_free_slot == 1  # fixed slots don't advance the cursor
+
+
+def test_overlap_detection() -> None:
+    layout = compute_layout([("a", "bool"), ("b", "bool"), ("c", "address")])
+    a, b, c = layout.assignments
+    assert not a.overlaps(b)
+    assert not b.overlaps(c)
+    full = compute_layout([("owner", "address")]).get("owner")
+    assert full.overlaps(a)
+    assert full.overlaps(b)
+
+
+def test_eip_slot_constants() -> None:
+    assert hex(EIP1967_IMPLEMENTATION_SLOT) == (
+        "0x360894a13ba1a3210667c828492db98dca3e2076cc3735a920a3ca505d382bbc")
+    assert hex(EIP1967_ADMIN_SLOT) == (
+        "0xb53127684a568b3173ae13b9f8a6016e243e63b6e8ee1178d6a717850b5d6103")
+    # EIP-1822: keccak256("PROXIABLE")
+    assert hex(EIP1822_PROXIABLE_SLOT) == (
+        "0xc5f16f0fcc639fa48a6947836d9850f504798523bf8c9a3a87d5876cf622bcf7")
+
+
+def test_mapping_element_slot_is_keccak() -> None:
+    from repro.utils.keccak import keccak256
+    key, marker = 7, 2
+    expected = int.from_bytes(
+        keccak256(key.to_bytes(32, "big") + marker.to_bytes(32, "big")), "big")
+    assert mapping_element_slot(key, marker) == expected
+
+
+_TYPE_NAMES = st.sampled_from(
+    ["bool", "address", "uint8", "uint16", "uint32", "uint64",
+     "uint128", "uint256", "bytes4", "bytes32"])
+
+
+@given(st.lists(_TYPE_NAMES, min_size=1, max_size=12))
+def test_layout_never_overlaps_and_is_ordered(type_names: list[str]) -> None:
+    declarations = [(f"v{i}", name) for i, name in enumerate(type_names)]
+    layout = compute_layout(declarations)
+    assignments = layout.assignments
+    # No two variables overlap.
+    for i, first in enumerate(assignments):
+        for second in assignments[i + 1:]:
+            assert not first.overlaps(second)
+    # Slots are assigned in non-decreasing declaration order.
+    slots = [a.slot for a in assignments]
+    assert slots == sorted(slots)
+    # Every variable fits inside its slot.
+    for assignment in assignments:
+        assert assignment.offset + assignment.size <= 32
+
+
+@given(st.lists(_TYPE_NAMES, min_size=1, max_size=12))
+def test_layout_is_deterministic(type_names: list[str]) -> None:
+    declarations = [(f"v{i}", name) for i, name in enumerate(type_names)]
+    first = compute_layout(declarations)
+    second = compute_layout(declarations)
+    assert [
+        (a.slot, a.offset, a.size) for a in first.assignments
+    ] == [(a.slot, a.offset, a.size) for a in second.assignments]

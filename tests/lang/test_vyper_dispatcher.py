@@ -1,0 +1,71 @@
+"""The Vyper-style (XOR/ISZERO) dispatcher variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.core.proxy_detector import ProxyDetector
+from repro.core.signature_extractor import dispatcher_selectors
+from repro.core.symexec import SymbolicExecutor
+from repro.evm.cfg import dispatcher_functions
+from repro.lang import compile_contract, stdlib
+from repro.lang.compiler import CompileError
+from repro.utils import encode_call
+
+from tests.conftest import ALICE, BOB
+
+
+def test_unknown_style_rejected() -> None:
+    with pytest.raises(CompileError):
+        compile_contract(stdlib.simple_wallet("W", ALICE),
+                         dispatcher_style="huffman")
+
+
+def test_vyper_style_executes_identically(chain: Blockchain) -> None:
+    contract = stdlib.simple_wallet("W", ALICE)
+    solc = compile_contract(contract, dispatcher_style="solc")
+    vyper = compile_contract(contract, dispatcher_style="vyper")
+    assert solc.runtime_code != vyper.runtime_code
+
+    solc_addr = chain.deploy(ALICE, solc.init_code).created_address
+    vyper_addr = chain.deploy(ALICE, vyper.init_code).created_address
+    for prototype in ("ownerOf()", "deposit()"):
+        left = chain.call(solc_addr, encode_call(prototype), sender=BOB)
+        right = chain.call(vyper_addr, encode_call(prototype), sender=BOB)
+        assert left.success == right.success
+        assert left.output == right.output
+
+
+def test_extractors_handle_both_styles() -> None:
+    contract = stdlib.simple_token("T", ALICE)
+    expected = set(compile_contract(contract).selector_table)
+    for style in ("solc", "vyper"):
+        compiled = compile_contract(contract, dispatcher_style=style)
+        assert dispatcher_selectors(compiled.runtime_code) == expected
+        assert {entry.selector
+                for entry in dispatcher_functions(compiled.runtime_code)
+                } == expected
+
+
+def test_symexec_attributes_selectors_in_vyper_style() -> None:
+    compiled = compile_contract(stdlib.simple_wallet("W", ALICE),
+                                dispatcher_style="vyper")
+    summary = SymbolicExecutor().summarize(compiled.runtime_code)
+    selectors = {access.selector for access in summary.semantic_accesses()
+                 if access.selector is not None}
+    assert selectors  # per-function attribution survives the XOR idiom
+
+
+def test_proxy_detection_unaffected_by_style(chain: Blockchain) -> None:
+    wallet = chain.deploy(
+        ALICE, compile_contract(stdlib.simple_wallet("W", ALICE)).init_code
+    ).created_address
+    proxy_contract = stdlib.storage_proxy("P", wallet, ALICE)
+    detector = ProxyDetector(chain.state, chain.block_context())
+    for style in ("solc", "vyper"):
+        compiled = compile_contract(proxy_contract, dispatcher_style=style)
+        address = chain.deploy(ALICE, compiled.init_code).created_address
+        check = detector.check(address)
+        assert check.is_proxy
+        assert check.logic_slot == 1

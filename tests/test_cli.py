@@ -1,0 +1,58 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command() -> None:
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_survey_command(capsys) -> None:
+    assert main(["survey", "--total", "60", "--seed", "3"]) == 0
+    output = capsys.readouterr().out
+    assert "proxies:" in output
+    assert "EIP-1167" in output
+    assert "never-upgraded" in output
+
+
+def test_survey_with_diamonds(capsys) -> None:
+    assert main(["survey", "--total", "40", "--seed", "5",
+                 "--diamonds"]) == 0
+    assert "proxies:" in capsys.readouterr().out
+
+
+def test_accuracy_command(capsys) -> None:
+    assert main(["accuracy", "--pairs", "2", "--seed", "1"]) == 0
+    output = capsys.readouterr().out
+    assert "methodology: union" in output
+    assert "Proxion" in output and "USCHunt" in output and "CRUSH" in output
+
+
+def test_mine_selector_success(capsys) -> None:
+    assert main(["mine-selector", "free_ether_withdrawal()",
+                 "--bits", "8", "--max-attempts", "100000"]) == 0
+    output = capsys.readouterr().out
+    assert "0xdf4a3106" in output
+    assert "found" in output
+
+
+def test_mine_selector_budget_exhausted(capsys) -> None:
+    assert main(["mine-selector", "transfer(address,uint256)",
+                 "--bits", "32", "--max-attempts", "10"]) == 1
+    assert "not found" in capsys.readouterr().out
+
+
+def test_demo_quickstart(capsys) -> None:
+    assert main(["demo", "quickstart"]) == 0
+    output = capsys.readouterr().out
+    assert "is proxy:        True" in output
+
+
+def test_demo_rejects_unknown() -> None:
+    with pytest.raises(SystemExit):
+        main(["demo", "nonsense"])

@@ -1,0 +1,115 @@
+"""ABI selectors and the elementary-type codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import abi
+
+
+def test_selector_matches_paper_example() -> None:
+    assert abi.function_selector("free_ether_withdrawal()").hex() == "df4a3106"
+
+
+def test_selector_known_erc20() -> None:
+    assert abi.function_selector("transfer(address,uint256)").hex() == "a9059cbb"
+    assert abi.function_selector("approve(address,uint256)").hex() == "095ea7b3"
+
+
+def test_parse_prototype() -> None:
+    name, args = abi.parse_prototype("transfer(address,uint256)")
+    assert name == "transfer"
+    assert args == ["address", "uint256"]
+
+
+def test_parse_prototype_no_args() -> None:
+    assert abi.parse_prototype("ping()") == ("ping", [])
+
+
+def test_parse_prototype_rejects_garbage() -> None:
+    with pytest.raises(ValueError):
+        abi.parse_prototype("not a prototype")
+
+
+def test_encode_call_layout() -> None:
+    data = abi.encode_call("transfer(address,uint256)", [b"\x11" * 20, 500])
+    assert data[:4] == abi.function_selector("transfer(address,uint256)")
+    assert len(data) == 4 + 64
+    assert data[4:36] == b"\x00" * 12 + b"\x11" * 20
+    assert int.from_bytes(data[36:68], "big") == 500
+
+
+def test_encode_bool_and_bytes4() -> None:
+    encoded = abi.encode_arguments(["bool", "bytes4"], [True, b"\xde\xad\xbe\xef"])
+    assert int.from_bytes(encoded[:32], "big") == 1
+    assert encoded[32:36] == b"\xde\xad\xbe\xef"  # left-aligned
+    assert encoded[36:64] == b"\x00" * 28
+
+
+def test_encode_dynamic_bytes_head_tail() -> None:
+    encoded = abi.encode_arguments(["uint256", "bytes"], [7, b"xyz"])
+    assert int.from_bytes(encoded[:32], "big") == 7
+    offset = int.from_bytes(encoded[32:64], "big")
+    assert offset == 64
+    assert int.from_bytes(encoded[64:96], "big") == 3
+    assert encoded[96:99] == b"xyz"
+
+
+def test_encode_rejects_out_of_range() -> None:
+    with pytest.raises(ValueError):
+        abi.encode_arguments(["uint8"], [256])
+    with pytest.raises(ValueError):
+        abi.encode_arguments(["int8"], [128])
+
+
+def test_encode_rejects_arity_mismatch() -> None:
+    with pytest.raises(ValueError):
+        abi.encode_arguments(["uint256"], [])
+
+
+@given(st.integers(min_value=0, max_value=(1 << 256) - 1))
+def test_uint256_roundtrip(value: int) -> None:
+    encoded = abi.encode_arguments(["uint256"], [value])
+    assert abi.decode_arguments(["uint256"], encoded) == [value]
+
+
+@given(st.integers(min_value=-(1 << 255), max_value=(1 << 255) - 1))
+def test_int256_roundtrip(value: int) -> None:
+    encoded = abi.encode_arguments(["int256"], [value])
+    assert abi.decode_arguments(["int256"], encoded) == [value]
+
+
+@given(st.binary(min_size=20, max_size=20))
+def test_address_roundtrip(address: bytes) -> None:
+    encoded = abi.encode_arguments(["address"], [address])
+    assert abi.decode_arguments(["address"], encoded) == [address]
+
+
+@given(st.booleans())
+def test_bool_roundtrip(flag: bool) -> None:
+    encoded = abi.encode_arguments(["bool"], [flag])
+    assert abi.decode_arguments(["bool"], encoded) == [flag]
+
+
+@given(st.binary(max_size=100))
+def test_dynamic_bytes_roundtrip(payload: bytes) -> None:
+    encoded = abi.encode_arguments(["bytes"], [payload])
+    assert abi.decode_arguments(["bytes"], encoded) == [payload]
+
+
+@given(st.text(alphabet=st.characters(codec="utf-8"), max_size=60))
+def test_string_roundtrip(text: str) -> None:
+    encoded = abi.encode_arguments(["string"], [text])
+    assert abi.decode_arguments(["string"], encoded) == [text]
+
+
+@given(st.integers(min_value=0, max_value=(1 << 256) - 1),
+       st.binary(min_size=20, max_size=20),
+       st.booleans())
+def test_mixed_static_tuple_roundtrip(number: int, address: bytes,
+                                      flag: bool) -> None:
+    types = ["uint256", "address", "bool"]
+    encoded = abi.encode_arguments(types, [number, address, flag])
+    assert abi.decode_arguments(types, encoded) == [number, address, flag]

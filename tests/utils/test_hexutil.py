@@ -1,0 +1,80 @@
+"""Word/address conversion helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import hexutil
+
+WORDS = st.integers(min_value=0, max_value=hexutil.WORD_MASK)
+SIGNED = st.integers(min_value=-(1 << 255), max_value=(1 << 255) - 1)
+
+
+@given(WORDS)
+def test_word_bytes_roundtrip(word: int) -> None:
+    assert hexutil.bytes_to_word(hexutil.word_to_bytes(word)) == word
+
+
+@given(SIGNED)
+def test_signed_roundtrip(value: int) -> None:
+    assert hexutil.to_signed(hexutil.from_signed(value)) == value
+
+
+@given(WORDS)
+def test_to_signed_range(word: int) -> None:
+    signed = hexutil.to_signed(word)
+    assert -(1 << 255) <= signed < (1 << 255)
+
+
+def test_to_word_truncates() -> None:
+    assert hexutil.to_word(1 << 256) == 0
+    assert hexutil.to_word((1 << 256) + 5) == 5
+
+
+@given(st.binary(min_size=20, max_size=20))
+def test_address_word_roundtrip(address: bytes) -> None:
+    assert hexutil.word_to_address(hexutil.address_to_word(address)) == address
+
+
+def test_word_to_address_takes_low_20_bytes() -> None:
+    word = int.from_bytes(b"\x11" * 12 + b"\x22" * 20, "big")
+    assert hexutil.word_to_address(word) == b"\x22" * 20
+
+
+def test_parse_address_formats() -> None:
+    addr = b"\xab" * 20
+    assert hexutil.parse_address("0x" + "ab" * 20) == addr
+    assert hexutil.parse_address("AB" * 20) == addr
+    assert hexutil.parse_address(addr) == addr
+
+
+def test_parse_address_rejects_wrong_length() -> None:
+    with pytest.raises(ValueError):
+        hexutil.parse_address("0x1234")
+    with pytest.raises(ValueError):
+        hexutil.parse_address(b"\x00" * 19)
+
+
+def test_format_roundtrip() -> None:
+    addr = bytes(range(20))
+    assert hexutil.parse_address(hexutil.format_address(addr)) == addr
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+def test_ceil32(length: int) -> None:
+    rounded = hexutil.ceil32(length)
+    assert rounded % 32 == 0
+    assert rounded >= length
+    assert rounded - length < 32
+
+
+def test_bytes_to_word_rejects_oversize() -> None:
+    with pytest.raises(ValueError):
+        hexutil.bytes_to_word(b"\x00" * 33)
+
+
+def test_address_to_word_rejects_wrong_length() -> None:
+    with pytest.raises(ValueError):
+        hexutil.address_to_word(b"\x00" * 21)

@@ -1,0 +1,75 @@
+"""RLP encoding (only what CREATE address derivation needs)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import rlp
+from repro.utils.keccak import keccak256
+
+
+def test_single_byte_below_0x80_is_itself() -> None:
+    assert rlp.encode_bytes(b"\x05") == b"\x05"
+    assert rlp.encode_bytes(b"\x7f") == b"\x7f"
+
+
+def test_single_byte_at_0x80_gets_prefix() -> None:
+    assert rlp.encode_bytes(b"\x80") == b"\x81\x80"
+
+
+def test_empty_bytes() -> None:
+    assert rlp.encode_bytes(b"") == b"\x80"
+
+
+def test_short_string() -> None:
+    assert rlp.encode_bytes(b"dog") == b"\x83dog"
+
+
+def test_long_string_prefix() -> None:
+    data = b"a" * 56
+    encoded = rlp.encode_bytes(data)
+    assert encoded[0] == 0xB8
+    assert encoded[1] == 56
+    assert encoded[2:] == data
+
+
+def test_zero_int_is_empty_string() -> None:
+    assert rlp.encode_int(0) == b"\x80"
+
+
+def test_int_no_leading_zeros() -> None:
+    assert rlp.encode_int(1) == b"\x01"
+    assert rlp.encode_int(0x0400) == b"\x82\x04\x00"
+
+
+def test_list_encoding() -> None:
+    encoded = rlp.encode_list([rlp.encode_bytes(b"cat"), rlp.encode_bytes(b"dog")])
+    assert encoded == b"\xc8\x83cat\x83dog"
+
+
+def test_known_create_address() -> None:
+    """CREATE address of the zero account at nonce 0 (well-known value)."""
+    preimage = rlp.encode_list([
+        rlp.encode_bytes(b"\x00" * 20), rlp.encode_int(0)])
+    address = keccak256(preimage)[12:]
+    assert address.hex() == "bd770416a3345f91e4b34576cb804a576fa48eb1"
+
+
+@given(st.integers(min_value=0, max_value=2 ** 64))
+def test_int_encoding_is_minimal(value: int) -> None:
+    encoded = rlp.encode_int(value)
+    if value == 0:
+        assert encoded == b"\x80"
+    elif value < 0x80:
+        assert encoded == bytes([value])
+    else:
+        assert encoded[0] >= 0x81
+
+
+@given(st.binary(max_size=200))
+def test_bytes_encoding_contains_payload(data: bytes) -> None:
+    encoded = rlp.encode_bytes(data)
+    assert encoded.endswith(data)
+    if len(data) != 1 or data[0] >= 0x80:
+        assert len(encoded) > len(data)

@@ -1,0 +1,63 @@
+"""Install the offline ``wheel`` shim into the active site-packages.
+
+Run once in environments that have setuptools but no network access and no
+``wheel`` distribution (which breaks ``pip install -e .``):
+
+    python tools/install_wheel_shim.py
+
+The shim registers the ``bdist_wheel`` distutils command via entry points
+and provides ``wheel.wheelfile.WheelFile``, which is everything setuptools'
+PEP 660 editable build path needs.  If a real ``wheel`` package is already
+importable, this script does nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import site
+import sys
+
+SHIM_VERSION = "0.42.0+shim"
+
+
+def main() -> int:
+    try:
+        import wheel  # noqa: F401
+        print("a 'wheel' package is already installed; nothing to do")
+        return 0
+    except ImportError:
+        pass
+
+    site_packages = site.getsitepackages()[0]
+    here = os.path.dirname(os.path.abspath(__file__))
+    source = os.path.join(here, "wheel_shim", "wheel")
+    target = os.path.join(site_packages, "wheel")
+    shutil.copytree(source, target, dirs_exist_ok=True)
+
+    # Register the bdist_wheel command entry point so setuptools'
+    # get_command_class() can resolve it.
+    dist_info = os.path.join(site_packages, "wheel-0.42.0.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w", encoding="utf-8") as f:
+        f.write(
+            "Metadata-Version: 2.1\n"
+            "Name: wheel\n"
+            f"Version: {SHIM_VERSION.replace('+shim', '')}\n"
+            "Summary: Offline shim providing the bdist_wheel command\n"
+        )
+    with open(os.path.join(dist_info, "entry_points.txt"), "w",
+              encoding="utf-8") as f:
+        f.write("[distutils.commands]\n"
+                "bdist_wheel = wheel.bdist_wheel:bdist_wheel\n")
+    with open(os.path.join(dist_info, "RECORD"), "w", encoding="utf-8") as f:
+        f.write("")
+    with open(os.path.join(dist_info, "INSTALLER"), "w", encoding="utf-8") as f:
+        f.write("wheel-shim\n")
+
+    print(f"installed wheel shim into {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Minimal offline stand-in for the PyPA ``wheel`` package.
+
+This environment has setuptools but no network and no ``wheel``
+distribution, which breaks ``pip install -e .`` (setuptools' PEP 660
+editable build imports ``wheel.wheelfile`` and dispatches to the
+``bdist_wheel`` command).  This shim implements exactly the surface
+setuptools 65 touches: :class:`wheel.wheelfile.WheelFile` and a
+``bdist_wheel`` command with ``get_tag``/``write_wheelfile``/``egg2dist``.
+
+Install with ``python tools/install_wheel_shim.py`` (done once per
+environment); it is not part of the reproduction library itself.
+"""
+
+__version__ = "0.42.0+shim"

@@ -1,0 +1,147 @@
+"""The ``bdist_wheel`` distutils command surface setuptools expects.
+
+Only the pieces exercised by editable installs are implemented:
+``get_tag``, ``write_wheelfile``, ``egg2dist`` and ``wheel_dist_name``.
+A full from-source wheel build (``run``) handles the pure-Python case.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+
+from distutils import log
+from distutils.core import Command
+
+from wheel import __version__ as wheel_version
+
+
+def safer_name(name: str) -> str:
+    return re.sub(r"[^\w\d.]+", "_", name, flags=re.UNICODE)
+
+
+def safer_version(version: str) -> str:
+    return safer_name(str(version))
+
+
+class bdist_wheel(Command):
+
+    description = "create a wheel distribution (offline shim)"
+
+    user_options = [
+        ("bdist-dir=", "b", "temporary directory for creating the distribution"),
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("keep-temp", "k", "keep the pseudo-installation tree"),
+        ("universal", None, "make a universal wheel"),
+        ("compression=", None, "zipfile compression"),
+        ("python-tag=", None, "Python implementation compatibility tag"),
+        ("build-number=", None, "build number"),
+        ("plat-name=", "p", "platform name"),
+        ("py-limited-api=", None, "Python abi3 tag"),
+        ("owner=", "u", "owner"),
+        ("group=", "g", "group"),
+        ("relative", None, "build relative"),
+        ("skip-build", None, "skip rebuilding everything"),
+    ]
+
+    boolean_options = ["keep-temp", "universal", "relative", "skip-build"]
+
+    def initialize_options(self) -> None:
+        self.bdist_dir = None
+        self.dist_dir = None
+        self.keep_temp = False
+        self.universal = False
+        self.compression = "deflated"
+        self.python_tag = "py3"
+        self.build_number = None
+        self.plat_name = None
+        self.py_limited_api = False
+        self.owner = None
+        self.group = None
+        self.relative = False
+        self.skip_build = False
+        self.data_dir = None
+
+    def finalize_options(self) -> None:
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+        self.data_dir = self.wheel_dist_name + ".data"
+
+    # ------------------------------------------------------------- metadata
+    @property
+    def wheel_dist_name(self) -> str:
+        components = [
+            safer_name(self.distribution.get_name()),
+            safer_version(self.distribution.get_version()),
+        ]
+        if self.build_number:
+            components.append(self.build_number)
+        return "-".join(components)
+
+    def get_tag(self) -> tuple[str, str, str]:
+        # The reproduction library is pure Python.
+        return (self.python_tag, "none", "any")
+
+    def write_wheelfile(self, wheelfile_base: str,
+                        generator: str | None = None) -> None:
+        generator = generator or f"wheel-shim ({wheel_version})"
+        tag = "-".join(self.get_tag())
+        content = (
+            "Wheel-Version: 1.0\n"
+            f"Generator: {generator}\n"
+            "Root-Is-Purelib: true\n"
+            f"Tag: {tag}\n"
+        )
+        path = os.path.join(wheelfile_base, "WHEEL")
+        log.info("creating %s", path)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+
+    def egg2dist(self, egginfo_path: str, distinfo_path: str) -> None:
+        """Convert an .egg-info directory into a .dist-info directory."""
+        if os.path.exists(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path)
+
+        pkginfo = os.path.join(egginfo_path, "PKG-INFO")
+        if os.path.exists(pkginfo):
+            shutil.copy(pkginfo, os.path.join(distinfo_path, "METADATA"))
+        for extra in ("entry_points.txt", "top_level.txt"):
+            source = os.path.join(egginfo_path, extra)
+            if os.path.exists(source):
+                shutil.copy(source, os.path.join(distinfo_path, extra))
+        # Mirror the real bdist_wheel: the egg-info dir is consumed.
+        shutil.rmtree(egginfo_path)
+
+    # ------------------------------------------------------------ full build
+    def run(self) -> None:
+        from wheel.wheelfile import WheelFile
+
+        build_scripts = self.reinitialize_command("build")
+        build_scripts.build_lib = None
+        self.run_command("build")
+        build_cmd = self.get_finalized_command("build")
+        libdir = build_cmd.build_lib
+
+        egg_info_cmd = self.get_finalized_command("egg_info")
+        egg_info_cmd.run()
+        egginfo_dir = egg_info_cmd.egg_info
+
+        distinfo_dirname = (
+            f"{safer_name(self.distribution.get_name())}-"
+            f"{safer_version(self.distribution.get_version())}.dist-info")
+        distinfo_dir = os.path.join(libdir, distinfo_dirname)
+        self.egg2dist(egginfo_dir, distinfo_dir)
+        self.write_wheelfile(distinfo_dir)
+
+        os.makedirs(self.dist_dir, exist_ok=True)
+        wheel_path = os.path.join(
+            self.dist_dir,
+            f"{self.wheel_dist_name}-{'-'.join(self.get_tag())}.whl")
+        with WheelFile(wheel_path, "w") as archive:
+            for root, _dirs, files in os.walk(libdir):
+                for name in sorted(files):
+                    path = os.path.join(root, name)
+                    archive.write(path, os.path.relpath(path, libdir))
+        log.info("created %s", wheel_path)

@@ -1,0 +1,81 @@
+"""WheelFile: a ZipFile that maintains the wheel RECORD manifest."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import zipfile
+
+_DIST_INFO_RE = re.compile(
+    r"^(?P<namever>(?P<name>[^-]+)-(?P<ver>[^-]+))(-(?P<build>\d[^-]*))?"
+    r"-(?P<pyver>[^-]+)-(?P<abi>[^-]+)-(?P<plat>[^-]+)\.whl$"
+)
+
+
+def _record_hash(data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    return "sha256=" + base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Write-mode wheel archive that appends a correct RECORD on close."""
+
+    def __init__(self, file, mode: str = "r",
+                 compression: int = zipfile.ZIP_DEFLATED) -> None:
+        basename = os.path.basename(str(file))
+        match = _DIST_INFO_RE.match(basename)
+        if match:
+            self.dist_info_path = (
+                f"{match.group('name')}-{match.group('ver')}.dist-info")
+        else:
+            self.dist_info_path = "unknown-0.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._record_entries: list[tuple[str, str, int]] = []
+        super().__init__(file, mode, compression=compression)
+
+    # -- recording writers --------------------------------------------------
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs) -> None:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+        arcname = (zinfo_or_arcname.filename
+                   if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+                   else zinfo_or_arcname)
+        self._record_entries.append((arcname, _record_hash(data), len(data)))
+
+    def write(self, filename, arcname=None, *args, **kwargs) -> None:
+        super().write(filename, arcname, *args, **kwargs)
+        with open(filename, "rb") as handle:
+            data = handle.read()
+        self._record_entries.append(
+            (str(arcname or filename), _record_hash(data), len(data)))
+
+    def write_files(self, base_dir) -> None:
+        """Recursively add every file under ``base_dir`` to the archive."""
+        base_dir = str(base_dir)
+        deferred: list[tuple[str, str]] = []
+        for root, _dirs, files in os.walk(base_dir):
+            for name in sorted(files):
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                if arcname == self.record_path:
+                    continue
+                if arcname.startswith(self.dist_info_path + "/"):
+                    deferred.append((path, arcname))
+                else:
+                    self.write(path, arcname)
+        # dist-info entries conventionally come last in the archive.
+        for path, arcname in deferred:
+            self.write(path, arcname)
+
+    def close(self) -> None:
+        if self.mode == "w" and self._record_entries:
+            lines = [f"{name},{digest},{size}"
+                     for name, digest, size in self._record_entries]
+            lines.append(f"{self.record_path},,")
+            payload = ("\n".join(lines) + "\n").encode("utf-8")
+            super().writestr(self.record_path, payload)
+            self._record_entries.clear()
+        super().close()
