@@ -19,6 +19,8 @@ Package map:
 * :mod:`repro.lang` — mini contract language and solc-idiomatic compiler
 * :mod:`repro.core` — the ProxioN analyzer (detection, logic recovery,
   function/storage collisions, batch pipeline)
+* :mod:`repro.obs` — metrics registry, pipeline spans, EVM profiling,
+  Prometheus/JSON exporters (see ``docs/observability.md``)
 * :mod:`repro.baselines` — USCHunt, CRUSH, Slither, Etherscan, Salehi
 * :mod:`repro.corpus` — paper-calibrated synthetic landscapes + ground truth
 * :mod:`repro.landscape` — §6/§7 analytics (figures, tables, accuracy)
@@ -34,6 +36,7 @@ from repro.core import (
     ProxyStandard,
 )
 from repro.corpus import build_accuracy_corpus, generate_landscape
+from repro.obs import NULL_REGISTRY, MetricsRegistry, SpanTracer
 
 __version__ = "1.0.0"
 
@@ -42,12 +45,15 @@ __all__ = [
     "Blockchain",
     "ContractDataset",
     "LandscapeReport",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
     "Proxion",
     "ProxionOptions",
     "ProxyCheck",
     "ProxyDetector",
     "ProxyStandard",
     "SourceRegistry",
+    "SpanTracer",
     "build_accuracy_corpus",
     "generate_landscape",
     "__version__",

@@ -3,45 +3,89 @@
 ProxioN consumes the chain exclusively through this JSON-RPC-shaped surface
 (``eth_getCode``, ``eth_getStorageAt`` at a block height, ``eth_call``), the
 same way the paper runs against a locally established Ethereum archive node
-(§7.1).  The facade also counts API calls, which is how the §6.1 result
-("26 getStorageAt calls per proxy on average, versus millions of blocks")
-is measured.
+(§7.1).  Every call is metered through the node's
+:class:`~repro.obs.registry.MetricsRegistry` — a ``rpc.calls{method=...}``
+counter plus a ``rpc.latency_seconds{method=...}`` histogram — which is how
+the §6.1 result ("26 getStorageAt calls per proxy on average, versus
+millions of blocks") is measured.  :class:`ApiCallCounter` survives as a
+compatibility shim over those registry counters.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
 
 from repro.chain.blockchain import Blockchain, Receipt
 from repro.evm.interpreter import CallResult
 from repro.evm.tracer import LogEvent
+from repro.obs.registry import Counter, Histogram, MetricsRegistry
 
 
-@dataclass(slots=True)
 class ApiCallCounter:
-    """Tallies RPC usage per method."""
+    """Per-method RPC tallies — a compatibility view over the registry.
 
-    counts: dict[str, int] = field(default_factory=dict)
+    Historically a standalone dict-of-counts; it is now backed by
+    ``rpc.calls{method=...}`` counters in a :class:`MetricsRegistry`, so
+    the legacy surface (``bump``/``get``/``total``/``reset``/``counts``)
+    and the observability exporters always agree.  Constructing it without
+    a registry gives it a private one, preserving standalone use.
+    """
+
+    __slots__ = ("registry", "_cache")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._cache: dict[str, Counter] = {}
+
+    def _counter(self, method: str) -> Counter:
+        counter = self._cache.get(method)
+        if counter is None:
+            counter = self.registry.counter("rpc.calls", method=method)
+            self._cache[method] = counter
+        return counter
 
     def bump(self, method: str) -> None:
-        self.counts[method] = self.counts.get(method, 0) + 1
-
-    def total(self) -> int:
-        return sum(self.counts.values())
-
-    def reset(self) -> None:
-        self.counts.clear()
+        self._counter(method).inc()
 
     def get(self, method: str) -> int:
-        return self.counts.get(method, 0)
+        return int(self._counter(method).value)
+
+    def total(self) -> int:
+        return int(self.registry.counter_total("rpc.calls"))
+
+    def reset(self) -> None:
+        for counter in self.registry.counters_named("rpc.calls").values():
+            counter.value = 0
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """The legacy ``{method: count}`` dict (non-zero methods only)."""
+        return {dict(labels).get("method", ""): int(counter.value)
+                for labels, counter
+                in self.registry.counters_named("rpc.calls").items()
+                if counter.value}
 
 
 class ArchiveNode:
     """Read-only archive view over a :class:`Blockchain`."""
 
-    def __init__(self, chain: Blockchain) -> None:
+    def __init__(self, chain: Blockchain,
+                 metrics: MetricsRegistry | None = None) -> None:
         self._chain = chain
-        self.api_calls = ApiCallCounter()
+        # Per-node registry by default: sweeps stay isolated from each
+        # other; pass an explicit registry (or NULL_REGISTRY) to share or
+        # disable collection.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.api_calls = ApiCallCounter(self.metrics)
+        self._latency: dict[str, Histogram] = {}
+
+    def _observe(self, method: str, start: float) -> None:
+        histogram = self._latency.get(method)
+        if histogram is None:
+            histogram = self.metrics.histogram("rpc.latency_seconds",
+                                               method=method)
+            self._latency[method] = histogram
+        histogram.observe(time.perf_counter() - start)
 
     @property
     def chain(self) -> Blockchain:
@@ -63,16 +107,24 @@ class ArchiveNode:
     # ----------------------------------------------------------------- reads
     def get_code(self, address: bytes, block_number: int | None = None) -> bytes:
         self.api_calls.bump("eth_getCode")
+        start = time.perf_counter()
         if block_number is None:
-            return self._chain.state.get_code(address)
-        return self._chain.state.get_code_at(address, block_number)
+            code = self._chain.state.get_code(address)
+        else:
+            code = self._chain.state.get_code_at(address, block_number)
+        self._observe("eth_getCode", start)
+        return code
 
     def get_storage_at(self, address: bytes, slot: int,
                        block_number: int | None = None) -> int:
         self.api_calls.bump("eth_getStorageAt")
+        start = time.perf_counter()
         if block_number is None:
-            return self._chain.state.get_storage(address, slot)
-        return self._chain.state.get_storage_at(address, slot, block_number)
+            word = self._chain.state.get_storage(address, slot)
+        else:
+            word = self._chain.state.get_storage_at(address, slot, block_number)
+        self._observe("eth_getStorageAt", start)
+        return word
 
     def get_balance(self, address: bytes) -> int:
         self.api_calls.bump("eth_getBalance")
@@ -88,8 +140,11 @@ class ArchiveNode:
         archived and read as zero).
         """
         self.api_calls.bump("eth_call")
+        start = time.perf_counter()
         if block_number is None:
-            return self._chain.call(to, data, sender=sender)
+            result = self._chain.call(to, data, sender=sender)
+            self._observe("eth_call", start)
+            return result
         from repro.evm.environment import TransactionContext
         from repro.evm.interpreter import EVM, Message
         from repro.evm.state import OverlayState
@@ -101,7 +156,9 @@ class ArchiveNode:
             tx=TransactionContext(origin=sender),
             config=self._chain.config,
         )
-        return evm.execute(Message(sender=sender, to=to, data=data))
+        result = evm.execute(Message(sender=sender, to=to, data=data))
+        self._observe("eth_call", start)
+        return result
 
     def is_alive(self, address: bytes) -> bool:
         """Alive = deployed and not self-destructed (the paper's §3.1 filter)."""
@@ -114,6 +171,7 @@ class ArchiveNode:
                  to_block: int | None = None) -> list[tuple[int, "LogEvent"]]:
         """eth_getLogs: ``(block_number, event)`` pairs matching the filter."""
         self.api_calls.bump("eth_getLogs")
+        start = time.perf_counter()
         matches: list[tuple[int, LogEvent]] = []
         for block in self._chain.blocks:
             if from_block is not None and block.number < from_block:
@@ -128,6 +186,7 @@ class ArchiveNode:
                                               or event.topics[0] != topic):
                         continue
                     matches.append((block.number, event))
+        self._observe("eth_getLogs", start)
         return matches
 
     # ----------------------------------------------- transaction-history view

@@ -22,7 +22,6 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     from repro.landscape import (
         figure5_duplicates,
         figure6_upgrades,
-        report_to_json,
         table3_collisions_by_year,
         table4_standards,
     )
@@ -33,10 +32,15 @@ def _cmd_survey(args: argparse.Namespace) -> int:
               f"(seed={args.seed})...")
     landscape = generate_landscape(total=args.total, seed=args.seed,
                                    chain_profile=profile)
-    options = ProxionOptions(detect_diamonds=args.diamonds)
+    options = ProxionOptions(detect_diamonds=args.diamonds,
+                             profile_evm=args.profile_evm)
     proxion = Proxion(landscape.node, landscape.registry, landscape.dataset,
                       options)
+    if args.trace_jsonl:
+        from repro.obs import JsonLinesSink
+        proxion.tracer.add_sink(JsonLinesSink(args.trace_jsonl))
     report = proxion.analyze_all()
+    metrics = proxion.metrics
 
     if args.db:
         from repro.landscape.store import ResultStore
@@ -45,8 +49,25 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         if not args.json:
             print(f"sweep persisted to {args.db}")
 
+    if args.metrics_prom:
+        from repro.obs import to_prometheus
+        try:
+            with open(args.metrics_prom, "w", encoding="utf-8") as stream:
+                stream.write(to_prometheus(metrics))
+        except OSError as error:
+            print(f"error: cannot write --metrics-prom file: {error}",
+                  file=sys.stderr)
+            return 1
+        if not args.json:
+            print(f"Prometheus metrics written to {args.metrics_prom}")
+
     if args.json:
-        print(report_to_json(report))
+        from repro.landscape.serialize import report_to_dict
+        import json as _json
+        payload = report_to_dict(report)
+        if args.metrics:
+            payload["metrics"] = metrics.snapshot()
+        print(_json.dumps(payload, indent=2))
         return 0
 
     proxies = report.proxies()
@@ -72,23 +93,38 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     upgrades = figure6_upgrades(report)
     print(f"never-upgraded proxies (Fig. 6): "
           f"{upgrades.never_upgraded_share:.1%}")
+
+    if args.metrics:
+        from repro.obs import survey_metrics_summary
+        print()
+        print(survey_metrics_summary(metrics))
     return 0
 
 
 def _cmd_accuracy(args: argparse.Namespace) -> int:
     from repro.corpus import build_accuracy_corpus
     from repro.landscape import table2
+    from repro.obs import MetricsRegistry, SpanTracer, survey_metrics_summary
+
+    registry = MetricsRegistry()
+    tracer = SpanTracer(registry=registry)
 
     print(f"building labelled corpus ({args.pairs} pairs per case)...")
-    corpus = build_accuracy_corpus(pairs_per_case=args.pairs, seed=args.seed)
+    with tracer.span("build_corpus", pairs_per_case=args.pairs):
+        corpus = build_accuracy_corpus(pairs_per_case=args.pairs,
+                                       seed=args.seed)
     print(f"{len(corpus.pairs)} labelled pairs\n")
     for methodology in ("union", "all"):
         print(f"--- methodology: {methodology} ---")
-        for collision_type, tools in table2(corpus,
-                                            methodology=methodology).items():
+        with tracer.span("table2", methodology=methodology):
+            scored = table2(corpus, methodology=methodology)
+        for collision_type, tools in scored.items():
             for tool, matrix in tools.items():
                 print(f"{collision_type:8s} {tool:8s} {matrix.row()}")
         print()
+
+    if args.metrics:
+        print(survey_metrics_summary(registry))
     return 0
 
 
@@ -165,11 +201,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the full sweep as JSON")
     survey.add_argument("--db", default=None,
                         help="persist the sweep to an SQLite file")
+    survey.add_argument("--metrics", action="store_true",
+                        help="print the repro.obs summary (per-stage wall "
+                             "time, RPC usage, §6.1 dedup hit rates); with "
+                             "--json, embed the metrics snapshot")
+    survey.add_argument("--metrics-prom", default=None, metavar="FILE",
+                        help="write the registry in Prometheus text format")
+    survey.add_argument("--trace-jsonl", default=None, metavar="FILE",
+                        help="append every pipeline span as JSON lines")
+    survey.add_argument("--profile-evm", action="store_true",
+                        help="collect opcode-class/gas/depth EVM profile")
     survey.set_defaults(func=_cmd_survey)
 
     accuracy = commands.add_parser("accuracy", help="Table 2 scoring (§6.3)")
     accuracy.add_argument("--pairs", type=int, default=8)
     accuracy.add_argument("--seed", type=int, default=7)
+    accuracy.add_argument("--metrics", action="store_true",
+                          help="print per-stage timing from repro.obs")
     accuracy.set_defaults(func=_cmd_accuracy)
 
     demo = commands.add_parser("demo", help="run a packaged scenario")

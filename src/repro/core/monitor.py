@@ -45,29 +45,51 @@ class MonitorStats:
 
     contracts_seen: int = 0
     proxies_seen: int = 0
+    blocks_scanned: int = 0
+    polls: int = 0
     alerts: list[Alert] = field(default_factory=list)
 
 
 class DeploymentMonitor:
-    """Analyzes new deployments as blocks arrive."""
+    """Analyzes new deployments as blocks arrive.
+
+    Alert and scan counters also land in the pipeline's metrics registry
+    (``monitor.blocks_scanned``, ``monitor.alerts{kind=...}``,
+    ``monitor.poll_lag``) so a scraped monitor is observable without
+    reaching into :attr:`stats`.
+    """
 
     def __init__(self, proxion: Proxion,
                  classify_honeypots: bool = True) -> None:
         self._proxion = proxion
         self._classify_honeypots = classify_honeypots
         self._cursor = 0          # last processed block
+        # Index into ``chain.blocks`` of the first unscanned entry; blocks
+        # are append-only, so poll cost stays proportional to *new* blocks
+        # instead of re-walking the whole chain every poll.
+        self._block_index = 0
         self._seen: set[bytes] = set()
         self.stats = MonitorStats()
+        self._metrics = proxion.metrics
+        self._blocks_scanned = self._metrics.counter("monitor.blocks_scanned")
+        self._poll_lag = self._metrics.gauge("monitor.poll_lag")
 
     # ----------------------------------------------------------------- poll
     def poll(self) -> list[Alert]:
         """Process blocks since the last poll; return the new alerts."""
         chain = self._proxion.node.chain
         latest = chain.latest_block_number
+        # How far behind the chain head this poll starts — the freshness
+        # guarantee a protective monitor is judged on.
+        self._poll_lag.set(latest - self._cursor)
         new_alerts: list[Alert] = []
-        for block in chain.blocks:
-            if block.number <= self._cursor or block.number > latest:
+        # Blocks are append-only and block numbers strictly increase, so
+        # everything before _block_index (numbers <= cursor) is done.
+        for block in chain.blocks[self._block_index:]:
+            if block.number <= self._cursor:
                 continue
+            self.stats.blocks_scanned += 1
+            self._blocks_scanned.inc()
             for receipt in block.receipts:
                 for address in self._deployments_of(receipt):
                     if address in self._seen:
@@ -75,8 +97,12 @@ class DeploymentMonitor:
                     self._seen.add(address)
                     new_alerts.extend(
                         self._analyze(address, block.number))
+        self._block_index = len(chain.blocks)
         self._cursor = latest
+        self.stats.polls += 1
         self.stats.alerts.extend(new_alerts)
+        for alert in new_alerts:
+            self._metrics.counter("monitor.alerts", kind=alert.kind).inc()
         return new_alerts
 
     @staticmethod

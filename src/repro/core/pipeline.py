@@ -29,6 +29,7 @@ from repro.core.function_collision import FunctionCollisionDetector
 from repro.core.logic_finder import LogicFinder
 from repro.core.proxy_detector import (
     LogicLocation,
+    NotProxyReason,
     ProxyCheck,
     ProxyDetector,
 )
@@ -36,8 +37,14 @@ from repro.core.report import ContractAnalysis, LandscapeReport
 from repro.core.standards import classify_standard
 from repro.core.storage_collision import StorageCollisionDetector
 from repro.evm.environment import BlockContext
+from repro.obs.evmprof import ProfilingTracer
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import NULL_TRACER, RingBufferSink, SpanTracer
 from repro.utils.hexutil import ADDRESS_MASK, word_to_address
 from repro.utils.keccak import keccak256
+
+#: The three §6.1 dedup caches, as they appear in ``dedup.*`` metrics.
+DEDUP_CACHES = ("proxy_check", "function_collision", "storage_collision")
 
 
 @dataclass(slots=True)
@@ -50,54 +57,103 @@ class ProxionOptions:
     detect_diamonds: bool = False          # the §8.2 future-work extension
     max_diamond_probes: int = 16
     dedup_by_code_hash: bool = True
+    profile_evm: bool = False              # opt-in opcode/gas/depth profiling
 
 
 class Proxion:
-    """The complete analyzer, bound to an archive node."""
+    """The complete analyzer, bound to an archive node.
+
+    Observability: the instance shares the node's
+    :class:`~repro.obs.registry.MetricsRegistry` by default (pass
+    ``metrics=NULL_REGISTRY`` to disable collection, or any registry to
+    aggregate several analyzers).  Per-stage spans land in
+    ``self.spans`` (a ring buffer) and feed ``span.seconds{name=...}``
+    histograms in the registry.
+    """
 
     def __init__(self, node: ArchiveNode,
                  registry: SourceRegistry | None = None,
                  dataset: ContractDataset | None = None,
                  options: ProxionOptions | None = None,
                  chain_state=None,
-                 block: BlockContext | None = None) -> None:
+                 block: BlockContext | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: SpanTracer | None = None) -> None:
         self.node = node
         self.registry = registry if registry is not None else SourceRegistry()
         self.dataset = dataset
         self.options = options or ProxionOptions()
+        self.metrics = metrics if metrics is not None else node.metrics
+        self.spans = RingBufferSink()
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.metrics.enabled:
+            self.tracer = SpanTracer(registry=self.metrics,
+                                     sinks=(self.spans,))
+        else:
+            self.tracer = NULL_TRACER
         # The emulator runs directly against the node's world state; an
         # explicit state object lets tests inject alternatives.
         self._state = chain_state if chain_state is not None else node.chain.state
         self._block = block or node.chain.block_context()
-        self.detector = ProxyDetector(self._state, self._block)
+        self.evm_profiler = (ProfilingTracer()
+                             if self.options.profile_evm else None)
+        self.detector = ProxyDetector(self._state, self._block,
+                                      profiler=self.evm_profiler)
         self.logic_finder = LogicFinder(node)
         self.function_detector = FunctionCollisionDetector(self.registry)
         self.storage_detector = StorageCollisionDetector(
             self.registry, self._state, self._block)
-        # Dedup caches (§6.1).
+        # Dedup caches (§6.1), each with an explicit hit/miss counter pair.
         self._check_cache: dict[bytes, ProxyCheck] = {}
         self._function_cache: dict[tuple[bytes, bytes], object] = {}
         self._storage_cache: dict[tuple[bytes, bytes], object] = {}
+        self._dedup_hits = {cache: self.metrics.counter("dedup.hits",
+                                                        cache=cache)
+                            for cache in DEDUP_CACHES}
+        self._dedup_misses = {cache: self.metrics.counter("dedup.misses",
+                                                          cache=cache)
+                              for cache in DEDUP_CACHES}
+        self._recovery_calls = self.metrics.counter(
+            "logic_recovery.getstorageat_calls")
+        self._storage_proxies = self.metrics.counter(
+            "logic_recovery.storage_proxies")
 
     # -------------------------------------------------------------- analysis
     def check_proxy(self, address: bytes) -> ProxyCheck:
         """Proxy-check one address, reusing verdicts for identical bytecode."""
-        code = self.node.get_code(address)
-        if not code:
-            return self.detector.check(address)
-        code_hash = keccak256(code)
+        with self.tracer.span("proxy_check") as span:
+            code = self.node.get_code(address)
+            if not code:
+                return self.detector.check(address)
+            code_hash = keccak256(code)
 
-        if self.options.dedup_by_code_hash and code_hash in self._check_cache:
-            cached = self._check_cache[code_hash]
-            return self._instantiate_cached_check(cached, address)
+            if (self.options.dedup_by_code_hash
+                    and code_hash in self._check_cache):
+                self._dedup_hits["proxy_check"].inc()
+                span.set(cache="hit")
+                cached = self._check_cache[code_hash]
+                return self._instantiate_cached_check(cached, address)
+            self._dedup_misses["proxy_check"].inc()
 
-        extra_probes: tuple[bytes, ...] = ()
-        if self.options.detect_diamonds:
-            extra_probes = self._mine_transaction_probes(address)
-        check = self.detector.check(address, extra_probes=extra_probes)
-        if self.options.dedup_by_code_hash:
-            self._check_cache[code_hash] = check
-        return check
+            extra_probes: tuple[bytes, ...] = ()
+            if self.options.detect_diamonds:
+                extra_probes = self._mine_transaction_probes(address)
+            check = self.detector.check(address, extra_probes=extra_probes)
+            if self.options.dedup_by_code_hash:
+                self._check_cache[code_hash] = check
+            span.set(cache="miss", is_proxy=check.is_proxy)
+            self._record_check_outcome(check)
+            return check
+
+    def _record_check_outcome(self, check: ProxyCheck) -> None:
+        """§8.1's emulation-failure accounting, by root cause."""
+        if check.reason is not NotProxyReason.EMULATION_ERROR:
+            return
+        error = check.emulation_error or "unknown"
+        cause = error.split(":", 1)[0].strip() or "unknown"
+        self.metrics.counter("proxy_check.emulation_failures",
+                             cause=cause).inc()
 
     def _instantiate_cached_check(self, cached: ProxyCheck,
                                   address: bytes) -> ProxyCheck:
@@ -172,7 +228,14 @@ class Proxion:
             return analysis
 
         analysis.standard = classify_standard(check)
-        analysis.logic_history = self.logic_finder.find(check)
+        with self.tracer.span("logic_history") as span:
+            analysis.logic_history = self.logic_finder.find(check)
+            span.set(upgrades=analysis.logic_history.upgrade_count,
+                     api_calls=analysis.logic_history.api_calls_used)
+        if analysis.logic_history.slot is not None:
+            # The §6.1 "getStorageAt calls per proxy" numerator/denominator.
+            self._storage_proxies.inc()
+            self._recovery_calls.inc(analysis.logic_history.api_calls_used)
         self._check_collisions(analysis, code)
         return analysis
 
@@ -189,22 +252,28 @@ class Proxion:
 
             if self.options.detect_function_collisions:
                 if pair in self._function_cache:
+                    self._dedup_hits["function_collision"].inc()
                     report = self._function_cache[pair]
                 else:
-                    report = self.function_detector.detect(
-                        proxy_code, logic_code,
-                        analysis.address, logic_address)
+                    self._dedup_misses["function_collision"].inc()
+                    with self.tracer.span("function_collision"):
+                        report = self.function_detector.detect(
+                            proxy_code, logic_code,
+                            analysis.address, logic_address)
                     self._function_cache[pair] = report
                 analysis.function_reports.append(report)  # type: ignore[arg-type]
 
             if self.options.detect_storage_collisions:
                 if pair in self._storage_cache:
+                    self._dedup_hits["storage_collision"].inc()
                     report = self._storage_cache[pair]
                 else:
-                    report = self.storage_detector.detect(
-                        proxy_code, logic_code,
-                        analysis.address, logic_address,
-                        verify_exploits=self.options.verify_storage_exploits)
+                    self._dedup_misses["storage_collision"].inc()
+                    with self.tracer.span("storage_collision"):
+                        report = self.storage_detector.detect(
+                            proxy_code, logic_code,
+                            analysis.address, logic_address,
+                            verify_exploits=self.options.verify_storage_exploits)
                     self._storage_cache[pair] = report
                 analysis.storage_reports.append(report)  # type: ignore[arg-type]
 
@@ -216,11 +285,33 @@ class Proxion:
                 raise ValueError("no dataset bound and no addresses given")
             addresses = self.dataset.addresses()
         report = LandscapeReport()
-        checks_before = len(self._check_cache)
-        for address in addresses:
-            if not self.node.is_alive(address):
-                continue  # §3.1: destroyed contracts are excluded
-            report.add(self.analyze_contract(address))
-        report.proxy_check_cache_hits = (
-            len(report.analyses) - (len(self._check_cache) - checks_before))
+        hits_before = {c: counter.value
+                       for c, counter in self._dedup_hits.items()}
+        misses_before = {c: counter.value
+                         for c, counter in self._dedup_misses.items()}
+        with self.tracer.span("sweep", contracts=len(addresses)):
+            for address in addresses:
+                if not self.node.is_alive(address):
+                    continue  # §3.1: destroyed contracts are excluded
+                report.add(self.analyze_contract(address))
+        if self.evm_profiler is not None:
+            self.evm_profiler.flush_to(self.metrics)
+
+        def delta(before: dict, counters: dict, cache: str) -> int:
+            return int(counters[cache].value - before[cache])
+
+        report.proxy_check_cache_hits = delta(
+            hits_before, self._dedup_hits, "proxy_check")
+        report.proxy_check_cache_misses = delta(
+            misses_before, self._dedup_misses, "proxy_check")
+        report.function_cache_hits = delta(
+            hits_before, self._dedup_hits, "function_collision")
+        report.function_cache_misses = delta(
+            misses_before, self._dedup_misses, "function_collision")
+        report.storage_cache_hits = delta(
+            hits_before, self._dedup_hits, "storage_collision")
+        report.storage_cache_misses = delta(
+            misses_before, self._dedup_misses, "storage_collision")
+        report.collision_cache_hits = (report.function_cache_hits
+                                       + report.storage_cache_hits)
         return report

@@ -22,7 +22,7 @@ from repro.evm.disassembler import contains_delegatecall
 from repro.evm.environment import BlockContext, ExecutionConfig, TransactionContext
 from repro.evm.interpreter import EVM, Message
 from repro.evm.state import OverlayState, StateBackend
-from repro.evm.tracer import CallTracer, CombinedTracer, StorageTracer
+from repro.evm.tracer import CallTracer, CombinedTracer, StorageTracer, Tracer
 from repro.utils.hexutil import address_to_word
 
 # §4.2: created contracts are parked at a fixed sentinel address during
@@ -70,13 +70,17 @@ class ProxyDetector:
 
     def __init__(self, state: StateBackend,
                  block: BlockContext | None = None,
-                 instruction_budget: int = 500_000) -> None:
+                 instruction_budget: int = 500_000,
+                 profiler: Tracer | None = None) -> None:
         self._state = state
         self._block = block or BlockContext(number=1, timestamp=1_600_000_000)
         self._config = ExecutionConfig(
             instruction_budget=instruction_budget,
             fixed_create_address=EMULATION_CREATE_ADDRESS,
         )
+        # Optional extra tracer (e.g. obs.ProfilingTracer) that rides along
+        # every emulation for opcode/gas/depth accounting.
+        self._profiler = profiler
 
     def check(self, address: bytes,
               extra_probes: tuple[bytes, ...] = ()) -> ProxyCheck:
@@ -108,13 +112,16 @@ class ProxyDetector:
         """Step 2 (§4.2): emulate one probe and classify the outcome."""
         call_tracer = CallTracer()
         storage_tracer = StorageTracer()
+        tracers: list[Tracer] = [call_tracer, storage_tracer]
+        if self._profiler is not None:
+            tracers.append(self._profiler)
         overlay = OverlayState(self._state)
         evm = EVM(
             overlay,
             block=self._block,
             tx=TransactionContext(origin=PROBE_SENDER),
             config=self._config,
-            tracer=CombinedTracer(tracers=[call_tracer, storage_tracer]),
+            tracer=CombinedTracer(tracers=tracers),
         )
         result = evm.execute(Message(
             sender=PROBE_SENDER, to=address, data=probe, gas=10_000_000))

@@ -59,11 +59,34 @@ class LandscapeReport:
     """Aggregate of a full analysis sweep (§7)."""
 
     analyses: dict[bytes, ContractAnalysis] = field(default_factory=dict)
+    # §6.1 dedup effectiveness, one explicit hit/miss pair per cache
+    # (mirrors the ``dedup.hits``/``dedup.misses`` registry counters).
     proxy_check_cache_hits: int = 0
-    collision_cache_hits: int = 0
+    proxy_check_cache_misses: int = 0
+    function_cache_hits: int = 0
+    function_cache_misses: int = 0
+    storage_cache_hits: int = 0
+    storage_cache_misses: int = 0
+    collision_cache_hits: int = 0      # legacy: function + storage hits
 
     def add(self, analysis: ContractAnalysis) -> None:
         self.analyses[analysis.address] = analysis
+
+    @staticmethod
+    def _hit_rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def dedup_hit_rates(self) -> dict[str, float]:
+        """Hit rate per dedup cache, as fractions in [0, 1]."""
+        return {
+            "proxy_check": self._hit_rate(self.proxy_check_cache_hits,
+                                          self.proxy_check_cache_misses),
+            "function_collision": self._hit_rate(self.function_cache_hits,
+                                                 self.function_cache_misses),
+            "storage_collision": self._hit_rate(self.storage_cache_hits,
+                                                self.storage_cache_misses),
+        }
 
     # ------------------------------------------------------------- counters
     def __len__(self) -> int:

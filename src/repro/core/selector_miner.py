@@ -20,10 +20,16 @@ attack is; ProxioN's detectors are the defense.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from repro.obs.registry import default_registry
+from repro.obs.spans import SpanTracer
 from repro.utils.abi import function_selector
+
+# All mining timings flow through one tracer on the shared obs clock, so
+# ``span.seconds{name="selector_mining"|"mining_rate"}`` histograms in the
+# process-wide registry see every run (pass your own tracer to redirect).
+_tracer = SpanTracer(registry=default_registry())
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,7 +65,8 @@ def _matches(selector: bytes, target: bytes, bits: int) -> bool:
 
 def mine_selector(target: bytes, prefix_bits: int = 32,
                   max_attempts: int = 10_000_000,
-                  name_prefix: str = "impl_") -> MiningResult:
+                  name_prefix: str = "impl_",
+                  tracer: SpanTracer | None = None) -> MiningResult:
     """Search for a prototype colliding with ``target`` on ``prefix_bits``.
 
     Expected attempts: 2**prefix_bits / 2 on average.  With the pure-Python
@@ -71,32 +78,35 @@ def mine_selector(target: bytes, prefix_bits: int = 32,
     if not 1 <= prefix_bits <= 32:
         raise ValueError("prefix_bits must be in 1..32")
 
-    start = time.perf_counter()
-    for attempt in range(max_attempts):
-        prototype = f"{name_prefix}{attempt:x}()"
-        if _matches(function_selector(prototype), target, prefix_bits):
-            return MiningResult(
-                prototype=prototype,
-                attempts=attempt + 1,
-                seconds=time.perf_counter() - start,
-                target=target,
-                matched_bits=prefix_bits,
-            )
+    tracer = tracer or _tracer
+    with tracer.span("selector_mining", target="0x" + target.hex(),
+                     prefix_bits=prefix_bits) as span:
+        found: str | None = None
+        attempts = max_attempts
+        for attempt in range(max_attempts):
+            prototype = f"{name_prefix}{attempt:x}()"
+            if _matches(function_selector(prototype), target, prefix_bits):
+                found = prototype
+                attempts = attempt + 1
+                break
+        span.set(attempts=attempts, found=found is not None)
     return MiningResult(
-        prototype=None,
-        attempts=max_attempts,
-        seconds=time.perf_counter() - start,
+        prototype=found,
+        attempts=attempts,
+        seconds=span.duration,
         target=target,
         matched_bits=prefix_bits,
     )
 
 
-def mining_rate(sample_attempts: int = 3000) -> float:
+def mining_rate(sample_attempts: int = 3000,
+                tracer: SpanTracer | None = None) -> float:
     """Local selector-hashing throughput in attempts/second."""
-    start = time.perf_counter()
-    for attempt in range(sample_attempts):
-        function_selector(f"rate_probe_{attempt}()")
-    elapsed = time.perf_counter() - start
+    tracer = tracer or _tracer
+    with tracer.span("mining_rate", attempts=sample_attempts) as span:
+        for attempt in range(sample_attempts):
+            function_selector(f"rate_probe_{attempt}()")
+    elapsed = span.duration
     return sample_attempts / elapsed if elapsed else 0.0
 
 

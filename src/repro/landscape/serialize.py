@@ -96,6 +96,15 @@ def report_to_dict(report: LandscapeReport) -> dict[str, Any]:
             "emulation_failure_rate": report.emulation_failure_rate(),
             "standards": {standard.value: count for standard, count
                           in report.standards_census().items()},
+            "dedup": {
+                "proxy_check": {"hits": report.proxy_check_cache_hits,
+                                "misses": report.proxy_check_cache_misses},
+                "function_collision": {"hits": report.function_cache_hits,
+                                       "misses": report.function_cache_misses},
+                "storage_collision": {"hits": report.storage_cache_hits,
+                                      "misses": report.storage_cache_misses},
+                "hit_rates": report.dedup_hit_rates(),
+            },
         },
         "contracts": [analysis_to_dict(analysis)
                       for analysis in report.analyses.values()],

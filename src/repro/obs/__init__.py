@@ -1,0 +1,64 @@
+"""``repro.obs`` — the unified observability layer.
+
+Dependency-free metrics + tracing for the whole reproduction:
+
+* :mod:`repro.obs.registry` — counters / gauges / fixed-bucket histograms
+  behind :class:`MetricsRegistry` (with :data:`NULL_REGISTRY` to opt out);
+* :mod:`repro.obs.spans` — nested wall-clock spans with attribute capture,
+  ring-buffer and JSON-lines sinks;
+* :mod:`repro.obs.evmprof` — opt-in EVM execution profiling via tracer
+  hooks;
+* :mod:`repro.obs.export` — Prometheus text, JSON snapshot, and the
+  human-readable ``--metrics`` summary.
+
+See ``docs/observability.md`` for the metric-name catalogue.
+"""
+
+from repro.obs.evmprof import ProfilingTracer, opcode_class
+from repro.obs.export import (
+    survey_metrics_summary,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    default_registry,
+    series_name,
+)
+from repro.obs.spans import (
+    JsonLinesSink,
+    NULL_TRACER,
+    NullSpanTracer,
+    RingBufferSink,
+    Span,
+    SpanTracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonLinesSink",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullSpanTracer",
+    "ProfilingTracer",
+    "RingBufferSink",
+    "Span",
+    "SpanTracer",
+    "default_registry",
+    "opcode_class",
+    "series_name",
+    "survey_metrics_summary",
+    "to_json",
+    "to_prometheus",
+]

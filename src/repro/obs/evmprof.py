@@ -1,0 +1,116 @@
+"""Opt-in EVM execution profiling, built on the interpreter's tracer hooks.
+
+:class:`ProfilingTracer` rides along any emulation (it composes with the
+detection tracers through :class:`~repro.evm.tracer.CombinedTracer`) and
+accumulates, in plain local state:
+
+* instruction counts per *opcode class* (arithmetic, storage, call, ...),
+* base gas consumed (sum of per-opcode ``base_gas`` — the monotone lower
+  bound of the simplified gas model; dynamic surcharges are not replayed),
+* the maximum call depth reached,
+* CREATE and LOG event counts.
+
+Accumulating locally and flushing once (``flush_to(registry)``) keeps the
+per-instruction cost to a dict add, which is why the profiler is safe to
+enable on full sweeps (``ProxionOptions(profile_evm=True)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evm import opcodes as op
+from repro.evm.tracer import CallEvent, CreateEvent, LogEvent, NullTracer
+from repro.obs.registry import MetricsRegistry
+
+#: Opcode-value ranges → class names (ranges are inclusive).
+_CLASS_RANGES: tuple[tuple[int, int, str], ...] = (
+    (op.STOP, op.SIGNEXTEND, "arithmetic"),
+    (op.LT, op.SAR, "compare-bitwise"),
+    (op.KECCAK256, op.KECCAK256, "keccak"),
+    (op.ADDRESS, op.EXTCODEHASH, "environment"),
+    (op.BLOCKHASH, op.BASEFEE, "block"),
+    (op.POP, op.POP, "stack"),
+    (op.MLOAD, op.MSTORE8, "memory"),
+    (op.SLOAD, op.SSTORE, "storage"),
+    (op.JUMP, op.JUMPDEST, "flow"),
+    (0x5F, 0x7F, "push"),
+    (0x80, 0x8F, "dup"),
+    (0x90, 0x9F, "swap"),
+    (op.LOG0, op.LOG4, "log"),
+    (op.CREATE, op.CREATE, "create"),
+    (op.CREATE2, op.CREATE2, "create"),
+)
+
+_CALL_FAMILY = frozenset((op.CALL, op.CALLCODE, op.DELEGATECALL,
+                          op.STATICCALL))
+_HALT_FAMILY = frozenset((op.STOP, op.RETURN, op.REVERT, op.SELFDESTRUCT,
+                          op.INVALID))
+
+
+def opcode_class(value: int) -> str:
+    """The coarse profiling class of one opcode byte."""
+    # CALL/RETURN interleave numerically (0xF0..0xFF); resolve exactly first.
+    if value in _CALL_FAMILY:
+        return "call"
+    if value in _HALT_FAMILY:
+        return "halt"
+    for low, high, name in _CLASS_RANGES:
+        if low <= value <= high:
+            return name
+    return "other"
+
+
+#: Precomputed byte → class table so the hot hook is one list index.
+_CLASS_TABLE: tuple[str, ...] = tuple(opcode_class(v) for v in range(256))
+_BASE_GAS_TABLE: tuple[int, ...] = tuple(
+    op.OPCODES[v].base_gas if v in op.OPCODES else 0 for v in range(256))
+
+
+@dataclass
+class ProfilingTracer(NullTracer):
+    """Accumulates execution-shape statistics across emulations."""
+
+    opcode_counts: dict[str, int] = field(default_factory=dict)
+    instructions: int = 0
+    base_gas: int = 0
+    max_call_depth: int = 0
+    creates: int = 0
+    logs: int = 0
+
+    def on_instruction(self, frame, pc: int, opcode_value: int) -> None:
+        self.instructions += 1
+        self.base_gas += _BASE_GAS_TABLE[opcode_value]
+        klass = _CLASS_TABLE[opcode_value]
+        counts = self.opcode_counts
+        counts[klass] = counts.get(klass, 0) + 1
+
+    def on_call(self, event: CallEvent) -> None:
+        # The sub-frame created by this event runs at ``depth + 1``.
+        if event.depth + 1 > self.max_call_depth:
+            self.max_call_depth = event.depth + 1
+
+    def on_create(self, event: CreateEvent) -> None:
+        self.creates += 1
+        if event.depth + 1 > self.max_call_depth:
+            self.max_call_depth = event.depth + 1
+
+    def on_log(self, event: LogEvent) -> None:
+        self.logs += 1
+
+    # ----------------------------------------------------------------- flush
+    def flush_to(self, registry: MetricsRegistry) -> None:
+        """Export the accumulated profile into ``registry`` and zero it."""
+        for klass, count in self.opcode_counts.items():
+            registry.counter("evm.opcodes", **{"class": klass}).inc(count)
+        registry.counter("evm.instructions").inc(self.instructions)
+        registry.counter("evm.base_gas").inc(self.base_gas)
+        registry.counter("evm.creates").inc(self.creates)
+        registry.counter("evm.logs").inc(self.logs)
+        registry.gauge("evm.max_call_depth").max(self.max_call_depth)
+        self.opcode_counts = {}
+        self.instructions = 0
+        self.base_gas = 0
+        self.creates = 0
+        self.logs = 0
+        # max_call_depth is a lifetime high-water mark; keep it.

@@ -1,0 +1,183 @@
+"""Exporters: Prometheus text format, JSON snapshot, human summary table.
+
+Three audiences for the same :class:`~repro.obs.registry.MetricsRegistry`:
+
+* :func:`to_prometheus` — the standard text exposition format (metric
+  names sanitized to ``[a-zA-Z0-9_]``, histograms in cumulative ``le``
+  form), for scraping a long-running monitor;
+* :func:`to_json` / ``registry.snapshot()`` — machine-readable dump,
+  embedded in ``survey --json --metrics`` output and consumed by CI;
+* :func:`survey_metrics_summary` — the ``--metrics`` table printed by the
+  CLI, which reproduces the §6.1 "getStorageAt calls per proxy" figure
+  directly from the registry.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.registry import MetricsRegistry, series_name
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return _NAME_RE.sub("_", name)
+
+
+def _prom_labels(labels, extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for counter in registry.iter_counters():
+        name = prefix + _prom_name(counter.name)
+        declare(name, "counter")
+        lines.append(f"{name}{_prom_labels(counter.labels)} "
+                     f"{_fmt(counter.value)}")
+    for gauge in registry.iter_gauges():
+        name = prefix + _prom_name(gauge.name)
+        declare(name, "gauge")
+        lines.append(f"{name}{_prom_labels(gauge.labels)} {_fmt(gauge.value)}")
+    for histogram in registry.iter_histograms():
+        name = prefix + _prom_name(histogram.name)
+        declare(name, "histogram")
+        for bound, cumulative in histogram.cumulative_buckets():
+            le_label = 'le="%s"' % _fmt(bound)
+            lines.append(
+                f"{name}_bucket{_prom_labels(histogram.labels, le_label)} "
+                f"{cumulative}")
+        lines.append(f"{name}_sum{_prom_labels(histogram.labels)} "
+                     f"{repr(histogram.sum)}")
+        lines.append(f"{name}_count{_prom_labels(histogram.labels)} "
+                     f"{histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: MetricsRegistry, indent: int | None = 2) -> str:
+    """The registry snapshot as a JSON string."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+# ------------------------------------------------------------- summary table
+def _label_value(labels, key: str) -> str:
+    for label_key, value in labels:
+        if label_key == key:
+            return value
+    return ""
+
+
+def _hit_rate(hits: float, misses: float) -> str:
+    total = hits + misses
+    if not total:
+        return "n/a"
+    return f"{hits / total:.1%}"
+
+
+def survey_metrics_summary(registry: MetricsRegistry) -> str:
+    """The human-readable ``--metrics`` block for survey/accuracy runs."""
+    lines: list[str] = ["", "== observability (repro.obs) =="]
+
+    # Per-stage wall time from the span histograms.
+    span_rows = [h for h in registry.iter_histograms()
+                 if h.name == "span.seconds" and h.count]
+    if span_rows:
+        lines.append("\nper-stage wall time (spans):")
+        lines.append(f"  {'stage':28s} {'calls':>8s} {'total s':>10s} "
+                     f"{'mean ms':>10s}")
+        for histogram in sorted(span_rows,
+                                key=lambda h: h.sum, reverse=True):
+            stage = _label_value(histogram.labels, "name")
+            lines.append(f"  {stage:28s} {histogram.count:>8d} "
+                         f"{histogram.sum:>10.3f} "
+                         f"{histogram.mean * 1000:>10.3f}")
+
+    # Per-RPC-method counts and latency.
+    rpc_counts = registry.counters_named("rpc.calls")
+    if rpc_counts:
+        lines.append("\nRPC usage (per method):")
+        lines.append(f"  {'method':36s} {'calls':>8s} {'mean µs':>10s}")
+        for labels, counter in sorted(rpc_counts.items(),
+                                      key=lambda kv: -kv[1].value):
+            method = _label_value(labels, "method")
+            latency = registry.histogram("rpc.latency_seconds", method=method)
+            lines.append(f"  {method:36s} {int(counter.value):>8d} "
+                         f"{latency.mean * 1e6:>10.2f}")
+
+    # Dedup cache effectiveness (§6.1), for all three caches.
+    lines.append("\ndedup caches (§6.1):")
+    for cache in ("proxy_check", "function_collision", "storage_collision"):
+        hits = registry.counter_value("dedup.hits", cache=cache)
+        misses = registry.counter_value("dedup.misses", cache=cache)
+        lines.append(f"  {cache:20s} hits={int(hits):<7d} "
+                     f"misses={int(misses):<7d} "
+                     f"hit rate={_hit_rate(hits, misses)}")
+
+    # The §6.1 headline: getStorageAt calls per storage proxy.
+    recovery_calls = registry.counter_value("logic_recovery.getstorageat_calls")
+    storage_proxies = registry.counter_value("logic_recovery.storage_proxies")
+    if storage_proxies:
+        per_proxy = recovery_calls / storage_proxies
+        lines.append(
+            f"\ngetStorageAt calls per proxy: {per_proxy:.1f} "
+            f"({int(recovery_calls)} calls / {int(storage_proxies)} storage "
+            f"proxies; paper §6.1: ~26)")
+    else:
+        lines.append("\ngetStorageAt calls per proxy: n/a "
+                     "(no storage proxies recovered)")
+
+    # EVM profile, when profiling was enabled.
+    instructions = registry.counter_value("evm.instructions")
+    if instructions:
+        lines.append(f"\nEVM profile: {int(instructions)} instructions, "
+                     f"base gas {int(registry.counter_value('evm.base_gas'))}, "
+                     f"max call depth "
+                     f"{int(registry.gauge('evm.max_call_depth').value)}")
+        classes = registry.counters_named("evm.opcodes")
+        top = sorted(classes.items(), key=lambda kv: -kv[1].value)[:6]
+        for labels, counter in top:
+            lines.append(f"  {_label_value(labels, 'class'):16s} "
+                         f"{int(counter.value):>10d}")
+
+    # Emulation failure causes, when any were recorded.
+    failures = registry.counters_named("proxy_check.emulation_failures")
+    if failures:
+        lines.append("\nemulation failures by cause:")
+        for labels, counter in sorted(failures.items(),
+                                      key=lambda kv: -kv[1].value):
+            lines.append(f"  {_label_value(labels, 'cause'):28s} "
+                         f"{int(counter.value):>6d}")
+
+    # Monitor counters, when a monitor ran in this process.
+    blocks_scanned = registry.counter_value("monitor.blocks_scanned")
+    if blocks_scanned:
+        lines.append(f"\nmonitor: {int(blocks_scanned)} blocks scanned, "
+                     f"poll lag "
+                     f"{int(registry.gauge('monitor.poll_lag').value)} blocks")
+        for labels, counter in sorted(
+                registry.counters_named("monitor.alerts").items()):
+            lines.append(f"  alerts[{_label_value(labels, 'kind')}]: "
+                         f"{int(counter.value)}")
+
+    return "\n".join(lines)

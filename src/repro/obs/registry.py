@@ -1,0 +1,278 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+The paper's headline scaling claims are *measurements* — "26 getStorageAt
+calls per proxy" (§6.1), per-stage runtimes, dedup savings — so the
+reproduction keeps a first-class, dependency-free metrics layer that is
+cheap enough to stay enabled on every sweep.  Three instrument kinds:
+
+* :class:`Counter` — monotone float/int, ``inc(amount)``;
+* :class:`Gauge` — last-write-wins value, ``set(value)``;
+* :class:`Histogram` — fixed upper-bound buckets (Prometheus-style
+  cumulative on export), plus running sum/count for means.
+
+Instruments are identified by ``(name, labels)`` and memoized, so hot
+paths fetch them once and then pay one attribute add per event.  A
+:class:`NullRegistry` (singleton :data:`NULL_REGISTRY`) hands out shared
+no-op instruments for overhead-critical runs; it is selectable per
+``Proxion`` instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default latency buckets (seconds): 1 µs .. 10 s, roughly log-spaced.
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def series_name(name: str, labels: LabelKey) -> str:
+    """Render ``name{k="v",...}`` — the key format of snapshots/exports."""
+    if not labels:
+        return name
+    rendered = ",".join(f'{key}="{value}"' for key, value in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down; last write wins."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def max(self, value: float) -> None:
+        """Keep the high-water mark (handy for depth/lag gauges)."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with running sum and count.
+
+    Buckets store *per-bucket* tallies internally; the Prometheus exporter
+    accumulates them into the cumulative ``le`` form.  An implicit +Inf
+    bucket catches overflows.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, name: str, labels: LabelKey = (),
+                 bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(sorted(bounds))
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +Inf last
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, tally in zip(self.bounds, self.bucket_counts):
+            running += tally
+            pairs.append((bound, running))
+        pairs.append((float("inf"), running + self.bucket_counts[-1]))
+        return pairs
+
+
+class MetricsRegistry:
+    """Holds every instrument of one observed system.
+
+    Thread-safe on instrument *creation*; updates on the instruments
+    themselves are plain attribute writes (the GIL makes them atomic
+    enough for counting).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+
+    # ---------------------------------------------------------- instruments
+    def counter(self, name: str, /, **labels: str) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(
+                    key, Counter(name, key[1]))
+        return instrument
+
+    def gauge(self, name: str, /, **labels: str) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(key, Gauge(name, key[1]))
+        return instrument
+
+    def histogram(self, name: str, /, bounds: tuple[float, ...] | None = None,
+                  **labels: str) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    key, Histogram(name, key[1], bounds or DEFAULT_BUCKETS))
+        return instrument
+
+    # --------------------------------------------------------------- queries
+    def counter_value(self, name: str, /, **labels: str) -> float:
+        instrument = self._counters.get((name, _label_key(labels)))
+        return instrument.value if instrument is not None else 0
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label sets."""
+        return sum(c.value for (n, _), c in self._counters.items()
+                   if n == name)
+
+    def counters_named(self, name: str) -> dict[LabelKey, Counter]:
+        return {labels: c for (n, labels), c in self._counters.items()
+                if n == name}
+
+    def iter_counters(self) -> Iterator[Counter]:
+        return iter(list(self._counters.values()))
+
+    def iter_gauges(self) -> Iterator[Gauge]:
+        return iter(list(self._gauges.values()))
+
+    def iter_histograms(self) -> Iterator[Histogram]:
+        return iter(list(self._histograms.values()))
+
+    # ------------------------------------------------------------- lifecycle
+    def reset(self) -> None:
+        """Zero every instrument *in place* — cached references stay valid."""
+        for counter in self._counters.values():
+            counter.value = 0
+        for gauge in self._gauges.values():
+            gauge.value = 0
+        for histogram in self._histograms.values():
+            histogram.bucket_counts = [0] * (len(histogram.bounds) + 1)
+            histogram.sum = 0.0
+            histogram.count = 0
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-compatible dump keyed by rendered series names."""
+        return {
+            "counters": {series_name(c.name, c.labels): c.value
+                         for c in self._counters.values()},
+            "gauges": {series_name(g.name, g.labels): g.value
+                       for g in self._gauges.values()},
+            "histograms": {
+                series_name(h.name, h.labels): {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "mean": h.mean,
+                    "buckets": {
+                        ("+Inf" if bound == float("inf") else repr(bound)):
+                            cumulative
+                        for bound, cumulative in h.cumulative_buckets()
+                    },
+                }
+                for h in self._histograms.values()
+            },
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def max(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """Hands out shared no-op instruments; records nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name: str, /, **labels: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str, /, **labels: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str, /, bounds: tuple[float, ...] | None = None,
+                  **labels: str) -> Histogram:
+        return self._null_histogram
+
+
+#: Shared no-op registry — pass as ``Proxion(..., metrics=NULL_REGISTRY)``
+#: (or ``ArchiveNode(..., metrics=NULL_REGISTRY)``) to disable collection.
+NULL_REGISTRY = NullRegistry()
+
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry (used when no explicit one is wired)."""
+    return _default_registry

@@ -1,0 +1,170 @@
+"""Span-based tracing: nested wall-clock timing with attributes and sinks.
+
+Usage::
+
+    tracer = SpanTracer(registry=metrics, sinks=(ring,))
+    with tracer.span("proxy_check", address="0x...") as span:
+        ...
+        span.set(verdict="proxy")
+
+Every finished span carries its wall time (one shared ``perf_counter``
+clock for the whole repo), nesting depth, parent name, and key/value
+attributes.  Finished spans flow to the configured sinks —
+:class:`RingBufferSink` keeps the last N in memory, :class:`JsonLinesSink`
+appends one JSON object per line — and, when a registry is attached, each
+span also feeds a ``span.seconds{name=...}`` histogram so exporters see
+per-stage totals without replaying the sinks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import IO, Any, Iterator
+
+from repro.obs.registry import MetricsRegistry
+
+clock = time.perf_counter  # the one timing clock all repro timings share
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed, attributed region of work."""
+
+    name: str
+    start: float
+    end: float | None = None
+    depth: int = 0
+    parent: str | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def set(self, **attributes: Any) -> None:
+        """Attach (or overwrite) key/value attributes."""
+        self.attributes.update(attributes)
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else clock()) - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+            "attributes": dict(self.attributes),
+        }
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` finished spans in memory."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._spans: deque[Span] = deque(maxlen=capacity)
+
+    def on_span(self, span: Span) -> None:
+        self._spans.append(span)
+
+    @property
+    def spans(self) -> list[Span]:
+        return list(self._spans)
+
+    def named(self, name: str) -> list[Span]:
+        return [span for span in self._spans if span.name == name]
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+
+class JsonLinesSink:
+    """Appends each finished span as one JSON object per line.
+
+    Accepts a path (opened lazily, append mode) or any writable file-like
+    object (not closed by this sink).
+    """
+
+    def __init__(self, target: str | IO[str]) -> None:
+        self._path = target if isinstance(target, str) else None
+        self._stream: IO[str] | None = None if isinstance(target, str) else target
+        self._owns_stream = isinstance(target, str)
+
+    def on_span(self, span: Span) -> None:
+        if self._stream is None:
+            assert self._path is not None
+            self._stream = open(self._path, "a", encoding="utf-8")
+        self._stream.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._stream is not None and self._owns_stream:
+            self._stream.close()
+            self._stream = None
+
+
+class SpanTracer:
+    """Creates nested spans and routes finished ones to sinks/registry."""
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 sinks: tuple = ()) -> None:
+        self._registry = registry
+        self._sinks = list(sinks)
+        self._stack: list[Span] = []
+
+    def add_sink(self, sink) -> None:
+        self._sinks.append(sink)
+
+    @property
+    def active(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        parent = self._stack[-1] if self._stack else None
+        record = Span(
+            name=name,
+            start=clock(),
+            depth=len(self._stack),
+            parent=parent.name if parent is not None else None,
+            attributes=dict(attributes),
+        )
+        self._stack.append(record)
+        try:
+            yield record
+        finally:
+            record.end = clock()
+            self._stack.pop()
+            for sink in self._sinks:
+                sink.on_span(record)
+            if self._registry is not None:
+                self._registry.histogram(
+                    "span.seconds", name=name).observe(record.duration)
+
+    def timed(self, name: str, **attributes: Any):
+        """Alias for :meth:`span` — reads better around pure timings."""
+        return self.span(name, **attributes)
+
+
+class NullSpanTracer(SpanTracer):
+    """Zero-cost tracer: one shared dummy span, no sinks, no registry."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._dummy = _NullSpan(name="null", start=0.0)
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        yield self._dummy
+
+
+class _NullSpan(Span):
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> None:
+        pass
+
+
+#: Shared no-op tracer.
+NULL_TRACER = NullSpanTracer()

@@ -1,0 +1,123 @@
+"""EVM profiling: opcode classification and the ProfilingTracer."""
+
+from __future__ import annotations
+
+from repro.evm import opcodes as op
+from repro.evm.tracer import CallEvent, CreateEvent, LogEvent
+from repro.obs import MetricsRegistry, ProfilingTracer, opcode_class
+
+ADDR = b"\x11" * 20
+
+
+def test_opcode_classes_cover_representatives() -> None:
+    assert opcode_class(op.ADD) == "arithmetic"
+    assert opcode_class(op.LT) == "compare-bitwise"
+    assert opcode_class(op.KECCAK256) == "keccak"
+    assert opcode_class(op.CALLER) == "environment"
+    assert opcode_class(op.SLOAD) == "storage"
+    assert opcode_class(op.SSTORE) == "storage"
+    assert opcode_class(op.MLOAD) == "memory"
+    assert opcode_class(op.JUMPDEST) == "flow"
+    assert opcode_class(0x60) == "push"            # PUSH1
+    assert opcode_class(0x80) == "dup"             # DUP1
+    assert opcode_class(0x90) == "swap"            # SWAP1
+    assert opcode_class(op.LOG0) == "log"
+    assert opcode_class(op.CREATE) == "create"
+    assert opcode_class(op.CREATE2) == "create"
+
+
+def test_call_and_halt_families_override_ranges() -> None:
+    # CALL/RETURN interleave numerically in 0xF0..0xFF; the families must
+    # resolve before any range lookup.
+    for value in (op.CALL, op.CALLCODE, op.DELEGATECALL, op.STATICCALL):
+        assert opcode_class(value) == "call"
+    for value in (op.STOP, op.RETURN, op.REVERT, op.SELFDESTRUCT, op.INVALID):
+        assert opcode_class(value) == "halt"
+
+
+def test_unassigned_byte_is_other() -> None:
+    assert opcode_class(0x0C) == "other"           # gap after SIGNEXTEND
+
+
+def test_tracer_counts_instructions_and_base_gas() -> None:
+    tracer = ProfilingTracer()
+    program = (op.PUSH1, op.PUSH1, op.ADD, op.SLOAD, op.DELEGATECALL, op.STOP)
+    for value in program:
+        tracer.on_instruction(None, 0, value)
+    assert tracer.instructions == len(program)
+    assert tracer.opcode_counts["push"] == 2
+    assert tracer.opcode_counts["arithmetic"] == 1
+    assert tracer.opcode_counts["storage"] == 1
+    assert tracer.opcode_counts["call"] == 1
+    assert tracer.opcode_counts["halt"] == 1
+    expected_gas = sum(op.OPCODES[value].base_gas for value in program)
+    assert tracer.base_gas == expected_gas
+
+
+def test_tracer_tracks_depth_creates_and_logs() -> None:
+    tracer = ProfilingTracer()
+    tracer.on_call(CallEvent(
+        kind="DELEGATECALL", depth=0, caller_code_address=ADDR,
+        caller_storage_address=ADDR, caller_calldata=b"", target=ADDR,
+        input_data=b"", value=0, pc=0))
+    tracer.on_call(CallEvent(
+        kind="CALL", depth=2, caller_code_address=ADDR,
+        caller_storage_address=ADDR, caller_calldata=b"", target=ADDR,
+        input_data=b"", value=0, pc=0))
+    tracer.on_create(CreateEvent(
+        kind="CREATE", depth=0, creator=ADDR, new_address=ADDR,
+        init_code=b"", value=0))
+    tracer.on_log(LogEvent(emitter=ADDR, topics=(), data=b"", depth=1))
+    assert tracer.max_call_depth == 3               # sub-frame of depth-2 call
+    assert tracer.creates == 1
+    assert tracer.logs == 1
+
+
+def test_flush_exports_and_zeroes_but_keeps_depth_mark() -> None:
+    registry = MetricsRegistry()
+    tracer = ProfilingTracer()
+    for value in (op.PUSH1, op.SLOAD, op.STOP):
+        tracer.on_instruction(None, 0, value)
+    tracer.on_call(CallEvent(
+        kind="CALL", depth=1, caller_code_address=ADDR,
+        caller_storage_address=ADDR, caller_calldata=b"", target=ADDR,
+        input_data=b"", value=0, pc=0))
+    tracer.flush_to(registry)
+
+    assert registry.counter_value("evm.instructions") == 3
+    assert registry.counter_value("evm.opcodes", **{"class": "storage"}) == 1
+    assert registry.counter_value("evm.base_gas") > 0
+    assert registry.gauge("evm.max_call_depth").value == 2
+    # Accumulators are zeroed; the depth high-water mark survives.
+    assert tracer.instructions == 0 and tracer.opcode_counts == {}
+    assert tracer.max_call_depth == 2
+
+    # A second, quieter flush must not regress the gauge.
+    tracer.on_instruction(None, 0, op.STOP)
+    tracer.flush_to(registry)
+    assert registry.counter_value("evm.instructions") == 4
+    assert registry.gauge("evm.max_call_depth").value == 2
+
+
+def test_profiler_rides_along_a_real_proxy_check(chain) -> None:
+    from repro.core.proxy_detector import ProxyDetector
+    from repro.lang import compile_contract, stdlib
+    from tests.conftest import ALICE
+
+    wallet = chain.deploy(
+        ALICE,
+        compile_contract(stdlib.simple_wallet("W", ALICE)).init_code,
+    ).created_address
+    proxy = chain.deploy(
+        ALICE,
+        compile_contract(stdlib.storage_proxy("P", wallet, ALICE)).init_code,
+    ).created_address
+
+    profiler = ProfilingTracer()
+    detector = ProxyDetector(chain.state, chain.block_context(),
+                             profiler=profiler)
+    check = detector.check(proxy)
+    assert check.is_proxy
+    assert profiler.instructions > 0
+    assert profiler.opcode_counts.get("call", 0) >= 1   # the DELEGATECALL
+    assert profiler.max_call_depth >= 1

@@ -1,0 +1,105 @@
+"""Exporters: Prometheus text format, JSON round-trip, --metrics summary."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    SpanTracer,
+    survey_metrics_summary,
+    to_json,
+    to_prometheus,
+)
+
+
+def _populated() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("rpc.calls", method="eth_getCode").inc(12)
+    registry.counter("rpc.calls", method="eth_getStorageAt").inc(26)
+    registry.gauge("monitor.poll_lag").set(3)
+    histogram = registry.histogram("rpc.latency_seconds",
+                                   bounds=(0.001, 0.1),
+                                   method="eth_getCode")
+    histogram.observe(0.0005)
+    histogram.observe(0.05)
+    histogram.observe(2.0)
+    return registry
+
+
+def test_prometheus_counters_and_gauges() -> None:
+    text = to_prometheus(_populated())
+    assert "# TYPE repro_rpc_calls counter" in text
+    assert 'repro_rpc_calls{method="eth_getCode"} 12' in text
+    assert 'repro_rpc_calls{method="eth_getStorageAt"} 26' in text
+    assert "# TYPE repro_monitor_poll_lag gauge" in text
+    assert "repro_monitor_poll_lag 3" in text
+
+
+def test_prometheus_histogram_cumulative_le_form() -> None:
+    text = to_prometheus(_populated())
+    assert "# TYPE repro_rpc_latency_seconds histogram" in text
+    assert ('repro_rpc_latency_seconds_bucket'
+            '{method="eth_getCode",le="0.001"} 1') in text
+    assert ('repro_rpc_latency_seconds_bucket'
+            '{method="eth_getCode",le="0.1"} 2') in text
+    assert ('repro_rpc_latency_seconds_bucket'
+            '{method="eth_getCode",le="+Inf"} 3') in text
+    assert 'repro_rpc_latency_seconds_count{method="eth_getCode"} 3' in text
+
+
+def test_prometheus_sanitizes_metric_names() -> None:
+    registry = MetricsRegistry()
+    registry.counter("weird.name-with~junk").inc()
+    text = to_prometheus(registry)
+    assert "repro_weird_name_with_junk 1" in text
+
+
+def test_json_round_trip_matches_snapshot() -> None:
+    registry = _populated()
+    decoded = json.loads(to_json(registry))
+    assert decoded == json.loads(json.dumps(registry.snapshot()))
+    assert decoded["counters"]['rpc.calls{method="eth_getStorageAt"}'] == 26
+
+
+def test_summary_reports_rpc_dedup_and_headline() -> None:
+    registry = _populated()
+    registry.counter("dedup.hits", cache="proxy_check").inc(30)
+    registry.counter("dedup.misses", cache="proxy_check").inc(10)
+    registry.counter("logic_recovery.getstorageat_calls").inc(52)
+    registry.counter("logic_recovery.storage_proxies").inc(2)
+    summary = survey_metrics_summary(registry)
+    assert "== observability (repro.obs) ==" in summary
+    assert "eth_getStorageAt" in summary and "26" in summary
+    assert "hit rate=75.0%" in summary
+    assert "getStorageAt calls per proxy: 26.0" in summary
+    assert "paper §6.1: ~26" in summary
+
+
+def test_summary_includes_span_table_and_handles_empty_denominator() -> None:
+    registry = MetricsRegistry()
+    tracer = SpanTracer(registry=registry)
+    with tracer.span("sweep"):
+        with tracer.span("proxy_check"):
+            pass
+    summary = survey_metrics_summary(registry)
+    assert "per-stage wall time (spans):" in summary
+    assert "sweep" in summary and "proxy_check" in summary
+    assert "getStorageAt calls per proxy: n/a" in summary
+
+
+def test_summary_optional_sections_appear_when_populated() -> None:
+    registry = MetricsRegistry()
+    registry.counter("evm.instructions").inc(400)
+    registry.counter("evm.base_gas").inc(1200)
+    registry.counter("evm.opcodes", **{"class": "push"}).inc(100)
+    registry.gauge("evm.max_call_depth").max(2)
+    registry.counter("proxy_check.emulation_failures",
+                     cause="StackUnderflow").inc()
+    registry.counter("monitor.blocks_scanned").inc(7)
+    registry.counter("monitor.alerts", kind="hidden-proxy").inc(2)
+    summary = survey_metrics_summary(registry)
+    assert "EVM profile: 400 instructions" in summary
+    assert "StackUnderflow" in summary
+    assert "monitor: 7 blocks scanned" in summary
+    assert "alerts[hidden-proxy]: 2" in summary

@@ -1,0 +1,86 @@
+"""ArchiveNode metering and the ApiCallCounter compatibility shim."""
+
+from __future__ import annotations
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.node import ApiCallCounter, ArchiveNode
+from repro.lang import compile_contract, stdlib
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+
+from tests.conftest import ALICE
+
+
+def _deployed(chain: Blockchain) -> bytes:
+    compiled = compile_contract(stdlib.simple_wallet("W", ALICE))
+    return chain.deploy(ALICE, compiled.init_code).created_address
+
+
+def test_standalone_shim_preserves_legacy_surface() -> None:
+    counter = ApiCallCounter()
+    counter.bump("eth_getCode")
+    counter.bump("eth_getCode")
+    counter.bump("eth_call")
+    assert counter.get("eth_getCode") == 2
+    assert counter.get("eth_never_called") == 0
+    assert counter.total() == 3
+    assert counter.counts == {"eth_getCode": 2, "eth_call": 1}
+    counter.reset()
+    assert counter.total() == 0
+    assert counter.counts == {}
+
+
+def test_shim_and_registry_always_agree(chain: Blockchain) -> None:
+    address = _deployed(chain)
+    node = ArchiveNode(chain)
+    node.get_code(address)
+    node.get_storage_at(address, 0)
+    node.get_storage_at(address, 1)
+    assert (node.api_calls.get("eth_getCode")
+            == node.metrics.counter_value("rpc.calls", method="eth_getCode")
+            == 1)
+    assert (node.api_calls.get("eth_getStorageAt")
+            == node.metrics.counter_value("rpc.calls",
+                                          method="eth_getStorageAt")
+            == 2)
+    # Bumps through the shim land in the same registry series.
+    node.api_calls.bump("eth_getCode")
+    assert node.metrics.counter_value("rpc.calls", method="eth_getCode") == 2
+
+
+def test_node_latency_histograms_track_call_counts(chain: Blockchain) -> None:
+    address = _deployed(chain)
+    node = ArchiveNode(chain)
+    node.get_code(address)
+    node.get_storage_at(address, 0)
+    node.get_storage_at(address, 1, chain.latest_block_number)
+    latency = node.metrics.histogram("rpc.latency_seconds",
+                                     method="eth_getStorageAt")
+    assert latency.count == node.api_calls.get("eth_getStorageAt") == 2
+    assert latency.sum > 0
+    assert node.metrics.histogram("rpc.latency_seconds",
+                                  method="eth_getCode").count == 1
+
+
+def test_nodes_have_isolated_registries_by_default(chain: Blockchain) -> None:
+    address = _deployed(chain)
+    first = ArchiveNode(chain)
+    second = ArchiveNode(chain)
+    first.get_code(address)
+    assert first.api_calls.get("eth_getCode") == 1
+    assert second.api_calls.get("eth_getCode") == 0
+
+
+def test_shared_and_null_registries_are_injectable(chain: Blockchain) -> None:
+    address = _deployed(chain)
+    shared = MetricsRegistry()
+    first = ArchiveNode(chain, metrics=shared)
+    second = ArchiveNode(chain, metrics=shared)
+    first.get_code(address)
+    second.get_code(address)
+    assert shared.counter_value("rpc.calls", method="eth_getCode") == 2
+
+    silent = ArchiveNode(chain, metrics=NULL_REGISTRY)
+    silent.get_code(address)
+    silent.call(address, b"")
+    assert silent.api_calls.total() == 0
+    assert silent.metrics.snapshot()["counters"] == {}

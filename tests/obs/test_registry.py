@@ -1,0 +1,134 @@
+"""MetricsRegistry: counter/gauge/histogram semantics, null variant."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    default_registry,
+    series_name,
+)
+
+
+def test_counter_inc_and_default_amount() -> None:
+    registry = MetricsRegistry()
+    counter = registry.counter("work.items")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    assert registry.counter_value("work.items") == 5
+
+
+def test_instruments_memoized_by_name_and_labels() -> None:
+    registry = MetricsRegistry()
+    a = registry.counter("rpc.calls", method="eth_getCode")
+    b = registry.counter("rpc.calls", method="eth_getCode")
+    c = registry.counter("rpc.calls", method="eth_getStorageAt")
+    assert a is b
+    assert a is not c
+    a.inc(3)
+    c.inc(2)
+    assert registry.counter_value("rpc.calls", method="eth_getCode") == 3
+    assert registry.counter_total("rpc.calls") == 5
+    assert len(registry.counters_named("rpc.calls")) == 2
+
+
+def test_label_order_does_not_split_series() -> None:
+    registry = MetricsRegistry()
+    a = registry.counter("x", one="1", two="2")
+    b = registry.counter("x", two="2", one="1")
+    assert a is b
+
+
+def test_counter_value_of_unknown_series_is_zero() -> None:
+    registry = MetricsRegistry()
+    assert registry.counter_value("never.touched") == 0
+    assert registry.counter_total("never.touched") == 0
+
+
+def test_gauge_set_and_high_water_mark() -> None:
+    registry = MetricsRegistry()
+    gauge = registry.gauge("monitor.poll_lag")
+    gauge.set(7)
+    gauge.set(2)
+    assert gauge.value == 2
+    depth = registry.gauge("evm.max_call_depth")
+    depth.max(3)
+    depth.max(1)     # lower values do not regress the mark
+    assert depth.value == 3
+
+
+def test_histogram_observe_mean_and_cumulative_buckets() -> None:
+    registry = MetricsRegistry()
+    histogram = registry.histogram("lat", bounds=(0.1, 1.0))
+    for value in (0.05, 0.5, 0.5, 5.0):
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert abs(histogram.mean - 6.05 / 4) < 1e-12
+    buckets = histogram.cumulative_buckets()
+    assert buckets[0] == (0.1, 1)             # only 0.05
+    assert buckets[1] == (1.0, 3)             # + the two 0.5s
+    assert buckets[-1] == (float("inf"), 4)   # overflow lands in +Inf
+
+
+def test_histogram_default_bounds() -> None:
+    registry = MetricsRegistry()
+    histogram = registry.histogram("rpc.latency_seconds", method="eth_call")
+    assert histogram.bounds == tuple(sorted(DEFAULT_BUCKETS))
+
+
+def test_reset_zeroes_in_place_so_cached_refs_stay_valid() -> None:
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    gauge = registry.gauge("g")
+    histogram = registry.histogram("h")
+    counter.inc(9)
+    gauge.set(9)
+    histogram.observe(0.5)
+    registry.reset()
+    assert counter.value == 0 and gauge.value == 0
+    assert histogram.count == 0 and histogram.sum == 0.0
+    counter.inc()                       # the old handle still records
+    assert registry.counter_value("c") == 1
+
+
+def test_snapshot_uses_rendered_series_names() -> None:
+    registry = MetricsRegistry()
+    registry.counter("rpc.calls", method="eth_getCode").inc(2)
+    registry.gauge("lag").set(4)
+    registry.histogram("span.seconds", name="sweep").observe(0.25)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]['rpc.calls{method="eth_getCode"}'] == 2
+    assert snapshot["gauges"]["lag"] == 4
+    series = snapshot["histograms"]['span.seconds{name="sweep"}']
+    assert series["count"] == 1
+    assert series["buckets"]["+Inf"] == 1
+
+
+def test_series_name_rendering() -> None:
+    assert series_name("plain", ()) == "plain"
+    assert (series_name("rpc.calls", (("method", "eth_getCode"),))
+            == 'rpc.calls{method="eth_getCode"}')
+
+
+def test_null_registry_records_nothing() -> None:
+    null = NullRegistry()
+    assert null.enabled is False
+    counter = null.counter("anything", label="x")
+    counter.inc(100)
+    null.gauge("g").set(5)
+    null.histogram("h").observe(1.0)
+    assert counter.value == 0
+    snapshot = null.snapshot()
+    assert snapshot["counters"] == {} and snapshot["histograms"] == {}
+    # All call sites share the same no-op instruments.
+    assert null.counter("a") is null.counter("b")
+
+
+def test_null_singleton_and_default_registry() -> None:
+    assert NULL_REGISTRY.enabled is False
+    assert isinstance(NULL_REGISTRY, NullRegistry)
+    assert default_registry() is default_registry()
+    assert default_registry().enabled is True

@@ -1,0 +1,125 @@
+"""SpanTracer: nesting, attributes, sinks, registry feed, null variant."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs import (
+    NULL_TRACER,
+    JsonLinesSink,
+    MetricsRegistry,
+    NullSpanTracer,
+    RingBufferSink,
+    SpanTracer,
+)
+
+
+def test_span_records_duration_and_attributes() -> None:
+    ring = RingBufferSink()
+    tracer = SpanTracer(sinks=(ring,))
+    with tracer.span("proxy_check", address="0xabc") as span:
+        span.set(verdict="proxy")
+    (finished,) = ring.spans
+    assert finished.name == "proxy_check"
+    assert finished.end is not None and finished.duration >= 0
+    assert finished.attributes == {"address": "0xabc", "verdict": "proxy"}
+
+
+def test_nesting_depth_and_parent() -> None:
+    ring = RingBufferSink()
+    tracer = SpanTracer(sinks=(ring,))
+    with tracer.span("sweep"):
+        assert tracer.active.name == "sweep"
+        with tracer.span("proxy_check"):
+            with tracer.span("emulate"):
+                pass
+    assert tracer.active is None
+    by_name = {span.name: span for span in ring.spans}
+    assert by_name["sweep"].depth == 0 and by_name["sweep"].parent is None
+    assert by_name["proxy_check"].depth == 1
+    assert by_name["proxy_check"].parent == "sweep"
+    assert by_name["emulate"].depth == 2
+    assert by_name["emulate"].parent == "proxy_check"
+    # Inner spans finish (and reach sinks) before outer ones.
+    assert [span.name for span in ring.spans] == ["emulate", "proxy_check",
+                                                  "sweep"]
+
+
+def test_stack_unwinds_on_exception() -> None:
+    tracer = SpanTracer()
+    try:
+        with tracer.span("fails"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert tracer.active is None
+
+
+def test_ring_buffer_capacity_and_named() -> None:
+    ring = RingBufferSink(capacity=3)
+    tracer = SpanTracer(sinks=(ring,))
+    for index in range(5):
+        with tracer.span("tick", index=index):
+            pass
+        with tracer.span("tock"):
+            pass
+    assert len(ring.spans) == 3                     # only the most recent
+    assert len(ring.named("tick")) + len(ring.named("tock")) == 3
+    ring.clear()
+    assert ring.spans == []
+
+
+def test_registry_histogram_fed_per_span_name() -> None:
+    registry = MetricsRegistry()
+    tracer = SpanTracer(registry=registry)
+    with tracer.span("logic_history"):
+        pass
+    with tracer.span("logic_history"):
+        pass
+    histogram = registry.histogram("span.seconds", name="logic_history")
+    assert histogram.count == 2
+    assert histogram.sum >= 0
+
+
+def test_jsonl_sink_writes_one_object_per_line(tmp_path) -> None:
+    path = tmp_path / "spans.jsonl"
+    sink = JsonLinesSink(str(path))
+    tracer = SpanTracer(sinks=(sink,))
+    with tracer.span("a", n=1):
+        with tracer.span("b"):
+            pass
+    sink.close()
+    lines = path.read_text().strip().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert [record["name"] for record in records] == ["b", "a"]
+    assert records[1]["attributes"] == {"n": 1}
+    assert records[0]["parent"] == "a"
+
+
+def test_jsonl_sink_accepts_file_like_without_closing_it() -> None:
+    stream = io.StringIO()
+    sink = JsonLinesSink(stream)
+    tracer = SpanTracer(sinks=(sink,))
+    with tracer.span("x"):
+        pass
+    sink.close()                       # must not close a borrowed stream
+    assert not stream.closed
+    assert json.loads(stream.getvalue())["name"] == "x"
+
+
+def test_add_sink_after_construction() -> None:
+    tracer = SpanTracer()
+    ring = RingBufferSink()
+    tracer.add_sink(ring)
+    with tracer.span("late"):
+        pass
+    assert ring.named("late")
+
+
+def test_null_tracer_is_inert() -> None:
+    tracer = NullSpanTracer()
+    with tracer.span("anything", huge="attr") as span:
+        span.set(more="attrs")
+    assert span.attributes == {}
+    assert NULL_TRACER.active is None

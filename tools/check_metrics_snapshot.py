@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""CI gate: validate a ``survey --json --metrics`` metrics snapshot.
+
+Reads the JSON sweep from a file argument (or stdin) and fails — exit 1
+with a per-key report — unless the embedded ``metrics`` snapshot contains
+the series the observability layer promises: RPC accounting, pipeline
+spans, §6.1 dedup counters, and the logic-recovery numerator/denominator.
+
+Usage::
+
+    PYTHONPATH=src python -m repro survey --total 50 --json --metrics > sweep.json
+    python tools/check_metrics_snapshot.py sweep.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Counter series every instrumented sweep must produce.
+REQUIRED_COUNTERS = (
+    'rpc.calls{method="eth_getCode"}',
+    'rpc.calls{method="eth_getStorageAt"}',
+    'dedup.hits{cache="proxy_check"}',
+    'dedup.misses{cache="proxy_check"}',
+    'dedup.misses{cache="function_collision"}',
+    'dedup.misses{cache="storage_collision"}',
+    "logic_recovery.getstorageat_calls",
+    "logic_recovery.storage_proxies",
+)
+
+#: Histogram series every instrumented sweep must produce.
+REQUIRED_HISTOGRAMS = (
+    'rpc.latency_seconds{method="eth_getCode"}',
+    'rpc.latency_seconds{method="eth_getStorageAt"}',
+    'span.seconds{name="sweep"}',
+    'span.seconds{name="proxy_check"}',
+    'span.seconds{name="logic_history"}',
+)
+
+
+def check(payload: dict) -> list[str]:
+    """All problems found in one sweep payload (empty = pass)."""
+    problems: list[str] = []
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        return ["payload has no 'metrics' object — "
+                "was survey run with --json --metrics?"]
+
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+    for key in REQUIRED_COUNTERS:
+        if key not in counters:
+            problems.append(f"missing counter: {key}")
+    for key in REQUIRED_HISTOGRAMS:
+        if key not in histograms:
+            problems.append(f"missing histogram: {key}")
+    if problems:
+        return problems
+
+    # Sanity relations between the series (not just presence).
+    if counters['rpc.calls{method="eth_getCode"}'] <= 0:
+        problems.append("eth_getCode was never called")
+    storage_calls = counters['rpc.calls{method="eth_getStorageAt"}']
+    recovery = counters["logic_recovery.getstorageat_calls"]
+    if not 0 < recovery <= storage_calls:
+        problems.append(
+            f"logic_recovery.getstorageat_calls={recovery} not within "
+            f"(0, rpc eth_getStorageAt={storage_calls}]")
+    if counters["logic_recovery.storage_proxies"] <= 0:
+        problems.append("no storage proxies recovered — the §6.1 headline "
+                        "would be undefined")
+    sweep = histograms['span.seconds{name="sweep"}']
+    if sweep.get("count") != 1:
+        problems.append(f"expected exactly one sweep span, "
+                        f"got {sweep.get('count')}")
+    dedup_total = (counters['dedup.hits{cache="proxy_check"}']
+                   + counters['dedup.misses{cache="proxy_check"}'])
+    contracts = payload.get("summary", {}).get("contracts")
+    if contracts is not None and dedup_total != contracts:
+        problems.append(f"proxy_check dedup hits+misses={dedup_total} != "
+                        f"analyzed contracts={contracts}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        with open(argv[1], encoding="utf-8") as stream:
+            payload = json.load(stream)
+    else:
+        payload = json.load(sys.stdin)
+    problems = check(payload)
+    if problems:
+        print("metrics snapshot check FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    counters = payload["metrics"]["counters"]
+    per_proxy = (counters["logic_recovery.getstorageat_calls"]
+                 / counters["logic_recovery.storage_proxies"])
+    print(f"metrics snapshot OK — "
+          f"{len(REQUIRED_COUNTERS)} counters + "
+          f"{len(REQUIRED_HISTOGRAMS)} histograms present; "
+          f"getStorageAt/proxy = {per_proxy:.1f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
