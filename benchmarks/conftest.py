@@ -9,8 +9,10 @@ reproduction target, not absolute counts — see EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
+import time
 
 import pytest
 
@@ -23,12 +25,35 @@ LANDSCAPE_TOTAL = 700
 ACCURACY_PAIRS_PER_CASE = 10
 
 
-def emit(name: str, text: str) -> None:
-    """Print a result block and archive it under benchmarks/results/."""
+def emit(name: str, text: str, data: dict | None = None) -> None:
+    """Print a result block and archive it under benchmarks/results/.
+
+    Next to the human-readable ``<name>.txt``, a structured JSON row
+    (``<name>.json``, schema ``repro.bench-row/1``) feeds the same perf
+    trajectory the ``repro bench`` payloads use — pass ``data`` for
+    machine-readable values, otherwise the text lines are archived as-is.
+    Write failures surface as :class:`OSError` naming the target, instead
+    of silently losing the run's results.
+    """
     banner = f"\n===== {name} =====\n{text}\n"
     print(banner)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    row = {
+        "schema": "repro.bench-row/1",
+        "name": name,
+        "created_unix": round(time.time(), 3),
+        "lines": text.splitlines(),
+        "data": data or {},
+    }
+    target = RESULTS_DIR / f"{name}.txt"
+    try:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        target.write_text(text + "\n", encoding="utf-8")
+        target = RESULTS_DIR / f"{name}.json"
+        target.write_text(json.dumps(row, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+    except OSError as error:
+        raise OSError(f"cannot archive benchmark result to {target}: "
+                      f"{error}") from error
 
 
 @pytest.fixture(scope="session")

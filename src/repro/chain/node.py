@@ -13,12 +13,11 @@ compatibility shim over those registry counters.
 
 from __future__ import annotations
 
-import time
-
 from repro.chain.blockchain import Blockchain, Receipt
 from repro.evm.interpreter import CallResult
 from repro.evm.tracer import LogEvent
 from repro.obs.registry import Counter, Histogram, MetricsRegistry
+from repro.obs.spans import clock
 
 
 class ApiCallCounter:
@@ -85,7 +84,7 @@ class ArchiveNode:
             histogram = self.metrics.histogram("rpc.latency_seconds",
                                                method=method)
             self._latency[method] = histogram
-        histogram.observe(time.perf_counter() - start)
+        histogram.observe(clock() - start)
 
     @property
     def chain(self) -> Blockchain:
@@ -107,7 +106,7 @@ class ArchiveNode:
     # ----------------------------------------------------------------- reads
     def get_code(self, address: bytes, block_number: int | None = None) -> bytes:
         self.api_calls.bump("eth_getCode")
-        start = time.perf_counter()
+        start = clock()
         if block_number is None:
             code = self._chain.state.get_code(address)
         else:
@@ -118,7 +117,7 @@ class ArchiveNode:
     def get_storage_at(self, address: bytes, slot: int,
                        block_number: int | None = None) -> int:
         self.api_calls.bump("eth_getStorageAt")
-        start = time.perf_counter()
+        start = clock()
         if block_number is None:
             word = self._chain.state.get_storage(address, slot)
         else:
@@ -140,7 +139,7 @@ class ArchiveNode:
         archived and read as zero).
         """
         self.api_calls.bump("eth_call")
-        start = time.perf_counter()
+        start = clock()
         if block_number is None:
             result = self._chain.call(to, data, sender=sender)
             self._observe("eth_call", start)
@@ -171,7 +170,7 @@ class ArchiveNode:
                  to_block: int | None = None) -> list[tuple[int, "LogEvent"]]:
         """eth_getLogs: ``(block_number, event)`` pairs matching the filter."""
         self.api_calls.bump("eth_getLogs")
-        start = time.perf_counter()
+        start = clock()
         matches: list[tuple[int, LogEvent]] = []
         for block in self._chain.blocks:
             if from_block is not None and block.number < from_block:

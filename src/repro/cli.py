@@ -5,6 +5,8 @@ Commands:
 * ``survey``         — generate a calibrated landscape, run the full sweep,
                        print the §7 findings
 * ``accuracy``       — build the labelled corpus, print Table 2 for every tool
+* ``bench``          — the continuous-benchmarking suite (timing trajectory,
+                       regression gate, EVM flame profiles)
 * ``demo <name>``    — run a packaged attack scenario (honeypot / audius)
 * ``mine-selector``  — §2.3: mine a selector collision against a prototype
 """
@@ -33,9 +35,13 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     landscape = generate_landscape(total=args.total, seed=args.seed,
                                    chain_profile=profile)
     options = ProxionOptions(detect_diamonds=args.diamonds,
-                             profile_evm=args.profile_evm)
+                             profile_evm=args.profile_evm or bool(args.flame))
+    flame_profiler = None
+    if args.flame:
+        from repro.obs import FlameProfiler
+        flame_profiler = FlameProfiler()
     proxion = Proxion(landscape.node, landscape.registry, landscape.dataset,
-                      options)
+                      options, evm_profiler=flame_profiler)
     if args.trace_jsonl:
         from repro.obs import JsonLinesSink
         proxion.tracer.add_sink(JsonLinesSink(args.trace_jsonl))
@@ -60,6 +66,16 @@ def _cmd_survey(args: argparse.Namespace) -> int:
             return 1
         if not args.json:
             print(f"Prometheus metrics written to {args.metrics_prom}")
+
+    if args.flame:
+        assert flame_profiler is not None
+        try:
+            flame_profiler.write_collapsed(args.flame)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if not args.json:
+            print(f"collapsed flame stacks written to {args.flame}")
 
     if args.json:
         from repro.landscape.serialize import report_to_dict
@@ -125,6 +141,89 @@ def _cmd_accuracy(args: argparse.Namespace) -> int:
 
     if args.metrics:
         print(survey_metrics_summary(registry))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import bench_summary
+    from repro.obs.bench import (
+        BenchConfig,
+        WORKLOADS,
+        compare_payloads,
+        load_payload,
+        run_suite,
+        validate_payload,
+        write_payload,
+    )
+
+    if args.list:
+        for workload in WORKLOADS.values():
+            marker = " " if workload.quick else "*"
+            print(f"  {workload.name:20s}{marker} {workload.description}")
+        print("  (* = full runs only, skipped by --quick)")
+        return 0
+
+    config = BenchConfig(
+        quick=args.quick,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        seed=args.seed,
+        only=tuple(args.workloads.split(",")) if args.workloads else None,
+    )
+    try:
+        payload = run_suite(config,
+                            progress=lambda line: print(line,
+                                                        file=sys.stderr))
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    problems = validate_payload(payload)
+    if problems:
+        print("error: produced an invalid payload:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 2
+
+    try:
+        write_payload(payload, args.out)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(bench_summary(payload))
+    print(f"\nresults written to {args.out}")
+
+    if args.flame:
+        from repro.core.pipeline import Proxion, ProxionOptions
+        from repro.corpus.generator import generate_landscape
+        from repro.obs import FlameProfiler
+
+        profiler = FlameProfiler()
+        world = generate_landscape(total=config.scale(50, 80),
+                                   seed=config.seed)
+        proxion = Proxion(world.node, world.registry, world.dataset,
+                          ProxionOptions(profile_evm=True),
+                          evm_profiler=profiler)
+        proxion.analyze_all()
+        try:
+            profiler.write_collapsed(args.flame, weight=args.flame_weight)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"collapsed flame stacks ({args.flame_weight}) written to "
+              f"{args.flame} — render with flamegraph.pl or speedscope")
+
+    if args.compare:
+        try:
+            baseline = load_payload(args.compare)
+        except FileNotFoundError:
+            print(f"\nno baseline at {args.compare} — comparison skipped "
+                  f"(gate passes)")
+            return 0
+        comparison = compare_payloads(baseline, payload)
+        print()
+        print(comparison.render())
+        return comparison.exit_code
     return 0
 
 
@@ -211,6 +310,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="append every pipeline span as JSON lines")
     survey.add_argument("--profile-evm", action="store_true",
                         help="collect opcode-class/gas/depth EVM profile")
+    survey.add_argument("--flame", default=None, metavar="FILE",
+                        help="write collapsed flame stacks of the sweep's "
+                             "EVM work (flamegraph.pl input; implies "
+                             "--profile-evm)")
     survey.set_defaults(func=_cmd_survey)
 
     accuracy = commands.add_parser("accuracy", help="Table 2 scoring (§6.3)")
@@ -219,6 +322,34 @@ def build_parser() -> argparse.ArgumentParser:
     accuracy.add_argument("--metrics", action="store_true",
                           help="print per-stage timing from repro.obs")
     accuracy.set_defaults(func=_cmd_accuracy)
+
+    bench = commands.add_parser(
+        "bench", help="continuous benchmarking (repro.obs.bench)")
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced scales + 2 repeats (the CI profile)")
+    bench.add_argument("--out", default="BENCH_proxion.json", metavar="FILE",
+                       help="result payload target (default "
+                            "BENCH_proxion.json)")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="diff against a baseline payload; exit 1 on "
+                            ">25%% median regression")
+    bench.add_argument("--flame", default=None, metavar="FILE",
+                       help="also write collapsed EVM flame stacks of the "
+                            "small sweep (flamegraph.pl input)")
+    bench.add_argument("--flame-weight", default="gas",
+                       choices=("gas", "instructions"),
+                       help="flame sample unit (default: base gas)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="timed repeats per workload (default: 2 quick / "
+                            "5 full)")
+    bench.add_argument("--warmup", type=int, default=1,
+                       help="untimed warmup iterations (default 1)")
+    bench.add_argument("--seed", type=int, default=2024)
+    bench.add_argument("--workloads", default=None, metavar="A,B,...",
+                       help="comma-separated workload filter (see --list)")
+    bench.add_argument("--list", action="store_true",
+                       help="list the registered workloads and exit")
+    bench.set_defaults(func=_cmd_bench)
 
     demo = commands.add_parser("demo", help="run a packaged scenario")
     demo.add_argument("name", choices=("quickstart", "honeypot", "audius",

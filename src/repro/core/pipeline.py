@@ -78,7 +78,8 @@ class Proxion:
                  chain_state=None,
                  block: BlockContext | None = None,
                  metrics: MetricsRegistry | None = None,
-                 tracer: SpanTracer | None = None) -> None:
+                 tracer: SpanTracer | None = None,
+                 evm_profiler: ProfilingTracer | None = None) -> None:
         self.node = node
         self.registry = registry if registry is not None else SourceRegistry()
         self.dataset = dataset
@@ -96,8 +97,13 @@ class Proxion:
         # explicit state object lets tests inject alternatives.
         self._state = chain_state if chain_state is not None else node.chain.state
         self._block = block or node.chain.block_context()
-        self.evm_profiler = (ProfilingTracer()
-                             if self.options.profile_evm else None)
+        # An injected profiler (e.g. obs.FlameProfiler for `bench --flame`)
+        # implies profiling regardless of the option flag.
+        if evm_profiler is not None:
+            self.evm_profiler: ProfilingTracer | None = evm_profiler
+        else:
+            self.evm_profiler = (ProfilingTracer()
+                                 if self.options.profile_evm else None)
         self.detector = ProxyDetector(self._state, self._block,
                                       profiler=self.evm_profiler)
         self.logic_finder = LogicFinder(node)

@@ -7,15 +7,28 @@ Dependency-free metrics + tracing for the whole reproduction:
 * :mod:`repro.obs.spans` — nested wall-clock spans with attribute capture,
   ring-buffer and JSON-lines sinks;
 * :mod:`repro.obs.evmprof` — opt-in EVM execution profiling via tracer
-  hooks;
+  hooks, including flame-graph attribution (:class:`FlameProfiler`);
+* :mod:`repro.obs.bench` — the continuous-benchmarking harness behind
+  ``repro bench``: deterministic workloads, ``repro.bench/1`` result
+  payloads, and the median-regression comparator;
 * :mod:`repro.obs.export` — Prometheus text, JSON snapshot, and the
-  human-readable ``--metrics`` summary.
+  human-readable ``--metrics`` / bench summaries.
 
-See ``docs/observability.md`` for the metric-name catalogue.
+See ``docs/observability.md`` for the metric-name catalogue and
+``docs/benchmarking.md`` for the bench workloads and schema.
 """
 
-from repro.obs.evmprof import ProfilingTracer, opcode_class
+from repro.obs.bench import (
+    BenchComparison,
+    BenchConfig,
+    WORKLOADS,
+    compare_payloads,
+    run_suite,
+    validate_payload,
+)
+from repro.obs.evmprof import FlameProfiler, ProfilingTracer, opcode_class
 from repro.obs.export import (
+    bench_summary,
     survey_metrics_summary,
     to_json,
     to_prometheus,
@@ -41,8 +54,11 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "BenchComparison",
+    "BenchConfig",
     "Counter",
     "DEFAULT_BUCKETS",
+    "FlameProfiler",
     "Gauge",
     "Histogram",
     "JsonLinesSink",
@@ -55,10 +71,15 @@ __all__ = [
     "RingBufferSink",
     "Span",
     "SpanTracer",
+    "WORKLOADS",
+    "bench_summary",
+    "compare_payloads",
     "default_registry",
     "opcode_class",
+    "run_suite",
     "series_name",
     "survey_metrics_summary",
     "to_json",
     "to_prometheus",
+    "validate_payload",
 ]

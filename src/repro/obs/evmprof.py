@@ -13,11 +13,19 @@ accumulates, in plain local state:
 Accumulating locally and flushing once (``flush_to(registry)``) keeps the
 per-instruction cost to a dict add, which is why the profiler is safe to
 enable on full sweeps (``ProxionOptions(profile_evm=True)``).
+
+:class:`FlameProfiler` extends this with *attributed* cost: self-cost
+(instructions and base gas) per call-frame stack, where each frame is
+labelled by code address and function selector.  Its collapsed-stack
+output (``frameA;frameB;frameC <count>``) is the input format of
+``flamegraph.pl`` and every speedscope-style viewer — ``repro bench
+--flame FILE`` / ``repro survey --flame FILE`` write it directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import IO
 
 from repro.evm import opcodes as op
 from repro.evm.tracer import CallEvent, CreateEvent, LogEvent, NullTracer
@@ -114,3 +122,106 @@ class ProfilingTracer(NullTracer):
         self.creates = 0
         self.logs = 0
         # max_call_depth is a lifetime high-water mark; keep it.
+
+
+# ------------------------------------------------------------------- flames
+def frame_label(frame) -> str:
+    """``0x<code-addr-prefix>:<selector>`` — one flame-stack frame name.
+
+    The first eight hex chars of the code address identify the contract
+    (the landscape's deterministic addresses never collide on that
+    prefix); the selector tells *which function's* dispatch path ran.
+    Calls with short calldata are the receive/fallback path.
+    """
+    address = frame.code_address.hex()[:8]
+    calldata = frame.calldata
+    if len(calldata) >= 4:
+        return f"0x{address}:0x{calldata[:4].hex()}"
+    return f"0x{address}:fallback"
+
+
+@dataclass
+class FlameProfiler(ProfilingTracer):
+    """Attributes EVM self-cost along the call-frame + selector stack.
+
+    On top of the aggregate :class:`ProfilingTracer` counters, every
+    instruction's cost is charged to the *current* frame stack — the
+    ``DELEGATECALL`` chain the paper's §4.2 emulation observes — so a
+    flame graph shows which proxy→logic dispatch burned the time.  Costs
+    are *self* costs; the collapsed-stack format makes them inclusive by
+    prefix, which is exactly what ``flamegraph.pl`` expects.
+
+    The per-instruction hook stays cheap: the stack key is rebuilt only
+    when the frame stack actually changes (call/return), and the hot path
+    is two integer adds on a cached accumulator.
+    """
+
+    #: stack key → [instructions, base_gas] self-cost accumulators.
+    stack_costs: dict[tuple[str, ...], list[int]] = field(
+        default_factory=dict)
+    _labels: list[str] = field(default_factory=list)
+    # Holds strong references so a freed sibling frame can never alias the
+    # current one by object identity.
+    _frames: list[object] = field(default_factory=list)
+    _current: list[int] | None = None
+
+    def on_instruction(self, frame, pc: int, opcode_value: int) -> None:
+        super().on_instruction(frame, pc, opcode_value)
+        depth = frame.depth
+        labels = self._labels
+        # Sync our label stack with the interpreter's frame stack: returns
+        # pop (shorter stack), calls push, and a sibling call at the same
+        # depth replaces the top label (frame identity changed).
+        if (len(labels) != depth + 1
+                or self._frames[depth] is not frame):
+            del labels[depth:]
+            del self._frames[depth:]
+            if len(labels) < depth:
+                # Entered mid-flight (profiler attached below the root):
+                # pad so the key still has one entry per depth.
+                missing = depth - len(labels)
+                labels.extend(["(unattributed)"] * missing)
+                self._frames.extend([None] * missing)
+            labels.append(frame_label(frame))
+            self._frames.append(frame)
+            key = tuple(labels)
+            current = self.stack_costs.get(key)
+            if current is None:
+                current = [0, 0]
+                self.stack_costs[key] = current
+            self._current = current
+        cost = self._current
+        assert cost is not None
+        cost[0] += 1
+        cost[1] += _BASE_GAS_TABLE[opcode_value]
+
+    # ----------------------------------------------------------- export
+    def collapsed(self, weight: str = "gas") -> list[str]:
+        """Collapsed-stack lines: ``a;b;c <count>`` (flamegraph.pl input).
+
+        ``weight`` selects the sample unit: ``"gas"`` (base gas, the
+        closest thing to on-chain cost) or ``"instructions"``.
+        """
+        if weight not in ("gas", "instructions"):
+            raise ValueError(f"unknown flame weight: {weight!r}")
+        index = 1 if weight == "gas" else 0
+        lines = []
+        for key in sorted(self.stack_costs):
+            value = self.stack_costs[key][index]
+            if value:
+                lines.append(f"{';'.join(key)} {value}")
+        return lines
+
+    def write_collapsed(self, target: str | IO[str],
+                        weight: str = "gas") -> None:
+        """Write :meth:`collapsed` output to a path or stream."""
+        text = "\n".join(self.collapsed(weight=weight)) + "\n"
+        if isinstance(target, str):
+            try:
+                with open(target, "w", encoding="utf-8") as stream:
+                    stream.write(text)
+            except OSError as error:
+                raise OSError(f"cannot write flame profile to {target!r}: "
+                              f"{error}") from error
+        else:
+            target.write(text)

@@ -1,4 +1,4 @@
-"""Exporters: Prometheus text format, JSON snapshot, human summary table.
+"""Exporters: Prometheus text format, JSON snapshot, human summary tables.
 
 Three audiences for the same :class:`~repro.obs.registry.MetricsRegistry`:
 
@@ -10,6 +10,9 @@ Three audiences for the same :class:`~repro.obs.registry.MetricsRegistry`:
 * :func:`survey_metrics_summary` — the ``--metrics`` table printed by the
   CLI, which reproduces the §6.1 "getStorageAt calls per proxy" figure
   directly from the registry.
+
+:func:`bench_summary` renders a ``repro.bench/1`` payload (see
+:mod:`repro.obs.bench`) as the table ``repro bench`` prints.
 """
 
 from __future__ import annotations
@@ -180,4 +183,45 @@ def survey_metrics_summary(registry: MetricsRegistry) -> str:
             lines.append(f"  alerts[{_label_value(labels, 'kind')}]: "
                          f"{int(counter.value)}")
 
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------ bench summary
+def bench_summary(payload: dict) -> str:
+    """Human rendering of a ``repro.bench/1`` payload (``repro bench``)."""
+    meta = payload.get("meta", {})
+    lines = [
+        "",
+        f"== repro bench ({payload.get('schema', '?')}) ==",
+        f"python {meta.get('python', '?')} on {meta.get('platform', '?')}; "
+        f"commit {meta.get('git_commit') or 'n/a'}; "
+        f"{meta.get('repeats', '?')} repeats"
+        f"{' (quick)' if meta.get('quick') else ''}",
+        "",
+        f"  {'workload':20s} {'median ms':>10s} {'iqr ms':>8s} "
+        f"{'stddev ms':>10s} {'rpc':>7s} {'dedup':>6s} {'evm instr':>10s}",
+    ]
+    for name, row in payload.get("workloads", {}).items():
+        stats = row.get("stats", {})
+        rpc_total = sum(row.get("rpc", {}).values())
+        hit_rates = [cache.get("hit_rate")
+                     for cache in row.get("dedup", {}).values()
+                     if cache.get("hit_rate") is not None]
+        dedup = (f"{sum(hit_rates) / len(hit_rates):.0%}"
+                 if hit_rates else "n/a")
+        instructions = row.get("evm", {}).get("instructions", 0)
+        lines.append(
+            f"  {name:20s} {stats.get('median', 0) * 1000:>10.2f} "
+            f"{stats.get('iqr', 0) * 1000:>8.2f} "
+            f"{stats.get('stddev', 0) * 1000:>10.2f} "
+            f"{rpc_total:>7d} {dedup:>6s} {instructions:>10d}")
+
+        # The dominant pipeline stages, so a row explains itself.
+        spans = row.get("spans", {})
+        top = sorted(spans.items(),
+                     key=lambda kv: -kv[1].get("total_s", 0))[:3]
+        if top:
+            detail = ", ".join(f"{stage} {info.get('total_s', 0):.3f}s"
+                               for stage, info in top)
+            lines.append(f"  {'':20s} └─ {detail}")
     return "\n".join(lines)

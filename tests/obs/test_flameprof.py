@@ -1,0 +1,156 @@
+"""Flame-graph attribution (`repro.obs.evmprof.FlameProfiler`)."""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs.evmprof import FlameProfiler, frame_label
+
+
+@dataclass
+class _FakeFrame:
+    """Just enough of an interpreter frame for the profiler hooks."""
+
+    code_address: bytes
+    calldata: bytes
+    depth: int
+
+
+PUSH1 = 0x60   # base gas 3
+STOP = 0x00    # base gas 0
+
+
+def _frame(address_byte: int, selector: bytes, depth: int) -> _FakeFrame:
+    return _FakeFrame(code_address=bytes([address_byte]) * 20,
+                      calldata=selector + b"\x00" * 28, depth=depth)
+
+
+class TestFrameLabel:
+    def test_selector_label(self) -> None:
+        frame = _frame(0xAB, b"\xde\xad\xbe\xef", 0)
+        assert frame_label(frame) == "0xabababab:0xdeadbeef"
+
+    def test_short_calldata_is_fallback(self) -> None:
+        frame = _FakeFrame(code_address=b"\x01" * 20, calldata=b"\x01",
+                           depth=0)
+        assert frame_label(frame) == "0x01010101:fallback"
+
+
+class TestFlameProfiler:
+    def test_root_only_attribution(self) -> None:
+        profiler = FlameProfiler()
+        root = _frame(0x11, b"\xaa\xbb\xcc\xdd", 0)
+        for _ in range(3):
+            profiler.on_instruction(root, 0, PUSH1)
+        key = ("0x11111111:0xaabbccdd",)
+        assert profiler.stack_costs[key] == [3, 9]
+        # The aggregate ProfilingTracer view still accumulates.
+        assert profiler.instructions == 3
+        assert profiler.base_gas == 9
+
+    def test_nested_call_builds_stack_and_returns_pop_it(self) -> None:
+        profiler = FlameProfiler()
+        root = _frame(0x11, b"\xaa\xaa\xaa\xaa", 0)
+        sub = _frame(0x22, b"\xaa\xaa\xaa\xaa", 1)
+        profiler.on_instruction(root, 0, PUSH1)
+        profiler.on_instruction(sub, 0, PUSH1)
+        profiler.on_instruction(sub, 2, PUSH1)
+        profiler.on_instruction(root, 4, PUSH1)    # back after the return
+        root_key = ("0x11111111:0xaaaaaaaa",)
+        sub_key = ("0x11111111:0xaaaaaaaa", "0x22222222:0xaaaaaaaa")
+        assert profiler.stack_costs[root_key][0] == 2
+        assert profiler.stack_costs[sub_key][0] == 2
+
+    def test_sibling_call_at_same_depth_gets_its_own_stack(self) -> None:
+        profiler = FlameProfiler()
+        root = _frame(0x11, b"\xaa\xaa\xaa\xaa", 0)
+        first = _frame(0x22, b"\xbb\xbb\xbb\xbb", 1)
+        second = _frame(0x33, b"\xbb\xbb\xbb\xbb", 1)
+        profiler.on_instruction(root, 0, PUSH1)
+        profiler.on_instruction(first, 0, PUSH1)
+        profiler.on_instruction(second, 0, PUSH1)
+        stacks = {key[-1] for key in profiler.stack_costs if len(key) == 2}
+        assert stacks == {"0x22222222:0xbbbbbbbb", "0x33333333:0xbbbbbbbb"}
+
+    def test_collapsed_output_format_and_weights(self) -> None:
+        profiler = FlameProfiler()
+        root = _frame(0x11, b"\xaa\xaa\xaa\xaa", 0)
+        profiler.on_instruction(root, 0, PUSH1)
+        profiler.on_instruction(root, 2, PUSH1)
+        gas_lines = profiler.collapsed(weight="gas")
+        instr_lines = profiler.collapsed(weight="instructions")
+        assert gas_lines == ["0x11111111:0xaaaaaaaa 6"]
+        assert instr_lines == ["0x11111111:0xaaaaaaaa 2"]
+
+    def test_zero_weight_stacks_are_omitted(self) -> None:
+        profiler = FlameProfiler()
+        root = _frame(0x11, b"\xaa\xaa\xaa\xaa", 0)
+        profiler.on_instruction(root, 0, STOP)     # 0 base gas
+        assert profiler.collapsed(weight="gas") == []
+        assert profiler.collapsed(weight="instructions") != []
+
+    def test_unknown_weight_raises(self) -> None:
+        with pytest.raises(ValueError, match="weight"):
+            FlameProfiler().collapsed(weight="joules")
+
+    def test_write_collapsed_to_stream_and_bad_path(self, tmp_path) -> None:
+        profiler = FlameProfiler()
+        profiler.on_instruction(_frame(0x11, b"\xaa\xaa\xaa\xaa", 0),
+                                0, PUSH1)
+        stream = io.StringIO()
+        profiler.write_collapsed(stream)
+        assert stream.getvalue().endswith(" 3\n")
+        target = tmp_path / "flame.collapsed"
+        profiler.write_collapsed(str(target), weight="instructions")
+        assert target.read_text().strip() == "0x11111111:0xaaaaaaaa 1"
+        with pytest.raises(OSError, match="/nope/flame"):
+            profiler.write_collapsed("/nope/flame")
+
+    def test_flush_to_registry_keeps_stack_costs(self) -> None:
+        from repro.obs.registry import MetricsRegistry
+        profiler = FlameProfiler()
+        profiler.on_instruction(_frame(0x11, b"\xaa\xaa\xaa\xaa", 0),
+                                0, PUSH1)
+        registry = MetricsRegistry()
+        profiler.flush_to(registry)
+        assert registry.counter_value("evm.instructions") == 1
+        assert profiler.instructions == 0          # aggregate zeroed
+        assert profiler.stack_costs                # attribution retained
+
+
+class TestFlameProfilerOnRealSweep:
+    def test_pipeline_injection_produces_delegatecall_stacks(self) -> None:
+        from repro.core.pipeline import Proxion, ProxionOptions
+        from repro.corpus.generator import generate_landscape
+
+        profiler = FlameProfiler()
+        world = generate_landscape(total=30, seed=5)
+        proxion = Proxion(world.node, world.registry, world.dataset,
+                          ProxionOptions(profile_evm=True),
+                          evm_profiler=profiler)
+        proxion.analyze_all()
+
+        assert proxion.evm_profiler is profiler
+        assert profiler.stack_costs
+        # Proxies delegatecall into logic contracts → depth-2 stacks exist.
+        assert any(len(key) >= 2 for key in profiler.stack_costs)
+        for line in profiler.collapsed():
+            stack, _, count = line.rpartition(" ")
+            assert int(count) > 0
+            assert all(part for part in stack.split(";"))
+        # The aggregate profile was flushed into the sweep's registry.
+        assert world.node.metrics.counter_value("evm.instructions") > 0
+
+    def test_injected_profiler_without_option_flag_still_profiles(self) -> None:
+        from repro.core.pipeline import Proxion
+        from repro.corpus.generator import generate_landscape
+
+        profiler = FlameProfiler()
+        world = generate_landscape(total=20, seed=6)
+        proxion = Proxion(world.node, world.registry, world.dataset,
+                          evm_profiler=profiler)
+        proxion.analyze_all()
+        assert profiler.stack_costs

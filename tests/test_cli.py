@@ -56,3 +56,77 @@ def test_demo_quickstart(capsys) -> None:
 def test_demo_rejects_unknown() -> None:
     with pytest.raises(SystemExit):
         main(["demo", "nonsense"])
+
+
+def test_bench_list(capsys) -> None:
+    assert main(["bench", "--list"]) == 0
+    output = capsys.readouterr().out
+    assert "proxy_check" in output and "selector_mining" in output
+
+
+def test_bench_writes_schema_valid_payload(tmp_path, capsys) -> None:
+    import json
+
+    from repro.obs.bench import validate_payload
+
+    target = tmp_path / "BENCH_test.json"
+    assert main(["bench", "--quick", "--repeats", "1", "--warmup", "0",
+                 "--workloads", "proxy_check,logic_recovery",
+                 "--out", str(target)]) == 0
+    output = capsys.readouterr().out
+    assert "repro bench" in output and "proxy_check" in output
+    payload = json.loads(target.read_text())
+    assert validate_payload(payload) == []
+
+
+def test_bench_compare_missing_baseline_passes(tmp_path, capsys) -> None:
+    target = tmp_path / "BENCH_test.json"
+    assert main(["bench", "--repeats", "1", "--warmup", "0",
+                 "--workloads", "logic_recovery",
+                 "--out", str(target),
+                 "--compare", str(tmp_path / "absent.json")]) == 0
+    assert "comparison skipped" in capsys.readouterr().out
+
+
+def test_bench_compare_regression_fails(tmp_path, capsys) -> None:
+    import json
+
+    target = tmp_path / "BENCH_test.json"
+    assert main(["bench", "--repeats", "1", "--warmup", "0",
+                 "--workloads", "logic_recovery",
+                 "--out", str(target)]) == 0
+    baseline = json.loads(target.read_text())
+    for row in baseline["workloads"].values():
+        row["stats"]["median"] /= 10  # current looks 10x slower
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(baseline), encoding="utf-8")
+    capsys.readouterr()
+    assert main(["bench", "--repeats", "1", "--warmup", "0",
+                 "--workloads", "logic_recovery",
+                 "--out", str(target),
+                 "--compare", str(baseline_path)]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_bench_rejects_unknown_workload(tmp_path, capsys) -> None:
+    assert main(["bench", "--workloads", "nonsense",
+                 "--out", str(tmp_path / "b.json")]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_bench_unwritable_out_errors(capsys) -> None:
+    assert main(["bench", "--repeats", "1", "--warmup", "0",
+                 "--workloads", "logic_recovery",
+                 "--out", "/nope/BENCH.json"]) == 1
+    assert "/nope/BENCH.json" in capsys.readouterr().err
+
+
+def test_survey_flame_writes_collapsed_stacks(tmp_path, capsys) -> None:
+    flame = tmp_path / "flame.collapsed"
+    assert main(["survey", "--total", "30", "--seed", "5",
+                 "--flame", str(flame)]) == 0
+    assert "flame" in capsys.readouterr().out
+    lines = flame.read_text().strip().splitlines()
+    assert lines
+    stack, _, count = lines[0].rpartition(" ")
+    assert int(count) > 0 and ":" in stack

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""CI gate: compare two ``repro bench`` payloads for median regressions.
+
+Wraps :func:`repro.obs.bench.compare_payloads`: fail (exit 1) when any
+workload's current median exceeds the baseline median by strictly more
+than its fail threshold (default 25 %), warn above 10 %, and stay tolerant
+of missing/empty/zero baselines so first adoption cannot brick CI.
+
+Usage::
+
+    PYTHONPATH=src python -m repro bench --quick --out BENCH_ci.json
+    python tools/check_bench_regression.py benchmarks/baseline.json BENCH_ci.json
+
+Exit codes: 0 pass (including no/partial baseline), 1 regression beyond
+the fail threshold, 2 usage or unreadable *current* payload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+# Runnable from the repo root without PYTHONPATH.
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.bench import (  # noqa: E402
+    FAIL_THRESHOLD,
+    WARN_THRESHOLD,
+    compare_payloads,
+    validate_payload,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument("--fail-threshold", type=float,
+                        default=FAIL_THRESHOLD,
+                        help="median-regression fraction that fails the "
+                             "gate (default 0.25)")
+    parser.add_argument("--warn-threshold", type=float,
+                        default=WARN_THRESHOLD,
+                        help="median-regression fraction that warns "
+                             "(default 0.10)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.current, encoding="utf-8") as stream:
+            current = json.load(stream)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read current payload {args.current!r}: {error}")
+        return 2
+    problems = validate_payload(current)
+    if problems:
+        print(f"current payload {args.current!r} is not a valid bench "
+              f"result:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 2
+
+    try:
+        with open(args.baseline, encoding="utf-8") as stream:
+            baseline = json.load(stream)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline!r} — nothing to compare, "
+              f"gate passes")
+        return 0
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"baseline {args.baseline!r} unreadable ({error}) — "
+              f"gate passes, but fix the baseline")
+        return 0
+
+    comparison = compare_payloads(
+        baseline, current,
+        warn_threshold=args.warn_threshold,
+        fail_threshold=args.fail_threshold,
+    )
+    print(comparison.render())
+    return comparison.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
