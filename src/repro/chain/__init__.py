@@ -8,7 +8,20 @@ from repro.chain.blockchain import (
 )
 from repro.chain.dataset import ContractDataset, ContractRecord
 from repro.chain.explorer import ContractSource, SourceRegistry, StorageVariableDecl
+from repro.chain.faults import (
+    CANNED_PLANS,
+    FaultPlan,
+    FaultRule,
+    FaultyNode,
+    canned_plan,
+)
 from repro.chain.node import ApiCallCounter, ArchiveNode
+from repro.chain.resilient import (
+    BreakerConfig,
+    CircuitBreaker,
+    ResilientNode,
+    RetryPolicy,
+)
 from repro.chain.profiles import (
     ARBITRUM,
     BSC,
@@ -31,7 +44,16 @@ __all__ = [
     "ArchiveNode",
     "Block",
     "Blockchain",
+    "BreakerConfig",
+    "CANNED_PLANS",
     "ChainProfile",
+    "CircuitBreaker",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyNode",
+    "ResilientNode",
+    "RetryPolicy",
+    "canned_plan",
     "get_profile",
     "ContractDataset",
     "ContractRecord",

@@ -207,13 +207,18 @@ class Blockchain:
 
     def call(self, to: bytes, data: bytes = b"",
              sender: bytes = b"\x00" * 20,
-             block_number: int | None = None) -> CallResult:
-        """Read-only eth_call against current state (no block mined)."""
+             block_number: int | None = None,
+             config: ExecutionConfig | None = None) -> CallResult:
+        """Read-only eth_call against current state (no block mined).
+
+        ``config`` overrides the chain's execution config for this call
+        (the archive node uses it to apply a per-call instruction ceiling).
+        """
         evm = EVM(
             self.state,
             block=self.block_context(block_number),
             tx=TransactionContext(origin=sender),
-            config=self.config,
+            config=config if config is not None else self.config,
         )
         snapshot = self.state.snapshot()
         try:

@@ -13,6 +13,8 @@ compatibility shim over those registry counters.
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.chain.blockchain import Blockchain, Receipt
 from repro.evm.interpreter import CallResult
 from repro.evm.tracer import LogEvent
@@ -68,8 +70,15 @@ class ApiCallCounter:
 class ArchiveNode:
     """Read-only archive view over a :class:`Blockchain`."""
 
+    #: Default per-``eth_call`` instruction ceiling.  Pathological bytecode
+    #: (unbounded loops, deep re-entrancy) must terminate as a recorded
+    #: emulation failure instead of hanging a sweep; 2M instructions is far
+    #: beyond any legitimate proxy dispatch.
+    DEFAULT_CALL_INSTRUCTION_BUDGET = 2_000_000
+
     def __init__(self, chain: Blockchain,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 call_instruction_budget: int | None = None) -> None:
         self._chain = chain
         # Per-node registry by default: sweeps stay isolated from each
         # other; pass an explicit registry (or NULL_REGISTRY) to share or
@@ -77,6 +86,9 @@ class ArchiveNode:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.api_calls = ApiCallCounter(self.metrics)
         self._latency: dict[str, Histogram] = {}
+        self.call_instruction_budget = (
+            call_instruction_budget if call_instruction_budget is not None
+            else self.DEFAULT_CALL_INSTRUCTION_BUDGET)
 
     def _observe(self, method: str, start: float) -> None:
         histogram = self._latency.get(method)
@@ -131,17 +143,26 @@ class ArchiveNode:
 
     def call(self, to: bytes, data: bytes = b"",
              sender: bytes = b"\x00" * 20,
-             block_number: int | None = None) -> CallResult:
+             block_number: int | None = None,
+             max_instructions: int | None = None) -> CallResult:
         """eth_call — against current state, or a *historical* block.
 
         Historical calls run on an overlay over the archive's frozen view
         of that block (code and storage at height; balances are not
         archived and read as zero).
+
+        Every call executes under an instruction ceiling
+        (``max_instructions`` or the node's ``call_instruction_budget``):
+        runaway bytecode terminates with an ``ExecutionTimeout`` result —
+        recorded under ``rpc.emulation_failures{cause=...}`` — instead of
+        stalling the sweep.
         """
         self.api_calls.bump("eth_call")
         start = clock()
+        config = self._capped_config(max_instructions)
         if block_number is None:
-            result = self._chain.call(to, data, sender=sender)
+            result = self._chain.call(to, data, sender=sender, config=config)
+            self._record_call_outcome(result)
             self._observe("eth_call", start)
             return result
         from repro.evm.environment import TransactionContext
@@ -153,11 +174,34 @@ class ArchiveNode:
             OverlayState(view),
             block=self._chain.block_context(block_number),
             tx=TransactionContext(origin=sender),
-            config=self._chain.config,
+            config=config,
         )
         result = evm.execute(Message(sender=sender, to=to, data=data))
+        self._record_call_outcome(result)
         self._observe("eth_call", start)
         return result
+
+    def _capped_config(self, max_instructions: int | None):
+        """The chain's execution config with the call ceiling applied."""
+        budget = (max_instructions if max_instructions is not None
+                  else self.call_instruction_budget)
+        config = self._chain.config
+        if config.instruction_budget <= budget:
+            return config
+        return dataclasses.replace(config, instruction_budget=budget)
+
+    def _record_call_outcome(self, result: CallResult) -> None:
+        """§8.1-style cause accounting for failed ``eth_call`` executions.
+
+        Reverts are clean negatives (the contract chose to reject); every
+        other error — including a tripped instruction ceiling — counts as
+        an emulation failure under its root cause.
+        """
+        if result.success or result.error is None or result.error == "revert":
+            return
+        cause = result.error.split(":", 1)[0].strip() or "unknown"
+        self.metrics.counter("rpc.emulation_failures", method="eth_call",
+                             cause=cause).inc()
 
     def is_alive(self, address: bytes) -> bool:
         """Alive = deployed and not self-destructed (the paper's §3.1 filter)."""

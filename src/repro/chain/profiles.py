@@ -13,6 +13,8 @@ from __future__ import annotations
 import datetime as _dt
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
+
 
 def _timestamp(year: int, month: int, day: int) -> int:
     return int(_dt.datetime(year, month, day,
@@ -58,5 +60,5 @@ def get_profile(name: str) -> ChainProfile:
     try:
         return PRESETS[name]
     except KeyError:
-        raise ValueError(f"unknown chain profile: {name!r}; "
+        raise ConfigurationError(f"unknown chain profile: {name!r}; "
                          f"known: {sorted(PRESETS)}") from None

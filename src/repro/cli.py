@@ -40,12 +40,56 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     if args.flame:
         from repro.obs import FlameProfiler
         flame_profiler = FlameProfiler()
-    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset,
+
+    node = landscape.node
+    if args.chaos:
+        from repro.chain.faults import FaultyNode, canned_plan
+        from repro.chain.resilient import ResilientNode
+        plan = canned_plan(args.chaos, seed=args.chaos_seed)
+        # Injected latency and backoff are accounted virtually (no real
+        # sleeps): the simulated node has nothing to actually wait for.
+        node = ResilientNode(FaultyNode(node, plan),
+                             seed=args.chaos_seed, sleep=None)
+        if not args.json:
+            print(f"chaos: injecting fault plan {args.chaos!r} "
+                  f"(seed={args.chaos_seed}) behind the resilient layer")
+
+    proxion = Proxion(node, landscape.registry, landscape.dataset,
                       options, evm_profiler=flame_profiler)
     if args.trace_jsonl:
         from repro.obs import JsonLinesSink
         proxion.tracer.add_sink(JsonLinesSink(args.trace_jsonl))
-    report = proxion.analyze_all()
+
+    checkpoint = None
+    addresses = None
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint FILE", file=sys.stderr)
+        return 2
+    if args.checkpoint:
+        import os
+        from repro.errors import ConfigurationError
+        from repro.landscape.checkpoint import SweepCheckpoint
+        addresses = landscape.dataset.addresses()
+        try:
+            if args.resume and os.path.exists(args.checkpoint):
+                checkpoint = SweepCheckpoint.resume(args.checkpoint,
+                                                    addresses)
+                if not args.json:
+                    print(f"resuming from {args.checkpoint}: "
+                          f"{len(checkpoint.completed)} of "
+                          f"{len(addresses)} addresses already done")
+            else:
+                checkpoint = SweepCheckpoint.start(args.checkpoint,
+                                                   addresses)
+        except (ConfigurationError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    try:
+        report = proxion.analyze_all(addresses, checkpoint=checkpoint)
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
     metrics = proxion.metrics
 
     if args.db:
@@ -89,7 +133,12 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     proxies = report.proxies()
     print(f"\nanalyzed {len(report)} alive contracts "
           f"({report.emulation_failure_rate():.1%} emulation failures)")
-    print(f"proxies: {len(proxies)} ({len(proxies) / len(report):.1%}); "
+    if report.failures:
+        census = ", ".join(f"{cause}: {count}" for cause, count
+                           in sorted(report.quarantine_census().items()))
+        print(f"quarantined: {len(report.failures)} contracts ({census})")
+    print(f"proxies: {len(proxies)} "
+          f"({len(proxies) / max(len(report), 1):.1%}); "
           f"hidden: {len(report.hidden_proxies())}")
     print(f"collisions: {report.function_collision_pairs()} function / "
           f"{report.storage_collision_pairs()} storage pairs")
@@ -314,6 +363,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write collapsed flame stacks of the sweep's "
                              "EVM work (flamegraph.pl input; implies "
                              "--profile-evm)")
+    survey.add_argument("--chaos", default=None,
+                        choices=("transient", "rate-limit", "latency",
+                                 "flaky", "outage", "flapping"),
+                        help="inject a canned fault plan between the sweep "
+                             "and the node, absorbed by the resilient RPC "
+                             "layer (docs/robustness.md)")
+    survey.add_argument("--chaos-seed", type=int, default=1337,
+                        help="seed for the fault plan and the retry "
+                             "jitter (default 1337)")
+    survey.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="append per-contract progress to a JSONL "
+                             "checkpoint so a killed sweep can resume")
+    survey.add_argument("--resume", action="store_true",
+                        help="resume from --checkpoint FILE if it exists "
+                             "(skips completed addresses)")
     survey.set_defaults(func=_cmd_survey)
 
     accuracy = commands.add_parser("accuracy", help="Table 2 scoring (§6.3)")

@@ -33,7 +33,11 @@ from repro.core.proxy_detector import (
     ProxyCheck,
     ProxyDetector,
 )
-from repro.core.report import ContractAnalysis, LandscapeReport
+from repro.core.report import (
+    ContractAnalysis,
+    ContractFailure,
+    LandscapeReport,
+)
 from repro.core.signature_extractor import (
     candidate_selectors,
     dispatcher_selectors,
@@ -52,6 +56,7 @@ from repro.core.symexec import SlotKey, StorageAccess, SymbolicExecutor
 __all__ = [
     "Alert",
     "ContractAnalysis",
+    "ContractFailure",
     "DeploymentMonitor",
     "EmulationFidelityAuditor",
     "FidelityReport",

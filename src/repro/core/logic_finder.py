@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.chain.node import ArchiveNode
 from repro.core.proxy_detector import LogicLocation, ProxyCheck
+from repro.errors import ConfigurationError
 from repro.utils.hexutil import ADDRESS_MASK, word_to_address
 from repro.utils.keccak import keccak256
 
@@ -151,7 +152,7 @@ class LogicFinder:
     def find(self, check: ProxyCheck) -> LogicHistory:
         """Recover all logic contracts for a positive :class:`ProxyCheck`."""
         if not check.is_proxy:
-            raise ValueError("logic recovery requires a positive proxy check")
+            raise ConfigurationError("logic recovery requires a positive proxy check")
 
         if check.logic_location is not LogicLocation.STORAGE or check.logic_slot is None:
             # Minimal pattern (§4.3): one hard-coded logic address forever.

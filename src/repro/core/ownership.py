@@ -25,6 +25,7 @@ from repro.core.proxy_detector import LogicLocation, ProxyCheck
 from repro.evm.environment import BlockContext, ExecutionConfig, TransactionContext
 from repro.evm.interpreter import EVM, Message
 from repro.evm.state import OverlayState
+from repro.errors import ConfigurationError
 from repro.evm.tracer import CallTracer
 from repro.lang.storage_layout import EIP1967_ADMIN_SLOT
 from repro.utils.hexutil import ADDRESS_MASK, word_to_address
@@ -64,7 +65,7 @@ class OwnershipAnalyzer:
 
     def analyze(self, check: ProxyCheck) -> OwnershipReport:
         if not check.is_proxy:
-            raise ValueError("ownership analysis requires a positive check")
+            raise ConfigurationError("ownership analysis requires a positive check")
         owner, slot = self._find_owner(check)
         transparent = (owner is not None
                        and self._refuses_admin_fallback(check, owner))

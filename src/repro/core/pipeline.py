@@ -33,9 +33,10 @@ from repro.core.proxy_detector import (
     ProxyCheck,
     ProxyDetector,
 )
-from repro.core.report import ContractAnalysis, LandscapeReport
+from repro.core.report import ContractAnalysis, ContractFailure, LandscapeReport
 from repro.core.standards import classify_standard
 from repro.core.storage_collision import StorageCollisionDetector
+from repro.errors import ConfigurationError, classify_cause
 from repro.evm.environment import BlockContext
 from repro.obs.evmprof import ProfilingTracer
 from repro.obs.registry import MetricsRegistry
@@ -58,6 +59,11 @@ class ProxionOptions:
     max_diamond_probes: int = 16
     dedup_by_code_hash: bool = True
     profile_evm: bool = False              # opt-in opcode/gas/depth profiling
+    # Graceful degradation: per-contract failures are quarantined into
+    # ``LandscapeReport.failures`` and the sweep continues.  ``fail_fast``
+    # restores the legacy abort-on-first-error behavior (useful in tests
+    # that must not mask bugs).
+    fail_fast: bool = False
 
 
 class Proxion:
@@ -284,22 +290,90 @@ class Proxion:
                 analysis.storage_reports.append(report)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------ full sweep
-    def analyze_all(self, addresses: list[bytes] | None = None) -> LandscapeReport:
-        """Analyze every (alive) contract, like the paper's §7 sweep."""
+    def _quarantine(self, report: LandscapeReport, address: bytes,
+                    stage: str, error: Exception, checkpoint) -> None:
+        """Record one failed contract and keep the sweep alive."""
+        failure = ContractFailure(address=address,
+                                  cause=classify_cause(error),
+                                  error=str(error), stage=stage)
+        report.add_failure(failure)
+        self.metrics.counter("pipeline.quarantined",
+                             cause=failure.cause).inc()
+        if checkpoint is not None:
+            checkpoint.record_failure(failure)
+
+    def analyze_all(self, addresses: list[bytes] | None = None,
+                    checkpoint=None) -> LandscapeReport:
+        """Analyze every (alive) contract, like the paper's §7 sweep.
+
+        The sweep degrades gracefully: a contract whose analysis raises is
+        *quarantined* as a :class:`ContractFailure` (cause-classified, in
+        ``report.failures`` and the ``pipeline.quarantined{cause=...}``
+        counter) and the sweep moves on — unless
+        ``options.fail_fast`` is set, which re-raises immediately.
+        :class:`~repro.errors.ConfigurationError` always propagates: caller
+        bugs must not be silently quarantined.
+
+        ``checkpoint`` is a :class:`~repro.landscape.checkpoint.SweepCheckpoint`
+        (or anything with its surface): completed addresses are skipped and
+        their restored analyses/failures pre-seed the report, and every
+        newly finished address is appended, so a killed sweep resumes from
+        the last completed contract.
+        """
         if addresses is None:
             if self.dataset is None:
-                raise ValueError("no dataset bound and no addresses given")
+                raise ConfigurationError(
+                    "no dataset bound and no addresses given")
             addresses = self.dataset.addresses()
         report = LandscapeReport()
+        done: frozenset[bytes] = frozenset()
+        if checkpoint is not None:
+            for analysis in checkpoint.restored_analyses():
+                report.add(analysis)
+            for failure in checkpoint.restored_failures():
+                report.add_failure(failure)
+            done = frozenset(checkpoint.completed)
+            self.metrics.counter("pipeline.resumed_contracts").inc(len(done))
         hits_before = {c: counter.value
                        for c, counter in self._dedup_hits.items()}
         misses_before = {c: counter.value
                          for c, counter in self._dedup_misses.items()}
         with self.tracer.span("sweep", contracts=len(addresses)):
             for address in addresses:
-                if not self.node.is_alive(address):
-                    continue  # §3.1: destroyed contracts are excluded
-                report.add(self.analyze_contract(address))
+                if address in done:
+                    continue
+                try:
+                    alive = self.node.is_alive(address)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except ConfigurationError:
+                    raise
+                except Exception as error:
+                    if self.options.fail_fast:
+                        raise
+                    self._quarantine(report, address, "liveness", error,
+                                     checkpoint)
+                    continue
+                if not alive:
+                    # §3.1: destroyed contracts are excluded.
+                    if checkpoint is not None:
+                        checkpoint.record_skip(address)
+                    continue
+                try:
+                    analysis = self.analyze_contract(address)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except ConfigurationError:
+                    raise
+                except Exception as error:
+                    if self.options.fail_fast:
+                        raise
+                    self._quarantine(report, address, "analysis", error,
+                                     checkpoint)
+                    continue
+                report.add(analysis)
+                if checkpoint is not None:
+                    checkpoint.record_analysis(analysis)
         if self.evm_profiler is not None:
             self.evm_profiler.flush_to(self.metrics)
 

@@ -54,11 +54,30 @@ class ContractAnalysis:
                     and self.check.reason is NotProxyReason.EMULATION_ERROR)
 
 
+@dataclass(frozen=True, slots=True)
+class ContractFailure:
+    """One quarantined per-contract failure of a degraded sweep.
+
+    When a contract's analysis dies (RPC deadline, open circuit, runaway
+    emulation, ...) the pipeline records the cause here and keeps sweeping
+    instead of aborting — the paper's ~10⁹-RPC regime cannot afford to lose
+    a run to one bad contract.  ``cause`` is the stable label from
+    :func:`repro.errors.classify_cause`; ``stage`` names the pipeline step
+    that failed (``liveness`` or ``analysis``).
+    """
+
+    address: bytes
+    cause: str
+    error: str
+    stage: str = "analysis"
+
+
 @dataclass(slots=True)
 class LandscapeReport:
     """Aggregate of a full analysis sweep (§7)."""
 
     analyses: dict[bytes, ContractAnalysis] = field(default_factory=dict)
+    failures: dict[bytes, ContractFailure] = field(default_factory=dict)
     # §6.1 dedup effectiveness, one explicit hit/miss pair per cache
     # (mirrors the ``dedup.hits``/``dedup.misses`` registry counters).
     proxy_check_cache_hits: int = 0
@@ -71,6 +90,25 @@ class LandscapeReport:
 
     def add(self, analysis: ContractAnalysis) -> None:
         self.analyses[analysis.address] = analysis
+        self.failures.pop(analysis.address, None)
+
+    def add_failure(self, failure: ContractFailure) -> None:
+        self.failures[failure.address] = failure
+
+    def quarantined(self) -> list[ContractFailure]:
+        return list(self.failures.values())
+
+    def quarantine_census(self) -> dict[str, int]:
+        """Quarantined contracts per cause label."""
+        census: dict[str, int] = {}
+        for failure in self.failures.values():
+            census[failure.cause] = census.get(failure.cause, 0) + 1
+        return census
+
+    @property
+    def attempted(self) -> int:
+        """Contracts the sweep touched: analyzed plus quarantined."""
+        return len(self.analyses) + len(self.failures)
 
     @staticmethod
     def _hit_rate(hits: int, misses: int) -> float:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.obs.registry import default_registry
 from repro.obs.spans import SpanTracer
 from repro.utils.abi import function_selector
@@ -74,9 +75,9 @@ def mine_selector(target: bytes, prefix_bits: int = 32,
     interactive use and extrapolate for the full 32 bits.
     """
     if len(target) != 4:
-        raise ValueError("target selector must be 4 bytes")
+        raise ConfigurationError("target selector must be 4 bytes")
     if not 1 <= prefix_bits <= 32:
-        raise ValueError("prefix_bits must be in 1..32")
+        raise ConfigurationError("prefix_bits must be in 1..32")
 
     tracer = tracer or _tracer
     with tracer.span("selector_mining", target="0x" + target.hex(),

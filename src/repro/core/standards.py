@@ -14,6 +14,7 @@ from __future__ import annotations
 import enum
 
 from repro.core.proxy_detector import LogicLocation, ProxyCheck
+from repro.errors import ConfigurationError
 from repro.lang.storage_layout import (
     EIP1822_PROXIABLE_SLOT,
     EIP1967_IMPLEMENTATION_SLOT,
@@ -32,7 +33,7 @@ class ProxyStandard(enum.Enum):
 def classify_standard(check: ProxyCheck) -> ProxyStandard:
     """Assign a positive proxy check to its design standard."""
     if not check.is_proxy:
-        raise ValueError("cannot classify a non-proxy")
+        raise ConfigurationError("cannot classify a non-proxy")
     if check.logic_location is LogicLocation.HARDCODED:
         return ProxyStandard.EIP1167
     if check.logic_slot == EIP1822_PROXIABLE_SLOT:

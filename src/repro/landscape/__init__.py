@@ -9,8 +9,12 @@ from repro.landscape.accuracy import (
     score_uschunt_storage,
     table2,
 )
+from repro.landscape.checkpoint import SweepCheckpoint
 from repro.landscape.serialize import (
     analysis_to_dict,
+    dict_to_analysis,
+    dict_to_failure,
+    failure_to_dict,
     report_to_dict,
     report_to_json,
 )
@@ -32,7 +36,11 @@ __all__ = [
     "CollisionsByYear",
     "ResultStore",
     "StoredContract",
+    "SweepCheckpoint",
     "analysis_to_dict",
+    "dict_to_analysis",
+    "dict_to_failure",
+    "failure_to_dict",
     "report_to_dict",
     "report_to_json",
     "ConfusionMatrix",

@@ -25,6 +25,7 @@ from repro.corpus.ground_truth import AccuracyCorpus, LabelledPair
 from repro.core.function_collision import FunctionCollisionDetector
 from repro.core.proxy_detector import ProxyDetector
 from repro.core.storage_collision import StorageCollisionDetector
+from repro.errors import ConfigurationError
 
 PairKey = tuple[bytes, bytes]
 
@@ -149,7 +150,7 @@ def table2(corpus: AccuracyCorpus,
            methodology: str = "all") -> dict[str, dict[str, ConfusionMatrix]]:
     """The full Table 2: tool × collision-type confusion matrices."""
     if methodology not in ("all", "union"):
-        raise ValueError(f"unknown methodology: {methodology}")
+        raise ConfigurationError(f"unknown methodology: {methodology}")
 
     storage_verdicts = {
         "USCHunt": uschunt_storage_verdicts(corpus),

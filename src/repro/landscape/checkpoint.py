@@ -1,0 +1,176 @@
+"""JSONL sweep checkpoints: kill a sweep, resume from the last contract.
+
+A §6-scale landscape sweep runs for days; losing it to a node restart or an
+OOM kill is not acceptable.  :class:`SweepCheckpoint` gives
+:meth:`repro.core.pipeline.Proxion.analyze_all` durable, append-only
+progress:
+
+* line 1 is a header — schema tag, address-list fingerprint, total count —
+  so a resume against the *wrong* landscape fails loudly instead of
+  producing a silently mismatched report;
+* every completed contract appends one self-contained JSON line
+  (``analysis`` / ``failure`` / ``skip``), flushed immediately, so a kill
+  at any instant loses at most the contract in flight;
+* on resume, restored analyses are rebuilt through
+  :func:`~repro.landscape.serialize.dict_to_analysis` and pre-seed the
+  report, and the completed-address set tells the pipeline where to pick
+  up.
+
+Because analyses are serialized losslessly (w.r.t. what
+``report_to_dict`` emits), a resumed sweep serializes identically to the
+uninterrupted one — the checkpoint-equivalence property the chaos suite
+asserts.  Note the per-sweep dedup counters are the one exception: a
+resumed process only pays cache misses for the tail it actually analyzes,
+so ``summary.dedup`` legitimately differs (see ``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Iterable
+
+from repro.core.report import ContractAnalysis, ContractFailure
+from repro.errors import ConfigurationError
+from repro.landscape.serialize import (
+    analysis_to_dict,
+    dict_to_analysis,
+    dict_to_failure,
+    failure_to_dict,
+)
+
+#: Version tag of the checkpoint file layout.
+SCHEMA = "repro.checkpoint/1"
+
+
+def fingerprint(addresses: Iterable[bytes]) -> str:
+    """Order-sensitive fingerprint of the sweep's address list."""
+    digest = hashlib.sha256()
+    for address in addresses:
+        digest.update(address)
+        digest.update(b"|")
+    return digest.hexdigest()[:16]
+
+
+class SweepCheckpoint:
+    """Append-only JSONL progress log of one landscape sweep.
+
+    Build with :meth:`start` (fresh file) or :meth:`resume` (load an
+    existing one, then keep appending).  Pass to
+    ``Proxion.analyze_all(addresses, checkpoint=...)``.
+    """
+
+    def __init__(self, path: str, addresses: list[bytes],
+                 _resume: bool = False) -> None:
+        self.path = path
+        self._fingerprint = fingerprint(addresses)
+        self._total = len(addresses)
+        self.completed: set[bytes] = set()
+        self._analyses: list[dict[str, Any]] = []
+        self._failures: list[dict[str, Any]] = []
+        self.skipped: set[bytes] = set()
+        if _resume:
+            self._load()
+            self._stream = open(path, "a", encoding="utf-8")
+        else:
+            self._stream = open(path, "w", encoding="utf-8")
+            self._append({"schema": SCHEMA,
+                          "fingerprint": self._fingerprint,
+                          "total": self._total})
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def start(cls, path: str, addresses: list[bytes]) -> "SweepCheckpoint":
+        """Begin a fresh checkpoint (truncates any existing file)."""
+        return cls(path, addresses)
+
+    @classmethod
+    def resume(cls, path: str, addresses: list[bytes]) -> "SweepCheckpoint":
+        """Load an existing checkpoint and continue appending to it."""
+        if not os.path.exists(path):
+            raise ConfigurationError(f"no checkpoint to resume at {path!r}")
+        return cls(path, addresses, _resume=True)
+
+    # -------------------------------------------------------------- recording
+    def _append(self, record: dict[str, Any]) -> None:
+        self._stream.write(json.dumps(record, separators=(",", ":")) + "\n")
+        # One line per completed contract; flush so a kill -9 loses at most
+        # the contract currently being analyzed.
+        self._stream.flush()
+
+    def record_analysis(self, analysis: ContractAnalysis) -> None:
+        record = analysis_to_dict(analysis)
+        self.completed.add(analysis.address)
+        self._analyses.append(record)
+        self._append({"kind": "analysis", "data": record})
+
+    def record_failure(self, failure: ContractFailure) -> None:
+        record = failure_to_dict(failure)
+        self.completed.add(failure.address)
+        self._failures.append(record)
+        self._append({"kind": "failure", "data": record})
+
+    def record_skip(self, address: bytes) -> None:
+        """A dead (§3.1-excluded) address — completed without an analysis."""
+        self.completed.add(address)
+        self.skipped.add(address)
+        self._append({"kind": "skip", "address": "0x" + address.hex()})
+
+    # --------------------------------------------------------------- restoring
+    def restored_analyses(self) -> list[ContractAnalysis]:
+        return [dict_to_analysis(record) for record in self._analyses]
+
+    def restored_failures(self) -> list[ContractFailure]:
+        return [dict_to_failure(record) for record in self._failures]
+
+    def _load(self) -> None:
+        with open(self.path, encoding="utf-8") as stream:
+            lines = [line for line in stream if line.strip()]
+        if not lines:
+            raise ConfigurationError(
+                f"checkpoint {self.path!r} is empty (no header)")
+        header = json.loads(lines[0])
+        if header.get("schema") != SCHEMA:
+            raise ConfigurationError(
+                f"checkpoint {self.path!r} has schema "
+                f"{header.get('schema')!r}, expected {SCHEMA!r}")
+        if header.get("fingerprint") != self._fingerprint:
+            raise ConfigurationError(
+                f"checkpoint {self.path!r} was written for a different "
+                f"address list (fingerprint {header.get('fingerprint')!r} "
+                f"!= {self._fingerprint!r}) — refusing to resume")
+        for line in lines[1:]:
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "analysis":
+                data = record["data"]
+                self._analyses.append(data)
+                self.completed.add(
+                    bytes.fromhex(data["address"].removeprefix("0x")))
+            elif kind == "failure":
+                data = record["data"]
+                self._failures.append(data)
+                self.completed.add(
+                    bytes.fromhex(data["address"].removeprefix("0x")))
+            elif kind == "skip":
+                address = bytes.fromhex(
+                    record["address"].removeprefix("0x"))
+                self.completed.add(address)
+                self.skipped.add(address)
+            # Unknown kinds are skipped, not fatal: forward compatibility
+            # with later minor additions to the same schema version.
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["SCHEMA", "SweepCheckpoint", "fingerprint"]

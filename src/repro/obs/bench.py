@@ -257,11 +257,49 @@ def _selector_mining_workload() -> Workload:
         setup=setup, run=run)
 
 
+def _pipeline_faulty_workload() -> Workload:
+    def setup(config: BenchConfig):
+        return _landscape(config.scale(50, 80), config.seed)
+
+    def run(world, config: BenchConfig):
+        from repro.chain.faults import FaultyNode, canned_plan
+        from repro.chain.resilient import ResilientNode
+        from repro.core.pipeline import Proxion, ProxionOptions
+        world.node.metrics.reset()
+        # A fresh FaultyNode per repeat resets its call counters, so every
+        # repeat sees the identical deterministic fault schedule.
+        plan = canned_plan("transient", seed=config.seed)
+        node = ResilientNode(FaultyNode(world.node, plan),
+                             seed=config.seed, sleep=None)
+        proxion = Proxion(node, world.registry, world.dataset,
+                          ProxionOptions())
+        report = proxion.analyze_all()
+        registry = world.node.metrics
+        retries = sum(int(counter.value) for counter
+                      in registry.counters_named("resilience.retries").values())
+        injected = sum(int(counter.value) for counter
+                       in registry.counters_named("faults.injected").values())
+        return registry, {
+            "contracts": len(report),
+            "quarantined": len(report.failures),
+            "faults_injected": injected,
+            "retries": retries,
+        }
+
+    return Workload(
+        name="pipeline_faulty",
+        description="the sweep_80 pipeline under the canned 'transient' "
+                    "fault plan, absorbed by the resilient RPC layer "
+                    "(retry/backoff overhead measurement)",
+        setup=setup, run=run)
+
+
 def _build_workloads() -> dict[str, Workload]:
     suite = [
         _sweep_workload(50, 80),
         _sweep_workload(120, 250),
         _sweep_workload(500, 500, quick=False),
+        _pipeline_faulty_workload(),
         _proxy_check_workload(),
         _logic_recovery_workload(),
         _collision_accuracy_workload(),

@@ -172,6 +172,37 @@ def survey_metrics_summary(registry: MetricsRegistry) -> str:
             lines.append(f"  {_label_value(labels, 'cause'):28s} "
                          f"{int(counter.value):>6d}")
 
+    # Fault-injection / resilience counters, when a chaos run happened.
+    injected = registry.counters_named("faults.injected")
+    if injected:
+        total_injected = sum(int(c.value) for c in injected.values())
+        lines.append(f"\nfault injection: {total_injected} faults injected")
+        for labels, counter in sorted(injected.items(),
+                                      key=lambda kv: -kv[1].value):
+            lines.append(f"  {_label_value(labels, 'kind'):12s} "
+                         f"{_label_value(labels, 'method'):36s} "
+                         f"{int(counter.value):>6d}")
+    retries = registry.counters_named("resilience.retries")
+    if retries:
+        total_retries = sum(int(c.value) for c in retries.values())
+        backoff = sum(c.value for c in registry.counters_named(
+            "resilience.backoff_seconds").values())
+        deadline = sum(int(c.value) for c in registry.counters_named(
+            "resilience.deadline_exceeded").values())
+        rejected = sum(int(c.value) for c in registry.counters_named(
+            "resilience.circuit_open_rejections").values())
+        lines.append(f"\nresilience: {total_retries} retries, "
+                     f"{backoff:.3f}s backoff (virtual), "
+                     f"{deadline} deadline-exceeded, "
+                     f"{rejected} circuit-open rejections")
+    quarantined = registry.counters_named("pipeline.quarantined")
+    if quarantined:
+        lines.append("\nquarantined contracts by cause:")
+        for labels, counter in sorted(quarantined.items(),
+                                      key=lambda kv: -kv[1].value):
+            lines.append(f"  {_label_value(labels, 'cause'):28s} "
+                         f"{int(counter.value):>6d}")
+
     # Monitor counters, when a monitor ran in this process.
     blocks_scanned = registry.counter_value("monitor.blocks_scanned")
     if blocks_scanned:

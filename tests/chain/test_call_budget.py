@@ -1,0 +1,57 @@
+"""The per-eth_call instruction ceiling: runaway bytecode cannot hang."""
+
+from __future__ import annotations
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.node import ArchiveNode
+from repro.lang import compile_contract, stdlib
+
+from tests.conftest import ALICE
+
+ADDR = b"\x77" * 20
+
+#: JUMPDEST; PUSH1 0; JUMP — the tightest possible infinite loop.
+SPIN = bytes.fromhex("5b600056")
+
+
+def test_runaway_call_terminates_as_emulation_failure(chain: Blockchain) -> None:
+    chain.state.set_code(ADDR, SPIN)
+    node = ArchiveNode(chain, call_instruction_budget=10_000)
+    result = node.call(ADDR)
+    assert not result.success
+    assert result.error is not None
+    assert result.error.startswith("ExecutionTimeout")
+    assert node.metrics.counter_value("rpc.emulation_failures",
+                                      cause="ExecutionTimeout",
+                                      method="eth_call") == 1
+
+
+def test_per_call_override_beats_the_node_budget(chain: Blockchain) -> None:
+    chain.state.set_code(ADDR, SPIN)
+    node = ArchiveNode(chain)          # default 2M-instruction ceiling
+    result = node.call(ADDR, max_instructions=500)
+    assert not result.success and result.error.startswith("ExecutionTimeout")
+
+
+def test_historical_calls_respect_the_ceiling(chain: Blockchain) -> None:
+    chain.state.set_code(ADDR, SPIN)
+    height = chain.latest_block_number
+    node = ArchiveNode(chain, call_instruction_budget=10_000)
+    result = node.call(ADDR, block_number=height)
+    assert not result.success and result.error.startswith("ExecutionTimeout")
+    assert node.metrics.counter_value("rpc.emulation_failures",
+                                      cause="ExecutionTimeout",
+                                      method="eth_call") == 1
+
+
+def test_legitimate_calls_are_unaffected(chain: Blockchain) -> None:
+    compiled = compile_contract(stdlib.simple_wallet("W", ALICE))
+    address = chain.deploy(ALICE, compiled.init_code).created_address
+    node = ArchiveNode(chain)
+    result = node.call(address, b"\x00" * 68)
+    assert node.metrics.counter_value("rpc.emulation_failures",
+                                      cause="ExecutionTimeout",
+                                      method="eth_call") == 0
+    # Reverts are clean negatives, never emulation failures.
+    if not result.success:
+        assert result.error == "revert"

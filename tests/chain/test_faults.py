@@ -1,0 +1,193 @@
+"""FaultPlan / FaultyNode semantics: determinism, scoping, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.faults import (
+    CANNED_PLANS,
+    LATENCY,
+    OUTAGE,
+    RATE_LIMIT,
+    TRANSIENT,
+    FaultPlan,
+    FaultRule,
+    FaultyNode,
+    canned_plan,
+)
+from repro.errors import (
+    ConfigurationError,
+    NodeOutageError,
+    RateLimitedError,
+    TransientRpcError,
+)
+from repro.obs.registry import MetricsRegistry
+
+ADDR = b"\x11" * 20
+OTHER = b"\x22" * 20
+
+
+class StubNode:
+    """Minimal ArchiveNode-shaped object with sentinel return values."""
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+
+    def get_code(self, address, block_number=None):
+        return b"\xfe"
+
+    def get_storage_at(self, address, slot, block_number=None):
+        return 7
+
+    def get_balance(self, address):
+        return 42
+
+    def is_alive(self, address):
+        return True
+
+    def has_transactions(self, address):
+        return False
+
+    def transactions_of(self, address):
+        return []
+
+    def get_logs(self, address=None, topic=None, from_block=None,
+                 to_block=None):
+        return []
+
+
+def _strikes(node: FaultyNode, addresses: list[bytes]) -> list[bytes]:
+    """Which addresses fail their first get_code under the node's plan."""
+    stricken = []
+    for address in addresses:
+        try:
+            node.get_code(address)
+        except TransientRpcError:
+            stricken.append(address)
+    return stricken
+
+
+def test_strike_decisions_are_seed_deterministic() -> None:
+    addresses = [bytes([i]) * 20 for i in range(1, 60)]
+    plan = FaultPlan((FaultRule(TRANSIENT, probability=0.4),), seed=3)
+    first = _strikes(FaultyNode(StubNode(), plan), addresses)
+    second = _strikes(FaultyNode(StubNode(), plan), addresses)
+    assert first == second
+    assert 0 < len(first) < len(addresses)
+
+    other_seed = FaultPlan((FaultRule(TRANSIENT, probability=0.4),), seed=4)
+    assert _strikes(FaultyNode(StubNode(), other_seed), addresses) != first
+
+
+def test_strike_decisions_are_order_independent() -> None:
+    addresses = [bytes([i]) * 20 for i in range(1, 40)]
+    plan = FaultPlan((FaultRule(TRANSIENT, probability=0.5),), seed=9)
+    forward = set(_strikes(FaultyNode(StubNode(), plan), addresses))
+    backward = set(_strikes(FaultyNode(StubNode(), plan),
+                            list(reversed(addresses))))
+    assert forward == backward
+
+
+def test_transient_fault_is_attempt_scoped() -> None:
+    plan = FaultPlan((FaultRule(TRANSIENT, fail_attempts=2),), seed=0)
+    node = FaultyNode(StubNode(), plan)
+    with pytest.raises(TransientRpcError):
+        node.get_code(ADDR)
+    with pytest.raises(TransientRpcError):
+        node.get_code(ADDR)
+    assert node.get_code(ADDR) == b"\xfe"      # third attempt succeeds
+    # A different request signature has its own attempt counter.
+    with pytest.raises(TransientRpcError):
+        node.get_code(OTHER)
+
+
+def test_rate_limit_raises_the_specific_error() -> None:
+    plan = FaultPlan((FaultRule(RATE_LIMIT),), seed=0)
+    node = FaultyNode(StubNode(), plan)
+    with pytest.raises(RateLimitedError):
+        node.get_balance(ADDR)
+    assert node.get_balance(ADDR) == 42
+
+
+def test_rule_filters_by_method_and_address() -> None:
+    plan = FaultPlan((FaultRule(TRANSIENT, methods=("eth_getStorageAt",),
+                                addresses=(ADDR,)),), seed=0)
+    node = FaultyNode(StubNode(), plan)
+    assert node.get_code(ADDR) == b"\xfe"          # method not matched
+    assert node.get_storage_at(OTHER, 0) == 7      # address not matched
+    with pytest.raises(TransientRpcError):
+        node.get_storage_at(ADDR, 0)
+
+
+def test_sustained_outage_defeats_retries() -> None:
+    plan = FaultPlan((FaultRule(OUTAGE, window=(2, 1 << 62)),), seed=0)
+    node = FaultyNode(StubNode(), plan)
+    assert node.get_code(ADDR) == b"\xfe"          # calls 0 and 1 pass
+    assert node.get_code(ADDR) == b"\xfe"
+    for _ in range(5):                             # every later attempt fails
+        with pytest.raises(NodeOutageError):
+            node.get_code(ADDR)
+
+
+def test_flapping_outage_is_periodic() -> None:
+    plan = FaultPlan((FaultRule(OUTAGE, outage_period=4, outage_width=1),),
+                     seed=0)
+    node = FaultyNode(StubNode(), plan)
+    outcomes = []
+    for _ in range(8):
+        try:
+            node.get_balance(ADDR)
+            outcomes.append(True)
+        except NodeOutageError:
+            outcomes.append(False)
+    assert outcomes == [False, True, True, True] * 2
+
+
+def test_latency_is_accounted_and_optionally_slept() -> None:
+    plan = FaultPlan((FaultRule(LATENCY, latency_s=0.005),), seed=0)
+    node = FaultyNode(StubNode(), plan)           # default sleep=None
+    node.get_code(ADDR)
+    assert node.injected_latency_s == pytest.approx(0.005)
+    assert node.metrics.counter_value(
+        "faults.injected_latency_seconds") == pytest.approx(0.005)
+
+    slept = []
+    sleeper = FaultyNode(StubNode(), plan, sleep=slept.append)
+    sleeper.get_code(ADDR)
+    assert slept == [0.005]
+
+
+def test_injection_metrics_by_kind_and_method() -> None:
+    plan = FaultPlan((FaultRule(TRANSIENT, fail_attempts=1),), seed=0)
+    node = FaultyNode(StubNode(), plan)
+    with pytest.raises(TransientRpcError):
+        node.get_code(ADDR)
+    node.get_code(ADDR)
+    assert node.metrics.counter_value("faults.injected", kind=TRANSIENT,
+                                      method="eth_getCode") == 1
+    assert node.injected_counts() == {TRANSIENT: 1}
+
+
+def test_empty_plan_is_a_transparent_passthrough() -> None:
+    node = FaultyNode(StubNode(), FaultPlan())
+    assert node.get_code(ADDR) == b"\xfe"
+    assert node.get_storage_at(ADDR, 3) == 7
+    assert node.get_balance(ADDR) == 42
+    assert node.is_alive(ADDR) is True
+    assert node.has_transactions(ADDR) is False
+    assert node.transactions_of(ADDR) == []
+    assert node.get_logs() == []
+    assert node.injected_counts() == {}
+
+
+def test_unknown_kind_and_plan_raise_configuration_error() -> None:
+    with pytest.raises(ConfigurationError):
+        FaultRule("meteor-strike")
+    with pytest.raises(ConfigurationError):
+        canned_plan("nope")
+
+
+def test_every_canned_plan_builds() -> None:
+    for name in CANNED_PLANS:
+        plan = canned_plan(name, seed=1)
+        assert plan.rules

@@ -1,0 +1,184 @@
+"""ResilientNode: backoff determinism, deadlines, circuit breaking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.resilient import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+    ResilientNode,
+    RetryPolicy,
+)
+from repro.errors import CircuitOpen, DeadlineExceeded, TransientRpcError
+from repro.obs.registry import MetricsRegistry
+
+ADDR = b"\x33" * 20
+
+
+class FlakyStub:
+    """Fails the first ``failures`` get_code calls, then succeeds."""
+
+    def __init__(self, failures: int = 0) -> None:
+        self.metrics = MetricsRegistry()
+        self.failures = failures
+        self.calls = 0
+
+    def get_code(self, address, block_number=None):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise TransientRpcError("injected", method="eth_getCode",
+                                    address=address)
+        return b"\x01"
+
+
+# ----------------------------------------------------------------- backoff
+def test_backoff_is_deterministic_for_a_seed() -> None:
+    first = ResilientNode(FlakyStub(), seed=7, sleep=None)
+    second = ResilientNode(FlakyStub(), seed=7, sleep=None)
+    assert first.backoff_delays(8) == second.backoff_delays(8)
+    assert ResilientNode(FlakyStub(), seed=8,
+                         sleep=None).backoff_delays(8) != \
+        first.backoff_delays(8)
+
+
+def test_backoff_respects_the_jitter_ceiling() -> None:
+    policy = RetryPolicy(base_delay_s=0.02, max_delay_s=0.1, multiplier=2.0)
+    node = ResilientNode(FlakyStub(), policy=policy, seed=1, sleep=None)
+    for attempt, delay in enumerate(node.backoff_delays(10)):
+        assert 0 <= delay <= policy.backoff_ceiling(attempt)
+        assert delay <= policy.max_delay_s
+
+
+def test_retries_absorb_transient_failures() -> None:
+    stub = FlakyStub(failures=2)
+    node = ResilientNode(stub, seed=0, sleep=None)
+    assert node.get_code(ADDR) == b"\x01"
+    assert stub.calls == 3
+    assert node.metrics.counter_value("resilience.retries",
+                                      method="eth_getCode") == 2
+    assert node.metrics.counter_value("resilience.backoff_seconds",
+                                      method="eth_getCode") >= 0
+
+
+def test_deadline_exceeded_after_max_attempts() -> None:
+    stub = FlakyStub(failures=100)
+    node = ResilientNode(stub, policy=RetryPolicy(max_attempts=3),
+                         seed=0, sleep=None)
+    with pytest.raises(DeadlineExceeded) as excinfo:
+        node.get_code(ADDR)
+    assert stub.calls == 3
+    assert excinfo.value.attempts == 3
+    assert isinstance(excinfo.value.__cause__, TransientRpcError)
+    assert node.metrics.counter_value("resilience.deadline_exceeded",
+                                      method="eth_getCode") == 1
+
+
+def test_deadline_budget_caps_total_time() -> None:
+    # A tiny deadline budget trips before max_attempts does.
+    stub = FlakyStub(failures=100)
+    policy = RetryPolicy(max_attempts=50, base_delay_s=0.5, max_delay_s=0.5,
+                         deadline_s=1.0)
+    node = ResilientNode(stub, policy=policy, seed=0, sleep=None)
+    with pytest.raises(DeadlineExceeded):
+        node.get_code(ADDR)
+    assert stub.calls < 50
+
+
+# ----------------------------------------------------------------- breaker
+def test_breaker_opens_after_consecutive_failures() -> None:
+    breaker = CircuitBreaker(BreakerConfig(failure_threshold=3,
+                                           cooldown_s=10.0))
+    for _ in range(2):
+        breaker.record_failure(now=0.0)
+    assert breaker.state == CLOSED
+    breaker.record_failure(now=1.0)
+    assert breaker.state == OPEN
+    assert not breaker.admit(now=5.0)           # inside the cooldown
+    assert breaker.retry_at() == pytest.approx(11.0)
+
+
+def test_breaker_half_open_probe_closes_on_success() -> None:
+    breaker = CircuitBreaker(BreakerConfig(failure_threshold=1,
+                                           cooldown_s=10.0,
+                                           half_open_probes=1))
+    breaker.record_failure(now=0.0)
+    assert breaker.state == OPEN
+    assert breaker.admit(now=10.0)              # cooldown over: probe admitted
+    assert breaker.state == HALF_OPEN
+    assert not breaker.admit(now=10.0)          # only one probe in flight
+    breaker.record_success(now=10.5)
+    assert breaker.state == CLOSED
+    assert breaker.admit(now=10.6)
+
+
+def test_breaker_half_open_probe_failure_reopens() -> None:
+    breaker = CircuitBreaker(BreakerConfig(failure_threshold=1,
+                                           cooldown_s=10.0))
+    breaker.record_failure(now=0.0)
+    assert breaker.admit(now=10.0)
+    assert breaker.state == HALF_OPEN
+    breaker.record_failure(now=10.5)
+    assert breaker.state == OPEN
+    assert breaker.retry_at() == pytest.approx(20.5)  # cooldown restarted
+    assert not breaker.admit(now=15.0)
+
+
+def test_success_resets_the_consecutive_failure_count() -> None:
+    breaker = CircuitBreaker(BreakerConfig(failure_threshold=3))
+    breaker.record_failure(now=0.0)
+    breaker.record_failure(now=0.0)
+    breaker.record_success(now=0.0)
+    breaker.record_failure(now=0.0)
+    breaker.record_failure(now=0.0)
+    assert breaker.state == CLOSED
+
+
+def test_open_circuit_fails_fast_with_circuit_open() -> None:
+    stub = FlakyStub(failures=1_000)
+    node = ResilientNode(stub, policy=RetryPolicy(max_attempts=2),
+                         breaker=BreakerConfig(failure_threshold=2,
+                                               cooldown_s=1e9),
+                         seed=0, sleep=None)
+    with pytest.raises(DeadlineExceeded):
+        node.get_code(ADDR)                      # two failures: circuit opens
+    calls_before = stub.calls
+    with pytest.raises(CircuitOpen):
+        node.get_code(ADDR)                      # rejected without an RPC
+    assert stub.calls == calls_before
+    assert node.metrics.counter_value("resilience.circuit_open_rejections",
+                                      method="eth_getCode") == 1
+    assert node.metrics.counter_value("resilience.breaker_transitions",
+                                      method="eth_getCode", to=OPEN) == 1
+    assert node.metrics.gauge("resilience.breaker_state",
+                              method="eth_getCode").value == 2
+
+
+def test_breaker_recovers_through_half_open_on_virtual_time() -> None:
+    # The virtual clock (accumulated skipped backoff) pushes the node past
+    # the cooldown, so open -> half-open -> closed happens without real
+    # waiting: the stub heals after its first two failures.
+    stub = FlakyStub(failures=2)
+    node = ResilientNode(stub,
+                         policy=RetryPolicy(max_attempts=2, base_delay_s=0.2,
+                                            max_delay_s=0.2),
+                         breaker=BreakerConfig(failure_threshold=2,
+                                               cooldown_s=0.0),
+                         seed=0, sleep=None)
+    with pytest.raises(DeadlineExceeded):
+        node.get_code(ADDR)                      # opens the circuit
+    assert node.get_code(ADDR) == b"\x01"        # half-open probe succeeds
+    assert node.metrics.counter_value("resilience.breaker_transitions",
+                                      method="eth_getCode", to=CLOSED) == 1
+    assert node.metrics.gauge("resilience.breaker_state",
+                              method="eth_getCode").value == 0
+
+
+def test_breakers_are_per_method() -> None:
+    node = ResilientNode(FlakyStub(), seed=0, sleep=None)
+    assert node.breaker_for("eth_getCode") is node.breaker_for("eth_getCode")
+    assert node.breaker_for("eth_getCode") is not \
+        node.breaker_for("eth_getStorageAt")

@@ -1,0 +1,124 @@
+"""Chaos suite: the sweep's results survive injected faults.
+
+The three guarantees of docs/robustness.md:
+
+1. a transient fault plan behind the resilient layer yields a report
+   **byte-identical** to the fault-free sweep (dedup counters included),
+   while the metrics prove the faults actually fired;
+2. a sustained outage degrades gracefully — unreachable contracts are
+   quarantined with classified causes, nothing is silently lost, the
+   sweep never raises;
+3. a checkpointed sweep killed partway resumes into the same report
+   (modulo the per-process dedup counters).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.faults import FaultyNode, canned_plan
+from repro.chain.resilient import ResilientNode
+from repro.core.pipeline import Proxion
+from repro.corpus.generator import generate_landscape
+from repro.landscape.checkpoint import SweepCheckpoint
+from repro.landscape.serialize import report_to_dict, report_to_json
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_landscape(total=60, seed=9)
+
+
+def _fault_free_report(world):
+    return Proxion(world.node, world.registry, world.dataset).analyze_all()
+
+
+def test_transient_plan_is_byte_identical_to_fault_free(world) -> None:
+    baseline = _fault_free_report(world)
+
+    world.node.metrics.reset()
+    node = ResilientNode(FaultyNode(world.node, canned_plan("transient",
+                                                            seed=5)),
+                         seed=1, sleep=None)
+    proxion = Proxion(node, world.registry, world.dataset)
+    chaotic = proxion.analyze_all()
+
+    assert report_to_json(chaotic) == report_to_json(baseline)
+    registry = world.node.metrics
+    injected = sum(int(c.value) for c in
+                   registry.counters_named("faults.injected").values())
+    retries = sum(int(c.value) for c in
+                  registry.counters_named("resilience.retries").values())
+    assert injected > 0, "the plan never fired — vacuous equivalence"
+    assert retries == injected
+    assert not chaotic.failures
+    registry.reset()
+
+
+def test_sustained_outage_quarantines_instead_of_raising(world) -> None:
+    baseline = _fault_free_report(world)
+
+    world.node.metrics.reset()
+    node = ResilientNode(FaultyNode(world.node, canned_plan("outage",
+                                                            seed=5)),
+                         seed=1, sleep=None)
+    proxion = Proxion(node, world.registry, world.dataset)
+    report = proxion.analyze_all()          # must not raise
+
+    assert report.failures, "the outage quarantined nothing"
+    # Conservation: every contract the healthy sweep analyzed is either
+    # analyzed or quarantined here — none silently dropped.
+    assert set(baseline.analyses) <= (set(report.analyses)
+                                      | set(report.failures))
+    causes = set(report.quarantine_census())
+    assert causes <= {"circuit-open", "deadline-exceeded",
+                      "transient-outage"}
+    quarantined = sum(int(c.value) for c in world.node.metrics
+                      .counters_named("pipeline.quarantined").values())
+    assert quarantined == len(report.failures)
+    world.node.metrics.reset()
+
+
+def test_checkpointed_sweep_resumes_to_the_same_report(tmp_path,
+                                                       world) -> None:
+    addresses = world.dataset.addresses()
+    path = str(tmp_path / "sweep.ckpt")
+
+    uninterrupted = _fault_free_report(world)
+
+    # First process: killed after the first half of the address list.
+    with SweepCheckpoint.start(path, addresses) as checkpoint:
+        Proxion(world.node, world.registry, world.dataset).analyze_all(
+            addresses[:len(addresses) // 2], checkpoint=checkpoint)
+
+    # Second process: fresh Proxion (cold caches), resumes the full list.
+    world.node.metrics.reset()
+    with SweepCheckpoint.resume(path, addresses) as checkpoint:
+        resumed = Proxion(world.node, world.registry,
+                          world.dataset).analyze_all(addresses,
+                                                     checkpoint=checkpoint)
+
+    restored = sum(int(c.value) for c in world.node.metrics
+                   .counters_named("pipeline.resumed_contracts").values())
+    assert restored > 0, "nothing was restored from the checkpoint"
+
+    first = report_to_dict(uninterrupted)
+    second = report_to_dict(resumed)
+    # The resumed process only pays cache misses for the tail it actually
+    # analyzes, so the per-sweep dedup counters legitimately differ.
+    first["summary"].pop("dedup")
+    second["summary"].pop("dedup")
+    assert second == first
+    world.node.metrics.reset()
+
+
+def test_flaky_plan_with_latency_still_matches(world) -> None:
+    baseline = _fault_free_report(world)
+
+    world.node.metrics.reset()
+    node = ResilientNode(FaultyNode(world.node, canned_plan("flaky",
+                                                            seed=13)),
+                         seed=2, sleep=None)
+    report = Proxion(node, world.registry, world.dataset).analyze_all()
+    assert report_to_json(report) == report_to_json(baseline)
+    world.node.metrics.reset()

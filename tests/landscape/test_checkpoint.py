@@ -1,0 +1,107 @@
+"""SweepCheckpoint: JSONL format, fingerprint guard, restore fidelity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.pipeline import Proxion
+from repro.core.report import ContractFailure
+from repro.corpus.generator import generate_landscape
+from repro.errors import ConfigurationError
+from repro.landscape.checkpoint import SCHEMA, SweepCheckpoint, fingerprint
+from repro.landscape.serialize import analysis_to_dict, dict_to_analysis
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_landscape(total=40, seed=5)
+
+
+def _analyses(world, count: int = 3):
+    proxion = Proxion(world.node, world.registry, world.dataset)
+    produced = []
+    for address in world.dataset.addresses():
+        if not world.node.is_alive(address):
+            continue
+        produced.append(proxion.analyze_contract(address))
+        if len(produced) == count:
+            break
+    return produced
+
+
+def test_header_schema_and_fingerprint(tmp_path, world) -> None:
+    addresses = world.dataset.addresses()
+    path = tmp_path / "sweep.ckpt"
+    SweepCheckpoint.start(str(path), addresses).close()
+    header = json.loads(path.read_text().splitlines()[0])
+    assert header == {"schema": SCHEMA,
+                      "fingerprint": fingerprint(addresses),
+                      "total": len(addresses)}
+
+
+def test_records_restore_faithfully(tmp_path, world) -> None:
+    addresses = world.dataset.addresses()
+    analyses = _analyses(world)
+    failure = ContractFailure(address=addresses[-1], cause="transient-outage",
+                              error="injected", stage="analysis")
+    path = str(tmp_path / "sweep.ckpt")
+    with SweepCheckpoint.start(path, addresses) as checkpoint:
+        for analysis in analyses:
+            checkpoint.record_analysis(analysis)
+        checkpoint.record_failure(failure)
+        checkpoint.record_skip(addresses[-2])
+
+    resumed = SweepCheckpoint.resume(path, addresses)
+    assert resumed.completed == ({a.address for a in analyses}
+                                 | {failure.address, addresses[-2]})
+    assert resumed.skipped == {addresses[-2]}
+    assert resumed.restored_failures() == [failure]
+    # Restored analyses serialize identically to the originals — the
+    # round-trip guarantee checkpoint/resume equivalence rests on.
+    assert [analysis_to_dict(a) for a in resumed.restored_analyses()] == \
+        [analysis_to_dict(a) for a in analyses]
+    resumed.close()
+
+
+def test_dict_round_trip_guarantee(world) -> None:
+    for analysis in _analyses(world, count=8):
+        record = analysis_to_dict(analysis)
+        assert analysis_to_dict(dict_to_analysis(record)) == record
+
+
+def test_resume_requires_an_existing_file(tmp_path, world) -> None:
+    with pytest.raises(ConfigurationError):
+        SweepCheckpoint.resume(str(tmp_path / "missing.ckpt"),
+                               world.dataset.addresses())
+
+
+def test_fingerprint_mismatch_refuses_to_resume(tmp_path, world) -> None:
+    addresses = world.dataset.addresses()
+    path = str(tmp_path / "sweep.ckpt")
+    SweepCheckpoint.start(path, addresses).close()
+    with pytest.raises(ConfigurationError, match="different address list"):
+        SweepCheckpoint.resume(path, list(reversed(addresses)))
+
+
+def test_wrong_schema_refuses_to_resume(tmp_path, world) -> None:
+    addresses = world.dataset.addresses()
+    path = tmp_path / "sweep.ckpt"
+    path.write_text(json.dumps({"schema": "repro.checkpoint/999",
+                                "fingerprint": fingerprint(addresses),
+                                "total": len(addresses)}) + "\n")
+    with pytest.raises(ConfigurationError, match="schema"):
+        SweepCheckpoint.resume(str(path), addresses)
+
+
+def test_unknown_record_kinds_are_tolerated(tmp_path, world) -> None:
+    addresses = world.dataset.addresses()
+    path = tmp_path / "sweep.ckpt"
+    with SweepCheckpoint.start(str(path), addresses) as checkpoint:
+        checkpoint.record_skip(addresses[0])
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.write('{"kind":"note","text":"added in a later minor"}\n')
+    resumed = SweepCheckpoint.resume(str(path), addresses)
+    assert resumed.completed == {addresses[0]}
+    resumed.close()

@@ -130,3 +130,45 @@ def test_survey_flame_writes_collapsed_stacks(tmp_path, capsys) -> None:
     assert lines
     stack, _, count = lines[0].rpartition(" ")
     assert int(count) > 0 and ":" in stack
+
+
+def test_survey_chaos_transient_matches_fault_free(capsys) -> None:
+    import json
+    assert main(["survey", "--total", "40", "--seed", "5", "--json"]) == 0
+    baseline = json.loads(capsys.readouterr().out)
+    assert main(["survey", "--total", "40", "--seed", "5", "--json",
+                 "--metrics", "--chaos", "transient"]) == 0
+    chaotic = json.loads(capsys.readouterr().out)
+    assert chaotic["contracts"] == baseline["contracts"]
+    assert chaotic["summary"]["quarantined"]["contracts"] == 0
+    retries = sum(value for key, value
+                  in chaotic["metrics"]["counters"].items()
+                  if key.startswith("resilience.retries"))
+    assert retries > 0
+
+
+def test_survey_chaos_outage_quarantines_gracefully(capsys) -> None:
+    assert main(["survey", "--total", "40", "--seed", "5",
+                 "--chaos", "outage"]) == 0
+    output = capsys.readouterr().out
+    assert "quarantined:" in output
+    assert "circuit-open" in output or "deadline-exceeded" in output
+
+
+def test_survey_checkpoint_and_resume(tmp_path, capsys) -> None:
+    import json
+    checkpoint = str(tmp_path / "sweep.ckpt")
+    assert main(["survey", "--total", "40", "--seed", "5", "--json",
+                 "--checkpoint", checkpoint]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert main(["survey", "--total", "40", "--seed", "5", "--json",
+                 "--checkpoint", checkpoint, "--resume"]) == 0
+    resumed = json.loads(capsys.readouterr().out)
+    first["summary"].pop("dedup")
+    resumed["summary"].pop("dedup")
+    assert resumed == first
+
+
+def test_survey_resume_without_checkpoint_errors(capsys) -> None:
+    assert main(["survey", "--total", "40", "--resume"]) == 2
+    assert "--resume requires --checkpoint" in capsys.readouterr().err

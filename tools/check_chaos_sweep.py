@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""CI gate: assert a chaos sweep lost no contracts vs. the fault-free run.
+
+Compares two ``repro survey --json`` payloads — a fault-free baseline and
+one produced under ``--chaos <plan>`` — and fails when the chaos run
+dropped, quarantined, or altered any contract.  For *transient* fault
+plans the resilient RPC layer must absorb every injected fault, so the two
+payloads' ``contracts`` arrays must be identical and the chaos run must
+quarantine nothing; retries showing up in the metrics snapshot prove the
+faults actually fired (see docs/robustness.md).
+
+For *sustained* plans (``--chaos outage``) pass ``--allow-quarantine``:
+then the gate only checks conservation — every baseline address must
+appear either analyzed or quarantined, i.e. the sweep degraded gracefully
+instead of aborting.
+
+Usage::
+
+    PYTHONPATH=src python -m repro survey --total 50 --seed 3 --json \
+        > baseline.json
+    PYTHONPATH=src python -m repro survey --total 50 --seed 3 --json \
+        --chaos transient --metrics > chaos.json
+    python tools/check_chaos_sweep.py baseline.json chaos.json
+
+Exit codes: 0 pass, 1 lost/diverging contracts, 2 usage or unreadable
+payloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as stream:
+            return json.load(stream)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {path!r}: {error}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _by_address(payload: dict) -> dict[str, dict]:
+    return {record["address"]: record
+            for record in payload.get("contracts", [])}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="fault-free survey --json payload")
+    parser.add_argument("chaos", help="survey --json payload run with --chaos")
+    parser.add_argument("--allow-quarantine", action="store_true",
+                        help="sustained-outage mode: quarantined records "
+                             "count as conserved (graceful degradation), "
+                             "but nothing may be silently lost")
+    parser.add_argument("--expect-retries", action="store_true",
+                        help="additionally require the chaos payload's "
+                             "metrics snapshot to show >0 resilience "
+                             "retries (proves faults actually fired)")
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    chaos = _load(args.chaos)
+    base_contracts = _by_address(baseline)
+    chaos_contracts = _by_address(chaos)
+    chaos_failures = {record["address"]
+                      for record in chaos.get("failures", [])}
+
+    problems: list[str] = []
+
+    lost = [address for address in base_contracts
+            if address not in chaos_contracts
+            and address not in chaos_failures]
+    if lost:
+        problems.append(f"{len(lost)} contract(s) silently lost under "
+                        f"chaos (first: {lost[0]})")
+
+    if args.allow_quarantine:
+        print(f"conservation: {len(chaos_contracts)} analyzed + "
+              f"{len(chaos_failures)} quarantined "
+              f"(baseline {len(base_contracts)})")
+    else:
+        if chaos_failures:
+            problems.append(f"{len(chaos_failures)} contract(s) quarantined "
+                            f"under a transient plan — the resilient layer "
+                            f"should have absorbed every fault")
+        diverged = [address for address, record in base_contracts.items()
+                    if chaos_contracts.get(address) != record]
+        if diverged:
+            problems.append(f"{len(diverged)} contract record(s) differ "
+                            f"from the fault-free baseline "
+                            f"(first: {diverged[0]})")
+        extra = [address for address in chaos_contracts
+                 if address not in base_contracts]
+        if extra:
+            problems.append(f"{len(extra)} unexpected extra contract(s) "
+                            f"in the chaos payload (first: {extra[0]})")
+
+    if args.expect_retries:
+        counters = chaos.get("metrics", {}).get("counters", {})
+        retries = sum(value for key, value in counters.items()
+                      if key.startswith("resilience.retries"))
+        if retries <= 0:
+            problems.append("no resilience.retries recorded — the fault "
+                            "plan did not fire (wrong seed/plan?)")
+        else:
+            print(f"retries observed: {int(retries)}")
+
+    if problems:
+        print("chaos sweep gate FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("chaos sweep gate passed: no contracts lost")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
