@@ -23,9 +23,9 @@ def test_dedup_cache_speedup(benchmark, landscape) -> None:
     addresses = landscape.addresses()
 
     def run(dedup: bool) -> tuple[float, int]:
-        proxion = Proxion(landscape.node, landscape.registry,
-                          landscape.dataset,
-                          ProxionOptions(dedup_by_code_hash=dedup,
+        proxion = Proxion(landscape.node, registry=landscape.registry,
+                          dataset=landscape.dataset,
+                          options=ProxionOptions(dedup_by_code_hash=dedup,
                                          detect_function_collisions=False,
                                          detect_storage_collisions=False))
         start = time.perf_counter()

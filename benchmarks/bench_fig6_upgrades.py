@@ -18,8 +18,8 @@ def test_fig6_upgrade_distribution(benchmark, sweep,
     census = benchmark(figure6_upgrades, sweep)
 
     boosted_report = Proxion(
-        upgraded_landscape.node, upgraded_landscape.registry,
-        upgraded_landscape.dataset).analyze_all()
+        upgraded_landscape.node, registry=upgraded_landscape.registry,
+        dataset=upgraded_landscape.dataset).analyze_all()
     boosted = figure6_upgrades(boosted_report)
 
     lines = ["paper-calibrated landscape:",

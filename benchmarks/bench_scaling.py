@@ -22,8 +22,8 @@ def test_sweep_scaling(benchmark) -> None:
     throughputs = []
     for size in SIZES:
         landscape = generate_landscape(total=size, seed=size)
-        proxion = Proxion(landscape.node, landscape.registry,
-                          landscape.dataset)
+        proxion = Proxion(landscape.node, registry=landscape.registry,
+                          dataset=landscape.dataset)
         start = time.perf_counter()
         report = proxion.analyze_all()
         elapsed = time.perf_counter() - start
@@ -37,8 +37,8 @@ def test_sweep_scaling(benchmark) -> None:
     landscape = generate_landscape(total=SIZES[-1], seed=SIZES[-1])
 
     def sweep():
-        return Proxion(landscape.node, landscape.registry,
-                       landscape.dataset).analyze_all()
+        return Proxion(landscape.node, registry=landscape.registry,
+                       dataset=landscape.dataset).analyze_all()
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
 

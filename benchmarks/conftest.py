@@ -73,7 +73,7 @@ def upgraded_landscape():
 def sweep(landscape):
     """One full ProxioN sweep shared by the §7 benches."""
     from repro.core.pipeline import Proxion
-    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset)
+    proxion = Proxion(landscape.node, registry=landscape.registry, dataset=landscape.dataset)
     return proxion.analyze_all()
 
 

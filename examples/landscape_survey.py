@@ -29,7 +29,7 @@ def main() -> None:
     print(f"generating a {total}-contract landscape (2015–2023)...")
     landscape = generate_landscape(total=total, seed=7)
 
-    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset)
+    proxion = Proxion(landscape.node, registry=landscape.registry, dataset=landscape.dataset)
     report = proxion.analyze_all()
 
     alive = len(report)

@@ -22,7 +22,7 @@ def main() -> None:
     chain = Blockchain()
     chain.fund(DEV, 10 ** 6 * ETHER)
     chain.fund(SCAMMER, 10 ** 6 * ETHER)
-    proxion = Proxion(ArchiveNode(chain), SourceRegistry(), ContractDataset())
+    proxion = Proxion(ArchiveNode(chain), registry=SourceRegistry(), dataset=ContractDataset())
     monitor = DeploymentMonitor(proxion)
 
     def deploy(who: bytes, contract_or_init) -> bytes:

@@ -20,8 +20,8 @@ def main() -> None:
     for profile in (ETHEREUM, POLYGON, BSC, ARBITRUM):
         landscape = generate_landscape(
             total=150, seed=profile.chain_id, chain_profile=profile)
-        proxion = Proxion(landscape.node, landscape.registry,
-                          landscape.dataset)
+        proxion = Proxion(landscape.node, registry=landscape.registry,
+                          dataset=landscape.dataset)
         report = proxion.analyze_all()
         print(f"{profile.name:10s} {profile.chain_id:>6d} "
               f"{len(report):>9d} {len(report.proxies()):>8d} "

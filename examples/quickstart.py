@@ -33,7 +33,7 @@ def main() -> None:
         dataset.add(receipt.created_address, receipt.block_number, DEPLOYER)
 
     # 3. Point ProxioN at the chain's archive node and analyze.
-    proxion = Proxion(ArchiveNode(chain), SourceRegistry(), dataset)
+    proxion = Proxion(ArchiveNode(chain), registry=SourceRegistry(), dataset=dataset)
     analysis = proxion.analyze_contract(proxy.created_address)
 
     print(f"contract:        0x{proxy.created_address.hex()}")

@@ -6,7 +6,7 @@ Quick start::
     from repro import generate_landscape, Proxion
 
     landscape = generate_landscape(total=500, seed=42)
-    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset)
+    proxion = Proxion(landscape.node, registry=landscape.registry, dataset=landscape.dataset)
     report = proxion.analyze_all()
     print(len(report.proxies()), "proxies,",
           len(report.hidden_proxies()), "hidden")

@@ -6,6 +6,7 @@ from repro.chain.blockchain import (
     Receipt,
     Transaction,
 )
+from repro.chain.api import NodeRPC
 from repro.chain.dataset import ContractDataset, ContractRecord
 from repro.chain.explorer import ContractSource, SourceRegistry, StorageVariableDecl
 from repro.chain.faults import (
@@ -13,6 +14,7 @@ from repro.chain.faults import (
     FaultPlan,
     FaultRule,
     FaultyNode,
+    build_chaos_stack,
     canned_plan,
 )
 from repro.chain.node import ApiCallCounter, ArchiveNode
@@ -51,8 +53,10 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "FaultyNode",
+    "NodeRPC",
     "ResilientNode",
     "RetryPolicy",
+    "build_chaos_stack",
     "canned_plan",
     "get_profile",
     "ContractDataset",

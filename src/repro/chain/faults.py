@@ -309,6 +309,10 @@ class FaultyNode:
                    self._sig(address))
         return self._node.has_transactions(address)
 
+    def get_transaction_count(self, address: bytes) -> int:
+        self._gate("eth_getTransactionCount", address, self._sig(address))
+        return self._node.get_transaction_count(address)
+
 
 # ------------------------------------------------------------- canned plans
 def canned_plan(name: str, seed: int = 0) -> FaultPlan:
@@ -361,8 +365,25 @@ CANNED_PLANS = ("transient", "rate-limit", "latency", "flaky", "outage",
                 "flapping")
 
 
+def build_chaos_stack(node, plan: str, seed: int = 1337):
+    """The canonical chaos sandwich: ``ResilientNode(FaultyNode(node))``.
+
+    One shared rebuild hook for everything that wires a canned fault plan
+    between a sweep and its node — the CLI, the bench suite, and each
+    worker of a sharded sweep (which must reconstruct the stack from a
+    pickle-able spec inside its own process).  Injected latency and
+    backoff are accounted virtually (``sleep=None``): the simulated node
+    has nothing to actually wait for.
+    """
+    from repro.chain.resilient import ResilientNode
+
+    return ResilientNode(FaultyNode(node, canned_plan(plan, seed=seed)),
+                         seed=seed, sleep=None)
+
+
 __all__ = [
     "CANNED_PLANS",
+    "build_chaos_stack",
     "FAULT_KINDS",
     "FaultDecision",
     "FaultPlan",

@@ -240,3 +240,8 @@ class ArchiveNode:
     def has_transactions(self, address: bytes) -> bool:
         self.api_calls.bump("eth_getTransactionCountByAddress")
         return self._chain.has_transactions(address)
+
+    def get_transaction_count(self, address: bytes) -> int:
+        """Number of past transactions sent *to* ``address``."""
+        self.api_calls.bump("eth_getTransactionCount")
+        return len(self._chain.transactions_of(address))

@@ -294,6 +294,11 @@ class ResilientNode:
         return self._invoke("eth_getTransactionCountByAddress",
                             self._node.has_transactions, address, address)
 
+    def get_transaction_count(self, address: bytes) -> int:
+        return self._invoke("eth_getTransactionCount",
+                            self._node.get_transaction_count, address,
+                            address)
+
 
 __all__ = [
     "BreakerConfig",

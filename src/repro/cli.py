@@ -16,6 +16,80 @@ from __future__ import annotations
 import argparse
 import sys
 
+#: Flag name → ``add_argument`` kwargs for the observability group.  One
+#: definition, shared by every command that exposes a subset — the help
+#: text and defaults cannot drift between ``survey``/``accuracy``/``bench``.
+_OBSERVABILITY_FLAGS: dict[str, dict] = {
+    "--metrics": dict(
+        action="store_true",
+        help="print the repro.obs summary (per-stage wall time, RPC "
+             "usage, §6.1 dedup hit rates); with --json, embed the "
+             "metrics snapshot"),
+    "--metrics-prom": dict(
+        default=None, metavar="FILE",
+        help="write the registry in Prometheus text format"),
+    "--trace-jsonl": dict(
+        default=None, metavar="FILE",
+        help="append every pipeline span as JSON lines"),
+    "--profile-evm": dict(
+        action="store_true",
+        help="collect opcode-class/gas/depth EVM profile"),
+    "--flame": dict(
+        default=None, metavar="FILE",
+        help="write collapsed flame stacks of the EVM work "
+             "(flamegraph.pl input; implies --profile-evm)"),
+    "--flame-weight": dict(
+        default="gas", choices=("gas", "instructions"),
+        help="flame sample unit (default: base gas)"),
+}
+
+#: Flag name → ``add_argument`` kwargs for the robustness group (chaos
+#: injection + checkpoint/resume).
+_ROBUSTNESS_FLAGS: dict[str, dict] = {
+    "--chaos": dict(
+        default=None,
+        help="inject a canned fault plan between the sweep and the "
+             "node, absorbed by the resilient RPC layer "
+             "(docs/robustness.md)"),
+    "--chaos-seed": dict(
+        type=int, default=1337,
+        help="seed for the fault plan and the retry jitter "
+             "(default 1337)"),
+    "--checkpoint": dict(
+        default=None, metavar="FILE",
+        help="append per-contract progress to a JSONL checkpoint so a "
+             "killed sweep can resume"),
+    "--resume": dict(
+        action="store_true",
+        help="resume from --checkpoint FILE if it exists (skips "
+             "completed addresses)"),
+}
+
+
+def _add_flag_group(parser: argparse.ArgumentParser,
+                    definitions: dict[str, dict],
+                    only: tuple[str, ...] | None) -> None:
+    for flag, kwargs in definitions.items():
+        if only is None or flag in only:
+            parser.add_argument(flag, **kwargs)
+
+
+def add_observability_flags(parser: argparse.ArgumentParser,
+                            only: tuple[str, ...] | None = None) -> None:
+    """Attach the shared observability flags (or the ``only`` subset)."""
+    _add_flag_group(parser, _OBSERVABILITY_FLAGS, only)
+
+
+def add_robustness_flags(parser: argparse.ArgumentParser,
+                         only: tuple[str, ...] | None = None) -> None:
+    """Attach the shared robustness flags (or the ``only`` subset)."""
+    from repro.chain.faults import CANNED_PLANS
+
+    definitions = dict(_ROBUSTNESS_FLAGS)
+    definitions["--chaos"] = dict(definitions["--chaos"],
+                                  choices=CANNED_PLANS)
+    _add_flag_group(parser, definitions, only)
+
 
 def _cmd_survey(args: argparse.Namespace) -> int:
     from repro.chain.profiles import get_profile
@@ -36,61 +110,97 @@ def _cmd_survey(args: argparse.Namespace) -> int:
                                    chain_profile=profile)
     options = ProxionOptions(detect_diamonds=args.diamonds,
                              profile_evm=args.profile_evm or bool(args.flame))
-    flame_profiler = None
-    if args.flame:
-        from repro.obs import FlameProfiler
-        flame_profiler = FlameProfiler()
 
-    node = landscape.node
-    if args.chaos:
-        from repro.chain.faults import FaultyNode, canned_plan
-        from repro.chain.resilient import ResilientNode
-        plan = canned_plan(args.chaos, seed=args.chaos_seed)
-        # Injected latency and backoff are accounted virtually (no real
-        # sleeps): the simulated node has nothing to actually wait for.
-        node = ResilientNode(FaultyNode(node, plan),
-                             seed=args.chaos_seed, sleep=None)
-        if not args.json:
-            print(f"chaos: injecting fault plan {args.chaos!r} "
-                  f"(seed={args.chaos_seed}) behind the resilient layer")
-
-    proxion = Proxion(node, landscape.registry, landscape.dataset,
-                      options, evm_profiler=flame_profiler)
-    if args.trace_jsonl:
-        from repro.obs import JsonLinesSink
-        proxion.tracer.add_sink(JsonLinesSink(args.trace_jsonl))
-
-    checkpoint = None
-    addresses = None
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint FILE", file=sys.stderr)
         return 2
-    if args.checkpoint:
-        import os
+
+    if args.workers > 1:
+        # Per-worker artifacts that cannot be merged into one file stay
+        # serial-only; everything else (chaos, checkpoints, metrics, db,
+        # json) composes with sharding.
+        for flag, value in (("--flame", args.flame),
+                            ("--trace-jsonl", args.trace_jsonl)):
+            if value:
+                print(f"error: {flag} is per-process output and does not "
+                      f"compose with --workers > 1 (run serially)",
+                      file=sys.stderr)
+                return 2
         from repro.errors import ConfigurationError
-        from repro.landscape.checkpoint import SweepCheckpoint
-        addresses = landscape.dataset.addresses()
+        from repro.parallel import SweepSpec, run_sharded_sweep
+        spec = SweepSpec(total=args.total, seed=args.seed, chain=args.chain,
+                         options=options, chaos=args.chaos,
+                         chaos_seed=args.chaos_seed)
+        if args.chaos and not args.json:
+            print(f"chaos: injecting fault plan {args.chaos!r} "
+                  f"(seed={args.chaos_seed}) in every worker")
         try:
-            if args.resume and os.path.exists(args.checkpoint):
-                checkpoint = SweepCheckpoint.resume(args.checkpoint,
-                                                    addresses)
-                if not args.json:
-                    print(f"resuming from {args.checkpoint}: "
-                          f"{len(checkpoint.completed)} of "
-                          f"{len(addresses)} addresses already done")
-            else:
-                checkpoint = SweepCheckpoint.start(args.checkpoint,
-                                                   addresses)
+            result = run_sharded_sweep(
+                spec, workers=args.workers, strategy=args.shard_strategy,
+                world=landscape, checkpoint_path=args.checkpoint,
+                resume=args.resume,
+                progress=None if args.json else print)
         except (ConfigurationError, OSError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+        report, metrics = result.report, result.metrics
+        if not args.json:
+            print(f"parallel: {args.workers} workers, "
+                  f"{result.sum_shard_cpu_s:.2f}s shard CPU, "
+                  f"critical-path speedup "
+                  f"{result.critical_path_speedup:.2f}x")
+    else:
+        flame_profiler = None
+        if args.flame:
+            from repro.obs import FlameProfiler
+            flame_profiler = FlameProfiler()
 
-    try:
-        report = proxion.analyze_all(addresses, checkpoint=checkpoint)
-    finally:
-        if checkpoint is not None:
-            checkpoint.close()
-    metrics = proxion.metrics
+        node = landscape.node
+        if args.chaos:
+            from repro.chain.faults import build_chaos_stack
+            # Injected latency and backoff are accounted virtually (no
+            # real sleeps): the simulated node has nothing to wait for.
+            node = build_chaos_stack(node, args.chaos, seed=args.chaos_seed)
+            if not args.json:
+                print(f"chaos: injecting fault plan {args.chaos!r} "
+                      f"(seed={args.chaos_seed}) behind the resilient "
+                      f"layer")
+
+        proxion = Proxion(node, registry=landscape.registry,
+                          dataset=landscape.dataset,
+                          options=options, evm_profiler=flame_profiler)
+        if args.trace_jsonl:
+            from repro.obs import JsonLinesSink
+            proxion.tracer.add_sink(JsonLinesSink(args.trace_jsonl))
+
+        checkpoint = None
+        addresses = None
+        if args.checkpoint:
+            import os
+            from repro.errors import ConfigurationError
+            from repro.landscape.checkpoint import SweepCheckpoint
+            addresses = landscape.dataset.addresses()
+            try:
+                if args.resume and os.path.exists(args.checkpoint):
+                    checkpoint = SweepCheckpoint.resume(args.checkpoint,
+                                                        addresses)
+                    if not args.json:
+                        print(f"resuming from {args.checkpoint}: "
+                              f"{len(checkpoint.completed)} of "
+                              f"{len(addresses)} addresses already done")
+                else:
+                    checkpoint = SweepCheckpoint.start(args.checkpoint,
+                                                       addresses)
+            except (ConfigurationError, OSError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+
+        try:
+            report = proxion.analyze_all(addresses, checkpoint=checkpoint)
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
+        metrics = proxion.metrics
 
     if args.db:
         from repro.landscape.store import ResultStore
@@ -114,12 +224,14 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     if args.flame:
         assert flame_profiler is not None
         try:
-            flame_profiler.write_collapsed(args.flame)
+            flame_profiler.write_collapsed(args.flame,
+                                           weight=args.flame_weight)
         except OSError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
         if not args.json:
-            print(f"collapsed flame stacks written to {args.flame}")
+            print(f"collapsed flame stacks ({args.flame_weight}) written "
+                  f"to {args.flame}")
 
     if args.json:
         from repro.landscape.serialize import report_to_dict
@@ -173,6 +285,9 @@ def _cmd_accuracy(args: argparse.Namespace) -> int:
 
     registry = MetricsRegistry()
     tracer = SpanTracer(registry=registry)
+    if args.trace_jsonl:
+        from repro.obs import JsonLinesSink
+        tracer.add_sink(JsonLinesSink(args.trace_jsonl))
 
     print(f"building labelled corpus ({args.pairs} pairs per case)...")
     with tracer.span("build_corpus", pairs_per_case=args.pairs):
@@ -187,6 +302,17 @@ def _cmd_accuracy(args: argparse.Namespace) -> int:
             for tool, matrix in tools.items():
                 print(f"{collision_type:8s} {tool:8s} {matrix.row()}")
         print()
+
+    if args.metrics_prom:
+        from repro.obs import to_prometheus
+        try:
+            with open(args.metrics_prom, "w", encoding="utf-8") as stream:
+                stream.write(to_prometheus(registry))
+        except OSError as error:
+            print(f"error: cannot write --metrics-prom file: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"Prometheus metrics written to {args.metrics_prom}")
 
     if args.metrics:
         print(survey_metrics_summary(registry))
@@ -250,8 +376,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         profiler = FlameProfiler()
         world = generate_landscape(total=config.scale(50, 80),
                                    seed=config.seed)
-        proxion = Proxion(world.node, world.registry, world.dataset,
-                          ProxionOptions(profile_evm=True),
+        proxion = Proxion(world.node, registry=world.registry, dataset=world.dataset,
+                          options=ProxionOptions(profile_evm=True),
                           evm_profiler=profiler)
         proxion.analyze_all()
         try:
@@ -349,42 +475,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the full sweep as JSON")
     survey.add_argument("--db", default=None,
                         help="persist the sweep to an SQLite file")
-    survey.add_argument("--metrics", action="store_true",
-                        help="print the repro.obs summary (per-stage wall "
-                             "time, RPC usage, §6.1 dedup hit rates); with "
-                             "--json, embed the metrics snapshot")
-    survey.add_argument("--metrics-prom", default=None, metavar="FILE",
-                        help="write the registry in Prometheus text format")
-    survey.add_argument("--trace-jsonl", default=None, metavar="FILE",
-                        help="append every pipeline span as JSON lines")
-    survey.add_argument("--profile-evm", action="store_true",
-                        help="collect opcode-class/gas/depth EVM profile")
-    survey.add_argument("--flame", default=None, metavar="FILE",
-                        help="write collapsed flame stacks of the sweep's "
-                             "EVM work (flamegraph.pl input; implies "
-                             "--profile-evm)")
-    survey.add_argument("--chaos", default=None,
-                        choices=("transient", "rate-limit", "latency",
-                                 "flaky", "outage", "flapping"),
-                        help="inject a canned fault plan between the sweep "
-                             "and the node, absorbed by the resilient RPC "
-                             "layer (docs/robustness.md)")
-    survey.add_argument("--chaos-seed", type=int, default=1337,
-                        help="seed for the fault plan and the retry "
-                             "jitter (default 1337)")
-    survey.add_argument("--checkpoint", default=None, metavar="FILE",
-                        help="append per-contract progress to a JSONL "
-                             "checkpoint so a killed sweep can resume")
-    survey.add_argument("--resume", action="store_true",
-                        help="resume from --checkpoint FILE if it exists "
-                             "(skips completed addresses)")
+    survey.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="shard the sweep across N worker processes "
+                             "(default 1 = serial; docs/parallelism.md)")
+    survey.add_argument("--shard-strategy", default="codehash",
+                        choices=("roundrobin", "codehash"),
+                        help="address partitioning for --workers > 1; "
+                             "codehash (default) keeps clone families "
+                             "together and merges byte-identically to the "
+                             "serial sweep")
+    add_observability_flags(survey)
+    add_robustness_flags(survey)
     survey.set_defaults(func=_cmd_survey)
 
     accuracy = commands.add_parser("accuracy", help="Table 2 scoring (§6.3)")
     accuracy.add_argument("--pairs", type=int, default=8)
     accuracy.add_argument("--seed", type=int, default=7)
-    accuracy.add_argument("--metrics", action="store_true",
-                          help="print per-stage timing from repro.obs")
+    add_observability_flags(accuracy, only=("--metrics", "--metrics-prom",
+                                            "--trace-jsonl"))
     accuracy.set_defaults(func=_cmd_accuracy)
 
     bench = commands.add_parser(
@@ -397,12 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--compare", default=None, metavar="BASELINE",
                        help="diff against a baseline payload; exit 1 on "
                             ">25%% median regression")
-    bench.add_argument("--flame", default=None, metavar="FILE",
-                       help="also write collapsed EVM flame stacks of the "
-                            "small sweep (flamegraph.pl input)")
-    bench.add_argument("--flame-weight", default="gas",
-                       choices=("gas", "instructions"),
-                       help="flame sample unit (default: base gas)")
+    add_observability_flags(bench, only=("--flame", "--flame-weight"))
     bench.add_argument("--repeats", type=int, default=None,
                        help="timed repeats per workload (default: 2 quick / "
                             "5 full)")

@@ -20,11 +20,13 @@ probes, catching EIP-2535 proxies the random probe misses.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
+from repro.chain.api import NodeRPC
+from repro.chain.blockchain import Blockchain
 from repro.chain.dataset import ContractDataset
 from repro.chain.explorer import SourceRegistry
-from repro.chain.node import ArchiveNode
 from repro.core.function_collision import FunctionCollisionDetector
 from repro.core.logic_finder import LogicFinder
 from repro.core.proxy_detector import (
@@ -66,8 +68,20 @@ class ProxionOptions:
     fail_fast: bool = False
 
 
+#: Legacy positional order of ``Proxion.__init__`` keyword parameters,
+#: honored (with a DeprecationWarning) by the one-release shim.
+_LEGACY_POSITIONAL = ("registry", "dataset", "options", "chain_state",
+                      "block", "metrics", "tracer", "evm_profiler")
+
+
 class Proxion:
-    """The complete analyzer, bound to an archive node.
+    """The complete analyzer, bound to any :class:`~repro.chain.api.NodeRPC`.
+
+    Construct with :meth:`from_node` (an existing node, possibly wrapped
+    in resilience/chaos layers) or :meth:`from_chain` (a bare simulated
+    chain); the constructor itself takes the node positionally and
+    everything else keyword-only.  Passing further positional arguments
+    still works for one release but emits a :class:`DeprecationWarning`.
 
     Observability: the instance shares the node's
     :class:`~repro.obs.registry.MetricsRegistry` by default (pass
@@ -77,7 +91,7 @@ class Proxion:
     histograms in the registry.
     """
 
-    def __init__(self, node: ArchiveNode,
+    def __init__(self, node: NodeRPC, *legacy,
                  registry: SourceRegistry | None = None,
                  dataset: ContractDataset | None = None,
                  options: ProxionOptions | None = None,
@@ -86,6 +100,11 @@ class Proxion:
                  metrics: MetricsRegistry | None = None,
                  tracer: SpanTracer | None = None,
                  evm_profiler: ProfilingTracer | None = None) -> None:
+        if legacy:
+            registry, dataset, options, chain_state, block, metrics, \
+                tracer, evm_profiler = self._absorb_legacy_positional(
+                    legacy, registry, dataset, options, chain_state, block,
+                    metrics, tracer, evm_profiler)
         self.node = node
         self.registry = registry if registry is not None else SourceRegistry()
         self.dataset = dataset
@@ -130,6 +149,56 @@ class Proxion:
             "logic_recovery.getstorageat_calls")
         self._storage_proxies = self.metrics.counter(
             "logic_recovery.storage_proxies")
+
+    # ------------------------------------------------------------- builders
+    @classmethod
+    def from_node(cls, node: NodeRPC, **kwargs) -> "Proxion":
+        """Build an analyzer on an existing node (wrapped or bare).
+
+        The preferred constructor: accepts exactly the keyword parameters
+        of ``__init__`` (``registry=``, ``dataset=``, ``options=``, ...)
+        and works with any :class:`~repro.chain.api.NodeRPC` conformer —
+        including resilience/chaos stacks around an archive node.
+        """
+        return cls(node, **kwargs)
+
+    @classmethod
+    def from_chain(cls, chain: Blockchain, *,
+                   metrics: MetricsRegistry | None = None,
+                   call_instruction_budget: int | None = None,
+                   **kwargs) -> "Proxion":
+        """Build an analyzer (and its archive node) on a bare chain.
+
+        ``metrics`` and ``call_instruction_budget`` configure the node
+        being created; everything else is forwarded to ``__init__``.
+        """
+        from repro.chain.node import ArchiveNode
+
+        node = ArchiveNode(chain, metrics=metrics,
+                           call_instruction_budget=call_instruction_budget)
+        return cls(node, **kwargs)
+
+    @staticmethod
+    def _absorb_legacy_positional(legacy: tuple, *keyword_values):
+        """The one-release shim for pre-redesign positional call sites."""
+        if len(legacy) > len(_LEGACY_POSITIONAL):
+            raise TypeError(
+                f"Proxion() takes at most {len(_LEGACY_POSITIONAL) + 1} "
+                f"positional arguments ({len(legacy) + 1} given)")
+        warnings.warn(
+            "positional Proxion(...) arguments beyond `node` are deprecated "
+            "and will be removed in the next release; pass "
+            f"{', '.join(_LEGACY_POSITIONAL[:len(legacy)])} by keyword, or "
+            "use Proxion.from_node()/Proxion.from_chain()",
+            DeprecationWarning, stacklevel=3)
+        merged = list(keyword_values)
+        for index, value in enumerate(legacy):
+            if merged[index] is not None:
+                raise TypeError(
+                    f"Proxion() got multiple values for argument "
+                    f"{_LEGACY_POSITIONAL[index]!r}")
+            merged[index] = value
+        return tuple(merged)
 
     # -------------------------------------------------------------- analysis
     def check_proxy(self, address: bytes) -> ProxyCheck:
@@ -333,7 +402,13 @@ class Proxion:
             for failure in checkpoint.restored_failures():
                 report.add_failure(failure)
             done = frozenset(checkpoint.completed)
-            self.metrics.counter("pipeline.resumed_contracts").inc(len(done))
+            # ``completed`` includes §3.1 skips (dead contracts recorded so
+            # a resume does not re-probe is_alive); count those separately
+            # so resumed_contracts means restored analyses + failures.
+            skips = len(getattr(checkpoint, "skipped", ()))
+            self.metrics.counter("pipeline.resumed_contracts").inc(
+                len(done) - skips)
+            self.metrics.counter("pipeline.resumed_skips").inc(skips)
         hits_before = {c: counter.value
                        for c, counter in self._dedup_hits.items()}
         misses_before = {c: counter.value

@@ -9,7 +9,8 @@ from repro.landscape.accuracy import (
     score_uschunt_storage,
     table2,
 )
-from repro.landscape.checkpoint import SweepCheckpoint
+from repro.landscape.checkpoint import SweepCheckpoint, shard_checkpoint_path
+from repro.landscape.merge import merge_reports
 from repro.landscape.serialize import (
     analysis_to_dict,
     dict_to_analysis,
@@ -41,8 +42,10 @@ __all__ = [
     "dict_to_analysis",
     "dict_to_failure",
     "failure_to_dict",
+    "merge_reports",
     "report_to_dict",
     "report_to_json",
+    "shard_checkpoint_path",
     "ConfusionMatrix",
     "DuplicateCensus",
     "UpgradeCensus",

@@ -44,6 +44,18 @@ from repro.landscape.serialize import (
 SCHEMA = "repro.checkpoint/1"
 
 
+def shard_checkpoint_path(path: str, shard: int) -> str:
+    """The per-shard checkpoint file of a sharded sweep.
+
+    A parallel sweep with ``--checkpoint FILE --workers N`` keeps one
+    independent ``repro.checkpoint/1`` file per shard —
+    ``FILE.shard00 .. FILE.shard<N-1>`` — each fingerprinted against its
+    own shard's address list, so every shard resumes (and fails loudly on
+    a mismatched partition) independently of the others.
+    """
+    return f"{path}.shard{shard:02d}"
+
+
 def fingerprint(addresses: Iterable[bytes]) -> str:
     """Order-sensitive fingerprint of the sweep's address list."""
     digest = hashlib.sha256()
@@ -173,4 +185,5 @@ class SweepCheckpoint:
         self.close()
 
 
-__all__ = ["SCHEMA", "SweepCheckpoint", "fingerprint"]
+__all__ = ["SCHEMA", "SweepCheckpoint", "fingerprint",
+           "shard_checkpoint_path"]

@@ -121,8 +121,8 @@ def _sweep_workload(total_quick: int, total_full: int,
     def run(world, config: BenchConfig):
         from repro.core.pipeline import Proxion, ProxionOptions
         world.node.metrics.reset()
-        proxion = Proxion(world.node, world.registry, world.dataset,
-                          ProxionOptions(profile_evm=True))
+        proxion = Proxion(world.node, registry=world.registry, dataset=world.dataset,
+                          options=ProxionOptions(profile_evm=True))
         report = proxion.analyze_all()
         return world.node.metrics, {
             "contracts": len(report),
@@ -147,8 +147,8 @@ def _proxy_check_workload() -> Workload:
         from repro.core.pipeline import Proxion, ProxionOptions
         world, addresses = context
         world.node.metrics.reset()
-        proxion = Proxion(world.node, world.registry, world.dataset,
-                          ProxionOptions(profile_evm=True))
+        proxion = Proxion(world.node, registry=world.registry, dataset=world.dataset,
+                          options=ProxionOptions(profile_evm=True))
         proxies = sum(1 for address in addresses
                       if proxion.check_proxy(address).is_proxy)
         # analyze_all() normally flushes the EVM profile; checking only
@@ -271,8 +271,8 @@ def _pipeline_faulty_workload() -> Workload:
         plan = canned_plan("transient", seed=config.seed)
         node = ResilientNode(FaultyNode(world.node, plan),
                              seed=config.seed, sleep=None)
-        proxion = Proxion(node, world.registry, world.dataset,
-                          ProxionOptions())
+        proxion = Proxion(node, registry=world.registry, dataset=world.dataset,
+                          options=ProxionOptions())
         report = proxion.analyze_all()
         registry = world.node.metrics
         retries = sum(int(counter.value) for counter
@@ -294,12 +294,49 @@ def _pipeline_faulty_workload() -> Workload:
         setup=setup, run=run)
 
 
+def _pipeline_parallel_workload(workers: int = 4) -> Workload:
+    def setup(config: BenchConfig):
+        return _landscape(config.scale(120, 250), config.seed)
+
+    def run(world, config: BenchConfig):
+        import os
+
+        from repro.core.pipeline import ProxionOptions
+        from repro.parallel import SweepSpec, run_sharded_sweep
+
+        spec = SweepSpec(total=config.scale(120, 250), seed=config.seed,
+                         options=ProxionOptions(profile_evm=True))
+        result = run_sharded_sweep(spec, workers=workers,
+                                   strategy="codehash", world=world)
+        # Wall-clock speedup is a property of the host (free cores, pool
+        # start-up); the CPU critical path is the hardware-independent
+        # number: total shard CPU over the slowest shard.
+        return result.metrics, {
+            "contracts": len(result.report),
+            "workers": workers,
+            "strategy": result.strategy,
+            "host_cpus": os.cpu_count(),
+            "sum_shard_cpu_s": round(result.sum_shard_cpu_s, 4),
+            "max_shard_cpu_s": round(result.max_shard_cpu_s, 4),
+            "critical_path_speedup": round(result.critical_path_speedup, 3),
+        }
+
+    return Workload(
+        name="pipeline_parallel",
+        description=f"the sweep_250 pipeline sharded across {workers} "
+                    f"worker processes (codehash strategy, merged "
+                    f"byte-identically; measures fan-out overhead and the "
+                    f"CPU critical path)",
+        setup=setup, run=run)
+
+
 def _build_workloads() -> dict[str, Workload]:
     suite = [
         _sweep_workload(50, 80),
         _sweep_workload(120, 250),
         _sweep_workload(500, 500, quick=False),
         _pipeline_faulty_workload(),
+        _pipeline_parallel_workload(),
         _proxy_check_workload(),
         _logic_recovery_workload(),
         _collision_accuracy_workload(),

@@ -197,6 +197,59 @@ class MetricsRegistry:
             histogram.sum = 0.0
             histogram.count = 0
 
+    # ------------------------------------------------------ state & merging
+    def state(self) -> dict[str, list]:
+        """A pickle/JSON-able dump that :meth:`merge_state` can re-ingest.
+
+        Unlike :meth:`snapshot` (rendered series names, for humans and
+        exporters) this keeps ``(name, labels)`` structured, so it is the
+        wire format of cross-process aggregation: each worker of a sharded
+        sweep ships its registry state to the parent, which folds them
+        into one registry with :meth:`merge_state`.
+        """
+        return {
+            "counters": [[c.name, list(c.labels), c.value]
+                         for c in self._counters.values()],
+            "gauges": [[g.name, list(g.labels), g.value]
+                       for g in self._gauges.values()],
+            "histograms": [[h.name, list(h.labels), list(h.bounds),
+                            list(h.bucket_counts), h.sum, h.count]
+                           for h in self._histograms.values()],
+        }
+
+    def merge_state(self, state: dict[str, list]) -> None:
+        """Fold one :meth:`state` dump into this registry.
+
+        Counters and histogram tallies are *summed*; gauges keep the
+        high-water mark (a last-write-wins value has no meaningful sum
+        across workers).  Histograms with mismatched bucket bounds merge
+        their sum/count but overflow every sample into the +Inf bucket —
+        and count the event under ``obs.histogram_bound_mismatches``.
+        """
+        if not self.enabled:
+            return
+        for name, labels, value in state.get("counters", ()):
+            self.counter(name, **dict(labels)).inc(value)
+        for name, labels, value in state.get("gauges", ()):
+            self.gauge(name, **dict(labels)).max(value)
+        for row in state.get("histograms", ()):
+            name, labels, bounds, bucket_counts, total, count = row
+            histogram = self.histogram(name, bounds=tuple(bounds),
+                                       **dict(labels))
+            histogram.sum += total
+            histogram.count += count
+            if histogram.bounds == tuple(bounds):
+                for index, tally in enumerate(bucket_counts):
+                    histogram.bucket_counts[index] += tally
+            else:
+                histogram.bucket_counts[-1] += sum(bucket_counts)
+                self.counter("obs.histogram_bound_mismatches",
+                             name=name).inc()
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one."""
+        self.merge_state(other.state())
+
     def snapshot(self) -> dict[str, dict]:
         """JSON-compatible dump keyed by rendered series names."""
         return {

@@ -1,0 +1,32 @@
+"""Parallel sharded landscape sweeps (§7 at scale).
+
+Public surface:
+
+* :class:`~repro.parallel.spec.SweepSpec` — pickle-able description of a
+  sweep a worker can rebuild from scratch;
+* :func:`~repro.parallel.shard.shard_addresses` /
+  :data:`~repro.parallel.shard.STRATEGIES` — deterministic partitioning;
+* :func:`~repro.parallel.engine.run_sharded_sweep` — the engine: fan out,
+  analyze, merge back to one deterministic
+  :class:`~repro.core.report.LandscapeReport`.
+
+See ``docs/parallelism.md`` for the byte-identity guarantees per shard
+strategy.
+"""
+
+from repro.parallel.engine import (
+    ShardedSweepResult,
+    ShardStats,
+    run_sharded_sweep,
+)
+from repro.parallel.shard import STRATEGIES, shard_addresses
+from repro.parallel.spec import SweepSpec
+
+__all__ = [
+    "STRATEGIES",
+    "ShardStats",
+    "ShardedSweepResult",
+    "SweepSpec",
+    "run_sharded_sweep",
+    "shard_addresses",
+]

@@ -1,0 +1,258 @@
+"""The sharded sweep engine: N workers, one merged, deterministic report.
+
+``run_sharded_sweep`` partitions a landscape's address list with
+:mod:`repro.parallel.shard`, runs one :class:`~repro.core.pipeline.Proxion`
+per shard, and folds the partial results back into a single
+:class:`~repro.core.report.LandscapeReport` plus one merged
+:class:`~repro.obs.registry.MetricsRegistry`.
+
+Determinism is the design center, not an afterthought:
+
+* workers ship results as the *serialized* analysis/failure dicts
+  (:func:`~repro.landscape.serialize.analysis_to_dict`), whose round-trip
+  through :func:`~repro.landscape.serialize.dict_to_analysis` is exact
+  w.r.t. ``report_to_dict`` — so nothing is lost crossing the process
+  boundary;
+* :func:`~repro.landscape.merge.merge_reports` re-emits contracts in the
+  original sweep order, making the merged report independent of worker
+  completion order;
+* under the default ``codehash`` strategy the merged report serializes
+  **byte-identically** to a serial ``analyze_all`` over the same
+  addresses (see :mod:`repro.parallel.shard` for why).
+
+Process model: the ``fork`` start method is preferred — the parent plants
+its generated world in a module global before creating the pool, and
+children inherit it copy-on-write, skipping regeneration.  Under
+``spawn`` (or when a child's inherited world does not match the spec) the
+worker rebuilds the world from its pickle-able
+:class:`~repro.parallel.spec.SweepSpec` and memoizes it per process.
+``processes=False`` runs every shard sequentially in-process through the
+*same* worker function — the fast, deterministic path the test suite
+leans on.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.report import LandscapeReport
+from repro.landscape.checkpoint import SweepCheckpoint, shard_checkpoint_path
+from repro.landscape.merge import _COUNTER_FIELDS, merge_reports
+from repro.landscape.serialize import (
+    analysis_to_dict,
+    dict_to_analysis,
+    dict_to_failure,
+    failure_to_dict,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.parallel.shard import shard_addresses
+from repro.parallel.spec import SweepSpec
+
+# Planted by the parent before forking so children inherit the generated
+# world copy-on-write instead of regenerating it.  Keyed by
+# ``SweepSpec.world_key()`` — a child whose spec does not match rebuilds.
+_PARENT_WORLD: tuple[tuple, Any] | None = None
+
+# Per-worker-process memo for spawn-style rebuilds (one worker may run
+# several shards of the same sweep).
+_WORLD_CACHE: dict[tuple, Any] = {}
+
+
+def _plant_parent_world(spec: SweepSpec, world: Any) -> None:
+    global _PARENT_WORLD
+    _PARENT_WORLD = (spec.world_key(), world)
+
+
+def _world_for(spec: SweepSpec) -> Any:
+    key = spec.world_key()
+    if _PARENT_WORLD is not None and _PARENT_WORLD[0] == key:
+        return _PARENT_WORLD[1]
+    world = _WORLD_CACHE.get(key)
+    if world is None:
+        world = spec.build_world()
+        _WORLD_CACHE[key] = world
+    return world
+
+
+def _run_shard(task: tuple) -> dict[str, Any]:
+    """Worker entry point: analyze one shard, return a pickle-able dict.
+
+    Everything in the return value is plain JSON-able data — the parent
+    reconstructs the partial report through the exact serialization
+    round-trip, which is what makes the merge byte-faithful.
+    """
+    spec, shard_index, addresses, checkpoint_path, resume = task
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+
+    world = _world_for(spec)
+    proxion = spec.build_proxion(world)
+
+    checkpoint: SweepCheckpoint | None = None
+    if checkpoint_path is not None:
+        path = shard_checkpoint_path(checkpoint_path, shard_index)
+        if resume and os.path.exists(path):
+            checkpoint = SweepCheckpoint.resume(path, addresses)
+        else:
+            checkpoint = SweepCheckpoint.start(path, addresses)
+    try:
+        report = proxion.analyze_all(addresses, checkpoint=checkpoint)
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+
+    return {
+        "shard": shard_index,
+        "addresses": len(addresses),
+        "analyses": [analysis_to_dict(analysis)
+                     for analysis in report.analyses.values()],
+        "failures": [failure_to_dict(failure)
+                     for failure in report.failures.values()],
+        "counters": {name: getattr(report, name)
+                     for name in _COUNTER_FIELDS},
+        "metrics": proxion.metrics.state(),
+        "wall_s": time.perf_counter() - wall_start,
+        "cpu_s": time.process_time() - cpu_start,
+    }
+
+
+def _partial_report(result: dict[str, Any]) -> LandscapeReport:
+    """Rebuild one shard's :class:`LandscapeReport` from the wire dict."""
+    report = LandscapeReport()
+    for record in result["analyses"]:
+        report.add(dict_to_analysis(record))
+    for record in result["failures"]:
+        report.add_failure(dict_to_failure(record))
+    for name, value in result["counters"].items():
+        setattr(report, name, value)
+    return report
+
+
+@dataclass(slots=True)
+class ShardStats:
+    """Per-shard accounting of one sharded sweep."""
+
+    shard: int
+    addresses: int
+    wall_s: float
+    cpu_s: float
+
+
+@dataclass(slots=True)
+class ShardedSweepResult:
+    """Everything a sharded sweep produces, merged and per-shard."""
+
+    report: LandscapeReport
+    metrics: MetricsRegistry
+    shards: list[ShardStats]
+    workers: int
+    strategy: str
+    wall_s: float = 0.0
+
+    @property
+    def sum_shard_cpu_s(self) -> float:
+        return sum(stats.cpu_s for stats in self.shards)
+
+    @property
+    def max_shard_cpu_s(self) -> float:
+        return max((stats.cpu_s for stats in self.shards), default=0.0)
+
+    @property
+    def critical_path_speedup(self) -> float:
+        """CPU-work parallelism: total shard CPU over the slowest shard.
+
+        On a host with at least ``workers`` free cores this is (up to
+        pool overhead) the achievable wall-clock speedup; on a saturated
+        or single-core host wall time cannot beat the CPU sum, so this
+        is the honest hardware-independent number to report.
+        """
+        slowest = self.max_shard_cpu_s
+        return self.sum_shard_cpu_s / slowest if slowest else 1.0
+
+
+def run_sharded_sweep(spec: SweepSpec, *,
+                      workers: int = 4,
+                      strategy: str = "codehash",
+                      addresses: Sequence[bytes] | None = None,
+                      checkpoint_path: str | None = None,
+                      resume: bool = False,
+                      world: Any = None,
+                      processes: bool = True,
+                      progress: Callable[[str], None] | None = None,
+                      ) -> ShardedSweepResult:
+    """Run one landscape sweep across ``workers`` shards and merge.
+
+    ``world`` (optional) is a pre-generated landscape matching ``spec`` —
+    passed by callers that already hold one (the CLI, the bench harness)
+    so the parent does not regenerate it.  ``addresses`` defaults to the
+    world's full address list.  ``checkpoint_path`` is the *base* path;
+    each shard keeps its own ``.shardNN`` file and resumes independently
+    when ``resume`` is set.  ``processes=False`` runs the shards
+    sequentially in this process (identical results, no pool).
+    """
+    wall_start = time.perf_counter()
+    say = progress or (lambda message: None)
+
+    if world is None:
+        world = _world_for(spec)
+    _plant_parent_world(spec, world)
+
+    if addresses is None:
+        addresses = world.addresses()
+    addresses = list(addresses)
+
+    def code_of(address: bytes) -> bytes:
+        # Metrics-free read straight off the simulated state: sharding is
+        # bookkeeping, not RPC traffic, and must not perturb counters.
+        return world.chain.state.get_code(address)
+
+    partitions = shard_addresses(addresses, workers, strategy,
+                                 code_of=code_of)
+    tasks = [(spec, index, partition, checkpoint_path, resume)
+             for index, partition in enumerate(partitions)]
+    say(f"sweeping {len(addresses)} contracts across {workers} "
+        f"shard(s), strategy={strategy}")
+
+    if processes and workers > 1:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        pool = context.Pool(processes=workers)
+        try:
+            results = pool.map(_run_shard, tasks)
+        finally:
+            pool.close()
+            pool.join()
+    else:
+        results = [_run_shard(task) for task in tasks]
+
+    results.sort(key=lambda result: result["shard"])
+    report = merge_reports([_partial_report(result) for result in results],
+                           order=addresses)
+    metrics = MetricsRegistry()
+    for result in results:
+        metrics.merge_state(result["metrics"])
+    shards = [ShardStats(shard=result["shard"],
+                         addresses=result["addresses"],
+                         wall_s=result["wall_s"],
+                         cpu_s=result["cpu_s"])
+              for result in results]
+    outcome = ShardedSweepResult(report=report, metrics=metrics,
+                                 shards=shards, workers=workers,
+                                 strategy=strategy,
+                                 wall_s=time.perf_counter() - wall_start)
+    say(f"merged {len(report.analyses)} analyses, "
+        f"{len(report.failures)} failures "
+        f"(critical-path speedup {outcome.critical_path_speedup:.2f}x)")
+    return outcome
+
+
+__all__ = [
+    "ShardStats",
+    "ShardedSweepResult",
+    "run_sharded_sweep",
+]

@@ -68,7 +68,7 @@ def test_young_chain_has_no_early_years() -> None:
 
 def test_pipeline_is_chain_agnostic() -> None:
     landscape = generate_landscape(total=80, seed=9, chain_profile=POLYGON)
-    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset)
+    proxion = Proxion(landscape.node, registry=landscape.registry, dataset=landscape.dataset)
     report = proxion.analyze_all()
     detected = {a for a, r in report.analyses.items() if r.is_proxy}
     expected = {a for a, t in landscape.truths.items()

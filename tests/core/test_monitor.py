@@ -17,7 +17,7 @@ from tests.conftest import ALICE, BOB, ETHER
 
 @pytest.fixture()
 def monitored(chain: Blockchain):
-    proxion = Proxion(ArchiveNode(chain), SourceRegistry(), ContractDataset())
+    proxion = Proxion(ArchiveNode(chain), registry=SourceRegistry(), dataset=ContractDataset())
     return chain, DeploymentMonitor(proxion)
 
 

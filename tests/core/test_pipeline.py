@@ -39,7 +39,7 @@ def test_analyze_contract_full_record(chain: Blockchain) -> None:
     node, registry, dataset, deploy = _world(chain)
     logic = deploy(stdlib.audius_logic())
     proxy = deploy(stdlib.audius_proxy("AP", logic, ALICE))
-    proxion = Proxion(node, registry, dataset)
+    proxion = Proxion(node, registry=registry, dataset=dataset)
     analysis = proxion.analyze_contract(proxy)
     assert analysis.is_proxy
     assert analysis.standard is ProxyStandard.OTHER
@@ -57,7 +57,7 @@ def test_dedup_cache_reuses_verdicts(chain: Blockchain) -> None:
                            ).created_address for _ in range(5)]
     for clone in clones:
         dataset.add(clone, chain.latest_block_number, ALICE)
-    proxion = Proxion(node, registry, dataset)
+    proxion = Proxion(node, registry=registry, dataset=dataset)
     report = proxion.analyze_all()
     assert all(report.analyses[clone].is_proxy for clone in clones)
     # 5 identical clones → 4 cache hits.
@@ -73,7 +73,7 @@ def test_cached_check_refreshes_instance_logic(chain: Blockchain) -> None:
     proxy_a = deploy(stdlib.storage_proxy("P", logic_a, ALICE))
     proxy_b = deploy(stdlib.storage_proxy("P", logic_b, ALICE))
     assert (chain.state.get_code(proxy_a) == chain.state.get_code(proxy_b))
-    proxion = Proxion(node, registry, dataset)
+    proxion = Proxion(node, registry=registry, dataset=dataset)
     check_a = proxion.check_proxy(proxy_a)
     check_b = proxion.check_proxy(proxy_b)
     assert check_a.logic_address == logic_a
@@ -86,7 +86,7 @@ def test_dedup_disabled_runs_full_emulation(chain: Blockchain) -> None:
     clone_a = deploy(stdlib.minimal_proxy_init(wallet))
     clone_b = deploy(stdlib.minimal_proxy_init(wallet))
     options = ProxionOptions(dedup_by_code_hash=False)
-    proxion = Proxion(node, registry, dataset, options)
+    proxion = Proxion(node, registry=registry, dataset=dataset, options=options)
     assert proxion.check_proxy(clone_a).is_proxy
     assert proxion.check_proxy(clone_b).is_proxy
     assert not proxion._check_cache
@@ -97,7 +97,7 @@ def test_collision_reports_cached_per_code_pair(chain: Blockchain) -> None:
     logic = deploy(stdlib.honeypot_logic())
     first = deploy(stdlib.honeypot_proxy("HP", logic, ALICE))
     second = deploy(stdlib.honeypot_proxy("HP", logic, ALICE))
-    proxion = Proxion(node, registry, dataset)
+    proxion = Proxion(node, registry=registry, dataset=dataset)
     analysis_one = proxion.analyze_contract(first)
     cache_size = len(proxion._function_cache)
     analysis_two = proxion.analyze_contract(second)
@@ -110,7 +110,7 @@ def test_analyze_all_skips_destroyed(chain: Blockchain) -> None:
     node, registry, dataset, deploy = _world(chain)
     wallet = deploy(stdlib.simple_wallet("W", ALICE))
     dataset.add(b"\x99" * 20, 1, ALICE)  # never deployed
-    proxion = Proxion(node, registry, dataset)
+    proxion = Proxion(node, registry=registry, dataset=dataset)
     report = proxion.analyze_all()
     assert wallet in report.analyses
     assert b"\x99" * 20 not in report.analyses
@@ -126,11 +126,11 @@ def test_diamond_extension_via_pipeline(chain: Blockchain) -> None:
         [int.from_bytes(selector, "big"), wallet]))
     chain.transact(BOB, diamond, encode_call("ownerOf()"))
 
-    default = Proxion(node, registry, dataset)
+    default = Proxion(node, registry=registry, dataset=dataset)
     assert not default.check_proxy(diamond).is_proxy
 
-    extended = Proxion(node, registry, dataset,
-                       ProxionOptions(detect_diamonds=True))
+    extended = Proxion(node, registry=registry, dataset=dataset,
+                       options=ProxionOptions(detect_diamonds=True))
     assert extended.check_proxy(diamond).is_proxy
 
 
@@ -144,7 +144,7 @@ def test_upgraded_proxy_collides_with_old_logic_only(chain: Blockchain) -> None:
     proxy = deploy(stdlib.storage_proxy("SP", colliding, ALICE))
     chain.transact(ALICE, proxy,
                    encode_call("setImplementation(address)", [clean]))
-    proxion = Proxion(node, registry, dataset)
+    proxion = Proxion(node, registry=registry, dataset=dataset)
     analysis = proxion.analyze_contract(proxy)
     assert len(analysis.logic_history.logic_addresses) == 2
     assert analysis.has_storage_collision  # vs the historical colliding logic
@@ -155,7 +155,7 @@ def test_landscape_report_counters(chain: Blockchain) -> None:
     wallet = deploy(stdlib.simple_wallet("W", ALICE))
     deploy(stdlib.minimal_proxy_init(wallet))
     weird = deploy(stdlib.raw_deploy_init(stdlib.WEIRD_DELEGATECALL_RUNTIME))
-    proxion = Proxion(node, registry, dataset)
+    proxion = Proxion(node, registry=registry, dataset=dataset)
     report = proxion.analyze_all()
     assert len(report.proxies()) == 1
     assert 0 < report.emulation_failure_rate() < 1

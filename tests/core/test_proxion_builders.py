@@ -1,0 +1,85 @@
+"""The redesigned Proxion construction surface.
+
+``Proxion(node)`` is keyword-only beyond the node; the legacy positional
+form keeps working for one release behind a ``DeprecationWarning`` shim,
+and ``from_node``/``from_chain`` are the forward-looking builders.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.dataset import ContractDataset
+from repro.chain.explorer import SourceRegistry
+from repro.chain.node import ArchiveNode
+from repro.core.pipeline import Proxion, ProxionOptions
+from repro.obs.registry import NULL_REGISTRY
+
+from tests.conftest import ALICE
+
+
+@pytest.fixture()
+def node(chain: Blockchain) -> ArchiveNode:
+    return ArchiveNode(chain)
+
+
+def test_keyword_construction_emits_no_warning(node) -> None:
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        proxion = Proxion(node, registry=SourceRegistry(),
+                          dataset=ContractDataset())
+    assert proxion.node is node
+
+
+def test_positional_construction_warns_but_still_works(node) -> None:
+    registry, dataset = SourceRegistry(), ContractDataset()
+    options = ProxionOptions(detect_diamonds=True)
+    with pytest.warns(DeprecationWarning, match="positional Proxion"):
+        proxion = Proxion(node, registry, dataset, options)
+    assert proxion.registry is registry
+    assert proxion.dataset is dataset
+    assert proxion.options.detect_diamonds is True
+
+
+def test_positional_and_keyword_for_same_parameter_is_an_error(node) -> None:
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="multiple values"):
+            Proxion(node, SourceRegistry(), registry=SourceRegistry())
+
+
+def test_too_many_positionals_is_an_error(node) -> None:
+    with pytest.raises(TypeError, match="positional arguments"):
+        Proxion(node, *([None] * 9))
+
+
+def test_from_node_builder(node) -> None:
+    dataset = ContractDataset()
+    proxion = Proxion.from_node(node, dataset=dataset,
+                                options=ProxionOptions(fail_fast=True))
+    assert proxion.node is node
+    assert proxion.dataset is dataset
+    assert proxion.options.fail_fast is True
+
+
+def test_from_chain_builds_the_node(chain: Blockchain) -> None:
+    proxion = Proxion.from_chain(chain, metrics=NULL_REGISTRY,
+                                 call_instruction_budget=1234)
+    assert isinstance(proxion.node, ArchiveNode)
+    assert proxion.node.chain is chain
+    assert proxion.node.call_instruction_budget == 1234
+    assert proxion.metrics is NULL_REGISTRY
+
+
+def test_builders_produce_working_analyzers(chain: Blockchain) -> None:
+    from repro.lang import compile_contract, stdlib
+
+    logic = chain.deploy(ALICE, compile_contract(
+        stdlib.audius_logic()).init_code)
+    proxy = chain.deploy(ALICE, compile_contract(
+        stdlib.audius_proxy("AP", logic.created_address,
+                            ALICE)).init_code)
+    proxion = Proxion.from_chain(chain)
+    assert proxion.check_proxy(proxy.created_address).is_proxy

@@ -30,7 +30,7 @@ def world():
 
 
 def _fault_free_report(world):
-    return Proxion(world.node, world.registry, world.dataset).analyze_all()
+    return Proxion(world.node, registry=world.registry, dataset=world.dataset).analyze_all()
 
 
 def test_transient_plan_is_byte_identical_to_fault_free(world) -> None:
@@ -40,7 +40,7 @@ def test_transient_plan_is_byte_identical_to_fault_free(world) -> None:
     node = ResilientNode(FaultyNode(world.node, canned_plan("transient",
                                                             seed=5)),
                          seed=1, sleep=None)
-    proxion = Proxion(node, world.registry, world.dataset)
+    proxion = Proxion(node, registry=world.registry, dataset=world.dataset)
     chaotic = proxion.analyze_all()
 
     assert report_to_json(chaotic) == report_to_json(baseline)
@@ -62,7 +62,7 @@ def test_sustained_outage_quarantines_instead_of_raising(world) -> None:
     node = ResilientNode(FaultyNode(world.node, canned_plan("outage",
                                                             seed=5)),
                          seed=1, sleep=None)
-    proxion = Proxion(node, world.registry, world.dataset)
+    proxion = Proxion(node, registry=world.registry, dataset=world.dataset)
     report = proxion.analyze_all()          # must not raise
 
     assert report.failures, "the outage quarantined nothing"
@@ -88,14 +88,14 @@ def test_checkpointed_sweep_resumes_to_the_same_report(tmp_path,
 
     # First process: killed after the first half of the address list.
     with SweepCheckpoint.start(path, addresses) as checkpoint:
-        Proxion(world.node, world.registry, world.dataset).analyze_all(
+        Proxion(world.node, registry=world.registry, dataset=world.dataset).analyze_all(
             addresses[:len(addresses) // 2], checkpoint=checkpoint)
 
     # Second process: fresh Proxion (cold caches), resumes the full list.
     world.node.metrics.reset()
     with SweepCheckpoint.resume(path, addresses) as checkpoint:
-        resumed = Proxion(world.node, world.registry,
-                          world.dataset).analyze_all(addresses,
+        resumed = Proxion(world.node, registry=world.registry,
+                          dataset=world.dataset).analyze_all(addresses,
                                                      checkpoint=checkpoint)
 
     restored = sum(int(c.value) for c in world.node.metrics
@@ -119,6 +119,6 @@ def test_flaky_plan_with_latency_still_matches(world) -> None:
     node = ResilientNode(FaultyNode(world.node, canned_plan("flaky",
                                                             seed=13)),
                          seed=2, sleep=None)
-    report = Proxion(node, world.registry, world.dataset).analyze_all()
+    report = Proxion(node, registry=world.registry, dataset=world.dataset).analyze_all()
     assert report_to_json(report) == report_to_json(baseline)
     world.node.metrics.reset()

@@ -14,7 +14,7 @@ from repro.corpus.generator import Landscape
 
 @pytest.fixture(scope="module")
 def sweep(landscape: Landscape) -> LandscapeReport:
-    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset)
+    proxion = Proxion(landscape.node, registry=landscape.registry, dataset=landscape.dataset)
     return proxion.analyze_all()
 
 
@@ -125,8 +125,8 @@ def test_diamond_extension_closes_the_gap(landscape: Landscape,
     diamonds = landscape.contracts_of_kind("diamond")
     if not diamonds:
         pytest.skip("no diamonds at this landscape size")
-    extended = Proxion(landscape.node, landscape.registry, landscape.dataset,
-                       ProxionOptions(detect_diamonds=True))
+    extended = Proxion(landscape.node, registry=landscape.registry, dataset=landscape.dataset,
+                       options=ProxionOptions(detect_diamonds=True))
     for diamond in diamonds:
         assert not sweep.analyses[diamond].is_proxy       # default misses
         assert extended.check_proxy(diamond).is_proxy     # §8.2 finds

@@ -1,0 +1,177 @@
+"""The sharded sweep engine: equivalence, checkpoints, chaos, processes.
+
+The load-bearing property throughout: a codehash-sharded sweep merges to
+a report that serializes *byte-identically* to the serial sweep over the
+same addresses — the parallel path is an optimization, never a different
+answer.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.pipeline import Proxion
+from repro.landscape import report_to_json, shard_checkpoint_path
+from repro.landscape.checkpoint import SweepCheckpoint
+from repro.parallel import SweepSpec, run_sharded_sweep, shard_addresses
+
+TOTAL, SEED = 40, 7
+
+
+@pytest.fixture(scope="module")
+def spec() -> SweepSpec:
+    return SweepSpec(total=TOTAL, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def world(spec: SweepSpec):
+    return spec.build_world()
+
+
+@pytest.fixture(scope="module")
+def serial_json(world) -> str:
+    proxion = Proxion.from_chain(world.chain, registry=world.registry,
+                                 dataset=world.dataset)
+    return report_to_json(proxion.analyze_all(world.addresses()))
+
+
+def test_codehash_inline_sweep_is_byte_identical(spec, world,
+                                                 serial_json) -> None:
+    result = run_sharded_sweep(spec, workers=4, strategy="codehash",
+                               world=world, processes=False)
+    assert report_to_json(result.report) == serial_json
+
+
+def test_roundrobin_preserves_verdicts(spec, world, serial_json) -> None:
+    """Roundrobin guarantees identical contracts/failures, not dedup sums."""
+    result = run_sharded_sweep(spec, workers=4, strategy="roundrobin",
+                               world=world, processes=False)
+    merged = json.loads(report_to_json(result.report))
+    serial = json.loads(serial_json)
+    assert merged["contracts"] == serial["contracts"]
+    assert merged["failures"] == serial["failures"]
+
+
+def test_multiprocessing_sweep_is_byte_identical(spec, world,
+                                                 serial_json) -> None:
+    result = run_sharded_sweep(spec, workers=4, strategy="codehash",
+                               world=world, processes=True)
+    assert report_to_json(result.report) == serial_json
+    assert len(result.shards) == 4
+    assert sum(stats.addresses for stats in result.shards) == len(
+        world.addresses())
+
+
+def test_spawn_rebuilds_world_from_spec(spec, serial_json) -> None:
+    """A worker with no inherited world regenerates it from the spec."""
+    if "spawn" not in multiprocessing.get_all_start_methods():
+        pytest.skip("spawn start method unavailable")
+    from repro.parallel.engine import _run_shard
+
+    world = spec.build_world()
+    partitions = shard_addresses(world.addresses(), 2, "codehash",
+                                 code_of=world.chain.state.get_code)
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=2) as pool:
+        results = pool.map(_run_shard,
+                           [(spec, i, partition, None, False)
+                            for i, partition in enumerate(partitions)])
+    analyzed = sum(len(result["analyses"]) for result in results)
+    assert analyzed == len(world.addresses())
+
+
+def test_merged_metrics_match_serial_rpc_totals(spec, world) -> None:
+    """Codehash sharding sums per-worker RPC counters to the serial values."""
+    serial = Proxion.from_chain(world.chain, registry=world.registry,
+                                dataset=world.dataset)
+    serial.analyze_all(world.addresses())
+    result = run_sharded_sweep(spec, workers=4, strategy="codehash",
+                               world=world, processes=False)
+    for method in ("eth_getCode", "eth_getStorageAt", "eth_call"):
+        assert (result.metrics.counter_value("rpc.calls", method=method)
+                == serial.metrics.counter_value("rpc.calls", method=method))
+
+
+def test_chaos_stack_composes_with_sharding(spec, world, serial_json) -> None:
+    """`--chaos transient --workers N` still converges to the clean report."""
+    chaotic = SweepSpec(total=TOTAL, seed=SEED, chaos="transient",
+                        chaos_seed=5)
+    result = run_sharded_sweep(chaotic, workers=4, strategy="codehash",
+                               world=world, processes=False)
+    assert report_to_json(result.report) == serial_json
+    assert result.metrics.counter_total("resilience.retries") > 0
+
+
+def test_shard_stats_account_for_cpu_critical_path(spec, world) -> None:
+    result = run_sharded_sweep(spec, workers=3, strategy="roundrobin",
+                               world=world, processes=False)
+    assert result.sum_shard_cpu_s >= result.max_shard_cpu_s > 0
+    assert result.critical_path_speedup >= 1.0
+
+
+class TestShardedCheckpoints:
+    def test_each_shard_writes_its_own_file(self, spec, world,
+                                            tmp_path) -> None:
+        base = str(tmp_path / "sweep.ckpt")
+        run_sharded_sweep(spec, workers=3, strategy="codehash", world=world,
+                          processes=False, checkpoint_path=base)
+        for shard in range(3):
+            path = shard_checkpoint_path(base, shard)
+            assert os.path.exists(path)
+            header = json.loads(open(path, encoding="utf-8").readline())
+            assert header["schema"] == "repro.checkpoint/1"
+
+    def test_lost_shard_is_recomputed_on_resume(self, spec, world, tmp_path,
+                                                serial_json) -> None:
+        """Delete one shard's checkpoint; resume restores the rest and
+        recomputes only the lost shard — same bytes out."""
+        base = str(tmp_path / "sweep.ckpt")
+        run_sharded_sweep(spec, workers=3, strategy="codehash", world=world,
+                          processes=False, checkpoint_path=base)
+        os.unlink(shard_checkpoint_path(base, 1))
+
+        result = run_sharded_sweep(spec, workers=3, strategy="codehash",
+                                   world=world, processes=False,
+                                   checkpoint_path=base, resume=True)
+        # Contracts and failures are exactly the serial sweep's; only the
+        # dedup counters shrink (restored shards pay no cache misses —
+        # the documented resume caveat).
+        merged = json.loads(report_to_json(result.report))
+        serial = json.loads(serial_json)
+        assert merged["contracts"] == serial["contracts"]
+        assert merged["failures"] == serial["failures"]
+        resumed = result.metrics.counter_total("pipeline.resumed_contracts")
+        assert resumed > 0
+
+    def test_fully_restored_resume_issues_no_analysis_rpcs(
+            self, spec, world, tmp_path, serial_json) -> None:
+        base = str(tmp_path / "sweep.ckpt")
+        run_sharded_sweep(spec, workers=2, strategy="codehash", world=world,
+                          processes=False, checkpoint_path=base)
+        result = run_sharded_sweep(spec, workers=2, strategy="codehash",
+                                   world=world, processes=False,
+                                   checkpoint_path=base, resume=True)
+        merged = json.loads(report_to_json(result.report))
+        serial = json.loads(serial_json)
+        assert merged["contracts"] == serial["contracts"]
+        assert result.metrics.counter_value(
+            "rpc.calls", method="eth_getCode") == 0
+
+    def test_resume_against_wrong_partition_fails_loudly(
+            self, spec, world, tmp_path) -> None:
+        from repro.errors import ConfigurationError
+
+        base = str(tmp_path / "sweep.ckpt")
+        addresses = world.addresses()
+        # A checkpoint fingerprinted for a different shard membership.
+        with SweepCheckpoint.start(shard_checkpoint_path(base, 0),
+                                   addresses[:3]):
+            pass
+        with pytest.raises(ConfigurationError, match="different"):
+            run_sharded_sweep(spec, workers=1, strategy="codehash",
+                              world=world, processes=False,
+                              checkpoint_path=base, resume=True)

@@ -24,8 +24,8 @@ SEEDS = (101, 202, 303)
 @pytest.mark.parametrize("seed", SEEDS)
 def test_standards_ordering_every_seed(seed: int) -> None:
     landscape = generate_landscape(total=260, seed=seed)
-    report = Proxion(landscape.node, landscape.registry,
-                     landscape.dataset).analyze_all()
+    report = Proxion(landscape.node, registry=landscape.registry,
+                     dataset=landscape.dataset).analyze_all()
     rows = table4_standards(report)
     shares = {standard: share for standard, (_, share) in rows.items()}
     assert shares["EIP-1167"] > 0.5
@@ -35,8 +35,8 @@ def test_standards_ordering_every_seed(seed: int) -> None:
 @pytest.mark.parametrize("seed", SEEDS)
 def test_proxy_detection_exact_every_seed(seed: int) -> None:
     landscape = generate_landscape(total=200, seed=seed)
-    report = Proxion(landscape.node, landscape.registry,
-                     landscape.dataset).analyze_all()
+    report = Proxion(landscape.node, registry=landscape.registry,
+                     dataset=landscape.dataset).analyze_all()
     for address, analysis in report.analyses.items():
         truth = landscape.truths[address]
         if truth.kind == "diamond":
@@ -61,8 +61,8 @@ def test_sweep_is_bit_reproducible() -> None:
     """Same seed ⇒ byte-identical serialized sweep."""
     def run() -> str:
         landscape = generate_landscape(total=120, seed=7)
-        report = Proxion(landscape.node, landscape.registry,
-                         landscape.dataset).analyze_all()
+        report = Proxion(landscape.node, registry=landscape.registry,
+                         dataset=landscape.dataset).analyze_all()
         return report_to_json(report)
 
     first, second = run(), run()

@@ -20,7 +20,7 @@ def world():
 
 
 def _analyses(world, count: int = 3):
-    proxion = Proxion(world.node, world.registry, world.dataset)
+    proxion = Proxion(world.node, registry=world.registry, dataset=world.dataset)
     produced = []
     for address in world.dataset.addresses():
         if not world.node.is_alive(address):
@@ -105,3 +105,41 @@ def test_unknown_record_kinds_are_tolerated(tmp_path, world) -> None:
     resumed = SweepCheckpoint.resume(str(path), addresses)
     assert resumed.completed == {addresses[0]}
     resumed.close()
+
+
+def test_resume_does_not_reprobe_skipped_dead_contracts(tmp_path) -> None:
+    """Skips land in ``completed``, so a resumed sweep never re-issues the
+    dead contract's liveness RPC — and the resume counters stay precise
+    (skips are not "resumed contracts")."""
+    world = generate_landscape(total=30, seed=3)
+    dead = b"\xde\xad" + b"\x00" * 18          # never deployed: no code
+    addresses = world.addresses() + [dead]
+    path = str(tmp_path / "sweep.ckpt")
+
+    proxion = Proxion(world.node, registry=world.registry,
+                      dataset=world.dataset)
+    with SweepCheckpoint.start(path, addresses) as checkpoint:
+        first = proxion.analyze_all(addresses, checkpoint=checkpoint)
+    assert dead in checkpoint.skipped
+    assert dead in checkpoint.completed
+
+    code_before = world.node.api_calls.get("eth_getCode")
+    probes: list[bytes] = []
+    real_is_alive = world.node.is_alive
+    world.node.is_alive = (                     # spy: count liveness probes
+        lambda address: probes.append(address) or real_is_alive(address))
+    try:
+        resumer = Proxion(world.node, registry=world.registry,
+                          dataset=world.dataset)
+        with SweepCheckpoint.resume(path, addresses) as restored:
+            second = resumer.analyze_all(addresses, checkpoint=restored)
+    finally:
+        world.node.is_alive = real_is_alive
+    # Fully restored: not a single liveness probe, the dead one included,
+    # and no analysis RPCs either.
+    assert probes == []
+    assert world.node.api_calls.get("eth_getCode") == code_before
+    assert second.analyses.keys() == first.analyses.keys()
+    assert resumer.metrics.counter_value(
+        "pipeline.resumed_contracts") == len(first.analyses)
+    assert resumer.metrics.counter_value("pipeline.resumed_skips") == 1

@@ -16,7 +16,7 @@ from repro.landscape.serialize import (
 
 @pytest.fixture(scope="module")
 def sweep(landscape):
-    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset)
+    proxion = Proxion(landscape.node, registry=landscape.registry, dataset=landscape.dataset)
     return proxion.analyze_all()
 
 

@@ -10,7 +10,7 @@ from repro.landscape.store import ResultStore
 
 @pytest.fixture(scope="module")
 def stored(landscape):
-    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset)
+    proxion = Proxion(landscape.node, registry=landscape.registry, dataset=landscape.dataset)
     report = proxion.analyze_all()
     store = ResultStore(":memory:")
     store.save_report(report)

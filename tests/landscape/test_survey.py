@@ -24,7 +24,7 @@ from repro.landscape.survey import (
 
 @pytest.fixture(scope="module")
 def sweep(landscape: Landscape) -> LandscapeReport:
-    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset)
+    proxion = Proxion(landscape.node, registry=landscape.registry, dataset=landscape.dataset)
     return proxion.analyze_all()
 
 
@@ -115,8 +115,8 @@ def test_figure6_mean_logic_contracts_when_upgraded() -> None:
     from repro.corpus.generator import generate_landscape
     from repro.core.pipeline import Proxion
     boosted = generate_landscape(total=120, seed=3, upgrade_probability=1.0)
-    report = Proxion(boosted.node, boosted.registry,
-                     boosted.dataset).analyze_all()
+    report = Proxion(boosted.node, registry=boosted.registry,
+                     dataset=boosted.dataset).analyze_all()
     census = figure6_upgrades(report)
     assert census.upgraded_proxies > 0
     assert census.total_upgrade_events >= census.upgraded_proxies

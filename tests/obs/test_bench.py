@@ -80,6 +80,22 @@ class TestSuite:
         write_payload(payload, str(target))
         assert validate_payload(json.loads(target.read_text())) == []
 
+    def test_pipeline_parallel_workload_reports_critical_path(self) -> None:
+        config = BenchConfig(quick=True, repeats=1, warmup=0,
+                             only=("pipeline_parallel",))
+        payload = run_suite(config)
+        assert validate_payload(payload) == []
+        row = payload["workloads"]["pipeline_parallel"]
+        meta = row["meta"]
+        assert meta["workers"] == 4
+        assert meta["strategy"] == "codehash"
+        assert meta["host_cpus"] >= 1
+        assert meta["sum_shard_cpu_s"] >= meta["max_shard_cpu_s"] > 0
+        assert meta["critical_path_speedup"] >= 1.0
+        # The merged registry carries the workers' RPC and dedup activity.
+        assert row["rpc"]["eth_getCode"] > 0
+        assert row["dedup"]["proxy_check"]["hits"] > 0
+
     def test_write_payload_surfaces_oserror_with_path(self) -> None:
         with pytest.raises(OSError, match="/nope/BENCH.json"):
             write_payload(_payload({"a": 1.0}), "/nope/BENCH.json")

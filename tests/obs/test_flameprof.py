@@ -128,8 +128,8 @@ class TestFlameProfilerOnRealSweep:
 
         profiler = FlameProfiler()
         world = generate_landscape(total=30, seed=5)
-        proxion = Proxion(world.node, world.registry, world.dataset,
-                          ProxionOptions(profile_evm=True),
+        proxion = Proxion(world.node, registry=world.registry, dataset=world.dataset,
+                          options=ProxionOptions(profile_evm=True),
                           evm_profiler=profiler)
         proxion.analyze_all()
 
@@ -150,7 +150,7 @@ class TestFlameProfilerOnRealSweep:
 
         profiler = FlameProfiler()
         world = generate_landscape(total=20, seed=6)
-        proxion = Proxion(world.node, world.registry, world.dataset,
+        proxion = Proxion(world.node, registry=world.registry, dataset=world.dataset,
                           evm_profiler=profiler)
         proxion.analyze_all()
         assert profiler.stack_costs

@@ -24,7 +24,7 @@ from tests.conftest import ALICE
 def swept():
     """A small sweep plus the Proxion that produced it."""
     landscape = generate_landscape(total=80, seed=5)
-    proxion = Proxion(landscape.node, landscape.registry, landscape.dataset)
+    proxion = Proxion(landscape.node, registry=landscape.registry, dataset=landscape.dataset)
     report = proxion.analyze_all()
     return proxion, report
 
@@ -75,7 +75,7 @@ def test_pipeline_spans_and_recovery_counters(swept) -> None:
 def test_null_registry_pipeline_records_nothing(swept) -> None:
     landscape = generate_landscape(total=30, seed=9)
     node = ArchiveNode(landscape.node.chain, metrics=NULL_REGISTRY)
-    proxion = Proxion(node, landscape.registry, landscape.dataset)
+    proxion = Proxion(node, registry=landscape.registry, dataset=landscape.dataset)
     report = proxion.analyze_all()
     assert len(report) > 0
     assert proxion.metrics is NULL_REGISTRY
@@ -88,7 +88,7 @@ def test_null_registry_pipeline_records_nothing(swept) -> None:
 
 
 def test_monitor_scans_only_new_blocks(chain: Blockchain) -> None:
-    proxion = Proxion(ArchiveNode(chain), SourceRegistry(), ContractDataset())
+    proxion = Proxion(ArchiveNode(chain), registry=SourceRegistry(), dataset=ContractDataset())
     monitor = DeploymentMonitor(proxion)
     wallet_init = compile_contract(stdlib.simple_wallet("W", ALICE)).init_code
     chain.deploy(ALICE, wallet_init)
@@ -112,7 +112,7 @@ def test_monitor_scans_only_new_blocks(chain: Blockchain) -> None:
 
 
 def test_monitor_alert_kinds_reach_registry(chain: Blockchain) -> None:
-    proxion = Proxion(ArchiveNode(chain), SourceRegistry(), ContractDataset())
+    proxion = Proxion(ArchiveNode(chain), registry=SourceRegistry(), dataset=ContractDataset())
     monitor = DeploymentMonitor(proxion)
     wallet = chain.deploy(
         ALICE, compile_contract(stdlib.simple_wallet("W", ALICE)).init_code,

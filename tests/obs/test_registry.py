@@ -132,3 +132,68 @@ def test_null_singleton_and_default_registry() -> None:
     assert isinstance(NULL_REGISTRY, NullRegistry)
     assert default_registry() is default_registry()
     assert default_registry().enabled is True
+
+
+def test_state_round_trips_through_merge_state() -> None:
+    source = MetricsRegistry()
+    source.counter("rpc.calls", method="eth_getCode").inc(7)
+    source.gauge("depth").set(4)
+    source.histogram("lat", bounds=(0.1, 1.0)).observe(0.05)
+    source.histogram("lat", bounds=(0.1, 1.0)).observe(0.5)
+
+    target = MetricsRegistry()
+    target.merge_state(source.state())
+    assert target.counter_value("rpc.calls", method="eth_getCode") == 7
+    assert target.gauge("depth").value == 4
+    merged = target.histogram("lat", bounds=(0.1, 1.0))
+    assert merged.count == 2 and merged.sum == 0.55
+    assert merged.bucket_counts == [1, 1, 0]
+
+
+def test_merge_sums_counters_and_keeps_gauge_high_water_mark() -> None:
+    left, right = MetricsRegistry(), MetricsRegistry()
+    left.counter("c").inc(3)
+    left.gauge("g").set(10)
+    right.counter("c").inc(4)
+    right.gauge("g").set(2)
+    merged = MetricsRegistry()
+    merged.merge_from(left)
+    merged.merge_from(right)
+    assert merged.counter_value("c") == 7
+    assert merged.gauge("g").value == 10
+
+
+def test_merge_histograms_elementwise_when_bounds_match() -> None:
+    left, right = MetricsRegistry(), MetricsRegistry()
+    for value in (0.05, 0.5):
+        left.histogram("lat", bounds=(0.1, 1.0)).observe(value)
+    right.histogram("lat", bounds=(0.1, 1.0)).observe(5.0)  # +Inf bucket
+    merged = MetricsRegistry()
+    merged.merge_from(left)
+    merged.merge_from(right)
+    histogram = merged.histogram("lat", bounds=(0.1, 1.0))
+    assert histogram.bucket_counts == [1, 1, 1]
+    assert histogram.count == 3
+
+
+def test_merge_with_mismatched_bounds_overflows_and_counts_it() -> None:
+    target = MetricsRegistry()
+    target.histogram("lat", bounds=(0.1, 1.0)).observe(0.05)
+    foreign = MetricsRegistry()
+    foreign.histogram("lat", bounds=(0.2, 2.0)).observe(0.15)
+    # Instrument identity is (name, labels); the first-created bounds win,
+    # so the foreign shard's tallies can only land in +Inf.
+    target.merge_state(foreign.state())
+    histogram = target.histogram("lat", bounds=(0.1, 1.0))
+    assert histogram.count == 2
+    assert histogram.bucket_counts[-1] == 1
+    assert target.counter_value("obs.histogram_bound_mismatches",
+                                name="lat") == 1
+
+
+def test_merge_into_null_registry_is_a_no_op() -> None:
+    source = MetricsRegistry()
+    source.counter("c").inc(5)
+    null = NullRegistry()
+    null.merge_from(source)
+    assert null.snapshot()["counters"] == {}

@@ -172,3 +172,60 @@ def test_survey_checkpoint_and_resume(tmp_path, capsys) -> None:
 def test_survey_resume_without_checkpoint_errors(capsys) -> None:
     assert main(["survey", "--total", "40", "--resume"]) == 2
     assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+
+def test_survey_parallel_json_matches_serial(capsys) -> None:
+    import json
+    assert main(["survey", "--total", "40", "--seed", "5", "--json"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["survey", "--total", "40", "--seed", "5", "--json",
+                 "--workers", "3"]) == 0
+    parallel = capsys.readouterr().out
+    assert json.loads(parallel) == json.loads(serial)
+
+
+def test_survey_parallel_rejects_per_process_outputs(tmp_path,
+                                                     capsys) -> None:
+    assert main(["survey", "--total", "20", "--workers", "2",
+                 "--flame", str(tmp_path / "x.folded")]) == 2
+    assert "--flame" in capsys.readouterr().err
+    assert main(["survey", "--total", "20", "--workers", "2",
+                 "--trace-jsonl", str(tmp_path / "x.jsonl")]) == 2
+    assert "--trace-jsonl" in capsys.readouterr().err
+
+
+def test_survey_parallel_checkpoints_per_shard(tmp_path, capsys) -> None:
+    import json
+    import os
+    from repro.landscape import shard_checkpoint_path
+
+    base = str(tmp_path / "sweep.ckpt")
+    assert main(["survey", "--total", "40", "--seed", "5", "--json",
+                 "--workers", "2", "--checkpoint", base]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert os.path.exists(shard_checkpoint_path(base, 0))
+    assert os.path.exists(shard_checkpoint_path(base, 1))
+    assert main(["survey", "--total", "40", "--seed", "5", "--json",
+                 "--workers", "2", "--checkpoint", base, "--resume"]) == 0
+    resumed = json.loads(capsys.readouterr().out)
+    assert resumed["contracts"] == first["contracts"]
+
+
+def test_survey_parallel_chaos_matches_clean_sweep(capsys) -> None:
+    import json
+    assert main(["survey", "--total", "40", "--seed", "5", "--json"]) == 0
+    baseline = json.loads(capsys.readouterr().out)
+    assert main(["survey", "--total", "40", "--seed", "5", "--json",
+                 "--workers", "3", "--chaos", "transient"]) == 0
+    chaotic = json.loads(capsys.readouterr().out)
+    assert chaotic == baseline
+
+
+def test_accuracy_metrics_prom_and_trace(tmp_path, capsys) -> None:
+    prom = tmp_path / "acc.prom"
+    trace = tmp_path / "acc.jsonl"
+    assert main(["accuracy", "--pairs", "2", "--seed", "1",
+                 "--metrics-prom", str(prom),
+                 "--trace-jsonl", str(trace)]) == 0
+    assert "# TYPE" in prom.read_text()
+    assert trace.read_text().count("\n") >= 2

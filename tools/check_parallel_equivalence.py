@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""CI gate: the sharded sweep must be byte-identical to the serial sweep.
+
+Generates one deterministic landscape, runs ``Proxion.analyze_all``
+serially and :func:`repro.parallel.run_sharded_sweep` with N workers over
+the same addresses, and compares the fully serialized reports
+byte-for-byte.  Under the default ``codehash`` strategy any difference —
+ordering, verdicts, dedup counters — is a bug in the sharding or merge
+layer and fails the gate.
+
+Usage::
+
+    python tools/check_parallel_equivalence.py --total 250 --workers 4
+
+Exit codes: 0 identical, 1 mismatch, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import pathlib
+import sys
+
+# Runnable from the repo root without PYTHONPATH.
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.pipeline import Proxion  # noqa: E402
+from repro.corpus.generator import generate_landscape  # noqa: E402
+from repro.landscape import report_to_json  # noqa: E402
+from repro.parallel import SweepSpec, run_sharded_sweep  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--total", type=int, default=250,
+                        help="landscape scale (default 250)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--strategy", default="codehash",
+                        choices=("codehash", "roundrobin"),
+                        help="shard strategy under test (roundrobin only "
+                             "guarantees contract-level equality, not the "
+                             "dedup counters — the gate still requires "
+                             "full byte-identity, so use codehash)")
+    parser.add_argument("--inline", action="store_true",
+                        help="run the shards in-process (no pool) — "
+                             "faster, same merge path")
+    args = parser.parse_args(argv)
+    if args.workers < 2:
+        print("error: --workers must be >= 2 to exercise sharding",
+              file=sys.stderr)
+        return 2
+
+    print(f"generating landscape (total={args.total}, seed={args.seed})...")
+    world = generate_landscape(total=args.total, seed=args.seed)
+    addresses = world.addresses()
+
+    print(f"serial sweep over {len(addresses)} contracts...")
+    serial = Proxion.from_chain(world.chain, registry=world.registry,
+                                dataset=world.dataset).analyze_all(addresses)
+    serial_json = report_to_json(serial)
+
+    spec = SweepSpec(total=args.total, seed=args.seed)
+    result = run_sharded_sweep(spec, workers=args.workers,
+                               strategy=args.strategy, world=world,
+                               processes=not args.inline, progress=print)
+    parallel_json = report_to_json(result.report)
+
+    if parallel_json == serial_json:
+        print(f"OK: {args.workers}-worker {args.strategy} sweep is "
+              f"byte-identical to the serial sweep "
+              f"({len(serial_json)} bytes, "
+              f"critical-path speedup "
+              f"{result.critical_path_speedup:.2f}x)")
+        return 0
+
+    print(f"FAIL: {args.workers}-worker {args.strategy} sweep diverges "
+          f"from the serial sweep:", file=sys.stderr)
+    diff = difflib.unified_diff(serial_json.splitlines(),
+                                parallel_json.splitlines(),
+                                fromfile="serial", tofile="parallel",
+                                lineterm="", n=2)
+    for index, line in enumerate(diff):
+        if index >= 40:
+            print("  ... (diff truncated)", file=sys.stderr)
+            break
+        print(f"  {line}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
