@@ -29,6 +29,8 @@ metrics registry.
 from __future__ import annotations
 
 import hashlib
+import os
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import (
@@ -45,8 +47,14 @@ RATE_LIMIT = "rate-limit"      # 429-shaped, retryable after backoff
 TIMEOUT = "timeout"            # stalls for ``latency_s`` then fails
 LATENCY = "latency"            # succeeds, but ``latency_s`` slower
 OUTAGE = "outage"              # every attempt fails while the window is on
+CRASH = "crash"                # os._exit: the whole worker process dies
+HANG = "hang"                  # wedges the process (real sleep, no error)
 
-FAULT_KINDS = (TRANSIENT, RATE_LIMIT, TIMEOUT, LATENCY, OUTAGE)
+FAULT_KINDS = (TRANSIENT, RATE_LIMIT, TIMEOUT, LATENCY, OUTAGE, CRASH, HANG)
+
+#: Exit code of a :data:`CRASH`-stricken process (BSD ``EX_SOFTWARE``) —
+#: what the sweep supervisor sees in ``Process.exitcode``.
+WORKER_CRASH_EXITCODE = 70
 
 
 @dataclass(frozen=True, slots=True)
@@ -61,6 +69,18 @@ class FaultRule:
     outage covers ``window=(start, end)`` of the per-method call counter; a
     flapping one is down for ``outage_width`` calls out of every
     ``outage_period``.
+
+    ``CRASH`` and ``HANG`` are the *process-level* kinds the sweep
+    supervisor exists for — they do not raise, they take the whole worker
+    down (``os._exit``) or wedge it (a real sleep no retry loop can
+    interrupt).  Scoped two ways: with a ``window`` they fire when the
+    per-method call counter enters it — the transient OOM-kill model,
+    which a respawned worker (resuming past the completed prefix, hence
+    never re-reaching that call index) survives; with a ``probability``
+    they stick to the struck request *signatures* on every attempt — the
+    poison-contract model, which only shard bisection and quarantine can
+    absorb.  ``latency_s`` bounds a hang's duration (0 = wedged forever,
+    until the supervisor kills the worker).
     """
 
     kind: str
@@ -157,6 +177,22 @@ class FaultPlan:
         for index, rule in enumerate(self.rules):
             if not rule.matches(method, address):
                 continue
+            if rule.kind in (CRASH, HANG):
+                if rule.window is not None:
+                    start, end = rule.window
+                    if not start <= call_index < end:
+                        continue
+                elif not _strike(self.seed, index, method, signature,
+                                 rule.probability):
+                    continue
+                # Process-level faults fire on *every* attempt of a struck
+                # request — a retry loop cannot talk a dead process back.
+                decisions.append(FaultDecision(
+                    kind=rule.kind, rule_index=index,
+                    latency_s=rule.latency_s,
+                    message=f"injected {rule.kind} on {method} "
+                            f"(call #{call_index})"))
+                break
             if rule.kind == OUTAGE:
                 if rule.outage_active(call_index):
                     decisions.append(FaultDecision(
@@ -245,6 +281,13 @@ class FaultyNode:
                                          attempt, call_index):
             self.metrics.counter("faults.injected", kind=decision.kind,
                                  method=method).inc()
+            if decision.kind == CRASH:
+                # The OOM-kill model: no exception, no unwinding, no
+                # flushing — the process is simply gone mid-contract.
+                os._exit(WORKER_CRASH_EXITCODE)
+            if decision.kind == HANG:
+                self._wedge(decision.latency_s)
+                continue
             if decision.latency_s:
                 self.injected_latency_s += decision.latency_s
                 self._latency_counter.inc(decision.latency_s)
@@ -253,6 +296,17 @@ class FaultyNode:
             if decision.raises is not None:
                 raise decision.raises(decision.message, method=method,
                                       address=address)
+
+    @staticmethod
+    def _wedge(hang_s: float) -> None:
+        """Really stall the process (``HANG``) — deliberately *not* the
+        injectable ``sleep``: a wedged worker is indistinguishable from a
+        stuck RPC precisely because nothing virtual-clocks it away.  The
+        supervisor's heartbeat timeout is the only way out when
+        ``hang_s`` is 0 (wedged forever)."""
+        deadline = time.monotonic() + hang_s if hang_s > 0 else None
+        while deadline is None or time.monotonic() < deadline:
+            time.sleep(0.05)
 
     @staticmethod
     def _sig(*parts) -> bytes:
@@ -326,6 +380,21 @@ def canned_plan(name: str, seed: int = 0) -> FaultPlan:
     * ``outage`` — a *sustained* storage/code outage from call #20 on:
       retries cannot save it, the sweep must quarantine and keep going.
     * ``flapping`` — the node is down 3 calls out of every 40.
+
+    The ``worker-*`` plans are process-level chaos for supervised
+    parallel sweeps (they take the calling process down — run them behind
+    ``survey --workers N``, never serially):
+
+    * ``worker-crash`` — the worker ``os._exit``\\ s at ``eth_getCode``
+      call #15: every busy shard dies once mid-shard, and the respawned
+      worker (resuming past the completed prefix) finishes clean.
+    * ``worker-poison`` — 2 % of ``eth_getCode`` request signatures crash
+      the worker on *every* attempt: only bisection down to the poison
+      contract and a ``worker-crash`` quarantine absorb it.
+    * ``worker-hang`` — 2 % of signatures wedge the worker forever; the
+      supervisor's heartbeat timeout must kill and bisect.
+    * ``worker-chaos`` — one mid-shard crash *and* sticky 1 % hangs: the
+      combined kill-one-wedge-another acceptance scenario.
     """
     plans: dict[str, tuple[FaultRule, ...]] = {
         "transient": (
@@ -351,6 +420,19 @@ def canned_plan(name: str, seed: int = 0) -> FaultPlan:
         "flapping": (
             FaultRule(OUTAGE, outage_period=40, outage_width=3),
         ),
+        "worker-crash": (
+            FaultRule(CRASH, methods=("eth_getCode",), window=(15, 16)),
+        ),
+        "worker-poison": (
+            FaultRule(CRASH, methods=("eth_getCode",), probability=0.02),
+        ),
+        "worker-hang": (
+            FaultRule(HANG, methods=("eth_getCode",), probability=0.02),
+        ),
+        "worker-chaos": (
+            FaultRule(CRASH, methods=("eth_getCode",), window=(15, 16)),
+            FaultRule(HANG, methods=("eth_getCode",), probability=0.01),
+        ),
     }
     try:
         rules = plans[name]
@@ -362,7 +444,8 @@ def canned_plan(name: str, seed: int = 0) -> FaultPlan:
 
 #: Names accepted by :func:`canned_plan` (the CLI ``--chaos`` choices).
 CANNED_PLANS = ("transient", "rate-limit", "latency", "flaky", "outage",
-                "flapping")
+                "flapping", "worker-crash", "worker-poison", "worker-hang",
+                "worker-chaos")
 
 
 def build_chaos_stack(node, plan: str, seed: int = 1337):
@@ -383,6 +466,9 @@ def build_chaos_stack(node, plan: str, seed: int = 1337):
 
 __all__ = [
     "CANNED_PLANS",
+    "CRASH",
+    "HANG",
+    "WORKER_CRASH_EXITCODE",
     "build_chaos_stack",
     "FAULT_KINDS",
     "FaultDecision",

@@ -63,6 +63,16 @@ _ROBUSTNESS_FLAGS: dict[str, dict] = {
         action="store_true",
         help="resume from --checkpoint FILE if it exists (skips "
              "completed addresses)"),
+    "--shard-timeout": dict(
+        type=float, default=30.0, metavar="SECONDS",
+        help="supervised sweeps (--workers > 1): kill a worker whose "
+             "heartbeat is older than this (per contract, not per "
+             "shard; default 30)"),
+    "--max-shard-retries": dict(
+        type=int, default=2, metavar="N",
+        help="supervised sweeps: respawn a dead/hung shard this many "
+             "times before bisecting it down to the poison contract "
+             "(default 2)"),
 }
 
 
@@ -127,7 +137,11 @@ def _cmd_survey(args: argparse.Namespace) -> int:
                       file=sys.stderr)
                 return 2
         from repro.errors import ConfigurationError
-        from repro.parallel import SweepSpec, run_sharded_sweep
+        from repro.parallel import (
+            SupervisorConfig,
+            SweepSpec,
+            run_sharded_sweep,
+        )
         spec = SweepSpec(total=args.total, seed=args.seed, chain=args.chain,
                          options=options, chaos=args.chaos,
                          chaos_seed=args.chaos_seed)
@@ -135,10 +149,13 @@ def _cmd_survey(args: argparse.Namespace) -> int:
             print(f"chaos: injecting fault plan {args.chaos!r} "
                   f"(seed={args.chaos_seed}) in every worker")
         try:
+            supervise = SupervisorConfig(
+                shard_timeout_s=args.shard_timeout,
+                max_shard_retries=args.max_shard_retries)
             result = run_sharded_sweep(
                 spec, workers=args.workers, strategy=args.shard_strategy,
                 world=landscape, checkpoint_path=args.checkpoint,
-                resume=args.resume,
+                resume=args.resume, supervise=supervise,
                 progress=None if args.json else print)
         except (ConfigurationError, OSError) as error:
             print(f"error: {error}", file=sys.stderr)
@@ -149,6 +166,12 @@ def _cmd_survey(args: argparse.Namespace) -> int:
                   f"{result.sum_shard_cpu_s:.2f}s shard CPU, "
                   f"critical-path speedup "
                   f"{result.critical_path_speedup:.2f}x")
+            if result.respawns or result.hung_kills \
+                    or result.poison_contracts:
+                print(f"supervisor: {result.respawns} respawns, "
+                      f"{result.hung_kills} hung kills, "
+                      f"{result.poison_contracts} poison contracts "
+                      f"quarantined")
     else:
         flame_profiler = None
         if args.flame:

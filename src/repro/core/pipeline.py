@@ -20,7 +20,6 @@ probes, catching EIP-2535 proxies the random probe misses.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 
 from repro.chain.api import NodeRPC
@@ -68,20 +67,15 @@ class ProxionOptions:
     fail_fast: bool = False
 
 
-#: Legacy positional order of ``Proxion.__init__`` keyword parameters,
-#: honored (with a DeprecationWarning) by the one-release shim.
-_LEGACY_POSITIONAL = ("registry", "dataset", "options", "chain_state",
-                      "block", "metrics", "tracer", "evm_profiler")
-
-
 class Proxion:
     """The complete analyzer, bound to any :class:`~repro.chain.api.NodeRPC`.
 
     Construct with :meth:`from_node` (an existing node, possibly wrapped
     in resilience/chaos layers) or :meth:`from_chain` (a bare simulated
     chain); the constructor itself takes the node positionally and
-    everything else keyword-only.  Passing further positional arguments
-    still works for one release but emits a :class:`DeprecationWarning`.
+    everything else keyword-only.  The pre-redesign positional form was
+    removed after its one deprecation release — passing more than the
+    node positionally raises :class:`TypeError`.
 
     Observability: the instance shares the node's
     :class:`~repro.obs.registry.MetricsRegistry` by default (pass
@@ -101,10 +95,11 @@ class Proxion:
                  tracer: SpanTracer | None = None,
                  evm_profiler: ProfilingTracer | None = None) -> None:
         if legacy:
-            registry, dataset, options, chain_state, block, metrics, \
-                tracer, evm_profiler = self._absorb_legacy_positional(
-                    legacy, registry, dataset, options, chain_state, block,
-                    metrics, tracer, evm_profiler)
+            raise TypeError(
+                f"Proxion() takes only the node positionally "
+                f"({len(legacy) + 1} positional arguments given); pass "
+                f"registry=/dataset=/options=/... by keyword, or use "
+                f"Proxion.from_node()/Proxion.from_chain()")
         self.node = node
         self.registry = registry if registry is not None else SourceRegistry()
         self.dataset = dataset
@@ -177,28 +172,6 @@ class Proxion:
         node = ArchiveNode(chain, metrics=metrics,
                            call_instruction_budget=call_instruction_budget)
         return cls(node, **kwargs)
-
-    @staticmethod
-    def _absorb_legacy_positional(legacy: tuple, *keyword_values):
-        """The one-release shim for pre-redesign positional call sites."""
-        if len(legacy) > len(_LEGACY_POSITIONAL):
-            raise TypeError(
-                f"Proxion() takes at most {len(_LEGACY_POSITIONAL) + 1} "
-                f"positional arguments ({len(legacy) + 1} given)")
-        warnings.warn(
-            "positional Proxion(...) arguments beyond `node` are deprecated "
-            "and will be removed in the next release; pass "
-            f"{', '.join(_LEGACY_POSITIONAL[:len(legacy)])} by keyword, or "
-            "use Proxion.from_node()/Proxion.from_chain()",
-            DeprecationWarning, stacklevel=3)
-        merged = list(keyword_values)
-        for index, value in enumerate(legacy):
-            if merged[index] is not None:
-                raise TypeError(
-                    f"Proxion() got multiple values for argument "
-                    f"{_LEGACY_POSITIONAL[index]!r}")
-            merged[index] = value
-        return tuple(merged)
 
     # -------------------------------------------------------------- analysis
     def check_proxy(self, address: bytes) -> ProxyCheck:
@@ -409,6 +382,12 @@ class Proxion:
             self.metrics.counter("pipeline.resumed_contracts").inc(
                 len(done) - skips)
             self.metrics.counter("pipeline.resumed_skips").inc(skips)
+            recovered = getattr(checkpoint, "recovered_truncations", 0)
+            if recovered:
+                # Crash-truncated tail lines dropped by the checkpoint
+                # loader; their contracts are re-analyzed below.
+                self.metrics.counter(
+                    "checkpoint.recovered_truncations").inc(recovered)
         hits_before = {c: counter.value
                        for c, counter in self._dedup_hits.items()}
         misses_before = {c: counter.value

@@ -63,7 +63,9 @@ class ContractFailure:
     instead of aborting — the paper's ~10⁹-RPC regime cannot afford to lose
     a run to one bad contract.  ``cause`` is the stable label from
     :func:`repro.errors.classify_cause`; ``stage`` names the pipeline step
-    that failed (``liveness`` or ``analysis``).
+    that failed (``liveness`` or ``analysis`` — or ``worker`` when the
+    sweep supervisor quarantined a poison contract that kept killing its
+    worker process).
     """
 
     address: bytes

@@ -120,12 +120,38 @@ class CircuitOpen(RpcError):
         self.retry_at = retry_at
 
 
+class WorkerCrash(ProxionError):
+    """A sweep worker process died (or wedged) instead of returning.
+
+    Raised *descriptively*, never across the process boundary: the sweep
+    supervisor (:mod:`repro.parallel.supervisor`) constructs one when it
+    observes a worker exit abnormally (``exitcode``), kills a hung worker
+    (heartbeat older than the shard timeout), or bisects a poison shard
+    down to the single contract that keeps sinking its worker.  The
+    instance carries the forensic context the quarantine record needs:
+    ``shard`` (the original shard index), ``exitcode`` (negative = killed
+    by that signal), and ``hung`` (True when the supervisor killed the
+    worker itself).
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None,
+                 exitcode: int | None = None, hung: bool = False,
+                 attempts: int = 0) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.exitcode = exitcode
+        self.hung = hung
+        self.attempts = attempts
+
+
 def classify_cause(error: BaseException) -> str:
     """The short cause label a failure is quarantined under.
 
     Stable, low-cardinality strings: they label metrics series and appear
     in checkpoint files, so renames are schema changes.
     """
+    if isinstance(error, WorkerCrash):
+        return "worker-crash"
     if isinstance(error, CircuitOpen):
         return "circuit-open"
     if isinstance(error, DeadlineExceeded):
@@ -151,5 +177,6 @@ __all__ = [
     "RpcError",
     "RpcTimeout",
     "TransientRpcError",
+    "WorkerCrash",
     "classify_cause",
 ]

@@ -16,6 +16,13 @@ progress:
   report, and the completed-address set tells the pipeline where to pick
   up.
 
+The format is *kill -9 tolerant* end to end: the header is fsynced so a
+resumable file is never empty, and a truncated or garbled **final** line
+(the classic crash-mid-write artifact) is dropped on load and counted in
+:attr:`SweepCheckpoint.recovered_truncations` — the contract it described
+is simply re-analyzed.  Corruption anywhere *before* the tail is not a
+crash artifact and still refuses to resume.
+
 Because analyses are serialized losslessly (w.r.t. what
 ``report_to_dict`` emits), a resumed sweep serializes identically to the
 uninterrupted one — the checkpoint-equivalence property the chaos suite
@@ -82,6 +89,10 @@ class SweepCheckpoint:
         self._analyses: list[dict[str, Any]] = []
         self._failures: list[dict[str, Any]] = []
         self.skipped: set[bytes] = set()
+        #: Partial/garbled tail lines dropped by :meth:`_load` (crash
+        #: mid-write artifacts); surfaced as the
+        #: ``checkpoint.recovered_truncations`` metric on resume.
+        self.recovered_truncations = 0
         if _resume:
             self._load()
             self._stream = open(path, "a", encoding="utf-8")
@@ -90,6 +101,10 @@ class SweepCheckpoint:
             self._append({"schema": SCHEMA,
                           "fingerprint": self._fingerprint,
                           "total": self._total})
+            # The header must be durable before any worker is allowed to
+            # crash against this file: flush + fsync so a resume can never
+            # find an empty (headerless) checkpoint.
+            os.fsync(self._stream.fileno())
 
     # ----------------------------------------------------------- constructors
     @classmethod
@@ -142,7 +157,12 @@ class SweepCheckpoint:
         if not lines:
             raise ConfigurationError(
                 f"checkpoint {self.path!r} is empty (no header)")
-        header = json.loads(lines[0])
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"checkpoint {self.path!r} has an unreadable header "
+                f"({error}) — refusing to resume") from None
         if header.get("schema") != SCHEMA:
             raise ConfigurationError(
                 f"checkpoint {self.path!r} has schema "
@@ -152,8 +172,22 @@ class SweepCheckpoint:
                 f"checkpoint {self.path!r} was written for a different "
                 f"address list (fingerprint {header.get('fingerprint')!r} "
                 f"!= {self._fingerprint!r}) — refusing to resume")
-        for line in lines[1:]:
-            record = json.loads(line)
+        last = len(lines) - 1
+        for index, line in enumerate(lines[1:], start=1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if index == last:
+                    # A partial final line is the expected artifact of a
+                    # kill mid-write: drop it (its contract is simply
+                    # re-analyzed) and account for the recovery.
+                    self.recovered_truncations += 1
+                    continue
+                raise ConfigurationError(
+                    f"checkpoint {self.path!r} is corrupt at line "
+                    f"{index + 1} (not the final line, so not a "
+                    f"crash-truncation artifact) — refusing to resume"
+                ) from None
             kind = record.get("kind")
             if kind == "analysis":
                 data = record["data"]

@@ -330,6 +330,51 @@ def _pipeline_parallel_workload(workers: int = 4) -> Workload:
         setup=setup, run=run)
 
 
+def _pipeline_supervised_workload(workers: int = 4) -> Workload:
+    def setup(config: BenchConfig):
+        return _landscape(config.scale(120, 250), config.seed)
+
+    def run(world, config: BenchConfig):
+        from repro.core.pipeline import ProxionOptions
+        from repro.parallel import (
+            SupervisorConfig,
+            SweepSpec,
+            run_sharded_sweep,
+        )
+
+        # The windowed worker-crash plan kills each worker once mid-shard;
+        # respawn-with-resume heals it.  The median-wall delta against
+        # pipeline_parallel (same scale, crash-free) is the price of
+        # losing and resurrecting every worker once — the supervisor's
+        # self-healing overhead under fire.
+        spec = SweepSpec(total=config.scale(120, 250), seed=config.seed,
+                         options=ProxionOptions(profile_evm=True),
+                         chaos="worker-crash", chaos_seed=config.seed)
+        result = run_sharded_sweep(
+            spec, workers=workers, strategy="codehash", world=world,
+            supervise=SupervisorConfig(shard_timeout_s=30.0,
+                                       max_shard_retries=2))
+        return result.metrics, {
+            "contracts": len(result.report),
+            "quarantined": len(result.report.failures),
+            "workers": workers,
+            "respawns": result.respawns,
+            "hung_kills": result.hung_kills,
+            "poison_contracts": result.poison_contracts,
+            "sum_shard_cpu_s": round(result.sum_shard_cpu_s, 4),
+            "critical_path_speedup": round(result.critical_path_speedup, 3),
+        }
+
+    return Workload(
+        name="pipeline_supervised",
+        description=f"the sweep_250 pipeline across {workers} supervised "
+                    f"workers with every worker crash-injected once "
+                    f"mid-shard (worker-crash plan): measures the "
+                    f"kill/respawn/resume self-healing overhead vs "
+                    f"pipeline_parallel",
+        setup=setup, run=run)
+
+
 def _build_workloads() -> dict[str, Workload]:
     suite = [
         _sweep_workload(50, 80),
@@ -337,6 +382,7 @@ def _build_workloads() -> dict[str, Workload]:
         _sweep_workload(500, 500, quick=False),
         _pipeline_faulty_workload(),
         _pipeline_parallel_workload(),
+        _pipeline_supervised_workload(),
         _proxy_check_workload(),
         _logic_recovery_workload(),
         _collision_accuracy_workload(),

@@ -8,10 +8,14 @@ Public surface:
   :data:`~repro.parallel.shard.STRATEGIES` — deterministic partitioning;
 * :func:`~repro.parallel.engine.run_sharded_sweep` — the engine: fan out,
   analyze, merge back to one deterministic
-  :class:`~repro.core.report.LandscapeReport`.
+  :class:`~repro.core.report.LandscapeReport`;
+* :class:`~repro.parallel.supervisor.SupervisorConfig` /
+  :func:`~repro.parallel.supervisor.run_supervised_sweep` — the sweep
+  supervisor behind the multi-process path: heartbeat-monitored workers,
+  respawn-with-resume, poison-shard bisection.
 
 See ``docs/parallelism.md`` for the byte-identity guarantees per shard
-strategy.
+strategy and ``docs/robustness.md`` for the supervision failure model.
 """
 
 from repro.parallel.engine import (
@@ -21,12 +25,20 @@ from repro.parallel.engine import (
 )
 from repro.parallel.shard import STRATEGIES, shard_addresses
 from repro.parallel.spec import SweepSpec
+from repro.parallel.supervisor import (
+    SupervisionStats,
+    SupervisorConfig,
+    run_supervised_sweep,
+)
 
 __all__ = [
     "STRATEGIES",
     "ShardStats",
     "ShardedSweepResult",
+    "SupervisionStats",
+    "SupervisorConfig",
     "SweepSpec",
     "run_sharded_sweep",
+    "run_supervised_sweep",
     "shard_addresses",
 ]

@@ -21,7 +21,7 @@ Determinism is the design center, not an afterthought:
   addresses (see :mod:`repro.parallel.shard` for why).
 
 Process model: the ``fork`` start method is preferred — the parent plants
-its generated world in a module global before creating the pool, and
+its generated world in a module global before launching workers, and
 children inherit it copy-on-write, skipping regeneration.  Under
 ``spawn`` (or when a child's inherited world does not match the spec) the
 worker rebuilds the world from its pickle-able
@@ -29,14 +29,21 @@ worker rebuilds the world from its pickle-able
 ``processes=False`` runs every shard sequentially in-process through the
 *same* worker function — the fast, deterministic path the test suite
 leans on.
+
+The multi-process path is no longer a bare ``Pool.map``: it delegates to
+the **sweep supervisor** (:mod:`repro.parallel.supervisor`), which
+launches one monitored process per shard, respawns dead or hung workers
+from their shard checkpoints, and bisects poison shards down to the
+single quarantinable contract.  Crash-free, the supervised sweep computes
+exactly what the pool did — same workers' code path, same merge — so
+every determinism guarantee above carries over unchanged.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.core.report import LandscapeReport
@@ -78,33 +85,20 @@ def _world_for(spec: SweepSpec) -> Any:
     return world
 
 
-def _run_shard(task: tuple) -> dict[str, Any]:
-    """Worker entry point: analyze one shard, return a pickle-able dict.
+def _analyze_shard(proxion: Any, shard_index: int,
+                   addresses: Sequence[bytes],
+                   checkpoint: Any) -> dict[str, Any]:
+    """Analyze one shard and shape the result as a JSON-able wire dict.
 
-    Everything in the return value is plain JSON-able data — the parent
-    reconstructs the partial report through the exact serialization
-    round-trip, which is what makes the merge byte-faithful.
+    Shared by the pool-era worker (:func:`_run_shard`) and the
+    supervisor's monitored worker — everything in the return value is
+    plain JSON-able data, and the parent reconstructs the partial report
+    through the exact serialization round-trip, which is what makes the
+    merge byte-faithful.
     """
-    spec, shard_index, addresses, checkpoint_path, resume = task
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
-
-    world = _world_for(spec)
-    proxion = spec.build_proxion(world)
-
-    checkpoint: SweepCheckpoint | None = None
-    if checkpoint_path is not None:
-        path = shard_checkpoint_path(checkpoint_path, shard_index)
-        if resume and os.path.exists(path):
-            checkpoint = SweepCheckpoint.resume(path, addresses)
-        else:
-            checkpoint = SweepCheckpoint.start(path, addresses)
-    try:
-        report = proxion.analyze_all(addresses, checkpoint=checkpoint)
-    finally:
-        if checkpoint is not None:
-            checkpoint.close()
-
+    report = proxion.analyze_all(addresses, checkpoint=checkpoint)
     return {
         "shard": shard_index,
         "addresses": len(addresses),
@@ -118,6 +112,31 @@ def _run_shard(task: tuple) -> dict[str, Any]:
         "wall_s": time.perf_counter() - wall_start,
         "cpu_s": time.process_time() - cpu_start,
     }
+
+
+def _run_shard(task: tuple) -> dict[str, Any]:
+    """In-process worker: analyze one shard, return a pickle-able dict.
+
+    Still the backbone of the sequential (``processes=False``) path; the
+    supervised path runs the same :func:`_analyze_shard` core behind a
+    heartbeat-wrapped checkpoint instead.
+    """
+    spec, shard_index, addresses, checkpoint_path, resume = task
+    world = _world_for(spec)
+    proxion = spec.build_proxion(world)
+
+    checkpoint: SweepCheckpoint | None = None
+    if checkpoint_path is not None:
+        path = shard_checkpoint_path(checkpoint_path, shard_index)
+        if resume and os.path.exists(path):
+            checkpoint = SweepCheckpoint.resume(path, addresses)
+        else:
+            checkpoint = SweepCheckpoint.start(path, addresses)
+    try:
+        return _analyze_shard(proxion, shard_index, addresses, checkpoint)
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
 
 
 def _partial_report(result: dict[str, Any]) -> LandscapeReport:
@@ -152,6 +171,12 @@ class ShardedSweepResult:
     workers: int
     strategy: str
     wall_s: float = 0.0
+    #: Supervision accounting — only populated by the supervised
+    #: (multi-process) path; the sequential path leaves the defaults.
+    supervised: bool = False
+    respawns: int = 0
+    hung_kills: int = 0
+    poison_contracts: int = 0
 
     @property
     def sum_shard_cpu_s(self) -> float:
@@ -183,6 +208,7 @@ def run_sharded_sweep(spec: SweepSpec, *,
                       world: Any = None,
                       processes: bool = True,
                       progress: Callable[[str], None] | None = None,
+                      supervise: Any = None,
                       ) -> ShardedSweepResult:
     """Run one landscape sweep across ``workers`` shards and merge.
 
@@ -192,8 +218,18 @@ def run_sharded_sweep(spec: SweepSpec, *,
     world's full address list.  ``checkpoint_path`` is the *base* path;
     each shard keeps its own ``.shardNN`` file and resumes independently
     when ``resume`` is set.  ``processes=False`` runs the shards
-    sequentially in this process (identical results, no pool).
+    sequentially in this process (identical results, no worker
+    processes); ``processes=True`` runs them under the sweep supervisor,
+    tuned by ``supervise`` (a
+    :class:`~repro.parallel.supervisor.SupervisorConfig`, defaulted).
     """
+    if processes and workers > 1:
+        from repro.parallel.supervisor import run_supervised_sweep
+        return run_supervised_sweep(
+            spec, workers=workers, strategy=strategy, addresses=addresses,
+            checkpoint_path=checkpoint_path, resume=resume, world=world,
+            config=supervise, progress=progress)
+
     wall_start = time.perf_counter()
     say = progress or (lambda message: None)
 
@@ -217,18 +253,7 @@ def run_sharded_sweep(spec: SweepSpec, *,
     say(f"sweeping {len(addresses)} contracts across {workers} "
         f"shard(s), strategy={strategy}")
 
-    if processes and workers > 1:
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn")
-        pool = context.Pool(processes=workers)
-        try:
-            results = pool.map(_run_shard, tasks)
-        finally:
-            pool.close()
-            pool.join()
-    else:
-        results = [_run_shard(task) for task in tasks]
+    results = [_run_shard(task) for task in tasks]
 
     results.sort(key=lambda result: result["shard"])
     report = merge_reports([_partial_report(result) for result in results],

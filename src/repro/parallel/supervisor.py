@@ -1,0 +1,516 @@
+"""The sweep supervisor: self-healing process-level fault tolerance.
+
+``run_sharded_sweep`` used to drive a bare ``multiprocessing.Pool.map``:
+one OOM-killed worker aborted the whole sweep, and one wedged worker hung
+it forever — precisely the failure modes a §6.1-scale multi-day run hits.
+This module replaces the pool with a **supervisor**: per-shard worker
+processes launched individually, each with
+
+* a **heartbeat channel** — the worker pings a ``multiprocessing`` queue
+  once at startup and once per completed contract (hooked into its shard
+  checkpoint), so the parent always knows how stale every worker is;
+* a **monitor loop** — the parent detects dead workers by ``exitcode``
+  and hung workers by heartbeat age (``shard_timeout_s``), kills the hung
+  ones, and respawns either kind *resuming from the shard's own
+  ``repro.checkpoint/1`` file* (every supervised shard keeps one, in a
+  private temp directory when the caller did not ask for checkpoints);
+* **poison-shard bisection** — a shard that keeps sinking its worker past
+  ``max_shard_retries`` is salvaged (completed prefix recovered from its
+  checkpoint, tolerating a crash-truncated tail) and its *pending* suffix
+  is split in two; each half gets a fresh retry budget, recursively, until
+  the crash is pinned to a single contract, which is quarantined as a
+  cause-classified ``worker-crash`` :class:`~repro.core.report.ContractFailure`
+  — the merged report stays complete, and every healthy contract is
+  analyzed exactly once.
+
+Crash-free, the supervised sweep is **byte-identical** to both the old
+pool engine and the serial sweep (codehash strategy): supervision changes
+how workers are babysat, never what they compute.  Under crash injection
+(the ``worker-*`` fault plans in :mod:`repro.chain.faults`) the report is
+identical *modulo* the quarantined ``worker-crash`` records — the
+invariant ``tools/check_supervised_sweep.py`` gates in CI.
+
+Supervision is observable: ``parallel.respawns``, ``parallel.hung_kills``,
+``parallel.poison_contracts`` counters and the high-water
+``parallel.heartbeat_lag_seconds`` gauge land in the merged registry, and
+poison contracts also count under ``pipeline.quarantined{cause=worker-crash}``
+like every other quarantine.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import queue as queue_module
+import shutil
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigurationError, WorkerCrash, classify_cause
+from repro.core.report import ContractFailure
+from repro.landscape.checkpoint import SweepCheckpoint, shard_checkpoint_path
+from repro.landscape.merge import _COUNTER_FIELDS
+from repro.landscape.serialize import analysis_to_dict, failure_to_dict
+
+
+@dataclass(slots=True)
+class SupervisorConfig:
+    """Knobs of the monitor loop (CLI: ``--shard-timeout`` /
+    ``--max-shard-retries``).
+
+    ``shard_timeout_s`` is a *per-contract* staleness bound, not a shard
+    duration: the heartbeat ticks once per completed contract, so it must
+    exceed worker startup (world build) plus the slowest single contract
+    — never the whole shard.  ``max_shard_retries`` is how many failures
+    one task absorbs by plain respawn-and-resume before the supervisor
+    escalates to bisection.
+    """
+
+    shard_timeout_s: float = 30.0
+    max_shard_retries: int = 2
+    poll_interval_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.shard_timeout_s <= 0:
+            raise ConfigurationError("shard_timeout_s must be positive")
+        if self.max_shard_retries < 1:
+            raise ConfigurationError("max_shard_retries must be >= 1 "
+                                     "(0 would bisect on the first crash)")
+
+
+@dataclass(slots=True)
+class SupervisionStats:
+    """What the monitor loop did to keep the sweep alive."""
+
+    respawns: int = 0            # dead/hung workers relaunched (resume)
+    hung_kills: int = 0          # workers killed for heartbeat staleness
+    poison_contracts: int = 0    # single contracts quarantined by bisection
+    bisections: int = 0          # task splits performed
+    worker_launches: int = 0     # processes started, all causes
+    max_heartbeat_lag_s: float = 0.0
+
+
+class _HeartbeatCheckpoint:
+    """A checkpoint decorator that pings the supervisor per contract.
+
+    Wraps the worker's real :class:`SweepCheckpoint`: every record is
+    written through (durability first), then one heartbeat is emitted.
+    The restore surface is delegated so ``analyze_all`` sees a normal
+    checkpoint.
+    """
+
+    def __init__(self, inner: SweepCheckpoint,
+                 beat: Callable[[], None]) -> None:
+        self._inner = inner
+        self._beat = beat
+
+    # Restore surface (read by analyze_all on resume).
+    @property
+    def completed(self):
+        return self._inner.completed
+
+    @property
+    def skipped(self):
+        return self._inner.skipped
+
+    @property
+    def recovered_truncations(self) -> int:
+        return self._inner.recovered_truncations
+
+    def restored_analyses(self):
+        return self._inner.restored_analyses()
+
+    def restored_failures(self):
+        return self._inner.restored_failures()
+
+    # Recording surface (one heartbeat per completed contract).
+    def record_analysis(self, analysis) -> None:
+        self._inner.record_analysis(analysis)
+        self._beat()
+
+    def record_failure(self, failure) -> None:
+        self._inner.record_failure(failure)
+        self._beat()
+
+    def record_skip(self, address: bytes) -> None:
+        self._inner.record_skip(address)
+        self._beat()
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+def _supervised_worker(task: tuple, heartbeat_queue) -> None:
+    """Worker entry point: analyze one task, write its result atomically.
+
+    Results travel as a JSON *file* (written to ``.tmp`` then
+    ``os.replace``\\ d), not through a queue: a worker killed mid-transfer
+    must never corrupt the parent's channel, and an ``os._exit`` mid-write
+    leaves only an invisible temp file.  The heartbeat queue carries only
+    the task id — small enough for atomic pipe writes.
+    """
+    (spec, task_id, shard_index, addresses, checkpoint_path, resume,
+     result_path) = task
+
+    def beat() -> None:
+        try:
+            heartbeat_queue.put(task_id)
+        except (OSError, ValueError):
+            pass  # parent gone; finishing the shard is still useful
+
+    beat()  # alive before the (possibly slow) world build
+    from repro.parallel.engine import _analyze_shard, _world_for
+
+    try:
+        world = _world_for(spec)
+        proxion = spec.build_proxion(world)
+        beat()  # world built, analysis starting
+
+        if resume and os.path.exists(checkpoint_path):
+            inner = SweepCheckpoint.resume(checkpoint_path, addresses)
+        else:
+            inner = SweepCheckpoint.start(checkpoint_path, addresses)
+        checkpoint = _HeartbeatCheckpoint(inner, beat)
+        try:
+            result = _analyze_shard(proxion, shard_index, addresses,
+                                    checkpoint)
+        finally:
+            checkpoint.close()
+    except ConfigurationError as error:
+        # Misconfiguration (e.g. a mismatched checkpoint fingerprint) is
+        # NOT a crash: respawning or bisecting would silently "heal" an
+        # operator mistake.  Ship it to the parent, which fails loudly.
+        result = {"fatal": str(error)}
+
+    tmp_path = result_path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as stream:
+        json.dump(result, stream, separators=(",", ":"))
+    os.replace(tmp_path, result_path)
+
+
+@dataclass(slots=True)
+class _Task:
+    """One supervised unit of work: a root shard or a bisected sub-range."""
+
+    task_id: int
+    shard: int                   # original shard index (stats/merge key)
+    addresses: list[bytes]
+    checkpoint_path: str
+    resume: bool
+    attempts: int = 0            # failed launches of this task so far
+    depth: int = 0               # bisection depth (0 = root shard)
+
+
+@dataclass(slots=True)
+class _Running:
+    process: Any
+    task: _Task
+    last_beat: float
+
+
+def _empty_result(shard: int) -> dict[str, Any]:
+    return {
+        "shard": shard,
+        "addresses": 0,
+        "analyses": [],
+        "failures": [],
+        "counters": dict.fromkeys(_COUNTER_FIELDS, 0),
+        "metrics": {},
+        "wall_s": 0.0,
+        "cpu_s": 0.0,
+    }
+
+
+def _salvage(task: _Task) -> tuple[dict[str, Any], set[bytes]]:
+    """Recover a failed task's completed prefix from its checkpoint.
+
+    Returns a partial result dict (possibly empty) plus the completed
+    address set (skips included).  Tolerates everything a crash can leave
+    behind — missing file, headerless file, truncated tail — because this
+    runs precisely after workers died ungracefully.
+    """
+    try:
+        checkpoint = SweepCheckpoint.resume(task.checkpoint_path,
+                                            task.addresses)
+    except (ConfigurationError, OSError):
+        return _empty_result(task.shard), set()
+    try:
+        result = _empty_result(task.shard)
+        result["analyses"] = [analysis_to_dict(analysis)
+                              for analysis in checkpoint.restored_analyses()]
+        result["failures"] = [failure_to_dict(failure)
+                              for failure in checkpoint.restored_failures()]
+        completed = set(checkpoint.completed)
+    finally:
+        checkpoint.close()
+    return result, completed
+
+
+def run_supervised_sweep(spec, *,
+                         workers: int = 4,
+                         strategy: str = "codehash",
+                         addresses: Sequence[bytes] | None = None,
+                         checkpoint_path: str | None = None,
+                         resume: bool = False,
+                         world: Any = None,
+                         config: SupervisorConfig | None = None,
+                         progress: Callable[[str], None] | None = None):
+    """Run one landscape sweep under supervision and merge deterministically.
+
+    The drop-in process backend of
+    :func:`repro.parallel.engine.run_sharded_sweep` — same parameters plus
+    ``config``.  Returns the same :class:`~repro.parallel.engine.ShardedSweepResult`
+    (with its supervision fields populated).
+    """
+    # Imported here, not at module top: engine imports this module lazily
+    # and the two would otherwise be circular.
+    from repro.obs.registry import MetricsRegistry
+    from repro.parallel.engine import (
+        ShardStats,
+        ShardedSweepResult,
+        _partial_report,
+        _plant_parent_world,
+        _world_for,
+    )
+    from repro.landscape.merge import merge_reports
+    from repro.parallel.shard import shard_addresses
+
+    config = config or SupervisorConfig()
+    wall_start = time.perf_counter()
+    say = progress or (lambda message: None)
+
+    if world is None:
+        world = _world_for(spec)
+    _plant_parent_world(spec, world)
+    if addresses is None:
+        addresses = world.addresses()
+    addresses = list(addresses)
+
+    def code_of(address: bytes) -> bytes:
+        return world.chain.state.get_code(address)
+
+    partitions = shard_addresses(addresses, workers, strategy,
+                                 code_of=code_of)
+    say(f"sweeping {len(addresses)} contracts across {workers} supervised "
+        f"shard(s), strategy={strategy}, timeout={config.shard_timeout_s}s, "
+        f"retries={config.max_shard_retries}")
+
+    # Every supervised shard checkpoints — respawn-with-resume depends on
+    # it.  Callers that did not ask for durable checkpoints get throwaway
+    # ones in a private temp directory.
+    workdir = tempfile.mkdtemp(prefix="repro-supervised-")
+    if checkpoint_path is not None:
+        base = checkpoint_path
+    else:
+        base = os.path.join(workdir, "sweep.ckpt")
+
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+    heartbeats = context.Queue()
+
+    stats = SupervisionStats()
+    next_task_id = 0
+
+    def new_task(shard: int, task_addresses: list[bytes],
+                 path: str | None = None, *, resume_task: bool = False,
+                 depth: int = 0) -> _Task:
+        nonlocal next_task_id
+        task_id = next_task_id
+        next_task_id += 1
+        if path is None:
+            path = f"{base}.task{task_id:03d}"
+        return _Task(task_id=task_id, shard=shard,
+                     addresses=task_addresses, checkpoint_path=path,
+                     resume=resume_task, depth=depth)
+
+    pending: deque[_Task] = deque()
+    for index, partition in enumerate(partitions):
+        pending.append(new_task(index, list(partition),
+                                shard_checkpoint_path(base, index),
+                                resume_task=resume))
+
+    running: dict[int, _Running] = {}
+    results: list[dict[str, Any]] = []
+    shard_wall: dict[int, float] = dict.fromkeys(range(workers), 0.0)
+    shard_cpu: dict[int, float] = dict.fromkeys(range(workers), 0.0)
+
+    def result_path_of(task: _Task) -> str:
+        return os.path.join(workdir, f"task{task.task_id:03d}.result.json")
+
+    def launch(task: _Task) -> None:
+        stats.worker_launches += 1
+        payload = (spec, task.task_id, task.shard, task.addresses,
+                   task.checkpoint_path, task.resume, result_path_of(task))
+        process = context.Process(target=_supervised_worker,
+                                  args=(payload, heartbeats), daemon=True)
+        process.start()
+        running[task.task_id] = _Running(process=process, task=task,
+                                         last_beat=time.monotonic())
+
+    def collect(task: _Task) -> bool:
+        """Ingest a finished worker's result file; False if it is unusable."""
+        path = result_path_of(task)
+        try:
+            with open(path, encoding="utf-8") as stream:
+                result = json.load(stream)
+        except (OSError, json.JSONDecodeError):
+            return False
+        if "fatal" in result:
+            raise ConfigurationError(
+                f"shard {task.shard} worker: {result['fatal']}")
+        # Addresses crossed the JSON boundary: analyses/failures carry hex
+        # strings and _partial_report reverses them, nothing to fix here.
+        results.append(result)
+        shard_wall[task.shard] = shard_wall.get(task.shard, 0.0) \
+            + float(result.get("wall_s", 0.0))
+        shard_cpu[task.shard] = shard_cpu.get(task.shard, 0.0) \
+            + float(result.get("cpu_s", 0.0))
+        return True
+
+    def quarantine_poison(task: _Task, address: bytes,
+                          error: WorkerCrash) -> None:
+        stats.poison_contracts += 1
+        failure = ContractFailure(address=address,
+                                  cause=classify_cause(error),
+                                  error=str(error), stage="worker")
+        result = _empty_result(task.shard)
+        result["failures"] = [failure_to_dict(failure)]
+        results.append(result)
+        say(f"poison contract 0x{address.hex()} quarantined "
+            f"({error})")
+
+    def escalate(task: _Task, error: WorkerCrash) -> None:
+        """Past the retry budget: salvage, then bisect or quarantine."""
+        salvaged, completed = _salvage(task)
+        if salvaged["analyses"] or salvaged["failures"]:
+            results.append(salvaged)
+        remaining = [address for address in task.addresses
+                     if address not in completed]
+        if not remaining:
+            return  # the crash hit after the final record — nothing lost
+        if len(remaining) == 1:
+            quarantine_poison(task, remaining[0], error)
+            return
+        stats.bisections += 1
+        middle = len(remaining) // 2
+        say(f"bisecting shard {task.shard} (depth {task.depth}): "
+            f"{len(remaining)} contracts still pending after "
+            f"{task.attempts} failures")
+        for half in (remaining[:middle], remaining[middle:]):
+            pending.append(new_task(task.shard, half, depth=task.depth + 1))
+
+    def on_failure(task: _Task, error: WorkerCrash) -> None:
+        task.attempts += 1
+        if task.attempts <= config.max_shard_retries:
+            stats.respawns += 1
+            task.resume = True  # pick up from the shard's own checkpoint
+            say(f"worker for shard {task.shard} died ({error}); respawn "
+                f"{task.attempts}/{config.max_shard_retries}")
+            pending.append(task)
+        else:
+            escalate(task, error)
+
+    try:
+        while pending or running:
+            while pending and len(running) < workers:
+                launch(pending.popleft())
+
+            # Drain heartbeats (stale task ids — from workers already
+            # collected or killed — are simply ignored).
+            while True:
+                try:
+                    task_id = heartbeats.get_nowait()
+                except queue_module.Empty:
+                    break
+                worker = running.get(task_id)
+                if worker is not None:
+                    worker.last_beat = time.monotonic()
+
+            now = time.monotonic()
+            for task_id in list(running):
+                worker = running[task_id]
+                process, task = worker.process, worker.task
+                exitcode = process.exitcode
+                if exitcode is not None:
+                    process.join()
+                    del running[task_id]
+                    if exitcode == 0 and collect(task):
+                        continue
+                    on_failure(task, WorkerCrash(
+                        f"worker exited with code {exitcode}"
+                        + ("" if exitcode else " without a result"),
+                        shard=task.shard, exitcode=exitcode,
+                        attempts=task.attempts + 1))
+                    continue
+                lag = now - worker.last_beat
+                if lag > stats.max_heartbeat_lag_s:
+                    stats.max_heartbeat_lag_s = lag
+                if lag > config.shard_timeout_s:
+                    stats.hung_kills += 1
+                    process.terminate()
+                    process.join(timeout=0.5)
+                    if process.is_alive():
+                        process.kill()
+                        process.join()
+                    del running[task_id]
+                    on_failure(task, WorkerCrash(
+                        f"worker hung (heartbeat {lag:.2f}s > "
+                        f"shard timeout {config.shard_timeout_s}s)",
+                        shard=task.shard, exitcode=process.exitcode,
+                        hung=True, attempts=task.attempts + 1))
+
+            if running:
+                time.sleep(config.poll_interval_s)
+    finally:
+        for worker in running.values():
+            worker.process.kill()
+            worker.process.join()
+        heartbeats.close()
+        heartbeats.join_thread()
+        # Result files are transient either way; durable checkpoints (when
+        # the caller asked for them) live under ``checkpoint_path``, not
+        # here, and survive.
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    results.sort(key=lambda result: result["shard"])
+    report = merge_reports([_partial_report(result) for result in results],
+                           order=addresses)
+    metrics = MetricsRegistry()
+    for result in results:
+        metrics.merge_state(result["metrics"])
+    metrics.counter("parallel.respawns").inc(stats.respawns)
+    metrics.counter("parallel.hung_kills").inc(stats.hung_kills)
+    metrics.counter("parallel.poison_contracts").inc(stats.poison_contracts)
+    metrics.gauge("parallel.heartbeat_lag_seconds").max(
+        stats.max_heartbeat_lag_s)
+    if stats.poison_contracts:
+        metrics.counter("pipeline.quarantined", cause="worker-crash").inc(
+            stats.poison_contracts)
+
+    shards = [ShardStats(shard=index, addresses=len(partition),
+                         wall_s=shard_wall.get(index, 0.0),
+                         cpu_s=shard_cpu.get(index, 0.0))
+              for index, partition in enumerate(partitions)]
+    outcome = ShardedSweepResult(
+        report=report, metrics=metrics, shards=shards, workers=workers,
+        strategy=strategy, wall_s=time.perf_counter() - wall_start,
+        supervised=True, respawns=stats.respawns,
+        hung_kills=stats.hung_kills,
+        poison_contracts=stats.poison_contracts)
+    say(f"merged {len(report.analyses)} analyses, "
+        f"{len(report.failures)} failures under supervision "
+        f"({stats.respawns} respawns, {stats.hung_kills} hung kills, "
+        f"{stats.poison_contracts} poison contracts)")
+    return outcome
+
+
+__all__ = [
+    "SupervisionStats",
+    "SupervisorConfig",
+    "run_supervised_sweep",
+]

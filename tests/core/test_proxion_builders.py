@@ -1,8 +1,9 @@
 """The redesigned Proxion construction surface.
 
-``Proxion(node)`` is keyword-only beyond the node; the legacy positional
-form keeps working for one release behind a ``DeprecationWarning`` shim,
-and ``from_node``/``from_chain`` are the forward-looking builders.
+``Proxion(node)`` is keyword-only beyond the node — the legacy positional
+form had its one ``DeprecationWarning`` release and is now a crisp
+``TypeError`` pointing at ``from_node``/``from_chain``, the
+forward-looking builders.
 """
 
 from __future__ import annotations
@@ -34,25 +35,18 @@ def test_keyword_construction_emits_no_warning(node) -> None:
     assert proxion.node is node
 
 
-def test_positional_construction_warns_but_still_works(node) -> None:
-    registry, dataset = SourceRegistry(), ContractDataset()
-    options = ProxionOptions(detect_diamonds=True)
-    with pytest.warns(DeprecationWarning, match="positional Proxion"):
-        proxion = Proxion(node, registry, dataset, options)
-    assert proxion.registry is registry
-    assert proxion.dataset is dataset
-    assert proxion.options.detect_diamonds is True
+def test_positional_construction_is_a_typeerror(node) -> None:
+    """The one-release shim is gone: positionals fail loudly and point at
+    the builders instead of silently guessing parameter order."""
+    with pytest.raises(TypeError, match="from_node"):
+        Proxion(node, SourceRegistry(), ContractDataset())
 
 
-def test_positional_and_keyword_for_same_parameter_is_an_error(node) -> None:
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(TypeError, match="multiple values"):
-            Proxion(node, SourceRegistry(), registry=SourceRegistry())
-
-
-def test_too_many_positionals_is_an_error(node) -> None:
-    with pytest.raises(TypeError, match="positional arguments"):
-        Proxion(node, *([None] * 9))
+def test_positional_typeerror_never_warns(node) -> None:
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        with pytest.raises(TypeError, match="only the node positionally"):
+            Proxion(node, SourceRegistry())
 
 
 def test_from_node_builder(node) -> None:

@@ -84,6 +84,37 @@ def test_spawn_rebuilds_world_from_spec(spec, serial_json) -> None:
     assert analyzed == len(world.addresses())
 
 
+def test_spawn_worker_composes_chaos_stack_from_spec(spec) -> None:
+    """Under ``spawn`` nothing is inherited: the worker must rebuild the
+    world *and* the chaos sandwich (``build_chaos_stack``) purely from the
+    pickled spec — `--chaos` composing with `--workers` on every start
+    method, not just ``fork``."""
+    if "spawn" not in multiprocessing.get_all_start_methods():
+        pytest.skip("spawn start method unavailable")
+    from repro.obs.registry import MetricsRegistry
+    from repro.parallel.engine import _run_shard
+
+    chaotic = SweepSpec(total=TOTAL, seed=SEED, chaos="transient",
+                        chaos_seed=5)
+    world = chaotic.build_world()
+    partitions = shard_addresses(world.addresses(), 2, "codehash",
+                                 code_of=world.chain.state.get_code)
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=2) as pool:
+        results = pool.map(_run_shard,
+                           [(chaotic, i, partition, None, False)
+                            for i, partition in enumerate(partitions)])
+    analyzed = sum(len(result["analyses"]) for result in results)
+    assert analyzed == len(world.addresses())
+    merged = MetricsRegistry()
+    for result in results:
+        merged.merge_state(result["metrics"])
+    # The injected transient faults fired inside the spawned workers and
+    # the resilient layer absorbed them — proof the sandwich was rebuilt.
+    assert merged.counter_total("resilience.retries") > 0
+    assert merged.counter_total("faults.injected") > 0
+
+
 def test_merged_metrics_match_serial_rpc_totals(spec, world) -> None:
     """Codehash sharding sums per-worker RPC counters to the serial values."""
     serial = Proxion.from_chain(world.chain, registry=world.registry,

@@ -1,0 +1,182 @@
+"""The sweep supervisor: heartbeats, respawns, bisection, quarantine.
+
+Chaos plans here use the process-level ``crash``/``hang`` fault kinds —
+they take the *worker* down, not the RPC call — so every test asserts the
+supervisor's contract: the sweep completes, no contract is silently lost,
+and the merged report matches the serial sweep modulo explicitly
+quarantined ``worker-crash`` records.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.pipeline import Proxion
+from repro.errors import ConfigurationError, WorkerCrash, classify_cause
+from repro.landscape import report_to_json, shard_checkpoint_path
+from repro.landscape.checkpoint import SweepCheckpoint
+from repro.parallel import (
+    SupervisorConfig,
+    SweepSpec,
+    run_sharded_sweep,
+    run_supervised_sweep,
+)
+
+TOTAL, SEED = 24, 7
+
+#: Tight-but-safe monitor settings for tests: the heartbeat ticks per
+#: contract, and a single simulated contract analyzes in well under a
+#: second, so 10s only ever triggers on a genuinely wedged worker.
+FAST = dict(shard_timeout_s=10.0, max_shard_retries=1)
+
+
+@pytest.fixture(scope="module")
+def spec() -> SweepSpec:
+    return SweepSpec(total=TOTAL, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def world(spec: SweepSpec):
+    return spec.build_world()
+
+
+@pytest.fixture(scope="module")
+def serial(world) -> dict:
+    proxion = Proxion.from_chain(world.chain, registry=world.registry,
+                                 dataset=world.dataset)
+    return json.loads(report_to_json(proxion.analyze_all(world.addresses())))
+
+
+def _merged(result) -> dict:
+    return json.loads(report_to_json(result.report))
+
+
+def test_crash_free_supervision_is_byte_identical(spec, world,
+                                                  serial) -> None:
+    result = run_supervised_sweep(spec, workers=3, world=world,
+                                  config=SupervisorConfig(**FAST))
+    assert _merged(result) == serial
+    assert result.supervised
+    assert result.respawns == 0
+    assert result.metrics.counter_value("parallel.respawns") == 0
+
+
+def test_engine_delegates_process_path_to_supervisor(spec, world) -> None:
+    result = run_sharded_sweep(spec, workers=3, world=world, processes=True,
+                               supervise=SupervisorConfig(**FAST))
+    assert result.supervised
+    assert len(result.shards) == 3
+    assert sum(stats.addresses for stats in result.shards) == len(
+        world.addresses())
+
+
+def test_windowed_crash_recovers_by_respawn(spec, world, serial) -> None:
+    """A window-scoped crash models a transient OOM kill: the respawned
+    worker resumes past fewer RPC calls, never re-enters the window, and
+    the sweep converges with nothing quarantined."""
+    chaotic = SweepSpec(total=TOTAL, seed=SEED, chaos="worker-crash",
+                        chaos_seed=3)
+    result = run_sharded_sweep(chaotic, workers=3, world=world,
+                               processes=True,
+                               supervise=SupervisorConfig(**FAST))
+    assert result.respawns > 0
+    assert result.poison_contracts == 0
+    merged = _merged(result)
+    assert merged["contracts"] == serial["contracts"]
+    assert merged["failures"] == serial["failures"]
+    assert result.metrics.counter_value("parallel.respawns") \
+        == result.respawns
+
+
+def test_sticky_poison_is_bisected_and_quarantined(spec, world,
+                                                   serial) -> None:
+    """A probability-scoped crash strikes the same contract on every
+    attempt — respawning cannot help, so the supervisor bisects down to
+    the single poison contract and quarantines it as ``worker-crash``."""
+    chaotic = SweepSpec(total=TOTAL, seed=SEED, chaos="worker-poison",
+                        chaos_seed=99)
+    result = run_sharded_sweep(chaotic, workers=3, world=world,
+                               processes=True,
+                               supervise=SupervisorConfig(**FAST))
+    assert result.poison_contracts > 0
+    merged = _merged(result)
+    quarantined = {record["address"] for record in merged["failures"]}
+    assert len(quarantined) == result.poison_contracts
+    for record in merged["failures"]:
+        assert record["cause"] == "worker-crash"
+        assert record["stage"] == "worker"
+    # Zero lost contracts: every address is an analysis or a quarantine...
+    assert len(merged["contracts"]) + len(quarantined) \
+        == len(serial["contracts"]) + len(serial["failures"])
+    # ...and every non-quarantined analysis is byte-for-byte the serial one.
+    serial_by_addr = {record["address"]: record
+                      for record in serial["contracts"]}
+    for record in merged["contracts"]:
+        assert record == serial_by_addr[record["address"]]
+    assert result.metrics.counter_value("parallel.poison_contracts") \
+        == result.poison_contracts
+    assert result.metrics.counter_value("pipeline.quarantined",
+                                        cause="worker-crash") \
+        == result.poison_contracts
+
+
+def test_hung_worker_is_killed_and_recovered(spec, world, serial) -> None:
+    chaotic = SweepSpec(total=TOTAL, seed=SEED, chaos="worker-hang",
+                        chaos_seed=5)
+    result = run_sharded_sweep(
+        chaotic, workers=3, world=world, processes=True,
+        supervise=SupervisorConfig(shard_timeout_s=1.0,
+                                   max_shard_retries=1))
+    assert result.hung_kills > 0
+    assert result.metrics.counter_value("parallel.hung_kills") \
+        == result.hung_kills
+    assert result.metrics.gauge("parallel.heartbeat_lag_seconds").value \
+        >= 1.0
+    merged = _merged(result)
+    quarantined = {record["address"] for record in merged["failures"]}
+    assert len(merged["contracts"]) + len(quarantined) \
+        == len(serial["contracts"]) + len(serial["failures"])
+
+
+def test_supervised_checkpoints_use_shard_naming(spec, world,
+                                                 tmp_path) -> None:
+    base = str(tmp_path / "sweep.ckpt")
+    run_sharded_sweep(spec, workers=2, world=world, processes=True,
+                      checkpoint_path=base,
+                      supervise=SupervisorConfig(**FAST))
+    for shard in range(2):
+        path = tmp_path / f"sweep.ckpt.shard{shard:02d}"
+        assert path.exists()
+        header = json.loads(path.open(encoding="utf-8").readline())
+        assert header["schema"] == "repro.checkpoint/1"
+
+
+def test_fatal_misconfiguration_fails_loudly_not_healed(spec, world,
+                                                        tmp_path) -> None:
+    """A mismatched checkpoint fingerprint is an operator error — the
+    supervisor must surface it, never 'heal' it by bisection."""
+    base = str(tmp_path / "sweep.ckpt")
+    with SweepCheckpoint.start(shard_checkpoint_path(base, 0),
+                               world.addresses()[:3]):
+        pass
+    with pytest.raises(ConfigurationError, match="different"):
+        run_sharded_sweep(spec, workers=2, world=world, processes=True,
+                          checkpoint_path=base, resume=True,
+                          supervise=SupervisorConfig(**FAST))
+
+
+def test_supervisor_config_validation() -> None:
+    with pytest.raises(ConfigurationError, match="positive"):
+        SupervisorConfig(shard_timeout_s=0.0)
+    with pytest.raises(ConfigurationError, match="max_shard_retries"):
+        SupervisorConfig(max_shard_retries=0)
+
+
+def test_worker_crash_classifies_as_worker_crash() -> None:
+    error = WorkerCrash("worker exited with code 70", shard=2,
+                        exitcode=70, attempts=3)
+    assert classify_cause(error) == "worker-crash"
+    assert error.shard == 2
+    assert not error.hung

@@ -107,6 +107,114 @@ def test_unknown_record_kinds_are_tolerated(tmp_path, world) -> None:
     resumed.close()
 
 
+class TestKillMinus9Tolerance:
+    """Crash-truncation artifacts a SIGKILL'd worker can leave behind."""
+
+    def _seeded(self, tmp_path, world, count: int = 3):
+        addresses = world.dataset.addresses()
+        path = tmp_path / "sweep.ckpt"
+        with SweepCheckpoint.start(str(path), addresses) as checkpoint:
+            for analysis in _analyses(world, count=count):
+                checkpoint.record_analysis(analysis)
+        return path, addresses
+
+    def test_truncated_final_line_is_dropped_and_counted(
+            self, tmp_path, world) -> None:
+        path, addresses = self._seeded(tmp_path, world)
+        whole = path.read_text()
+        lines = whole.splitlines(keepends=True)
+        # Kill mid-write: the last record loses its back half.
+        path.write_text("".join(lines[:-1]) + lines[-1][:len(lines[-1]) // 2])
+        resumed = SweepCheckpoint.resume(str(path), addresses)
+        assert resumed.recovered_truncations == 1
+        # The first two records survive; the torn one is simply re-analyzed.
+        assert len(resumed.restored_analyses()) == 2
+        assert len(resumed.completed) == 2
+        resumed.close()
+
+    def test_garbage_final_line_is_dropped_and_counted(
+            self, tmp_path, world) -> None:
+        path, addresses = self._seeded(tmp_path, world)
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"kind":"analysis","data":{"addr\x00\x00')
+        resumed = SweepCheckpoint.resume(str(path), addresses)
+        assert resumed.recovered_truncations == 1
+        assert len(resumed.restored_analyses()) == 3
+        resumed.close()
+
+    def test_corruption_before_the_tail_still_refuses(
+            self, tmp_path, world) -> None:
+        path, addresses = self._seeded(tmp_path, world)
+        lines = path.read_text().splitlines(keepends=True)
+        lines[1] = lines[1][:10] + "\n"  # torn record *not* at the tail
+        path.write_text("".join(lines))
+        with pytest.raises(ConfigurationError, match="not the final line"):
+            SweepCheckpoint.resume(str(path), addresses)
+
+    def test_empty_file_refuses_to_resume(self, tmp_path, world) -> None:
+        addresses = world.dataset.addresses()
+        path = tmp_path / "sweep.ckpt"
+        path.write_text("")
+        with pytest.raises(ConfigurationError, match="empty"):
+            SweepCheckpoint.resume(str(path), addresses)
+
+    def test_headerless_garbage_refuses_to_resume(self, tmp_path,
+                                                  world) -> None:
+        addresses = world.dataset.addresses()
+        path = tmp_path / "sweep.ckpt"
+        path.write_text('{"schema": "repro.check\x00')
+        with pytest.raises(ConfigurationError, match="unreadable header"):
+            SweepCheckpoint.resume(str(path), addresses)
+
+    def test_clean_resume_counts_no_recoveries(self, tmp_path,
+                                               world) -> None:
+        path, addresses = self._seeded(tmp_path, world)
+        resumed = SweepCheckpoint.resume(str(path), addresses)
+        assert resumed.recovered_truncations == 0
+        resumed.close()
+
+    def test_truncated_tail_resume_recomputes_only_the_torn_contract(
+            self, tmp_path, world) -> None:
+        """End to end through analyze_all: the torn record's contract is
+        re-analyzed, everything restores, and the recovery is surfaced as
+        the ``checkpoint.recovered_truncations`` metric."""
+        addresses = [address for address in world.dataset.addresses()
+                     if world.node.is_alive(address)][:6]
+        path = tmp_path / "sweep.ckpt"
+        proxion = Proxion(world.node, registry=world.registry,
+                          dataset=world.dataset)
+        with SweepCheckpoint.start(str(path), addresses) as checkpoint:
+            first = proxion.analyze_all(addresses, checkpoint=checkpoint)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:-1]) + lines[-1][:20])
+
+        resumer = Proxion(world.node, registry=world.registry,
+                          dataset=world.dataset)
+        with SweepCheckpoint.resume(str(path), addresses) as restored:
+            second = resumer.analyze_all(addresses, checkpoint=restored)
+        assert [analysis_to_dict(a) for a in second.analyses.values()] == \
+            [analysis_to_dict(a) for a in first.analyses.values()]
+        assert resumer.metrics.counter_value(
+            "checkpoint.recovered_truncations") == 1
+        assert resumer.metrics.counter_value(
+            "pipeline.resumed_contracts") == len(addresses) - 1
+
+    def test_header_is_fsynced_before_any_record(self, tmp_path,
+                                                 world) -> None:
+        """A fresh checkpoint is durably resumable the instant start()
+        returns — a worker may crash before its first record."""
+        addresses = world.dataset.addresses()
+        path = tmp_path / "sweep.ckpt"
+        live = SweepCheckpoint.start(str(path), addresses)
+        try:
+            # Read through the filesystem, not the open handle: the
+            # header must already be on disk (flushed + fsynced).
+            header = json.loads(path.read_text().splitlines()[0])
+            assert header["schema"] == SCHEMA
+        finally:
+            live.close()
+
+
 def test_resume_does_not_reprobe_skipped_dead_contracts(tmp_path) -> None:
     """Skips land in ``completed``, so a resumed sweep never re-issues the
     dead contract's liveness RPC — and the resume counters stay precise

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""CI gate: the sweep supervisor loses nothing and changes nothing.
+
+Runs three sweeps over the same deterministic landscape and asserts the
+supervisor's contract (docs/robustness.md, "Supervision & self-healing"):
+
+1. **serial** — ``Proxion.analyze_all`` in-process, the ground truth;
+2. **supervised, crash-free** — the multi-process supervisor with no
+   fault plan; its merged report must serialize **byte-identically** to
+   the serial one (supervision is babysitting, never a different answer);
+3. **supervised, under crash injection** — a ``worker-*`` fault plan
+   kills/wedges workers mid-shard; the sweep must still complete with
+   **zero lost contracts**: every address is either analyzed (and its
+   record byte-equal to the serial one) or explicitly quarantined as a
+   cause-classified ``worker-crash`` failure.  The supervision counters
+   must show the faults actually fired (respawns or hung kills > 0).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_supervised_sweep.py \
+        --total 40 --seed 7 --workers 3 --chaos worker-chaos
+
+Exit codes: 0 pass, 1 contract violated, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--total", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=3)
+    parser.add_argument("--chaos", default="worker-chaos",
+                        help="process-level fault plan for run 3 "
+                             "(default: worker-chaos)")
+    parser.add_argument("--chaos-seed", type=int, default=5)
+    parser.add_argument("--shard-timeout", type=float, default=3.0)
+    parser.add_argument("--max-shard-retries", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    from repro.core.pipeline import Proxion
+    from repro.landscape import report_to_json
+    from repro.parallel import (
+        SupervisorConfig,
+        SweepSpec,
+        run_sharded_sweep,
+    )
+
+    spec = SweepSpec(total=args.total, seed=args.seed)
+    world = spec.build_world()
+    config = SupervisorConfig(shard_timeout_s=args.shard_timeout,
+                              max_shard_retries=args.max_shard_retries)
+    problems: list[str] = []
+
+    serial_proxion = Proxion.from_chain(world.chain, registry=world.registry,
+                                        dataset=world.dataset)
+    serial_json = report_to_json(
+        serial_proxion.analyze_all(world.addresses()))
+    serial = json.loads(serial_json)
+    print(f"serial: {len(serial['contracts'])} contracts, "
+          f"{len(serial['failures'])} failures")
+
+    clean = run_sharded_sweep(spec, workers=args.workers, world=world,
+                              processes=True, supervise=config)
+    clean_json = report_to_json(clean.report)
+    if clean_json != serial_json:
+        problems.append("crash-free supervised merge is NOT byte-identical "
+                        "to the serial sweep")
+    else:
+        print(f"crash-free supervised: byte-identical "
+              f"({len(clean_json)} bytes)")
+
+    chaotic_spec = SweepSpec(total=args.total, seed=args.seed,
+                             chaos=args.chaos, chaos_seed=args.chaos_seed)
+    chaotic = run_sharded_sweep(chaotic_spec, workers=args.workers,
+                                world=world, processes=True,
+                                supervise=config)
+    merged = json.loads(report_to_json(chaotic.report))
+    print(f"chaos ({args.chaos}): {chaotic.respawns} respawns, "
+          f"{chaotic.hung_kills} hung kills, "
+          f"{chaotic.poison_contracts} poison contracts quarantined")
+
+    if chaotic.respawns + chaotic.hung_kills == 0:
+        problems.append(f"fault plan {args.chaos!r} never fired "
+                        f"(no respawns or hung kills) — wrong seed/scale?")
+
+    serial_by_addr = {record["address"]: record
+                      for record in serial["contracts"]}
+    quarantined = {record["address"] for record in merged["failures"]}
+    analyzed = {record["address"] for record in merged["contracts"]}
+
+    lost = [address for address in serial_by_addr
+            if address not in analyzed and address not in quarantined]
+    if lost:
+        problems.append(f"{len(lost)} contract(s) silently lost under "
+                        f"crash injection (first: {lost[0]})")
+
+    diverged = [record["address"] for record in merged["contracts"]
+                if serial_by_addr.get(record["address"]) != record]
+    if diverged:
+        problems.append(f"{len(diverged)} analyzed record(s) differ from "
+                        f"the serial sweep (first: {diverged[0]})")
+
+    misclassified = [record["address"] for record in merged["failures"]
+                     if record.get("cause") != "worker-crash"
+                     or record.get("stage") != "worker"]
+    if misclassified:
+        problems.append(f"{len(misclassified)} quarantined record(s) not "
+                        f"classified worker-crash/worker "
+                        f"(first: {misclassified[0]})")
+
+    if len(quarantined) != chaotic.poison_contracts:
+        problems.append(f"quarantine accounting mismatch: "
+                        f"{len(quarantined)} failures in the report vs "
+                        f"{chaotic.poison_contracts} poison contracts "
+                        f"counted by the supervisor")
+
+    if problems:
+        print("supervised sweep gate FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"supervised sweep gate passed: "
+          f"{len(analyzed)} analyzed + {len(quarantined)} quarantined, "
+          f"zero lost")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
