@@ -448,7 +448,7 @@ CANNED_PLANS = ("transient", "rate-limit", "latency", "flaky", "outage",
                 "worker-chaos")
 
 
-def build_chaos_stack(node, plan: str, seed: int = 1337):
+def build_chaos_stack(node, plan: str, seed: int = 1337, events=None):
     """The canonical chaos sandwich: ``ResilientNode(FaultyNode(node))``.
 
     One shared rebuild hook for everything that wires a canned fault plan
@@ -456,12 +456,15 @@ def build_chaos_stack(node, plan: str, seed: int = 1337):
     worker of a sharded sweep (which must reconstruct the stack from a
     pickle-able spec inside its own process).  Injected latency and
     backoff are accounted virtually (``sleep=None``): the simulated node
-    has nothing to actually wait for.
+    has nothing to actually wait for.  ``events`` (an
+    :class:`~repro.obs.events.EventRecorder`) is handed to the resilient
+    layer so breaker transitions and retry exhaustion land in the flight
+    recorder.
     """
     from repro.chain.resilient import ResilientNode
 
     return ResilientNode(FaultyNode(node, canned_plan(plan, seed=seed)),
-                         seed=seed, sleep=None)
+                         seed=seed, sleep=None, events=events)
 
 
 __all__ = [

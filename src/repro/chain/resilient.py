@@ -25,7 +25,11 @@ cooldowns so open→half-open transitions happen deterministically.
 Everything is metered in the node's registry: ``resilience.retries``,
 ``resilience.backoff_seconds``, ``resilience.deadline_exceeded``,
 ``resilience.circuit_open_rejections`` (all ``{method=...}``) and
-``resilience.breaker_transitions{method=...,to=...}``.
+``resilience.breaker_transitions{method=...,to=...}``.  When an
+:class:`~repro.obs.events.EventRecorder` is wired, the *narrative*
+moments also land in the flight recorder: every breaker state change
+(``breaker.open`` / ``breaker.half-open`` / ``breaker.close``) and every
+retry-budget exhaustion (``retry.exhausted``).
 """
 
 from __future__ import annotations
@@ -35,6 +39,8 @@ import time
 from dataclasses import dataclass
 
 from repro.errors import CircuitOpen, DeadlineExceeded, TransientRpcError
+from repro.obs import events as events_module
+from repro.obs.events import NULL_RECORDER
 from repro.obs.spans import clock
 
 #: Breaker states (also the value of ``resilience.breaker_state`` gauges).
@@ -43,6 +49,13 @@ OPEN = "open"
 HALF_OPEN = "half-open"
 
 _STATE_VALUE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+#: Breaker state → journal event kind (``repro.events/1`` taxonomy).
+_STATE_EVENT = {
+    CLOSED: events_module.BREAKER_CLOSE,
+    OPEN: events_module.BREAKER_OPEN,
+    HALF_OPEN: events_module.BREAKER_HALF_OPEN,
+}
 
 
 @dataclass(frozen=True, slots=True)
@@ -143,11 +156,13 @@ class ResilientNode:
 
     def __init__(self, node, policy: RetryPolicy | None = None,
                  breaker: BreakerConfig | None = None,
-                 seed: int = 0, sleep=time.sleep, metrics=None) -> None:
+                 seed: int = 0, sleep=time.sleep, metrics=None,
+                 events=None) -> None:
         self._node = node
         self.policy = policy or RetryPolicy()
         self.breaker_config = breaker or BreakerConfig()
         self.metrics = metrics if metrics is not None else node.metrics
+        self.events = events if events is not None else NULL_RECORDER
         self._rng = random.Random(seed)
         self._sleep = sleep
         self._virtual_elapsed = 0.0
@@ -200,6 +215,8 @@ class ResilientNode:
                 self.metrics.counter("resilience.breaker_transitions",
                                      method=method, to=new).inc()
                 gauge.set(_STATE_VALUE[new])
+                self.events.emit(_STATE_EVENT[new], method=method,
+                                 previous=old)
 
             breaker = CircuitBreaker(self.breaker_config, on_transition)
             self._breakers[method] = breaker
@@ -240,6 +257,9 @@ class ResilientNode:
                         or elapsed + delay > self.policy.deadline_s):
                     self.metrics.counter("resilience.deadline_exceeded",
                                          method=method).inc()
+                    self.events.emit(events_module.RETRY_EXHAUSTED,
+                                     method=method, attempts=attempt,
+                                     elapsed_s=round(elapsed, 6))
                     raise DeadlineExceeded(
                         f"{method} failed after {attempt} attempt(s) "
                         f"/ {elapsed:.3f}s: {error}",

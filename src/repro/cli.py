@@ -8,6 +8,9 @@ Commands:
 * ``bench``          — the continuous-benchmarking suite (timing trajectory,
                        regression gate, EVM flame profiles)
 * ``demo <name>``    — run a packaged attack scenario (honeypot / audius)
+* ``status``         — point-in-time snapshot of a sweep's flight-recorder
+                       journal (``survey --events``)
+* ``tail``           — stream a sweep's flight-recorder events (``--follow``)
 * ``mine-selector``  — §2.3: mine a selector collision against a prototype
 """
 
@@ -41,6 +44,16 @@ _OBSERVABILITY_FLAGS: dict[str, dict] = {
     "--flame-weight": dict(
         default="gas", choices=("gas", "instructions"),
         help="flame sample unit (default: base gas)"),
+    "--events": dict(
+        default=None, metavar="FILE",
+        help="write the repro.events/1 flight-recorder journal there; "
+             "read it live with `repro status FILE` / `repro tail FILE` "
+             "(composes with --workers)"),
+    "--serve-obs": dict(
+        type=int, default=None, metavar="PORT",
+        help="serve /metrics, /healthz and /progress over HTTP on "
+             "127.0.0.1:PORT while the command runs (0 = pick an "
+             "ephemeral port)"),
 }
 
 #: Flag name → ``add_argument`` kwargs for the robustness group (chaos
@@ -102,6 +115,20 @@ def add_robustness_flags(parser: argparse.ArgumentParser,
 
 
 def _cmd_survey(args: argparse.Namespace) -> int:
+    # Thin wrapper so the live ops surface (--serve-obs) and the serial
+    # events journal are always torn down, whichever path/return the
+    # sweep takes.
+    obs: dict = {"registry": None, "server": None, "journal": None}
+    try:
+        return _survey_impl(args, obs)
+    finally:
+        if obs["journal"] is not None:
+            obs["journal"].close()
+        if obs["server"] is not None:
+            obs["server"].close()
+
+
+def _survey_impl(args: argparse.Namespace, obs: dict) -> int:
     from repro.chain.profiles import get_profile
     from repro.core import Proxion, ProxionOptions
     from repro.corpus import generate_landscape
@@ -124,6 +151,21 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint FILE", file=sys.stderr)
         return 2
+
+    if args.serve_obs is not None:
+        from repro.obs.http import ObsServer
+
+        # The callable indirection lets the CLI swap in the merged
+        # registry once a parallel sweep lands, while scrapes keep
+        # hitting one stable URL for the whole command.
+        obs["registry"] = landscape.node.metrics
+        obs["server"] = ObsServer(lambda: obs["registry"],
+                                  journal_path=args.events,
+                                  hung_after_s=args.shard_timeout,
+                                  port=args.serve_obs)
+        if not args.json:
+            print(f"obs: serving /metrics /healthz /progress at "
+                  f"{obs['server'].url}")
 
     if args.workers > 1:
         # Per-worker artifacts that cannot be merged into one file stay
@@ -156,11 +198,13 @@ def _cmd_survey(args: argparse.Namespace) -> int:
                 spec, workers=args.workers, strategy=args.shard_strategy,
                 world=landscape, checkpoint_path=args.checkpoint,
                 resume=args.resume, supervise=supervise,
-                progress=None if args.json else print)
+                progress=None if args.json else print,
+                events_path=args.events)
         except (ConfigurationError, OSError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
         report, metrics = result.report, result.metrics
+        obs["registry"] = metrics  # /metrics now serves the merged view
         if not args.json:
             print(f"parallel: {args.workers} workers, "
                   f"{result.sum_shard_cpu_s:.2f}s shard CPU, "
@@ -178,12 +222,24 @@ def _cmd_survey(args: argparse.Namespace) -> int:
             from repro.obs import FlameProfiler
             flame_profiler = FlameProfiler()
 
+        events = None
+        if args.events:
+            from repro.obs.events import EventJournal, EventRecorder
+            try:
+                obs["journal"] = EventJournal.create(args.events)
+            except OSError as error:
+                print(f"error: cannot write --events journal: {error}",
+                      file=sys.stderr)
+                return 2
+            events = EventRecorder(sinks=(obs["journal"],))
+
         node = landscape.node
         if args.chaos:
             from repro.chain.faults import build_chaos_stack
             # Injected latency and backoff are accounted virtually (no
             # real sleeps): the simulated node has nothing to wait for.
-            node = build_chaos_stack(node, args.chaos, seed=args.chaos_seed)
+            node = build_chaos_stack(node, args.chaos, seed=args.chaos_seed,
+                                     events=events)
             if not args.json:
                 print(f"chaos: injecting fault plan {args.chaos!r} "
                       f"(seed={args.chaos_seed}) behind the resilient "
@@ -191,7 +247,9 @@ def _cmd_survey(args: argparse.Namespace) -> int:
 
         proxion = Proxion(node, registry=landscape.registry,
                           dataset=landscape.dataset,
-                          options=options, evm_profiler=flame_profiler)
+                          options=options, evm_profiler=flame_profiler,
+                          events=events)
+        obs["registry"] = proxion.metrics
         if args.trace_jsonl:
             from repro.obs import JsonLinesSink
             proxion.tracer.add_sink(JsonLinesSink(args.trace_jsonl))
@@ -218,11 +276,20 @@ def _cmd_survey(args: argparse.Namespace) -> int:
                 print(f"error: {error}", file=sys.stderr)
                 return 2
 
+        if events is not None:
+            from repro.obs.events import SWEEP_END, SWEEP_START
+            sweep_addresses = (addresses if addresses is not None
+                               else landscape.dataset.addresses())
+            events.emit(SWEEP_START, contracts=len(sweep_addresses),
+                        workers=1, strategy="serial", chaos=args.chaos)
         try:
             report = proxion.analyze_all(addresses, checkpoint=checkpoint)
         finally:
             if checkpoint is not None:
                 checkpoint.close()
+        if events is not None:
+            events.emit(SWEEP_END, analyses=len(report.analyses),
+                        failures=len(report.failures))
         metrics = proxion.metrics
 
     if args.db:
@@ -298,6 +365,44 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         from repro.obs import survey_metrics_summary
         print()
         print(survey_metrics_summary(metrics))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.obs.console import journal_snapshot, render_status
+
+    try:
+        status = journal_snapshot(args.journal)
+    except (ConfigurationError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json as _json
+        print(_json.dumps(status.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_status(status))
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.obs.console import format_event, tail_journal
+
+    try:
+        for event in tail_journal(args.journal, follow=args.follow,
+                                  poll_s=args.poll):
+            print(format_event(event), flush=args.follow)
+    except BrokenPipeError:
+        # `repro tail ... | head` closing the pipe is a normal exit, but
+        # Python would complain again flushing stdout at shutdown.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    except (ConfigurationError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass  # ^C out of --follow is a normal way to stop watching
     return 0
 
 
@@ -540,6 +645,28 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--list", action="store_true",
                        help="list the registered workloads and exit")
     bench.set_defaults(func=_cmd_bench)
+
+    status = commands.add_parser(
+        "status", help="snapshot a sweep's flight-recorder journal")
+    status.add_argument("journal",
+                        help="repro.events/1 journal file "
+                             "(written by survey --events)")
+    status.add_argument("--json", action="store_true",
+                        help="emit the snapshot as JSON (the /progress "
+                             "payload)")
+    status.set_defaults(func=_cmd_status)
+
+    tail = commands.add_parser(
+        "tail", help="stream a sweep's flight-recorder events")
+    tail.add_argument("journal",
+                      help="repro.events/1 journal file "
+                           "(written by survey --events)")
+    tail.add_argument("-f", "--follow", action="store_true",
+                      help="keep watching for new events until the journal "
+                           "records sweep.end (or ^C)")
+    tail.add_argument("--poll", type=float, default=0.25, metavar="SECONDS",
+                      help="poll interval while following (default 0.25)")
+    tail.set_defaults(func=_cmd_tail)
 
     demo = commands.add_parser("demo", help="run a packaged scenario")
     demo.add_argument("name", choices=("quickstart", "honeypot", "audius",

@@ -39,6 +39,13 @@ from repro.core.standards import classify_standard
 from repro.core.storage_collision import StorageCollisionDetector
 from repro.errors import ConfigurationError, classify_cause
 from repro.evm.environment import BlockContext
+from repro.obs.events import (
+    CHECKPOINT_RESUME,
+    NULL_RECORDER,
+    PIPELINE_END,
+    PIPELINE_QUARANTINE,
+    PIPELINE_START,
+)
 from repro.obs.evmprof import ProfilingTracer
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import NULL_TRACER, RingBufferSink, SpanTracer
@@ -93,7 +100,8 @@ class Proxion:
                  block: BlockContext | None = None,
                  metrics: MetricsRegistry | None = None,
                  tracer: SpanTracer | None = None,
-                 evm_profiler: ProfilingTracer | None = None) -> None:
+                 evm_profiler: ProfilingTracer | None = None,
+                 events=None) -> None:
         if legacy:
             raise TypeError(
                 f"Proxion() takes only the node positionally "
@@ -105,6 +113,9 @@ class Proxion:
         self.dataset = dataset
         self.options = options or ProxionOptions()
         self.metrics = metrics if metrics is not None else node.metrics
+        # Flight-recorder hook (repro.obs.events): counters say how much,
+        # events narrate what happened; both default to no-ops.
+        self.events = events if events is not None else NULL_RECORDER
         self.spans = RingBufferSink()
         if tracer is not None:
             self.tracer = tracer
@@ -341,6 +352,8 @@ class Proxion:
         report.add_failure(failure)
         self.metrics.counter("pipeline.quarantined",
                              cause=failure.cause).inc()
+        self.events.emit(PIPELINE_QUARANTINE, address="0x" + address.hex(),
+                         stage=stage, cause=failure.cause, error=str(error))
         if checkpoint is not None:
             checkpoint.record_failure(failure)
 
@@ -388,10 +401,16 @@ class Proxion:
                 # loader; their contracts are re-analyzed below.
                 self.metrics.counter(
                     "checkpoint.recovered_truncations").inc(recovered)
+            if done or recovered:
+                self.events.emit(CHECKPOINT_RESUME,
+                                 restored=len(done) - skips, skips=skips,
+                                 recovered_truncations=recovered)
         hits_before = {c: counter.value
                        for c, counter in self._dedup_hits.items()}
         misses_before = {c: counter.value
                          for c, counter in self._dedup_misses.items()}
+        self.events.emit(PIPELINE_START, contracts=len(addresses),
+                         resumed=len(done))
         with self.tracer.span("sweep", contracts=len(addresses)):
             for address in addresses:
                 if address in done:
@@ -448,4 +467,6 @@ class Proxion:
             misses_before, self._dedup_misses, "storage_collision")
         report.collision_cache_hits = (report.function_cache_hits
                                        + report.storage_cache_hits)
+        self.events.emit(PIPELINE_END, analyses=len(report.analyses),
+                         failures=len(report.failures))
         return report

@@ -12,10 +12,17 @@ Dependency-free metrics + tracing for the whole reproduction:
   ``repro bench``: deterministic workloads, ``repro.bench/1`` result
   payloads, and the median-regression comparator;
 * :mod:`repro.obs.export` — Prometheus text, JSON snapshot, and the
-  human-readable ``--metrics`` / bench summaries.
+  human-readable ``--metrics`` / bench summaries;
+* :mod:`repro.obs.events` — the sweep flight recorder: a schema-versioned
+  (``repro.events/1``) operational event journal with crash-safe JSONL
+  sinks and cross-process total ordering;
+* :mod:`repro.obs.console` — read-only live views over a journal
+  (``repro status`` / ``repro tail`` / the ``/healthz`` verdict);
+* :mod:`repro.obs.http` — the stdlib HTTP exporter behind
+  ``survey --serve-obs``: ``/metrics``, ``/healthz``, ``/progress``.
 
-See ``docs/observability.md`` for the metric-name catalogue and
-``docs/benchmarking.md`` for the bench workloads and schema.
+See ``docs/observability.md`` for the metric-name catalogue, the event
+taxonomy, and ``docs/benchmarking.md`` for the bench workloads and schema.
 """
 
 from repro.obs.bench import (
@@ -26,7 +33,24 @@ from repro.obs.bench import (
     run_suite,
     validate_payload,
 )
+from repro.obs.console import (
+    SweepStatus,
+    format_event,
+    journal_health,
+    journal_snapshot,
+    render_status,
+    tail_journal,
+)
+from repro.obs.events import (
+    Event,
+    EventJournal,
+    EventRecorder,
+    NULL_RECORDER,
+    read_journal,
+    total_order,
+)
 from repro.obs.evmprof import FlameProfiler, ProfilingTracer, opcode_class
+from repro.obs.http import ObsServer
 from repro.obs.export import (
     bench_summary,
     survey_metrics_summary,
@@ -58,28 +82,41 @@ __all__ = [
     "BenchConfig",
     "Counter",
     "DEFAULT_BUCKETS",
+    "Event",
+    "EventJournal",
+    "EventRecorder",
     "FlameProfiler",
     "Gauge",
     "Histogram",
     "JsonLinesSink",
     "MetricsRegistry",
+    "NULL_RECORDER",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "NullRegistry",
     "NullSpanTracer",
+    "ObsServer",
     "ProfilingTracer",
     "RingBufferSink",
     "Span",
     "SpanTracer",
+    "SweepStatus",
     "WORKLOADS",
     "bench_summary",
     "compare_payloads",
     "default_registry",
+    "format_event",
+    "journal_health",
+    "journal_snapshot",
     "opcode_class",
+    "read_journal",
+    "render_status",
     "run_suite",
     "series_name",
     "survey_metrics_summary",
+    "tail_journal",
     "to_json",
     "to_prometheus",
+    "total_order",
     "validate_payload",
 ]

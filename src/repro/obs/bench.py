@@ -27,6 +27,7 @@ numbers.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import socket
 import statistics
@@ -375,6 +376,56 @@ def _pipeline_supervised_workload(workers: int = 4) -> Workload:
         setup=setup, run=run)
 
 
+def _pipeline_supervised_events_workload(workers: int = 4) -> Workload:
+    def setup(config: BenchConfig):
+        return _landscape(config.scale(120, 250), config.seed)
+
+    def run(world, config: BenchConfig):
+        import tempfile
+
+        from repro.core.pipeline import ProxionOptions
+        from repro.parallel import (
+            SupervisorConfig,
+            SweepSpec,
+            run_sharded_sweep,
+        )
+
+        # pipeline_supervised with the flight recorder switched on: same
+        # scale, same crash plan, plus the merged events journal (parent
+        # narration, per-worker journals, cross-process ingestion).  The
+        # median delta against pipeline_supervised is the recorder's
+        # whole-sweep overhead — the acceptance bar is <5%.
+        spec = SweepSpec(total=config.scale(120, 250), seed=config.seed,
+                         options=ProxionOptions(profile_evm=True),
+                         chaos="worker-crash", chaos_seed=config.seed)
+        with tempfile.TemporaryDirectory(prefix="repro-bench-events-") as d:
+            result = run_sharded_sweep(
+                spec, workers=workers, strategy="codehash", world=world,
+                supervise=SupervisorConfig(shard_timeout_s=30.0,
+                                           max_shard_retries=2),
+                events_path=os.path.join(d, "sweep.events.jsonl"))
+            from repro.obs.events import read_journal
+            journal_events = len(read_journal(
+                os.path.join(d, "sweep.events.jsonl")).events)
+        return result.metrics, {
+            "contracts": len(result.report),
+            "quarantined": len(result.report.failures),
+            "workers": workers,
+            "respawns": result.respawns,
+            "journal_events": journal_events,
+            "sum_shard_cpu_s": round(result.sum_shard_cpu_s, 4),
+            "critical_path_speedup": round(result.critical_path_speedup, 3),
+        }
+
+    return Workload(
+        name="pipeline_supervised_events",
+        description=f"pipeline_supervised with the repro.events/1 flight "
+                    f"recorder journaling the whole run across {workers} "
+                    f"workers: the median delta against pipeline_supervised "
+                    f"is the journal's overhead (<5% required)",
+        setup=setup, run=run)
+
+
 def _build_workloads() -> dict[str, Workload]:
     suite = [
         _sweep_workload(50, 80),
@@ -383,6 +434,7 @@ def _build_workloads() -> dict[str, Workload]:
         _pipeline_faulty_workload(),
         _pipeline_parallel_workload(),
         _pipeline_supervised_workload(),
+        _pipeline_supervised_events_workload(),
         _proxy_check_workload(),
         _logic_recovery_workload(),
         _collision_accuracy_workload(),

@@ -84,7 +84,10 @@ class JsonLinesSink:
     """Appends each finished span as one JSON object per line.
 
     Accepts a path (opened lazily, append mode) or any writable file-like
-    object (not closed by this sink).
+    object (not closed by this sink).  Span attributes are serialized
+    with ``default=repr``: a caller attaching a non-JSON value (an
+    address, an exception, a dataclass) degrades to its repr in the
+    trace — it must never crash a live sweep mid-flight.
     """
 
     def __init__(self, target: str | IO[str]) -> None:
@@ -96,7 +99,8 @@ class JsonLinesSink:
         if self._stream is None:
             assert self._path is not None
             self._stream = open(self._path, "a", encoding="utf-8")
-        self._stream.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        self._stream.write(json.dumps(span.to_dict(), sort_keys=True,
+                                      default=repr) + "\n")
 
     def close(self) -> None:
         if self._stream is not None and self._owns_stream:

@@ -114,16 +114,18 @@ def _analyze_shard(proxion: Any, shard_index: int,
     }
 
 
-def _run_shard(task: tuple) -> dict[str, Any]:
+def _run_shard(task: tuple, events=None) -> dict[str, Any]:
     """In-process worker: analyze one shard, return a pickle-able dict.
 
     Still the backbone of the sequential (``processes=False``) path; the
     supervised path runs the same :func:`_analyze_shard` core behind a
-    heartbeat-wrapped checkpoint instead.
+    heartbeat-wrapped checkpoint instead.  ``events`` (an
+    :class:`~repro.obs.events.EventRecorder`, sequential path only) lets
+    the in-process shards narrate into the caller's flight recorder.
     """
     spec, shard_index, addresses, checkpoint_path, resume = task
     world = _world_for(spec)
-    proxion = spec.build_proxion(world)
+    proxion = spec.build_proxion(world, events=events)
 
     checkpoint: SweepCheckpoint | None = None
     if checkpoint_path is not None:
@@ -209,6 +211,7 @@ def run_sharded_sweep(spec: SweepSpec, *,
                       processes: bool = True,
                       progress: Callable[[str], None] | None = None,
                       supervise: Any = None,
+                      events_path: str | None = None,
                       ) -> ShardedSweepResult:
     """Run one landscape sweep across ``workers`` shards and merge.
 
@@ -222,13 +225,17 @@ def run_sharded_sweep(spec: SweepSpec, *,
     processes); ``processes=True`` runs them under the sweep supervisor,
     tuned by ``supervise`` (a
     :class:`~repro.parallel.supervisor.SupervisorConfig`, defaulted).
+    ``events_path``, when set, writes the ``repro.events/1``
+    flight-recorder journal there (see :mod:`repro.obs.events`) — the
+    supervised path journals the full worker lifecycle, the sequential
+    path the pipeline-level narrative.
     """
     if processes and workers > 1:
         from repro.parallel.supervisor import run_supervised_sweep
         return run_supervised_sweep(
             spec, workers=workers, strategy=strategy, addresses=addresses,
             checkpoint_path=checkpoint_path, resume=resume, world=world,
-            config=supervise, progress=progress)
+            config=supervise, progress=progress, events_path=events_path)
 
     wall_start = time.perf_counter()
     say = progress or (lambda message: None)
@@ -253,7 +260,24 @@ def run_sharded_sweep(spec: SweepSpec, *,
     say(f"sweeping {len(addresses)} contracts across {workers} "
         f"shard(s), strategy={strategy}")
 
-    results = [_run_shard(task) for task in tasks]
+    journal = None
+    events = None
+    if events_path is not None:
+        from repro.obs import events as ev
+        journal = ev.EventJournal.create(events_path)
+        events = ev.EventRecorder(sinks=(journal,))
+        events.emit(ev.SWEEP_START, contracts=len(addresses),
+                    workers=workers, strategy=strategy, chaos=spec.chaos)
+
+    results = [_run_shard(task, events=events) for task in tasks]
+
+    if events is not None:
+        from repro.obs import events as ev
+        events.emit(ev.SWEEP_END,
+                    analyses=sum(len(r["analyses"]) for r in results),
+                    failures=sum(len(r["failures"]) for r in results),
+                    wall_s=round(time.perf_counter() - wall_start, 6))
+        journal.close()
 
     results.sort(key=lambda result: result["shard"])
     report = merge_reports([_partial_report(result) for result in results],

@@ -50,14 +50,17 @@ class SweepSpec:
         return generate_landscape(total=self.total, seed=self.seed,
                                   chain_profile=get_profile(self.chain))
 
-    def build_node(self, world):
+    def build_node(self, world, events=None):
         """A *fresh* node stack over ``world``'s chain.
 
         Fresh means a private :class:`~repro.chain.node.ArchiveNode` (and
         so a private metrics registry): workers never mutate an inherited
         node's counters, and per-shard metrics merge cleanly.  The chaos
         sandwich, when configured, wraps it exactly like ``survey
-        --chaos`` does.
+        --chaos`` does.  ``events`` (an
+        :class:`~repro.obs.events.EventRecorder`, optional) is threaded
+        into the resilient layer so the flight recorder sees breaker and
+        retry events from inside the worker.
         """
         from repro.chain.faults import build_chaos_stack
         from repro.chain.node import ArchiveNode
@@ -66,15 +69,17 @@ class SweepSpec:
                            call_instruction_budget=(
                                world.node.call_instruction_budget))
         if self.chaos is not None:
-            return build_chaos_stack(node, self.chaos, seed=self.chaos_seed)
+            return build_chaos_stack(node, self.chaos, seed=self.chaos_seed,
+                                     events=events)
         return node
 
-    def build_proxion(self, world) -> Proxion:
+    def build_proxion(self, world, events=None) -> Proxion:
         """The full per-worker analyzer, options applied."""
-        return Proxion.from_node(self.build_node(world),
+        return Proxion.from_node(self.build_node(world, events=events),
                                  registry=world.registry,
                                  dataset=world.dataset,
-                                 options=self.options)
+                                 options=self.options,
+                                 events=events)
 
 
 __all__ = ["SweepSpec"]

@@ -35,6 +35,18 @@ Supervision is observable: ``parallel.respawns``, ``parallel.hung_kills``,
 ``parallel.heartbeat_lag_seconds`` gauge land in the merged registry, and
 poison contracts also count under ``pipeline.quarantined{cause=worker-crash}``
 like every other quarantine.
+
+With ``events_path`` set, the supervisor is also the flight recorder's
+primary author (:mod:`repro.obs.events`): it journals every spawn, exit,
+respawn, hung-kill, bisection and quarantine, plus a throttled
+``supervisor.tick`` per live worker carrying completed-count and
+heartbeat lag (the raw feed of ``repro status`` / ``/healthz``).  Each
+worker keeps a *private* per-attempt journal in the supervisor's
+workdir — narrating its pipeline starts, checkpoint resumes, contract
+quarantines and breaker trips from inside the process — and when the
+worker is reaped (cleanly or not) the parent folds that file into the
+parent journal over the same crash-safe channel as results; readers
+recover the total order from the events' monotonic timestamps.
 """
 
 from __future__ import annotations
@@ -55,6 +67,8 @@ from repro.core.report import ContractFailure
 from repro.landscape.checkpoint import SweepCheckpoint, shard_checkpoint_path
 from repro.landscape.merge import _COUNTER_FIELDS
 from repro.landscape.serialize import analysis_to_dict, failure_to_dict
+from repro.obs import events as ev
+from repro.obs.events import EventJournal, EventRecorder, NULL_RECORDER
 
 
 @dataclass(slots=True)
@@ -73,6 +87,9 @@ class SupervisorConfig:
     shard_timeout_s: float = 30.0
     max_shard_retries: int = 2
     poll_interval_s: float = 0.02
+    #: Throttle for ``supervisor.tick`` flight-recorder events (one per
+    #: live worker per interval) when an events journal is wired.
+    tick_interval_s: float = 0.5
 
     def __post_init__(self) -> None:
         if self.shard_timeout_s <= 0:
@@ -98,13 +115,15 @@ class _HeartbeatCheckpoint:
     """A checkpoint decorator that pings the supervisor per contract.
 
     Wraps the worker's real :class:`SweepCheckpoint`: every record is
-    written through (durability first), then one heartbeat is emitted.
-    The restore surface is delegated so ``analyze_all`` sees a normal
-    checkpoint.
+    written through (durability first), then one heartbeat is emitted
+    carrying the completed-count so far — the parent uses it both for
+    staleness detection and for the per-shard progress it journals in
+    ``supervisor.tick`` events.  The restore surface is delegated so
+    ``analyze_all`` sees a normal checkpoint.
     """
 
     def __init__(self, inner: SweepCheckpoint,
-                 beat: Callable[[], None]) -> None:
+                 beat: Callable[[int], None]) -> None:
         self._inner = inner
         self._beat = beat
 
@@ -130,15 +149,15 @@ class _HeartbeatCheckpoint:
     # Recording surface (one heartbeat per completed contract).
     def record_analysis(self, analysis) -> None:
         self._inner.record_analysis(analysis)
-        self._beat()
+        self._beat(len(self._inner.completed))
 
     def record_failure(self, failure) -> None:
         self._inner.record_failure(failure)
-        self._beat()
+        self._beat(len(self._inner.completed))
 
     def record_skip(self, address: bytes) -> None:
         self._inner.record_skip(address)
-        self._beat()
+        self._beat(len(self._inner.completed))
 
     def close(self) -> None:
         self._inner.close()
@@ -151,40 +170,56 @@ def _supervised_worker(task: tuple, heartbeat_queue) -> None:
     ``os.replace``\\ d), not through a queue: a worker killed mid-transfer
     must never corrupt the parent's channel, and an ``os._exit`` mid-write
     leaves only an invisible temp file.  The heartbeat queue carries only
-    the task id — small enough for atomic pipe writes.
+    ``(task_id, completed_count)`` — small enough for atomic pipe writes.
+
+    ``events_path`` (optional, last tuple slot) names this attempt's
+    *private* flight-recorder journal: the worker narrates its pipeline
+    and breaker events there, one flushed line each, and the parent folds
+    the file into the merged journal after reaping the process — so even
+    an ``os._exit`` or SIGKILL loses at most one half-written line, which
+    the tail-tolerant reader drops.
     """
     (spec, task_id, shard_index, addresses, checkpoint_path, resume,
-     result_path) = task
+     result_path, events_path) = task
 
-    def beat() -> None:
+    def beat(completed: int = 0) -> None:
         try:
-            heartbeat_queue.put(task_id)
+            heartbeat_queue.put((task_id, completed))
         except (OSError, ValueError):
             pass  # parent gone; finishing the shard is still useful
 
     beat()  # alive before the (possibly slow) world build
     from repro.parallel.engine import _analyze_shard, _world_for
 
+    journal: EventJournal | None = None
+    events = NULL_RECORDER
+    if events_path is not None:
+        journal = EventJournal.create(events_path)
+        events = EventRecorder(sinks=(journal,), shard=shard_index)
     try:
-        world = _world_for(spec)
-        proxion = spec.build_proxion(world)
-        beat()  # world built, analysis starting
-
-        if resume and os.path.exists(checkpoint_path):
-            inner = SweepCheckpoint.resume(checkpoint_path, addresses)
-        else:
-            inner = SweepCheckpoint.start(checkpoint_path, addresses)
-        checkpoint = _HeartbeatCheckpoint(inner, beat)
         try:
-            result = _analyze_shard(proxion, shard_index, addresses,
-                                    checkpoint)
-        finally:
-            checkpoint.close()
-    except ConfigurationError as error:
-        # Misconfiguration (e.g. a mismatched checkpoint fingerprint) is
-        # NOT a crash: respawning or bisecting would silently "heal" an
-        # operator mistake.  Ship it to the parent, which fails loudly.
-        result = {"fatal": str(error)}
+            world = _world_for(spec)
+            proxion = spec.build_proxion(world, events=events)
+            beat()  # world built, analysis starting
+
+            if resume and os.path.exists(checkpoint_path):
+                inner = SweepCheckpoint.resume(checkpoint_path, addresses)
+            else:
+                inner = SweepCheckpoint.start(checkpoint_path, addresses)
+            checkpoint = _HeartbeatCheckpoint(inner, beat)
+            try:
+                result = _analyze_shard(proxion, shard_index, addresses,
+                                        checkpoint)
+            finally:
+                checkpoint.close()
+        except ConfigurationError as error:
+            # Misconfiguration (e.g. a mismatched checkpoint fingerprint) is
+            # NOT a crash: respawning or bisecting would silently "heal" an
+            # operator mistake.  Ship it to the parent, which fails loudly.
+            result = {"fatal": str(error)}
+    finally:
+        if journal is not None:
+            journal.close()
 
     tmp_path = result_path + ".tmp"
     with open(tmp_path, "w", encoding="utf-8") as stream:
@@ -210,6 +245,8 @@ class _Running:
     process: Any
     task: _Task
     last_beat: float
+    events_path: str | None = None   # this attempt's private journal
+    completed: int = 0               # last heartbeat's completed-count
 
 
 def _empty_result(shard: int) -> dict[str, Any]:
@@ -258,13 +295,18 @@ def run_supervised_sweep(spec, *,
                          resume: bool = False,
                          world: Any = None,
                          config: SupervisorConfig | None = None,
-                         progress: Callable[[str], None] | None = None):
+                         progress: Callable[[str], None] | None = None,
+                         events_path: str | None = None):
     """Run one landscape sweep under supervision and merge deterministically.
 
     The drop-in process backend of
     :func:`repro.parallel.engine.run_sharded_sweep` — same parameters plus
-    ``config``.  Returns the same :class:`~repro.parallel.engine.ShardedSweepResult`
-    (with its supervision fields populated).
+    ``config`` and ``events_path``.  ``events_path``, when set, is where
+    the merged ``repro.events/1`` flight-recorder journal is written
+    (typically next to the checkpoint); ``repro status`` / ``repro tail``
+    and the ``/healthz`` probe read it live.  Returns the same
+    :class:`~repro.parallel.engine.ShardedSweepResult` (with its
+    supervision fields populated).
     """
     # Imported here, not at module top: engine imports this module lazily
     # and the two would otherwise be circular.
@@ -298,6 +340,15 @@ def run_supervised_sweep(spec, *,
     say(f"sweeping {len(addresses)} contracts across {workers} supervised "
         f"shard(s), strategy={strategy}, timeout={config.shard_timeout_s}s, "
         f"retries={config.max_shard_retries}")
+
+    journal: EventJournal | None = None
+    events = NULL_RECORDER
+    if events_path is not None:
+        journal = EventJournal.create(events_path)
+        events = EventRecorder(sinks=(journal,))
+    events.emit(ev.SWEEP_START, contracts=len(addresses), workers=workers,
+                strategy=strategy, chaos=spec.chaos,
+                timeout_s=config.shard_timeout_s)
 
     # Every supervised shard checkpoints — respawn-with-resume depends on
     # it.  Callers that did not ask for durable checkpoints get throwaway
@@ -344,13 +395,43 @@ def run_supervised_sweep(spec, *,
 
     def launch(task: _Task) -> None:
         stats.worker_launches += 1
+        worker_events = None
+        if journal is not None:
+            # One private journal per attempt: a respawn must not append
+            # to (or clobber mid-read) its predecessor's file.
+            worker_events = os.path.join(
+                workdir,
+                f"task{task.task_id:03d}.a{task.attempts}.events.jsonl")
         payload = (spec, task.task_id, task.shard, task.addresses,
-                   task.checkpoint_path, task.resume, result_path_of(task))
+                   task.checkpoint_path, task.resume, result_path_of(task),
+                   worker_events)
         process = context.Process(target=_supervised_worker,
                                   args=(payload, heartbeats), daemon=True)
         process.start()
         running[task.task_id] = _Running(process=process, task=task,
-                                         last_beat=time.monotonic())
+                                         last_beat=time.monotonic(),
+                                         events_path=worker_events)
+        events.emit(ev.WORKER_SPAWN, shard=task.shard, task=task.task_id,
+                    attempt=task.attempts, depth=task.depth,
+                    total=len(task.addresses), worker_pid=process.pid)
+
+    def ingest_worker_journal(worker: _Running) -> None:
+        """Fold a reaped worker's private journal into the merged one.
+
+        Runs precisely when workers may have died ungracefully, so it
+        tolerates everything a crash leaves behind: no file (died before
+        the header fsync), or a truncated final line (dropped by the
+        tail-tolerant reader).  Events are re-emitted verbatim — the
+        worker's own pid/mono/seq provenance is the merge key.
+        """
+        if journal is None or worker.events_path is None:
+            return
+        try:
+            loaded = ev.read_journal(worker.events_path)
+        except (ConfigurationError, OSError):
+            return
+        for event in loaded.events:
+            journal.append_record(event.to_dict())
 
     def collect(task: _Task) -> bool:
         """Ingest a finished worker's result file; False if it is unusable."""
@@ -381,6 +462,9 @@ def run_supervised_sweep(spec, *,
         result = _empty_result(task.shard)
         result["failures"] = [failure_to_dict(failure)]
         results.append(result)
+        events.emit(ev.SUPERVISOR_QUARANTINE, shard=task.shard,
+                    task=task.task_id, address="0x" + address.hex(),
+                    error=str(error))
         say(f"poison contract 0x{address.hex()} quarantined "
             f"({error})")
 
@@ -389,6 +473,10 @@ def run_supervised_sweep(spec, *,
         salvaged, completed = _salvage(task)
         if salvaged["analyses"] or salvaged["failures"]:
             results.append(salvaged)
+            events.emit(ev.SUPERVISOR_SALVAGE, shard=task.shard,
+                        task=task.task_id,
+                        analyses=len(salvaged["analyses"]),
+                        failures=len(salvaged["failures"]))
         remaining = [address for address in task.addresses
                      if address not in completed]
         if not remaining:
@@ -398,6 +486,9 @@ def run_supervised_sweep(spec, *,
             return
         stats.bisections += 1
         middle = len(remaining) // 2
+        events.emit(ev.SUPERVISOR_BISECT, shard=task.shard,
+                    task=task.task_id, pending=len(remaining),
+                    depth=task.depth)
         say(f"bisecting shard {task.shard} (depth {task.depth}): "
             f"{len(remaining)} contracts still pending after "
             f"{task.attempts} failures")
@@ -409,12 +500,16 @@ def run_supervised_sweep(spec, *,
         if task.attempts <= config.max_shard_retries:
             stats.respawns += 1
             task.resume = True  # pick up from the shard's own checkpoint
+            events.emit(ev.WORKER_RESPAWN, shard=task.shard,
+                        task=task.task_id, attempt=task.attempts,
+                        error=str(error))
             say(f"worker for shard {task.shard} died ({error}); respawn "
                 f"{task.attempts}/{config.max_shard_retries}")
             pending.append(task)
         else:
             escalate(task, error)
 
+    last_tick = time.monotonic()
     try:
         while pending or running:
             while pending and len(running) < workers:
@@ -424,14 +519,26 @@ def run_supervised_sweep(spec, *,
             # collected or killed — are simply ignored).
             while True:
                 try:
-                    task_id = heartbeats.get_nowait()
+                    task_id, completed = heartbeats.get_nowait()
                 except queue_module.Empty:
                     break
                 worker = running.get(task_id)
                 if worker is not None:
                     worker.last_beat = time.monotonic()
+                    if completed > worker.completed:
+                        worker.completed = completed
 
             now = time.monotonic()
+            if (events.enabled and running
+                    and now - last_tick >= config.tick_interval_s):
+                last_tick = now
+                for worker in running.values():
+                    events.emit(ev.SUPERVISOR_TICK, shard=worker.task.shard,
+                                task=worker.task.task_id,
+                                completed=worker.completed,
+                                total=len(worker.task.addresses),
+                                lag_s=round(now - worker.last_beat, 3))
+
             for task_id in list(running):
                 worker = running[task_id]
                 process, task = worker.process, worker.task
@@ -439,8 +546,15 @@ def run_supervised_sweep(spec, *,
                 if exitcode is not None:
                     process.join()
                     del running[task_id]
+                    ingest_worker_journal(worker)
                     if exitcode == 0 and collect(task):
+                        events.emit(ev.WORKER_EXIT, shard=task.shard,
+                                    task=task.task_id, exitcode=0,
+                                    clean=True, completed=worker.completed)
                         continue
+                    events.emit(ev.WORKER_EXIT, shard=task.shard,
+                                task=task.task_id, exitcode=exitcode,
+                                clean=False, completed=worker.completed)
                     on_failure(task, WorkerCrash(
                         f"worker exited with code {exitcode}"
                         + ("" if exitcode else " without a result"),
@@ -458,6 +572,10 @@ def run_supervised_sweep(spec, *,
                         process.kill()
                         process.join()
                     del running[task_id]
+                    ingest_worker_journal(worker)
+                    events.emit(ev.WORKER_HUNG_KILL, shard=task.shard,
+                                task=task.task_id, lag_s=round(lag, 3),
+                                completed=worker.completed)
                     on_failure(task, WorkerCrash(
                         f"worker hung (heartbeat {lag:.2f}s > "
                         f"shard timeout {config.shard_timeout_s}s)",
@@ -486,11 +604,21 @@ def run_supervised_sweep(spec, *,
     metrics.counter("parallel.respawns").inc(stats.respawns)
     metrics.counter("parallel.hung_kills").inc(stats.hung_kills)
     metrics.counter("parallel.poison_contracts").inc(stats.poison_contracts)
+    metrics.counter("parallel.bisections").inc(stats.bisections)
     metrics.gauge("parallel.heartbeat_lag_seconds").max(
         stats.max_heartbeat_lag_s)
     if stats.poison_contracts:
         metrics.counter("pipeline.quarantined", cause="worker-crash").inc(
             stats.poison_contracts)
+
+    events.emit(ev.SWEEP_END, analyses=len(report.analyses),
+                failures=len(report.failures), respawns=stats.respawns,
+                hung_kills=stats.hung_kills,
+                poison_contracts=stats.poison_contracts,
+                bisections=stats.bisections,
+                wall_s=round(time.perf_counter() - wall_start, 6))
+    if journal is not None:
+        journal.close()
 
     shards = [ShardStats(shard=index, addresses=len(partition),
                          wall_s=shard_wall.get(index, 0.0),

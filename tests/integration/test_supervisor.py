@@ -140,6 +140,62 @@ def test_hung_worker_is_killed_and_recovered(spec, world, serial) -> None:
         == len(serial["contracts"]) + len(serial["failures"])
 
 
+def test_flight_recorder_replays_the_supervised_lifecycle(spec, world,
+                                                          tmp_path) -> None:
+    """The merged journal narrates everything the registry counts: every
+    respawn, bisection and quarantine has its event, worker lifecycles
+    close, and the live console renders even a mid-write journal."""
+    from repro.obs import events as ev
+    from repro.obs.console import journal_health, journal_snapshot, \
+        render_status
+
+    journal_path = str(tmp_path / "sweep.events.jsonl")
+    chaotic = SweepSpec(total=TOTAL, seed=SEED, chaos="worker-poison",
+                        chaos_seed=99)
+    result = run_sharded_sweep(chaotic, workers=3, world=world,
+                               processes=True, events_path=journal_path,
+                               supervise=SupervisorConfig(**FAST))
+
+    loaded = ev.read_journal(journal_path)
+    assert loaded.header["schema"] == ev.SCHEMA
+    assert loaded.truncated_tail == 0
+    kinds: dict[str, int] = {}
+    for event in loaded.events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    assert kinds[ev.SWEEP_START] == 1 and kinds[ev.SWEEP_END] == 1
+    assert kinds.get(ev.WORKER_RESPAWN, 0) == result.respawns
+    assert kinds.get(ev.WORKER_HUNG_KILL, 0) == result.hung_kills
+    assert kinds.get(ev.SUPERVISOR_QUARANTINE, 0) == result.poison_contracts
+    assert kinds.get(ev.SUPERVISOR_BISECT, 0) \
+        == result.metrics.counter_value("parallel.bisections")
+    # Every spawned worker's lifecycle closes with an exit or a kill.
+    assert kinds[ev.WORKER_SPAWN] == kinds.get(ev.WORKER_EXIT, 0) \
+        + kinds.get(ev.WORKER_HUNG_KILL, 0)
+    # Workers' own pipeline events were folded in with their provenance.
+    pids = {event.pid for event in loaded.events
+            if event.kind == ev.PIPELINE_START}
+    assert len(pids) > 1
+
+    quarantined = {event.attrs["address"] for event in loaded.events
+                   if event.kind == ev.SUPERVISOR_QUARANTINE}
+    assert quarantined == {record["address"]
+                           for record in _merged(result)["failures"]}
+
+    status = journal_snapshot(journal_path)
+    assert status.finished
+    assert status.quarantined >= result.poison_contracts
+    assert "sweep finished" in render_status(status)
+    assert journal_health(journal_path, hung_after_s=0.001)["healthy"]
+
+    # A reader racing the writer sees a prefix, possibly cut mid-line:
+    # the console must still render it (checkpoint tail-tolerance rules).
+    payload = open(journal_path, "rb").read()
+    partial = str(tmp_path / "partial.events.jsonl")
+    with open(partial, "wb") as stream:
+        stream.write(payload[:len(payload) * 2 // 3])
+    assert render_status(journal_snapshot(partial))
+
+
 def test_supervised_checkpoints_use_shard_naming(spec, world,
                                                  tmp_path) -> None:
     base = str(tmp_path / "sweep.ckpt")

@@ -1,0 +1,153 @@
+"""The flight recorder: journal durability, ordering, recorder, read side."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import (
+    EVENT_KINDS,
+    NULL_RECORDER,
+    SCHEMA,
+    SUPERVISOR_TICK,
+    SWEEP_START,
+    WORKER_SPAWN,
+    Event,
+    EventJournal,
+    EventRecorder,
+    read_header,
+    read_journal,
+    total_order,
+)
+
+
+def test_create_writes_fsynced_schema_header(tmp_path) -> None:
+    path = str(tmp_path / "sweep.events.jsonl")
+    with EventJournal.create(path):
+        pass
+    header = read_header(path)
+    assert header["schema"] == SCHEMA
+    assert header["pid"] == os.getpid()
+    assert header["created_unix"] > 0
+
+
+def test_recorder_stamps_provenance_and_sequence(tmp_path) -> None:
+    path = str(tmp_path / "sweep.events.jsonl")
+    with EventJournal.create(path) as journal:
+        recorder = EventRecorder(sinks=(journal,), shard=3)
+        first = recorder.emit(WORKER_SPAWN, attempt=1)
+        second = recorder.emit(SUPERVISOR_TICK, shard=5, completed=7)
+    loaded = read_journal(path)
+    assert [event.kind for event in loaded.events] == [WORKER_SPAWN,
+                                                       SUPERVISOR_TICK]
+    assert first.pid == second.pid == os.getpid()
+    assert (first.seq, second.seq) == (0, 1)
+    assert first.shard == 3          # the recorder's default shard
+    assert second.shard == 5         # per-emit override wins
+    assert second.mono >= first.mono
+    assert loaded.events[0].attrs == {"attempt": 1}
+
+
+def test_event_dict_round_trip_omits_empty_fields() -> None:
+    bare = Event(kind=SWEEP_START, ts=1.25, mono=2.5, pid=42, seq=0)
+    record = bare.to_dict()
+    assert "shard" not in record and "attrs" not in record
+    assert Event.from_dict(record) == bare
+    rich = Event(kind=WORKER_SPAWN, ts=1.0, mono=2.0, pid=1, seq=9,
+                 shard=0, attrs={"attempt": 2})
+    assert Event.from_dict(rich.to_dict()) == rich
+
+
+def test_total_order_merges_writers_by_mono_pid_seq() -> None:
+    events = [
+        Event(kind="b", ts=0, mono=2.0, pid=10, seq=0),
+        Event(kind="d", ts=0, mono=3.0, pid=10, seq=1),
+        Event(kind="a", ts=0, mono=1.0, pid=20, seq=0),
+        Event(kind="c", ts=0, mono=2.0, pid=20, seq=0),  # mono tie: pid
+        Event(kind="e", ts=0, mono=3.0, pid=10, seq=0),  # pid tie: seq
+    ]
+    assert [e.kind for e in total_order(events)] == ["a", "b", "c", "e", "d"]
+
+
+def test_non_json_attribute_degrades_to_repr(tmp_path) -> None:
+    path = str(tmp_path / "sweep.events.jsonl")
+    with EventJournal.create(path) as journal:
+        recorder = EventRecorder(sinks=(journal,))
+        recorder.emit(WORKER_SPAWN, payload=object(), addr=b"\x01\x02")
+    (event,) = read_journal(path).events
+    assert "object object" in event.attrs["payload"]
+    assert event.attrs["addr"] == repr(b"\x01\x02")
+
+
+def test_truncated_final_line_is_dropped_and_counted(tmp_path) -> None:
+    path = str(tmp_path / "sweep.events.jsonl")
+    with EventJournal.create(path) as journal:
+        recorder = EventRecorder(sinks=(journal,))
+        recorder.emit(SWEEP_START, contracts=10)
+        recorder.emit(WORKER_SPAWN, shard=0)
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.write('{"kind":"worker.exit","ts":1.0,"mo')  # kill -9 here
+    loaded = read_journal(path)
+    assert [event.kind for event in loaded.events] == [SWEEP_START,
+                                                       WORKER_SPAWN]
+    assert loaded.truncated_tail == 1
+
+
+def test_corruption_before_the_tail_refuses_loudly(tmp_path) -> None:
+    path = str(tmp_path / "sweep.events.jsonl")
+    with EventJournal.create(path) as journal:
+        recorder = EventRecorder(sinks=(journal,))
+        recorder.emit(SWEEP_START)
+        recorder.emit(WORKER_SPAWN, shard=0)
+    lines = open(path, encoding="utf-8").read().splitlines()
+    lines[1] = lines[1][:10]  # garble a NON-final line
+    open(path, "w", encoding="utf-8").write("\n".join(lines) + "\n")
+    with pytest.raises(ConfigurationError, match="corrupt at line 2"):
+        read_journal(path)
+
+
+def test_append_to_continues_an_existing_journal(tmp_path) -> None:
+    path = str(tmp_path / "sweep.events.jsonl")
+    with EventJournal.create(path) as journal:
+        EventRecorder(sinks=(journal,)).emit(SWEEP_START)
+    with EventJournal.append_to(path) as journal:
+        journal.append_record({"kind": WORKER_SPAWN, "ts": 1.0, "mono": 2.0,
+                               "pid": 7, "seq": 0, "shard": 1})
+    loaded = read_journal(path)
+    assert [event.kind for event in loaded.events] == [SWEEP_START,
+                                                       WORKER_SPAWN]
+    assert loaded.events[1].pid == 7  # provenance preserved verbatim
+
+
+def test_read_rejects_missing_empty_and_foreign_files(tmp_path) -> None:
+    with pytest.raises(ConfigurationError, match="cannot read"):
+        read_header(str(tmp_path / "absent.jsonl"))
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ConfigurationError, match="empty"):
+        read_header(str(empty))
+    foreign = tmp_path / "foreign.jsonl"
+    foreign.write_text('{"schema":"repro.checkpoint/1"}\n')
+    with pytest.raises(ConfigurationError, match="expected"):
+        read_journal(str(foreign))
+    garbled = tmp_path / "garbled.jsonl"
+    garbled.write_text("not json\n")
+    with pytest.raises(ConfigurationError, match="unreadable header"):
+        read_header(str(garbled))
+
+
+def test_null_recorder_is_inert() -> None:
+    assert NULL_RECORDER.enabled is False
+    event = NULL_RECORDER.emit(WORKER_SPAWN, shard=9, huge="attr")
+    assert event.kind == "null"
+    assert NULL_RECORDER.emit(SWEEP_START) is event  # constant, no alloc
+
+
+def test_taxonomy_kinds_are_unique_and_namespaced() -> None:
+    assert len(set(EVENT_KINDS)) == len(EVENT_KINDS)
+    for kind in EVENT_KINDS:
+        namespace, _, name = kind.partition(".")
+        assert namespace and name, kind

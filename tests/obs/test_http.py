@@ -1,0 +1,147 @@
+"""The /metrics, /healthz, /progress HTTP surface (ObsServer)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.events import (
+    SUPERVISOR_TICK,
+    SWEEP_END,
+    SWEEP_START,
+    WORKER_SPAWN,
+    Event,
+    EventJournal,
+)
+from repro.obs.export import to_prometheus
+from repro.obs.http import ObsServer
+from repro.obs.registry import MetricsRegistry
+
+
+def _get(url: str) -> tuple[int, dict, bytes]:
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("rpc.calls", method="eth_getStorageAt").inc(17)
+    registry.gauge("parallel.heartbeat_lag_seconds").max(0.4)
+    registry.histogram("span.seconds", name="proxy_check").observe(0.02)
+    return registry
+
+
+def _finished_journal(tmp_path) -> str:
+    path = str(tmp_path / "sweep.events.jsonl")
+    with EventJournal.create(path) as journal:
+        journal.on_event(Event(kind=SWEEP_START, ts=1.0, mono=1.0, pid=9,
+                               seq=0, attrs={"contracts": 4, "workers": 1}))
+        journal.on_event(Event(kind=SWEEP_END, ts=2.0, mono=2.0, pid=9,
+                               seq=1, attrs={"analyses": 4, "failures": 0}))
+    return path
+
+
+def test_metrics_is_byte_identical_to_the_exporter(registry) -> None:
+    with ObsServer(registry) as server:
+        status, headers, body = _get(server.url + "/metrics")
+    assert status == 200
+    assert headers["Content-Type"] == "text/plain; version=0.0.4; " \
+                                      "charset=utf-8"
+    assert body == to_prometheus(registry).encode("utf-8")
+
+
+def test_registry_can_be_a_callable_resolved_per_request(registry) -> None:
+    holder = {"registry": MetricsRegistry()}
+    with ObsServer(lambda: holder["registry"]) as server:
+        _, _, before = _get(server.url + "/metrics")
+        holder["registry"] = registry  # the CLI swaps in the merged one
+        _, _, after = _get(server.url + "/metrics")
+    assert before != after
+    assert after == to_prometheus(registry).encode("utf-8")
+
+
+def test_healthz_without_a_journal_is_healthy(registry) -> None:
+    with ObsServer(registry) as server:
+        status, _, body = _get(server.url + "/healthz")
+    assert status == 200
+    assert json.loads(body) == {"healthy": True,
+                                "reason": "no journal configured"}
+
+
+def test_healthz_200_for_a_finished_sweep(registry, tmp_path) -> None:
+    path = _finished_journal(tmp_path)
+    with ObsServer(registry, journal_path=path) as server:
+        status, _, body = _get(server.url + "/healthz")
+    assert status == 200
+    assert json.loads(body)["reason"] == "sweep finished"
+
+
+def test_healthz_503_when_a_worker_heartbeat_is_stale(registry,
+                                                      tmp_path) -> None:
+    path = str(tmp_path / "hung.events.jsonl")
+    with EventJournal.create(path) as journal:
+        journal.on_event(Event(kind=SWEEP_START, ts=1.0, mono=0.5, pid=9,
+                               seq=0, attrs={"contracts": 4, "workers": 1}))
+        # mono=1.0 is aeons behind the live monotonic clock the health
+        # check reads, so this last tick is maximally stale.
+        journal.on_event(Event(kind=SUPERVISOR_TICK, ts=1.0, mono=1.0,
+                               pid=9, seq=1, shard=0,
+                               attrs={"completed": 1, "lag_s": 0.0}))
+    with ObsServer(registry, journal_path=path, hung_after_s=5.0) as server:
+        status, _, body = _get(server.url + "/healthz")
+    assert status == 503
+    verdict = json.loads(body)
+    assert not verdict["healthy"]
+    assert "exceeds 5.0s" in verdict["reason"]
+
+
+def test_progress_serves_the_snapshot_json(registry, tmp_path) -> None:
+    path = str(tmp_path / "live.events.jsonl")
+    with EventJournal.create(path) as journal:
+        journal.on_event(Event(kind=SWEEP_START, ts=1.0, mono=1.0, pid=9,
+                               seq=0, attrs={"contracts": 6, "workers": 2}))
+        journal.on_event(Event(kind=WORKER_SPAWN, ts=1.1, mono=1.1, pid=9,
+                               seq=1, shard=0,
+                               attrs={"total": 3, "depth": 0}))
+    with ObsServer(registry, journal_path=path) as server:
+        status, headers, body = _get(server.url + "/progress")
+    assert status == 200
+    assert headers["Content-Type"] == "application/json"
+    progress = json.loads(body)
+    assert progress["started"] and not progress["finished"]
+    assert progress["contracts"] == 6
+    assert progress["shards"]["0"]["state"] == "running"
+
+
+def test_progress_404_without_a_journal_503_when_unreadable(
+        registry, tmp_path) -> None:
+    with ObsServer(registry) as server:
+        status, _, _ = _get(server.url + "/progress")
+        assert status == 404
+    absent = str(tmp_path / "absent.events.jsonl")
+    with ObsServer(registry, journal_path=absent) as server:
+        status, _, body = _get(server.url + "/progress")
+    assert status == 503
+    assert "error" in json.loads(body)
+
+
+def test_unknown_path_is_404_and_server_survives(registry) -> None:
+    with ObsServer(registry) as server:
+        status, _, body = _get(server.url + "/nope")
+        assert status == 404
+        assert b"/metrics" in body
+        status, _, _ = _get(server.url + "/metrics")  # still serving
+        assert status == 200
+
+
+def test_ephemeral_port_and_url(registry) -> None:
+    with ObsServer(registry, port=0) as server:
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}"

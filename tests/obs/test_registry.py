@@ -191,6 +191,45 @@ def test_merge_with_mismatched_bounds_overflows_and_counts_it() -> None:
                                 name="lat") == 1
 
 
+def test_merge_with_disjoint_label_sets_keeps_series_apart() -> None:
+    """Shards that only ever touched different label values must merge
+    into distinct series, never cross-pollinate each other's tallies."""
+    left, right = MetricsRegistry(), MetricsRegistry()
+    left.counter("rpc.calls", method="eth_getCode").inc(3)
+    left.gauge("lag", shard="0").max(0.7)
+    right.counter("rpc.calls", method="eth_getStorageAt").inc(5)
+    right.counter("pipeline.quarantined", cause="worker-crash").inc(1)
+    right.gauge("lag", shard="1").max(0.2)
+    merged = MetricsRegistry()
+    merged.merge_from(left)
+    merged.merge_from(right)
+    assert merged.counter_value("rpc.calls", method="eth_getCode") == 3
+    assert merged.counter_value("rpc.calls", method="eth_getStorageAt") == 5
+    assert merged.counter_total("rpc.calls") == 8
+    assert merged.counter_value("pipeline.quarantined",
+                                cause="worker-crash") == 1
+    assert merged.gauge("lag", shard="0").value == 0.7
+    assert merged.gauge("lag", shard="1").value == 0.2
+    assert len(merged.counters_named("rpc.calls")) == 2
+
+
+def test_heartbeat_lag_gauge_merges_as_cross_process_high_water() -> None:
+    """Each supervisor attempt records its worst heartbeat lag; the
+    merged registry must report the worst across all of them, not the
+    last one merged (the sweep-level 'how stale did it ever get')."""
+    attempts = []
+    for worst in (0.3, 2.9, 1.1):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("parallel.heartbeat_lag_seconds")
+        gauge.max(worst * 0.5)      # lag climbs within an attempt...
+        gauge.max(worst)            # ...to that attempt's worst reading
+        attempts.append(registry.state())
+    merged = MetricsRegistry()
+    for state in attempts:
+        merged.merge_state(state)
+    assert merged.gauge("parallel.heartbeat_lag_seconds").value == 2.9
+
+
 def test_merge_into_null_registry_is_a_no_op() -> None:
     source = MetricsRegistry()
     source.counter("c").inc(5)

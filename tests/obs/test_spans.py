@@ -117,6 +117,19 @@ def test_add_sink_after_construction() -> None:
     assert ring.named("late")
 
 
+def test_jsonl_sink_survives_non_json_attributes() -> None:
+    """A live sweep must never die on a non-JSON span attribute — it
+    degrades to its repr in the trace (same rule as the event journal)."""
+    stream = io.StringIO()
+    sink = JsonLinesSink(stream)
+    tracer = SpanTracer(sinks=(sink,))
+    with tracer.span("risky", payload=object(), raw=b"\x00\x01"):
+        pass
+    record = json.loads(stream.getvalue())
+    assert "object object" in record["attributes"]["payload"]
+    assert record["attributes"]["raw"] == repr(b"\x00\x01")
+
+
 def test_null_tracer_is_inert() -> None:
     tracer = NullSpanTracer()
     with tracer.span("anything", huge="attr") as span:

@@ -221,6 +221,66 @@ def test_survey_parallel_chaos_matches_clean_sweep(capsys) -> None:
     assert chaotic == baseline
 
 
+def test_survey_events_journal_status_and_tail(tmp_path, capsys) -> None:
+    import json
+    journal = str(tmp_path / "sweep.events.jsonl")
+    assert main(["survey", "--total", "30", "--seed", "5",
+                 "--events", journal]) == 0
+    capsys.readouterr()
+
+    assert main(["status", journal]) == 0
+    rendered = capsys.readouterr().out
+    assert "sweep finished" in rendered
+
+    assert main(["status", journal, "--json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["finished"] and snapshot["started"]
+    assert snapshot["events"] > 0
+
+    assert main(["tail", journal]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert any("sweep.start" in line for line in lines)
+    assert any("sweep.end" in line for line in lines)
+
+
+def test_survey_parallel_events_journal_merges_workers(tmp_path,
+                                                       capsys) -> None:
+    from repro.obs.events import SWEEP_END, read_journal
+    journal = str(tmp_path / "sweep.events.jsonl")
+    assert main(["survey", "--total", "24", "--seed", "7", "--workers", "2",
+                 "--events", journal]) == 0
+    loaded = read_journal(journal)
+    assert {event.kind for event in loaded.events} >= {"sweep.start",
+                                                       "worker.spawn",
+                                                       SWEEP_END}
+    # Worker pipeline events keep their own pid in the merged journal.
+    assert len({event.pid for event in loaded.events}) > 1
+
+
+def test_survey_serve_obs_announces_url(tmp_path, capsys) -> None:
+    journal = str(tmp_path / "sweep.events.jsonl")
+    assert main(["survey", "--total", "20", "--seed", "3",
+                 "--events", journal, "--serve-obs", "0"]) == 0
+    assert "obs: serving /metrics /healthz /progress at http://127.0.0.1:" \
+        in capsys.readouterr().out
+
+
+def test_survey_events_unwritable_path_errors(tmp_path, capsys) -> None:
+    assert main(["survey", "--total", "20",
+                 "--events", str(tmp_path / "no-dir" / "x.jsonl")]) == 2
+    assert "cannot write --events journal" in capsys.readouterr().err
+
+
+def test_status_and_tail_reject_bad_journals(tmp_path, capsys) -> None:
+    absent = str(tmp_path / "absent.jsonl")
+    assert main(["status", absent]) == 2
+    assert "error:" in capsys.readouterr().err
+    foreign = tmp_path / "foreign.jsonl"
+    foreign.write_text('{"schema":"repro.checkpoint/1"}\n')
+    assert main(["tail", str(foreign)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
 def test_accuracy_metrics_prom_and_trace(tmp_path, capsys) -> None:
     prom = tmp_path / "acc.prom"
     trace = tmp_path / "acc.jsonl"

@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""CI gate: the flight recorder narrates the whole supervised lifecycle.
+
+Runs one crash-injected supervised sweep with an events journal and
+asserts the ``repro.events/1`` contract (docs/observability.md, "Flight
+recorder & live ops"):
+
+1. **Journal completeness** — every supervision act counted in the
+   merged registry has its matching journal event: spawns ==
+   ``worker.spawn`` events, respawns == ``worker.respawn``, hung kills ==
+   ``worker.hung-kill``, bisections == ``supervisor.bisect``, and every
+   quarantined address in the report appears in exactly one
+   ``supervisor.quarantine`` event (and vice versa) — the full
+   spawn→crash→respawn→bisect→quarantine replay.
+2. **Live console safety** — ``repro status`` must render a journal that
+   a sweep is concurrently appending to: every prefix of the journal
+   (including ones cut mid-line) snapshots and renders without error.
+3. **HTTP surface** — ``GET /metrics`` is byte-identical to
+   ``to_prometheus`` over the merged registry; ``/healthz`` answers 200
+   for the finished sweep and flips to 503 for a journal whose last
+   worker tick is stale (a hung worker); ``/progress`` parses as JSON
+   and agrees with the journal snapshot.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_events_journal.py \
+        --total 40 --seed 7 --workers 3 --chaos worker-chaos
+
+Exit codes: 0 pass, 1 contract violated, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+import urllib.request
+
+
+def _http_get(url: str) -> tuple[int, bytes]:
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--total", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=3)
+    parser.add_argument("--chaos", default="worker-chaos")
+    parser.add_argument("--chaos-seed", type=int, default=5)
+    parser.add_argument("--shard-timeout", type=float, default=3.0)
+    parser.add_argument("--max-shard-retries", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    from repro.obs import events as ev
+    from repro.obs.console import journal_health, journal_snapshot, \
+        render_status
+    from repro.obs.export import to_prometheus
+    from repro.obs.http import ObsServer
+    from repro.parallel import (
+        SupervisorConfig,
+        SweepSpec,
+        run_sharded_sweep,
+    )
+
+    problems: list[str] = []
+    workdir = tempfile.mkdtemp(prefix="repro-events-gate-")
+    journal_path = os.path.join(workdir, "sweep.events.jsonl")
+
+    spec = SweepSpec(total=args.total, seed=args.seed, chaos=args.chaos,
+                     chaos_seed=args.chaos_seed)
+    config = SupervisorConfig(shard_timeout_s=args.shard_timeout,
+                              max_shard_retries=args.max_shard_retries)
+    result = run_sharded_sweep(spec, workers=args.workers, processes=True,
+                               supervise=config, events_path=journal_path)
+    print(f"sweep: {len(result.report.analyses)} analyses, "
+          f"{len(result.report.failures)} failures, "
+          f"{result.respawns} respawns, {result.hung_kills} hung kills, "
+          f"{result.poison_contracts} poison contracts")
+
+    # ---- 1. journal completeness vs the merged registry -----------------
+    loaded = ev.read_journal(journal_path)
+    kinds: dict[str, int] = {}
+    for event in loaded.events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    print(f"journal: {len(loaded.events)} events "
+          f"({loaded.truncated_tail} truncated), kinds: "
+          f"{dict(sorted(kinds.items()))}")
+
+    if loaded.header.get("schema") != ev.SCHEMA:
+        problems.append(f"journal header schema is "
+                        f"{loaded.header.get('schema')!r}")
+    if kinds.get(ev.SWEEP_START, 0) != 1 or kinds.get(ev.SWEEP_END, 0) != 1:
+        problems.append("journal must record exactly one sweep.start and "
+                        "one sweep.end")
+
+    metrics = result.metrics
+    for counter_name, kind in (("parallel.respawns", ev.WORKER_RESPAWN),
+                               ("parallel.hung_kills", ev.WORKER_HUNG_KILL),
+                               ("parallel.bisections", ev.SUPERVISOR_BISECT),
+                               ("parallel.poison_contracts",
+                                ev.SUPERVISOR_QUARANTINE)):
+        counted = int(metrics.counter_value(counter_name))
+        journaled = kinds.get(kind, 0)
+        if counted != journaled:
+            problems.append(f"{counter_name}={counted} in the registry but "
+                            f"{journaled} {kind!r} event(s) in the journal")
+
+    if result.respawns + result.hung_kills == 0:
+        problems.append(f"fault plan {args.chaos!r} never fired — "
+                        f"wrong seed/scale?")
+
+    quarantined_report = {"0x" + address.hex()
+                          for address in result.report.failures}
+    quarantined_journal = {event.attrs.get("address")
+                           for event in loaded.events
+                           if event.kind == ev.SUPERVISOR_QUARANTINE}
+    if quarantined_report != quarantined_journal:
+        problems.append(f"quarantined addresses diverge: report "
+                        f"{sorted(quarantined_report)} vs journal "
+                        f"{sorted(quarantined_journal)}")
+
+    spawns = kinds.get(ev.WORKER_SPAWN, 0)
+    exits = kinds.get(ev.WORKER_EXIT, 0) + kinds.get(ev.WORKER_HUNG_KILL, 0)
+    if spawns != exits:
+        problems.append(f"{spawns} worker.spawn event(s) but {exits} "
+                        f"exit/hung-kill event(s) — a worker's lifecycle "
+                        f"is not closed")
+
+    ordered = loaded.ordered()
+    if [e.order_key() for e in ordered] != sorted(e.order_key()
+                                                  for e in ordered):
+        problems.append("total_order() is not sorted by (mono, pid, seq)")
+
+    # ---- 2. status renders against a concurrently-written journal ------
+    with open(journal_path, "rb") as stream:
+        payload = stream.read()
+    header_end = payload.index(b"\n") + 1
+    probes = sorted({len(payload), len(payload) // 2,
+                     header_end, header_end + 17,
+                     len(payload) - 9})
+    for cut in probes:
+        if cut < header_end:
+            continue
+        prefix_path = os.path.join(workdir, f"prefix{cut}.events.jsonl")
+        with open(prefix_path, "wb") as stream:
+            stream.write(payload[:cut])
+        try:
+            render_status(journal_snapshot(prefix_path))
+        except Exception as error:
+            problems.append(f"status failed on a {cut}-byte journal prefix "
+                            f"(concurrent-writer simulation): {error}")
+
+    # ---- 3. the HTTP surface -------------------------------------------
+    with ObsServer(metrics, journal_path=journal_path,
+                   hung_after_s=args.shard_timeout * 2) as server:
+        status, body = _http_get(server.url + "/metrics")
+        expected = to_prometheus(metrics).encode("utf-8")
+        if status != 200:
+            problems.append(f"/metrics answered {status}")
+        elif body != expected:
+            problems.append(f"/metrics body diverges from to_prometheus "
+                            f"({len(body)} vs {len(expected)} bytes)")
+        else:
+            print(f"/metrics: byte-identical to the exporter "
+                  f"({len(body)} bytes)")
+
+        status, body = _http_get(server.url + "/healthz")
+        verdict = json.loads(body)
+        if status != 200 or not verdict.get("healthy"):
+            problems.append(f"/healthz should be healthy for a finished "
+                            f"sweep, got {status}: {verdict}")
+
+        status, body = _http_get(server.url + "/progress")
+        progress = json.loads(body)
+        if status != 200 or not progress.get("finished"):
+            problems.append(f"/progress should report the sweep finished, "
+                            f"got {status}: kept keys "
+                            f"{sorted(progress)[:6]}")
+
+    # A journal whose last worker tick is stale must flip /healthz to 503
+    # — the hung-worker signal an external probe restarts the sweep on.
+    hung_path = os.path.join(workdir, "hung.events.jsonl")
+    now = time.monotonic()
+    journal = ev.EventJournal.create(hung_path)
+    recorder = ev.EventRecorder(sinks=(journal,))
+    recorder.emit(ev.SWEEP_START, contracts=10, workers=1)
+    recorder.emit(ev.WORKER_SPAWN, shard=0, task=0, total=10, depth=0)
+    # The last heartbeat was 2 minutes ago: written directly, not via the
+    # recorder, so the journal's newest tick really is stale.
+    stale = ev.Event(kind=ev.SUPERVISOR_TICK, ts=time.time(),
+                     mono=now - 120.0, pid=os.getpid(), seq=99, shard=0,
+                     attrs={"task": 0, "completed": 3, "total": 10,
+                            "lag_s": 0.0})
+    journal.append_record(stale.to_dict())
+    journal.close()
+    verdict = journal_health(hung_path, hung_after_s=args.shard_timeout)
+    if verdict["healthy"]:
+        problems.append(f"journal_health() called a 120s-stale worker "
+                        f"healthy: {verdict}")
+    with ObsServer(metrics, journal_path=hung_path,
+                   hung_after_s=args.shard_timeout) as server:
+        status, body = _http_get(server.url + "/healthz")
+        if status != 503:
+            problems.append(f"/healthz should answer 503 for a hung "
+                            f"worker, got {status}: {body[:200]!r}")
+        else:
+            print("/healthz: flips to 503 for a stale worker heartbeat")
+
+    if problems:
+        print("events journal gate FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"events journal gate passed: {len(loaded.events)} events replay "
+          f"{spawns} spawns, {result.respawns} respawns, "
+          f"{result.hung_kills} hung kills, "
+          f"{int(metrics.counter_value('parallel.bisections'))} bisections, "
+          f"{result.poison_contracts} quarantines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
