@@ -14,7 +14,6 @@ import pytest
 
 from repro.baselines.crush import Crush
 from repro.baselines.uschunt import USCHunt
-from repro.core.pipeline import Proxion
 from repro.core.proxy_detector import NotProxyReason
 
 from conftest import emit

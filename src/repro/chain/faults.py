@@ -31,7 +31,7 @@ from __future__ import annotations
 import hashlib
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import (
     ConfigurationError,
@@ -261,6 +261,10 @@ class FaultyNode:
 
     def year_of(self, block_number: int) -> int:
         return self._node.year_of(block_number)
+
+    def witness_reads(self, trail):
+        """Evidence attribution passes through to the wrapped node."""
+        return self._node.witness_reads(trail)
 
     # -------------------------------------------------------------- injection
     def injected_counts(self) -> dict[str, int]:

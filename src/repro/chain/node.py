@@ -14,10 +14,13 @@ compatibility shim over those registry counters.
 from __future__ import annotations
 
 import dataclasses
+from contextlib import contextmanager
 
 from repro.chain.blockchain import Blockchain, Receipt
 from repro.evm.interpreter import CallResult
 from repro.evm.tracer import LogEvent
+from repro.obs import provenance
+from repro.obs.provenance import NULL_TRAIL, EvidenceTrail
 from repro.obs.registry import Counter, Histogram, MetricsRegistry
 from repro.obs.spans import clock
 
@@ -89,6 +92,21 @@ class ArchiveNode:
         self.call_instruction_budget = (
             call_instruction_budget if call_instruction_budget is not None
             else self.DEFAULT_CALL_INSTRUCTION_BUDGET)
+        # Evidence attribution (repro.obs.provenance): while a trail is
+        # attached via ``witness_reads``, every archive read is recorded
+        # as an ``rpc.read`` observation.  NULL_TRAIL keeps the default
+        # path at one ``enabled`` check per call.
+        self._witness: EvidenceTrail = NULL_TRAIL
+
+    @contextmanager
+    def witness_reads(self, trail: EvidenceTrail):
+        """Attribute every read inside the block to ``trail``."""
+        previous = self._witness
+        self._witness = trail
+        try:
+            yield
+        finally:
+            self._witness = previous
 
     def _observe(self, method: str, start: float) -> None:
         histogram = self._latency.get(method)
@@ -124,6 +142,10 @@ class ArchiveNode:
         else:
             code = self._chain.state.get_code_at(address, block_number)
         self._observe("eth_getCode", start)
+        if self._witness.enabled:
+            self._witness.note(provenance.RPC_READ, method="eth_getCode",
+                               address="0x" + address.hex(),
+                               block=block_number, size=len(code))
         return code
 
     def get_storage_at(self, address: bytes, slot: int,
@@ -135,6 +157,12 @@ class ArchiveNode:
         else:
             word = self._chain.state.get_storage_at(address, slot, block_number)
         self._observe("eth_getStorageAt", start)
+        if self._witness.enabled:
+            self._witness.note(provenance.RPC_READ,
+                               method="eth_getStorageAt",
+                               address="0x" + address.hex(),
+                               slot=hex(slot), block=block_number,
+                               value=hex(word))
         return word
 
     def get_balance(self, address: bytes) -> int:

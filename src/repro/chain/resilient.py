@@ -188,6 +188,12 @@ class ResilientNode:
     def year_of(self, block_number: int) -> int:
         return self._node.year_of(block_number)
 
+    def witness_reads(self, trail):
+        """Evidence attribution passes through to the wrapped node, so an
+        audited sweep records the reads that actually reached the archive
+        (retries included)."""
+        return self._node.witness_reads(trail)
+
     # --------------------------------------------------------------- plumbing
     def _now(self) -> float:
         """Wall clock plus every skipped (virtual) backoff second."""

@@ -11,6 +11,8 @@ Commands:
 * ``status``         — point-in-time snapshot of a sweep's flight-recorder
                        journal (``survey --events``)
 * ``tail``           — stream a sweep's flight-recorder events (``--follow``)
+* ``explain``        — render one contract's ``repro.evidence/1`` trail
+                       (from ``survey --audit DIR``, or freshly recorded)
 * ``mine-selector``  — §2.3: mine a selector collision against a prototype
 """
 
@@ -49,6 +51,11 @@ _OBSERVABILITY_FLAGS: dict[str, dict] = {
         help="write the repro.events/1 flight-recorder journal there; "
              "read it live with `repro status FILE` / `repro tail FILE` "
              "(composes with --workers)"),
+    "--audit": dict(
+        default=None, metavar="DIR",
+        help="record verdict provenance: one repro.evidence/1 file per "
+             "contract in DIR, rendered later by `repro explain ADDR "
+             "--audit DIR` (composes with --workers)"),
     "--serve-obs": dict(
         type=int, default=None, metavar="PORT",
         help="serve /metrics, /healthz and /progress over HTTP on "
@@ -152,6 +159,22 @@ def _survey_impl(args: argparse.Namespace, obs: dict) -> int:
         print("error: --resume requires --checkpoint FILE", file=sys.stderr)
         return 2
 
+    audit = None
+    if args.audit:
+        from repro.errors import ConfigurationError
+        from repro.obs.provenance import AuditDir
+        try:
+            # Fail on an unwritable directory now, not mid-sweep; workers
+            # re-open the same path by name.
+            audit = AuditDir(args.audit)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if not args.json:
+            print(f"audit: recording repro.evidence/1 trails in "
+                  f"{args.audit} (render with `repro explain ADDR "
+                  f"--audit {args.audit}`)")
+
     if args.serve_obs is not None:
         from repro.obs.http import ObsServer
 
@@ -199,7 +222,7 @@ def _survey_impl(args: argparse.Namespace, obs: dict) -> int:
                 world=landscape, checkpoint_path=args.checkpoint,
                 resume=args.resume, supervise=supervise,
                 progress=None if args.json else print,
-                events_path=args.events)
+                events_path=args.events, audit_dir=args.audit)
         except (ConfigurationError, OSError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -248,7 +271,7 @@ def _survey_impl(args: argparse.Namespace, obs: dict) -> int:
         proxion = Proxion(node, registry=landscape.registry,
                           dataset=landscape.dataset,
                           options=options, evm_profiler=flame_profiler,
-                          events=events)
+                          events=events, audit=audit)
         obs["registry"] = proxion.metrics
         if args.trace_jsonl:
             from repro.obs import JsonLinesSink
@@ -406,6 +429,60 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.obs.provenance import AuditDir, EvidenceTrail, render_trail
+
+    try:
+        address = bytes.fromhex(args.address.removeprefix("0x"))
+    except ValueError:
+        print(f"error: {args.address!r} is not a hex address",
+              file=sys.stderr)
+        return 2
+    if len(address) != 20:
+        print(f"error: {args.address!r} is not a 20-byte address",
+              file=sys.stderr)
+        return 2
+
+    if args.audit:
+        # Read-only: render what an audited sweep already persisted.
+        try:
+            trail = AuditDir(args.audit).read(address)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        # No audit dir: record a fresh trail by re-analyzing the address
+        # against the deterministic landscape named by --total/--seed.
+        from repro.chain.profiles import get_profile
+        from repro.core import Proxion, ProxionOptions
+        from repro.corpus import generate_landscape
+
+        if not args.json:
+            print(f"no --audit DIR: re-analyzing 0x{address.hex()} on the "
+                  f"{args.chain} landscape (total={args.total}, "
+                  f"seed={args.seed})...", file=sys.stderr)
+        landscape = generate_landscape(total=args.total, seed=args.seed,
+                                       chain_profile=get_profile(args.chain))
+        proxion = Proxion(landscape.node, registry=landscape.registry,
+                          dataset=landscape.dataset,
+                          options=ProxionOptions(
+                              detect_diamonds=args.diamonds))
+        trail = EvidenceTrail(address)
+        try:
+            proxion.analyze_contract(address, trail=trail)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    if args.json:
+        import json as _json
+        print(_json.dumps(trail.to_dict(), indent=2))
+    else:
+        print(render_trail(trail))
+    return 0
+
+
 def _cmd_accuracy(args: argparse.Namespace) -> int:
     from repro.corpus import build_accuracy_corpus
     from repro.landscape import table2
@@ -417,19 +494,42 @@ def _cmd_accuracy(args: argparse.Namespace) -> int:
         from repro.obs import JsonLinesSink
         tracer.add_sink(JsonLinesSink(args.trace_jsonl))
 
-    print(f"building labelled corpus ({args.pairs} pairs per case)...")
-    with tracer.span("build_corpus", pairs_per_case=args.pairs):
-        corpus = build_accuracy_corpus(pairs_per_case=args.pairs,
-                                       seed=args.seed)
-    print(f"{len(corpus.pairs)} labelled pairs\n")
-    for methodology in ("union", "all"):
-        print(f"--- methodology: {methodology} ---")
-        with tracer.span("table2", methodology=methodology):
-            scored = table2(corpus, methodology=methodology)
-        for collision_type, tools in scored.items():
-            for tool, matrix in tools.items():
-                print(f"{collision_type:8s} {tool:8s} {matrix.row()}")
-        print()
+    journal = None
+    events = None
+    if args.events:
+        from repro.obs.events import EventJournal, EventRecorder
+        try:
+            journal = EventJournal.create(args.events)
+        except OSError as error:
+            print(f"error: cannot write --events journal: {error}",
+                  file=sys.stderr)
+            return 2
+        events = EventRecorder(sinks=(journal,))
+
+    try:
+        print(f"building labelled corpus ({args.pairs} pairs per case)...")
+        with tracer.span("build_corpus", pairs_per_case=args.pairs):
+            corpus = build_accuracy_corpus(pairs_per_case=args.pairs,
+                                           seed=args.seed)
+        print(f"{len(corpus.pairs)} labelled pairs\n")
+        if events is not None:
+            from repro.obs.events import SWEEP_START
+            events.emit(SWEEP_START, contracts=len(corpus.pairs), workers=1,
+                        strategy="accuracy", chaos=None)
+        for methodology in ("union", "all"):
+            print(f"--- methodology: {methodology} ---")
+            with tracer.span("table2", methodology=methodology):
+                scored = table2(corpus, methodology=methodology)
+            for collision_type, tools in scored.items():
+                for tool, matrix in tools.items():
+                    print(f"{collision_type:8s} {tool:8s} {matrix.row()}")
+            print()
+        if events is not None:
+            from repro.obs.events import SWEEP_END
+            events.emit(SWEEP_END, analyses=len(corpus.pairs), failures=0)
+    finally:
+        if journal is not None:
+            journal.close()
 
     if args.metrics_prom:
         from repro.obs import to_prometheus
@@ -620,7 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
     accuracy.add_argument("--pairs", type=int, default=8)
     accuracy.add_argument("--seed", type=int, default=7)
     add_observability_flags(accuracy, only=("--metrics", "--metrics-prom",
-                                            "--trace-jsonl"))
+                                            "--trace-jsonl", "--events"))
     accuracy.set_defaults(func=_cmd_accuracy)
 
     bench = commands.add_parser(
@@ -667,6 +767,30 @@ def build_parser() -> argparse.ArgumentParser:
     tail.add_argument("--poll", type=float, default=0.25, metavar="SECONDS",
                       help="poll interval while following (default 0.25)")
     tail.set_defaults(func=_cmd_tail)
+
+    explain = commands.add_parser(
+        "explain", help="render one contract's repro.evidence/1 trail")
+    explain.add_argument("address", help="contract address (0x-hex)")
+    explain.add_argument("--audit", default=None, metavar="DIR",
+                         help="read the trail from an audit directory "
+                              "written by `survey --audit DIR` (default: "
+                              "record a fresh trail by re-analyzing the "
+                              "address)")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the full evidence tree as JSON")
+    explain.add_argument("--total", type=int, default=400,
+                         help="landscape size for a fresh analysis "
+                              "(ignored with --audit)")
+    explain.add_argument("--seed", type=int, default=42,
+                         help="landscape seed for a fresh analysis "
+                              "(ignored with --audit)")
+    explain.add_argument("--chain", default="ethereum",
+                         help="chain profile for a fresh analysis "
+                              "(ignored with --audit)")
+    explain.add_argument("--diamonds", action="store_true",
+                         help="enable the §8.2 diamond extension for a "
+                              "fresh analysis")
+    explain.set_defaults(func=_cmd_explain)
 
     demo = commands.add_parser("demo", help="run a packaged scenario")
     demo.add_argument("name", choices=("quickstart", "honeypot", "audius",

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 from repro.chain.explorer import SourceRegistry
 from repro.core.signature_extractor import dispatcher_selectors
+from repro.obs import provenance
+from repro.obs.provenance import NULL_TRAIL, EvidenceTrail
 from repro.utils.abi import function_selector
 
 
@@ -71,10 +73,20 @@ class FunctionCollisionDetector:
 
     def detect(self, proxy_code: bytes, logic_code: bytes,
                proxy_address: bytes | None = None,
-               logic_address: bytes | None = None) -> FunctionCollisionReport:
-        """Pairwise selector cross-check of a proxy/logic pair."""
+               logic_address: bytes | None = None,
+               trail: EvidenceTrail = NULL_TRAIL) -> FunctionCollisionReport:
+        """Pairwise selector cross-check of a proxy/logic pair.
+
+        ``trail`` records each side's selector provenance (verified-source
+        prototypes vs the bytecode dispatcher pattern) and every colliding
+        selector with its prototypes when source names them.
+        """
         proxy_map, proxy_mode = self.selector_map(proxy_code, proxy_address)
         logic_map, logic_mode = self.selector_map(logic_code, logic_address)
+        trail.note(provenance.FUNCTION_SELECTORS, side="proxy",
+                   mode=proxy_mode, count=len(proxy_map))
+        trail.note(provenance.FUNCTION_SELECTORS, side="logic",
+                   mode=logic_mode, count=len(logic_map))
 
         collisions = [
             FunctionCollision(
@@ -84,6 +96,11 @@ class FunctionCollisionDetector:
             )
             for selector in sorted(proxy_map.keys() & logic_map.keys())
         ]
+        for collision in collisions:
+            trail.note(provenance.FUNCTION_COLLISION,
+                       selector="0x" + collision.selector.hex(),
+                       proxy_prototype=collision.proxy_prototype,
+                       logic_prototype=collision.logic_prototype)
         return FunctionCollisionReport(
             proxy=proxy_address,
             logic=logic_address,

@@ -24,20 +24,23 @@ from dataclasses import dataclass, field
 from repro.chain.node import ArchiveNode
 from repro.core.proxy_detector import LogicLocation, ProxyCheck
 from repro.errors import ConfigurationError
+from repro.obs import provenance
+from repro.obs.provenance import NULL_TRAIL, EvidenceTrail
 from repro.utils.hexutil import ADDRESS_MASK, word_to_address
 from repro.utils.keccak import keccak256
 
 
 def algorithm1_values(node: ArchiveNode, proxy: bytes, slot: int,
                       lower: int | None = None,
-                      upper: int | None = None) -> set[int]:
+                      upper: int | None = None,
+                      trail: EvidenceTrail = NULL_TRAIL) -> set[int]:
     """Paper Algorithm 1: all values ever stored in ``slot`` of ``proxy``.
 
     Recursive binary partition: equal endpoint values ⇒ assume the slot
     never changed inside the range (the no-reuse assumption); otherwise
     split and recurse.  Endpoint reads are memoized so shared boundaries
     between sibling ranges cost one RPC, matching the efficiency the paper
-    reports.
+    reports.  ``trail`` records each slot read and narrowing decision.
     """
     lower = node.genesis_block_number if lower is None else lower
     upper = node.latest_block_number if upper is None else upper
@@ -46,14 +49,20 @@ def algorithm1_values(node: ArchiveNode, proxy: bytes, slot: int,
     def read(height: int) -> int:
         if height not in cache:
             cache[height] = node.get_storage_at(proxy, slot, height)
+            trail.note(provenance.SEARCH_READ, block=height,
+                       value=hex(cache[height]))
         return cache[height]
 
     def partition(low: int, high: int) -> set[int]:
         value_low = read(low)
         value_high = read(high)
         if value_low == value_high:
+            trail.note(provenance.SEARCH_STEP, low=low, high=high,
+                       decision="uniform")
             return {value_low}
         mid = (low + high) // 2
+        trail.note(provenance.SEARCH_STEP, low=low, high=high,
+                   decision="split", mid=mid)
         return partition(low, mid) | partition(mid + 1, high)
 
     return partition(lower, upper)
@@ -61,12 +70,15 @@ def algorithm1_values(node: ArchiveNode, proxy: bytes, slot: int,
 
 def slot_change_points(node: ArchiveNode, proxy: bytes, slot: int,
                        lower: int | None = None,
-                       upper: int | None = None) -> list[tuple[int, int]]:
+                       upper: int | None = None,
+                       trail: EvidenceTrail = NULL_TRAIL,
+                       ) -> list[tuple[int, int]]:
     """Exact change history: ``[(block, new_value), ...]`` in block order.
 
     Same divide-and-conquer skeleton as Algorithm 1, but ranges are split
     until each change is isolated at a single block boundary, so A→B→A
-    reuse cannot hide.
+    reuse cannot hide.  ``trail`` records each slot read and narrowing
+    decision, so the recovered history can be audited step by step.
     """
     lower = node.genesis_block_number if lower is None else lower
     upper = node.latest_block_number if upper is None else upper
@@ -75,17 +87,26 @@ def slot_change_points(node: ArchiveNode, proxy: bytes, slot: int,
     def read(height: int) -> int:
         if height not in cache:
             cache[height] = node.get_storage_at(proxy, slot, height)
+            trail.note(provenance.SEARCH_READ, block=height,
+                       value=hex(cache[height]))
         return cache[height]
 
     changes: list[tuple[int, int]] = []
 
     def partition(low: int, high: int) -> None:
         if read(low) == read(high):
+            trail.note(provenance.SEARCH_STEP, low=low, high=high,
+                       decision="uniform")
             return
         if high == low + 1:
+            trail.note(provenance.SEARCH_STEP, low=low, high=high,
+                       decision="change-at", block=high,
+                       value=hex(read(high)))
             changes.append((high, read(high)))
             return
         mid = (low + high) // 2
+        trail.note(provenance.SEARCH_STEP, low=low, high=high,
+                   decision="split", mid=mid)
         partition(low, mid)
         partition(mid, high)
 
@@ -149,7 +170,8 @@ class LogicFinder:
     def __init__(self, node: ArchiveNode) -> None:
         self._node = node
 
-    def find(self, check: ProxyCheck) -> LogicHistory:
+    def find(self, check: ProxyCheck,
+             trail: EvidenceTrail = NULL_TRAIL) -> LogicHistory:
         """Recover all logic contracts for a positive :class:`ProxyCheck`."""
         if not check.is_proxy:
             raise ConfigurationError("logic recovery requires a positive proxy check")
@@ -157,11 +179,17 @@ class LogicFinder:
         if check.logic_location is not LogicLocation.STORAGE or check.logic_slot is None:
             # Minimal pattern (§4.3): one hard-coded logic address forever.
             addresses = [check.logic_address] if check.logic_address else []
+            trail.note(provenance.LOGIC_SOURCE, method="hardcoded")
+            trail.note(provenance.LOGIC_HISTORY, addresses=len(addresses),
+                       changes=0, api_calls=0)
             return LogicHistory(proxy=check.address, slot=None,
                                 logic_addresses=addresses)
 
+        trail.note(provenance.LOGIC_SOURCE, method="storage-slot",
+                   slot=hex(check.logic_slot))
         before = self._node.api_calls.get("eth_getStorageAt")
-        changes = slot_change_points(self._node, check.address, check.logic_slot)
+        changes = slot_change_points(self._node, check.address,
+                                     check.logic_slot, trail=trail)
         used = self._node.api_calls.get("eth_getStorageAt") - before
 
         addresses: list[bytes] = []
@@ -171,6 +199,8 @@ class LogicFinder:
                 continue
             if value:
                 addresses.append(address)
+        trail.note(provenance.LOGIC_HISTORY, addresses=len(addresses),
+                   changes=len(changes), api_calls=used)
         return LogicHistory(
             proxy=check.address,
             slot=check.logic_slot,

@@ -20,6 +20,7 @@ probes, catching EIP-2535 proxies the random probe misses.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 
 from repro.chain.api import NodeRPC
@@ -46,7 +47,9 @@ from repro.obs.events import (
     PIPELINE_QUARANTINE,
     PIPELINE_START,
 )
+from repro.obs import provenance
 from repro.obs.evmprof import ProfilingTracer
+from repro.obs.provenance import NULL_TRAIL, AuditDir, EvidenceTrail
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import NULL_TRACER, RingBufferSink, SpanTracer
 from repro.utils.hexutil import ADDRESS_MASK, word_to_address
@@ -101,7 +104,8 @@ class Proxion:
                  metrics: MetricsRegistry | None = None,
                  tracer: SpanTracer | None = None,
                  evm_profiler: ProfilingTracer | None = None,
-                 events=None) -> None:
+                 events=None,
+                 audit: AuditDir | str | None = None) -> None:
         if legacy:
             raise TypeError(
                 f"Proxion() takes only the node positionally "
@@ -116,6 +120,10 @@ class Proxion:
         # Flight-recorder hook (repro.obs.events): counters say how much,
         # events narrate what happened; both default to no-ops.
         self.events = events if events is not None else NULL_RECORDER
+        # Verdict provenance (repro.obs.provenance): when an audit
+        # directory is bound, every analysis runs with an EvidenceTrail
+        # and persists its causal evidence tree as a per-contract file.
+        self.audit = AuditDir(audit) if isinstance(audit, str) else audit
         self.spans = RingBufferSink()
         if tracer is not None:
             self.tracer = tracer
@@ -185,12 +193,13 @@ class Proxion:
         return cls(node, **kwargs)
 
     # -------------------------------------------------------------- analysis
-    def check_proxy(self, address: bytes) -> ProxyCheck:
+    def check_proxy(self, address: bytes,
+                    trail: EvidenceTrail = NULL_TRAIL) -> ProxyCheck:
         """Proxy-check one address, reusing verdicts for identical bytecode."""
         with self.tracer.span("proxy_check") as span:
             code = self.node.get_code(address)
             if not code:
-                return self.detector.check(address)
+                return self.detector.check(address, trail=trail)
             code_hash = keccak256(code)
 
             if (self.options.dedup_by_code_hash
@@ -198,13 +207,27 @@ class Proxion:
                 self._dedup_hits["proxy_check"].inc()
                 span.set(cache="hit")
                 cached = self._check_cache[code_hash]
-                return self._instantiate_cached_check(cached, address)
+                if trail.enabled:
+                    # The cached verdict carries its own pattern evidence;
+                    # cite the transfer so a dedup-hit proxy still explains
+                    # where its classification came from.
+                    trail.note(provenance.DEDUP_HIT, cache="proxy_check",
+                               code_hash="0x" + code_hash.hex(),
+                               verdict_from="0x" + cached.address.hex(),
+                               is_proxy=cached.is_proxy,
+                               location=cached.logic_location.value,
+                               slot=(hex(cached.logic_slot)
+                                     if cached.logic_slot is not None
+                                     else None))
+                return self._instantiate_cached_check(cached, address,
+                                                      trail=trail)
             self._dedup_misses["proxy_check"].inc()
 
             extra_probes: tuple[bytes, ...] = ()
             if self.options.detect_diamonds:
                 extra_probes = self._mine_transaction_probes(address)
-            check = self.detector.check(address, extra_probes=extra_probes)
+            check = self.detector.check(address, extra_probes=extra_probes,
+                                        trail=trail)
             if self.options.dedup_by_code_hash:
                 self._check_cache[code_hash] = check
             span.set(cache="miss", is_proxy=check.is_proxy)
@@ -220,8 +243,9 @@ class Proxion:
         self.metrics.counter("proxy_check.emulation_failures",
                              cause=cause).inc()
 
-    def _instantiate_cached_check(self, cached: ProxyCheck,
-                                  address: bytes) -> ProxyCheck:
+    def _instantiate_cached_check(self, cached: ProxyCheck, address: bytes,
+                                  trail: EvidenceTrail = NULL_TRAIL,
+                                  ) -> ProxyCheck:
         """Re-point a code-level verdict at another deployment.
 
         The code-determined parts (is-proxy, location, slot) transfer as-is;
@@ -235,8 +259,11 @@ class Proxion:
                 and cached.logic_location is LogicLocation.STORAGE
                 and cached.logic_slot is not None):
             word = self.node.get_storage_at(address, cached.logic_slot)
-            check = replace(check,
-                            logic_address=word_to_address(word & ADDRESS_MASK))
+            logic = word_to_address(word & ADDRESS_MASK)
+            trail.note(provenance.PROXY_INSTANCE_READ,
+                       slot=hex(cached.logic_slot),
+                       logic="0x" + logic.hex())
+            check = replace(check, logic_address=logic)
         return check
 
     def _mine_transaction_probes(self, address: bytes) -> tuple[bytes, ...]:
@@ -273,8 +300,37 @@ class Proxion:
         return tuple(selector + b"\x00" * 64
                      for selector in candidates[:self.options.max_diamond_probes])
 
-    def analyze_contract(self, address: bytes) -> ContractAnalysis:
-        """Full single-contract analysis (§4 + §5)."""
+    def analyze_contract(self, address: bytes,
+                         trail: EvidenceTrail | None = None,
+                         ) -> ContractAnalysis:
+        """Full single-contract analysis (§4 + §5).
+
+        ``trail`` overrides the evidence recorder: ``repro explain``
+        passes a fresh :class:`EvidenceTrail` to instrument one analysis
+        on demand.  By default a trail is created only when the pipeline
+        is bound to an audit directory; otherwise :data:`NULL_TRAIL`
+        keeps the hot path free of recording cost.
+        """
+        if trail is None:
+            trail = (EvidenceTrail(address) if self.audit is not None
+                     else NULL_TRAIL)
+        analysis = self._analyze_contract(address, trail)
+        if trail.enabled:
+            analysis.evidence_digest = trail.digest()
+            if self.audit is not None:
+                self.audit.write(trail)
+        return analysis
+
+    def _witness(self, trail: EvidenceTrail):
+        """RPC read attribution for the logic-recovery stage, when the
+        node supports it (chaos/resilience wrappers delegate down to the
+        archive node; foreign NodeRPC conformers may not implement it)."""
+        if trail.enabled and hasattr(self.node, "witness_reads"):
+            return self.node.witness_reads(trail)
+        return nullcontext()
+
+    def _analyze_contract(self, address: bytes,
+                          trail: EvidenceTrail) -> ContractAnalysis:
         code = self.node.get_code(address)
         analysis = ContractAnalysis(
             address=address,
@@ -287,25 +343,32 @@ class Proxion:
             analysis.deploy_block = record.deploy_block
             analysis.deploy_year = self.node.year_of(record.deploy_block)
 
-        check = self.check_proxy(address)
+        with trail.begin(provenance.SECTION_PROXY):
+            check = self.check_proxy(address, trail=trail)
         analysis.check = check
         if not check.is_proxy:
             return analysis
 
         analysis.standard = classify_standard(check)
-        with self.tracer.span("logic_history") as span:
-            analysis.logic_history = self.logic_finder.find(check)
+        with self.tracer.span("logic_history") as span, \
+                trail.begin(provenance.SECTION_LOGIC,
+                            standard=analysis.standard.value):
+            with self._witness(trail):
+                analysis.logic_history = self.logic_finder.find(check,
+                                                                trail=trail)
             span.set(upgrades=analysis.logic_history.upgrade_count,
                      api_calls=analysis.logic_history.api_calls_used)
         if analysis.logic_history.slot is not None:
             # The §6.1 "getStorageAt calls per proxy" numerator/denominator.
             self._storage_proxies.inc()
             self._recovery_calls.inc(analysis.logic_history.api_calls_used)
-        self._check_collisions(analysis, code)
+        with trail.begin(provenance.SECTION_COLLISIONS):
+            self._check_collisions(analysis, code, trail=trail)
         return analysis
 
     def _check_collisions(self, analysis: ContractAnalysis,
-                          proxy_code: bytes) -> None:
+                          proxy_code: bytes,
+                          trail: EvidenceTrail = NULL_TRAIL) -> None:
         assert analysis.logic_history is not None
         proxy_hash = analysis.code_hash
         for logic_address in analysis.logic_history.logic_addresses:
@@ -315,32 +378,65 @@ class Proxion:
             logic_hash = keccak256(logic_code)
             pair = (proxy_hash, logic_hash)
 
-            if self.options.detect_function_collisions:
-                if pair in self._function_cache:
-                    self._dedup_hits["function_collision"].inc()
-                    report = self._function_cache[pair]
-                else:
-                    self._dedup_misses["function_collision"].inc()
-                    with self.tracer.span("function_collision"):
-                        report = self.function_detector.detect(
-                            proxy_code, logic_code,
-                            analysis.address, logic_address)
-                    self._function_cache[pair] = report
-                analysis.function_reports.append(report)  # type: ignore[arg-type]
+            with trail.begin(provenance.PAIR,
+                             logic="0x" + logic_address.hex()):
+                if self.options.detect_function_collisions:
+                    if pair in self._function_cache:
+                        self._dedup_hits["function_collision"].inc()
+                        report = self._function_cache[pair]
+                        if trail.enabled:
+                            self._cite_cached_function(report, trail)
+                    else:
+                        self._dedup_misses["function_collision"].inc()
+                        with self.tracer.span("function_collision"):
+                            report = self.function_detector.detect(
+                                proxy_code, logic_code,
+                                analysis.address, logic_address, trail=trail)
+                        self._function_cache[pair] = report
+                    analysis.function_reports.append(report)  # type: ignore[arg-type]
 
-            if self.options.detect_storage_collisions:
-                if pair in self._storage_cache:
-                    self._dedup_hits["storage_collision"].inc()
-                    report = self._storage_cache[pair]
-                else:
-                    self._dedup_misses["storage_collision"].inc()
-                    with self.tracer.span("storage_collision"):
-                        report = self.storage_detector.detect(
-                            proxy_code, logic_code,
-                            analysis.address, logic_address,
-                            verify_exploits=self.options.verify_storage_exploits)
-                    self._storage_cache[pair] = report
-                analysis.storage_reports.append(report)  # type: ignore[arg-type]
+                if self.options.detect_storage_collisions:
+                    if pair in self._storage_cache:
+                        self._dedup_hits["storage_collision"].inc()
+                        report = self._storage_cache[pair]
+                        if trail.enabled:
+                            self._cite_cached_storage(report, trail)
+                    else:
+                        self._dedup_misses["storage_collision"].inc()
+                        with self.tracer.span("storage_collision"):
+                            report = self.storage_detector.detect(
+                                proxy_code, logic_code,
+                                analysis.address, logic_address,
+                                verify_exploits=self.options.verify_storage_exploits,
+                                trail=trail)
+                        self._storage_cache[pair] = report
+                    analysis.storage_reports.append(report)  # type: ignore[arg-type]
+
+    @staticmethod
+    def _cite_cached_function(report, trail: EvidenceTrail) -> None:
+        """A dedup-hit pair still cites its colliding selectors."""
+        trail.note(provenance.DEDUP_HIT, cache="function_collision")
+        for collision in report.collisions:
+            trail.note(provenance.FUNCTION_COLLISION,
+                       selector="0x" + collision.selector.hex(),
+                       proxy_prototype=collision.proxy_prototype,
+                       logic_prototype=collision.logic_prototype)
+
+    @staticmethod
+    def _cite_cached_storage(report, trail: EvidenceTrail) -> None:
+        """A dedup-hit pair still cites its slot/range evidence."""
+        trail.note(provenance.DEDUP_HIT, cache="storage_collision")
+        for collision in report.collisions:
+            trail.note(provenance.STORAGE_COLLISION,
+                       slot=hex(collision.slot.base),
+                       proxy_range=[collision.proxy_use.offset,
+                                    collision.proxy_use.end],
+                       logic_range=[collision.logic_use.offset,
+                                    collision.logic_use.end],
+                       kind=collision.kind,
+                       sensitive=collision.sensitive,
+                       exploitable=collision.exploitable,
+                       verified=collision.verified)
 
     # ------------------------------------------------------------ full sweep
     def _quarantine(self, report: LandscapeReport, address: bytes,

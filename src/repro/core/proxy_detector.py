@@ -23,6 +23,8 @@ from repro.evm.environment import BlockContext, ExecutionConfig, TransactionCont
 from repro.evm.interpreter import EVM, Message
 from repro.evm.state import OverlayState, StateBackend
 from repro.evm.tracer import CallTracer, CombinedTracer, StorageTracer, Tracer
+from repro.obs import provenance
+from repro.obs.provenance import NULL_TRAIL, EvidenceTrail
 from repro.utils.hexutil import address_to_word
 
 # §4.2: created contracts are parked at a fixed sentinel address during
@@ -83,32 +85,44 @@ class ProxyDetector:
         self._profiler = profiler
 
     def check(self, address: bytes,
-              extra_probes: tuple[bytes, ...] = ()) -> ProxyCheck:
+              extra_probes: tuple[bytes, ...] = (),
+              trail: EvidenceTrail = NULL_TRAIL) -> ProxyCheck:
         """Full two-step proxy check of one contract.
 
         ``extra_probes`` implements the §8.2 diamond extension: additional
         calldata blobs (e.g. selectors mined from past transactions) tried
         when the random-selector probe does not reach a delegatecall —
         diamonds only delegate for *registered* selectors.
+
+        ``trail`` (default no-op) records the causal evidence behind the
+        verdict: the §4.1 prefilter outcome, every probe emulated, the
+        forwarding DELEGATECALL, and the §4.3 pattern classification.
         """
         code = self._state.get_code(address)
         if not code:
+            trail.note(provenance.PROXY_PREFILTER, outcome="no-code")
             return ProxyCheck(address, False, NotProxyReason.NO_CODE)
 
         # Step 1 (§4.1): cheap disassembly prefilter.
         if not contains_delegatecall(code):
+            trail.note(provenance.PROXY_PREFILTER, delegatecall=False)
             return ProxyCheck(address, False, NotProxyReason.NO_DELEGATECALL)
+        trail.note(provenance.PROXY_PREFILTER, delegatecall=True)
 
-        result = self._emulate(address, code, craft_probe_calldata(code))
+        result = self._emulate(address, code, craft_probe_calldata(code),
+                               trail=trail)
         if result.is_proxy:
             return result
         for probe in extra_probes:
-            retry = self._emulate(address, code, probe)
+            retry = self._emulate(address, code, probe, trail=trail,
+                                  probe_source="mined")
             if retry.is_proxy:
                 return retry
         return result
 
-    def _emulate(self, address: bytes, code: bytes, probe: bytes) -> ProxyCheck:
+    def _emulate(self, address: bytes, code: bytes, probe: bytes,
+                 trail: EvidenceTrail = NULL_TRAIL,
+                 probe_source: str = "crafted") -> ProxyCheck:
         """Step 2 (§4.2): emulate one probe and classify the outcome."""
         call_tracer = CallTracer()
         storage_tracer = StorageTracer()
@@ -123,24 +137,38 @@ class ProxyDetector:
             config=self._config,
             tracer=CombinedTracer(tracers=tracers),
         )
-        result = evm.execute(Message(
-            sender=PROBE_SENDER, to=address, data=probe, gas=10_000_000))
+        with trail.begin(provenance.PROXY_PROBE,
+                         calldata="0x" + probe[:4].hex(),
+                         source=probe_source):
+            result = evm.execute(Message(
+                sender=PROBE_SENDER, to=address, data=probe, gas=10_000_000))
 
-        forwarding_event = self._find_forwarding_delegatecall(
-            call_tracer, address, probe)
-        if forwarding_event is None:
-            # No qualifying forward: distinguish clean negatives from
-            # emulation failures (reverts are *clean*: the contract chose
-            # to reject the probe, e.g. a diamond with no matching facet).
-            if result.success or result.error == "revert":
-                return ProxyCheck(address, False, NotProxyReason.NO_FORWARD,
+            forwarding_event = self._find_forwarding_delegatecall(
+                call_tracer, address, probe)
+            if forwarding_event is None:
+                # No qualifying forward: distinguish clean negatives from
+                # emulation failures (reverts are *clean*: the contract chose
+                # to reject the probe, e.g. a diamond with no matching facet).
+                if result.success or result.error == "revert":
+                    trail.note(provenance.PROXY_NO_FORWARD,
+                               outcome=("success" if result.success
+                                        else "revert"))
+                    return ProxyCheck(address, False, NotProxyReason.NO_FORWARD,
+                                      probe_calldata=probe)
+                trail.note(provenance.PROXY_NO_FORWARD,
+                           outcome="emulation-error", error=result.error)
+                return ProxyCheck(address, False,
+                                  NotProxyReason.EMULATION_ERROR,
+                                  emulation_error=result.error,
                                   probe_calldata=probe)
-            return ProxyCheck(address, False, NotProxyReason.EMULATION_ERROR,
-                              emulation_error=result.error, probe_calldata=probe)
 
-        logic_address = forwarding_event.target
-        location, slot = self._locate_logic_address(
-            code, address, logic_address, storage_tracer, forwarding_event.pc)
+            logic_address = forwarding_event.target
+            trail.note(provenance.PROXY_FORWARD,
+                       target="0x" + logic_address.hex(),
+                       pc=forwarding_event.pc)
+            location, slot = self._locate_logic_address(
+                code, address, logic_address, storage_tracer,
+                forwarding_event.pc, trail=trail)
         return ProxyCheck(
             address=address,
             is_proxy=True,
@@ -163,8 +191,9 @@ class ProxyDetector:
 
     @staticmethod
     def _locate_logic_address(code: bytes, address: bytes, logic: bytes,
-                              storage_tracer: StorageTracer,
-                              call_pc: int) -> tuple[LogicLocation, int | None]:
+                              storage_tracer: StorageTracer, call_pc: int,
+                              trail: EvidenceTrail = NULL_TRAIL,
+                              ) -> tuple[LogicLocation, int | None]:
         """Classify where the logic address came from (§4.3).
 
         A storage slot whose loaded value equals the delegatecall target
@@ -174,9 +203,16 @@ class ProxyDetector:
         logic_word = address_to_word(logic)
         for event in storage_tracer.events:
             if (event.kind == "SLOAD"
-                    and event.storage_address == address
-                    and event.value & ((1 << 160) - 1) == logic_word):
-                return LogicLocation.STORAGE, event.slot
+                    and event.storage_address == address):
+                matched = event.value & ((1 << 160) - 1) == logic_word
+                trail.note(provenance.PROXY_SLOAD, slot=hex(event.slot),
+                           value=hex(event.value), matched=matched)
+                if matched:
+                    trail.note(provenance.PROXY_PATTERN, location="storage",
+                               slot=hex(event.slot))
+                    return LogicLocation.STORAGE, event.slot
         if address_hardcoded_in(code, logic):
+            trail.note(provenance.PROXY_PATTERN, location="hardcoded")
             return LogicLocation.HARDCODED, None
+        trail.note(provenance.PROXY_PATTERN, location="unknown")
         return LogicLocation.UNKNOWN, None

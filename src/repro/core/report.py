@@ -26,6 +26,10 @@ class ContractAnalysis:
     logic_history: LogicHistory | None = None
     function_reports: list[FunctionCollisionReport] = field(default_factory=list)
     storage_reports: list[StorageCollisionReport] = field(default_factory=list)
+    # Compact provenance summary (repro.evidence/1 digest) attached by an
+    # audited sweep; None on the default path.  The full causal tree lives
+    # in the audit directory's per-contract evidence file.
+    evidence_digest: dict | None = None
 
     @property
     def is_proxy(self) -> bool:

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.obs import provenance
+from repro.obs.provenance import NULL_TRAIL, EvidenceTrail
 from repro.obs.registry import default_registry
 from repro.obs.spans import SpanTracer
 from repro.utils.abi import function_selector
@@ -67,12 +69,15 @@ def _matches(selector: bytes, target: bytes, bits: int) -> bool:
 def mine_selector(target: bytes, prefix_bits: int = 32,
                   max_attempts: int = 10_000_000,
                   name_prefix: str = "impl_",
-                  tracer: SpanTracer | None = None) -> MiningResult:
+                  tracer: SpanTracer | None = None,
+                  trail: EvidenceTrail = NULL_TRAIL) -> MiningResult:
     """Search for a prototype colliding with ``target`` on ``prefix_bits``.
 
     Expected attempts: 2**prefix_bits / 2 on average.  With the pure-Python
     Keccak this runs ~10⁴ attempts/second, so keep ``prefix_bits ≤ 20`` in
-    interactive use and extrapolate for the full 32 bits.
+    interactive use and extrapolate for the full 32 bits.  ``trail``
+    records the attempt budget spent and the mined prototype, so an
+    attack selector cited elsewhere can show where it came from.
     """
     if len(target) != 4:
         raise ConfigurationError("target selector must be 4 bytes")
@@ -91,6 +96,13 @@ def mine_selector(target: bytes, prefix_bits: int = 32,
                 attempts = attempt + 1
                 break
         span.set(attempts=attempts, found=found is not None)
+        if found is not None:
+            trail.note(provenance.MINING_RESULT, name=found,
+                       selector="0x" + target.hex(), attempts=attempts,
+                       prefix_bits=prefix_bits)
+        else:
+            trail.note(provenance.MINING_ATTEMPT, name=name_prefix + "*",
+                       attempts=attempts, prefix_bits=prefix_bits)
     return MiningResult(
         prototype=found,
         attempts=attempts,

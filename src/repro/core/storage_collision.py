@@ -42,6 +42,8 @@ from repro.evm.state import OverlayState, StateBackend
 from repro.evm.tracer import StorageTracer
 from repro.lang.storage_layout import compute_layout
 from repro.lang.types import MappingType, parse_type
+from repro.obs import provenance
+from repro.obs.provenance import NULL_TRAIL, EvidenceTrail
 
 _SENSITIVE_NAME_HINTS = ("owner", "admin", "governor", "guardian", "operator")
 
@@ -240,18 +242,41 @@ class StorageCollisionDetector:
     def detect(self, proxy_code: bytes, logic_code: bytes,
                proxy_address: bytes | None = None,
                logic_address: bytes | None = None,
-               verify_exploits: bool = True) -> StorageCollisionReport:
-        """Full §5.2 pipeline for one proxy/logic pair."""
+               verify_exploits: bool = True,
+               trail: EvidenceTrail = NULL_TRAIL) -> StorageCollisionReport:
+        """Full §5.2 pipeline for one proxy/logic pair.
+
+        ``trail`` records both sides' profile provenance, every slot/range
+        clash with its classification, and the outcome of each exploit
+        verification run.
+        """
         proxy_profile = self.profile(proxy_code, proxy_address, probe_state=True)
         logic_profile = self.profile(logic_code, logic_address)
+        trail.note(provenance.STORAGE_PROFILE, side="proxy",
+                   mode=proxy_profile.mode, slots=len(proxy_profile.usages))
+        trail.note(provenance.STORAGE_PROFILE, side="logic",
+                   mode=logic_profile.mode, slots=len(logic_profile.usages))
         collisions = self.compare_profiles(proxy_profile, logic_profile)
 
         if verify_exploits and self._state is not None and proxy_address:
             collisions = [
-                self._verify(collision, proxy_address)
+                self._verify(collision, proxy_address, trail=trail)
                 if collision.exploitable else collision
                 for collision in collisions
             ]
+        for collision in collisions:
+            trail.note(
+                provenance.STORAGE_COLLISION,
+                slot=hex(collision.slot.base),
+                proxy_range=[collision.proxy_use.offset,
+                             collision.proxy_use.end],
+                logic_range=[collision.logic_use.offset,
+                             collision.logic_use.end],
+                kind=collision.kind,
+                sensitive=collision.sensitive,
+                exploitable=collision.exploitable,
+                verified=collision.verified,
+            )
         return StorageCollisionReport(
             proxy=proxy_address,
             logic=logic_address,
@@ -329,8 +354,8 @@ class StorageCollisionDetector:
         return None
 
     # ---------------------------------------------------------- verification
-    def _verify(self, collision: StorageCollision,
-                proxy_address: bytes) -> StorageCollision:
+    def _verify(self, collision: StorageCollision, proxy_address: bytes,
+                trail: EvidenceTrail = NULL_TRAIL) -> StorageCollision:
         """Execute the synthesized exploit transaction on an overlay.
 
         The attack calls the colliding logic function *through the proxy*;
@@ -356,6 +381,9 @@ class StorageCollisionDetector:
         mask = ((1 << (collision.proxy_use.size * 8)) - 1) << (
             collision.proxy_use.offset * 8)
         changed = result.success and (before & mask) != (after & mask)
+        trail.note(provenance.STORAGE_VERIFY,
+                   selector="0x" + collision.exploit_selector.hex(),
+                   slot=hex(collision.slot.base), changed=changed)
         return StorageCollision(
             slot=collision.slot,
             proxy_use=collision.proxy_use,

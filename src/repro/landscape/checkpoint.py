@@ -26,7 +26,9 @@ crash artifact and still refuses to resume.
 Because analyses are serialized losslessly (w.r.t. what
 ``report_to_dict`` emits), a resumed sweep serializes identically to the
 uninterrupted one — the checkpoint-equivalence property the chaos suite
-asserts.  Note the per-sweep dedup counters are the one exception: a
+asserts.  That losslessness covers the optional ``evidence`` digest an
+audited sweep embeds per analysis (``survey --audit``), so resumed and
+merged sweeps keep verdict provenance without re-recording it.  Note the per-sweep dedup counters are the one exception: a
 resumed process only pays cache misses for the tail it actually analyzes,
 so ``summary.dedup`` legitimately differs (see ``docs/robustness.md``).
 """

@@ -88,6 +88,12 @@ def analysis_to_dict(analysis: ContractAnalysis) -> dict[str, Any]:
         }
         for report in analysis.storage_reports if report.has_collision
     ]
+    if analysis.evidence_digest is not None:
+        # Audited sweeps only: the compact repro.evidence/1 digest rides
+        # with the analysis so checkpoints and merged parallel sweeps keep
+        # provenance.  Absent on the default path, which keeps un-audited
+        # output byte-identical to previous releases.
+        record["evidence"] = analysis.evidence_digest
     return record
 
 
@@ -250,4 +256,5 @@ def dict_to_analysis(record: dict[str, Any]) -> ContractAnalysis:
             logic=_unhex(row.get("logic")),
             collisions=collisions,
         ))
+    analysis.evidence_digest = record.get("evidence")
     return analysis

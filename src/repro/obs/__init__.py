@@ -19,7 +19,10 @@ Dependency-free metrics + tracing for the whole reproduction:
 * :mod:`repro.obs.console` — read-only live views over a journal
   (``repro status`` / ``repro tail`` / the ``/healthz`` verdict);
 * :mod:`repro.obs.http` — the stdlib HTTP exporter behind
-  ``survey --serve-obs``: ``/metrics``, ``/healthz``, ``/progress``.
+  ``survey --serve-obs``: ``/metrics``, ``/healthz``, ``/progress``;
+* :mod:`repro.obs.provenance` — verdict provenance: per-contract
+  ``repro.evidence/1`` causal evidence trees recorded by audited sweeps
+  (``survey --audit``) and rendered by ``repro explain``.
 
 See ``docs/observability.md`` for the metric-name catalogue, the event
 taxonomy, and ``docs/benchmarking.md`` for the bench workloads and schema.
@@ -50,6 +53,15 @@ from repro.obs.events import (
     total_order,
 )
 from repro.obs.evmprof import FlameProfiler, ProfilingTracer, opcode_class
+from repro.obs.provenance import (
+    AuditDir,
+    EvidenceNode,
+    EvidenceTrail,
+    NULL_TRAIL,
+    NullTrail,
+    evidence_filename,
+    render_trail,
+)
 from repro.obs.http import ObsServer
 from repro.obs.export import (
     bench_summary,
@@ -78,6 +90,7 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "AuditDir",
     "BenchComparison",
     "BenchConfig",
     "Counter",
@@ -85,6 +98,8 @@ __all__ = [
     "Event",
     "EventJournal",
     "EventRecorder",
+    "EvidenceNode",
+    "EvidenceTrail",
     "FlameProfiler",
     "Gauge",
     "Histogram",
@@ -93,8 +108,10 @@ __all__ = [
     "NULL_RECORDER",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "NULL_TRAIL",
     "NullRegistry",
     "NullSpanTracer",
+    "NullTrail",
     "ObsServer",
     "ProfilingTracer",
     "RingBufferSink",
@@ -105,12 +122,14 @@ __all__ = [
     "bench_summary",
     "compare_payloads",
     "default_registry",
+    "evidence_filename",
     "format_event",
     "journal_health",
     "journal_snapshot",
     "opcode_class",
     "read_journal",
     "render_status",
+    "render_trail",
     "run_suite",
     "series_name",
     "survey_metrics_summary",

@@ -426,6 +426,50 @@ def _pipeline_supervised_events_workload(workers: int = 4) -> Workload:
         setup=setup, run=run)
 
 
+def _pipeline_audited_workload(workers: int = 4) -> Workload:
+    def setup(config: BenchConfig):
+        return _landscape(config.scale(120, 250), config.seed)
+
+    def run(world, config: BenchConfig):
+        import tempfile
+
+        from repro.core.pipeline import ProxionOptions
+        from repro.parallel import SweepSpec, run_sharded_sweep
+
+        # pipeline_parallel with verdict provenance switched on: same
+        # scale, crash-free, plus per-contract repro.evidence/1 trails
+        # recorded in every worker and persisted to a shared audit
+        # directory.  The median delta against pipeline_parallel is the
+        # price of *full* evidence recording; the un-audited default path
+        # (NULL_TRAIL) must stay within the regression gate's bar of the
+        # committed pipeline_parallel baseline — that is what proves the
+        # no-op trail really is free.
+        spec = SweepSpec(total=config.scale(120, 250), seed=config.seed,
+                         options=ProxionOptions(profile_evm=True))
+        with tempfile.TemporaryDirectory(prefix="repro-bench-audit-") as d:
+            audit_dir = os.path.join(d, "audit")
+            result = run_sharded_sweep(spec, workers=workers,
+                                       strategy="codehash", world=world,
+                                       audit_dir=audit_dir)
+            from repro.obs.provenance import AuditDir
+            evidence_files = len(AuditDir(audit_dir).addresses())
+        return result.metrics, {
+            "contracts": len(result.report),
+            "workers": workers,
+            "evidence_files": evidence_files,
+            "sum_shard_cpu_s": round(result.sum_shard_cpu_s, 4),
+            "critical_path_speedup": round(result.critical_path_speedup, 3),
+        }
+
+    return Workload(
+        name="pipeline_audited",
+        description=f"pipeline_parallel with repro.evidence/1 verdict "
+                    f"provenance recorded in all {workers} workers (one "
+                    f"evidence file per contract): the median delta "
+                    f"against pipeline_parallel bounds the audit overhead",
+        setup=setup, run=run)
+
+
 def _build_workloads() -> dict[str, Workload]:
     suite = [
         _sweep_workload(50, 80),
@@ -433,6 +477,7 @@ def _build_workloads() -> dict[str, Workload]:
         _sweep_workload(500, 500, quick=False),
         _pipeline_faulty_workload(),
         _pipeline_parallel_workload(),
+        _pipeline_audited_workload(),
         _pipeline_supervised_workload(),
         _pipeline_supervised_events_workload(),
         _proxy_check_workload(),

@@ -20,9 +20,70 @@ from __future__ import annotations
 import json
 import re
 
-from repro.obs.registry import MetricsRegistry, series_name
+from repro.obs.registry import MetricsRegistry
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Raw (dotted) metric name → ``# HELP`` description.  One sentence each,
+#: keyed before sanitization so the table reads like the registry call
+#: sites; names missing here export without a HELP line rather than with
+#: an invented one.
+METRIC_HELP: dict[str, str] = {
+    "dedup.hits": "Dedup cache hits per cache (6.1 bytecode dedup).",
+    "dedup.misses": "Dedup cache misses per cache (6.1 bytecode dedup).",
+    "evm.base_gas": "Base gas consumed by profiled EVM instructions.",
+    "evm.creates": "CREATE/CREATE2 operations observed during emulation.",
+    "evm.instructions": "EVM instructions executed under profiling.",
+    "evm.logs": "LOG* operations observed during emulation.",
+    "evm.max_call_depth": "High-water call depth reached during emulation.",
+    "evm.opcodes": "Executed EVM instructions per opcode class.",
+    "faults.injected": "Faults injected by the chaos layer, per kind and "
+                       "RPC method.",
+    "logic_recovery.getstorageat_calls":
+        "getStorageAt calls spent recovering logic histories "
+        "(Algorithm 1; paper 6.1 reports ~26 per proxy).",
+    "logic_recovery.storage_proxies":
+        "Storage-slot proxies whose logic history Algorithm 1 recovered.",
+    "monitor.alerts": "Live-monitor alerts raised, per kind.",
+    "monitor.blocks_scanned": "Blocks scanned by the live monitor.",
+    "monitor.poll_lag": "Blocks the live monitor trails the chain head by.",
+    "obs.histogram_bound_mismatches":
+        "Registry merges that overflowed a histogram with mismatched "
+        "bucket bounds into the +Inf bucket.",
+    "parallel.bisections":
+        "Poison-shard splits performed by the sweep supervisor.",
+    "parallel.heartbeat_lag_seconds":
+        "High-water staleness of any worker heartbeat.",
+    "parallel.hung_kills": "Workers killed for heartbeat staleness.",
+    "parallel.poison_contracts":
+        "Contracts quarantined by poison-shard bisection.",
+    "parallel.respawns": "Dead or hung workers relaunched with resume.",
+    "pipeline.quarantined":
+        "Contracts quarantined by the sweep instead of aborting it, "
+        "per cause.",
+    "pipeline.resumed_contracts":
+        "Contracts restored from a checkpoint instead of re-analyzed.",
+    "pipeline.resumed_skips": "Dead addresses restored from a checkpoint.",
+    "proxy_check.emulation_failures":
+        "4.2 proxy-check emulation failures, per cause.",
+    "resilience.backoff_seconds":
+        "Total backoff waited before retries (virtual or real), per "
+        "RPC method.",
+    "resilience.breaker_state":
+        "Circuit state per RPC method (0 closed, 1 half-open, 2 open).",
+    "resilience.breaker_transitions":
+        "Circuit-breaker state changes, per RPC method and target state.",
+    "resilience.circuit_open_rejections":
+        "Calls rejected without an RPC while a circuit was open.",
+    "resilience.deadline_exceeded":
+        "Calls that exhausted their retry budget or deadline.",
+    "resilience.retries": "Transient RPC failures retried, per method.",
+    "rpc.calls": "Archive-node RPC calls issued, per method.",
+    "rpc.emulation_failures":
+        "eth_call emulations that terminated abnormally, per cause.",
+    "rpc.latency_seconds": "Archive-node RPC latency, per method.",
+    "span.seconds": "Wall-clock duration of pipeline stages, per span name.",
+}
 
 
 def _prom_name(name: str) -> str:
@@ -49,23 +110,26 @@ def to_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
     lines: list[str] = []
     typed: set[str] = set()
 
-    def declare(name: str, kind: str) -> None:
+    def declare(name: str, raw_name: str, kind: str) -> None:
         if name not in typed:
             typed.add(name)
+            help_text = METRIC_HELP.get(raw_name)
+            if help_text is not None:
+                lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} {kind}")
 
     for counter in registry.iter_counters():
         name = prefix + _prom_name(counter.name)
-        declare(name, "counter")
+        declare(name, counter.name, "counter")
         lines.append(f"{name}{_prom_labels(counter.labels)} "
                      f"{_fmt(counter.value)}")
     for gauge in registry.iter_gauges():
         name = prefix + _prom_name(gauge.name)
-        declare(name, "gauge")
+        declare(name, gauge.name, "gauge")
         lines.append(f"{name}{_prom_labels(gauge.labels)} {_fmt(gauge.value)}")
     for histogram in registry.iter_histograms():
         name = prefix + _prom_name(histogram.name)
-        declare(name, "histogram")
+        declare(name, histogram.name, "histogram")
         for bound, cumulative in histogram.cumulative_buckets():
             le_label = 'le="%s"' % _fmt(bound)
             lines.append(

@@ -123,9 +123,12 @@ def _run_shard(task: tuple, events=None) -> dict[str, Any]:
     :class:`~repro.obs.events.EventRecorder`, sequential path only) lets
     the in-process shards narrate into the caller's flight recorder.
     """
-    spec, shard_index, addresses, checkpoint_path, resume = task
+    # The sixth slot (audit_dir) is optional so pre-provenance 5-tuples
+    # keep working (older checkpoint drivers, the pool-era tests).
+    spec, shard_index, addresses, checkpoint_path, resume, *rest = task
+    audit_dir = rest[0] if rest else None
     world = _world_for(spec)
-    proxion = spec.build_proxion(world, events=events)
+    proxion = spec.build_proxion(world, events=events, audit=audit_dir)
 
     checkpoint: SweepCheckpoint | None = None
     if checkpoint_path is not None:
@@ -212,6 +215,7 @@ def run_sharded_sweep(spec: SweepSpec, *,
                       progress: Callable[[str], None] | None = None,
                       supervise: Any = None,
                       events_path: str | None = None,
+                      audit_dir: str | None = None,
                       ) -> ShardedSweepResult:
     """Run one landscape sweep across ``workers`` shards and merge.
 
@@ -228,14 +232,20 @@ def run_sharded_sweep(spec: SweepSpec, *,
     ``events_path``, when set, writes the ``repro.events/1``
     flight-recorder journal there (see :mod:`repro.obs.events`) — the
     supervised path journals the full worker lifecycle, the sequential
-    path the pipeline-level narrative.
+    path the pipeline-level narrative.  ``audit_dir``, when set, turns
+    on verdict provenance (:mod:`repro.obs.provenance`): every worker
+    writes one ``repro.evidence/1`` file per contract into that shared
+    directory (shards partition addresses, so each contract has exactly
+    one writer), and the merged report's analyses carry evidence
+    digests.
     """
     if processes and workers > 1:
         from repro.parallel.supervisor import run_supervised_sweep
         return run_supervised_sweep(
             spec, workers=workers, strategy=strategy, addresses=addresses,
             checkpoint_path=checkpoint_path, resume=resume, world=world,
-            config=supervise, progress=progress, events_path=events_path)
+            config=supervise, progress=progress, events_path=events_path,
+            audit_dir=audit_dir)
 
     wall_start = time.perf_counter()
     say = progress or (lambda message: None)
@@ -255,7 +265,7 @@ def run_sharded_sweep(spec: SweepSpec, *,
 
     partitions = shard_addresses(addresses, workers, strategy,
                                  code_of=code_of)
-    tasks = [(spec, index, partition, checkpoint_path, resume)
+    tasks = [(spec, index, partition, checkpoint_path, resume, audit_dir)
              for index, partition in enumerate(partitions)]
     say(f"sweeping {len(addresses)} contracts across {workers} "
         f"shard(s), strategy={strategy}")

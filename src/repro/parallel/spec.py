@@ -73,13 +73,22 @@ class SweepSpec:
                                      events=events)
         return node
 
-    def build_proxion(self, world, events=None) -> Proxion:
-        """The full per-worker analyzer, options applied."""
+    def build_proxion(self, world, events=None, audit=None) -> Proxion:
+        """The full per-worker analyzer, options applied.
+
+        ``audit`` (an :class:`~repro.obs.provenance.AuditDir` or path)
+        turns on verdict provenance: the worker records a
+        ``repro.evidence/1`` trail per contract and persists it there.
+        Shards partition the address list, so workers share one audit
+        directory without coordination — each contract has exactly one
+        writer.
+        """
         return Proxion.from_node(self.build_node(world, events=events),
                                  registry=world.registry,
                                  dataset=world.dataset,
                                  options=self.options,
-                                 events=events)
+                                 events=events,
+                                 audit=audit)
 
 
 __all__ = ["SweepSpec"]

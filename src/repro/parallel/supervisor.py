@@ -172,15 +172,23 @@ def _supervised_worker(task: tuple, heartbeat_queue) -> None:
     leaves only an invisible temp file.  The heartbeat queue carries only
     ``(task_id, completed_count)`` — small enough for atomic pipe writes.
 
-    ``events_path`` (optional, last tuple slot) names this attempt's
-    *private* flight-recorder journal: the worker narrates its pipeline
-    and breaker events there, one flushed line each, and the parent folds
-    the file into the merged journal after reaping the process — so even
-    an ``os._exit`` or SIGKILL loses at most one half-written line, which
+    ``events_path`` (optional) names this attempt's *private*
+    flight-recorder journal: the worker narrates its pipeline and breaker
+    events there, one flushed line each, and the parent folds the file
+    into the merged journal after reaping the process — so even an
+    ``os._exit`` or SIGKILL loses at most one half-written line, which
     the tail-tolerant reader drops.
+
+    ``audit_dir`` (optional, last tuple slot) is the *shared* verdict
+    provenance directory: the worker writes one atomic
+    ``repro.evidence/1`` file per contract straight into it.  No folding
+    needed — shards partition addresses, so each contract has exactly
+    one writer, and a respawned attempt simply rewrites the files for
+    contracts it re-analyzes (checkpoint-restored contracts keep the
+    evidence the dead attempt already persisted).
     """
     (spec, task_id, shard_index, addresses, checkpoint_path, resume,
-     result_path, events_path) = task
+     result_path, events_path, audit_dir) = task
 
     def beat(completed: int = 0) -> None:
         try:
@@ -199,7 +207,8 @@ def _supervised_worker(task: tuple, heartbeat_queue) -> None:
     try:
         try:
             world = _world_for(spec)
-            proxion = spec.build_proxion(world, events=events)
+            proxion = spec.build_proxion(world, events=events,
+                                         audit=audit_dir)
             beat()  # world built, analysis starting
 
             if resume and os.path.exists(checkpoint_path):
@@ -296,7 +305,8 @@ def run_supervised_sweep(spec, *,
                          world: Any = None,
                          config: SupervisorConfig | None = None,
                          progress: Callable[[str], None] | None = None,
-                         events_path: str | None = None):
+                         events_path: str | None = None,
+                         audit_dir: str | None = None):
     """Run one landscape sweep under supervision and merge deterministically.
 
     The drop-in process backend of
@@ -304,7 +314,12 @@ def run_supervised_sweep(spec, *,
     ``config`` and ``events_path``.  ``events_path``, when set, is where
     the merged ``repro.events/1`` flight-recorder journal is written
     (typically next to the checkpoint); ``repro status`` / ``repro tail``
-    and the ``/healthz`` probe read it live.  Returns the same
+    and the ``/healthz`` probe read it live.  ``audit_dir``, when set,
+    turns on verdict provenance: every worker attaches an
+    :class:`~repro.obs.provenance.AuditDir` over that shared directory
+    and persists one evidence file per contract — atomically, so crashed
+    attempts never leave a corrupt file, and respawn/bisection replays
+    only rewrite what they re-analyze.  Returns the same
     :class:`~repro.parallel.engine.ShardedSweepResult` (with its
     supervision fields populated).
     """
@@ -404,7 +419,7 @@ def run_supervised_sweep(spec, *,
                 f"task{task.task_id:03d}.a{task.attempts}.events.jsonl")
         payload = (spec, task.task_id, task.shard, task.addresses,
                    task.checkpoint_path, task.resume, result_path_of(task),
-                   worker_events)
+                   worker_events, audit_dir)
         process = context.Process(target=_supervised_worker,
                                   args=(payload, heartbeats), daemon=True)
         process.start()

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.chain.blockchain import Blockchain
 from repro.chain.dataset import ContractDataset
-from repro.chain.explorer import ContractSource, SourceRegistry
+from repro.chain.explorer import SourceRegistry
 from repro.chain.node import ArchiveNode
 from repro.lang import compile_contract, contract_source_of, stdlib
 from repro.utils import encode_call

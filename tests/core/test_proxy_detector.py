@@ -17,7 +17,7 @@ from repro.lang.storage_layout import (
 )
 from repro.utils import encode_call
 
-from tests.conftest import ALICE, BOB
+from tests.conftest import ALICE
 
 
 @pytest.fixture()

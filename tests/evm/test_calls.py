@@ -4,8 +4,6 @@ return-data plumbing, depth limits."""
 from __future__ import annotations
 
 from repro.evm import opcodes as op
-from repro.evm.environment import BlockContext
-from repro.evm.interpreter import EVM, Message
 from repro.evm.state import MemoryState
 from repro.evm.tracer import CallTracer, StorageTracer
 

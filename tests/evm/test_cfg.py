@@ -9,7 +9,7 @@ from repro.core.signature_extractor import dispatcher_selectors
 from repro.evm import opcodes as op
 from repro.evm.cfg import build_cfg, dispatcher_functions
 from repro.evm.disassembler import disassemble
-from repro.lang import ast, compile_contract, stdlib
+from repro.lang import compile_contract, stdlib
 
 from tests.conftest import ALICE
 from tests.evm.helpers import asm, push

@@ -18,7 +18,6 @@ from repro.evm.interpreter import EVM, Message
 from repro.evm.state import OverlayState
 from repro.evm.tracer import StorageTracer
 from repro.lang import compile_contract, stdlib
-from repro.utils import encode_call
 
 from tests.conftest import ALICE, BOB
 

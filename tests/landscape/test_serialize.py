@@ -66,6 +66,26 @@ def test_collision_records_present(sweep) -> None:
         assert collision["proxy_range"][0] < collision["proxy_range"][1]
 
 
+def test_evidence_digest_rides_in_analysis_records(sweep) -> None:
+    from repro.landscape.serialize import dict_to_analysis
+    from repro.obs.provenance import SCHEMA
+
+    plain = analysis_to_dict(next(iter(sweep.analyses.values())))
+    assert "evidence" not in plain    # un-audited sweeps stay digest-free
+
+    analysis = next(iter(sweep.analyses.values()))
+    digest = {"schema": SCHEMA, "sections": ["proxy_detection"],
+              "kinds": {"proxy_detection": 1}}
+    analysis.evidence_digest = digest
+    try:
+        record = analysis_to_dict(analysis)
+        assert record["evidence"] == digest
+        restored = dict_to_analysis(json.loads(json.dumps(record)))
+        assert restored.evidence_digest == digest
+    finally:
+        analysis.evidence_digest = None
+
+
 def test_cli_json_mode(capsys) -> None:
     from repro.cli import main
     assert main(["survey", "--total", "40", "--seed", "2", "--json"]) == 0

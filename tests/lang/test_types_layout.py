@@ -13,7 +13,7 @@ from repro.lang.storage_layout import (
     compute_layout,
     mapping_element_slot,
 )
-from repro.lang.types import MappingType, ValueType, parse_type, types_compatible
+from repro.lang.types import MappingType, parse_type, types_compatible
 
 
 def test_parse_elementary_types() -> None:

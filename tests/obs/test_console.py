@@ -199,3 +199,78 @@ def test_health_of_empty_or_unreadable_journals(tmp_path) -> None:
                                     "reason": "journal has no events yet"}
     verdict = journal_health(str(tmp_path / "absent.jsonl"))
     assert not verdict["healthy"] and "cannot read" in verdict["reason"]
+
+
+def test_eta_absent_while_throughput_is_zero(tmp_path) -> None:
+    """A started sweep with zero completed contracts has no throughput
+    and no ETA — and the renderer must not divide by it."""
+    path = _write(tmp_path / "stall.jsonl",
+                  (SWEEP_START, 10.0, None, {"contracts": 20, "workers": 1}),
+                  (WORKER_SPAWN, 10.1, 0, {"task": 0, "total": 20,
+                                           "depth": 0}),
+                  (SUPERVISOR_TICK, 11.0, 0, {"completed": 0,
+                                              "lag_s": 0.1}))
+    status = journal_snapshot(path, now_mono=15.0)
+    assert status.started and not status.finished
+    assert status.completed == 0
+    assert status.elapsed_s == pytest.approx(5.0)
+    assert status.throughput_cps is None
+    assert status.eta_s is None
+    rendered = render_status(status)
+    assert "eta" not in rendered
+    assert "contracts/s" not in rendered
+    assert "0/20" in rendered
+
+
+def test_tail_follow_delivers_a_partial_line_once_and_whole(
+        tmp_path) -> None:
+    """A writer caught mid-append: the dangling half-line is held back,
+    then delivered exactly once when its newline lands."""
+    import json as _json
+
+    path = _write(tmp_path / "midline.jsonl", LIVE_ROWS[0])
+    spawn = Event(kind=WORKER_SPAWN, ts=1.0, mono=20.0, pid=101, seq=1,
+                  shard=0, attrs={"task": 0})
+    spawn_line = _json.dumps(spawn.to_dict(), separators=(",", ":")) + "\n"
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.write(spawn_line[:17])  # mid-append, no newline yet
+
+    def finish_the_line() -> None:
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write(spawn_line[17:])
+
+    def end_the_sweep() -> None:
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write(_json.dumps(
+                Event(kind=SWEEP_END, ts=2.0, mono=21.0, pid=101,
+                      seq=2).to_dict(), separators=(",", ":")) + "\n")
+
+    script = iter([finish_the_line, end_the_sweep])
+
+    def fake_sleep(_seconds: float) -> None:
+        next(script)()
+
+    events = list(tail_journal(path, follow=True, sleep=fake_sleep))
+    kinds = [event.kind for event in events]
+    assert kinds == [SWEEP_START, WORKER_SPAWN, SWEEP_END]
+    # Delivered whole: the reassembled event carries its full attributes.
+    assert events[1].attrs == {"task": 0}
+    assert events[1].seq == 1
+
+
+def test_total_order_breaks_mono_and_pid_ties_by_seq() -> None:
+    """Events sharing one monotonic reading *and* one writer keep their
+    per-writer emission order (seq); across writers, pid breaks the tie."""
+    from repro.obs.events import total_order
+
+    def at(mono: float, pid: int, seq: int) -> Event:
+        return Event(kind="supervisor.tick", ts=0.0, mono=mono, pid=pid,
+                     seq=seq)
+
+    same_writer = [at(5.0, 7, 2), at(5.0, 7, 0), at(5.0, 7, 1)]
+    assert [e.seq for e in total_order(same_writer)] == [0, 1, 2]
+
+    across = [at(5.0, 9, 0), at(5.0, 7, 5), at(4.0, 9, 9)]
+    ordered = total_order(across)
+    assert [(e.mono, e.pid, e.seq) for e in ordered] \
+        == [(4.0, 9, 9), (5.0, 7, 5), (5.0, 9, 0)]

@@ -55,6 +55,55 @@ def test_prometheus_sanitizes_metric_names() -> None:
     assert "repro_weird_name_with_junk 1" in text
 
 
+def test_prometheus_snapshot_with_help_lines() -> None:
+    """Exact exposition snapshot: HELP precedes TYPE for known metrics."""
+    assert to_prometheus(_populated()) == (
+        "# HELP repro_rpc_calls Archive-node RPC calls issued, "
+        "per method.\n"
+        "# TYPE repro_rpc_calls counter\n"
+        'repro_rpc_calls{method="eth_getCode"} 12\n'
+        'repro_rpc_calls{method="eth_getStorageAt"} 26\n'
+        "# HELP repro_monitor_poll_lag Blocks the live monitor trails "
+        "the chain head by.\n"
+        "# TYPE repro_monitor_poll_lag gauge\n"
+        "repro_monitor_poll_lag 3\n"
+        "# HELP repro_rpc_latency_seconds Archive-node RPC latency, "
+        "per method.\n"
+        "# TYPE repro_rpc_latency_seconds histogram\n"
+        'repro_rpc_latency_seconds_bucket{method="eth_getCode",'
+        'le="0.001"} 1\n'
+        'repro_rpc_latency_seconds_bucket{method="eth_getCode",'
+        'le="0.1"} 2\n'
+        'repro_rpc_latency_seconds_bucket{method="eth_getCode",'
+        'le="+Inf"} 3\n'
+        'repro_rpc_latency_seconds_sum{method="eth_getCode"} 2.0505\n'
+        'repro_rpc_latency_seconds_count{method="eth_getCode"} 3\n'
+    )
+
+
+def test_prometheus_unknown_metric_gets_no_help_line() -> None:
+    registry = MetricsRegistry()
+    registry.counter("weird.name").inc()
+    text = to_prometheus(registry)
+    assert "# HELP" not in text
+    assert "# TYPE repro_weird_name counter" in text
+
+
+def test_help_table_covers_the_registry_call_sites() -> None:
+    """Every curated HELP entry is a raw dotted name, single line, and
+    every metric the core sweep emits has one."""
+    from repro.obs.export import METRIC_HELP
+    for name, help_text in METRIC_HELP.items():
+        assert "\n" not in help_text and help_text.strip() == help_text
+        assert name == name.lower()
+    for required in ("rpc.calls", "rpc.latency_seconds", "span.seconds",
+                     "dedup.hits", "dedup.misses",
+                     "logic_recovery.getstorageat_calls",
+                     "pipeline.quarantined", "parallel.respawns",
+                     "resilience.retries", "faults.injected"):
+        assert required in METRIC_HELP
+
+
 def test_json_round_trip_matches_snapshot() -> None:
     registry = _populated()
     decoded = json.loads(to_json(registry))

@@ -1,0 +1,218 @@
+"""Verdict provenance: trails, the null object, audit dirs, rendering."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.provenance import (
+    AuditDir,
+    EVIDENCE_KINDS,
+    EvidenceNode,
+    EvidenceTrail,
+    NULL_TRAIL,
+    PROXY_PROBE,
+    SCHEMA,
+    SEARCH_STEP,
+    SECTION_LOGIC,
+    SECTION_PROXY,
+    STORAGE_COLLISION,
+    evidence_filename,
+    render_trail,
+)
+
+ADDRESS = bytes(range(20))
+
+
+def _sample_trail() -> EvidenceTrail:
+    trail = EvidenceTrail(ADDRESS)
+    with trail.begin(SECTION_PROXY):
+        trail.note(PROXY_PROBE, calldata="0xaabbccdd", source="crafted")
+        with trail.begin("proxy.pattern", location="storage", slot="0x0"):
+            trail.note("proxy.sload", slot="0x0", matched=True)
+    with trail.begin(SECTION_LOGIC):
+        trail.note(SEARCH_STEP, decision="split", low=0, high=8, mid=4)
+    return trail
+
+
+# ------------------------------------------------------------------ recording
+def test_note_and_begin_build_a_nested_tree() -> None:
+    trail = _sample_trail()
+    assert [section.kind for section in trail.sections] == [
+        SECTION_PROXY, SECTION_LOGIC]
+    proxy = trail.sections[0]
+    assert [child.kind for child in proxy.children] == [
+        PROXY_PROBE, "proxy.pattern"]
+    assert proxy.children[1].children[0].detail["matched"] is True
+    assert len(trail) == 6
+
+
+def test_note_kind_is_positional_only() -> None:
+    """A detail key literally named ``kind`` (storage collisions have one)
+    must land in the detail dict, not collide with the parameter."""
+    trail = EvidenceTrail(ADDRESS)
+    node = trail.note(STORAGE_COLLISION, kind="sensitive-overlap", slot=3)
+    assert node.kind == STORAGE_COLLISION
+    assert node.detail == {"kind": "sensitive-overlap", "slot": 3}
+    with trail.begin(SECTION_PROXY, kind="nested-detail"):
+        pass
+    assert trail.sections[-1].detail == {"kind": "nested-detail"}
+    # The null object accepts the same call shape.
+    NULL_TRAIL.note(STORAGE_COLLISION, kind="sensitive-overlap")
+    with NULL_TRAIL.begin(SECTION_PROXY, kind="x"):
+        pass
+
+
+def test_sections_begin_pops_even_on_error() -> None:
+    trail = EvidenceTrail(ADDRESS)
+    with pytest.raises(RuntimeError):
+        with trail.begin(SECTION_PROXY):
+            raise RuntimeError("boom")
+    trail.note(PROXY_PROBE, calldata="0x")
+    assert [section.kind for section in trail.sections] == [
+        SECTION_PROXY, PROXY_PROBE]
+
+
+# ---------------------------------------------------------------- null object
+def test_null_trail_records_nothing_and_reuses_its_node() -> None:
+    before = len(NULL_TRAIL)
+    first = NULL_TRAIL.note(PROXY_PROBE, calldata="0x")
+    with NULL_TRAIL.begin(SECTION_PROXY) as section:
+        second = NULL_TRAIL.note(SEARCH_STEP, decision="uniform")
+    assert first is second is section
+    assert len(NULL_TRAIL) == before == 0
+    assert NULL_TRAIL.enabled is False and EvidenceTrail().enabled is True
+
+
+# ------------------------------------------------------------- serialization
+def test_to_dict_from_dict_round_trip() -> None:
+    trail = _sample_trail()
+    record = trail.to_dict()
+    assert record["schema"] == SCHEMA
+    assert record["address"] == "0x" + ADDRESS.hex()
+    restored = EvidenceTrail.from_dict(json.loads(json.dumps(record)))
+    assert restored.to_dict() == record
+    assert restored.address == ADDRESS
+
+
+def test_digest_is_deterministic_and_compact() -> None:
+    digest = _sample_trail().digest()
+    assert digest == {
+        "schema": SCHEMA,
+        "sections": [SECTION_PROXY, SECTION_LOGIC],
+        "kinds": {
+            PROXY_PROBE: 1, "proxy.pattern": 1, "proxy.sload": 1,
+            SEARCH_STEP: 1, SECTION_LOGIC: 1, SECTION_PROXY: 1,
+        },
+    }
+    assert list(digest["kinds"]) == sorted(digest["kinds"])
+    assert digest == _sample_trail().digest()
+
+
+def test_taxonomy_kinds_are_unique_dotted_lowercase() -> None:
+    assert len(set(EVIDENCE_KINDS)) == len(EVIDENCE_KINDS)
+    for kind in EVIDENCE_KINDS:
+        assert kind == kind.lower() and " " not in kind
+
+
+# ------------------------------------------------------------------ audit dir
+def test_audit_dir_write_read_round_trip(tmp_path) -> None:
+    audit = AuditDir(str(tmp_path / "audit"))
+    path = audit.write(_sample_trail())
+    assert os.path.basename(path) == evidence_filename(ADDRESS)
+    assert not os.path.exists(path + ".tmp")
+    header = json.loads(open(path, encoding="utf-8").readline())
+    assert header == {"schema": SCHEMA, "address": "0x" + ADDRESS.hex(),
+                      "pid": os.getpid()}
+    restored = audit.read(ADDRESS)
+    assert restored.to_dict() == _sample_trail().to_dict()
+    assert audit.addresses() == [ADDRESS]
+
+
+def test_audit_dir_rejects_trail_without_address(tmp_path) -> None:
+    with pytest.raises(ConfigurationError, match="without an address"):
+        AuditDir(str(tmp_path)).write(EvidenceTrail())
+
+
+def test_audit_dir_drops_a_truncated_final_line(tmp_path) -> None:
+    audit = AuditDir(str(tmp_path))
+    path = audit.write(_sample_trail())
+    whole = open(path, encoding="utf-8").read()
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(whole[:-20])        # crash mid-final-line
+    restored = audit.read(ADDRESS)
+    assert [section.kind for section in restored.sections] == [SECTION_PROXY]
+
+
+def test_audit_dir_refuses_earlier_corruption(tmp_path) -> None:
+    audit = AuditDir(str(tmp_path))
+    path = audit.write(_sample_trail())
+    lines = open(path, encoding="utf-8").read().splitlines()
+    lines[1] = lines[1][:10]             # garble a non-final line
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write("\n".join(lines) + "\n")
+    with pytest.raises(ConfigurationError, match="corrupt at line 2"):
+        audit.read(ADDRESS)
+
+
+def test_audit_dir_validates_schema_and_missing_files(tmp_path) -> None:
+    audit = AuditDir(str(tmp_path))
+    with pytest.raises(ConfigurationError, match="no evidence"):
+        audit.read(ADDRESS)
+    path = os.path.join(str(tmp_path), evidence_filename(ADDRESS))
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write('{"schema": "repro.evidence/999"}\n')
+    with pytest.raises(ConfigurationError, match="schema"):
+        audit.read(ADDRESS)
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write("not json\n")
+    with pytest.raises(ConfigurationError, match="unreadable header"):
+        audit.read(ADDRESS)
+
+
+def test_audit_dir_ignores_foreign_files(tmp_path) -> None:
+    audit = AuditDir(str(tmp_path))
+    audit.write(_sample_trail())
+    (tmp_path / "README.txt").write_text("not evidence")
+    (tmp_path / "zz.evidence.jsonl").write_text("{}")   # non-hex stem
+    assert audit.addresses() == [ADDRESS]
+
+
+def test_write_survives_non_json_detail_values(tmp_path) -> None:
+    trail = EvidenceTrail(ADDRESS)
+    trail.note(PROXY_PROBE, payload=b"\x00\x01")
+    audit = AuditDir(str(tmp_path))
+    audit.write(trail)
+    restored = audit.read(ADDRESS)
+    assert restored.sections[0].detail["payload"] == repr(b"\x00\x01")
+
+
+# ------------------------------------------------------------------ rendering
+def test_render_trail_is_an_indented_narrative() -> None:
+    text = render_trail(_sample_trail())
+    lines = text.splitlines()
+    assert lines[0] == f"evidence for 0x{ADDRESS.hex()} ({SCHEMA})"
+    assert "  proxy detection" in lines[1]
+    assert any(line.startswith("    probe 0xaabbccdd") for line in lines)
+    assert any(line.startswith("      SLOAD slot 0x0")
+               and "matched the delegation target" in line for line in lines)
+    assert any("split at 4" in line for line in lines)
+
+
+def test_render_trail_handles_empty_and_unknown_kinds() -> None:
+    empty = EvidenceTrail(ADDRESS)
+    assert "(no evidence recorded)" in render_trail(empty)
+    trail = EvidenceTrail(ADDRESS)
+    trail.note("future.kind", why="forward-compat")
+    assert "future.kind: why=forward-compat" in render_trail(trail)
+
+
+def test_node_walk_is_preorder() -> None:
+    root = EvidenceNode("a", children=[
+        EvidenceNode("b", children=[EvidenceNode("c")]),
+        EvidenceNode("d"),
+    ])
+    assert [node.kind for node in root.walk()] == ["a", "b", "c", "d"]

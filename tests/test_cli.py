@@ -281,6 +281,106 @@ def test_status_and_tail_reject_bad_journals(tmp_path, capsys) -> None:
     assert "error:" in capsys.readouterr().err
 
 
+def test_survey_audit_then_explain_round_trip(tmp_path, capsys) -> None:
+    from repro.obs.provenance import SCHEMA, AuditDir
+    audit = str(tmp_path / "audit")
+    assert main(["survey", "--total", "30", "--seed", "3",
+                 "--audit", audit]) == 0
+    capsys.readouterr()
+    addresses = AuditDir(audit).addresses()
+    assert addresses
+
+    rendered = "0x" + addresses[0].hex()
+    assert main(["explain", rendered, "--audit", audit]) == 0
+    narrative = capsys.readouterr().out
+    assert narrative.startswith(f"evidence for {rendered} ({SCHEMA})")
+    assert "proxy detection" in narrative
+
+    assert main(["explain", rendered, "--audit", audit, "--json"]) == 0
+    import json
+    record = json.loads(capsys.readouterr().out)
+    assert record["schema"] == SCHEMA
+    assert record["address"] == rendered
+    assert record["evidence"]
+
+
+def test_survey_audit_parallel_matches_serial(tmp_path, capsys) -> None:
+    import filecmp
+    import json
+    from repro.obs.provenance import AuditDir
+    serial_dir = str(tmp_path / "serial")
+    parallel_dir = str(tmp_path / "parallel")
+    assert main(["survey", "--total", "30", "--seed", "7", "--json",
+                 "--audit", serial_dir]) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(["survey", "--total", "30", "--seed", "7", "--json",
+                 "--workers", "2", "--audit", parallel_dir]) == 0
+    parallel = json.loads(capsys.readouterr().out)
+    assert parallel == serial
+    # Every analysis carries an evidence digest when audited.
+    assert all("evidence" in contract for contract in serial["contracts"])
+    serial_addrs = AuditDir(serial_dir).addresses()
+    assert serial_addrs == AuditDir(parallel_dir).addresses()
+    for address in serial_addrs:
+        a = AuditDir(serial_dir).read(address)
+        b = AuditDir(parallel_dir).read(address)
+        assert a.to_dict() == b.to_dict()
+    assert not filecmp.dircmp(serial_dir, parallel_dir).right_only
+
+
+def test_survey_without_audit_has_no_evidence_key(capsys) -> None:
+    import json
+    assert main(["survey", "--total", "30", "--seed", "7", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert all("evidence" not in contract
+               for contract in report["contracts"])
+
+
+def test_survey_audit_unwritable_dir_errors(tmp_path, capsys) -> None:
+    blocker = tmp_path / "file"
+    blocker.write_text("not a directory")
+    assert main(["survey", "--total", "20",
+                 "--audit", str(blocker / "audit")]) == 2
+    assert "audit" in capsys.readouterr().err
+
+
+def test_explain_fresh_analysis_matches_audited(tmp_path, capsys) -> None:
+    import json
+    from repro.obs.provenance import AuditDir
+    audit = str(tmp_path / "audit")
+    assert main(["survey", "--total", "30", "--seed", "3",
+                 "--audit", audit]) == 0
+    capsys.readouterr()
+    rendered = "0x" + AuditDir(audit).addresses()[0].hex()
+    assert main(["explain", rendered, "--audit", audit, "--json"]) == 0
+    from_audit = json.loads(capsys.readouterr().out)
+    assert main(["explain", rendered, "--total", "30", "--seed", "3",
+                 "--json"]) == 0
+    fresh = json.loads(capsys.readouterr().out)
+    assert fresh == from_audit
+
+
+def test_explain_rejects_bad_addresses(tmp_path, capsys) -> None:
+    assert main(["explain", "not-hex"]) == 2
+    assert "address" in capsys.readouterr().err
+    assert main(["explain", "0xabcd"]) == 2
+    assert "20-byte" in capsys.readouterr().err
+    assert main(["explain", "0x" + "11" * 20,
+                 "--audit", str(tmp_path / "empty")]) == 2
+    assert "no evidence" in capsys.readouterr().err
+
+
+def test_accuracy_events_journal(tmp_path, capsys) -> None:
+    import json
+    journal = str(tmp_path / "acc.events.jsonl")
+    assert main(["accuracy", "--pairs", "2", "--seed", "1",
+                 "--events", journal]) == 0
+    capsys.readouterr()
+    assert main(["status", journal, "--json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["finished"] and snapshot["started"]
+
+
 def test_accuracy_metrics_prom_and_trace(tmp_path, capsys) -> None:
     prom = tmp_path / "acc.prom"
     trace = tmp_path / "acc.jsonl"
