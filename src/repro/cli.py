@@ -159,6 +159,22 @@ def _survey_impl(args: argparse.Namespace, obs: dict) -> int:
         print("error: --resume requires --checkpoint FILE", file=sys.stderr)
         return 2
 
+    store_path = args.store
+    if args.db:
+        if store_path is not None and store_path != args.db:
+            print("error: --db is a deprecated alias of --store; the two "
+                  "name different paths — pass --store only",
+                  file=sys.stderr)
+            return 2
+        store_path = args.db
+        print("note: --db is deprecated; use --store PATH (same "
+              "repro.store/1 database, now written through during the "
+              "sweep)", file=sys.stderr)
+    if args.incremental and store_path is None:
+        print("error: --incremental requires --store PATH (the store is "
+              "where settled work is read from)", file=sys.stderr)
+        return 2
+
     audit = None
     if args.audit:
         from repro.errors import ConfigurationError
@@ -222,7 +238,8 @@ def _survey_impl(args: argparse.Namespace, obs: dict) -> int:
                 world=landscape, checkpoint_path=args.checkpoint,
                 resume=args.resume, supervise=supervise,
                 progress=None if args.json else print,
-                events_path=args.events, audit_dir=args.audit)
+                events_path=args.events, audit_dir=args.audit,
+                store_path=store_path, incremental=args.incremental)
         except (ConfigurationError, OSError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -268,10 +285,21 @@ def _survey_impl(args: argparse.Namespace, obs: dict) -> int:
                       f"(seed={args.chaos_seed}) behind the resilient "
                       f"layer")
 
+        store_binding = None
+        if store_path is not None:
+            from repro.errors import ConfigurationError
+            from repro.store import attach_store
+            try:
+                store_binding = attach_store(store_path,
+                                             incremental=args.incremental)
+            except ConfigurationError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+
         proxion = Proxion(node, registry=landscape.registry,
                           dataset=landscape.dataset,
                           options=options, evm_profiler=flame_profiler,
-                          events=events, audit=audit)
+                          events=events, audit=audit, store=store_binding)
         obs["registry"] = proxion.metrics
         if args.trace_jsonl:
             from repro.obs import JsonLinesSink
@@ -310,17 +338,20 @@ def _survey_impl(args: argparse.Namespace, obs: dict) -> int:
         finally:
             if checkpoint is not None:
                 checkpoint.close()
+            if store_binding is not None:
+                store_binding.close()
         if events is not None:
             events.emit(SWEEP_END, analyses=len(report.analyses),
                         failures=len(report.failures))
         metrics = proxion.metrics
 
-    if args.db:
-        from repro.landscape.store import ResultStore
-        with ResultStore(args.db) as store:
-            store.save_report(report)
-        if not args.json:
-            print(f"sweep persisted to {args.db}")
+    if store_path is not None and not args.json:
+        restored = metrics.snapshot()["counters"].get(
+            "pipeline.store_restored_contracts", 0)
+        suffix = (f" ({restored} contracts restored, not re-analyzed)"
+                  if restored else "")
+        print(f"store: sweep persisted to {store_path}{suffix} — inspect "
+              f"with `repro store stats {store_path}`")
 
     if args.metrics_prom:
         from repro.obs import to_prometheus
@@ -389,6 +420,64 @@ def _survey_impl(args: argparse.Namespace, obs: dict) -> int:
         print()
         print(survey_metrics_summary(metrics))
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """`repro store fsck|stats|vacuum PATH` — store maintenance."""
+    import json as _json
+
+    from repro.errors import ConfigurationError
+    from repro.store import fsck, stats, vacuum
+
+    try:
+        if args.action == "fsck":
+            report = fsck(args.path, repair=args.repair)
+            if args.json:
+                print(_json.dumps({
+                    "path": report.path, "issues": report.issues,
+                    "repaired": report.repaired, "fatal": report.fatal,
+                    "ok": report.ok}, indent=2, sort_keys=True))
+            elif report.clean:
+                print(f"{args.path}: clean")
+            else:
+                for issue in report.issues:
+                    fixed = " [repaired]" if issue in report.repaired else ""
+                    print(f"{args.path}: {issue}{fixed}")
+                if report.fatal:
+                    print(f"{args.path}: unrecoverable — quarantine the "
+                          f"file (sweeps do this automatically) or delete "
+                          f"it and re-sweep", file=sys.stderr)
+                elif report.issues and not args.repair and not report.ok:
+                    print(f"{args.path}: rerun with --repair to fix",
+                          file=sys.stderr)
+            return 0 if report.ok else 1
+        if args.action == "stats":
+            payload = stats(args.path)
+            if args.json:
+                print(_json.dumps(payload, indent=2, sort_keys=True))
+            else:
+                print(f"{payload['path']}: {payload['schema']}")
+                for table, count in sorted(payload["tables"].items()):
+                    print(f"  {table:18s} {count:>8d}")
+                leverage = payload["dedup_leverage"]
+                print(f"  unique codehashes  "
+                      f"{payload['unique_code_hashes']:>8d}"
+                      + (f"  ({leverage}x dedup leverage)"
+                         if leverage else ""))
+                print(f"  file bytes         {payload['file_bytes']:>8d}"
+                      f"  (+{payload['wal_bytes']} WAL)")
+            return 0
+        payload = vacuum(args.path)
+        if args.json:
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"{args.path}: {payload['bytes_before']} -> "
+                  f"{payload['bytes_after']} bytes "
+                  f"({payload['bytes_reclaimed']} reclaimed)")
+        return 0
+    except (ConfigurationError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -701,8 +790,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="chain profile (ethereum/polygon/bsc/arbitrum)")
     survey.add_argument("--json", action="store_true",
                         help="emit the full sweep as JSON")
-    survey.add_argument("--db", default=None,
-                        help="persist the sweep to an SQLite file")
+    survey.add_argument("--store", default=None, metavar="PATH",
+                        help="durable repro.store/1 analysis store: dedup "
+                             "facts and per-contract results are written "
+                             "through during the sweep (docs/persistence.md)")
+    survey.add_argument("--incremental", action="store_true",
+                        help="with --store: restore every contract the "
+                             "store already settles and analyze only the "
+                             "delta; the merged report is byte-identical "
+                             "to a from-scratch sweep")
+    survey.add_argument("--db", default=None, metavar="PATH",
+                        help="deprecated alias of --store")
     survey.add_argument("--workers", type=int, default=1, metavar="N",
                         help="shard the sweep across N worker processes "
                              "(default 1 = serial; docs/parallelism.md)")
@@ -745,6 +843,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--list", action="store_true",
                        help="list the registered workloads and exit")
     bench.set_defaults(func=_cmd_bench)
+
+    store = commands.add_parser(
+        "store", help="maintain a repro.store/1 analysis store")
+    store.add_argument("action", choices=("fsck", "stats", "vacuum"),
+                       help="fsck: integrity check (exit 1 on unrepaired "
+                            "damage); stats: row counts and dedup "
+                            "leverage; vacuum: WAL checkpoint + compact")
+    store.add_argument("path", help="store file (survey --store PATH)")
+    store.add_argument("--repair", action="store_true",
+                       help="with fsck: drop garbled rows, resolve "
+                            "instance-table overlaps, rebuild derived "
+                            "tables")
+    store.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    store.set_defaults(func=_cmd_store)
 
     status = commands.add_parser(
         "status", help="snapshot a sweep's flight-recorder journal")

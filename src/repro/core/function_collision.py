@@ -24,6 +24,7 @@ from repro.core.signature_extractor import dispatcher_selectors
 from repro.obs import provenance
 from repro.obs.provenance import NULL_TRAIL, EvidenceTrail
 from repro.utils.abi import function_selector
+from repro.utils.keccak import keccak256
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,10 +58,17 @@ def _selector_map_from_source(prototypes: tuple[str, ...]) -> dict[bytes, str]:
 class FunctionCollisionDetector:
     """Cross-checks proxy and logic selector sets."""
 
-    def __init__(self, registry: SourceRegistry | None = None) -> None:
+    def __init__(self, registry: SourceRegistry | None = None, *,
+                 selector_cache: dict[bytes, tuple[bytes, ...]] | None = None,
+                 ) -> None:
         # ``registry or ...`` would discard an *empty* registry (it defines
         # __len__), silently detaching the detector from later verifications.
         self._registry = registry if registry is not None else SourceRegistry()
+        # Codehash-keyed cache of mined dispatcher selector sets — a
+        # repro.store binding passes its write-through dict here, making
+        # the paper's bytecode extraction a durable hash-keyed fact.
+        # Only the bytecode mode caches: source mode is address-dependent.
+        self._selector_cache = selector_cache
 
     def selector_map(self, code: bytes,
                      address: bytes | None = None) -> tuple[dict[bytes, str | None], str]:
@@ -69,6 +77,16 @@ class FunctionCollisionDetector:
         if source is not None:
             named = _selector_map_from_source(source.function_prototypes)
             return dict(named), "source"
+        if self._selector_cache is not None:
+            code_hash = keccak256(code)
+            selectors = self._selector_cache.get(code_hash)
+            if selectors is None:
+                # Canonical (sorted) order: the stored fact must be
+                # byte-stable across writers despite randomized bytes
+                # hashing; collision output is sorted downstream anyway.
+                selectors = tuple(sorted(dispatcher_selectors(code)))
+                self._selector_cache[code_hash] = selectors
+            return {selector: None for selector in selectors}, "bytecode"
         return {selector: None for selector in dispatcher_selectors(code)}, "bytecode"
 
     def detect(self, proxy_code: bytes, logic_code: bytes,

@@ -105,7 +105,8 @@ class Proxion:
                  tracer: SpanTracer | None = None,
                  evm_profiler: ProfilingTracer | None = None,
                  events=None,
-                 audit: AuditDir | str | None = None) -> None:
+                 audit: AuditDir | str | None = None,
+                 store=None) -> None:
         if legacy:
             raise TypeError(
                 f"Proxion() takes only the node positionally "
@@ -146,13 +147,31 @@ class Proxion:
         self.detector = ProxyDetector(self._state, self._block,
                                       profiler=self.evm_profiler)
         self.logic_finder = LogicFinder(node)
-        self.function_detector = FunctionCollisionDetector(self.registry)
+        # Durable analysis store (repro.store): when a StoreBinding is
+        # attached, the §6.1 dedup caches below are its write-through
+        # dicts — hydrated from the store, persisting every insert — and
+        # ``analyze_all`` commits one transaction per finished contract.
+        # Without one, the caches are plain per-process dicts, exactly as
+        # before.
+        self.store = store
+        selector_cache = None
+        if store is not None:
+            store.bind_metrics(self.metrics)
+            self._check_cache: dict[bytes, ProxyCheck] = store.check_cache
+            self._function_cache: dict[tuple[bytes, bytes], object] = (
+                store.function_cache)
+            self._storage_cache: dict[tuple[bytes, bytes], object] = (
+                store.storage_cache)
+            selector_cache = store.selector_cache
+        else:
+            # Dedup caches (§6.1), each with an explicit hit/miss pair.
+            self._check_cache = {}
+            self._function_cache = {}
+            self._storage_cache = {}
+        self.function_detector = FunctionCollisionDetector(
+            self.registry, selector_cache=selector_cache)
         self.storage_detector = StorageCollisionDetector(
             self.registry, self._state, self._block)
-        # Dedup caches (§6.1), each with an explicit hit/miss counter pair.
-        self._check_cache: dict[bytes, ProxyCheck] = {}
-        self._function_cache: dict[tuple[bytes, bytes], object] = {}
-        self._storage_cache: dict[tuple[bytes, bytes], object] = {}
         self._dedup_hits = {cache: self.metrics.counter("dedup.hits",
                                                         cache=cache)
                             for cache in DEDUP_CACHES}
@@ -452,6 +471,8 @@ class Proxion:
                          stage=stage, cause=failure.cause, error=str(error))
         if checkpoint is not None:
             checkpoint.record_failure(failure)
+        if self.store is not None:
+            self.store.record_failure(failure)
 
     def analyze_all(self, addresses: list[bytes] | None = None,
                     checkpoint=None) -> LandscapeReport:
@@ -501,6 +522,39 @@ class Proxion:
                 self.events.emit(CHECKPOINT_RESUME,
                                  restored=len(done) - skips, skips=skips,
                                  recovered_truncations=recovered)
+        store_restored = None
+        if self.store is not None and self.store.incremental:
+            # Incremental re-sweep (repro.store): re-survey the corpus by
+            # fetching each address's code and restoring every instance
+            # the store has already settled — the live loop below then
+            # analyzes only the delta.  Code is read metrics-free off the
+            # state (like sharding): the restore is bookkeeping, not RPC
+            # traffic, and must not be perturbed by chaos wrappers.
+            from repro.store.binding import restore_instances
+            try:
+                store_restored = restore_instances(
+                    self.store.store, addresses, self._state.get_code,
+                    already=done)
+            except ConfigurationError:
+                raise
+            except Exception as error:
+                self.store.disable(f"restore from {self.store.path!r} "
+                                   f"failed ({error})")
+                store_restored = None
+            if store_restored is not None:
+                for analysis in store_restored.analyses:
+                    report.add(analysis)
+                for failure in store_restored.failures:
+                    report.add_failure(failure)
+                done = frozenset(done | store_restored.completed)
+                self.metrics.counter("pipeline.store_restored_contracts").inc(
+                    len(store_restored.analyses)
+                    + len(store_restored.failures))
+                self.metrics.counter("pipeline.store_restored_skips").inc(
+                    len(store_restored.skips))
+                if store_restored.invalidated:
+                    self.metrics.counter("store.invalidated_instances").inc(
+                        store_restored.invalidated)
         hits_before = {c: counter.value
                        for c, counter in self._dedup_hits.items()}
         misses_before = {c: counter.value
@@ -527,6 +581,8 @@ class Proxion:
                     # §3.1: destroyed contracts are excluded.
                     if checkpoint is not None:
                         checkpoint.record_skip(address)
+                    if self.store is not None:
+                        self.store.record_skip(address)
                     continue
                 try:
                     analysis = self.analyze_contract(address)
@@ -543,6 +599,11 @@ class Proxion:
                 report.add(analysis)
                 if checkpoint is not None:
                     checkpoint.record_analysis(analysis)
+                if self.store is not None:
+                    # One transaction per contract: staged fact writes
+                    # commit together with the instance row, so kill -9
+                    # rolls back to the previous contract boundary.
+                    self.store.record_analysis(analysis)
         if self.evm_profiler is not None:
             self.evm_profiler.flush_to(self.metrics)
 
@@ -563,6 +624,36 @@ class Proxion:
             misses_before, self._dedup_misses, "storage_collision")
         report.collision_cache_hits = (report.function_cache_hits
                                        + report.storage_cache_hits)
+        if store_restored is not None and store_restored.completed:
+            report = self._fold_restored(report, addresses, store_restored)
         self.events.emit(PIPELINE_END, analyses=len(report.analyses),
                          failures=len(report.failures))
         return report
+
+    def _fold_restored(self, report: LandscapeReport,
+                       addresses: list[bytes], restored) -> LandscapeReport:
+        """Make an incremental sweep byte-identical to a cold one.
+
+        Two adjustments: re-emit contracts in sweep order (restored rows
+        were pre-seeded before the delta, which interleaves wrongly when
+        an invalidated mid-corpus address was re-analyzed), and add the
+        replayed counter baseline — the dedup hits/misses a from-scratch
+        sweep would have accrued over the restored prefix (see
+        :func:`repro.store.binding.replayed_counter_baseline`).
+        """
+        from repro.landscape.merge import _COUNTER_FIELDS
+        from repro.store.binding import replayed_counter_baseline
+
+        ordered = LandscapeReport()
+        for address in addresses:
+            if address in report.analyses:
+                ordered.add(report.analyses[address])
+            elif address in report.failures:
+                ordered.add_failure(report.failures[address])
+        for name in _COUNTER_FIELDS:
+            setattr(ordered, name, getattr(report, name))
+        baseline = replayed_counter_baseline(
+            restored.analyses, self._state.get_code, self.options)
+        for name, value in baseline.items():
+            setattr(ordered, name, getattr(ordered, name) + value)
+        return ordered

@@ -1,63 +1,30 @@
-"""SQLite persistence for analysis sweeps.
+"""Legacy result-store shim over :mod:`repro.store` (deprecated).
 
-A 36M-contract analysis (65 hours on the paper's server) cannot live in
-memory between sessions; the real system necessarily persists results.
-:class:`ResultStore` is that layer: sweeps are written into a small
-relational schema (contracts, logic links, collisions) and can be queried
-without re-running any analysis.
+:class:`ResultStore` predates the durable analysis store; it persisted a
+*finished* report post-hoc into its own three-table schema.  There is now
+exactly one persistence format — ``repro.store/1``
+(:class:`~repro.store.AnalysisStore`), which the pipeline writes through
+*during* the sweep — and this module is a thin compatibility layer over
+it: same constructor, same write entry points, same query surface
+(implemented on the new tables), emitting a :class:`DeprecationWarning`
+that points at the replacement.
 
-Only the standard library's :mod:`sqlite3` is used.  A path of ``":memory:"``
-gives an ephemeral store (the default, handy for tests).
+Prefer ``survey --store PATH`` (the CLI's ``--db`` is an alias of it) and
+:class:`repro.store.AnalysisStore` in code.
 """
 
 from __future__ import annotations
 
-import sqlite3
+import warnings
 from dataclasses import dataclass
 
 from repro.core.report import ContractAnalysis, LandscapeReport
-
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS contracts (
-    address        TEXT PRIMARY KEY,
-    code_hash      TEXT NOT NULL,
-    has_source     INTEGER NOT NULL,
-    has_tx         INTEGER NOT NULL,
-    deploy_block   INTEGER,
-    deploy_year    INTEGER,
-    is_proxy       INTEGER NOT NULL,
-    standard       TEXT,
-    logic_location TEXT,
-    logic_slot     TEXT,
-    emulation_failed INTEGER NOT NULL
-);
-CREATE TABLE IF NOT EXISTS logic_links (
-    proxy    TEXT NOT NULL,
-    position INTEGER NOT NULL,
-    logic    TEXT NOT NULL,
-    PRIMARY KEY (proxy, position)
-);
-CREATE TABLE IF NOT EXISTS collisions (
-    proxy     TEXT NOT NULL,
-    logic     TEXT NOT NULL,
-    kind      TEXT NOT NULL,            -- 'function' | 'storage'
-    detail    TEXT NOT NULL,            -- selector hex / slot description
-    sensitive INTEGER NOT NULL DEFAULT 0,
-    verified  INTEGER NOT NULL DEFAULT 0
-);
-CREATE INDEX IF NOT EXISTS idx_contracts_proxy ON contracts(is_proxy);
-CREATE INDEX IF NOT EXISTS idx_contracts_year ON contracts(deploy_year);
-CREATE INDEX IF NOT EXISTS idx_collisions_kind ON collisions(kind);
-"""
-
-
-def _hex(data: bytes | None) -> str | None:
-    return None if data is None else "0x" + data.hex()
+from repro.store.store import AnalysisStore
 
 
 @dataclass(frozen=True, slots=True)
 class StoredContract:
-    """One row of the ``contracts`` table."""
+    """One proxy row, as the legacy query surface shaped it."""
 
     address: str
     code_hash: str
@@ -73,14 +40,23 @@ class StoredContract:
 
 
 class ResultStore:
-    """Persist and query ProxioN sweeps."""
+    """Deprecated alias of :class:`repro.store.AnalysisStore`.
+
+    Kept for one release so existing callers (and ``survey --db``) keep
+    working; the data lands in the unified ``repro.store/1`` schema, so
+    a database written here is directly usable with ``--store``,
+    ``--incremental`` and ``repro store fsck|stats|vacuum``.
+    """
 
     def __init__(self, path: str = ":memory:") -> None:
-        self._connection = sqlite3.connect(path)
-        self._connection.executescript(_SCHEMA)
+        warnings.warn(
+            "ResultStore is deprecated; use repro.store.AnalysisStore "
+            "(same data, durable repro.store/1 schema) instead",
+            DeprecationWarning, stacklevel=2)
+        self._store = AnalysisStore(path)
 
     def close(self) -> None:
-        self._connection.close()
+        self._store.close()
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -90,76 +66,20 @@ class ResultStore:
 
     # ---------------------------------------------------------------- writes
     def save_analysis(self, analysis: ContractAnalysis) -> None:
-        check = analysis.check
-        self._connection.execute(
-            "INSERT OR REPLACE INTO contracts VALUES "
-            "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                _hex(analysis.address),
-                _hex(analysis.code_hash),
-                int(analysis.has_source),
-                int(analysis.has_transactions),
-                analysis.deploy_block,
-                analysis.deploy_year,
-                int(analysis.is_proxy),
-                analysis.standard.value if analysis.standard else None,
-                check.logic_location.value if check else None,
-                (hex(check.logic_slot)
-                 if check and check.logic_slot is not None else None),
-                int(analysis.emulation_failed),
-            ))
-        proxy_hex = _hex(analysis.address)
-        self._connection.execute(
-            "DELETE FROM logic_links WHERE proxy = ?", (proxy_hex,))
-        self._connection.execute(
-            "DELETE FROM collisions WHERE proxy = ?", (proxy_hex,))
-        if analysis.logic_history is not None:
-            self._connection.executemany(
-                "INSERT INTO logic_links VALUES (?, ?, ?)",
-                [(proxy_hex, position, _hex(logic))
-                 for position, logic in enumerate(
-                     analysis.logic_history.logic_addresses)])
-        for report in analysis.function_reports:
-            for collision in report.collisions:
-                self._connection.execute(
-                    "INSERT INTO collisions VALUES (?, ?, 'function', ?, 0, 0)",
-                    (proxy_hex, _hex(report.logic),
-                     _hex(collision.selector)))
-        for report in analysis.storage_reports:
-            for collision in report.collisions:
-                self._connection.execute(
-                    "INSERT INTO collisions VALUES "
-                    "(?, ?, 'storage', ?, ?, ?)",
-                    (proxy_hex, _hex(report.logic), str(collision.slot),
-                     int(collision.sensitive), int(collision.verified)))
+        self._store.save_analysis(analysis)
 
     def save_report(self, report: LandscapeReport) -> None:
-        for analysis in report.analyses.values():
-            self.save_analysis(analysis)
-        self._connection.commit()
+        self._store.save_report(report)
 
     # ---------------------------------------------------------------- reads
     def contract_count(self) -> int:
-        row = self._connection.execute(
-            "SELECT COUNT(*) FROM contracts").fetchone()
-        return row[0]
+        return self._store.contract_count()
 
     def proxies(self, standard: str | None = None,
                 year: int | None = None,
                 hidden_only: bool = False) -> list[StoredContract]:
-        query = ("SELECT address, code_hash, has_source, has_tx, "
-                 "deploy_year, is_proxy, standard FROM contracts "
-                 "WHERE is_proxy = 1")
-        parameters: list = []
-        if standard is not None:
-            query += " AND standard = ?"
-            parameters.append(standard)
-        if year is not None:
-            query += " AND deploy_year = ?"
-            parameters.append(year)
-        if hidden_only:
-            query += " AND has_source = 0 AND has_tx = 0"
-        rows = self._connection.execute(query, parameters).fetchall()
+        rows = self._store.proxies(standard=standard, year=year,
+                                   hidden_only=hidden_only)
         return [StoredContract(address, code_hash, bool(has_source),
                                bool(has_tx), deploy_year, bool(is_proxy),
                                stored_standard)
@@ -167,30 +87,14 @@ class ResultStore:
                      is_proxy, stored_standard) in rows]
 
     def logic_chain(self, proxy_address: str) -> list[str]:
-        rows = self._connection.execute(
-            "SELECT logic FROM logic_links WHERE proxy = ? ORDER BY position",
-            (proxy_address,)).fetchall()
-        return [row[0] for row in rows]
+        return self._store.logic_chain(proxy_address)
 
     def collisions(self, kind: str | None = None,
                    verified_only: bool = False) -> list[tuple[str, str, str]]:
-        query = "SELECT proxy, logic, detail FROM collisions WHERE 1=1"
-        parameters: list = []
-        if kind is not None:
-            query += " AND kind = ?"
-            parameters.append(kind)
-        if verified_only:
-            query += " AND verified = 1"
-        return self._connection.execute(query, parameters).fetchall()
+        return self._store.collisions(kind=kind, verified_only=verified_only)
 
     def standards_census(self) -> dict[str, int]:
-        rows = self._connection.execute(
-            "SELECT standard, COUNT(*) FROM contracts "
-            "WHERE is_proxy = 1 GROUP BY standard").fetchall()
-        return {standard: count for standard, count in rows}
+        return self._store.standards_census()
 
     def yearly_counts(self) -> dict[int, int]:
-        rows = self._connection.execute(
-            "SELECT deploy_year, COUNT(*) FROM contracts "
-            "WHERE deploy_year IS NOT NULL GROUP BY deploy_year").fetchall()
-        return {year: count for year, count in rows}
+        return self._store.yearly_counts()

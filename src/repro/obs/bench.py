@@ -470,6 +470,77 @@ def _pipeline_audited_workload(workers: int = 4) -> Workload:
         setup=setup, run=run)
 
 
+def _pipeline_incremental_workload() -> Workload:
+    def setup(config: BenchConfig):
+        import tempfile
+
+        from repro.core.pipeline import Proxion
+        from repro.store import attach_store
+
+        # The "corpus before growth": the first half of the landscape,
+        # swept once into a warm store.  Each timed repeat then re-sweeps
+        # the full (2x grown) corpus incrementally from a pristine copy
+        # of that store — the O(delta) claim under test.  One untimed
+        # cold full sweep is clocked here for the warm/cold ratio.
+        world = _landscape(config.scale(120, 250), config.seed)
+        addresses = world.addresses()
+        workdir = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+        warm_path = os.path.join(workdir.name, "warm.store")
+        with attach_store(warm_path) as binding:
+            proxion = Proxion.from_chain(world.chain,
+                                         registry=world.registry,
+                                         dataset=world.dataset,
+                                         store=binding)
+            proxion.analyze_all(addresses[:len(addresses) // 2])
+        start = clock()
+        cold = Proxion.from_chain(world.chain, registry=world.registry,
+                                  dataset=world.dataset)
+        cold.analyze_all(addresses)
+        cold_wall_s = clock() - start
+        # The TemporaryDirectory object rides along so the warm store
+        # outlives setup (it is deleted with the context).
+        return world, workdir, warm_path, cold_wall_s
+
+    def run(context, config: BenchConfig):
+        import shutil
+
+        from repro.core.pipeline import Proxion
+        from repro.store import attach_store
+
+        world, workdir, warm_path, cold_wall_s = context
+        run_path = os.path.join(workdir.name, "run.store")
+        for suffix in ("", "-wal", "-shm"):
+            if os.path.exists(warm_path + suffix):
+                shutil.copyfile(warm_path + suffix, run_path + suffix)
+        start = clock()
+        with attach_store(run_path, incremental=True) as binding:
+            proxion = Proxion.from_chain(world.chain,
+                                         registry=world.registry,
+                                         dataset=world.dataset,
+                                         store=binding)
+            report = proxion.analyze_all()
+        warm_wall_s = clock() - start
+        counters = proxion.metrics.snapshot()["counters"]
+        return proxion.metrics, {
+            "contracts": len(report),
+            "restored_contracts": counters.get(
+                "pipeline.store_restored_contracts", 0),
+            "emulated_code_hashes": counters.get(
+                'dedup.misses{cache="proxy_check"}', 0),
+            "cold_wall_s": round(cold_wall_s, 4),
+            "warm_over_cold": (round(warm_wall_s / cold_wall_s, 3)
+                               if cold_wall_s else None),
+        }
+
+    return Workload(
+        name="pipeline_incremental",
+        description="warm --store --incremental re-sweep of a 2x grown "
+                    "corpus (first half already settled in the store) vs "
+                    "the cold from-scratch sweep: the warm_over_cold "
+                    "ratio is the O(delta) headline",
+        setup=setup, run=run)
+
+
 def _build_workloads() -> dict[str, Workload]:
     suite = [
         _sweep_workload(50, 80),
@@ -478,6 +549,7 @@ def _build_workloads() -> dict[str, Workload]:
         _pipeline_faulty_workload(),
         _pipeline_parallel_workload(),
         _pipeline_audited_workload(),
+        _pipeline_incremental_workload(),
         _pipeline_supervised_workload(),
         _pipeline_supervised_events_workload(),
         _proxy_check_workload(),

@@ -64,6 +64,11 @@ METRIC_HELP: dict[str, str] = {
     "pipeline.resumed_contracts":
         "Contracts restored from a checkpoint instead of re-analyzed.",
     "pipeline.resumed_skips": "Dead addresses restored from a checkpoint.",
+    "pipeline.store_restored_contracts":
+        "Contracts restored from the durable store instead of re-analyzed "
+        "(survey --store --incremental).",
+    "pipeline.store_restored_skips":
+        "Dead addresses restored from the durable store.",
     "proxy_check.emulation_failures":
         "4.2 proxy-check emulation failures, per cause.",
     "resilience.backoff_seconds":
@@ -83,6 +88,12 @@ METRIC_HELP: dict[str, str] = {
         "eth_call emulations that terminated abnormally, per cause.",
     "rpc.latency_seconds": "Archive-node RPC latency, per method.",
     "span.seconds": "Wall-clock duration of pipeline stages, per span name.",
+    "store.invalidated_instances":
+        "Stored per-address rows discarded because the address's bytecode "
+        "changed since they were committed.",
+    "store.write_errors":
+        "Store writes that failed and switched the binding to in-memory "
+        "operation (run `repro store fsck` afterwards).",
 }
 
 

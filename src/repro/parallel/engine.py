@@ -123,12 +123,19 @@ def _run_shard(task: tuple, events=None) -> dict[str, Any]:
     :class:`~repro.obs.events.EventRecorder`, sequential path only) lets
     the in-process shards narrate into the caller's flight recorder.
     """
-    # The sixth slot (audit_dir) is optional so pre-provenance 5-tuples
-    # keep working (older checkpoint drivers, the pool-era tests).
+    # The sixth/seventh slots (audit_dir, store_spec) are optional so
+    # pre-provenance 5-tuples keep working (older checkpoint drivers,
+    # the pool-era tests).
     spec, shard_index, addresses, checkpoint_path, resume, *rest = task
     audit_dir = rest[0] if rest else None
+    store_spec = rest[1] if len(rest) > 1 else None
     world = _world_for(spec)
-    proxion = spec.build_proxion(world, events=events, audit=audit_dir)
+    binding = None
+    if store_spec is not None:
+        from repro.store.binding import open_worker_binding
+        binding = open_worker_binding(store_spec, shard_index)
+    proxion = spec.build_proxion(world, events=events, audit=audit_dir,
+                                 store=binding)
 
     checkpoint: SweepCheckpoint | None = None
     if checkpoint_path is not None:
@@ -142,6 +149,8 @@ def _run_shard(task: tuple, events=None) -> dict[str, Any]:
     finally:
         if checkpoint is not None:
             checkpoint.close()
+        if binding is not None:
+            binding.close()
 
 
 def _partial_report(result: dict[str, Any]) -> LandscapeReport:
@@ -182,6 +191,9 @@ class ShardedSweepResult:
     respawns: int = 0
     hung_kills: int = 0
     poison_contracts: int = 0
+    #: Contracts restored from the durable store instead of re-analyzed
+    #: (``--store --incremental`` sweeps only).
+    store_restored: int = 0
 
     @property
     def sum_shard_cpu_s(self) -> float:
@@ -204,6 +216,92 @@ class ShardedSweepResult:
         return self.sum_shard_cpu_s / slowest if slowest else 1.0
 
 
+def _remove_store_files(path: str) -> None:
+    """Delete one SQLite database and its WAL sidecars."""
+    for candidate in (path, path + "-wal", path + "-shm"):
+        try:
+            os.remove(candidate)
+        except OSError:
+            pass
+
+
+def _salvage_shard_stores(store, store_path: str,
+                          say: Callable[[str], None]) -> None:
+    """Fold leftover shard stores of a killed sweep into the main store.
+
+    A ``kill -9`` of the *parent* mid-merge (or mid-sweep) leaves
+    ``PATH.shardNN`` files whose committed rows are a consistent prefix
+    of each worker's progress (per-contract transactions).  Recovering
+    them before this sweep starts means ``--incremental`` resumes from
+    everything any worker ever committed; unmergeable leftovers are
+    discarded with a warning — they are this sweep's own temp files,
+    never operator data.
+    """
+    import glob
+
+    for shard_path in sorted(glob.glob(store_path + ".shard[0-9][0-9]")):
+        try:
+            store.merge_from(shard_path)
+            say(f"store: salvaged stale shard store {shard_path}")
+        except Exception as error:
+            say(f"store: stale shard store {shard_path!r} not mergeable "
+                f"({error}) — discarded")
+        _remove_store_files(shard_path)
+
+
+def _fold_store(result: ShardedSweepResult, store, restored,
+                addresses: list[bytes], code_of, spec: SweepSpec,
+                workers: int, store_path: str,
+                say: Callable[[str], None]) -> ShardedSweepResult:
+    """Post-sweep store work: fold restored prefix, merge shard stores."""
+    from repro.store.binding import (
+        replayed_counter_baseline,
+        shard_store_path,
+    )
+
+    if restored is not None and restored.completed:
+        prefix = LandscapeReport()
+        for analysis in restored.analyses:
+            prefix.add(analysis)
+        for failure in restored.failures:
+            prefix.add_failure(failure)
+        report = merge_reports([prefix, result.report], order=addresses)
+        # The dedup counters a from-scratch sweep would have accrued over
+        # the restored prefix — replayed from the restored analyses, never
+        # read from the store (a kill -9 could leave stored counters
+        # stale; the committed rows themselves cannot lie).
+        baseline = replayed_counter_baseline(restored.analyses, code_of,
+                                             spec.options)
+        for name, value in baseline.items():
+            setattr(report, name, getattr(report, name) + value)
+        result.report = report
+        result.store_restored = (len(restored.analyses)
+                                 + len(restored.failures))
+        result.metrics.counter("pipeline.store_restored_contracts").inc(
+            result.store_restored)
+        result.metrics.counter("pipeline.store_restored_skips").inc(
+            len(restored.skips))
+        if restored.invalidated:
+            result.metrics.counter("store.invalidated_instances").inc(
+                restored.invalidated)
+    for shard in range(workers):
+        path = shard_store_path(store_path, shard)
+        if not os.path.exists(path):
+            continue
+        try:
+            store.merge_from(path)
+        except Exception as error:
+            say(f"store: shard store {path!r} not mergeable ({error}) — "
+                f"discarded (its contracts were still merged into the "
+                f"report from the worker's result)")
+        _remove_store_files(path)
+    try:
+        store.close()
+    except Exception as error:
+        say(f"store: closing {store_path!r} failed ({error})")
+    return result
+
+
 def run_sharded_sweep(spec: SweepSpec, *,
                       workers: int = 4,
                       strategy: str = "codehash",
@@ -216,6 +314,8 @@ def run_sharded_sweep(spec: SweepSpec, *,
                       supervise: Any = None,
                       events_path: str | None = None,
                       audit_dir: str | None = None,
+                      store_path: str | None = None,
+                      incremental: bool = False,
                       ) -> ShardedSweepResult:
     """Run one landscape sweep across ``workers`` shards and merge.
 
@@ -238,15 +338,18 @@ def run_sharded_sweep(spec: SweepSpec, *,
     directory (shards partition addresses, so each contract has exactly
     one writer), and the merged report's analyses carry evidence
     digests.
-    """
-    if processes and workers > 1:
-        from repro.parallel.supervisor import run_supervised_sweep
-        return run_supervised_sweep(
-            spec, workers=workers, strategy=strategy, addresses=addresses,
-            checkpoint_path=checkpoint_path, resume=resume, world=world,
-            config=supervise, progress=progress, events_path=events_path,
-            audit_dir=audit_dir)
 
+    ``store_path`` binds the sweep to a durable ``repro.store/1``
+    database (:mod:`repro.store`): the parent opens (or creates,
+    quarantining corruption) the main store, each worker writes a
+    private ``PATH.shardNN`` store — single writer per file, the
+    checkpoint idiom — and the parent folds the shard stores back after
+    the merge.  With ``incremental`` the parent first restores every
+    instance the store has already settled (validating stored codehashes
+    against the live code) and dispatches only the pending delta; the
+    merged report is byte-identical to a from-scratch sweep of the same
+    corpus.
+    """
     wall_start = time.perf_counter()
     say = progress or (lambda message: None)
 
@@ -259,15 +362,58 @@ def run_sharded_sweep(spec: SweepSpec, *,
     addresses = list(addresses)
 
     def code_of(address: bytes) -> bytes:
-        # Metrics-free read straight off the simulated state: sharding is
-        # bookkeeping, not RPC traffic, and must not perturb counters.
+        # Metrics-free read straight off the simulated state: sharding and
+        # store restore are bookkeeping, not RPC traffic, and must not
+        # perturb counters (or be perturbed by chaos wrappers).
         return world.chain.state.get_code(address)
 
-    partitions = shard_addresses(addresses, workers, strategy,
+    store = None
+    restored = None
+    store_spec: tuple[str, bool] | None = None
+    pending = addresses
+    if store_path is not None:
+        from repro.store.binding import open_store, restore_instances
+        store = open_store(store_path)
+        if store is not None:
+            store_spec = (store_path, incremental)
+            _salvage_shard_stores(store, store_path, say)
+            if incremental:
+                restored = restore_instances(store, addresses, code_of)
+                pending = [address for address in addresses
+                           if address not in restored.completed]
+                say(f"store: restored {len(restored.analyses)} analyses, "
+                    f"{len(restored.failures)} failures, "
+                    f"{len(restored.skips)} skips from {store_path} — "
+                    f"{len(pending)} contract(s) pending")
+
+    if not pending:
+        result = ShardedSweepResult(
+            report=LandscapeReport(), metrics=MetricsRegistry(),
+            shards=[], workers=workers, strategy=strategy,
+            wall_s=time.perf_counter() - wall_start)
+        say("store: nothing pending — the store already settles the "
+            "whole corpus")
+        return _fold_store(result, store, restored, addresses, code_of,
+                           spec, workers, store_path, say)
+
+    if processes and workers > 1:
+        from repro.parallel.supervisor import run_supervised_sweep
+        result = run_supervised_sweep(
+            spec, workers=workers, strategy=strategy, addresses=pending,
+            checkpoint_path=checkpoint_path, resume=resume, world=world,
+            config=supervise, progress=progress, events_path=events_path,
+            audit_dir=audit_dir, store_spec=store_spec)
+        if store is not None:
+            result = _fold_store(result, store, restored, addresses,
+                                 code_of, spec, workers, store_path, say)
+        return result
+
+    partitions = shard_addresses(pending, workers, strategy,
                                  code_of=code_of)
-    tasks = [(spec, index, partition, checkpoint_path, resume, audit_dir)
+    tasks = [(spec, index, partition, checkpoint_path, resume, audit_dir,
+              store_spec)
              for index, partition in enumerate(partitions)]
-    say(f"sweeping {len(addresses)} contracts across {workers} "
+    say(f"sweeping {len(pending)} contracts across {workers} "
         f"shard(s), strategy={strategy}")
 
     journal = None
@@ -276,7 +422,7 @@ def run_sharded_sweep(spec: SweepSpec, *,
         from repro.obs import events as ev
         journal = ev.EventJournal.create(events_path)
         events = ev.EventRecorder(sinks=(journal,))
-        events.emit(ev.SWEEP_START, contracts=len(addresses),
+        events.emit(ev.SWEEP_START, contracts=len(pending),
                     workers=workers, strategy=strategy, chaos=spec.chaos)
 
     results = [_run_shard(task, events=events) for task in tasks]
@@ -291,7 +437,7 @@ def run_sharded_sweep(spec: SweepSpec, *,
 
     results.sort(key=lambda result: result["shard"])
     report = merge_reports([_partial_report(result) for result in results],
-                           order=addresses)
+                           order=pending)
     metrics = MetricsRegistry()
     for result in results:
         metrics.merge_state(result["metrics"])
@@ -307,6 +453,9 @@ def run_sharded_sweep(spec: SweepSpec, *,
     say(f"merged {len(report.analyses)} analyses, "
         f"{len(report.failures)} failures "
         f"(critical-path speedup {outcome.critical_path_speedup:.2f}x)")
+    if store is not None:
+        outcome = _fold_store(outcome, store, restored, addresses, code_of,
+                              spec, workers, store_path, say)
     return outcome
 
 

@@ -73,7 +73,8 @@ class SweepSpec:
                                      events=events)
         return node
 
-    def build_proxion(self, world, events=None, audit=None) -> Proxion:
+    def build_proxion(self, world, events=None, audit=None,
+                      store=None) -> Proxion:
         """The full per-worker analyzer, options applied.
 
         ``audit`` (an :class:`~repro.obs.provenance.AuditDir` or path)
@@ -82,13 +83,20 @@ class SweepSpec:
         Shards partition the address list, so workers share one audit
         directory without coordination — each contract has exactly one
         writer.
+
+        ``store`` (a :class:`~repro.store.StoreBinding`, optional) makes
+        the worker's dedup caches durable — in a sharded sweep each
+        worker gets a binding over its *own* shard store
+        (:func:`~repro.store.open_worker_binding`), upholding the
+        single-writer-per-file discipline.
         """
         return Proxion.from_node(self.build_node(world, events=events),
                                  registry=world.registry,
                                  dataset=world.dataset,
                                  options=self.options,
                                  events=events,
-                                 audit=audit)
+                                 audit=audit,
+                                 store=store)
 
 
 __all__ = ["SweepSpec"]

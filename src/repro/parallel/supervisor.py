@@ -186,9 +186,17 @@ def _supervised_worker(task: tuple, heartbeat_queue) -> None:
     one writer, and a respawned attempt simply rewrites the files for
     contracts it re-analyzes (checkpoint-restored contracts keep the
     evidence the dead attempt already persisted).
+
+    ``store_spec`` (optional, last tuple slot) is the durable-store
+    binding spec ``(main_store_path, incremental)``: the worker writes
+    analysis facts through to its *own* ``PATH.shardNN`` store (single
+    writer per file — the parent folds shard stores after the merge) and,
+    when incremental, warms its caches read-only from the main store.
+    Bisected halves of one shard share the shard store; SQLite WAL plus
+    the 30s busy timeout absorbs that concurrency.
     """
     (spec, task_id, shard_index, addresses, checkpoint_path, resume,
-     result_path, events_path, audit_dir) = task
+     result_path, events_path, audit_dir, store_spec) = task
 
     def beat(completed: int = 0) -> None:
         try:
@@ -204,11 +212,15 @@ def _supervised_worker(task: tuple, heartbeat_queue) -> None:
     if events_path is not None:
         journal = EventJournal.create(events_path)
         events = EventRecorder(sinks=(journal,), shard=shard_index)
+    binding = None
     try:
         try:
             world = _world_for(spec)
+            if store_spec is not None:
+                from repro.store.binding import open_worker_binding
+                binding = open_worker_binding(store_spec, shard_index)
             proxion = spec.build_proxion(world, events=events,
-                                         audit=audit_dir)
+                                         audit=audit_dir, store=binding)
             beat()  # world built, analysis starting
 
             if resume and os.path.exists(checkpoint_path):
@@ -227,6 +239,8 @@ def _supervised_worker(task: tuple, heartbeat_queue) -> None:
             # operator mistake.  Ship it to the parent, which fails loudly.
             result = {"fatal": str(error)}
     finally:
+        if binding is not None:
+            binding.close()
         if journal is not None:
             journal.close()
 
@@ -306,7 +320,8 @@ def run_supervised_sweep(spec, *,
                          config: SupervisorConfig | None = None,
                          progress: Callable[[str], None] | None = None,
                          events_path: str | None = None,
-                         audit_dir: str | None = None):
+                         audit_dir: str | None = None,
+                         store_spec: tuple[str, bool] | None = None):
     """Run one landscape sweep under supervision and merge deterministically.
 
     The drop-in process backend of
@@ -319,9 +334,13 @@ def run_supervised_sweep(spec, *,
     :class:`~repro.obs.provenance.AuditDir` over that shared directory
     and persists one evidence file per contract — atomically, so crashed
     attempts never leave a corrupt file, and respawn/bisection replays
-    only rewrite what they re-analyze.  Returns the same
-    :class:`~repro.parallel.engine.ShardedSweepResult` (with its
-    supervision fields populated).
+    only rewrite what they re-analyze.  ``store_spec``
+    (``(main_store_path, incremental)``, optional) wires each worker to
+    a durable analysis store: workers write facts to their own
+    ``PATH.shardNN`` stores (the parent — ``run_sharded_sweep`` — folds
+    them back into the main store after the merge, the checkpoint idiom).
+    Returns the same :class:`~repro.parallel.engine.ShardedSweepResult`
+    (with its supervision fields populated).
     """
     # Imported here, not at module top: engine imports this module lazily
     # and the two would otherwise be circular.
@@ -419,7 +438,7 @@ def run_supervised_sweep(spec, *,
                 f"task{task.task_id:03d}.a{task.attempts}.events.jsonl")
         payload = (spec, task.task_id, task.shard, task.addresses,
                    task.checkpoint_path, task.resume, result_path_of(task),
-                   worker_events, audit_dir)
+                   worker_events, audit_dir, store_spec)
         process = context.Process(target=_supervised_worker,
                                   args=(payload, heartbeats), daemon=True)
         process.start()

@@ -1,0 +1,478 @@
+"""Wiring between :class:`~repro.store.store.AnalysisStore` and the pipeline.
+
+:class:`StoreBinding` is what a :class:`~repro.core.pipeline.Proxion`
+actually holds: the three §6.1 dedup caches (plus the selector-set
+cache) as *write-through dicts* hydrated from the store, and the
+per-contract record hooks that commit one transaction per finished
+contract.  The pipeline keeps using plain ``dict`` operations — the
+binding makes them durable.
+
+Failure philosophy (the robustness headline):
+
+* a store that cannot be *opened* is quarantined (renamed to
+  ``PATH.quarantined``) and replaced, or — when even that fails — the
+  sweep runs with plain in-memory caches.  An operator-paid sweep is
+  never aborted over its cache layer;
+* a store write that fails mid-sweep :meth:`~StoreBinding.disable`\\ s
+  the binding — one warning, a ``store.write_errors`` tick, and the
+  dicts keep working purely in memory;
+* schema mismatches are the one *loud* failure
+  (:class:`~repro.errors.ConfigurationError`): silently ignoring a
+  future layout risks corrupting it.
+
+Incremental restore and the counter-replay baseline live here too:
+:func:`restore_instances` re-surveys a grown corpus by fetching each
+address's code and validating it against the stored codehash (only
+byte-identical deployments are trusted), and
+:func:`replayed_counter_baseline` reconstructs the dedup counters a
+from-scratch sweep would have accrued over the restored prefix — by
+replaying cache behavior over the restored analyses, *not* by trusting
+any stored counter, so a ``kill -9`` can never leave the baseline stale.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.report import ContractAnalysis, ContractFailure
+from repro.errors import ConfigurationError
+from repro.landscape.serialize import dict_to_analysis
+from repro.store import facts as factser
+from repro.store.store import AnalysisStore
+from repro.utils.keccak import keccak256
+
+
+def _default_warn(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+def shard_store_path(path: str, shard: int) -> str:
+    """The per-shard store of a parallel sweep (the checkpoint idiom).
+
+    Workers of a sharded sweep never share a writable database: shard
+    ``N`` writes ``PATH.shardNN`` exclusively, and the parent folds the
+    shard stores into ``PATH`` after the workers exit
+    (:meth:`AnalysisStore.merge_from`).
+    """
+    return f"{path}.shard{shard:02d}"
+
+
+# ----------------------------------------------------------------- fact sets
+@dataclass(slots=True)
+class FactSet:
+    """The hash-keyed cache contents, as plain dicts."""
+
+    checks: dict[bytes, Any] = field(default_factory=dict)
+    selectors: dict[bytes, tuple[bytes, ...]] = field(default_factory=dict)
+    function_reports: dict[tuple[bytes, bytes], Any] = field(
+        default_factory=dict)
+    storage_reports: dict[tuple[bytes, bytes], Any] = field(
+        default_factory=dict)
+
+    def absorb(self, other: "FactSet") -> None:
+        """Overlay ``other``'s facts (other wins on shared keys)."""
+        self.checks.update(other.checks)
+        self.selectors.update(other.selectors)
+        self.function_reports.update(other.function_reports)
+        self.storage_reports.update(other.storage_reports)
+
+
+def load_facts(store: AnalysisStore) -> FactSet:
+    """Hydrate every hash-keyed fact of a store."""
+    return FactSet(
+        checks=store.load_checks(),
+        selectors={code_hash: selectors for code_hash, selectors
+                   in store.load_selector_sets().items()},
+        function_reports=store.load_collision_reports("function"),
+        storage_reports=store.load_collision_reports("storage"),
+    )
+
+
+class _WriteThrough(dict):
+    """A dict whose inserts also persist through a (guarded) writer."""
+
+    __slots__ = ("_write",)
+
+    def __init__(self, initial: dict, write: Callable[[Any, Any], None],
+                 ) -> None:
+        super().__init__(initial)
+        self._write = write
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self._write(key, value)
+
+
+# ------------------------------------------------------------------ binding
+class StoreBinding:
+    """One pipeline's live connection to an :class:`AnalysisStore`."""
+
+    def __init__(self, store: AnalysisStore, *,
+                 incremental: bool = False,
+                 facts: FactSet | None = None,
+                 warn: Callable[[str], None] | None = None) -> None:
+        self.store = store
+        self.path = store.path
+        #: When set, ``analyze_all`` restores instance facts from the
+        #: store and sweeps only the delta.
+        self.incremental = incremental
+        self.disabled = False
+        self._warn = warn if warn is not None else _default_warn
+        self._write_errors = None  # bound by :meth:`bind_metrics`
+        facts = facts if facts is not None else load_facts(store)
+        self.check_cache: dict = _WriteThrough(
+            facts.checks,
+            lambda key, value: self._guard(store.save_check, key, value))
+        self.selector_cache: dict = _WriteThrough(
+            facts.selectors,
+            lambda key, value: self._guard(store.save_selectors, key, value))
+        self.function_cache: dict = _WriteThrough(
+            facts.function_reports,
+            lambda key, value: self._guard(self._save_function, key, value))
+        self.storage_cache: dict = _WriteThrough(
+            facts.storage_reports,
+            lambda key, value: self._guard(self._save_storage, key, value))
+
+    # ------------------------------------------------------------- plumbing
+    def bind_metrics(self, registry) -> None:
+        self._write_errors = registry.counter("store.write_errors")
+
+    def disable(self, reason: str) -> None:
+        """Degrade to in-memory caches; warn once, never abort the sweep."""
+        if self.disabled:
+            return
+        self.disabled = True
+        if self._write_errors is not None:
+            self._write_errors.inc()
+        self._warn(f"store: {reason} — continuing with in-memory caches "
+                   f"only (run `repro store fsck {self.path}` afterwards)")
+
+    def _guard(self, write: Callable, *args) -> None:
+        if self.disabled:
+            return
+        try:
+            write(*args)
+        except ConfigurationError:
+            raise
+        except Exception as error:
+            self.disable(f"write to {self.path!r} failed ({error})")
+
+    def _save_function(self, pair: tuple[bytes, bytes], report) -> None:
+        self.store.save_collision_report(
+            pair, "function", factser.function_report_to_record(report))
+
+    def _save_storage(self, pair: tuple[bytes, bytes], report) -> None:
+        self.store.save_collision_report(
+            pair, "storage", factser.storage_report_to_record(report))
+
+    # ------------------------------------------------- per-contract commits
+    def record_analysis(self, analysis: ContractAnalysis) -> None:
+        """Persist one finished contract — facts staged since the last
+        commit ride in the same transaction, so a ``kill -9`` leaves the
+        store at an exact contract boundary."""
+        self._guard(self._commit_analysis, analysis)
+
+    def _commit_analysis(self, analysis: ContractAnalysis) -> None:
+        self.store.save_analysis(analysis)
+        self.store.commit()
+
+    def record_failure(self, failure: ContractFailure) -> None:
+        self._guard(self._commit_failure, failure)
+
+    def _commit_failure(self, failure: ContractFailure) -> None:
+        self.store.save_failure(failure)
+        self.store.commit()
+
+    def record_skip(self, address: bytes) -> None:
+        self._guard(self._commit_skip, address)
+
+    def _commit_skip(self, address: bytes) -> None:
+        self.store.save_skip(address)
+        self.store.commit()
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        try:
+            self.store.close()
+        except Exception as error:
+            if not self.disabled:
+                self._warn(f"store: closing {self.path!r} failed ({error})")
+
+    def __enter__(self) -> "StoreBinding":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+# ------------------------------------------------------- opening & fallback
+def quarantine_store(path: str) -> str:
+    """Move an unreadable store (and WAL sidecars) out of the way."""
+    target = path + ".quarantined"
+    suffix = 0
+    while os.path.exists(target):
+        suffix += 1
+        target = f"{path}.quarantined.{suffix}"
+    os.replace(path, target)
+    for ext in ("-wal", "-shm"):
+        if os.path.exists(path + ext):
+            os.replace(path + ext, target + ext)
+    return target
+
+
+def open_store(path: str,
+               warn: Callable[[str], None] = _default_warn,
+               ) -> AnalysisStore | None:
+    """Open (or create) a store; quarantine corruption; never raise I/O.
+
+    Returns ``None`` when no durable store can be had — the caller runs
+    with in-memory caches.  :class:`ConfigurationError` (schema
+    mismatch, foreign database) still propagates: those are refused
+    loudly, not silently replaced.
+    """
+    try:
+        return AnalysisStore(path)
+    except ConfigurationError:
+        raise
+    except sqlite3.DatabaseError as error:
+        try:
+            quarantined = quarantine_store(path)
+        except OSError as move_error:
+            warn(f"store: {path!r} is unreadable ({error}) and could not "
+                 f"be quarantined ({move_error}) — running with in-memory "
+                 f"caches only")
+            return None
+        warn(f"store: {path!r} is unreadable ({error}); quarantined to "
+             f"{quarantined!r} and starting fresh")
+        try:
+            return AnalysisStore(path)
+        except Exception as create_error:
+            warn(f"store: cannot recreate {path!r} ({create_error}) — "
+                 f"running with in-memory caches only")
+            return None
+    except OSError as error:
+        warn(f"store: cannot open {path!r} ({error}) — running with "
+             f"in-memory caches only")
+        return None
+
+
+def attach_store(path: str, *, incremental: bool = False,
+                 warn: Callable[[str], None] = _default_warn,
+                 ) -> StoreBinding | None:
+    """Open ``path`` and hydrate a pipeline binding, degrading gracefully."""
+    store = open_store(path, warn=warn)
+    if store is None:
+        return None
+    try:
+        facts = load_facts(store)
+    except ConfigurationError:
+        raise
+    except Exception as error:
+        try:
+            store.close()
+        except Exception:
+            pass
+        try:
+            quarantined = quarantine_store(path)
+        except OSError:
+            warn(f"store: {path!r} has unreadable fact rows ({error}) — "
+                 f"running with in-memory caches only (try `repro store "
+                 f"fsck {path} --repair`)")
+            return None
+        warn(f"store: {path!r} has unreadable fact rows ({error}); "
+             f"quarantined to {quarantined!r} and starting fresh")
+        try:
+            store = AnalysisStore(path)
+        except Exception:
+            return None
+        facts = FactSet()
+    return StoreBinding(store, incremental=incremental, facts=facts,
+                        warn=warn)
+
+
+def open_worker_binding(store_spec: tuple[str, bool] | None,
+                        shard_index: int,
+                        warn: Callable[[str], None] = _default_warn,
+                        ) -> StoreBinding | None:
+    """One shard worker's binding: warm facts in, shard store out.
+
+    The worker *reads* hash-keyed facts from the main store (when the
+    sweep is incremental — WAL lets it share the file with the parent's
+    reader) but *writes* exclusively to its own
+    :func:`shard_store_path` database, upholding the
+    single-writer-per-shard discipline; the parent merges afterwards.
+    Instance restore stays in the parent (it partitions the pending
+    addresses), so worker bindings are never ``incremental``.
+    """
+    if store_spec is None:
+        return None
+    path, incremental = store_spec
+    shard_path = shard_store_path(path, shard_index)
+    store = open_store(shard_path, warn=warn)
+    if store is None:
+        return None
+    try:
+        facts = load_facts(store)  # a respawned worker re-reads its own
+    except Exception as error:
+        warn(f"store: shard store {shard_path!r} is unreadable ({error}) "
+             f"— shard {shard_index} runs with in-memory caches only")
+        try:
+            store.close()
+        except Exception:
+            pass
+        return None
+    if incremental:
+        try:
+            with AnalysisStore(path) as main:
+                warm = load_facts(main)
+            warm.absorb(facts)   # the shard's own (newer) facts win
+            facts = warm
+        except ConfigurationError:
+            raise
+        except Exception as error:
+            warn(f"store: cannot hydrate warm facts from {path!r} "
+                 f"({error}) — shard {shard_index} sweeps cold")
+    return StoreBinding(store, incremental=False, facts=facts, warn=warn)
+
+
+# ------------------------------------------------------- incremental restore
+@dataclass(slots=True)
+class RestoredInstances:
+    """What an incremental sweep recovered from the store."""
+
+    analyses: list[ContractAnalysis] = field(default_factory=list)
+    failures: list[ContractFailure] = field(default_factory=list)
+    skips: set[bytes] = field(default_factory=set)
+    completed: set[bytes] = field(default_factory=set)
+    #: Stored instances whose on-chain code no longer matches the stored
+    #: codehash (redeploys, resurrections) — re-analyzed, not trusted.
+    invalidated: int = 0
+
+
+def restore_instances(store: AnalysisStore,
+                      addresses: Sequence[bytes],
+                      code_of: Callable[[bytes], bytes],
+                      already: frozenset[bytes] | set[bytes] = frozenset(),
+                      ) -> RestoredInstances:
+    """Re-survey a corpus against the store, trusting only verified rows.
+
+    For every address (in sweep order) the *current* code is fetched and
+    its keccak256 compared to the stored instance's codehash — a stored
+    analysis is restored only for a byte-identical deployment, a stored
+    skip only for a still-code-less address.  Anything else is left to
+    the live sweep, so corpus mutation degrades to re-analysis, never to
+    stale results.  ``already`` (e.g. checkpoint-restored addresses)
+    are skipped outright.
+    """
+    records = store.load_analyses()
+    failures = store.load_failures()
+    skips = store.load_skips()
+    restored = RestoredInstances()
+    for address in addresses:
+        if address in already:
+            continue
+        record = records.get(address)
+        if record is not None:
+            code = code_of(address)
+            stored_hash = record.get("code_hash")
+            if code and "0x" + keccak256(code).hex() == stored_hash:
+                restored.analyses.append(dict_to_analysis(record))
+                restored.completed.add(address)
+            else:
+                restored.invalidated += 1
+            continue
+        failure = failures.get(address)
+        if failure is not None:
+            # Failures restore unconditionally, mirroring checkpoint
+            # resume: a quarantined contract stays quarantined until the
+            # operator re-sweeps without --incremental.
+            restored.failures.append(failure)
+            restored.completed.add(address)
+            continue
+        if address in skips:
+            if not code_of(address):
+                restored.skips.add(address)
+                restored.completed.add(address)
+            else:
+                restored.invalidated += 1
+    return restored
+
+
+#: The per-sweep counter fields reconstructed by the replay baseline.
+_BASE_FIELDS = (
+    "proxy_check_cache_hits", "proxy_check_cache_misses",
+    "function_cache_hits", "function_cache_misses",
+    "storage_cache_hits", "storage_cache_misses",
+    "collision_cache_hits",
+)
+
+
+def replayed_counter_baseline(analyses: Iterable[ContractAnalysis],
+                              code_of: Callable[[bytes], bytes],
+                              options) -> dict[str, int]:
+    """The dedup counters a cold sweep would accrue over ``analyses``.
+
+    Replays the cache hit/miss behavior of
+    :meth:`~repro.core.pipeline.Proxion.analyze_all` over the restored
+    analyses *in sweep order*, starting from empty caches: first sight
+    of a codehash is a miss, every repeat a hit; ditto per
+    (proxy-code, logic-code) pair for the collision caches.  Added to
+    the delta sweep's own counters this reconstructs exactly the
+    from-scratch totals — **without persisting counters**, which a
+    ``kill -9`` could leave stale.  (Restored *failures* contribute
+    nothing: their partial cache traffic is unknowable, and they only
+    exist on chaos paths where ``summary.dedup`` divergence is already
+    the documented exception.)
+    """
+    base = dict.fromkeys(_BASE_FIELDS, 0)
+    seen_hashes: set[bytes] = set()
+    seen_pairs: set[tuple[bytes, bytes]] = set()
+    pair_hits = pair_misses = 0
+    for analysis in analyses:
+        if not options.dedup_by_code_hash:
+            base["proxy_check_cache_misses"] += 1
+        elif analysis.code_hash in seen_hashes:
+            base["proxy_check_cache_hits"] += 1
+        else:
+            seen_hashes.add(analysis.code_hash)
+            base["proxy_check_cache_misses"] += 1
+        if analysis.logic_history is None:
+            continue
+        for logic_address in analysis.logic_history.logic_addresses:
+            logic_code = code_of(logic_address)
+            if not logic_code:
+                continue
+            pair = (analysis.code_hash, keccak256(logic_code))
+            if pair in seen_pairs:
+                pair_hits += 1
+            else:
+                seen_pairs.add(pair)
+                pair_misses += 1
+    if options.detect_function_collisions:
+        base["function_cache_hits"] = pair_hits
+        base["function_cache_misses"] = pair_misses
+    if options.detect_storage_collisions:
+        base["storage_cache_hits"] = pair_hits
+        base["storage_cache_misses"] = pair_misses
+    base["collision_cache_hits"] = (base["function_cache_hits"]
+                                    + base["storage_cache_hits"])
+    return base
+
+
+__all__ = [
+    "FactSet",
+    "RestoredInstances",
+    "StoreBinding",
+    "attach_store",
+    "load_facts",
+    "open_store",
+    "open_worker_binding",
+    "quarantine_store",
+    "replayed_counter_baseline",
+    "restore_instances",
+    "shard_store_path",
+]

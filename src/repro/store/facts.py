@@ -1,0 +1,206 @@
+"""Full-fidelity serialization of the hash-keyed dedup facts.
+
+The store persists exactly what the §6.1 caches hold — *not* the lossy
+report-level projection of :mod:`repro.landscape.serialize`.  A cached
+:class:`~repro.core.proxy_detector.ProxyCheck` carries its emulation
+error and probe calldata; a cached collision report carries prototypes,
+source/bytecode modes and non-colliding pairs.  Dropping any of it would
+make a hydrated cache behave differently from the in-memory cache it
+replaces (e.g. a restored verdict re-probing, or a clean pair re-run),
+so every field round-trips: for each fact kind,
+``record_to_x(x_to_record(v)) == v``.
+
+Records are JSON-compatible dicts with deterministic key order and
+``0x``-hex bytes, serialized with compact separators by the store layer.
+Selector *sets* are stored as sorted lists — bytes hashing is
+per-process randomized, and a canonical order keeps the stored JSON
+byte-stable across writers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.function_collision import (
+    FunctionCollision,
+    FunctionCollisionReport,
+)
+from repro.core.proxy_detector import LogicLocation, NotProxyReason, ProxyCheck
+from repro.core.storage_collision import (
+    RangeUse,
+    StorageCollision,
+    StorageCollisionReport,
+)
+from repro.core.symexec import SlotKey
+
+
+def hex_of(data: bytes | None) -> str | None:
+    return None if data is None else "0x" + data.hex()
+
+
+def unhex(rendered: str | None) -> bytes | None:
+    return None if rendered is None else bytes.fromhex(
+        rendered.removeprefix("0x"))
+
+
+# ------------------------------------------------------------ proxy checks
+def check_to_record(check: ProxyCheck) -> dict[str, Any]:
+    """A code-level proxy verdict, every field included."""
+    return {
+        "address": hex_of(check.address),
+        "is_proxy": check.is_proxy,
+        "reason": check.reason.value if check.reason is not None else None,
+        "logic_address": hex_of(check.logic_address),
+        "logic_location": check.logic_location.value,
+        "logic_slot": (hex(check.logic_slot)
+                       if check.logic_slot is not None else None),
+        "emulation_error": check.emulation_error,
+        "probe_calldata": hex_of(check.probe_calldata),
+    }
+
+
+def record_to_check(record: dict[str, Any]) -> ProxyCheck:
+    reason = record.get("reason")
+    slot = record.get("logic_slot")
+    return ProxyCheck(
+        address=unhex(record["address"]) or b"",
+        is_proxy=record["is_proxy"],
+        reason=NotProxyReason(reason) if reason is not None else None,
+        logic_address=unhex(record.get("logic_address")),
+        logic_location=LogicLocation(record["logic_location"]),
+        logic_slot=int(slot, 16) if slot is not None else None,
+        emulation_error=record.get("emulation_error"),
+        probe_calldata=unhex(record.get("probe_calldata")) or b"",
+    )
+
+
+# ----------------------------------------------------------- selector sets
+def selectors_to_record(selectors) -> list[str]:
+    """A dispatcher selector set as a canonically ordered hex list."""
+    return sorted("0x" + selector.hex() for selector in selectors)
+
+
+def record_to_selectors(record: list[str]) -> tuple[bytes, ...]:
+    return tuple(bytes.fromhex(item.removeprefix("0x")) for item in record)
+
+
+# ------------------------------------------------------ function collisions
+def function_report_to_record(report: FunctionCollisionReport,
+                              ) -> dict[str, Any]:
+    return {
+        "proxy": hex_of(report.proxy),
+        "logic": hex_of(report.logic),
+        "proxy_mode": report.proxy_mode,
+        "logic_mode": report.logic_mode,
+        "collisions": [
+            {
+                "selector": hex_of(collision.selector),
+                "proxy_prototype": collision.proxy_prototype,
+                "logic_prototype": collision.logic_prototype,
+            }
+            for collision in report.collisions
+        ],
+    }
+
+
+def record_to_function_report(record: dict[str, Any],
+                              ) -> FunctionCollisionReport:
+    return FunctionCollisionReport(
+        proxy=unhex(record.get("proxy")),
+        logic=unhex(record.get("logic")),
+        collisions=[
+            FunctionCollision(
+                selector=unhex(entry["selector"]) or b"",
+                proxy_prototype=entry.get("proxy_prototype"),
+                logic_prototype=entry.get("logic_prototype"),
+            )
+            for entry in record.get("collisions", [])
+        ],
+        proxy_mode=record.get("proxy_mode", "bytecode"),
+        logic_mode=record.get("logic_mode", "bytecode"),
+    )
+
+
+# ------------------------------------------------------- storage collisions
+def _range_to_record(use: RangeUse) -> dict[str, Any]:
+    return {
+        "offset": use.offset,
+        "size": use.size,
+        "type_name": use.type_name,
+        "origin": use.origin,
+        "selector": hex_of(use.selector),
+        "guarded": use.guarded,
+    }
+
+
+def _record_to_range(record: dict[str, Any]) -> RangeUse:
+    return RangeUse(
+        offset=record["offset"],
+        size=record["size"],
+        type_name=record.get("type_name"),
+        origin=record.get("origin", "bytecode"),
+        selector=unhex(record.get("selector")),
+        guarded=record.get("guarded", False),
+    )
+
+
+def storage_report_to_record(report: StorageCollisionReport,
+                             ) -> dict[str, Any]:
+    return {
+        "proxy": hex_of(report.proxy),
+        "logic": hex_of(report.logic),
+        "proxy_mode": report.proxy_mode,
+        "logic_mode": report.logic_mode,
+        "collisions": [
+            {
+                "slot": {"kind": collision.slot.kind,
+                         "base": collision.slot.base},
+                "proxy_use": _range_to_record(collision.proxy_use),
+                "logic_use": _range_to_record(collision.logic_use),
+                "kind": collision.kind,
+                "sensitive": collision.sensitive,
+                "exploitable": collision.exploitable,
+                "verified": collision.verified,
+                "exploit_selector": hex_of(collision.exploit_selector),
+            }
+            for collision in report.collisions
+        ],
+    }
+
+
+def record_to_storage_report(record: dict[str, Any],
+                             ) -> StorageCollisionReport:
+    return StorageCollisionReport(
+        proxy=unhex(record.get("proxy")),
+        logic=unhex(record.get("logic")),
+        collisions=[
+            StorageCollision(
+                slot=SlotKey(kind=entry["slot"]["kind"],
+                             base=entry["slot"]["base"]),
+                proxy_use=_record_to_range(entry["proxy_use"]),
+                logic_use=_record_to_range(entry["logic_use"]),
+                kind=entry["kind"],
+                sensitive=entry.get("sensitive", False),
+                exploitable=entry.get("exploitable", False),
+                verified=entry.get("verified", False),
+                exploit_selector=unhex(entry.get("exploit_selector")),
+            )
+            for entry in record.get("collisions", [])
+        ],
+        proxy_mode=record.get("proxy_mode", "bytecode"),
+        logic_mode=record.get("logic_mode", "bytecode"),
+    )
+
+
+__all__ = [
+    "check_to_record",
+    "function_report_to_record",
+    "hex_of",
+    "record_to_check",
+    "record_to_function_report",
+    "record_to_selectors",
+    "record_to_storage_report",
+    "selectors_to_record",
+    "storage_report_to_record",
+    "unhex",
+]

@@ -1,0 +1,314 @@
+"""``repro store fsck|stats|vacuum`` — store maintenance operations.
+
+``fsck`` is the operator's answer to "can I trust this file after the
+machine died?": it layers SQLite's own ``integrity_check`` with
+store-level invariants — schema tag, table presence, JSON parse of every
+fact/instance row, column↔JSON consistency, derived-row orphans and
+instance-table overlap.  With ``--repair`` it drops garbled rows (their
+facts are simply recomputed on the next sweep), resolves overlaps
+(analysis > failure > skip) and rebuilds the derived query tables from
+the instance rows; anything it cannot repair — a failed
+``integrity_check``, a foreign or future schema — it refuses loudly and
+leaves untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.store.schema import (
+    SCHEMA,
+    TABLES,
+    VERSION,
+    connect,
+    parse_version,
+    stored_schema,
+)
+
+_FACT_TABLES = {
+    "proxy_verdicts": ("code_hash", "check_json"),
+    "selector_sets": ("code_hash", "selectors_json"),
+}
+
+
+@dataclass(slots=True)
+class FsckReport:
+    """What one fsck pass found (and, with ``--repair``, fixed)."""
+
+    path: str
+    issues: list[str] = field(default_factory=list)
+    repaired: list[str] = field(default_factory=list)
+    fatal: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues and not self.fatal
+
+    @property
+    def ok(self) -> bool:
+        """Exit-0 condition: clean, or every issue repaired."""
+        return not self.fatal and all(
+            issue in self.repaired for issue in self.issues)
+
+
+def _json_ok(text: str) -> Any | None:
+    try:
+        return json.loads(text)
+    except (json.JSONDecodeError, TypeError):
+        return None
+
+
+def fsck(path: str, repair: bool = False) -> FsckReport:
+    """Check (and optionally repair) one store file."""
+    report = FsckReport(path=path)
+    if not os.path.exists(path):
+        report.issues.append(f"no store at {path!r}")
+        report.fatal = True
+        return report
+    try:
+        connection = connect(path)
+    except sqlite3.DatabaseError as error:
+        report.issues.append(f"not an SQLite database ({error})")
+        report.fatal = True
+        return report
+    try:
+        _fsck_connection(connection, path, report, repair)
+    except sqlite3.DatabaseError as error:
+        report.issues.append(f"sqlite error while checking ({error})")
+        report.fatal = True
+    finally:
+        connection.close()
+    return report
+
+
+def _fsck_connection(connection: sqlite3.Connection, path: str,
+                     report: FsckReport, repair: bool) -> None:
+    # 1. Page-level integrity: unrepairable here — restore from a
+    # backup or re-sweep; a partial salvage would be silent data loss.
+    row = connection.execute("PRAGMA integrity_check").fetchone()
+    if row is None or row[0] != "ok":
+        report.issues.append(
+            f"sqlite integrity_check failed: {row[0] if row else '?'}")
+        report.fatal = True
+        return
+    # 2. Schema tag.
+    tag = stored_schema(connection)
+    if tag is None:
+        report.issues.append("no meta.schema tag (not a repro store)")
+        report.fatal = True
+        return
+    try:
+        version = parse_version(tag, path)
+    except ConfigurationError as error:
+        report.issues.append(str(error))
+        report.fatal = True
+        return
+    if version != VERSION:
+        report.issues.append(
+            f"schema is {tag}, this build handles {SCHEMA} — migrate by "
+            f"opening the store with a matching build")
+        report.fatal = True
+        return
+    # 3. Table presence.
+    present = {name for (name,) in connection.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table'")}
+    missing = [table for table in TABLES if table not in present]
+    if missing:
+        report.issues.append(f"missing tables: {', '.join(missing)}")
+        report.fatal = True
+        return
+    _check_fact_rows(connection, report, repair)
+    _check_instance_rows(connection, report, repair)
+    _check_overlap(connection, report, repair)
+    _check_derived(connection, report, repair)
+    if repair:
+        connection.commit()
+
+
+def _check_fact_rows(connection, report: FsckReport, repair: bool) -> None:
+    for table, (key_column, json_column) in _FACT_TABLES.items():
+        bad = [key for key, text in connection.execute(
+                   f"SELECT {key_column}, {json_column} FROM {table}")
+               if _json_ok(text) is None]
+        if not bad:
+            continue
+        issue = f"{table}: {len(bad)} garbled JSON row(s)"
+        report.issues.append(issue)
+        if repair:
+            connection.executemany(
+                f"DELETE FROM {table} WHERE {key_column} = ?",
+                [(key,) for key in bad])
+            report.repaired.append(issue)
+    bad_pairs = [(proxy, logic, kind) for proxy, logic, kind, text
+                 in connection.execute(
+                     "SELECT proxy_hash, logic_hash, kind, report_json "
+                     "FROM collision_results")
+                 if _json_ok(text) is None]
+    if bad_pairs:
+        issue = f"collision_results: {len(bad_pairs)} garbled JSON row(s)"
+        report.issues.append(issue)
+        if repair:
+            connection.executemany(
+                "DELETE FROM collision_results WHERE proxy_hash = ? AND "
+                "logic_hash = ? AND kind = ?", bad_pairs)
+            report.repaired.append(issue)
+
+
+def _check_instance_rows(connection, report: FsckReport,
+                         repair: bool) -> None:
+    bad: list[str] = []
+    inconsistent: list[str] = []
+    for address, code_hash, is_proxy, text in connection.execute(
+            "SELECT address, code_hash, is_proxy, analysis_json "
+            "FROM analyses"):
+        record = _json_ok(text)
+        if record is None:
+            bad.append(address)
+        elif (record.get("address") != address
+              or record.get("code_hash") != code_hash
+              or bool(record.get("is_proxy")) != bool(is_proxy)):
+            inconsistent.append(address)
+    for kind, addresses in (("garbled", bad),
+                            ("column/JSON mismatch", inconsistent)):
+        if not addresses:
+            continue
+        issue = f"analyses: {len(addresses)} {kind} row(s)"
+        report.issues.append(issue)
+        if repair:
+            connection.executemany(
+                "DELETE FROM analyses WHERE address = ?",
+                [(address,) for address in addresses])
+            report.repaired.append(issue)
+    bad_failures = [address for address, text in connection.execute(
+                        "SELECT address, failure_json FROM failures")
+                    if _json_ok(text) is None]
+    if bad_failures:
+        issue = f"failures: {len(bad_failures)} garbled JSON row(s)"
+        report.issues.append(issue)
+        if repair:
+            connection.executemany(
+                "DELETE FROM failures WHERE address = ?",
+                [(address,) for address in bad_failures])
+            report.repaired.append(issue)
+
+
+def _check_overlap(connection, report: FsckReport, repair: bool) -> None:
+    # The instance tables partition the address space: an address in two
+    # of them is a torn merge.  Resolution order: analysis > failure >
+    # skip (the richer fact wins; the loser is recomputable).
+    overlaps = []
+    for winner, loser in (("analyses", "failures"), ("analyses", "skips"),
+                          ("failures", "skips")):
+        rows = connection.execute(
+            f"SELECT address FROM {loser} WHERE address IN "
+            f"(SELECT address FROM {winner})").fetchall()
+        if rows:
+            overlaps.append((loser, winner, [row[0] for row in rows]))
+    for loser, winner, addresses in overlaps:
+        issue = (f"{len(addresses)} address(es) in both {winner} and "
+                 f"{loser}")
+        report.issues.append(issue)
+        if repair:
+            connection.executemany(
+                f"DELETE FROM {loser} WHERE address = ?",
+                [(address,) for address in addresses])
+            report.repaired.append(issue)
+
+
+def _check_derived(connection, report: FsckReport, repair: bool) -> None:
+    orphans = 0
+    for table, column in (("logic_links", "proxy"), ("collisions", "proxy")):
+        orphans += connection.execute(
+            f"SELECT COUNT(*) FROM {table} WHERE {column} NOT IN "
+            f"(SELECT address FROM analyses)").fetchone()[0]
+    if not orphans:
+        return
+    issue = f"derived tables: {orphans} orphan row(s)"
+    report.issues.append(issue)
+    if repair:
+        _rebuild_derived(connection)
+        report.repaired.append(issue)
+
+
+def _rebuild_derived(connection) -> None:
+    """Regenerate logic_links/collisions from the analyses JSON."""
+    connection.execute("DELETE FROM logic_links")
+    connection.execute("DELETE FROM collisions")
+    for address, text in connection.execute(
+            "SELECT address, analysis_json FROM analyses").fetchall():
+        record = _json_ok(text)
+        if record is None:
+            continue
+        history = record.get("logic_history") or {}
+        connection.executemany(
+            "INSERT OR REPLACE INTO logic_links VALUES (?, ?, ?)",
+            [(address, position, logic) for position, logic
+             in enumerate(history.get("addresses", []))])
+        for row in record.get("function_collisions", []):
+            connection.executemany(
+                "INSERT INTO collisions VALUES (?, ?, 'function', ?, 0, 0)",
+                [(address, row.get("logic"), selector)
+                 for selector in row.get("selectors", [])])
+        for row in record.get("storage_collisions", []):
+            for entry in row.get("collisions", []):
+                slot = entry.get("slot", {})
+                detail = (f"SlotKey(kind={slot.get('kind')!r}, "
+                          f"base={slot.get('base')})")
+                connection.execute(
+                    "INSERT INTO collisions VALUES (?, ?, 'storage', ?, ?, ?)",
+                    (address, row.get("logic"), detail,
+                     int(entry.get("sensitive", False)),
+                     int(entry.get("verified", False))))
+
+
+# ---------------------------------------------------------------- stats
+def stats(path: str) -> dict[str, Any]:
+    """Row counts, dedup leverage and file sizes of one store."""
+    connection = connect(path)
+    try:
+        tag = stored_schema(connection)
+        counts = {table: connection.execute(
+                      f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+                  for table in TABLES if table != "meta"}
+        unique_hashes = connection.execute(
+            "SELECT COUNT(DISTINCT code_hash) FROM analyses").fetchone()[0]
+    finally:
+        connection.close()
+    instances = counts["analyses"]
+    return {
+        "path": path,
+        "schema": tag,
+        "tables": counts,
+        "unique_code_hashes": unique_hashes,
+        "dedup_leverage": (round(instances / unique_hashes, 3)
+                           if unique_hashes else None),
+        "file_bytes": os.path.getsize(path),
+        "wal_bytes": (os.path.getsize(path + "-wal")
+                      if os.path.exists(path + "-wal") else 0),
+    }
+
+
+def vacuum(path: str) -> dict[str, int]:
+    """Checkpoint the WAL into the main file and compact it."""
+    before = os.path.getsize(path) + (
+        os.path.getsize(path + "-wal")
+        if os.path.exists(path + "-wal") else 0)
+    connection = connect(path)
+    try:
+        connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        connection.execute("VACUUM")
+    finally:
+        connection.close()
+    after = os.path.getsize(path) + (
+        os.path.getsize(path + "-wal")
+        if os.path.exists(path + "-wal") else 0)
+    return {"bytes_before": before, "bytes_after": after,
+            "bytes_reclaimed": max(0, before - after)}
+
+
+__all__ = ["FsckReport", "fsck", "stats", "vacuum"]

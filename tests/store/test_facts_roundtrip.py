@@ -1,0 +1,102 @@
+"""Full-fidelity round-trips of the hash-keyed dedup facts.
+
+Every field of every cached fact must survive the store: a hydrated
+cache that differs from the in-memory cache it replaces would make an
+incremental sweep compute something else than a cold one.
+"""
+
+from __future__ import annotations
+
+from repro.core.function_collision import (
+    FunctionCollision,
+    FunctionCollisionReport,
+)
+from repro.core.pipeline import Proxion
+from repro.core.proxy_detector import LogicLocation, NotProxyReason, ProxyCheck
+from repro.corpus.generator import generate_landscape
+from repro.store import AnalysisStore, StoreBinding, load_facts
+from repro.store.facts import (
+    check_to_record,
+    function_report_to_record,
+    record_to_check,
+    record_to_function_report,
+    record_to_selectors,
+    selectors_to_record,
+    storage_report_to_record,
+)
+
+
+def test_proxy_check_round_trips_every_field() -> None:
+    check = ProxyCheck(
+        address=b"\x11" * 20,
+        is_proxy=True,
+        reason=None,
+        logic_address=b"\x22" * 20,
+        logic_location=LogicLocation.STORAGE,
+        logic_slot=0x360894A13BA1A3210667C828492DB98DCA3E2076CC3735A920A3CA505D382BBC,
+        emulation_error=None,
+        probe_calldata=b"\xaa\xbb\xcc\xdd",
+    )
+    assert record_to_check(check_to_record(check)) == check
+
+
+def test_negative_check_keeps_reason_and_error() -> None:
+    check = ProxyCheck(
+        address=b"\x33" * 20,
+        is_proxy=False,
+        reason=NotProxyReason.NO_DELEGATECALL,
+        logic_address=None,
+        logic_location=LogicLocation.UNKNOWN,
+        logic_slot=None,
+        emulation_error="out of gas at pc 17",
+        probe_calldata=b"",
+    )
+    assert record_to_check(check_to_record(check)) == check
+
+
+def test_selector_set_round_trips_canonically() -> None:
+    selectors = (b"\xa9\x05\x9c\xbb", b"\x09\x5e\xa7\xb3", b"\x18\x16\x0d\xdd")
+    record = selectors_to_record(selectors)
+    assert record == sorted(record)  # canonical order, byte-stable JSON
+    assert set(record_to_selectors(record)) == set(selectors)
+
+
+def test_function_report_keeps_prototypes_and_modes() -> None:
+    report = FunctionCollisionReport(
+        proxy=b"\x44" * 20,
+        logic=b"\x55" * 20,
+        collisions=[FunctionCollision(selector=b"\x12\x34\x56\x78",
+                                      proxy_prototype="owner()",
+                                      logic_prototype=None)],
+        proxy_mode="source",
+        logic_mode="bytecode",
+    )
+    assert record_to_function_report(function_report_to_record(report)) \
+        == report
+
+
+def test_non_colliding_report_round_trips() -> None:
+    """Clean pairs are facts too — forgetting them would re-run the pair."""
+    report = FunctionCollisionReport(proxy=None, logic=None, collisions=[])
+    assert record_to_function_report(function_report_to_record(report)) \
+        == report
+
+
+def test_sweep_harvested_facts_round_trip_through_a_store() -> None:
+    """Everything a real sweep caches reloads equal, object for object."""
+    world = generate_landscape(total=80, seed=13)
+    binding = StoreBinding(AnalysisStore(":memory:"))
+    proxion = Proxion.from_chain(world.chain, registry=world.registry,
+                                 dataset=world.dataset, store=binding)
+    proxion.analyze_all(world.addresses())
+
+    loaded = load_facts(binding.store)
+    assert dict(loaded.checks) == dict(binding.check_cache)
+    assert dict(loaded.selectors) == dict(binding.selector_cache)
+    assert dict(loaded.function_reports) == dict(binding.function_cache)
+    assert binding.storage_cache  # the corpus exercises storage pairs
+    for pair, report in binding.storage_cache.items():
+        restored = loaded.storage_reports[pair]
+        assert storage_report_to_record(restored) \
+            == storage_report_to_record(report)
+    binding.close()

@@ -389,3 +389,89 @@ def test_accuracy_metrics_prom_and_trace(tmp_path, capsys) -> None:
                  "--trace-jsonl", str(trace)]) == 0
     assert "# TYPE" in prom.read_text()
     assert trace.read_text().count("\n") >= 2
+
+
+def test_survey_store_persists_and_resweeps_incrementally(tmp_path,
+                                                          capsys) -> None:
+    store = str(tmp_path / "sweep.store")
+    assert main(["survey", "--total", "50", "--seed", "4",
+                 "--store", store]) == 0
+    assert "sweep persisted to" in capsys.readouterr().out
+    assert main(["survey", "--total", "50", "--seed", "4",
+                 "--store", store, "--incremental"]) == 0
+    assert "restored, not re-analyzed" in capsys.readouterr().out
+
+
+def test_survey_store_json_matches_serial(capsys, tmp_path) -> None:
+    store = str(tmp_path / "json.store")
+    assert main(["survey", "--total", "50", "--seed", "4", "--json"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["survey", "--total", "50", "--seed", "4", "--json",
+                 "--store", store]) == 0
+    assert capsys.readouterr().out == serial
+    assert main(["survey", "--total", "50", "--seed", "4", "--json",
+                 "--store", store, "--incremental", "--workers", "2"]) == 0
+    assert capsys.readouterr().out == serial
+
+
+def test_survey_db_is_a_deprecated_store_alias(tmp_path, capsys) -> None:
+    db = str(tmp_path / "legacy.db")
+    assert main(["survey", "--total", "40", "--seed", "5",
+                 "--db", db]) == 0
+    output = capsys.readouterr()
+    assert "--db is deprecated" in output.err
+    assert "sweep persisted to" in output.out
+    # The alias writes the one true schema: store subcommands accept it.
+    assert main(["store", "stats", db]) == 0
+    assert "repro.store/1" in capsys.readouterr().out
+
+
+def test_survey_db_conflicting_with_store_errors(tmp_path, capsys) -> None:
+    assert main(["survey", "--total", "40",
+                 "--db", str(tmp_path / "a.db"),
+                 "--store", str(tmp_path / "b.store")]) == 2
+    assert "deprecated alias" in capsys.readouterr().err
+
+
+def test_survey_incremental_without_store_errors(capsys) -> None:
+    assert main(["survey", "--total", "40", "--incremental"]) == 2
+    assert "--incremental requires --store" in capsys.readouterr().err
+
+
+def test_store_subcommand_fsck_stats_vacuum(tmp_path, capsys) -> None:
+    store = str(tmp_path / "maint.store")
+    assert main(["survey", "--total", "40", "--seed", "5",
+                 "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["store", "fsck", store]) == 0
+    assert "clean" in capsys.readouterr().out
+    assert main(["store", "stats", store, "--json"]) == 0
+    import json
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro.store/1"
+    assert payload["tables"]["analyses"] > 0
+    assert main(["store", "vacuum", store]) == 0
+    assert "reclaimed" in capsys.readouterr().out
+
+
+def test_store_fsck_flags_and_repairs_damage(tmp_path, capsys) -> None:
+    import sqlite3
+    store = str(tmp_path / "damaged.store")
+    assert main(["survey", "--total", "40", "--seed", "5",
+                 "--store", store]) == 0
+    capsys.readouterr()
+    connection = sqlite3.connect(store)
+    connection.execute("UPDATE proxy_verdicts SET check_json = '{oops' "
+                       "WHERE rowid = 1")
+    connection.commit()
+    connection.close()
+    assert main(["store", "fsck", store]) == 1
+    assert "--repair" in capsys.readouterr().err
+    assert main(["store", "fsck", store, "--repair"]) == 0
+    assert "[repaired]" in capsys.readouterr().out
+    assert main(["store", "fsck", store]) == 0
+
+
+def test_store_fsck_missing_file_fails(tmp_path, capsys) -> None:
+    assert main(["store", "fsck", str(tmp_path / "nope.store")]) == 1
+    assert "no store" in capsys.readouterr().out

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""CI gate: the durable store resumes exactly and survives kill -9.
+
+Three phases over one deterministic landscape (docs/persistence.md):
+
+1. **Incremental identity** — sweep the first half of the corpus into a
+   store, then re-sweep the *whole* corpus with ``--incremental``: the
+   merged report must serialize **byte-identically** to a from-scratch
+   sweep, and the pipeline metrics must prove only the delta was
+   emulated (``dedup.misses{cache="proxy_check"}`` equals the number of
+   codehashes the store had not settled).
+2. **Parallel compose** — the same warm-store re-sweep through the
+   sharded engine (worker shard stores, parent fold): byte-identical
+   again, shard stores cleaned up, store fsck-clean.
+3. **Kill -9 chaos** — a subprocess sweeps into a fresh store and is
+   SIGKILLed mid-commit; the survivor must open clean, pass ``fsck``,
+   and an incremental resume must reach the byte-identical full report.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_store_incremental.py \
+        --total 60 --seed 9 --workers 3
+
+Exit codes: 0 pass, 1 contract violated, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def _child_sweep(store_path: str, total: int, seed: int) -> int:
+    """Subprocess entry: sweep the corpus into ``store_path``."""
+    from repro.core.pipeline import Proxion
+    from repro.corpus.generator import generate_landscape
+    from repro.store import attach_store
+
+    world = generate_landscape(total=total, seed=seed)
+    binding = attach_store(store_path)
+    proxion = Proxion.from_chain(world.chain, registry=world.registry,
+                                 dataset=world.dataset, store=binding)
+    proxion.analyze_all(world.addresses())
+    binding.close()
+    return 0
+
+
+def _committed_rows(store_path: str) -> int:
+    try:
+        connection = sqlite3.connect(store_path)
+        try:
+            return connection.execute(
+                "SELECT COUNT(*) FROM analyses").fetchone()[0]
+        finally:
+            connection.close()
+    except sqlite3.Error:
+        return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--total", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=9)
+    parser.add_argument("--workers", type=int, default=3)
+    parser.add_argument("--kill-after", type=int, default=5, metavar="N",
+                        help="SIGKILL the chaos child once N contracts "
+                             "are committed (default 5)")
+    parser.add_argument("--child-sweep", default=None, metavar="STORE",
+                        help=argparse.SUPPRESS)  # internal: phase-3 child
+    args = parser.parse_args(argv)
+
+    if args.child_sweep is not None:
+        return _child_sweep(args.child_sweep, args.total, args.seed)
+
+    from repro.core.pipeline import Proxion
+    from repro.corpus.generator import generate_landscape
+    from repro.landscape import report_to_json
+    from repro.parallel import SweepSpec, run_sharded_sweep
+    from repro.store import AnalysisStore, attach_store, fsck
+    from repro.utils.keccak import keccak256
+
+    world = generate_landscape(total=args.total, seed=args.seed)
+    addresses = world.addresses()
+    problems: list[str] = []
+
+    cold = Proxion.from_chain(world.chain, registry=world.registry,
+                              dataset=world.dataset)
+    cold_json = report_to_json(cold.analyze_all(addresses))
+    print(f"cold sweep: {len(addresses)} addresses, "
+          f"{len(cold_json)} report bytes")
+
+    workdir = tempfile.mkdtemp(prefix="repro-store-gate-")
+
+    # ---------------------------------------- phase 1: incremental identity
+    store_path = os.path.join(workdir, "phase1.store")
+    half = addresses[:len(addresses) // 2]
+    with attach_store(store_path) as binding:
+        warm = Proxion.from_chain(world.chain, registry=world.registry,
+                                  dataset=world.dataset, store=binding)
+        warm.analyze_all(half)
+    with AnalysisStore(store_path) as store:
+        settled = store.settled_code_hashes()
+        restored_addresses = set(store.load_analyses())
+    expected_misses = len({
+        keccak256(world.chain.state.get_code(address))
+        for address in addresses
+        if address not in restored_addresses
+        and world.chain.state.get_code(address)
+    } - settled)
+
+    with attach_store(store_path, incremental=True) as binding:
+        grown = Proxion.from_chain(world.chain, registry=world.registry,
+                                   dataset=world.dataset, store=binding)
+        incremental_json = report_to_json(grown.analyze_all(addresses))
+        counters = grown.metrics.snapshot()["counters"]
+
+    if incremental_json != cold_json:
+        problems.append("incremental re-sweep is NOT byte-identical to "
+                        "the from-scratch sweep")
+    else:
+        print(f"incremental: byte-identical ({len(incremental_json)} bytes)")
+    misses = counters.get('dedup.misses{cache="proxy_check"}', 0)
+    if misses != expected_misses:
+        problems.append(f"incremental sweep emulated {misses} codehashes, "
+                        f"expected exactly the {expected_misses} the store "
+                        f"had not settled (O(delta) violated)")
+    else:
+        print(f"delta-only: {misses} codehashes emulated == "
+              f"{expected_misses} unsettled")
+    restored = counters.get("pipeline.store_restored_contracts", 0)
+    if restored != len(restored_addresses):
+        problems.append(f"restored {restored} contracts, expected "
+                        f"{len(restored_addresses)}")
+
+    # ---------------------------------------- phase 2: parallel compose
+    par_store = os.path.join(workdir, "phase2.store")
+    spec = SweepSpec(total=args.total, seed=args.seed)
+    run_sharded_sweep(spec, workers=args.workers, world=world,
+                      processes=False,
+                      addresses=half, store_path=par_store)
+    result = run_sharded_sweep(spec, workers=args.workers, world=world,
+                               processes=False, store_path=par_store,
+                               incremental=True)
+    parallel_json = report_to_json(result.report)
+    if parallel_json != cold_json:
+        problems.append("parallel incremental re-sweep is NOT "
+                        "byte-identical to the from-scratch sweep")
+    else:
+        print(f"parallel incremental ({args.workers} shards): "
+              f"byte-identical, {result.store_restored} restored")
+    leftovers = [name for name in os.listdir(workdir) if ".shard" in name]
+    if leftovers:
+        problems.append(f"shard stores not folded: {leftovers}")
+    verdict = fsck(par_store)
+    if not verdict.clean:
+        problems.append(f"parallel store fsck not clean: {verdict.issues}")
+
+    # ---------------------------------------- phase 3: kill -9 chaos
+    chaos_store = os.path.join(workdir, "phase3.store")
+    environment = dict(os.environ)
+    environment.setdefault("PYTHONPATH", "src")
+    child = subprocess.Popen(
+        [sys.executable, os.path.abspath(__file__),
+         "--child-sweep", chaos_store,
+         "--total", str(args.total), "--seed", str(args.seed)],
+        env=environment)
+    killed = False
+    try:
+        deadline = time.monotonic() + 300
+        while _committed_rows(chaos_store) < args.kill_after:
+            if child.poll() is not None:
+                break
+            if time.monotonic() > deadline:
+                break
+            time.sleep(0.01)
+        if child.poll() is None:
+            os.kill(child.pid, signal.SIGKILL)
+            killed = True
+    finally:
+        child.wait()
+    if not killed:
+        problems.append("chaos child finished before the SIGKILL landed "
+                        "(raise --total or lower --kill-after)")
+    survivors = _committed_rows(chaos_store)
+    print(f"kill -9: child killed with {survivors} contracts committed")
+
+    verdict = fsck(chaos_store)
+    if not verdict.ok:
+        problems.append(f"post-kill store fails fsck: "
+                        f"{verdict.issues or 'fatal'}")
+    else:
+        print("post-kill fsck: clean")
+
+    with attach_store(chaos_store, incremental=True) as binding:
+        resumed = Proxion.from_chain(world.chain, registry=world.registry,
+                                     dataset=world.dataset, store=binding)
+        resumed_json = report_to_json(resumed.analyze_all(addresses))
+    if resumed_json != cold_json:
+        problems.append("post-kill incremental resume is NOT "
+                        "byte-identical to the from-scratch sweep")
+    else:
+        print("post-kill resume: byte-identical")
+
+    if problems:
+        print("store incremental gate FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("store incremental gate passed: exact resumes, O(delta) work, "
+          "kill -9 survived")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
