@@ -4,6 +4,9 @@ Commands:
 
 * ``survey``         — generate a calibrated landscape, run the full sweep,
                        print the §7 findings
+* ``serve``          — long-running analysis daemon: follows the chain,
+                       answers ``repro.query/1`` point queries over HTTP
+                       with rate limiting (docs/service.md)
 * ``accuracy``       — build the labelled corpus, print Table 2 for every tool
 * ``bench``          — the continuous-benchmarking suite (timing trajectory,
                        regression gate, EVM flame profiles)
@@ -56,11 +59,15 @@ _OBSERVABILITY_FLAGS: dict[str, dict] = {
         help="record verdict provenance: one repro.evidence/1 file per "
              "contract in DIR, rendered later by `repro explain ADDR "
              "--audit DIR` (composes with --workers)"),
-    "--serve-obs": dict(
+    "--serve": dict(
         type=int, default=None, metavar="PORT",
         help="serve /metrics, /healthz and /progress over HTTP on "
              "127.0.0.1:PORT while the command runs (0 = pick an "
-             "ephemeral port)"),
+             "ephemeral port); the same handlers `repro serve` mounts"),
+    "--serve-obs": dict(
+        type=int, default=None, metavar="PORT",
+        help="deprecated alias of --serve (one release; same handlers, "
+             "byte-identical /metrics)"),
 }
 
 #: Flag name → ``add_argument`` kwargs for the robustness group (chaos
@@ -161,15 +168,13 @@ def _survey_impl(args: argparse.Namespace, obs: dict) -> int:
 
     store_path = args.store
     if args.db:
-        if store_path is not None and store_path != args.db:
-            print("error: --db is a deprecated alias of --store; the two "
-                  "name different paths — pass --store only",
-                  file=sys.stderr)
-            return 2
-        store_path = args.db
-        print("note: --db is deprecated; use --store PATH (same "
-              "repro.store/1 database, now written through during the "
-              "sweep)", file=sys.stderr)
+        # Deprecated in PR 8, removed now (one release of deprecation
+        # served): the flag still parses so old scripts get this message
+        # instead of an argparse usage error.
+        print("error: --db was removed; use --store PATH (same "
+              "repro.store/1 database — files written by --db open "
+              "unchanged)", file=sys.stderr)
+        return 2
     if args.incremental and store_path is None:
         print("error: --incremental requires --store PATH (the store is "
               "where settled work is read from)", file=sys.stderr)
@@ -191,7 +196,17 @@ def _survey_impl(args: argparse.Namespace, obs: dict) -> int:
                   f"{args.audit} (render with `repro explain ADDR "
                   f"--audit {args.audit}`)")
 
+    serve_port = args.serve
     if args.serve_obs is not None:
+        if serve_port is not None and serve_port != args.serve_obs:
+            print("error: --serve-obs is a deprecated alias of --serve; "
+                  "the two name different ports — pass --serve only",
+                  file=sys.stderr)
+            return 2
+        serve_port = args.serve_obs
+        print("note: --serve-obs is deprecated; use --serve PORT (same "
+              "endpoints, same handlers)", file=sys.stderr)
+    if serve_port is not None:
         from repro.obs.http import ObsServer
 
         # The callable indirection lets the CLI swap in the merged
@@ -201,7 +216,7 @@ def _survey_impl(args: argparse.Namespace, obs: dict) -> int:
         obs["server"] = ObsServer(lambda: obs["registry"],
                                   journal_path=args.events,
                                   hung_after_s=args.shard_timeout,
-                                  port=args.serve_obs)
+                                  port=serve_port)
         if not args.json:
             print(f"obs: serving /metrics /healthz /progress at "
                   f"{obs['server'].url}")
@@ -490,8 +505,10 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if args.json:
-        import json as _json
-        print(_json.dumps(status.to_dict(), indent=2, sort_keys=True))
+        from repro import api
+        # The repro.query/1 envelope — the same bytes the serve daemon's
+        # /progress endpoint returns for this journal.
+        print(api.to_json(api.status_answer(status)))
     else:
         print(render_status(status))
     return 0
@@ -519,6 +536,7 @@ def _cmd_tail(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro import api
     from repro.errors import ConfigurationError
     from repro.obs.provenance import AuditDir, EvidenceTrail, render_trail
 
@@ -532,6 +550,16 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         print(f"error: {args.address!r} is not a 20-byte address",
               file=sys.stderr)
         return 2
+    if args.audit and args.store:
+        print("error: --audit and --store are different sources — pass one",
+              file=sys.stderr)
+        return 2
+
+    if args.store:
+        # Store-backed point query: the same repro.query/1 ContractAnswer
+        # the serve daemon returns from GET /v1/contract/ADDR — for the
+        # same store state, --json is byte-identical to the HTTP body.
+        return _explain_from_store(args, address)
 
     if args.audit:
         # Read-only: render what an audited sweep already persisted.
@@ -540,6 +568,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         except ConfigurationError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+        source = api.SOURCE_AUDIT
     else:
         # No audit dir: record a fresh trail by re-analyzing the address
         # against the deterministic landscape named by --total/--seed.
@@ -563,12 +592,96 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         except ConfigurationError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+        source = api.SOURCE_FRESH
 
     if args.json:
-        import json as _json
-        print(_json.dumps(trail.to_dict(), indent=2))
+        print(api.to_json(api.evidence_answer(trail, source)))
     else:
         print(render_trail(trail))
+    return 0
+
+
+def _explain_from_store(args: argparse.Namespace, address: bytes) -> int:
+    """``explain --store``: answer from the store, analyze on a miss."""
+    from repro import api
+    from repro.chain.profiles import get_profile
+    from repro.core import Proxion, ProxionOptions
+    from repro.corpus import generate_landscape
+    from repro.errors import ConfigurationError
+    from repro.store import attach_store
+
+    try:
+        binding = attach_store(args.store)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if binding is None:
+        print(f"error: cannot open store {args.store!r}", file=sys.stderr)
+        return 2
+    try:
+        answer = api.answer_from_store(binding.store, address)
+        if answer is None:
+            # Miss: analyze against the deterministic landscape and write
+            # through, exactly what the serve daemon's miss path does —
+            # trail-free on purpose, so the two stay byte-identical.
+            if not args.json:
+                print(f"store miss: analyzing 0x{address.hex()} on the "
+                      f"{args.chain} landscape (total={args.total}, "
+                      f"seed={args.seed})...", file=sys.stderr)
+            landscape = generate_landscape(
+                total=args.total, seed=args.seed,
+                chain_profile=get_profile(args.chain))
+            proxion = Proxion(landscape.node, registry=landscape.registry,
+                              dataset=landscape.dataset,
+                              options=ProxionOptions(
+                                  detect_diamonds=args.diamonds),
+                              store=binding)
+            answer = api.fresh_answer(proxion, address)
+    finally:
+        binding.close()
+    if args.json:
+        print(api.to_json(answer))
+    else:
+        print(api.describe_answer(answer))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve`` — the long-running query daemon (docs/service.md)."""
+    from repro.errors import ConfigurationError
+    from repro.serve import ServeApp, ServeConfig
+
+    if args.simulate and not args.follow:
+        print("error: --simulate deploys through the chain follower — "
+              "add --follow", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        store_path=args.store, host=args.host, port=args.port,
+        total=args.total, seed=args.seed, chain=args.chain,
+        diamonds=args.diamonds, follow=args.follow,
+        poll_interval_s=args.poll, simulate_deploys=args.simulate,
+        rate_per_s=args.rate, burst=args.burst,
+        slots=args.slots, queue_limit=args.queue_limit,
+        queue_timeout_s=args.queue_timeout,
+        journal_path=args.events, hung_after_s=args.shard_timeout)
+    try:
+        app = ServeApp(config)
+    except (ConfigurationError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    app.start()
+    following = (f", following the chain every {args.poll}s"
+                 if args.follow else "")
+    print(f"serve: {app.url} — /v1/contract/ADDR /v1/server /metrics "
+          f"/healthz /progress (store={args.store}{following})")
+    print("serve: ^C to stop", file=sys.stderr)
+    try:
+        import threading
+        threading.Event().wait()        # serve until interrupted
+    except KeyboardInterrupt:
+        print("\nserve: shutting down", file=sys.stderr)
+    finally:
+        app.close()
     return 0
 
 
@@ -800,7 +913,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "delta; the merged report is byte-identical "
                              "to a from-scratch sweep")
     survey.add_argument("--db", default=None, metavar="PATH",
-                        help="deprecated alias of --store")
+                        help="removed; use --store PATH")
     survey.add_argument("--workers", type=int, default=1, metavar="N",
                         help="shard the sweep across N worker processes "
                              "(default 1 = serial; docs/parallelism.md)")
@@ -813,6 +926,59 @@ def build_parser() -> argparse.ArgumentParser:
     add_observability_flags(survey)
     add_robustness_flags(survey)
     survey.set_defaults(func=_cmd_survey)
+
+    serve = commands.add_parser(
+        "serve", help="long-running analysis daemon with a query API "
+                      "(docs/service.md)")
+    serve.add_argument("--store", required=True, metavar="PATH",
+                       help="repro.store/1 store to serve from (seed it "
+                            "with `survey --store PATH` first)")
+    serve.add_argument("--port", type=int, default=0, metavar="N",
+                       help="listen port (default 0 = ephemeral)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default loopback)")
+    serve.add_argument("--total", type=int, default=400,
+                       help="landscape size behind fresh analyses (must "
+                            "match the seeding sweep; default 400)")
+    serve.add_argument("--seed", type=int, default=42,
+                       help="landscape seed (must match the seeding sweep)")
+    serve.add_argument("--chain", default="ethereum",
+                       help="chain profile (must match the seeding sweep)")
+    serve.add_argument("--diamonds", action="store_true",
+                       help="enable the §8.2 diamond extension for fresh "
+                            "analyses")
+    serve.add_argument("--follow", action="store_true",
+                       help="poll the chain for new deployments and write "
+                            "their analyses through the store")
+    serve.add_argument("--poll", type=float, default=0.25, metavar="SECONDS",
+                       help="chain poll interval with --follow "
+                            "(default 0.25)")
+    serve.add_argument("--simulate", type=int, default=0, metavar="N",
+                       help="with --follow: deploy N synthetic contract "
+                            "pairs per poll (demo/smoke traffic)")
+    serve.add_argument("--rate", type=float, default=200.0, metavar="QPS",
+                       help="per-client token refill rate for /v1 routes "
+                            "(default 200/s)")
+    serve.add_argument("--burst", type=int, default=40, metavar="N",
+                       help="per-client token bucket capacity (default 40)")
+    serve.add_argument("--slots", type=int, default=8, metavar="N",
+                       help="concurrently admitted /v1 requests "
+                            "(default 8)")
+    serve.add_argument("--queue-limit", type=int, default=32, metavar="N",
+                       help="waiting requests beyond the slots before "
+                            "shedding 503s (default 32)")
+    serve.add_argument("--queue-timeout", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="longest a request may queue before a 503 "
+                            "(default 2)")
+    serve.add_argument("--events", default=None, metavar="FILE",
+                       help="repro.events/1 journal to serve on /progress "
+                            "and /healthz")
+    serve.add_argument("--shard-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="/healthz heartbeat staleness threshold "
+                            "(default 30)")
+    serve.set_defaults(func=_cmd_serve)
 
     accuracy = commands.add_parser("accuracy", help="Table 2 scoring (§6.3)")
     accuracy.add_argument("--pairs", type=int, default=8)
@@ -889,8 +1055,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "written by `survey --audit DIR` (default: "
                               "record a fresh trail by re-analyzing the "
                               "address)")
+    explain.add_argument("--store", default=None, metavar="PATH",
+                         help="answer from a repro.store/1 store (analyze "
+                              "and write through on a miss); with --json "
+                              "the output is byte-identical to the serve "
+                              "daemon's GET /v1/contract/ADDR")
     explain.add_argument("--json", action="store_true",
-                         help="emit the full evidence tree as JSON")
+                         help="emit the repro.query/1 answer record "
+                              "(evidence envelope, or a contract answer "
+                              "with --store)")
     explain.add_argument("--total", type=int, default=400,
                          help="landscape size for a fresh analysis "
                               "(ignored with --audit)")

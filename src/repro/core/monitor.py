@@ -75,6 +75,21 @@ class DeploymentMonitor:
         self._poll_lag = self._metrics.gauge("monitor.poll_lag")
 
     # ----------------------------------------------------------------- poll
+    def catch_up(self) -> int:
+        """Skip history: start following from the current chain head.
+
+        The serve daemon attaches a monitor to a chain whose past is
+        already settled in the durable store — re-analyzing every
+        historical block at startup would duplicate that work (and
+        clobber the store's instance rows with identical writes).  Moves
+        the cursor to the head and returns how many blocks were skipped.
+        """
+        chain = self._proxion.node.chain
+        skipped = len(chain.blocks) - self._block_index
+        self._block_index = len(chain.blocks)
+        self._cursor = chain.latest_block_number
+        return skipped
+
     def poll(self) -> list[Alert]:
         """Process blocks since the last poll; return the new alerts."""
         chain = self._proxion.node.chain
@@ -118,6 +133,10 @@ class DeploymentMonitor:
     def _analyze(self, address: bytes, block_number: int) -> list[Alert]:
         self.stats.contracts_seen += 1
         analysis = self._proxion.analyze_contract(address)
+        if self._proxion.store is not None:
+            # Write-through: a followed chain keeps the durable store hot,
+            # so point queries answer new deployments from the store.
+            self._proxion.store.record_analysis(analysis)
         if not analysis.is_proxy:
             return []
         self.stats.proxies_seen += 1

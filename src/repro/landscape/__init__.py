@@ -19,7 +19,6 @@ from repro.landscape.serialize import (
     report_to_dict,
     report_to_json,
 )
-from repro.landscape.store import ResultStore, StoredContract
 from repro.landscape.survey import (
     CollisionsByYear,
     DuplicateCensus,
@@ -35,8 +34,6 @@ from repro.landscape.survey import (
 
 __all__ = [
     "CollisionsByYear",
-    "ResultStore",
-    "StoredContract",
     "SweepCheckpoint",
     "analysis_to_dict",
     "dict_to_analysis",

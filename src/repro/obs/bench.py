@@ -541,6 +541,80 @@ def _pipeline_incremental_workload() -> Workload:
         setup=setup, run=run)
 
 
+def _serve_queries_workload() -> Workload:
+    def setup(config: BenchConfig):
+        import tempfile
+
+        from repro.core.pipeline import Proxion
+        from repro.store import attach_store
+
+        # A settled store fronted by the daemon: every benched query is
+        # a point read through a WAL reader connection, the service
+        # mode's hot path.
+        world = _landscape(config.scale(60, 150), config.seed)
+        workdir = tempfile.TemporaryDirectory(prefix="repro-bench-serve-")
+        store_path = os.path.join(workdir.name, "serve.store")
+        with attach_store(store_path) as binding:
+            proxion = Proxion.from_chain(world.chain,
+                                         registry=world.registry,
+                                         dataset=world.dataset,
+                                         store=binding)
+            report = proxion.analyze_all()
+        rendered = ["0x" + address.hex() for address in report.analyses]
+        return world, workdir, store_path, rendered
+
+    def run(context, config: BenchConfig):
+        from http.client import HTTPConnection
+
+        from repro.serve import ServeApp, ServeConfig
+
+        world, workdir, store_path, rendered = context
+        world.node.metrics.reset()
+        queries = config.scale(200, 800)
+        serve_config = ServeConfig(
+            store_path=store_path,
+            # The bench measures query latency, not the throttle: one
+            # keep-alive client must never be rate limited here.
+            rate_per_s=1e9, burst=queries + 1)
+        latencies: list[float] = []
+        start = clock()
+        with ServeApp(serve_config, landscape=world) as app:
+            connection = HTTPConnection("127.0.0.1", app.port, timeout=30)
+            try:
+                for index in range(queries):
+                    address = rendered[index % len(rendered)]
+                    began = clock()
+                    connection.request("GET", f"/v1/contract/{address}")
+                    response = connection.getresponse()
+                    body = response.read()
+                    latencies.append(clock() - began)
+                    assert response.status == 200, body[:200]
+            finally:
+                connection.close()
+        wall_s = clock() - start
+        latencies.sort()
+
+        def percentile(fraction: float) -> float:
+            return latencies[min(len(latencies) - 1,
+                                 int(fraction * len(latencies)))]
+
+        return world.node.metrics, {
+            "queries": queries,
+            "contracts": len(rendered),
+            "qps": round(queries / wall_s, 1) if wall_s else None,
+            "p50_ms": round(percentile(0.50) * 1000, 3),
+            "p99_ms": round(percentile(0.99) * 1000, 3),
+        }
+
+    return Workload(
+        name="serve_queries",
+        description="GET /v1/contract/ADDR against a settled store over "
+                    "one keep-alive connection (800 queries, 200 in "
+                    "--quick): p50/p99 latency and qps of the serve "
+                    "daemon's hot path",
+        setup=setup, run=run)
+
+
 def _build_workloads() -> dict[str, Workload]:
     suite = [
         _sweep_workload(50, 80),
@@ -550,6 +624,7 @@ def _build_workloads() -> dict[str, Workload]:
         _pipeline_parallel_workload(),
         _pipeline_audited_workload(),
         _pipeline_incremental_workload(),
+        _serve_queries_workload(),
         _pipeline_supervised_workload(),
         _pipeline_supervised_events_workload(),
         _proxy_check_workload(),

@@ -84,6 +84,16 @@ METRIC_HELP: dict[str, str] = {
         "Calls that exhausted their retry budget or deadline.",
     "resilience.retries": "Transient RPC failures retried, per method.",
     "rpc.calls": "Archive-node RPC calls issued, per method.",
+    "serve.follower_polls":
+        "Chain polls by the serve daemon's follower thread.",
+    "serve.queries":
+        "Point queries answered by the serve daemon, per result "
+        "(hit = from the store, fresh = analyzed on miss).",
+    "serve.query_seconds": "Serve daemon query latency.",
+    "serve.queue_depth": "Requests waiting in the admission queue.",
+    "serve.shed":
+        "Requests shed by admission control (503), per reason.",
+    "serve.throttled": "Requests refused by the rate limiter (429).",
     "rpc.emulation_failures":
         "eth_call emulations that terminated abnormally, per cause.",
     "rpc.latency_seconds": "Archive-node RPC latency, per method.",

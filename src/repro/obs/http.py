@@ -1,8 +1,9 @@
 """The live ops HTTP surface: /metrics, /healthz, /progress.
 
-``survey --serve-obs PORT`` starts an :class:`ObsServer` next to the
-sweep — a stdlib :class:`~http.server.ThreadingHTTPServer` on a daemon
-thread, zero dependencies, binding loopback by default.  Three routes:
+``survey --serve PORT`` (``--serve-obs`` is the deprecated spelling)
+starts an :class:`ObsServer` next to the sweep — a stdlib
+:class:`~http.server.ThreadingHTTPServer` on a daemon thread, zero
+dependencies, binding loopback by default.  Three routes:
 
 * ``GET /metrics`` — the registry in Prometheus text exposition format,
   **byte-identical** to :func:`repro.obs.export.to_prometheus` over the
@@ -12,12 +13,12 @@ thread, zero dependencies, binding loopback by default.  Three routes:
   supervisor or a worker looks wedged (so a liveness probe needs no body
   parsing);
 * ``GET /progress`` — the :func:`repro.obs.console.journal_snapshot`
-  status as JSON, the same data ``repro status`` renders.
+  status in the ``repro.query/1`` envelope (kind ``status``), exactly
+  the bytes ``repro status --json`` prints.
 
-The registry is passed either as an object or as a zero-argument callable
-returning one — the callable form lets the CLI swap in the merged
-registry as shards land while scrapes keep hitting one stable URL.  This
-is the first durable brick of ROADMAP item 2's ``repro serve``.
+Routing lives in :func:`route_observability` so the ``repro serve``
+daemon (:mod:`repro.serve`) mounts the *same* handlers on its unified
+server — one implementation, two front doors, byte-identical answers.
 """
 
 from __future__ import annotations
@@ -29,6 +30,51 @@ from typing import Any, Callable
 
 from repro.obs.export import to_prometheus
 from repro.obs.registry import MetricsRegistry
+
+
+def route_observability(path: str,
+                        registry: Callable[[], MetricsRegistry],
+                        *,
+                        journal_path: str | None = None,
+                        hung_after_s: float = 30.0,
+                        ) -> tuple[int, str, str] | None:
+    """Answer one observability route, or ``None`` for an unknown path.
+
+    The shared implementation behind both :class:`ObsServer` and the
+    ``repro serve`` daemon — the deprecation test for ``--serve-obs``
+    pins that both spellings serve byte-identical ``/metrics`` because
+    they both land here.
+    """
+    path = path.split("?", 1)[0]
+    if path == "/metrics":
+        # Exactly the exporter's output — byte-identical by contract.
+        return (200, "text/plain; version=0.0.4; charset=utf-8",
+                to_prometheus(registry()))
+    if path == "/healthz":
+        from repro.obs.console import journal_health
+        if journal_path is None:
+            verdict: dict[str, Any] = {"healthy": True,
+                                       "reason": "no journal configured"}
+        else:
+            verdict = journal_health(journal_path,
+                                     hung_after_s=hung_after_s)
+        status = 200 if verdict.get("healthy") else 503
+        return (status, "application/json",
+                json.dumps(verdict, sort_keys=True) + "\n")
+    if path == "/progress":
+        from repro import api
+        from repro.obs.console import journal_snapshot
+        if journal_path is None:
+            return (404, "application/json",
+                    json.dumps({"error": "no journal configured"}) + "\n")
+        try:
+            snapshot = journal_snapshot(journal_path)
+        except Exception as error:
+            return (503, "application/json",
+                    json.dumps({"error": str(error)}) + "\n")
+        return (200, "application/json",
+                api.to_json(api.status_answer(snapshot)) + "\n")
+    return None
 
 
 class ObsServer:
@@ -93,34 +139,11 @@ class ObsServer:
         return registry() if callable(registry) else registry
 
     def _route(self, path: str) -> tuple[int, str, str]:
-        path = path.split("?", 1)[0]
-        if path == "/metrics":
-            # Exactly the exporter's output — byte-identical by contract.
-            return (200, "text/plain; version=0.0.4; charset=utf-8",
-                    to_prometheus(self._resolve_registry()))
-        if path == "/healthz":
-            from repro.obs.console import journal_health
-            if self.journal_path is None:
-                verdict: dict[str, Any] = {"healthy": True,
-                                           "reason": "no journal configured"}
-            else:
-                verdict = journal_health(self.journal_path,
-                                         hung_after_s=self.hung_after_s)
-            status = 200 if verdict.get("healthy") else 503
-            return (status, "application/json",
-                    json.dumps(verdict, sort_keys=True) + "\n")
-        if path == "/progress":
-            from repro.obs.console import journal_snapshot
-            if self.journal_path is None:
-                return (404, "application/json",
-                        json.dumps({"error": "no journal configured"}) + "\n")
-            try:
-                snapshot = journal_snapshot(self.journal_path)
-            except Exception as error:
-                return (503, "application/json",
-                        json.dumps({"error": str(error)}) + "\n")
-            return (200, "application/json",
-                    json.dumps(snapshot.to_dict(), sort_keys=True) + "\n")
+        route = route_observability(path, self._resolve_registry,
+                                    journal_path=self.journal_path,
+                                    hung_after_s=self.hung_after_s)
+        if route is not None:
+            return route
         return (404, "text/plain; charset=utf-8",
                 "unknown path; try /metrics, /healthz or /progress\n")
 
@@ -137,4 +160,4 @@ class ObsServer:
         self.close()
 
 
-__all__ = ["ObsServer"]
+__all__ = ["ObsServer", "route_observability"]

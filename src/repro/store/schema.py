@@ -15,7 +15,7 @@ paper's own persistence splits it (Postgres tables keyed by
   storage-dependent state), quarantined failures (``failures``) and §3.1
   dead-contract skips (``skips``).  These make re-sweeps incremental.
 * **derived query tables** — ``logic_links`` and ``collisions``, the
-  legacy :class:`~repro.landscape.store.ResultStore` query surface,
+  offline query surface (``AnalysisStore.proxies/logic_chain/...``),
   rebuilt from the instance rows they denormalize (and rebuildable by
   ``repro store fsck --repair``).
 
@@ -136,7 +136,12 @@ def connect(path: str, *, busy_timeout_ms: int = 30_000) -> sqlite3.Connection:
     writer *wait* instead of raising ``database is locked`` — the WAL
     discipline the concurrent-shard-writer test exercises.
     """
-    connection = sqlite3.connect(path, timeout=busy_timeout_ms / 1000.0)
+    # check_same_thread=False: the serve daemon commits miss-path writes
+    # from HTTP request threads while the chain follower holds the same
+    # connection — all writers serialize on one lock, and sweeps are
+    # single-threaded, so cross-thread handoff of the handle is safe.
+    connection = sqlite3.connect(path, timeout=busy_timeout_ms / 1000.0,
+                                 check_same_thread=False)
     connection.execute(f"PRAGMA busy_timeout = {busy_timeout_ms}")
     # ":memory:" stores silently keep the default journal (WAL needs a
     # file); on-disk stores get WAL + NORMAL sync — fsync at checkpoint

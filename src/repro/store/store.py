@@ -9,10 +9,11 @@ writes, then commits exactly once per finished contract — so a
 ``kill -9`` at any instant rolls back to the last finished contract and
 the store is always a *consistent prefix* of the sweep.
 
-The legacy :class:`~repro.landscape.store.ResultStore` query surface
-(``proxies``, ``logic_chain``, ``collisions``, censuses) is implemented
-here against the new tables, so the old post-hoc ``--db`` workflow and
-its tests keep working against the unified format.
+Besides the sweep-facing writes, the store carries an offline query
+surface (``proxies``, ``logic_chain``, ``collisions``, censuses) over
+the derived tables, and the single-row point reads
+(``load_analysis_record`` and friends) behind the ``repro.api`` query
+records served by ``repro explain --store`` and ``repro serve``.
 """
 
 from __future__ import annotations
@@ -211,6 +212,28 @@ class AnalysisStore:
         self._connection.execute(
             "DELETE FROM collisions WHERE proxy = ?", (address_hex,))
 
+    # ------------------------------------------------------------ point reads
+    # The `repro.api` query surface: one address, one row, no full scan.
+    # WAL mode lets any number of reader connections run these while a
+    # sweep's StoreBinding commits — the serve daemon's whole read path.
+    def load_analysis_record(self, address: bytes) -> dict[str, Any] | None:
+        row = self._connection.execute(
+            "SELECT analysis_json FROM analyses WHERE address = ?",
+            (_hex(address),)).fetchone()
+        return json.loads(row[0]) if row else None
+
+    def load_failure_record(self, address: bytes) -> dict[str, Any] | None:
+        row = self._connection.execute(
+            "SELECT failure_json FROM failures WHERE address = ?",
+            (_hex(address),)).fetchone()
+        return json.loads(row[0]) if row else None
+
+    def has_skip(self, address: bytes) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM skips WHERE address = ?",
+            (_hex(address),)).fetchone()
+        return row is not None
+
     def load_analyses(self) -> dict[bytes, dict[str, Any]]:
         """Serialized analysis records by address (restore parses lazily)."""
         rows = self._connection.execute(
@@ -232,7 +255,7 @@ class AnalysisStore:
 
     # ------------------------------------------------------------- bulk API
     def save_report(self, report: LandscapeReport) -> None:
-        """Persist a finished sweep in one transaction (legacy ``--db``)."""
+        """Persist a finished sweep in one transaction (post-hoc dump)."""
         for analysis in report.analyses.values():
             self.save_analysis(analysis)
         for failure in report.failures.values():
@@ -296,7 +319,7 @@ class AnalysisStore:
         finally:
             connection.execute("DETACH DATABASE shard")
 
-    # -------------------------------------------------- legacy query surface
+    # ------------------------------------------------- offline query surface
     def contract_count(self) -> int:
         row = self._connection.execute(
             "SELECT COUNT(*) FROM analyses").fetchone()

@@ -1,18 +1,28 @@
-"""SQLite result store."""
+"""The store's offline query surface (proxies/collisions/censuses).
+
+Formerly exercised through the deprecated ``ResultStore`` shim; the shim
+is gone (PR 9) and the queries live on :class:`AnalysisStore` directly —
+same ``repro.store/1`` file format, so databases written by the old
+``--db`` spelling keep opening unchanged.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.core.pipeline import Proxion
-from repro.landscape.store import ResultStore
+from repro.store.store import AnalysisStore
+
+# AnalysisStore.proxies() row layout (denormalized query columns).
+ADDRESS, CODE_HASH, HAS_SOURCE, HAS_TX, YEAR, IS_PROXY, STANDARD = range(7)
 
 
 @pytest.fixture(scope="module")
 def stored(landscape):
-    proxion = Proxion(landscape.node, registry=landscape.registry, dataset=landscape.dataset)
+    proxion = Proxion(landscape.node, registry=landscape.registry,
+                      dataset=landscape.dataset)
     report = proxion.analyze_all()
-    store = ResultStore(":memory:")
+    store = AnalysisStore(":memory:")
     store.save_report(report)
     return store, report, landscape
 
@@ -35,16 +45,16 @@ def test_query_by_standard_and_year(stored) -> None:
     store, report, _ = stored
     minimal = store.proxies(standard="EIP-1167")
     assert minimal
-    assert all(record.standard == "EIP-1167" for record in minimal)
+    assert all(row[STANDARD] == "EIP-1167" for row in minimal)
     recent = store.proxies(year=2023)
-    assert all(record.deploy_year == 2023 for record in recent)
+    assert all(row[YEAR] == 2023 for row in recent)
 
 
 def test_hidden_filter(stored) -> None:
     store, report, _ = stored
     hidden = store.proxies(hidden_only=True)
     assert len(hidden) == len(report.hidden_proxies())
-    assert all(record.is_hidden for record in hidden)
+    assert all(not row[HAS_SOURCE] and not row[HAS_TX] for row in hidden)
 
 
 def test_logic_chain_roundtrip(stored) -> None:
@@ -92,7 +102,20 @@ def test_yearly_counts(stored) -> None:
 def test_file_backed_store(tmp_path, stored) -> None:
     _, report, _ = stored
     path = tmp_path / "sweep.db"
-    with ResultStore(str(path)) as store:
+    with AnalysisStore(str(path)) as store:
         store.save_report(report)
-    with ResultStore(str(path)) as reopened:
+    with AnalysisStore(str(path)) as reopened:
         assert reopened.contract_count() == len(report)
+
+
+def test_point_reads(stored) -> None:
+    """The repro.api point-read surface: one row per lookup, None on miss."""
+    store, report, _ = stored
+    address = next(iter(report.analyses))
+    record = store.load_analysis_record(address)
+    assert record is not None
+    assert record["address"] == "0x" + address.hex()
+    missing = bytes(20)
+    assert store.load_analysis_record(missing) is None
+    assert store.load_failure_record(missing) is None
+    assert not store.has_skip(missing)

@@ -114,7 +114,12 @@ def test_progress_serves_the_snapshot_json(registry, tmp_path) -> None:
         status, headers, body = _get(server.url + "/progress")
     assert status == 200
     assert headers["Content-Type"] == "application/json"
-    progress = json.loads(body)
+    payload = json.loads(body)
+    # /progress speaks the repro.query/1 status envelope — the same bytes
+    # `repro status --json` prints for this journal.
+    assert payload["schema"] == "repro.query/1"
+    assert payload["kind"] == "status"
+    progress = payload["status"]
     assert progress["started"] and not progress["finished"]
     assert progress["contracts"] == 6
     assert progress["shards"]["0"]["state"] == "running"

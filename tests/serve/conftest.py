@@ -1,0 +1,30 @@
+"""Fixtures for the service-mode suite.
+
+One small store seeded by a real sweep, and the matching landscape, are
+shared module-wide: the daemon under test must front the same
+deterministic world the seeding sweep ran against (otherwise fresh
+analyses would answer about different contracts).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generator import generate_landscape
+
+TOTAL, SEED = 40, 5
+
+
+@pytest.fixture(scope="session")
+def svc_landscape():
+    return generate_landscape(total=TOTAL, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def svc_store(tmp_path_factory) -> str:
+    from repro.cli import main
+
+    path = str(tmp_path_factory.mktemp("serve") / "svc.store")
+    assert main(["survey", "--total", str(TOTAL), "--seed", str(SEED),
+                 "--store", path]) == 0
+    return path

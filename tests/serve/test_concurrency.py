@@ -1,0 +1,123 @@
+"""WAL concurrency and crash-safety of the serving store.
+
+Two claims the service mode stands on:
+
+1. WAL readers answer while the single writer commits — no ``database
+   is locked`` errors, and every committed write becomes visible.
+2. ``kill -9`` of a live daemon loses at most the contract in flight:
+   every fact a reader ever observed as committed survives the restart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+from repro.cli import main
+from repro.store.binding import attach_store
+from repro.store.store import AnalysisStore
+
+from tests.serve.conftest import SEED, TOTAL
+
+
+def test_wal_readers_see_writes_without_blocking(tmp_path) -> None:
+    path = str(tmp_path / "concurrent.store")
+    binding = attach_store(path)
+    assert binding is not None
+
+    written = 200
+    errors: list[Exception] = []
+    stop = threading.Event()
+
+    def read_loop() -> None:
+        try:
+            with AnalysisStore(path) as reader:
+                while not stop.is_set():
+                    # Point reads and aggregates, racing the writer.
+                    reader.has_skip(b"\x00" * 19 + b"\x01")
+                    reader.load_analysis_record(b"\xff" * 20)
+                    reader._connection.execute(
+                        "SELECT COUNT(*) FROM skips").fetchone()
+        except Exception as error:  # surfaced below, not swallowed
+            errors.append(error)
+
+    readers = [threading.Thread(target=read_loop) for _ in range(4)]
+    for thread in readers:
+        thread.start()
+    try:
+        for index in range(written):
+            binding.record_skip(index.to_bytes(20, "big"))
+        assert not binding.disabled
+    finally:
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=10.0)
+        binding.close()
+    assert errors == []
+
+    # Every committed write is visible to a fresh reader.
+    with AnalysisStore(path) as reader:
+        assert len(reader.load_skips()) == written
+
+
+def _vitals(url: str) -> dict:
+    with urllib.request.urlopen(url + "/v1/server", timeout=10) as response:
+        return json.loads(response.read())
+
+
+def test_kill9_during_serve_loses_no_settled_facts(tmp_path) -> None:
+    store = str(tmp_path / "crash.store")
+    assert main(["survey", "--total", str(TOTAL), "--seed", str(SEED),
+                 "--store", store]) == 0
+    with AnalysisStore(store) as reader:
+        seeded = reader.contract_count()
+
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+    daemon = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve", "--store", store,
+         "--total", str(TOTAL), "--seed", str(SEED),
+         "--follow", "--simulate", "2", "--poll", "0.05"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True)
+    try:
+        url = None
+        for line in daemon.stdout:          # announced once it listens
+            if line.startswith("serve: http"):
+                url = line.split()[1]
+                break
+        assert url, "daemon never announced its URL"
+
+        # Wait until the follower has settled new deployments past the
+        # seeded sweep — facts a crash must not lose.
+        deadline = time.monotonic() + 60.0
+        observed = _vitals(url)
+        while observed["contracts"] <= seeded:
+            assert time.monotonic() < deadline, \
+                f"follower never grew the store past {seeded}"
+            time.sleep(0.2)
+            observed = _vitals(url)
+    finally:
+        # kill -9 semantics: SIGKILL mid-write, no shutdown hooks run.
+        if daemon.poll() is None:
+            os.kill(daemon.pid, signal.SIGKILL)
+        daemon.wait(timeout=10)
+        daemon.stdout.close()
+
+    # The store reopens clean and holds everything a reader saw settle.
+    assert main(["store", "fsck", store]) == 0
+    with AnalysisStore(store) as reader:
+        assert reader.contract_count() >= observed["contracts"]
+
+    # A restarted daemon fronting the same store answers from it.
+    from repro.serve import ServeApp, ServeConfig
+    config = ServeConfig(store_path=store, total=TOTAL, seed=SEED)
+    with ServeApp(config) as app:
+        restarted = _vitals(app.url)
+    assert restarted["contracts"] >= observed["contracts"]

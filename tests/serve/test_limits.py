@@ -1,0 +1,109 @@
+"""Rate limiting and admission control (the daemon's overload armour)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import AdmissionGate, RateLimiter, TokenBucket
+
+
+class Clock:
+    """An explicit test clock: no sleeps, no flakes."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# -------------------------------------------------------------- token bucket
+def test_bucket_spends_burst_then_hints_refill_time() -> None:
+    bucket = TokenBucket(rate=1.0, burst=2.0, now=0.0)
+    assert bucket.try_take(0.0) == 0.0
+    assert bucket.try_take(0.0) == 0.0
+    # Empty: one token is 1/rate seconds away.
+    assert bucket.try_take(0.0) == pytest.approx(1.0)
+    # Half a second later, half a token has trickled back in.
+    assert bucket.try_take(0.5) == pytest.approx(0.5)
+    assert bucket.try_take(2.0) == 0.0
+
+
+def test_bucket_never_accumulates_past_burst() -> None:
+    bucket = TokenBucket(rate=100.0, burst=3.0, now=0.0)
+    # An idle aeon refills to burst, not to rate * elapsed.
+    for _ in range(3):
+        assert bucket.try_take(1000.0) == 0.0
+    assert bucket.try_take(1000.0) > 0.0
+
+
+# -------------------------------------------------------------- rate limiter
+def test_limiter_rejects_nonpositive_rate() -> None:
+    with pytest.raises(ConfigurationError):
+        RateLimiter(0.0, burst=1)
+
+
+def test_limiter_tracks_clients_independently() -> None:
+    clock = Clock()
+    limiter = RateLimiter(1.0, burst=1, clock=clock)
+    assert limiter.admit("a") == 0.0
+    assert limiter.admit("a") > 0.0     # a's bucket is empty...
+    assert limiter.admit("b") == 0.0    # ...but b still has its burst
+
+
+def test_limiter_refills_over_time() -> None:
+    clock = Clock()
+    limiter = RateLimiter(2.0, burst=1, clock=clock)
+    assert limiter.admit("a") == 0.0
+    assert limiter.admit("a") == pytest.approx(0.5)
+    clock.now += 0.5
+    assert limiter.admit("a") == 0.0
+
+
+def test_limiter_lru_caps_client_state() -> None:
+    clock = Clock()
+    limiter = RateLimiter(1.0, burst=1, max_clients=2, clock=clock)
+    assert limiter.admit("a") == 0.0
+    assert limiter.admit("b") == 0.0
+    assert limiter.admit("c") == 0.0    # evicts a (oldest)
+    # a's drained bucket was recycled: it comes back with a full burst —
+    # bounded memory is the priority, a flood only recycles full buckets.
+    assert limiter.admit("a") == 0.0
+    assert len(limiter._buckets) == 2
+
+
+# ------------------------------------------------------------ admission gate
+def test_gate_admits_up_to_slots_then_sheds_queue_full() -> None:
+    gate = AdmissionGate(slots=2, queue_limit=0, timeout_s=0.01)
+    assert gate.enter() == "admitted"
+    assert gate.enter() == "admitted"
+    assert gate.enter() == "queue-full"
+    gate.leave()
+    assert gate.enter() == "admitted"
+    gate.leave()
+    gate.leave()
+
+
+def test_gate_queued_request_times_out() -> None:
+    gate = AdmissionGate(slots=1, queue_limit=4, timeout_s=0.05)
+    assert gate.enter() == "admitted"     # hold the only slot
+    assert gate.enter() == "timeout"      # waits, then sheds
+    gate.leave()
+
+
+def test_gate_hands_slot_to_a_waiter() -> None:
+    gate = AdmissionGate(slots=1, queue_limit=4, timeout_s=5.0)
+    assert gate.enter() == "admitted"
+    outcome: list[str] = []
+    waiter = threading.Thread(target=lambda: outcome.append(gate.enter()))
+    waiter.start()
+    while gate.depth == 0:                # until the waiter is queued
+        pass
+    gate.leave()
+    waiter.join(timeout=5.0)
+    assert outcome == ["admitted"]
+    gate.leave()
+    assert gate.depth == 0

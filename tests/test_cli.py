@@ -234,8 +234,10 @@ def test_survey_events_journal_status_and_tail(tmp_path, capsys) -> None:
 
     assert main(["status", journal, "--json"]) == 0
     snapshot = json.loads(capsys.readouterr().out)
-    assert snapshot["finished"] and snapshot["started"]
-    assert snapshot["events"] > 0
+    assert snapshot["schema"] == "repro.query/1"
+    assert snapshot["kind"] == "status"
+    assert snapshot["status"]["finished"] and snapshot["status"]["started"]
+    assert snapshot["status"]["events"] > 0
 
     assert main(["tail", journal]) == 0
     lines = capsys.readouterr().out.strip().splitlines()
@@ -299,9 +301,14 @@ def test_survey_audit_then_explain_round_trip(tmp_path, capsys) -> None:
     assert main(["explain", rendered, "--audit", audit, "--json"]) == 0
     import json
     record = json.loads(capsys.readouterr().out)
-    assert record["schema"] == SCHEMA
+    assert record["schema"] == "repro.query/1"
+    assert record["kind"] == "evidence"
+    assert record["source"] == "audit"
     assert record["address"] == rendered
-    assert record["evidence"]
+    # The full repro.evidence/1 trail nests unchanged inside the envelope.
+    assert record["evidence"]["schema"] == SCHEMA
+    assert record["evidence"]["address"] == rendered
+    assert record["evidence"]["evidence"]
 
 
 def test_survey_audit_parallel_matches_serial(tmp_path, capsys) -> None:
@@ -357,7 +364,9 @@ def test_explain_fresh_analysis_matches_audited(tmp_path, capsys) -> None:
     assert main(["explain", rendered, "--total", "30", "--seed", "3",
                  "--json"]) == 0
     fresh = json.loads(capsys.readouterr().out)
-    assert fresh == from_audit
+    # Same trail either way; only the envelope's provenance differs.
+    assert fresh["evidence"] == from_audit["evidence"]
+    assert from_audit["source"] == "audit" and fresh["source"] == "fresh"
 
 
 def test_explain_rejects_bad_addresses(tmp_path, capsys) -> None:
@@ -378,7 +387,7 @@ def test_accuracy_events_journal(tmp_path, capsys) -> None:
     capsys.readouterr()
     assert main(["status", journal, "--json"]) == 0
     snapshot = json.loads(capsys.readouterr().out)
-    assert snapshot["finished"] and snapshot["started"]
+    assert snapshot["status"]["finished"] and snapshot["status"]["started"]
 
 
 def test_accuracy_metrics_prom_and_trace(tmp_path, capsys) -> None:
@@ -414,23 +423,19 @@ def test_survey_store_json_matches_serial(capsys, tmp_path) -> None:
     assert capsys.readouterr().out == serial
 
 
-def test_survey_db_is_a_deprecated_store_alias(tmp_path, capsys) -> None:
-    db = str(tmp_path / "legacy.db")
+def test_survey_db_was_removed(tmp_path, capsys) -> None:
+    # The deprecated alias is gone; the error names its replacement and
+    # reassures that --db-written files still open (same file format).
     assert main(["survey", "--total", "40", "--seed", "5",
-                 "--db", db]) == 0
-    output = capsys.readouterr()
-    assert "--db is deprecated" in output.err
-    assert "sweep persisted to" in output.out
-    # The alias writes the one true schema: store subcommands accept it.
-    assert main(["store", "stats", db]) == 0
-    assert "repro.store/1" in capsys.readouterr().out
-
-
-def test_survey_db_conflicting_with_store_errors(tmp_path, capsys) -> None:
+                 "--db", str(tmp_path / "legacy.db")]) == 2
+    err = capsys.readouterr().err
+    assert "--db was removed" in err
+    assert "--store" in err
+    # Passing both spellings fails the same way.
     assert main(["survey", "--total", "40",
                  "--db", str(tmp_path / "a.db"),
                  "--store", str(tmp_path / "b.store")]) == 2
-    assert "deprecated alias" in capsys.readouterr().err
+    assert "--db was removed" in capsys.readouterr().err
 
 
 def test_survey_incremental_without_store_errors(capsys) -> None:

@@ -179,11 +179,13 @@ def main(argv: list[str] | None = None) -> int:
                             f"sweep, got {status}: {verdict}")
 
         status, body = _http_get(server.url + "/progress")
-        progress = json.loads(body)
-        if status != 200 or not progress.get("finished"):
-            problems.append(f"/progress should report the sweep finished, "
-                            f"got {status}: kept keys "
-                            f"{sorted(progress)[:6]}")
+        payload = json.loads(body)
+        progress = payload.get("status") or {}
+        if (status != 200 or payload.get("schema") != "repro.query/1"
+                or not progress.get("finished")):
+            problems.append(f"/progress should report the sweep finished "
+                            f"in the repro.query/1 envelope, got {status}: "
+                            f"kept keys {sorted(payload)[:6]}")
 
     # A journal whose last worker tick is stale must flip /healthz to 503
     # — the hung-worker signal an external probe restarts the sweep on.

@@ -151,7 +151,11 @@ def main(argv: list[str] | None = None) -> int:
             problems.append(f"explain {rendered} exited {code}")
             continue
         payload = json.loads(sink.getvalue())
-        if payload.get("address") != rendered or not payload.get("evidence"):
+        trail_record = payload.get("evidence") or {}
+        if (payload.get("schema") != "repro.query/1"
+                or payload.get("address") != rendered
+                or trail_record.get("address") != rendered
+                or not trail_record.get("evidence")):
             problems.append(f"explain {rendered} --json payload is empty "
                             f"or mislabelled")
             continue

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""CI gate: the serve daemon's query API keeps its service contract.
+
+Seeds a store with a real sweep, fronts it with an in-process
+:class:`repro.serve.ServeApp`, and asserts the guarantees
+``docs/service.md`` documents:
+
+1. **Byte-identity** — ``repro explain ADDR --json --store PATH`` and
+   ``GET /v1/contract/ADDR`` return byte-identical bodies for every
+   stored verdict class (the ``repro.query/1`` single-serializer claim).
+2. **Latency** — a keep-alive query burst over the settled store stays
+   under the ``--p99-ms`` bound (generous for CI hardware; the
+   ``serve_queries`` bench workload tracks the real trajectory).
+3. **Overload armour** — at 2x over-admission a client is shed with
+   429s (``Retry-After`` attached, typed ``repro.query/1`` error
+   bodies), every response is a fast 200-or-429 (no queue collapse:
+   the refusals must not be slower than the answers), and the
+   observability routes stay unthrottled throughout.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_serve.py --total 40 --seed 5
+
+Exit codes: 0 pass, 1 contract violated, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+from http.client import HTTPConnection
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--total", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--queries", type=int, default=200,
+                        help="burst size for the latency measurement")
+    parser.add_argument("--p99-ms", type=float, default=100.0,
+                        help="p99 latency bound for the burst (default "
+                             "100ms — generous for shared CI hardware)")
+    args = parser.parse_args(argv)
+
+    from time import perf_counter
+
+    from repro.cli import main as repro_main
+    from repro.core.pipeline import Proxion
+    from repro.corpus.generator import generate_landscape
+    from repro.serve import ServeApp, ServeConfig
+    from repro.store import attach_store
+    from repro.store.store import AnalysisStore
+
+    problems: list[str] = []
+    workdir = tempfile.mkdtemp(prefix="repro-serve-gate-")
+    store_path = os.path.join(workdir, "svc.store")
+
+    # ---- seed: one real sweep settles the store the daemon fronts ------
+    world = generate_landscape(total=args.total, seed=args.seed)
+    with attach_store(store_path) as binding:
+        proxion = Proxion(world.node, registry=world.registry,
+                          dataset=world.dataset, store=binding)
+        report = proxion.analyze_all()
+    addresses = ["0x" + address.hex() for address in report.analyses]
+    print(f"seed: {len(addresses)} contracts settled into {store_path}")
+
+    def cli_answer(rendered: str) -> bytes:
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink):
+            code = repro_main(["explain", rendered, "--json",
+                               "--store", store_path])
+        if code != 0:
+            problems.append(f"explain {rendered} --store exited {code}")
+        return sink.getvalue().encode("utf-8")
+
+    # ---- 1. byte-identity: CLI and HTTP share one serializer ----------
+    config = ServeConfig(store_path=store_path, total=args.total,
+                         seed=args.seed,
+                         rate_per_s=1e9, burst=args.queries * 4)
+    with ServeApp(config, landscape=world) as app:
+        connection = HTTPConnection("127.0.0.1", app.port, timeout=30)
+
+        def http_get(path: str) -> tuple[int, dict, bytes]:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            return (response.status, dict(response.headers),
+                    response.read())
+
+        identical = 0
+        for rendered in addresses:
+            status, _, body = http_get(f"/v1/contract/{rendered}")
+            if status != 200:
+                problems.append(f"GET /v1/contract/{rendered} -> {status}")
+                continue
+            if body != cli_answer(rendered):
+                problems.append(f"{rendered}: CLI and HTTP bodies diverge")
+                continue
+            identical += 1
+        print(f"byte-identity: {identical}/{len(addresses)} contract "
+              f"answers identical across CLI and HTTP")
+
+        # ---- 2. latency: the hot path under a keep-alive burst --------
+        latencies: list[float] = []
+        burst_start = perf_counter()
+        for index in range(args.queries):
+            rendered = addresses[index % len(addresses)]
+            began = perf_counter()
+            status, _, _ = http_get(f"/v1/contract/{rendered}")
+            latencies.append(perf_counter() - began)
+            if status != 200:
+                problems.append(f"burst query {index} -> {status}")
+        wall = perf_counter() - burst_start
+        p50 = _percentile(latencies, 0.50) * 1000
+        p99 = _percentile(latencies, 0.99) * 1000
+        print(f"burst: {args.queries} queries in {wall:.2f}s "
+              f"({args.queries / wall:.0f} qps), p50 {p50:.2f}ms, "
+              f"p99 {p99:.2f}ms")
+        if p99 > args.p99_ms:
+            problems.append(f"p99 {p99:.2f}ms exceeds the "
+                            f"{args.p99_ms}ms bound")
+        connection.close()
+
+    # ---- 3. overload: 2x over-admission is shed with fast 429s --------
+    burst_tokens = 20
+    throttled_config = ServeConfig(store_path=store_path, total=args.total,
+                                   seed=args.seed,
+                                   rate_per_s=1.0, burst=burst_tokens)
+    with ServeApp(throttled_config, landscape=world) as app:
+        connection = HTTPConnection("127.0.0.1", app.port, timeout=30)
+        codes: list[int] = []
+        refusal_times: list[float] = []
+        storm_start = perf_counter()
+        for index in range(burst_tokens * 2):   # 2x over-admission
+            rendered = addresses[index % len(addresses)]
+            began = perf_counter()
+            connection.request("GET", f"/v1/contract/{rendered}")
+            response = connection.getresponse()
+            body = response.read()
+            elapsed = perf_counter() - began
+            codes.append(response.status)
+            if response.status == 429:
+                refusal_times.append(elapsed)
+                payload = json.loads(body)
+                if (payload.get("schema") != "repro.query/1"
+                        or payload.get("kind") != "error"
+                        or not response.headers.get("Retry-After")):
+                    problems.append("429 body/headers are not the typed "
+                                    "ErrorAnswer contract")
+        storm_wall = perf_counter() - storm_start
+        shed = codes.count(429)
+        served = codes.count(200)
+        print(f"overload: {served} served, {shed} shed with 429 out of "
+              f"{len(codes)} at 2x over-admission ({storm_wall:.2f}s)")
+        if shed < burst_tokens // 2:
+            problems.append(f"expected >= {burst_tokens // 2} 429s at 2x "
+                            f"over-admission, got {shed}")
+        if set(codes) - {200, 429}:
+            problems.append(f"unexpected status codes under overload: "
+                            f"{sorted(set(codes) - {200, 429})}")
+        if refusal_times and max(refusal_times) > 1.0:
+            problems.append(f"a 429 took {max(refusal_times):.2f}s — "
+                            f"refusals must be fast, not queued")
+        connection.request("GET", "/metrics")
+        response = connection.getresponse()
+        response.read()
+        if response.status != 200:
+            problems.append(f"/metrics was shed under overload "
+                            f"({response.status}) — obs routes must stay "
+                            f"unthrottled")
+        connection.close()
+        throttled = app.metrics.counter_total("serve.throttled")
+        if throttled < shed:
+            problems.append(f"serve.throttled counter ({throttled}) "
+                            f"undercounts the {shed} shed requests")
+
+    # ---- store is untouched by being served --------------------------
+    with AnalysisStore(store_path) as reader:
+        if reader.contract_count() != len(addresses):
+            problems.append("serving mutated the settled contract count")
+
+    if problems:
+        print("serve gate FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"serve gate passed: {identical} byte-identical answers, "
+          f"p99 {p99:.2f}ms under the {args.p99_ms}ms bound, "
+          f"{shed} fast 429s at 2x over-admission")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
