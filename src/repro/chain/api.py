@@ -115,6 +115,7 @@ DECLARED_CONFORMERS = (
     "repro.chain.node.ArchiveNode",
     "repro.chain.resilient.ResilientNode",
     "repro.chain.faults.FaultyNode",
+    "repro.chain.failover.FailoverNode",
 )
 
 

@@ -12,7 +12,9 @@ can bucket deployments by year just as the paper's Figures 2/4 do.
 
 from __future__ import annotations
 
+import bisect
 import datetime as _dt
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.chain.profiles import ChainProfile
@@ -31,6 +33,10 @@ from repro.evm.tracer import (
 GENESIS_TIMESTAMP = int(_dt.datetime(2015, 7, 30, tzinfo=_dt.timezone.utc).timestamp())
 DEFAULT_BLOCK_TIME = 13
 DEFAULT_GAS = 30_000_000
+# How many recent block records keep an undo snapshot: the maximum depth a
+# reorg (``Blockchain.fork``) can rewind.  Bounded so a long-lived chain
+# does not accumulate one full-state copy per block forever.
+DEFAULT_REORG_CAPACITY = 64
 
 
 @dataclass(slots=True)
@@ -76,11 +82,19 @@ class Receipt:
 
 @dataclass(slots=True)
 class Block:
-    """A sealed block."""
+    """A sealed block.
+
+    ``hash`` identifies the block *on its branch*: it commits to the parent
+    hash, the height, and a branch nonce bumped on every :meth:`Blockchain.fork`,
+    so a replacement block at the same height after a reorg always carries a
+    different hash — the divergence signal ancestry-tracking followers key on.
+    """
 
     number: int
     timestamp: int
     receipts: list[Receipt] = field(default_factory=list)
+    parent_hash: bytes = b""
+    hash: bytes = b""
 
 
 class Blockchain:
@@ -92,6 +106,7 @@ class Blockchain:
         genesis_timestamp: int | None = None,
         config: ExecutionConfig | None = None,
         profile: ChainProfile | None = None,
+        reorg_capacity: int = DEFAULT_REORG_CAPACITY,
     ) -> None:
         from repro.chain.profiles import ETHEREUM
 
@@ -102,11 +117,25 @@ class Blockchain:
                                   if genesis_timestamp is not None
                                   else self.profile.genesis_timestamp)
         self.state = WorldState()
-        self.blocks: list[Block] = [
-            Block(number=0, timestamp=self.genesis_timestamp)]
         self.config = config or ExecutionConfig()
         self.receipts_by_address: dict[bytes, list[Receipt]] = {}
+        self.reorg_capacity = max(0, reorg_capacity)
+        self.forks = 0            # branch nonce; bumped by every fork()
+        genesis = Block(number=0, timestamp=self.genesis_timestamp,
+                        parent_hash=b"\x00" * 32)
+        genesis.hash = self._block_hash(genesis.parent_hash, 0)
+        self.blocks: list[Block] = [genesis]
+        # Undo ring: (index into self.blocks, state snapshot taken *before*
+        # that block executed).  fork() rewinds by reverting to one of these.
+        self._undo: list[tuple[int, tuple]] = []
         self.state.current_block = 0
+
+    def _block_hash(self, parent_hash: bytes, number: int) -> bytes:
+        digest = hashlib.sha256()
+        digest.update(parent_hash)
+        digest.update(number.to_bytes(8, "big"))
+        digest.update(self.forks.to_bytes(8, "big"))
+        return digest.digest()
 
     # ------------------------------------------------------------ block clock
     @property
@@ -136,14 +165,100 @@ class Blockchain:
         """
         if block_number <= self.latest_block_number:
             return
-        self.blocks.append(Block(number=block_number,
-                                 timestamp=self.timestamp_of(block_number)))
+        if self.reorg_capacity:
+            self._undo.append((len(self.blocks), self.state.snapshot()))
+            if len(self._undo) > self.reorg_capacity:
+                del self._undo[0]
+        parent = self.blocks[-1]
+        block = Block(number=block_number,
+                      timestamp=self.timestamp_of(block_number),
+                      parent_hash=parent.hash)
+        block.hash = self._block_hash(parent.hash, block_number)
+        self.blocks.append(block)
         self.state.current_block = block_number
 
     def block_context(self, block_number: int | None = None) -> BlockContext:
         number = self.latest_block_number if block_number is None else block_number
         return BlockContext(number=number, timestamp=self.timestamp_of(number),
                             chain_id=self.profile.chain_id)
+
+    # ------------------------------------------------------- reorganizations
+    def block_hash(self, block_number: int) -> bytes | None:
+        """Hash of the block record at ``block_number`` on the current branch.
+
+        ``None`` when no record exists at that height (implicit empty span,
+        or a height orphaned by a fork).  Followers compare stored hashes
+        against this to detect that the branch underneath them changed.
+        """
+        index = bisect.bisect_left(self.blocks, block_number,
+                                   key=lambda block: block.number)
+        if index < len(self.blocks) and self.blocks[index].number == block_number:
+            return self.blocks[index].hash
+        return None
+
+    @property
+    def max_fork_depth(self) -> int:
+        """How many trailing block records :meth:`fork` can currently orphan."""
+        if not self._undo:
+            return 0
+        return len(self.blocks) - self._undo[0][0]
+
+    def fork(self, depth: int) -> list[bytes]:
+        """Reorganize: orphan the top ``depth`` block records.
+
+        World state reverts to the common ancestor (code, storage, balances,
+        nonces, archive histories), orphaned receipts leave the transaction
+        index, and the branch nonce bumps so replacement blocks sealed at the
+        same heights hash differently.  ``depth`` counts block *records* and
+        is clamped to :attr:`max_fork_depth` (undo snapshots are bounded by
+        ``reorg_capacity``).  Returns the orphaned deployment addresses —
+        contracts that no longer exist on the canonical branch — in
+        deployment order.
+        """
+        depth = min(depth, self.max_fork_depth)
+        if depth <= 0:
+            return []
+        ancestor_index = len(self.blocks) - depth - 1
+        snapshot = None
+        for index, snap in self._undo:
+            if index == ancestor_index + 1:
+                snapshot = snap
+                break
+        if snapshot is None:      # unreachable given the clamp, but explicit
+            return []
+        orphaned: list[bytes] = []
+        seen: set[bytes] = set()
+        dropped: set[int] = set()
+        for block in self.blocks[ancestor_index + 1:]:
+            for receipt in block.receipts:
+                dropped.add(id(receipt))
+                for address in self._deployed_by(receipt):
+                    if address not in seen:
+                        seen.add(address)
+                        orphaned.append(address)
+        self.state.revert(snapshot)
+        del self.blocks[ancestor_index + 1:]
+        self._undo = [(index, snap) for index, snap in self._undo
+                      if index <= ancestor_index]
+        for address in list(self.receipts_by_address):
+            kept = [receipt for receipt in self.receipts_by_address[address]
+                    if id(receipt) not in dropped]
+            if kept:
+                self.receipts_by_address[address] = kept
+            else:
+                del self.receipts_by_address[address]
+        self.state.current_block = self.blocks[-1].number
+        self.forks += 1
+        return orphaned
+
+    @staticmethod
+    def _deployed_by(receipt: Receipt) -> list[bytes]:
+        deployed = []
+        if receipt.created_address is not None:
+            deployed.append(receipt.created_address)
+        deployed.extend(event.new_address
+                        for event in receipt.internal_creates)
+        return deployed
 
     # ---------------------------------------------------------- transactions
     def send_transaction(self, transaction: Transaction,

@@ -49,8 +49,10 @@ LATENCY = "latency"            # succeeds, but ``latency_s`` slower
 OUTAGE = "outage"              # every attempt fails while the window is on
 CRASH = "crash"                # os._exit: the whole worker process dies
 HANG = "hang"                  # wedges the process (real sleep, no error)
+REORG = "reorg"                # forks the chain: top-``depth`` blocks orphaned
 
-FAULT_KINDS = (TRANSIENT, RATE_LIMIT, TIMEOUT, LATENCY, OUTAGE, CRASH, HANG)
+FAULT_KINDS = (TRANSIENT, RATE_LIMIT, TIMEOUT, LATENCY, OUTAGE, CRASH, HANG,
+               REORG)
 
 #: Exit code of a :data:`CRASH`-stricken process (BSD ``EX_SOFTWARE``) —
 #: what the sweep supervisor sees in ``Process.exitcode``.
@@ -92,6 +94,7 @@ class FaultRule:
     window: tuple[int, int] | None = None       # [start, end) call indices
     outage_period: int = 0                      # flapping cycle length
     outage_width: int = 0                       # down-calls per cycle
+    depth: int = 1                              # blocks a REORG orphans
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -143,6 +146,7 @@ class FaultDecision:
     latency_s: float = 0.0
     raises: type[TransientRpcError] | None = None
     message: str = ""
+    depth: int = 0               # REORG only: blocks to orphan
 
 
 _EXCEPTION_FOR = {
@@ -193,6 +197,24 @@ class FaultPlan:
                     message=f"injected {rule.kind} on {method} "
                             f"(call #{call_index})"))
                 break
+            if rule.kind == REORG:
+                # Chain-level, not request-level: the struck request still
+                # succeeds, but the chain underneath it reorganizes first.
+                # Window-scoped (a scheduled one-shot fork) or
+                # probability-scoped (struck signatures fork once each —
+                # the FaultyNode dedupes re-fires across attempts).
+                if rule.window is not None:
+                    start, end = rule.window
+                    if not start <= call_index < end:
+                        continue
+                elif not _strike(self.seed, index, method, signature,
+                                 rule.probability):
+                    continue
+                decisions.append(FaultDecision(
+                    kind=REORG, rule_index=index, depth=rule.depth,
+                    message=f"injected depth-{rule.depth} reorg on {method} "
+                            f"(call #{call_index})"))
+                continue
             if rule.kind == OUTAGE:
                 if rule.outage_active(call_index):
                     decisions.append(FaultDecision(
@@ -239,6 +261,7 @@ class FaultyNode:
         self.injected_latency_s = 0.0
         self._method_calls: dict[str, int] = {}
         self._attempts: dict[bytes, int] = {}
+        self._fired_reorgs: set[tuple[int, bytes]] = set()
         self._latency_counter = self.metrics.counter(
             "faults.injected_latency_seconds")
 
@@ -291,6 +314,14 @@ class FaultyNode:
                 os._exit(WORKER_CRASH_EXITCODE)
             if decision.kind == HANG:
                 self._wedge(decision.latency_s)
+                continue
+            if decision.kind == REORG:
+                # Fork once per struck rule+signature: retries of the same
+                # request must not cascade into repeated reorganizations.
+                mark = (decision.rule_index, key)
+                if mark not in self._fired_reorgs:
+                    self._fired_reorgs.add(mark)
+                    self._node.chain.fork(decision.depth)
                 continue
             if decision.latency_s:
                 self.injected_latency_s += decision.latency_s
@@ -399,6 +430,13 @@ def canned_plan(name: str, seed: int = 0) -> FaultPlan:
       supervisor's heartbeat timeout must kill and bisect.
     * ``worker-chaos`` — one mid-shard crash *and* sticky 1 % hangs: the
       combined kill-one-wedge-another acceptance scenario.
+
+    ``chain-reorg`` is chain-level chaos: a scheduled one-shot depth-3
+    reorganization at ``eth_getCode`` call #25 — the top three block
+    records are orphaned mid-sweep.  Requests keep succeeding; what
+    changes is the branch underneath them, which is exactly what the
+    reorg-aware monitor and the zero-lost-contracts sweep accounting
+    must absorb.
     """
     plans: dict[str, tuple[FaultRule, ...]] = {
         "transient": (
@@ -437,6 +475,10 @@ def canned_plan(name: str, seed: int = 0) -> FaultPlan:
             FaultRule(CRASH, methods=("eth_getCode",), window=(15, 16)),
             FaultRule(HANG, methods=("eth_getCode",), probability=0.01),
         ),
+        "chain-reorg": (
+            FaultRule(REORG, methods=("eth_getCode",), window=(25, 26),
+                      depth=3),
+        ),
     }
     try:
         rules = plans[name]
@@ -449,7 +491,7 @@ def canned_plan(name: str, seed: int = 0) -> FaultPlan:
 #: Names accepted by :func:`canned_plan` (the CLI ``--chaos`` choices).
 CANNED_PLANS = ("transient", "rate-limit", "latency", "flaky", "outage",
                 "flapping", "worker-crash", "worker-poison", "worker-hang",
-                "worker-chaos")
+                "worker-chaos", "chain-reorg")
 
 
 def build_chaos_stack(node, plan: str, seed: int = 1337, events=None):
@@ -485,6 +527,7 @@ __all__ = [
     "LATENCY",
     "OUTAGE",
     "RATE_LIMIT",
+    "REORG",
     "TIMEOUT",
     "TRANSIENT",
     "canned_plan",

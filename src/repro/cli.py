@@ -82,6 +82,11 @@ _ROBUSTNESS_FLAGS: dict[str, dict] = {
         type=int, default=1337,
         help="seed for the fault plan and the retry jitter "
              "(default 1337)"),
+    "--rpc-endpoints": dict(
+        type=int, default=1, metavar="N",
+        help="front the chain with N RPC backends behind a failover "
+             "node; --chaos then strikes only the primary endpoint "
+             "(default 1 = single endpoint, docs/robustness.md)"),
     "--checkpoint": dict(
         default=None, metavar="FILE",
         help="append per-contract progress to a JSONL checkpoint so a "
@@ -240,7 +245,8 @@ def _survey_impl(args: argparse.Namespace, obs: dict) -> int:
         )
         spec = SweepSpec(total=args.total, seed=args.seed, chain=args.chain,
                          options=options, chaos=args.chaos,
-                         chaos_seed=args.chaos_seed)
+                         chaos_seed=args.chaos_seed,
+                         rpc_endpoints=args.rpc_endpoints)
         if args.chaos and not args.json:
             print(f"chaos: injecting fault plan {args.chaos!r} "
                   f"(seed={args.chaos_seed}) in every worker")
@@ -289,7 +295,20 @@ def _survey_impl(args: argparse.Namespace, obs: dict) -> int:
             events = EventRecorder(sinks=(obs["journal"],))
 
         node = landscape.node
-        if args.chaos:
+        if args.rpc_endpoints > 1:
+            from repro.chain.failover import build_failover_node
+            # Failover carries its own retry/breaker machinery; --chaos
+            # then strikes only the primary endpoint of the fleet.
+            node = build_failover_node(node, args.rpc_endpoints,
+                                       chaos=args.chaos,
+                                       chaos_seed=args.chaos_seed,
+                                       events=events)
+            if not args.json:
+                detail = (f" with fault plan {args.chaos!r} on the primary"
+                          if args.chaos else "")
+                print(f"failover: fronting the chain with "
+                      f"{args.rpc_endpoints} RPC endpoints{detail}")
+        elif args.chaos:
             from repro.chain.faults import build_chaos_stack
             # Injected latency and backoff are accounted virtually (no
             # real sleeps): the simulated node has nothing to wait for.
@@ -663,7 +682,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rate_per_s=args.rate, burst=args.burst,
         slots=args.slots, queue_limit=args.queue_limit,
         queue_timeout_s=args.queue_timeout,
-        journal_path=args.events, hung_after_s=args.shard_timeout)
+        journal_path=args.events, hung_after_s=args.shard_timeout,
+        rpc_endpoints=args.rpc_endpoints)
     try:
         app = ServeApp(config)
     except (ConfigurationError, OSError) as error:
@@ -673,14 +693,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     following = (f", following the chain every {args.poll}s"
                  if args.follow else "")
     print(f"serve: {app.url} — /v1/contract/ADDR /v1/server /metrics "
-          f"/healthz /progress (store={args.store}{following})")
-    print("serve: ^C to stop", file=sys.stderr)
+          f"/healthz /progress (store={args.store}{following})",
+          flush=True)
+    print("serve: ^C or SIGTERM to stop", file=sys.stderr, flush=True)
+
+    # Graceful drain: SIGTERM/SIGINT flip an event instead of killing the
+    # process, so in-flight queries finish and the store closes cleanly
+    # (docs/service.md).  Handlers only work on the main thread; under a
+    # nested invocation (tests) fall back to the plain wait.
+    import signal
+    import threading
+    stop = threading.Event()
     try:
-        import threading
-        threading.Event().wait()        # serve until interrupted
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+    except ValueError:                  # not on the main thread
+        pass
+    try:
+        stop.wait()                     # serve until signalled
     except KeyboardInterrupt:
-        print("\nserve: shutting down", file=sys.stderr)
+        pass
     finally:
+        print("serve: draining and shutting down", file=sys.stderr,
+              flush=True)
         app.close()
     return 0
 
@@ -956,6 +991,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--simulate", type=int, default=0, metavar="N",
                        help="with --follow: deploy N synthetic contract "
                             "pairs per poll (demo/smoke traffic)")
+    serve.add_argument("--rpc-endpoints", type=int, default=1, metavar="N",
+                       help="front the chain with N RPC backends behind "
+                            "a failover node (default 1 = single "
+                            "endpoint, docs/robustness.md)")
     serve.add_argument("--rate", type=float, default=200.0, metavar="QPS",
                        help="per-client token refill rate for /v1 routes "
                             "(default 200/s)")

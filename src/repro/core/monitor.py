@@ -12,16 +12,34 @@ emits typed alerts:
 * ``function-collision`` / ``honeypot`` — colliding selectors, the latter
   when the behavioural probe sees value routed away from the caller;
 * ``storage-collision`` / ``verified-exploit`` — layout conflicts, the
-  latter with a synthesized exploit that actually fires.
+  latter with a synthesized exploit that actually fires;
+* ``reorg`` — the branch under the monitor's cursor changed: verdicts for
+  orphaned deployments were rolled back and the winning branch re-scanned.
+
+The monitor's cursor is not a bare block number but a *block-hash ancestry
+ring*: each poll first verifies that the most recently scanned blocks still
+hash the same on the chain.  A mismatch means a reorganization happened
+between polls — the monitor walks back to the deepest common ancestor,
+invalidates instance-keyed store facts for deployments that only existed on
+the orphaned branch (hash-keyed facts survive: code is code on any branch),
+and re-scans the winning branch in the same poll.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 from repro.core.honeypot import HoneypotClassifier
 from repro.core.pipeline import Proxion
 from repro.core.report import ContractAnalysis
+from repro.obs.events import CHAIN_REORG
+
+# How many recently scanned (block number, hash) pairs the monitor retains
+# for divergence detection.  Deeper than the chain's own undo capacity, so
+# any reorg the chain can express is one the monitor can locate an ancestor
+# for.
+ANCESTRY_CAPACITY = 128
 
 
 @dataclass(frozen=True, slots=True)
@@ -29,7 +47,7 @@ class Alert:
     """One monitor finding."""
 
     kind: str              # hidden-proxy | function-collision | honeypot |
-    #                        storage-collision | verified-exploit
+    #                        storage-collision | verified-exploit | reorg
     address: bytes
     block_number: int
     detail: str
@@ -47,6 +65,7 @@ class MonitorStats:
     proxies_seen: int = 0
     blocks_scanned: int = 0
     polls: int = 0
+    reorgs: int = 0
     alerts: list[Alert] = field(default_factory=list)
 
 
@@ -65,14 +84,21 @@ class DeploymentMonitor:
         self._classify_honeypots = classify_honeypots
         self._cursor = 0          # last processed block
         # Index into ``chain.blocks`` of the first unscanned entry; blocks
-        # are append-only, so poll cost stays proportional to *new* blocks
-        # instead of re-walking the whole chain every poll.
+        # are append-only between reorgs, so poll cost stays proportional to
+        # *new* blocks instead of re-walking the whole chain every poll.
         self._block_index = 0
-        self._seen: set[bytes] = set()
+        # Address -> block number it was discovered in.  The block number is
+        # what lets a reorg invalidate exactly the deployments that only
+        # existed past the common ancestor.
+        self._seen: dict[bytes, int] = {}
+        # Ring of (block number, block hash) for recently scanned records.
+        self._ancestry: list[tuple[int, bytes]] = []
         self.stats = MonitorStats()
         self._metrics = proxion.metrics
+        self._events = proxion.events
         self._blocks_scanned = self._metrics.counter("monitor.blocks_scanned")
         self._poll_lag = self._metrics.gauge("monitor.poll_lag")
+        self._reorgs = self._metrics.counter("monitor.reorgs")
 
     # ----------------------------------------------------------------- poll
     def catch_up(self) -> int:
@@ -83,23 +109,37 @@ class DeploymentMonitor:
         historical block at startup would duplicate that work (and
         clobber the store's instance rows with identical writes).  Moves
         the cursor to the head and returns how many blocks were skipped.
+
+        Safe at any cursor position: already at the tip it is a no-op
+        returning 0, and after an external rollback shrank the chain below
+        the cursor it re-anchors at the new (lower) tip instead of leaving
+        a dangling cursor.
         """
         chain = self._proxion.node.chain
-        skipped = len(chain.blocks) - self._block_index
+        skipped = max(0, len(chain.blocks) - self._block_index)
         self._block_index = len(chain.blocks)
         self._cursor = chain.latest_block_number
+        # Re-anchor the ancestry ring on the branch we just skipped to, so
+        # the first poll can tell a subsequent reorg from plain new blocks.
+        self._ancestry = [(block.number, block.hash)
+                          for block in chain.blocks[-ANCESTRY_CAPACITY:]]
         return skipped
 
     def poll(self) -> list[Alert]:
         """Process blocks since the last poll; return the new alerts."""
         chain = self._proxion.node.chain
+        new_alerts: list[Alert] = []
+        # Divergence check first: if the branch under the cursor changed,
+        # roll back to the common ancestor before scanning forward.
+        new_alerts.extend(self._check_reorg(chain))
         latest = chain.latest_block_number
         # How far behind the chain head this poll starts — the freshness
         # guarantee a protective monitor is judged on.
-        self._poll_lag.set(latest - self._cursor)
-        new_alerts: list[Alert] = []
-        # Blocks are append-only and block numbers strictly increase, so
-        # everything before _block_index (numbers <= cursor) is done.
+        self._poll_lag.set(max(0, latest - self._cursor))
+        self._block_index = min(self._block_index, len(chain.blocks))
+        # Blocks are append-only between reorgs and block numbers strictly
+        # increase, so everything before _block_index (numbers <= cursor)
+        # is done.
         for block in chain.blocks[self._block_index:]:
             if block.number <= self._cursor:
                 continue
@@ -109,9 +149,11 @@ class DeploymentMonitor:
                 for address in self._deployments_of(receipt):
                     if address in self._seen:
                         continue
-                    self._seen.add(address)
+                    self._seen[address] = block.number
                     new_alerts.extend(
                         self._analyze(address, block.number))
+            self._ancestry.append((block.number, block.hash))
+        del self._ancestry[:-ANCESTRY_CAPACITY]
         self._block_index = len(chain.blocks)
         self._cursor = latest
         self.stats.polls += 1
@@ -119,6 +161,43 @@ class DeploymentMonitor:
         for alert in new_alerts:
             self._metrics.counter("monitor.alerts", kind=alert.kind).inc()
         return new_alerts
+
+    # ---------------------------------------------------------------- reorgs
+    def _check_reorg(self, chain) -> list[Alert]:
+        """Detect branch divergence; roll facts back to the common ancestor."""
+        if not self._ancestry:
+            return []
+        tip_number, tip_hash = self._ancestry[-1]
+        if chain.block_hash(tip_number) == tip_hash:
+            return []             # our view of the tip is still canonical
+        # Walk the ring backwards to the deepest record that still matches.
+        ancestor, keep = 0, 0
+        for index in range(len(self._ancestry) - 1, -1, -1):
+            number, block_hash = self._ancestry[index]
+            if chain.block_hash(number) == block_hash:
+                ancestor, keep = number, index + 1
+                break
+        depth = self._cursor - ancestor
+        orphaned = [address for address, number in self._seen.items()
+                    if number > ancestor]
+        for address in orphaned:
+            del self._seen[address]
+        invalidated = 0
+        store = self._proxion.store
+        if store is not None and orphaned:
+            invalidated = store.invalidate_instances(orphaned)
+        del self._ancestry[keep:]
+        self._cursor = ancestor
+        self._block_index = bisect.bisect_right(
+            chain.blocks, ancestor, key=lambda block: block.number)
+        self.stats.reorgs += 1
+        self._reorgs.inc()
+        self._events.emit(CHAIN_REORG, depth=depth, ancestor=ancestor,
+                          orphaned=len(orphaned), invalidated=invalidated)
+        detail = (f"depth {depth}: rolled back to block {ancestor}, "
+                  f"{len(orphaned)} orphaned deployment(s), "
+                  f"{invalidated} store fact(s) invalidated")
+        return [Alert("reorg", b"", ancestor, detail)]
 
     @staticmethod
     def _deployments_of(receipt) -> list[bytes]:

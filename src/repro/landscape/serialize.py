@@ -52,13 +52,20 @@ def analysis_to_dict(analysis: ContractAnalysis) -> dict[str, Any]:
                            if analysis.check.logic_slot is not None else None),
         }
     if analysis.logic_history is not None:
+        # Deliberately NOT serialized: ``api_calls_used``.  The probe count
+        # of Algorithm 1's binary search depends on the chain height at
+        # analysis time, while the durable record must be a pure function
+        # of chain state — otherwise a follower that lived through a reorg
+        # and a fresh sweep of the final canonical chain would disagree
+        # byte-for-byte about identical contracts.  The cost telemetry
+        # still lands in ``logic_recovery.getstorageat_calls`` and the
+        # audit trail.
         record["logic_history"] = {
             "addresses": [_hex(a) for a in
                           analysis.logic_history.logic_addresses],
             "slot": (hex(analysis.logic_history.slot)
                      if analysis.logic_history.slot is not None else None),
             "upgrade_count": analysis.logic_history.upgrade_count,
-            "api_calls_used": analysis.logic_history.api_calls_used,
         }
     record["function_collisions"] = [
         {

@@ -79,6 +79,12 @@ BREAKER_HALF_OPEN = "breaker.half-open"
 BREAKER_CLOSE = "breaker.close"
 RETRY_EXHAUSTED = "retry.exhausted"
 
+# Chain following: the monitor rolled facts back to a common ancestor.
+CHAIN_REORG = "chain.reorg"
+
+# Multi-endpoint RPC: the failover node switched primaries.
+ENDPOINT_FAILOVER = "endpoint.failover"
+
 #: Every kind this version of the schema emits, for docs and validation.
 EVENT_KINDS = (
     SWEEP_START, SWEEP_END,
@@ -88,6 +94,7 @@ EVENT_KINDS = (
     PIPELINE_START, PIPELINE_END, PIPELINE_QUARANTINE,
     CHECKPOINT_RESUME,
     BREAKER_OPEN, BREAKER_HALF_OPEN, BREAKER_CLOSE, RETRY_EXHAUSTED,
+    CHAIN_REORG, ENDPOINT_FAILOVER,
 )
 
 
@@ -341,7 +348,9 @@ __all__ = [
     "BREAKER_CLOSE",
     "BREAKER_HALF_OPEN",
     "BREAKER_OPEN",
+    "CHAIN_REORG",
     "CHECKPOINT_RESUME",
+    "ENDPOINT_FAILOVER",
     "EVENT_KINDS",
     "Event",
     "EventJournal",

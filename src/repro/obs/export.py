@@ -29,6 +29,11 @@ _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 #: sites; names missing here export without a HELP line rather than with
 #: an invented one.
 METRIC_HELP: dict[str, str] = {
+    "chain.endpoint_health":
+        "Per-endpoint success ratio observed by the failover node "
+        "(1.0 = every call served).",
+    "chain.failover_switches":
+        "Times the failover node switched serving endpoints, per cause.",
     "dedup.hits": "Dedup cache hits per cache (6.1 bytecode dedup).",
     "dedup.misses": "Dedup cache misses per cache (6.1 bytecode dedup).",
     "evm.base_gas": "Base gas consumed by profiled EVM instructions.",
@@ -47,6 +52,9 @@ METRIC_HELP: dict[str, str] = {
     "monitor.alerts": "Live-monitor alerts raised, per kind.",
     "monitor.blocks_scanned": "Blocks scanned by the live monitor.",
     "monitor.poll_lag": "Blocks the live monitor trails the chain head by.",
+    "monitor.reorgs":
+        "Chain reorganizations the live monitor detected and rolled "
+        "back through.",
     "obs.histogram_bound_mismatches":
         "Registry merges that overflowed a histogram with mismatched "
         "bucket bounds into the +Inf bucket.",
@@ -101,6 +109,9 @@ METRIC_HELP: dict[str, str] = {
     "store.invalidated_instances":
         "Stored per-address rows discarded because the address's bytecode "
         "changed since they were committed.",
+    "store.reorg_invalidations":
+        "Stored per-address rows discarded because their deployment was "
+        "orphaned by a chain reorg (hash-keyed facts survive).",
     "store.write_errors":
         "Store writes that failed and switched the binding to in-memory "
         "operation (run `repro store fsck` afterwards).",

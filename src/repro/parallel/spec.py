@@ -36,6 +36,10 @@ class SweepSpec:
     options: ProxionOptions = field(default_factory=ProxionOptions)
     chaos: str | None = None
     chaos_seed: int = 1337
+    #: Number of RPC backends per worker; > 1 fronts the chain with a
+    #: :class:`~repro.chain.failover.FailoverNode` (chaos then strikes
+    #: only the primary endpoint — the failover absorbs it).
+    rpc_endpoints: int = 1
 
     def world_key(self) -> tuple[int, int, str]:
         """The identity of the deterministic landscape this spec names."""
@@ -62,12 +66,20 @@ class SweepSpec:
         into the resilient layer so the flight recorder sees breaker and
         retry events from inside the worker.
         """
+        from repro.chain.failover import build_failover_node
         from repro.chain.faults import build_chaos_stack
         from repro.chain.node import ArchiveNode
 
         node = ArchiveNode(world.chain,
                            call_instruction_budget=(
                                world.node.call_instruction_budget))
+        if self.rpc_endpoints > 1:
+            # Failover carries its own retry/breaker machinery; chaos (if
+            # any) wraps only the primary endpoint inside the fleet.
+            return build_failover_node(node, self.rpc_endpoints,
+                                       chaos=self.chaos,
+                                       chaos_seed=self.chaos_seed,
+                                       events=events)
         if self.chaos is not None:
             return build_chaos_stack(node, self.chaos, seed=self.chaos_seed,
                                      events=events)

@@ -60,6 +60,9 @@ class ServeConfig:
     follow: bool = False
     poll_interval_s: float = 0.25
     simulate_deploys: int = 0      # synthetic deployments per poll (demo)
+    # RPC backends behind the daemon; > 1 wires a FailoverNode so a
+    # primary-endpoint outage degrades to a failover, not an outage.
+    rpc_endpoints: int = 1
     # Rate limiting (per client) and admission control (global).
     rate_per_s: float = 200.0
     burst: int = 40
@@ -154,6 +157,11 @@ class AdmissionGate:
     def depth(self) -> int:
         """Requests currently queued (for the high-water gauge)."""
         return self._waiting
+
+    @property
+    def active(self) -> int:
+        """Requests currently executing (the drain path waits on this)."""
+        return self._active
 
     def enter(self) -> str:
         deadline = time.monotonic() + self.timeout_s
@@ -260,8 +268,12 @@ class ServeApp:
             raise ConfigurationError(
                 f"cannot open store {config.store_path!r} for serving")
         self._binding = binding
+        node = landscape.node
+        if config.rpc_endpoints > 1:
+            from repro.chain.failover import build_failover_node
+            node = build_failover_node(node, config.rpc_endpoints)
         self._proxion = Proxion(
-            landscape.node, registry=landscape.registry,
+            node, registry=landscape.registry,
             dataset=landscape.dataset,
             options=ProxionOptions(detect_diamonds=config.diamonds),
             store=binding)
@@ -281,11 +293,13 @@ class ServeApp:
         self._throttled = self.metrics.counter("serve.throttled")
         self._shed = {reason: self.metrics.counter("serve.shed",
                                                    reason=reason)
-                      for reason in ("queue-full", "timeout")}
+                      for reason in ("queue-full", "timeout", "draining")}
         self._queue_depth = self.metrics.gauge("serve.queue_depth")
         self._polls = self.metrics.counter("serve.follower_polls")
 
         self._stop = threading.Event()
+        self._draining = False
+        self._closed = False
         self._follower: threading.Thread | None = None
         if config.follow:
             self._follower = threading.Thread(
@@ -335,10 +349,26 @@ class ServeApp:
             self._follower.start()
         return self
 
-    def close(self) -> None:
+    def close(self, drain_timeout_s: float = 5.0) -> None:
+        """Graceful drain, then teardown.  Idempotent (a signal handler
+        and a ``finally`` may both call it).
+
+        Order matters: first refuse new ``/v1`` work (503 + Retry-After),
+        then stop the follower *at a poll boundary* (it checks the stop
+        event between polls, so no analysis is interrupted mid-contract),
+        then wait for admitted in-flight queries to finish, and only then
+        tear down the HTTP server and close the store cleanly.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._draining = True
         self._stop.set()
         if self._follower is not None and self._follower.is_alive():
-            self._follower.join(timeout=5.0)
+            self._follower.join(timeout=max(drain_timeout_s, 5.0))
+        deadline = time.monotonic() + drain_timeout_s
+        while self.gate.active > 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._server_thread.is_alive():
@@ -417,6 +447,15 @@ class ServeApp:
 
     def _route_v1(self, path: str, client: str,
                   ) -> tuple[int, str, bytes, dict[str, str]]:
+        if self._draining:
+            # Shutdown in progress: refuse new query work outright while
+            # already-admitted requests finish.  Clients get the same
+            # RFC 9110 contract as overload shedding: 503 + Retry-After.
+            self._shed["draining"].inc()
+            return self._answer(
+                api.ErrorAnswer(error="shutting down (draining)",
+                                status=503, retry_after_s=1.0),
+                status=503, headers={"Retry-After": "1"})
         retry_after = self.limiter.admit(client)
         if retry_after > 0:
             self._throttled.inc()

@@ -123,6 +123,7 @@ class StoreBinding:
         self.disabled = False
         self._warn = warn if warn is not None else _default_warn
         self._write_errors = None  # bound by :meth:`bind_metrics`
+        self._reorg_invalidations = None
         facts = facts if facts is not None else load_facts(store)
         self.check_cache: dict = _WriteThrough(
             facts.checks,
@@ -140,6 +141,8 @@ class StoreBinding:
     # ------------------------------------------------------------- plumbing
     def bind_metrics(self, registry) -> None:
         self._write_errors = registry.counter("store.write_errors")
+        self._reorg_invalidations = registry.counter(
+            "store.reorg_invalidations")
 
     def disable(self, reason: str) -> None:
         """Degrade to in-memory caches; warn once, never abort the sweep."""
@@ -193,6 +196,29 @@ class StoreBinding:
     def _commit_skip(self, address: bytes) -> None:
         self.store.save_skip(address)
         self.store.commit()
+
+    def invalidate_instances(self, addresses: Sequence[bytes]) -> int:
+        """Roll back instance facts for reorg-orphaned deployments.
+
+        Same guarded, one-transaction discipline as the record hooks;
+        hash-keyed caches stay warm (a bytecode verdict holds on any
+        branch).  Returns the number of rows removed (0 when the binding
+        is disabled or the write fails).
+        """
+        if self.disabled or not addresses:
+            return 0
+        removed = 0
+        try:
+            removed = self.store.invalidate_instances(addresses)
+            self.store.commit()
+        except ConfigurationError:
+            raise
+        except Exception as error:
+            self.disable(f"write to {self.path!r} failed ({error})")
+            return 0
+        if self._reorg_invalidations is not None and removed:
+            self._reorg_invalidations.inc(removed)
+        return removed
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:

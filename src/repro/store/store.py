@@ -199,6 +199,28 @@ class AnalysisStore:
         self._connection.execute(
             "DELETE FROM collisions WHERE proxy = ?", (address_hex,))
 
+    def invalidate_instances(self, addresses: Iterable[bytes]) -> int:
+        """Drop every instance-keyed fact for ``addresses`` (no commit).
+
+        The reorg rollback path: a deployment orphaned by a chain
+        reorganization no longer exists on the canonical branch, so its
+        per-address rows (``analyses``/``failures``/``skips`` plus the
+        derived ``logic_links``/``collisions``) must go.  Hash-keyed facts
+        are deliberately untouched — a bytecode verdict is true on any
+        branch.  Returns how many instance rows were removed.
+        """
+        removed = 0
+        for address in addresses:
+            address_hex = _hex(address)
+            for table in ("analyses", "failures", "skips"):
+                cursor = self._connection.execute(
+                    f"DELETE FROM {table} WHERE address = ?", (address_hex,))
+                removed += cursor.rowcount
+            for table in ("logic_links", "collisions"):
+                self._connection.execute(
+                    f"DELETE FROM {table} WHERE proxy = ?", (address_hex,))
+        return removed
+
     def save_skip(self, address: bytes) -> None:
         address_hex = _hex(address)
         self._connection.execute(

@@ -13,6 +13,7 @@ import pytest
 
 from repro.chain.api import NodeRPC
 from repro.chain.blockchain import Blockchain
+from repro.chain.failover import build_failover_node
 from repro.chain.faults import FaultPlan, FaultyNode
 from repro.chain.node import ArchiveNode
 from repro.chain.resilient import ResilientNode
@@ -35,10 +36,16 @@ def _faulty(chain: Blockchain) -> FaultyNode:
     return FaultyNode(ArchiveNode(chain), FaultPlan())
 
 
+def _failover(chain: Blockchain):
+    # Two healthy endpoints; reads route through the sticky primary.
+    return build_failover_node(ArchiveNode(chain), 2)
+
+
 CONFORMERS = {
     "ArchiveNode": _archive,
     "ResilientNode": _resilient,
     "FaultyNode": _faulty,
+    "FailoverNode": _failover,
 }
 
 

@@ -123,3 +123,165 @@ def test_alert_rendering(monitored) -> None:
     alerts = monitor.poll()
     text = str(alerts[0])
     assert "hidden-proxy" in text and "0x" in text and "block" in text
+
+
+# ------------------------------------------------------------------- reorgs
+def test_reorg_is_detected_and_rolled_back(monitored) -> None:
+    chain, monitor = monitored
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    doomed = _deploy(chain, stdlib.storage_proxy("P", wallet, ALICE))
+    first = monitor.poll()
+    assert any(alert.address == doomed for alert in first)
+
+    chain.fork(1)                       # orphan the proxy's block
+    # Deploy the winner from a different account: the fork reverted
+    # ALICE's nonce, so her next CREATE would land on the same address.
+    receipt = chain.deploy(BOB, compile_contract(
+        stdlib.storage_proxy("P2", wallet, BOB)).init_code)
+    assert receipt.success
+    winner = receipt.created_address
+    alerts = monitor.poll()
+    reorgs = [alert for alert in alerts if alert.kind == "reorg"]
+    assert len(reorgs) == 1
+    assert "depth 1" in reorgs[0].detail
+    assert monitor.stats.reorgs == 1
+    # The winning branch was re-scanned in the same poll.
+    assert any(alert.address == winner and alert.kind == "hidden-proxy"
+               for alert in alerts)
+    # The orphaned deployment is forgotten: were it ever redeployed it
+    # would be analyzed anew, not skipped as already-seen.
+    assert doomed not in monitor._seen
+
+
+def test_reorg_without_orphaned_deployments_still_alerts(monitored) -> None:
+    chain, monitor = monitored
+    _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    monitor.poll()
+    chain.transact(ALICE, BOB, b"")     # a block with no deployments
+    monitor.poll()
+    chain.fork(1)
+    alerts = monitor.poll()
+    reorgs = [alert for alert in alerts if alert.kind == "reorg"]
+    assert len(reorgs) == 1
+    assert "0 orphaned deployment(s)" in reorgs[0].detail
+
+
+def test_steady_polls_do_not_count_reorgs(monitored) -> None:
+    chain, monitor = monitored
+    for index in range(3):
+        _deploy(chain, stdlib.simple_wallet(f"W{index}", ALICE))
+        monitor.poll()
+    assert monitor.stats.reorgs == 0
+
+
+def test_reorg_invalidates_store_instance_facts(chain: Blockchain) -> None:
+    from repro.store.binding import StoreBinding
+    from repro.store.store import AnalysisStore
+
+    binding = StoreBinding(AnalysisStore(":memory:"))
+    proxion = Proxion(ArchiveNode(chain), registry=SourceRegistry(),
+                      dataset=ContractDataset(), store=binding)
+    binding.bind_metrics(proxion.metrics)
+    monitor = DeploymentMonitor(proxion)
+
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    monitor.poll()
+    doomed = _deploy(chain, stdlib.storage_proxy("P", wallet, ALICE))
+    monitor.poll()
+    assert binding.store.load_analysis_record(doomed) is not None
+
+    chain.fork(1)
+    alerts = monitor.poll()
+    assert any(alert.kind == "reorg" for alert in alerts)
+    assert binding.store.load_analysis_record(doomed) is None
+    assert binding.store.load_analysis_record(wallet) is not None
+    assert proxion.metrics.counter_total("store.reorg_invalidations") > 0
+    assert proxion.metrics.counter_total("monitor.reorgs") == 1
+
+
+def test_factory_internal_creations_roll_back_with_the_reorg(
+        monitored) -> None:
+    # Satellite case: a factory CREATEs a clone in the very window a reorg
+    # later orphans — the clone must leave _seen with its parent block.
+    chain, monitor = monitored
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    monitor.poll()
+    from repro.evm import opcodes as op
+    from tests.evm.helpers import asm, push
+    clone_init = stdlib.minimal_proxy_init(wallet)
+    body = asm(
+        push(len(clone_init)), push(0, 2), push(0), op.CODECOPY,
+        push(len(clone_init)), push(0), push(0), op.CREATE, op.POP, op.STOP)
+    factory_runtime = asm(
+        push(len(clone_init)), push(len(body), 2), push(0), op.CODECOPY,
+        push(len(clone_init)), push(0), push(0), op.CREATE, op.POP,
+        op.STOP) + clone_init
+    factory = _deploy(chain, stdlib.raw_deploy_init(factory_runtime))
+    monitor.poll()
+    receipt = chain.transact(BOB, factory, b"")
+    assert receipt.success and receipt.internal_creates
+    clone = receipt.internal_creates[0].new_address
+    alerts = monitor.poll()
+    assert any(alert.address == clone for alert in alerts)
+
+    chain.fork(1)                       # orphan the factory poke
+    alerts = monitor.poll()
+    assert any(alert.kind == "reorg" for alert in alerts)
+    assert clone not in monitor._seen
+    assert factory in monitor._seen     # its own block survived
+
+
+# ----------------------------------------------------------------- catch_up
+def test_catch_up_on_an_empty_chain_is_a_noop(monitored) -> None:
+    chain, monitor = monitored
+    skipped = monitor.catch_up()        # only the genesis record exists
+    assert skipped == len(chain.blocks)
+    assert monitor.poll() == []
+    assert monitor.catch_up() == 0
+
+
+def test_catch_up_at_the_tip_returns_zero(monitored) -> None:
+    chain, monitor = monitored
+    _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    monitor.poll()
+    assert monitor.catch_up() == 0
+
+
+def test_catch_up_skips_history_but_follows_new_blocks(monitored) -> None:
+    chain, monitor = monitored
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    _deploy(chain, stdlib.storage_proxy("Old", wallet, ALICE))
+    assert monitor.catch_up() > 0
+    assert monitor.poll() == []         # history was skipped, not alerted
+    fresh = _deploy(chain, stdlib.storage_proxy("New", wallet, ALICE))
+    alerts = monitor.poll()
+    assert any(alert.address == fresh for alert in alerts)
+
+
+def test_catch_up_with_cursor_beyond_tip_after_rollback(monitored) -> None:
+    chain, monitor = monitored
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    for index in range(3):
+        _deploy(chain, stdlib.storage_proxy(f"P{index}", wallet, ALICE))
+    monitor.poll()
+    chain.fork(2)                       # external rollback below the cursor
+    assert monitor.catch_up() == 0      # never negative
+    # Re-anchored on the surviving branch: a new deploy is still caught
+    # (from BOB — ALICE's reverted nonce would reuse an orphaned address).
+    receipt = chain.deploy(BOB, compile_contract(
+        stdlib.storage_proxy("F", wallet, BOB)).init_code)
+    assert receipt.success
+    fresh = receipt.created_address
+    alerts = monitor.poll()
+    assert any(alert.address == fresh for alert in alerts)
+
+
+def test_poll_after_rollback_without_catch_up_recovers(monitored) -> None:
+    chain, monitor = monitored
+    wallet = _deploy(chain, stdlib.simple_wallet("W", ALICE))
+    _deploy(chain, stdlib.storage_proxy("P", wallet, ALICE))
+    monitor.poll()
+    chain.fork(1)
+    alerts = monitor.poll()             # detects the divergence itself
+    assert any(alert.kind == "reorg" for alert in alerts)
+    assert monitor.stats.polls == 2

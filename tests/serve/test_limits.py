@@ -107,3 +107,61 @@ def test_gate_hands_slot_to_a_waiter() -> None:
     assert outcome == ["admitted"]
     gate.leave()
     assert gate.depth == 0
+
+
+def test_gate_reports_active_admissions() -> None:
+    gate = AdmissionGate(slots=2, queue_limit=0, timeout_s=0.01)
+    assert gate.active == 0
+    gate.enter()
+    gate.enter()
+    assert gate.active == 2
+    gate.leave()
+    assert gate.active == 1
+    gate.leave()
+    assert gate.active == 0
+
+
+# ------------------------------------------------ 503 shed responses (HTTP)
+def test_overload_503_carries_retry_after(svc_store, svc_landscape) -> None:
+    # RFC 9110 pin: every shed response — overload and drain alike — must
+    # tell the client when to come back, exactly like the 429 path does.
+    import json
+    import urllib.error
+    import urllib.request
+
+    from repro.serve import ServeApp, ServeConfig
+    from tests.serve.conftest import SEED, TOTAL
+
+    config = ServeConfig(store_path=svc_store, total=TOTAL, seed=SEED,
+                         slots=1, queue_limit=0, queue_timeout_s=0.05)
+    with ServeApp(config, landscape=svc_landscape) as app:
+        app.gate.enter()                  # hold the only slot
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{app.url}/v1/server", timeout=10)
+            error = excinfo.value
+            assert error.code == 503
+            assert int(error.headers["Retry-After"]) >= 1
+            payload = json.loads(error.read())
+            assert payload["kind"] == "error"
+            assert payload["retry_after_s"] > 0
+        finally:
+            app.gate.leave()
+
+
+def test_draining_503_carries_retry_after(svc_store, svc_landscape) -> None:
+    import json
+
+    from repro.serve import ServeApp, ServeConfig
+    from tests.serve.conftest import SEED, TOTAL
+
+    config = ServeConfig(store_path=svc_store, total=TOTAL, seed=SEED)
+    with ServeApp(config, landscape=svc_landscape) as app:
+        app._draining = True
+        status, _, body, headers = app._route_v1("/v1/server", "client")
+        assert status == 503
+        assert headers["Retry-After"] == "1"
+        payload = json.loads(body)
+        assert payload["kind"] == "error" and "draining" in payload["error"]
+        assert app.metrics.counter_total("serve.shed") >= 1
+        app._draining = False             # let teardown queries pass

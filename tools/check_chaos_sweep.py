@@ -14,6 +14,14 @@ then the gate only checks conservation — every baseline address must
 appear either analyzed or quarantined, i.e. the sweep degraded gracefully
 instead of aborting.
 
+For *reorg* plans (``--chaos chain-reorg``) pass ``--allow-reorg`` and run
+the chaos sweep with ``--metrics``: an injected reorganization genuinely
+removes orphaned-branch deployments from the canonical chain, so baseline
+addresses may be missing from the chaos payload — but only when the
+metrics snapshot proves a reorg actually fired, nothing may be
+quarantined, and every *surviving* record must still match the baseline
+byte for byte.
+
 Usage::
 
     PYTHONPATH=src python -m repro survey --total 50 --seed 3 --json \
@@ -55,6 +63,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="sustained-outage mode: quarantined records "
                              "count as conserved (graceful degradation), "
                              "but nothing may be silently lost")
+    parser.add_argument("--allow-reorg", action="store_true",
+                        help="reorg mode: addresses orphaned by an injected "
+                             "reorganization may be missing, provided the "
+                             "metrics snapshot shows the reorg fired and "
+                             "surviving records match the baseline")
     parser.add_argument("--expect-retries", action="store_true",
                         help="additionally require the chaos payload's "
                              "metrics snapshot to show >0 resilience "
@@ -73,11 +86,35 @@ def main(argv: list[str] | None = None) -> int:
     lost = [address for address in base_contracts
             if address not in chaos_contracts
             and address not in chaos_failures]
-    if lost:
+    if lost and not args.allow_reorg:
         problems.append(f"{len(lost)} contract(s) silently lost under "
                         f"chaos (first: {lost[0]})")
 
-    if args.allow_quarantine:
+    if args.allow_reorg:
+        counters = chaos.get("metrics", {}).get("counters", {})
+        reorgs = sum(value for key, value in counters.items()
+                     if key.startswith("faults.injected")
+                     and 'kind="reorg"' in key)
+        if reorgs <= 0:
+            problems.append("no faults.injected{kind=reorg} recorded — "
+                            "missing contracts cannot be blamed on a "
+                            "reorganization that never fired")
+        if chaos_failures:
+            problems.append(f"{len(chaos_failures)} contract(s) quarantined "
+                            f"under the reorg plan — a reorg removes "
+                            f"contracts, it must not wound survivors")
+        diverged = [address for address, record in base_contracts.items()
+                    if address in chaos_contracts
+                    and chaos_contracts[address] != record]
+        if diverged:
+            problems.append(f"{len(diverged)} surviving record(s) differ "
+                            f"from the fault-free baseline "
+                            f"(first: {diverged[0]})")
+        print(f"reorg conservation: {len(chaos_contracts)} surviving "
+              f"records identical, {len(lost)} orphaned by "
+              f"{int(reorgs)} injected reorg(s) "
+              f"(baseline {len(base_contracts)})")
+    elif args.allow_quarantine:
         print(f"conservation: {len(chaos_contracts)} analyzed + "
               f"{len(chaos_failures)} quarantined "
               f"(baseline {len(base_contracts)})")

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""CI gate: chain reorgs and endpoint outages never corrupt or lose facts.
+
+Two legs, mirroring ``docs/robustness.md``'s failure model:
+
+1. **Reorg leg** — a monitor follows a chain into a depth-k
+   reorganization (the top k block records are orphaned and replaced by
+   a winning branch).  Afterwards:
+
+   * ``repro store fsck`` passes — the rollback left no dangling rows;
+   * no orphaned-branch deployment keeps an instance fact in the store;
+   * every ``GET /v1/contract/ADDR`` answer over the survived store is
+     byte-identical to the same query over a store produced by a fresh
+     from-genesis sweep of the final canonical chain — surviving a reorg
+     and never having seen one are indistinguishable.
+
+2. **Failover leg** — a full sweep runs against a two-endpoint fleet
+   whose primary enters a sustained outage mid-sweep (the canned
+   ``outage`` plan).  The sweep must finish with **zero lost contracts**
+   (same analysis count as an undisturbed reference sweep) and at least
+   one recorded failover switch.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_reorg.py --total 40 --seed 5 --depth 3
+
+Exit codes: 0 pass, 1 contract violated, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from http.client import HTTPConnection
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--total", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--depth", type=int, default=3,
+                        help="blocks the injected reorg orphans (default 3)")
+    parser.add_argument("--extra-pairs", type=int, default=3,
+                        help="wallet+proxy pairs deployed on the doomed "
+                             "branch (default 3)")
+    args = parser.parse_args(argv)
+
+    from repro.chain.failover import build_failover_node
+    from repro.cli import main as repro_main
+    from repro.core.monitor import DeploymentMonitor
+    from repro.core.pipeline import Proxion
+    from repro.corpus.generator import generate_landscape
+    from repro.lang import compile_contract, stdlib
+    from repro.serve import ServeApp, ServeConfig
+    from repro.store import attach_store
+    from repro.store.store import AnalysisStore
+
+    problems: list[str] = []
+    workdir = tempfile.mkdtemp(prefix="repro-reorg-gate-")
+    survived_path = os.path.join(workdir, "survived.store")
+    fresh_path = os.path.join(workdir, "fresh.store")
+
+    doomed_deployer = bytes.fromhex("d00d" + "00" * 17 + "01")
+    winner_deployer = bytes.fromhex("f1f1" + "00" * 17 + "02")
+
+    def deploy_pairs(chain, deployer: bytes, tag: str, pairs: int) -> int:
+        for index in range(pairs):
+            wallet = chain.deploy(deployer, compile_contract(
+                stdlib.simple_wallet(f"{tag}W{index}", deployer)).init_code)
+            assert wallet.success
+            proxy = chain.deploy(deployer, compile_contract(
+                stdlib.storage_proxy(f"{tag}P{index}",
+                                     wallet.created_address,
+                                     deployer)).init_code)
+            assert proxy.success
+        return 2 * pairs
+
+    # ---- leg 1: follow a chain through a depth-k reorg -----------------
+    world = generate_landscape(total=args.total, seed=args.seed)
+    chain = world.chain
+    chain.fund(doomed_deployer, 10 ** 21)
+    chain.fund(winner_deployer, 10 ** 21)
+
+    with attach_store(survived_path) as binding:
+        proxion = Proxion(world.node, registry=world.registry,
+                          dataset=world.dataset, store=binding)
+        binding.bind_metrics(proxion.metrics)
+        monitor = DeploymentMonitor(proxion)
+        monitor.poll()                      # settle the landscape's history
+        settled = monitor.stats.contracts_seen
+        print(f"seed: followed {settled} contracts into {survived_path}")
+
+        deploy_pairs(chain, doomed_deployer, "Doom", args.extra_pairs)
+        monitor.poll()
+        orphaned = chain.fork(args.depth)   # the injected reorg
+        if len(orphaned) != args.depth:
+            problems.append(f"fork({args.depth}) orphaned {len(orphaned)} "
+                            f"deployments, expected {args.depth} "
+                            f"(one deploy per block)")
+        deploy_pairs(chain, winner_deployer, "Win", args.extra_pairs)
+        alerts = monitor.poll()
+        if not any(alert.kind == "reorg" for alert in alerts):
+            problems.append("monitor.poll() after the fork raised no "
+                            "reorg alert")
+        if monitor.stats.reorgs != 1:
+            problems.append(f"monitor counted {monitor.stats.reorgs} "
+                            f"reorgs, expected 1")
+        invalidated = proxion.metrics.counter_total(
+            "store.reorg_invalidations")
+        print(f"reorg: depth {args.depth} orphaned {len(orphaned)} "
+              f"deployment(s), {invalidated} store fact(s) invalidated")
+
+    # fsck: the rollback must leave a consistent store behind.
+    if repro_main(["store", "fsck", survived_path]) != 0:
+        problems.append("store fsck failed on the reorg-survived store")
+
+    # No orphaned-branch instance fact may remain.
+    with AnalysisStore(survived_path) as reader:
+        for address in orphaned:
+            if reader.load_analysis_record(address) is not None:
+                problems.append(f"orphaned 0x{address.hex()} still has an "
+                                f"instance fact after the reorg")
+        survived_count = reader.contract_count()
+
+    # Fresh from-genesis sweep of the *final* canonical chain.
+    with attach_store(fresh_path) as fresh_binding:
+        fresh_proxion = Proxion.from_node(
+            build_failover_node(world.node, 1),  # plain single endpoint
+            registry=world.registry, dataset=world.dataset,
+            store=fresh_binding)
+        DeploymentMonitor(fresh_proxion).poll()
+    with AnalysisStore(fresh_path) as reader:
+        fresh_count = reader.contract_count()
+    if survived_count != fresh_count:
+        problems.append(f"survived store settles {survived_count} "
+                        f"contracts, a fresh sweep of the final chain "
+                        f"settles {fresh_count}")
+
+    # Byte-identity: serving the survived store answers exactly like
+    # serving the fresh one, for every canonical contract.
+    with AnalysisStore(fresh_path) as reader:
+        addresses = sorted(rendered for rendered, in
+                           reader._connection.execute(
+                               "SELECT address FROM analyses"))
+
+    def serve_answers(path: str) -> dict[str, bytes]:
+        config = ServeConfig(store_path=path, total=args.total,
+                             seed=args.seed, rate_per_s=1e9, burst=10 ** 6)
+        answers: dict[str, bytes] = {}
+        with ServeApp(config, landscape=world) as app:
+            connection = HTTPConnection("127.0.0.1", app.port, timeout=30)
+            for rendered in addresses:
+                connection.request("GET", f"/v1/contract/{rendered}")
+                response = connection.getresponse()
+                body = response.read()
+                if response.status != 200:
+                    problems.append(f"GET /v1/contract/{rendered} on "
+                                    f"{path} -> {response.status}")
+                answers[rendered] = body
+            connection.close()
+        return answers
+
+    survived_answers = serve_answers(survived_path)
+    fresh_answers = serve_answers(fresh_path)
+    diverging = [rendered for rendered in addresses
+                 if survived_answers[rendered] != fresh_answers[rendered]]
+    for rendered in diverging[:5]:
+        problems.append(f"{rendered}: survived-store answer diverges from "
+                        f"the fresh-sweep answer")
+    print(f"byte-identity: {len(addresses) - len(diverging)}/"
+          f"{len(addresses)} served answers identical to a fresh sweep "
+          f"of the final canonical chain")
+
+    # ---- leg 2: mid-sweep primary outage loses zero contracts ----------
+    outage_world = generate_landscape(total=args.total, seed=args.seed)
+    fleet = build_failover_node(outage_world.node, 2, chaos="outage")
+    report = Proxion.from_node(fleet, registry=outage_world.registry,
+                               dataset=outage_world.dataset).analyze_all()
+    reference_world = generate_landscape(total=args.total, seed=args.seed)
+    reference = Proxion(reference_world.node,
+                        registry=reference_world.registry,
+                        dataset=reference_world.dataset).analyze_all()
+    switches = fleet.metrics.counter_total("chain.failover_switches")
+    lost = len(reference.analyses) - len(report.analyses)
+    print(f"failover: sweep under a mid-sweep primary outage analyzed "
+          f"{len(report.analyses)}/{len(reference.analyses)} contracts "
+          f"({switches} endpoint switch(es))")
+    if lost != 0:
+        problems.append(f"primary outage lost {lost} contract(s); the "
+                        f"failover leg requires zero")
+    if switches < 1:
+        problems.append("the outage never caused a failover switch — the "
+                        "fleet was not exercised")
+    if set(report.analyses) != set(reference.analyses):
+        problems.append("outage sweep analyzed a different contract set "
+                        "than the reference sweep")
+
+    if problems:
+        print("reorg gate FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"reorg gate passed: fsck clean, {len(orphaned)} orphaned "
+          f"deployments scrubbed, {len(addresses)} byte-identical served "
+          f"answers, zero contracts lost through the outage")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
